@@ -1,0 +1,589 @@
+// Package bench is the root benchmark harness: one testing.B benchmark
+// per table/figure of the paper (plus the ablations DESIGN.md calls
+// out), at sizes suited to `go test -bench`. The full-scale experiment
+// driver with paper-vs-measured output is cmd/aidebench; EXPERIMENTS.md
+// maps each benchmark and experiment to the paper's numbers.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	neturl "net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/formreg"
+	"aide/internal/hotlist"
+	"aide/internal/htmldiff"
+	"aide/internal/lcs"
+	"aide/internal/notify"
+	"aide/internal/proxycache"
+	"aide/internal/rcs"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/textdiff"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+	"aide/internal/wiki"
+)
+
+// --- Table 1: threshold configuration ---------------------------------------
+
+// BenchmarkTable1ConfigMatch measures per-URL threshold resolution over
+// the paper's literal Table 1 rules.
+func BenchmarkTable1ConfigMatch(b *testing.B) {
+	cfg, err := w3config.ParseString(w3config.Table1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := []string{
+		"http://www.yahoo.com/Computers/WWW/Indices/",
+		"http://www.research.att.com/orgs/ssr/people/douglis/",
+		"http://www.usenix.org/events/",
+		"file:/home/douglis/notes.html",
+		"http://www.unitedmedia.com/comics/dilbert/",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.ThresholdFor(urls[i%len(urls)])
+	}
+}
+
+// --- Figure 1: the w3newer report --------------------------------------------
+
+// fig1Rig builds a 100-URL mixed-state hotlist over the synthetic web.
+func fig1Rig(b *testing.B) (*tracker.Tracker, []hotlist.Entry, *websim.Web) {
+	b.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	hist := hotlist.NewHistory()
+	entries := make([]hotlist.Entry, 0, 100)
+	for i := 0; i < 100; i++ {
+		host := fmt.Sprintf("h%02d.example.com", i%10)
+		path := fmt.Sprintf("/p%d.html", i)
+		page := web.Site(host).Page(path)
+		if i%3 == 0 {
+			web.Evolve(page, 24*time.Hour, websim.AppendGenerator("News", int64(i)))
+		} else {
+			page.Set(websim.StaticGenerator("Static", 80, int64(i))(0))
+		}
+		url := "http://" + host + path
+		entries = append(entries, hotlist.Entry{URL: url, Title: path})
+		hist.Visit(url, clock.Now())
+	}
+	web.Advance(5 * 24 * time.Hour)
+	cfg, err := w3config.ParseString("Default 0\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tracker.New(webclient.New(web), cfg, hist, clock), entries, web
+}
+
+// BenchmarkFig1TrackerRun measures one w3newer pass over 100 URLs.
+func BenchmarkFig1TrackerRun(b *testing.B) {
+	tr, entries, _ := fig1Rig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Run(entries)
+	}
+}
+
+// BenchmarkFig1Report measures rendering the Figure 1 HTML report.
+func BenchmarkFig1Report(b *testing.B) {
+	tr, entries, _ := fig1Rig(b)
+	results := tr.Run(entries)
+	opt := tracker.ReportOptions{SnapshotBase: "http://aide/", User: "u@h", Prioritize: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker.Report(results, opt)
+	}
+}
+
+// --- Figure 2: HtmlDiff -------------------------------------------------------
+
+// BenchmarkFig2HtmlDiff measures the merged-page comparison of the two
+// USENIX home-page versions from Figure 2.
+func BenchmarkFig2HtmlDiff(b *testing.B) {
+	b.SetBytes(int64(len(websim.USENIXSept) + len(websim.USENIXNov)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := htmldiff.Diff(websim.USENIXSept, websim.USENIXNov, htmldiff.Options{})
+		if !r.Stats.Changed() {
+			b.Fatal("no differences found")
+		}
+	}
+}
+
+// BenchmarkHtmlDiffBySize sweeps document size (the §5 cost curve).
+func BenchmarkHtmlDiffBySize(b *testing.B) {
+	for _, kb := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			var sb strings.Builder
+			for sb.Len() < kb*1024 {
+				fmt.Fprintf(&sb, "<P>%s</P>\n", websim.FillerSentences(rng, 3))
+			}
+			oldDoc := sb.String()
+			newDoc := strings.Replace(oldDoc, "</P>", " edited tail.</P>", 5)
+			b.SetBytes(int64(len(oldDoc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				htmldiff.Diff(oldDoc, newDoc, htmldiff.Options{})
+			}
+		})
+	}
+}
+
+// --- §7 storage ---------------------------------------------------------------
+
+// BenchmarkArchiveGrowth measures automatic archival cost: 30 daily
+// versions of an editing page checked into one archive.
+func BenchmarkArchiveGrowth(b *testing.B) {
+	gen := websim.SizedChangeGenerator(950, 60, 1)
+	bodies := make([]string, 30)
+	for i := range bodies {
+		bodies[i] = gen(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		clock := simclock.New(time.Time{})
+		arch := rcs.Open(dir+"/page,v", clock)
+		b.StartTimer()
+		for _, body := range bodies {
+			clock.Advance(24 * time.Hour)
+			if _, _, err := arch.Checkin(body, "bench", ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStorageFullCopyBaseline is the ablation: the same 30 versions
+// stored as full copies (what a naive per-user client-side cache does).
+func BenchmarkStorageFullCopyBaseline(b *testing.B) {
+	gen := websim.SizedChangeGenerator(950, 60, 1)
+	bodies := make([]string, 30)
+	for i := range bodies {
+		bodies[i] = gen(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, body := range bodies {
+			copied := strings.Clone(body)
+			total += len(copied)
+		}
+		if total == 0 {
+			b.Fatal("no bodies")
+		}
+	}
+}
+
+// --- §3 polling ----------------------------------------------------------------
+
+// pollBench runs one tracker pass per iteration under a threshold regime.
+func pollBench(b *testing.B, cfgSrc string, persistent bool) (requests int) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	entries := make([]hotlist.Entry, 0, 100)
+	for i := 0; i < 100; i++ {
+		page := web.Site("h.example").Page(fmt.Sprintf("/p%d", i))
+		web.Evolve(page, time.Duration(1+i%7)*24*time.Hour, websim.EditGenerator("P", 6, int64(i)))
+		entries = append(entries, hotlist.Entry{URL: page.URL()})
+	}
+	cfg, err := w3config.ParseString(cfgSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist := hotlist.NewHistory()
+	tr := tracker.New(webclient.New(web), cfg, hist, clock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		web.Advance(24 * time.Hour)
+		if !persistent {
+			tr = tracker.New(webclient.New(web), cfg, hist, clock)
+		}
+		tr.Run(entries)
+	}
+	b.StopTimer()
+	h, g := web.TotalRequests()
+	return h + g
+}
+
+// BenchmarkPollingW3newBaseline: poll every URL on every run.
+func BenchmarkPollingW3newBaseline(b *testing.B) {
+	reqs := pollBench(b, "Default 0\n", false)
+	b.ReportMetric(float64(reqs)/float64(b.N), "requests/run")
+}
+
+// BenchmarkPollingW3newer: thresholds plus the persistent state cache.
+func BenchmarkPollingW3newer(b *testing.B) {
+	reqs := pollBench(b, "Default 2d\n", true)
+	b.ReportMetric(float64(reqs)/float64(b.N), "requests/run")
+}
+
+// --- §8.3 server-side tracking ---------------------------------------------------
+
+// BenchmarkServerSideTracking measures one shared sweep over 100 URLs
+// registered by 20 users (each URL checked once despite 20 interests).
+func BenchmarkServerSideTracking(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	client := webclient.New(web)
+	fac, err := snapshot.New(b.TempDir(), client, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, _ := w3config.ParseString("Default 0\n")
+	srv := aide.NewServer(fac, client, cfg, clock)
+	for i := 0; i < 100; i++ {
+		page := web.Site("pool.example").Page(fmt.Sprintf("/p%d", i))
+		web.Evolve(page, 4*24*time.Hour, websim.EditGenerator("Pool", 5, int64(i)))
+		for u := 0; u < 20; u++ {
+			srv.Register(fmt.Sprintf("u%d@h", u), aide.Registration{URL: page.URL()})
+		}
+	}
+	srv.TrackAll() // cold archive pass
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		web.Advance(24 * time.Hour)
+		srv.TrackAll()
+	}
+}
+
+// --- §5 LCS ablation ---------------------------------------------------------------
+
+func lcsInputs() ([]string, []string) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]string, 800)
+	for i := range a {
+		a[i] = fmt.Sprintf("tok%d", rng.Intn(40))
+	}
+	bq := append([]string(nil), a...)
+	for i := 0; i < len(bq); i += 9 {
+		bq[i] = "edited"
+	}
+	return a, bq
+}
+
+type eqWeights struct{ a, b []string }
+
+func (w eqWeights) LenA() int { return len(w.a) }
+func (w eqWeights) LenB() int { return len(w.b) }
+func (w eqWeights) Weight(i, j int) float64 {
+	if w.a[i] == w.b[j] {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkLCSHirschberg: the paper's linear-space algorithm.
+func BenchmarkLCSHirschberg(b *testing.B) {
+	a, bq := lcsInputs()
+	w := eqWeights{a, bq}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lcs.Hirschberg(w)
+	}
+}
+
+// BenchmarkLCSQuadraticDP: the ablation baseline (same optimum, O(n·m)
+// space).
+func BenchmarkLCSQuadraticDP(b *testing.B) {
+	a, bq := lcsInputs()
+	w := eqWeights{a, bq}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lcs.DP(w)
+	}
+}
+
+// BenchmarkLineDiffVsHtmlDiff is the §2.3 ablation: line-based diff is
+// ill-suited to HTML (reflowed paragraphs look fully changed), while the
+// sentence model sees through the reflow; this measures their costs on
+// the same input.
+func BenchmarkLineDiffVsHtmlDiff(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var sb strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb, "<P>%s</P>\n", websim.FillerSentences(rng, 3))
+	}
+	oldDoc := sb.String()
+	// Reflow: same content, different line breaks.
+	newDoc := strings.ReplaceAll(oldDoc, " ", "\n")
+	b.Run("line-diff", func(b *testing.B) {
+		aLines := textdiff.Lines(oldDoc)
+		bLines := textdiff.Lines(newDoc)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hunks := textdiff.Diff(aLines, bLines)
+			add, del := textdiff.Stats(hunks)
+			if add == 0 && del == 0 {
+				b.Fatal("line diff saw no change (it should: every line moved)")
+			}
+		}
+	})
+	b.Run("htmldiff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := htmldiff.Compare(oldDoc, newDoc, htmldiff.Options{})
+			if s.Changed() {
+				b.Fatal("htmldiff flagged a pure reflow as a change")
+			}
+		}
+	})
+}
+
+// --- §4 RCS + snapshot ------------------------------------------------------------
+
+// BenchmarkSnapshotRemember measures the full Remember path: fetch from
+// the synthetic web, check in, update the user control file.
+func BenchmarkSnapshotRemember(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	page := web.Site("h").Page("/p")
+	web.Evolve(page, 24*time.Hour, websim.AppendGenerator("News", 5))
+	fac, err := snapshot.New(b.TempDir(), webclient.New(web), clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		web.Advance(24 * time.Hour)
+		if _, err := fac.Remember("bench@h", "http://h/p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffCacheHit measures the §4.2 HtmlDiff output cache.
+func BenchmarkDiffCacheHit(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	page := web.Site("h").Page("/p")
+	page.Set(websim.USENIXSept)
+	fac, err := snapshot.New(b.TempDir(), webclient.New(web), clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fac.Remember("u@h", "http://h/p")
+	clock.Advance(time.Hour)
+	page.Set(websim.USENIXNov)
+	fac.Remember("u@h", "http://h/p")
+	if _, err := fac.DiffRevs("http://h/p", "1.1", "1.2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := fac.DiffRevs("http://h/p", "1.1", "1.2")
+		if err != nil || !r.Cached {
+			b.Fatalf("cache miss: %v cached=%v", err, r.Cached)
+		}
+	}
+}
+
+// BenchmarkProxyOracle measures the proxy-cache daemon's ModInfo path.
+func BenchmarkProxyOracle(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	web.Site("h").Page("/p").Set("content")
+	proxy := proxycache.New(web, clock)
+	if _, err := webclient.New(proxy).Get("http://h/p"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := proxy.ModInfo("http://h/p"); !ok {
+			b.Fatal("oracle miss")
+		}
+	}
+}
+
+// --- §2.1 ablation: checksum vs Last-Modified --------------------------------------
+
+// BenchmarkCheckStrategies compares the two change-detection strategies:
+// HEAD + Last-Modified (w3new) vs GET + checksum (URL-minder).
+func BenchmarkCheckStrategies(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	withLM := web.Site("h").Page("/static")
+	withLM.Set(strings.Repeat("content line\n", 400))
+	noLM := web.Site("h").Page("/cgi")
+	noLM.Set(strings.Repeat("content line\n", 400))
+	noLM.SetNoLastModified()
+	client := webclient.New(web)
+	b.Run("head-last-modified", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			info, err := client.Check("http://h/static")
+			if err != nil || info.HasBody {
+				b.Fatalf("unexpected: %+v %v", info, err)
+			}
+		}
+	})
+	b.Run("get-checksum", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			info, err := client.Check("http://h/cgi")
+			if err != nil || !info.HasBody {
+				b.Fatalf("unexpected: %+v %v", info, err)
+			}
+		}
+	})
+}
+
+// --- extensions: forms, notification, wiki, coalescing, concurrency -----------
+
+// BenchmarkFormInvoke measures replaying a saved POST form (§8.4).
+func BenchmarkFormInvoke(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	web.Site("svc").Page("/run").SetForm(func(form neturl.Values, _ int) string {
+		return "result for " + form.Get("q")
+	})
+	reg, err := formreg.New("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	saved, err := reg.Save("bench", "http://svc/run", neturl.Values{"q": {"x"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := webclient.New(web)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Invoke(client, saved.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNotifyAnnounce measures hub fan-out to 10 relays (§3.1).
+func BenchmarkNotifyAnnounce(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	hub := notify.NewHub(clock)
+	defer hub.Close()
+	for i := 0; i < 10; i++ {
+		hub.Subscribe("http://h/p", notify.NewRelay(clock), false)
+	}
+	base := simclock.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Announce("http://h/p", base.Add(time.Duration(i+1)*time.Second))
+	}
+}
+
+// BenchmarkWikiEdit measures a WebWeaver page save (check-in + control
+// file update).
+func BenchmarkWikiEdit(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	fac, err := snapshot.New(b.TempDir(), nil, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wiki.New(fac, clock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(time.Minute)
+		body := fmt.Sprintf("<P>revision body number %d with some words.</P>", i)
+		if _, err := w.Edit("bench", "BenchPage", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesce measures the §5.3 interspersion rewrite on the
+// worst-case alternating-changes input.
+func BenchmarkCoalesce(b *testing.B) {
+	var oldDoc, newDoc strings.Builder
+	for i := 0; i < 50; i++ {
+		oldDoc.WriteString(fmt.Sprintf("<P>stable sentence %d. old piece %d goes.</P>\n", i, i))
+		newDoc.WriteString(fmt.Sprintf("<P>stable sentence %d. NEW piece %d came.</P>\n", i, i))
+	}
+	a, bq := oldDoc.String(), newDoc.String()
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			htmldiff.Diff(a, bq, htmldiff.Options{})
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			htmldiff.Diff(a, bq, htmldiff.Options{CoalesceWithin: 2})
+		}
+	})
+}
+
+// BenchmarkTrackerConcurrency compares serial and concurrent w3newer
+// passes over the same 200-URL hotlist.
+func BenchmarkTrackerConcurrency(b *testing.B) {
+	for _, conc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			clock := simclock.New(time.Time{})
+			web := websim.New(clock)
+			entries := make([]hotlist.Entry, 0, 200)
+			for i := 0; i < 200; i++ {
+				page := web.Site(fmt.Sprintf("h%d.example", i%20)).Page(fmt.Sprintf("/p%d", i))
+				page.Set("content")
+				entries = append(entries, hotlist.Entry{URL: page.URL()})
+			}
+			cfg, _ := w3config.ParseString("Default 0\n")
+			tr := tracker.New(webclient.New(web), cfg, hotlist.NewHistory(), clock)
+			tr.Opt.Concurrency = conc
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Run(entries)
+			}
+		})
+	}
+}
+
+// BenchmarkEntitySnapshot measures the §5.3 entity-checksum pass on a
+// page referencing 8 images.
+func BenchmarkEntitySnapshot(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	var page strings.Builder
+	page.WriteString("<HTML><BODY><P>gallery: ")
+	for i := 0; i < 8; i++ {
+		web.Site("h").Page(fmt.Sprintf("/img%d.gif", i)).Set(strings.Repeat("gifdata", 100))
+		fmt.Fprintf(&page, `<IMG SRC="/img%d.gif"> `, i)
+	}
+	page.WriteString("</P></BODY></HTML>")
+	fac, err := snapshot.New(b.TempDir(), webclient.New(web), clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fac.SetEntityTracking(snapshot.EntityTrackingOptions{Enabled: true})
+	web.Site("h").Page("/gallery").Set(page.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration is a changed check-in (unique suffix).
+		body := page.String() + fmt.Sprintf("<!-- v%d -->", i)
+		if _, err := fac.RememberContent("", "http://h/gallery", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"aide/internal/htmldiff"
+	"aide/internal/lcs"
+	"aide/internal/rcs"
+	"aide/internal/simclock"
+	"aide/internal/websim"
+)
+
+// expLCS measures HtmlDiff's cost against document size and compares the
+// two LCS engines — the quadratic-space dynamic program and Hirschberg's
+// linear-space algorithm the paper cites — in time and allocated bytes.
+func expLCS(string) {
+	fmt.Println("    HtmlDiff wall time vs document size (5% of sentences edited):")
+	for _, kb := range []int{1, 4, 16, 64} {
+		oldDoc := syntheticDoc(kb * 1024)
+		newDoc := editFraction(oldDoc, 0.05)
+		start := time.Now()
+		const iters = 5
+		var stats htmldiff.Stats
+		for i := 0; i < iters; i++ {
+			stats = htmldiff.Diff(oldDoc, newDoc, htmldiff.Options{}).Stats
+		}
+		per := time.Since(start) / iters
+		fmt.Printf("      %3d KB: %10v per diff  (%d tokens, %d regions)\n",
+			kb, per.Round(10*time.Microsecond), stats.OldTokens, stats.Differences)
+	}
+
+	fmt.Println("    Hirschberg (linear space) vs quadratic DP on equal-weight tokens:")
+	fmt.Printf("      %-8s %14s %14s %14s %14s\n", "tokens", "DP time", "DP bytes", "Hirschberg", "Hb bytes")
+	for _, n := range []int{200, 500, 1000, 2000} {
+		a, b := tokenPair(n)
+		w := eqW{a, b}
+		dpT, dpB := measure(func() { lcs.DP(w) })
+		hbT, hbB := measure(func() { lcs.Hirschberg(w) })
+		fmt.Printf("      %-8d %14v %14s %14v %14s\n",
+			n, dpT.Round(10*time.Microsecond), kib(dpB), hbT.Round(10*time.Microsecond), kib(hbB))
+	}
+	fmt.Println("    (the paper's choice: same optimum, memory linear in the input)")
+}
+
+type eqW struct{ a, b []string }
+
+func (w eqW) LenA() int { return len(w.a) }
+func (w eqW) LenB() int { return len(w.b) }
+func (w eqW) Weight(i, j int) float64 {
+	if w.a[i] == w.b[j] {
+		return 1
+	}
+	return 0
+}
+
+func tokenPair(n int) (a, b []string) {
+	rng := rand.New(rand.NewSource(7))
+	a = make([]string, n)
+	for i := range a {
+		a[i] = fmt.Sprintf("tok%d", rng.Intn(50))
+	}
+	b = append([]string(nil), a...)
+	for i := 0; i < n; i += 10 {
+		b[i] = "edited"
+	}
+	return a, b
+}
+
+// measure times fn and reports bytes allocated during one run.
+func measure(fn func()) (time.Duration, uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc
+}
+
+func kib(b uint64) string { return fmt.Sprintf("%d KiB", b/1024) }
+
+// syntheticDoc builds an HTML document of roughly size bytes.
+func syntheticDoc(size int) string {
+	rng := rand.New(rand.NewSource(3))
+	var sb strings.Builder
+	sb.WriteString("<HTML><BODY>\n")
+	for sb.Len() < size {
+		fmt.Fprintf(&sb, "<P>%s</P>\n", websim.FillerSentences(rng, 3))
+	}
+	sb.WriteString("</BODY></HTML>\n")
+	return sb.String()
+}
+
+// editFraction rewrites roughly the given fraction of paragraphs, always
+// editing at least one so the comparison is never a pure no-op.
+func editFraction(doc string, frac float64) string {
+	lines := strings.Split(doc, "\n")
+	rng := rand.New(rand.NewSource(4))
+	edited := false
+	for i, l := range lines {
+		if strings.HasPrefix(l, "<P>") && (rng.Float64() < frac || !edited) {
+			lines[i] = fmt.Sprintf("<P>%s</P>", websim.FillerSentences(rng, 3))
+			edited = true
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// expRCS demonstrates the archive properties the snapshot facility
+// relies on (§4): unchanged check-ins are free, storage is head + small
+// reverse deltas, and any date maps to the version current then.
+func expRCS(string) {
+	dir, err := os.MkdirTemp("", "aide-rcs-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	clock := simclock.New(time.Time{})
+	arch := rcs.Open(filepath.Join(dir, "demo.html,v"), clock)
+
+	gen := websim.SizedChangeGenerator(1500, 50, 99)
+	var fullCopies int64
+	for step := 0; step < 20; step++ {
+		clock.Advance(24 * time.Hour)
+		body := gen(step)
+		if _, changed, err := arch.Checkin(body, "bench", ""); err != nil {
+			panic(err)
+		} else if changed {
+			fullCopies += int64(len(body))
+		}
+	}
+	size1 := arch.Size()
+	// A duplicate check-in must not grow the archive.
+	if _, changed, err := arch.Checkin(gen(19), "bench", ""); err != nil || changed {
+		panic(fmt.Sprintf("duplicate checkin: changed=%v err=%v", changed, err))
+	}
+	fmt.Printf("    20 versions of a ~10 KB page, ~50 words changed each time:\n")
+	fmt.Printf("      archive size:        %6.1f KB\n", float64(arch.Size())/1024)
+	fmt.Printf("      full-copy baseline:  %6.1f KB -> deltas save %.1fx\n",
+		float64(fullCopies)/1024, float64(fullCopies)/float64(arch.Size()))
+	fmt.Printf("      duplicate check-in:  archive unchanged at %.1f KB\n", float64(size1)/1024)
+
+	head, _ := arch.Head()
+	log, _ := arch.Log()
+	midDate := log[len(log)/2].Date
+	_, rev, err := arch.CheckoutAtDate(midDate.Add(time.Minute))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("      head %s; checkout at %s resolves to revision %s\n",
+		head, midDate.Add(time.Minute).Format("2006-01-02 15:04"), rev)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// expCache measures the §4.2 resource-utilization claims: "These loads
+// can be alleviated by caching the output of HtmlDiff for a while, so
+// many users who have seen versions N and N+1 of a page could retrieve
+// HtmlDiff(pageN, pageN+1) with a single invocation", and the archive
+// prune limit.
+func expCache(string) {
+	dir, err := os.MkdirTemp("", "aide-cache-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	page := web.Site("h").Page("/p")
+	page.Set(websim.USENIXSept)
+	fac, err := snapshot.New(dir, webclient.New(web), clock)
+	if err != nil {
+		panic(err)
+	}
+	fac.Remember("u@h", "http://h/p")
+	clock.Advance(time.Hour)
+	page.Set(websim.USENIXNov)
+	fac.Remember("u@h", "http://h/p")
+
+	const users = 200
+	start := time.Now()
+	for i := 0; i < users; i++ {
+		if _, err := fac.DiffRevs("http://h/p", "1.1", "1.2"); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("    %d users requested HtmlDiff(1.1, 1.2); HtmlDiff ran %d time(s), %d served from cache\n",
+		users, users-fac.DiffCacheHits(), fac.DiffCacheHits())
+	fmt.Printf("    total wall time %v (%.1f µs/user amortised)\n",
+		elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/users)
+
+	// The prune limit bounds archive growth for high-churn pages.
+	churn := web.Site("h").Page("/churn")
+	web.Evolve(churn, 24*time.Hour, websim.ReplaceGenerator("Churn", 400, 9))
+	for day := 0; day < 60; day++ {
+		web.Advance(24 * time.Hour)
+		fac.RememberContent("", "http://h/churn", churn.Current().Body)
+	}
+	stats, _ := fac.Storage()
+	var before int64
+	for _, u := range stats.PerURL {
+		if u.URL == "http://h/churn" {
+			before = u.Bytes
+		}
+	}
+	results, err := fac.Prune(10)
+	if err != nil {
+		panic(err)
+	}
+	stats, _ = fac.Storage()
+	var after int64
+	for _, u := range stats.PerURL {
+		if u.URL == "http://h/churn" {
+			after = u.Bytes
+		}
+	}
+	dropped := 0
+	for _, r := range results {
+		dropped += r.Dropped
+	}
+	fmt.Printf("    prune to 10 revisions: dropped %d revisions, churn archive %.0f KB -> %.0f KB\n",
+		dropped, float64(before)/1024, float64(after)/1024)
+}

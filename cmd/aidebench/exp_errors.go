@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/hotlist"
+	"aide/internal/simclock"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// expErrors exercises the §3.1 error-handling policies against a flaky
+// web: "Proxy-caching servers are sometimes overloaded to the point of
+// timing out large numbers of requests ... In general, however, it
+// seems that errors are likely to be transient, and checking the next
+// time w3newer is run is reasonable." The alternative flag "can tell
+// w3newer to treat error conditions as a successful check as far as the
+// URL's timestamp goes."
+//
+// The comparison: under intermittent timeouts, retry-next-run (the
+// default) finds more changes sooner at the price of more traffic to the
+// flaky hosts; errors-as-checked backs off to the normal cadence. The
+// skip-host policy caps how hard one sick host is hammered within a run.
+func expErrors(string) {
+	type cond struct {
+		name             string
+		errorsAsChecked  bool
+		skipHostAfterErr bool
+	}
+	conds := []cond{
+		{"retry next run (default)", false, false},
+		{"errors-as-checked", true, false},
+		{"default + skip-host-after-error", false, true},
+	}
+	fmt.Println("    100 URLs on 10 hosts, one host failing every 2nd request; 2d thresholds;")
+	fmt.Println("    30 daily runs; pages edit weekly.")
+	fmt.Printf("    %-36s %9s %9s %9s %9s\n",
+		"condition", "requests", "errors", "changed", "sick-host req")
+	for _, c := range conds {
+		reqs, errs, changed, sick := runErrorCondition(c.errorsAsChecked, c.skipHostAfterErr)
+		fmt.Printf("    %-36s %9d %9d %9d %9d\n", c.name, reqs, errs, changed, sick)
+	}
+}
+
+func runErrorCondition(errorsAsChecked, skipHost bool) (requests, errors, changed, sickHostReqs int) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	var entries []hotlist.Entry
+	for i := 0; i < 100; i++ {
+		host := fmt.Sprintf("h%d.example", i%10)
+		page := web.Site(host).Page(fmt.Sprintf("/p%d", i))
+		web.Evolve(page, 7*24*time.Hour, websim.EditGenerator("P", 6, int64(i)))
+		entries = append(entries, hotlist.Entry{URL: page.URL()})
+	}
+	sick := web.Site("h0.example")
+	sick.SetFailEvery(2)
+
+	cfg, err := w3config.ParseString("Default 2d\n")
+	if err != nil {
+		panic(err)
+	}
+	hist := hotlist.NewHistory()
+	tr := tracker.New(webclient.New(web), cfg, hist, clock)
+	tr.Opt.TreatErrorsAsChecked = errorsAsChecked
+	tr.Opt.SkipHostAfterError = skipHost
+
+	for day := 0; day < 30; day++ {
+		web.Advance(24 * time.Hour)
+		h0, g0 := web.TotalRequests()
+		for _, r := range tr.Run(entries) {
+			switch r.Status {
+			case tracker.Failed:
+				errors++
+			case tracker.Changed:
+				changed++
+				hist.Visit(r.Entry.URL, clock.Now())
+			}
+		}
+		h1, g1 := web.TotalRequests()
+		requests += (h1 - h0) + (g1 - g0)
+	}
+	sh, sg := sick.Requests()
+	return requests, errors, changed, sh + sg
+}

@@ -1,0 +1,73 @@
+// Command aidebench regenerates every table and figure of "Tracking and
+// Viewing Changes on the Web" (USENIX 1996) against this reproduction,
+// plus the quantitative claims of its prose (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	aidebench [-exp all|table1|fig1|fig2|storage|polling|serverside|lcs|rcs]
+//	          [-out DIR]
+//
+// HTML artifacts (the regenerated figures) are written into -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// experiment names in run order.
+var experiments = []struct {
+	name string
+	desc string
+	run  func(outDir string)
+}{
+	{"table1", "Table 1: w3newer threshold configuration semantics", expTable1},
+	{"fig1", "Figure 1: w3newer report over a mixed-state hotlist", expFig1},
+	{"fig2", "Figure 2: HtmlDiff merged page for two page versions", expFig2},
+	{"storage", "§7: archive growth for 500 URLs over 180 days", expStorage},
+	{"polling", "§3: w3newer skip optimisations vs poll-everything baseline", expPolling},
+	{"serverside", "§8.3: server-side tracking economy of scale", expServerSide},
+	{"lcs", "§5: HtmlDiff cost scaling and Hirschberg vs quadratic DP", expLCS},
+	{"cache", "§4.2: HtmlDiff output caching and archive pruning", expCache},
+	{"errors", "§3.1: error handling under intermittent host failures", expErrors},
+	{"match", "§5.1: sensitivity of the sentence-matching thresholds", expMatch},
+	{"rcs", "§4: RCS-style archive behaviour (no-op check-ins, deltas, dates)", expRCS},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	out := flag.String("out", "bench-out", "directory for HTML artifacts")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "aidebench:", err)
+		os.Exit(1)
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==> %s — %s\n", e.name, e.desc)
+		e.run(*out)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "aidebench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeArtifact saves a regenerated figure and reports where.
+func writeArtifact(outDir, name, content string) {
+	path := filepath.Join(outDir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "aidebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("    wrote %s (%d bytes)\n", path, len(content))
+}

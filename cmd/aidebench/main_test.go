@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExperimentsRun exercises the fast experiments end to end: each
+// must run without panicking and the figure experiments must write
+// their HTML artifacts. (The storage/polling/lcs experiments run for
+// seconds to minutes and are covered by the aidebench binary itself.)
+func TestExperimentsRun(t *testing.T) {
+	out := t.TempDir()
+	for _, e := range experiments {
+		switch e.name {
+		case "table1", "fig1", "fig2", "rcs", "cache", "serverside":
+			t.Run(e.name, func(t *testing.T) {
+				e.run(out)
+			})
+		}
+	}
+	for _, artifact := range []string{"fig1_report.html", "fig2_htmldiff.html", "fig2_reverse.html", "fig2_onlynew.html"} {
+		if fi, err := os.Stat(filepath.Join(out, artifact)); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", artifact, err)
+		}
+	}
+}
+
+// TestExperimentNamesUnique guards the registry.
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command htmldiff compares two HTML files and writes a merged page
+// showing the differences with AIDE's markup (struck-out deletions,
+// emphasised insertions, chained arrows), as described in §5 of
+// "Tracking and Viewing Changes on the Web" (USENIX 1996).
+//
+// Usage:
+//
+//	htmldiff [-mode merged|only-diffs|only-new] [-reverse]
+//	         [-max-change 0.8] [-title text] [-stats] old.html new.html
+//
+// The merged page is written to standard output. Like diff, the exit
+// status is 0 when the inputs match, 1 when they differ, 2 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aide/internal/htmldiff"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("htmldiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "merged", "presentation: merged, only-diffs, or only-new")
+	reverse := fs.Bool("reverse", false, "swap the sense of old and new")
+	maxChange := fs.Float64("max-change", 0, "suppress the merged view above this change fraction (0 disables)")
+	title := fs.String("title", "", "title for the banner")
+	coalesce := fs.Int("coalesce", 0, "merge difference regions separated by at most this many common tokens (0 disables)")
+	stats := fs.Bool("stats", false, "print comparison statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: htmldiff [flags] old.html new.html")
+		fs.PrintDefaults()
+		return 2
+	}
+	oldData, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "htmldiff:", err)
+		return 2
+	}
+	newData, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "htmldiff:", err)
+		return 2
+	}
+
+	opt := htmldiff.Options{
+		Reverse:           *reverse,
+		MaxChangeFraction: *maxChange,
+		CoalesceWithin:    *coalesce,
+		Title:             *title,
+	}
+	switch *mode {
+	case "merged":
+		opt.Mode = htmldiff.Merged
+	case "only-diffs":
+		opt.Mode = htmldiff.OnlyDifferences
+	case "only-new":
+		opt.Mode = htmldiff.OnlyNew
+	default:
+		fmt.Fprintf(stderr, "htmldiff: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	r := htmldiff.Diff(string(oldData), string(newData), opt)
+	fmt.Fprint(stdout, r.HTML)
+	if *stats {
+		fmt.Fprintf(stderr,
+			"tokens: %d old, %d new; %d common, %d modified, %d deleted, %d inserted; change fraction %.2f\n",
+			r.Stats.OldTokens, r.Stats.NewTokens, r.Stats.Common, r.Stats.Modified,
+			r.Stats.Deleted, r.Stats.Inserted, r.Stats.ChangeFraction)
+	}
+	if r.Stats.Changed() {
+		return 1 // like diff: nonzero when differences exist
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIdenticalExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.html", "<P>same content here.</P>")
+	b := writeFile(t, dir, "b.html", "<P>same content here.</P>")
+	var out, errb bytes.Buffer
+	if code := run([]string{a, b}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "No differences found") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunDifferentExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.html", "<P>old content sentence.</P>")
+	b := writeFile(t, dir, "b.html", "<P>new content sentence.</P>")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-stats", a, b}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "<STRONG><I>new") {
+		t.Errorf("merged output missing emphasis:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "change fraction") {
+		t.Errorf("stats missing:\n%s", errb.String())
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.html", "<P>shared text. removed sentence.</P>")
+	b := writeFile(t, dir, "b.html", "<P>shared text.</P>")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "only-new", a, b}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out.String(), "removed sentence") {
+		t.Errorf("only-new mode showed deleted text:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-mode", "bogus", a, b}, &out, &errb); code != 2 {
+		t.Fatalf("bogus mode exit = %d", code)
+	}
+}
+
+func TestRunUsageAndMissingFiles(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"onlyone.html"}, &out, &errb); code != 2 {
+		t.Fatalf("usage exit = %d", code)
+	}
+	if code := run([]string{"/no/such/a", "/no/such/b"}, &out, &errb); code != 2 {
+		t.Fatalf("missing file exit = %d", code)
+	}
+}

@@ -1,0 +1,177 @@
+// Command snapshotd runs the AIDE server: the snapshot facility's
+// endpoints (/remember, /diff, /history, /co, /rlog, /rcsdiff), the
+// integrated per-user reports (/report, /register, /seen), and the
+// community What's-New page (/whatsnew). Server-side tracking sweeps run
+// on a timer, checking every registered URL once per interval regardless
+// of how many users want it (§8.3).
+//
+// Usage:
+//
+//	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
+//	          [-sweep 1h] [-fixed fixed-urls.txt] [-forms] [-auth]
+//
+// -forms enables §8.4 form tracking (saved POST services under
+// /form/save, /form/list, /form/invoke); -auth switches the facility to
+// §4.2 authenticated mode (anonymous accounts via /account/new).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/formreg"
+	"aide/internal/robots"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "./aide-data", "data directory for archives and control files")
+	configPath := flag.String("config", "", "polling-threshold configuration (Table 1 format)")
+	sweep := flag.Duration("sweep", time.Hour, "server-side tracking sweep interval (0 disables)")
+	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
+	enableForms := flag.Bool("forms", false, "enable saved-form (POST service) tracking")
+	enableAuth := flag.Bool("auth", false, "require account authentication (anonymous accounts via /account/new)")
+	flag.Parse()
+
+	client := webclient.New(&webclient.HTTPTransport{})
+	fac, err := snapshot.New(*dataDir, client, nil)
+	if err != nil {
+		log.Fatal("snapshotd: ", err)
+	}
+	cfg := loadConfig(*configPath)
+	srv := aide.NewServer(fac, client, cfg, nil)
+	srv.Robots = robots.NewCache(func(url string) (int, string, error) {
+		info, err := client.Get(url)
+		return info.Status, info.Body, err
+	}, nil)
+
+	if *enableForms {
+		forms, err := formreg.New(*dataDir)
+		if err != nil {
+			log.Fatal("snapshotd: ", err)
+		}
+		srv.Forms = forms
+		fac.Forms = forms
+		log.Printf("snapshotd: form tracking enabled (%d saved forms)", len(forms.All()))
+	}
+
+	// Registrations and tracking state survive restarts.
+	statePath := filepath.Join(*dataDir, "aide-state.json")
+	if err := srv.LoadState(statePath); err != nil {
+		log.Fatal("snapshotd: ", err)
+	}
+
+	if *fixedPath != "" {
+		n, err := loadFixed(srv, *fixedPath)
+		if err != nil {
+			log.Fatal("snapshotd: ", err)
+		}
+		log.Printf("snapshotd: %d fixed pages loaded", n)
+	}
+
+	if *sweep > 0 {
+		go func() {
+			for {
+				stats := srv.TrackAll()
+				log.Printf("snapshotd: sweep: %d distinct, %d checked, %d skipped, %d new versions, %d errors, %d discovered",
+					stats.Distinct, stats.Checked, stats.Skipped, stats.NewVersions, stats.Errors, stats.Discovered)
+				if err := srv.SaveState(statePath); err != nil {
+					log.Printf("snapshotd: saving state: %v", err)
+				}
+				time.Sleep(*sweep)
+			}
+		}()
+	}
+
+	snapSrv := snapshot.NewServer(fac)
+	if *enableAuth {
+		accounts, err := snapshot.OpenAccounts(*dataDir)
+		if err != nil {
+			log.Fatal("snapshotd: ", err)
+		}
+		snapSrv.Accounts = accounts
+		log.Printf("snapshotd: authentication enabled (%d accounts)", accounts.Len())
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(snapSrv)}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("snapshotd: shutting down")
+		if err := srv.SaveState(statePath); err != nil {
+			log.Printf("snapshotd: saving state: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	log.Printf("snapshotd: serving on %s (data in %s)", *addr, *dataDir)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal("snapshotd: ", err)
+	}
+	log.Print("snapshotd: stopped")
+}
+
+func loadConfig(path string) *w3config.Config {
+	if path == "" {
+		cfg, err := w3config.ParseString("Default 1d\n")
+		if err != nil {
+			log.Fatal("snapshotd: ", err)
+		}
+		return cfg
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal("snapshotd: ", err)
+	}
+	defer f.Close()
+	cfg, err := w3config.Parse(f)
+	if err != nil {
+		log.Fatal("snapshotd: ", err)
+	}
+	return cfg
+}
+
+// loadFixed reads "url [title...]" lines into the fixed-page set.
+func loadFixed(srv *aide.Server, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		url, title, _ := strings.Cut(line, " ")
+		if title == "" {
+			title = url
+		}
+		srv.AddFixed(url, strings.TrimSpace(title))
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no fixed URLs in %s", path)
+	}
+	return n, nil
+}

@@ -1,0 +1,203 @@
+// Command w3newer is AIDE's modification tracker (§3), intended to run
+// periodically (a crontab entry in the paper): it reads the user's
+// hotlist and browser history, checks which pages have changed since the
+// user last saw them — skipping checks its thresholds and caches make
+// unnecessary — and writes an HTML report with Remember / Diff / History
+// links into the snapshot facility.
+//
+// Usage:
+//
+//	w3newer -hotlist bookmarks.html [-history history.txt]
+//	        [-config w3newer.cfg] [-priorities priorities.cfg]
+//	        [-state state.json]
+//	        [-snapshot http://host/snapshot] [-user you@example.com]
+//	        [-prioritize] [-ignore-robots] [-errors-as-checked]
+//	        [-every 1h] [-passes N] [-o report.html]
+//
+// With -every, w3newer runs as its own periodic daemon instead of
+// relying on cron: a pass every interval, regenerating the report each
+// time (-passes bounds the count; 0 means forever).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"aide/internal/hotlist"
+	"aide/internal/robots"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("w3newer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hotlistPath := fs.String("hotlist", "", "hotlist file (Netscape bookmarks or Mosaic hotlist)")
+	historyPath := fs.String("history", "", "browser global-history file (NCSA format)")
+	configPath := fs.String("config", "", "threshold configuration (Table 1 format); built-in defaults when absent")
+	prioritiesPath := fs.String("priorities", "", "Tapestry-style priority file (pattern weight per line)")
+	statePath := fs.String("state", "", "persistent state cache (JSON); enables cross-run skip logic")
+	snapshotBase := fs.String("snapshot", "", "base URL of the snapshot facility for report links")
+	user := fs.String("user", "", "identity passed to the snapshot facility")
+	out := fs.String("o", "", "report output file (default stdout)")
+	prioritize := fs.Bool("prioritize", false, "sort the report by priority instead of hotlist order")
+	ignoreRobots := fs.Bool("ignore-robots", false, "bypass the robot exclusion protocol")
+	errorsAsChecked := fs.Bool("errors-as-checked", false, "count failed checks against the polling threshold")
+	skipBadHosts := fs.Bool("skip-bad-hosts", true, "skip a host's remaining URLs after a transport error")
+	every := fs.Duration("every", 0, "repeat the pass on this interval (0 = single pass)")
+	passes := fs.Int("passes", 0, "with -every, stop after this many passes (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *hotlistPath == "" {
+		fmt.Fprintln(stderr, "w3newer: -hotlist is required")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "w3newer:", err)
+		return 1
+	}
+
+	entries, err := loadHotlist(*hotlistPath)
+	if err != nil {
+		return fail(err)
+	}
+	hist, err := loadHistory(*historyPath, entries)
+	if err != nil {
+		return fail(err)
+	}
+	cfg, err := loadConfig(*configPath)
+	if err != nil {
+		return fail(err)
+	}
+
+	client := webclient.New(&webclient.HTTPTransport{})
+	tr := tracker.New(client, cfg, hist, nil)
+	tr.Opt.TreatErrorsAsChecked = *errorsAsChecked
+	tr.Opt.SkipHostAfterError = *skipBadHosts
+	tr.Opt.IgnoreRobots = *ignoreRobots
+	tr.Robots = robots.NewCache(func(url string) (int, string, error) {
+		info, err := client.Get(url)
+		return info.Status, info.Body, err
+	}, nil)
+
+	if *statePath != "" {
+		if err := tr.LoadState(*statePath); err != nil {
+			fmt.Fprintln(stderr, "w3newer: warning:", err)
+		}
+	}
+
+	opts := tracker.ReportOptions{
+		SnapshotBase: *snapshotBase,
+		User:         *user,
+		Prioritize:   *prioritize,
+	}
+	if *prioritiesPath != "" {
+		f, err := os.Open(*prioritiesPath)
+		if err != nil {
+			return fail(err)
+		}
+		prio, perr := tracker.ParsePriorities(f)
+		f.Close()
+		if perr != nil {
+			return fail(perr)
+		}
+		opts.Prioritize = true
+		opts.Score = prio.Score
+	}
+
+	// onePass runs a check cycle and emits the report.
+	onePass := func() int {
+		results := tr.Run(entries)
+		if *statePath != "" {
+			if err := tr.SaveState(*statePath); err != nil {
+				fmt.Fprintln(stderr, "w3newer: warning: saving state:", err)
+			}
+		}
+		opts.Now = time.Now()
+		report := tracker.Report(results, opts)
+		if *out == "" {
+			fmt.Fprint(stdout, report)
+			return 0
+		}
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			return fail(err)
+		}
+		sum := tracker.Summary(results)
+		fmt.Fprintf(stderr, "w3newer: %d changed, %d unchanged, %d not checked, %d errors -> %s\n",
+			sum[tracker.Changed], sum[tracker.Unchanged],
+			sum[tracker.NotChecked]+sum[tracker.Excluded], sum[tracker.Failed], *out)
+		return 0
+	}
+
+	if *every <= 0 {
+		return onePass()
+	}
+	// Daemon mode: the paper ran w3newer from cron; -every builds the
+	// periodic behaviour in.
+	for pass := 1; ; pass++ {
+		if code := onePass(); code != 0 {
+			return code
+		}
+		if *passes > 0 && pass >= *passes {
+			return 0
+		}
+		time.Sleep(*every)
+	}
+}
+
+func loadHotlist(path string) ([]hotlist.Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hotlist.Parse(f)
+}
+
+// loadHistory reads the browser history; bookmark-embedded LAST_VISIT
+// times supplement it (Netscape keeps them in the bookmark file).
+func loadHistory(path string, entries []hotlist.Entry) (*hotlist.History, error) {
+	hist := hotlist.NewHistory()
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		hist, err = hotlist.ParseHistory(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range entries {
+		if !e.LastVisit.IsZero() {
+			hist.Visit(e.URL, e.LastVisit)
+		}
+	}
+	return hist, nil
+}
+
+func loadConfig(path string) (*w3config.Config, error) {
+	if path == "" {
+		return w3config.ParseString("Default 1d\nfile:.* 0\n")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return w3config.Parse(f)
+}

@@ -1,0 +1,39 @@
+// Command webweaver runs the WebWeaver wiki (§1): a WikiWikiWeb clone
+// that stores its version archive in AIDE's snapshot repository and uses
+// HtmlDiff to show each reader the differences from the version *they*
+// last read.
+//
+// Usage:
+//
+//	webweaver [-addr :8081] [-data ./webweaver-data] [-front FrontPage]
+//
+// Then browse to http://localhost:8081/?user=you — edit pages, follow
+// RecentChanges, and use "What changed?" for personalised diffs.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"aide/internal/snapshot"
+	"aide/internal/wiki"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	dataDir := flag.String("data", "./webweaver-data", "data directory for the page archive")
+	front := flag.String("front", "FrontPage", "the document served at /")
+	flag.Parse()
+
+	fac, err := snapshot.New(*dataDir, nil, nil)
+	if err != nil {
+		log.Fatal("webweaver: ", err)
+	}
+	w := wiki.New(fac, nil)
+	srv := wiki.NewServer(w)
+	srv.FrontPage = *front
+
+	log.Printf("webweaver: serving on %s (archive in %s)", *addr, *dataDir)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

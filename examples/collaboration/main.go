@@ -1,0 +1,145 @@
+// Collaboration: the WikiWikiWeb / WebWeaver scenario of §1.
+//
+// Several authors edit shared wiki pages; content changes anywhere on a
+// page, not just at the end, and "those changes may be too subtle to
+// notice". The wiki keeps its own version archive (as AT&T's WebWeaver
+// did, using AIDE's RCS store) and each reader uses HtmlDiff to see the
+// differences from the version *they* last read — personalised views,
+// unlike a shared RecentChanges page.
+//
+// Run:
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"aide/internal/rcs"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// wiki is a tiny WikiWikiWeb: pages edited in place, versioned through
+// the snapshot facility.
+type wiki struct {
+	fac   *snapshot.Facility
+	web   *websim.Web
+	clock *simclock.Sim
+}
+
+// edit applies an author's edit and archives the new version.
+func (w *wiki) edit(author, page, body string) {
+	w.web.Site("wiki.example.com").Page("/" + page).Set(body)
+	if _, err := w.fac.Remember(author, "http://wiki.example.com/"+page); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// read records that a reader has caught up with a page's current state.
+func (w *wiki) read(reader, page string) {
+	if _, err := w.fac.Remember(reader, "http://wiki.example.com/"+page); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// recentChanges is the wiki's RecentChanges page: documents sorted by
+// modification date, newest first.
+func (w *wiki) recentChanges() []rcs.Revision {
+	var all []rcs.Revision
+	urls, err := w.fac.ArchivedURLs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range urls {
+		revs, _, err := w.fac.History("", u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		head := revs[0]
+		head.Log = u // reuse Log to carry the URL for display
+		all = append(all, head)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Date.After(all[j].Date) })
+	return all
+}
+
+func main() {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	dataDir, err := os.MkdirTemp("", "aide-wiki-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	fac, err := snapshot.New(dataDir, webclient.New(web), clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := &wiki{fac: fac, web: web, clock: clock}
+
+	// Day 0: Ward seeds two pages; Fred reads both.
+	w.edit("ward", "PatternLanguage", `<HTML><BODY><H1>Pattern Language</H1>
+<P>A pattern language is a network of patterns that call upon one another.</P>
+<P>Patterns help us remember insights and knowledge about design.</P>
+</BODY></HTML>`)
+	w.edit("ward", "FrontPage", `<HTML><BODY><H1>Front Page</H1>
+<P>Welcome to the wiki. Start at the <A HREF="PatternLanguage">Pattern Language</A> page.</P>
+</BODY></HTML>`)
+	w.read("fred", "PatternLanguage")
+	w.read("fred", "FrontPage")
+
+	// Day 1: Tom makes a subtle mid-page edit — exactly the case where
+	// "content can be modified anywhere on the page, and those changes
+	// may be too subtle to notice".
+	clock.Advance(24 * time.Hour)
+	w.edit("tom", "PatternLanguage", `<HTML><BODY><H1>Pattern Language</H1>
+<P>A pattern language is a network of patterns that build upon one another.</P>
+<P>Patterns help us remember insights and knowledge about design.</P>
+</BODY></HTML>`)
+
+	// Day 2: Ward appends to the front page.
+	clock.Advance(24 * time.Hour)
+	w.edit("ward", "FrontPage", `<HTML><BODY><H1>Front Page</H1>
+<P>Welcome to the wiki. Start at the <A HREF="PatternLanguage">Pattern Language</A> page.</P>
+<P>New this week: a reading list is coming soon.</P>
+</BODY></HTML>`)
+
+	// RecentChanges: what the whole community sees.
+	fmt.Println("RecentChanges (newest first):")
+	for _, rev := range w.recentChanges() {
+		fmt.Printf("  %-42s rev %-4s %s by %s\n",
+			rev.Log, rev.Num, rev.Date.Format("Jan _2 15:04"), rev.Author)
+	}
+
+	// Fred's personalised view: HtmlDiff against the versions he read.
+	fmt.Println("\nFred's personalised diffs (vs the versions he last read):")
+	for _, page := range []string{"PatternLanguage", "FrontPage"} {
+		url := "http://wiki.example.com/" + page
+		diff, err := fac.DiffSinceSaved("fred", url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %d region(s): %d modified, %d inserted, %d deleted tokens\n",
+			page, diff.Stats.Differences, diff.Stats.Modified,
+			diff.Stats.Inserted, diff.Stats.Deleted)
+		if page == "PatternLanguage" {
+			// The subtle edit is visible: "call" became "build".
+			if strings.Contains(diff.HTML, "<STRIKE>call</STRIKE>") &&
+				strings.Contains(diff.HTML, "<STRONG><I>build</I></STRONG>") {
+				fmt.Println("                     the one-word edit is highlighted: call -> build")
+			}
+		}
+		if err := os.WriteFile("collab_"+page+".html", []byte(diff.HTML), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nmerged pages written to collab_PatternLanguage.html, collab_FrontPage.html")
+}

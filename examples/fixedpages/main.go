@@ -1,0 +1,109 @@
+// Fixed pages: the §8.2 community "What's New" service.
+//
+// A community of users shares interest in a fixed set of pages. The AIDE
+// server polls them, archives every change automatically the moment it
+// is detected, and publishes a generated What's-New page from which
+// anyone can jump straight into HtmlDiff for the latest change — or use
+// the History feature "to see earlier versions they may have missed".
+//
+// Run:
+//
+//	go run ./examples/fixedpages
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+func main() {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	client := webclient.New(web)
+
+	// The community's fixed set: three pages with different tempos.
+	mosaic := web.Site("www.ncsa.uiuc.edu").Page("/whats-new.html")
+	web.Evolve(mosaic, 24*time.Hour, websim.ReplaceGenerator("What's New in Mosaic", 300, 1))
+	mobile := web.Site("snapple.cs.washington.edu:600").Page("/mobile/")
+	web.Evolve(mobile, 48*time.Hour, websim.AppendGenerator("Mobile Computing", 2))
+	faq := web.Site("www.usenix.org").Page("/faq.html")
+	web.Evolve(faq, 7*24*time.Hour, websim.EditGenerator("USENIX FAQ", 8, 3))
+
+	dataDir, err := os.MkdirTemp("", "aide-fixed-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	fac, err := snapshot.New(dataDir, client, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := w3config.ParseString("Default 0\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := aide.NewServer(fac, client, cfg, clock)
+	srv.AddFixed("http://www.ncsa.uiuc.edu/whats-new.html", "What's New in Mosaic")
+	srv.AddFixed("http://snapple.cs.washington.edu:600/mobile/", "Mobile Computing")
+	srv.AddFixed("http://www.usenix.org/faq.html", "USENIX FAQ")
+
+	// Two weeks of daily sweeps: every change is archived automatically.
+	for day := 0; day < 14; day++ {
+		web.Advance(24 * time.Hour)
+		stats := srv.TrackAll()
+		if stats.NewVersions > 0 {
+			fmt.Printf("day %2d: %d page(s) changed and were auto-archived\n", day+1, stats.NewVersions)
+		}
+	}
+
+	// The community What's-New page.
+	fmt.Println("\nWhat's New (community view, newest first):")
+	for _, c := range srv.FixedChanges() {
+		fmt.Printf("  %-24s changed %s, now at rev %s\n",
+			c.Title, c.Changed.Format("Jan _2"), c.Rev)
+	}
+	if err := os.WriteFile("fixed_whatsnew.html", []byte(srv.WhatsNewHTML()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// History lets a user who was away see versions they missed.
+	revs, _, err := fac.History("", "http://snapple.cs.washington.edu:600/mobile/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMobile Computing history: %d versions archived (one per change)\n", len(revs))
+	if len(revs) >= 2 {
+		diff, err := fac.DiffRevs("http://snapple.cs.washington.edu:600/mobile/",
+			revs[len(revs)-1].Num, revs[0].Num)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HtmlDiff oldest->newest: %d items were added over the two weeks\n",
+			diff.Stats.Inserted)
+	}
+
+	// Note the §8.2 caveat: for the full-replacement Mosaic page,
+	// HtmlDiff is of little use — nearly everything differs.
+	mrevs, _, _ := fac.History("", "http://www.ncsa.uiuc.edu/whats-new.html")
+	if len(mrevs) >= 2 {
+		diff, err := fac.DiffRevs("http://www.ncsa.uiuc.edu/whats-new.html",
+			mrevs[1].Num, mrevs[0].Num)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMosaic what's-new page (full replacement each time): change fraction %.0f%%\n",
+			diff.Stats.ChangeFraction*100)
+		fmt.Println("— as §8.2 notes, when the entire contents are replaced, HtmlDiff has no use,")
+		fmt.Println("  and automatic archival is what lets users reach arbitrary old versions.")
+	}
+	fmt.Println("\ncommunity page written to fixed_whatsnew.html")
+}

@@ -1,0 +1,125 @@
+// Formwatch: tracking a POST service, the §8.4 extension.
+//
+// A CGI search service takes its input through an HTML form with
+// METHOD=POST, so ordinary URL tracking cannot reach it — "the input to
+// the service is not stored". The user saves the filled-out form with
+// AIDE instead; AIDE replays the stored input on every check, archives
+// the output when its checksum changes, and HtmlDiff shows what changed
+// in the results.
+//
+// Run:
+//
+//	go run ./examples/formwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/formreg"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+const user = "fred@research.att.com"
+
+func main() {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	client := webclient.New(web)
+
+	// A bibliography search service behind a POST form. Its result set
+	// grows as new papers appear in the database.
+	papers := []string{
+		"Scale and performance in a distributed file system",
+		"Caching in the Sprite network file system",
+	}
+	svc := web.Site("bib.example.org").Page("/cgi-bin/search")
+	svc.SetForm(func(form url.Values, _ int) string {
+		var sb strings.Builder
+		sb.WriteString("<HTML><BODY><H1>Results for " + form.Get("q") + "</H1>\n<UL>\n")
+		for _, p := range papers {
+			if strings.Contains(strings.ToLower(p), strings.ToLower(form.Get("q"))) {
+				sb.WriteString("<LI>" + p + "\n")
+			}
+		}
+		sb.WriteString("</UL>\n</BODY></HTML>\n")
+		return sb.String()
+	})
+
+	// AIDE server with form tracking enabled.
+	dataDir, err := os.MkdirTemp("", "aide-formwatch-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	fac, err := snapshot.New(dataDir, client, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forms, err := formreg.New(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fac.Forms = forms
+	cfg, err := w3config.ParseString("Default 0\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := aide.NewServer(fac, client, cfg, clock)
+	srv.Forms = forms
+
+	// The user saves their filled-out form once.
+	saved, err := forms.Save("file-system papers",
+		"http://bib.example.org/cgi-bin/search", url.Values{"q": {"file system"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Register(user, aide.Registration{URL: saved.PseudoURL(), Title: "File-system papers"})
+	fmt.Printf("saved form -> trackable pseudo-URL %s\n", saved.PseudoURL())
+
+	// First sweep records the baseline output.
+	srv.TrackAll()
+	srv.MarkSeen(user, saved.PseudoURL())
+	fmt.Println("day 0: baseline result set archived as revision 1.1")
+
+	// Days pass; nothing changes; sweeps stay quiet.
+	for day := 1; day <= 3; day++ {
+		web.Advance(24 * time.Hour)
+		if s := srv.TrackAll(); s.NewVersions != 0 {
+			log.Fatalf("unexpected change on day %d", day)
+		}
+	}
+	fmt.Println("day 1-3: service output unchanged; no new versions")
+
+	// A new paper lands in the bibliography.
+	web.Advance(24 * time.Hour)
+	papers = append(papers, "Tracking and viewing changes in a distributed file system world")
+	stats := srv.TrackAll()
+	fmt.Printf("day 4: checksum changed -> %d new version archived\n", stats.NewVersions)
+
+	// The user's report flags the form, and HtmlDiff shows the addition.
+	rows := srv.ReportFor(user)
+	fmt.Printf("report: %q changed=%v (head %s, you saw %s)\n",
+		rows[0].Title, rows[0].Changed, rows[0].HeadRev, rows[0].SeenRev)
+	diff, err := fac.DiffRevs(saved.PseudoURL(), "1.1", "1.2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HtmlDiff: %d inserted token(s)\n", diff.Stats.Inserted)
+	if strings.Contains(diff.HTML, "<STRONG><I>Tracking") {
+		fmt.Println("the new paper is emphasized in the merged page")
+	}
+	if err := os.WriteFile("formwatch_diff.html", []byte(diff.HTML), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("merged page written to formwatch_diff.html")
+}

@@ -1,0 +1,127 @@
+// Virtual library: the §8.3 hierarchical (recursive) tracking scenario.
+//
+// "Virtual Library pages contain many links to other pages within some
+// subject area and have a number of links added at a time; a bulletin
+// that announces that '10 new links have been added' will not point the
+// user to the specific locations." A single registration with the
+// recursive flag makes the AIDE server follow the library's same-host
+// links and track each referenced page too, so the user is notified
+// whenever any of them changes — without adding them one by one.
+//
+// Run:
+//
+//	go run ./examples/virtuallibrary
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+const user = "reader@research.att.com"
+
+func main() {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	client := webclient.New(web)
+
+	// The virtual library: an index page linking to topic pages on the
+	// same host, plus one external link (not followed).
+	lib := web.Site("vlib.example.org")
+	lib.Page("/networking/").Set(`<HTML><BODY><H1>Virtual Library: Networking</H1>
+<UL>
+<LI><A HREF="/networking/protocols.html">Protocols</A>
+<LI><A HREF="/networking/caching.html">Caching and replication</A>
+<LI><A HREF="/networking/mobile.html">Mobile systems</A>
+<LI><A HREF="http://elsewhere.example.com/">An external resource</A>
+</UL>
+</BODY></HTML>`)
+	protocols := lib.Page("/networking/protocols.html")
+	web.Evolve(protocols, 3*24*time.Hour, websim.EditGenerator("Protocols", 6, 1))
+	caching := lib.Page("/networking/caching.html")
+	web.Evolve(caching, 5*24*time.Hour, websim.AppendGenerator("Caching", 2))
+	lib.Page("/networking/mobile.html").Set(
+		websim.StaticGenerator("Mobile systems", 100, 3)(0))
+	web.Site("elsewhere.example.com").Page("/").Set("external\n")
+
+	dataDir, err := os.MkdirTemp("", "aide-vlib-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	fac, err := snapshot.New(dataDir, client, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := w3config.ParseString("Default 1d\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := aide.NewServer(fac, client, cfg, clock)
+
+	// One registration covers the whole subject area.
+	srv.Register(user, aide.Registration{
+		URL:       "http://vlib.example.org/networking/",
+		Title:     "Virtual Library: Networking",
+		Recursive: true,
+	})
+
+	stats := srv.TrackAll()
+	total, derived := srv.TrackedCount()
+	fmt.Printf("after the first sweep: %d URLs tracked (%d discovered from the index)\n",
+		total, derived)
+	fmt.Printf("discovered this sweep: %d (the external link was not followed)\n", stats.Discovered)
+
+	// A week passes; the topic pages change on their own schedules.
+	newVersions := 0
+	for day := 0; day < 7; day++ {
+		web.Advance(24 * time.Hour)
+		s := srv.TrackAll()
+		newVersions += s.NewVersions
+	}
+	fmt.Printf("over one week: %d new versions auto-archived across the library\n", newVersions)
+
+	// The reader's report covers the registered root; the discovered
+	// pages are archived and diffable even though they were never
+	// registered individually.
+	urls, err := fac.ArchivedURLs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\narchived URLs:")
+	for _, u := range urls {
+		revs, _, err := fac.History(user, u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-48s %d version(s)\n", u, len(revs))
+	}
+
+	// Drill into the page with the most history.
+	const hot = "http://vlib.example.org/networking/protocols.html"
+	revs, _, err := fac.History(user, hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(revs) >= 2 {
+		diff, err := fac.DiffRevs(hot, revs[1].Num, revs[0].Num)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := "vlib_protocols_diff.html"
+		if err := os.WriteFile(out, []byte(diff.HTML), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nlatest change to %s:\n  %d region(s); merged page written to %s\n",
+			hot, diff.Stats.Differences, out)
+	}
+}

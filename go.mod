@@ -1,0 +1,3 @@
+module aide
+
+go 1.24

@@ -1,0 +1,198 @@
+package bench
+
+// Full-stack integration tests: the §6 loop closed end to end over real
+// HTTP sockets. w3newer generates a report whose Remember / Diff /
+// History links point into a running AIDE server; this test clicks
+// those links the way a 1996 browser would and checks the whole story —
+// tracking, archiving, and HtmlDiff — holds together.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/aide"
+	"aide/internal/hotlist"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// integrationRig boots the synthetic web and the AIDE server, both on
+// real HTTP listeners.
+type integrationRig struct {
+	clock   *simclock.Sim
+	web     *websim.Web
+	webSrv  *httptest.Server
+	aideSrv *httptest.Server
+	fac     *snapshot.Facility
+	server  *aide.Server
+}
+
+func newIntegrationRig(t *testing.T) *integrationRig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	webSrv := httptest.NewServer(web.Handler())
+	t.Cleanup(webSrv.Close)
+
+	client := webclient.New(&webclient.HTTPTransport{}) // real sockets
+	fac, err := snapshot.New(t.TempDir(), client, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := w3config.ParseString("Default 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := aide.NewServer(fac, client, cfg, clock)
+	snapSrv := snapshot.NewServer(fac)
+	snapSrv.KeepaliveInterval = 0
+	aideSrv := httptest.NewServer(server.Handler(snapSrv))
+	t.Cleanup(aideSrv.Close)
+	return &integrationRig{
+		clock: clock, web: web, webSrv: webSrv,
+		aideSrv: aideSrv, fac: fac, server: server,
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestFullLoopReportLinksWork drives the paper's Figure 1 -> §6 flow:
+// run w3newer, follow its Remember link, let the page change, follow the
+// Diff link, and check History.
+func TestFullLoopReportLinksWork(t *testing.T) {
+	rig := newIntegrationRig(t)
+	const user = "douglis@research.att.com"
+
+	page := rig.web.Site("www.usenix.org").Page("/")
+	page.Set(websim.USENIXSept)
+	pageURL := rig.webSrv.URL + "/www.usenix.org/"
+
+	// 1. w3newer pass over real HTTP, report links into the AIDE server.
+	hist := hotlist.NewHistory()
+	hist.Visit(pageURL, time.Now()) // wall clock: the transport is real
+	tr := tracker.New(webclient.New(&webclient.HTTPTransport{}),
+		mustCfg(t, "Default 0\n"), hist, nil)
+	entries := []hotlist.Entry{{URL: pageURL, Title: "USENIX Association"}}
+	results := tr.Run(entries)
+	report := tracker.Report(results, tracker.ReportOptions{
+		SnapshotBase: rig.aideSrv.URL,
+		User:         user,
+	})
+	if !strings.Contains(report, "USENIX Association") {
+		t.Fatalf("report:\n%s", report)
+	}
+
+	// 2. Click "Remember".
+	rememberLink := extractLink(t, report, `/remember\?[^"]+`)
+	code, body := httpGet(t, rig.aideSrv.URL+rememberLink)
+	if code != 200 || !strings.Contains(body, "saved as revision 1.1") {
+		t.Fatalf("remember link: %d\n%s", code, body)
+	}
+
+	// 3. The page changes out on the web.
+	page.Set(websim.USENIXNov)
+
+	// 4. Click "Diff": HtmlDiff against the saved version, live fetch.
+	diffLink := extractLink(t, report, `/diff\?[^"]+`)
+	code, body = httpGet(t, rig.aideSrv.URL+diffLink)
+	if code != 200 {
+		t.Fatalf("diff link code = %d", code)
+	}
+	if !strings.Contains(body, "<STRIKE>") || !strings.Contains(body, "usenix96.html") {
+		t.Fatalf("diff content:\n%s", body)
+	}
+
+	// 5. Remember again, then "History" lists both revisions with a
+	// working view link.
+	httpGet(t, rig.aideSrv.URL+rememberLink)
+	historyLink := extractLink(t, report, `/history\?[^"]+`)
+	code, body = httpGet(t, rig.aideSrv.URL+historyLink)
+	if code != 200 || !strings.Contains(body, "1.2") {
+		t.Fatalf("history link: %d\n%s", code, body)
+	}
+	viewLink := extractLink(t, body, `/co\?[^"]+`)
+	code, body = httpGet(t, rig.aideSrv.URL+unescapeAmp(viewLink))
+	if code != 200 || !strings.Contains(body, "<BASE HREF=") {
+		t.Fatalf("co link: %d\n%s", code, body)
+	}
+}
+
+// TestServerSideLoopOverHTTP drives the §8.3 flow: register, sweep,
+// per-user report, catch up, repeat.
+func TestServerSideLoopOverHTTP(t *testing.T) {
+	rig := newIntegrationRig(t)
+	const user = "tball@research.att.com"
+	page := rig.web.Site("h.example").Page("/paper.html")
+	page.Set("<P>draft one of the paper.</P>")
+	pageURL := rig.webSrv.URL + "/h.example/paper.html"
+
+	code, _ := httpGet(t, rig.aideSrv.URL+"/register?user="+url.QueryEscape(user)+
+		"&url="+url.QueryEscape(pageURL)+"&title=The+Paper")
+	if code != 200 {
+		t.Fatalf("register: %d", code)
+	}
+	rig.server.TrackAll()
+
+	code, body := httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
+	if code != 200 || !strings.Contains(body, "<B>Changed</B>") {
+		t.Fatalf("report 1: %d\n%s", code, body)
+	}
+	// Catch up, then the report shows current.
+	httpGet(t, rig.aideSrv.URL+"/seen?user="+url.QueryEscape(user)+"&url="+url.QueryEscape(pageURL))
+	_, body = httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
+	if !strings.Contains(body, "you are current at revision 1.1") {
+		t.Fatalf("report 2:\n%s", body)
+	}
+	// The page changes; the sweep archives it; the report flips back.
+	rig.web.Advance(24 * time.Hour) // a later Last-Modified
+	page.Set("<P>draft two of the paper.</P>")
+	rig.server.TrackAll()
+	_, body = httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
+	if !strings.Contains(body, "revision 1.2") || !strings.Contains(body, "<B>Changed</B>") {
+		t.Fatalf("report 3:\n%s", body)
+	}
+}
+
+func mustCfg(t *testing.T, src string) *w3config.Config {
+	t.Helper()
+	cfg, err := w3config.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// extractLink pulls the first link matching pattern out of an HTML page.
+func extractLink(t *testing.T, html, pattern string) string {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindString(html)
+	if m == "" {
+		t.Fatalf("no link matching %q in:\n%s", pattern, html)
+	}
+	return m
+}
+
+// unescapeAmp undoes the minimal HTML escaping in extracted hrefs.
+func unescapeAmp(s string) string { return strings.ReplaceAll(s, "&amp;", "&") }

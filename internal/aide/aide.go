@@ -1,0 +1,415 @@
+// Package aide integrates the three tools — w3newer, snapshot, and
+// HtmlDiff — into the AT&T Internet Difference Engine (§6), and
+// implements the paper's server-side extensions:
+//
+//   - §7/§8.3 server-side URL tracking: every URL registered by any user
+//     is checked once per sweep regardless of how many users want it;
+//     changed pages are archived automatically, and each user's report
+//     is computed against the versions that user has seen.
+//   - §8.2 fixed pages: a community page set that is archived on every
+//     change, with a generated "What's New" page linking to HtmlDiff.
+//   - §8.3 recursive tracking: a registered page can be tracked
+//     hierarchically — its same-host links are followed one hop and
+//     tracked too (Virtual Library pages, collections of related pages).
+package aide
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aide/internal/formreg"
+	"aide/internal/htmldoc"
+	"aide/internal/robots"
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+)
+
+// Registration is one user's interest in a URL.
+type Registration struct {
+	// URL is the tracked location.
+	URL string
+	// Title is the descriptive text for reports.
+	Title string
+	// Recursive asks the server to also track the page's same-host
+	// links, one hop deep (§8.3).
+	Recursive bool
+}
+
+// urlState is the server's per-URL tracking memory.
+type urlState struct {
+	lastChecked time.Time
+	lastMod     time.Time
+	checksum    string
+	errCount    int
+	lastErr     error
+	// derivedFrom is set for URLs discovered by recursive tracking.
+	derivedFrom string
+	// title is the best-known descriptive text.
+	title string
+	// recursive marks roots whose links are followed.
+	recursive bool
+	// fixed marks members of the community fixed-page set (§8.2).
+	fixed bool
+	// lastNewRev is the archive revision created by the most recent
+	// change, with its detection time.
+	lastNewRev  string
+	lastNewTime time.Time
+}
+
+// SweepStats summarises one TrackAll pass.
+type SweepStats struct {
+	// Distinct is the number of distinct URLs considered.
+	Distinct int
+	// Checked is how many were actually polled this sweep.
+	Checked int
+	// Skipped is how many the thresholds suppressed.
+	Skipped int
+	// NewVersions is how many changed pages were auto-archived.
+	NewVersions int
+	// Errors is how many checks failed.
+	Errors int
+	// Discovered is how many new URLs recursive tracking added.
+	Discovered int
+}
+
+// Server is the AIDE server: registrations, the shared tracking state,
+// and the snapshot facility.
+type Server struct {
+	// Facility stores the versions.
+	Facility *snapshot.Facility
+	// Client performs the checks and fetches.
+	Client *webclient.Client
+	// Config holds the polling thresholds.
+	Config *w3config.Config
+	// Robots, when non-nil, enforces the exclusion protocol for the
+	// server's robot sweeps.
+	Robots *robots.Cache
+	// Forms, when non-nil, resolves form:<id> pseudo-URLs so saved POST
+	// services can be tracked server-side (§8.4).
+	Forms *formreg.Registry
+	// Clock provides time.
+	Clock simclock.Clock
+
+	mu    sync.Mutex
+	users map[string][]Registration
+	urls  map[string]*urlState
+}
+
+// NewServer wires an AIDE server.
+func NewServer(fac *snapshot.Facility, client *webclient.Client, cfg *w3config.Config, clock simclock.Clock) *Server {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Server{
+		Facility: fac,
+		Client:   client,
+		Config:   cfg,
+		Clock:    clock,
+		users:    make(map[string][]Registration),
+		urls:     make(map[string]*urlState),
+	}
+}
+
+// Register records a user's interest in a URL. Registering the same URL
+// again updates the title and recursive flag.
+func (s *Server) Register(user string, reg Registration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := s.users[user]
+	found := false
+	for i := range regs {
+		if regs[i].URL == reg.URL {
+			regs[i] = reg
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.users[user] = append(regs, reg)
+	}
+	st := s.stateLocked(reg.URL)
+	if reg.Title != "" {
+		st.title = reg.Title
+	}
+	st.recursive = st.recursive || reg.Recursive
+}
+
+// AddFixed adds a URL to the community fixed-page set: it is archived
+// automatically as soon as a change is detected (§8.2).
+func (s *Server) AddFixed(url, title string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stateLocked(url)
+	st.fixed = true
+	if title != "" {
+		st.title = title
+	}
+}
+
+// Registrations returns a copy of a user's registrations, sorted by URL.
+func (s *Server) Registrations(user string) []Registration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := append([]Registration(nil), s.users[user]...)
+	sort.Slice(regs, func(i, j int) bool { return regs[i].URL < regs[j].URL })
+	return regs
+}
+
+// stateLocked returns (creating) the state for url; s.mu must be held.
+func (s *Server) stateLocked(url string) *urlState {
+	st, ok := s.urls[url]
+	if !ok {
+		st = &urlState{}
+		s.urls[url] = st
+	}
+	return st
+}
+
+// trackedURLs snapshots the distinct URL set.
+func (s *Server) trackedURLs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	urls := make([]string, 0, len(s.urls))
+	for u := range s.urls {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// TrackAll performs one server-side sweep: each distinct URL is checked
+// at most once (§8.3's economy of scale), changed pages are archived
+// automatically, and recursive roots contribute their links to the
+// tracked set.
+func (s *Server) TrackAll() SweepStats {
+	var stats SweepStats
+	for _, url := range s.trackedURLs() {
+		s.trackOne(url, &stats)
+	}
+	stats.Distinct = len(s.trackedURLs())
+	return stats
+}
+
+// trackOne checks a single URL and updates its state and the archive.
+func (s *Server) trackOne(url string, stats *SweepStats) {
+	now := s.Clock.Now()
+	s.mu.Lock()
+	st := s.stateLocked(url)
+	th := s.Config.ThresholdFor(url)
+	skip := th.Never || (th.Every > 0 && !st.lastChecked.IsZero() && now.Sub(st.lastChecked) < th.Every)
+	recursive := st.recursive
+	s.mu.Unlock()
+	if skip {
+		stats.Skipped++
+		return
+	}
+	if s.Robots != nil && !s.Robots.Allowed(url) {
+		stats.Skipped++
+		s.mu.Lock()
+		st.lastChecked = now
+		s.mu.Unlock()
+		return
+	}
+
+	stats.Checked++
+	var info webclient.PageInfo
+	var err error
+	if s.Forms != nil && formreg.IsFormURL(url) {
+		info, err = s.Forms.Invoke(s.Client, url)
+	} else {
+		info, err = s.Client.Check(url)
+	}
+	if err == nil {
+		if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+			err = fmt.Errorf("HTTP status %d (%s)", info.Status, kind)
+		}
+	}
+	s.mu.Lock()
+	st.lastChecked = now
+	if err != nil {
+		st.errCount++
+		st.lastErr = err
+		s.mu.Unlock()
+		stats.Errors++
+		return
+	}
+	st.errCount = 0
+	st.lastErr = nil
+
+	changed := false
+	switch {
+	case info.HasLastModified:
+		changed = st.lastMod.IsZero() || info.LastModified.After(st.lastMod)
+		st.lastMod = info.LastModified
+	default:
+		changed = st.checksum == "" || st.checksum != info.Checksum
+		st.checksum = info.Checksum
+	}
+	s.mu.Unlock()
+
+	if !changed {
+		return
+	}
+	body := info.Body
+	if !info.HasBody {
+		full, err := s.Client.Get(url)
+		if err != nil {
+			stats.Errors++
+			s.mu.Lock()
+			st.errCount++
+			st.lastErr = err
+			s.mu.Unlock()
+			return
+		}
+		body = full.Body
+	}
+	res, err := s.Facility.RememberContent("", url, body)
+	if err != nil {
+		stats.Errors++
+		return
+	}
+	if res.Changed {
+		stats.NewVersions++
+		s.mu.Lock()
+		st.lastNewRev = res.Rev
+		st.lastNewTime = now
+		s.mu.Unlock()
+	}
+	if recursive {
+		stats.Discovered += s.discoverLinks(url, body)
+	}
+}
+
+// discoverLinks adds a recursive root's same-host links to the tracked
+// set (one hop: discovered pages are not themselves recursive).
+func (s *Server) discoverLinks(rootURL, body string) int {
+	added := 0
+	seen := map[string]bool{}
+	for _, href := range htmldoc.Links(body) {
+		link := htmldoc.ResolveLink(rootURL, href)
+		if link == "" || link == rootURL || seen[link] || !htmldoc.SameHost(rootURL, link) {
+			continue
+		}
+		seen[link] = true
+		s.mu.Lock()
+		if _, exists := s.urls[link]; !exists {
+			st := s.stateLocked(link)
+			st.derivedFrom = rootURL
+			st.title = "(via " + rootURL + ")"
+			added++
+		}
+		s.mu.Unlock()
+	}
+	return added
+}
+
+// UserRow is one line of a user's server-side report.
+type UserRow struct {
+	// Registration echoes the user's entry.
+	Registration
+	// HeadRev is the newest archived revision ("" when never archived).
+	HeadRev string
+	// HeadDate is the newest revision's check-in time.
+	HeadDate time.Time
+	// SeenRev is the newest revision this user has seen ("" if none).
+	SeenRev string
+	// Changed reports whether the archive is ahead of the user.
+	Changed bool
+	// Err carries the URL's most recent check failure.
+	Err error
+}
+
+// ReportFor computes a user's view of the shared tracking state: which
+// of their pages have versions they have not seen (§8.3: "a user could
+// request a list of all pages that have been saved away, and get an
+// indication of which pages have changed since they were saved by the
+// user").
+func (s *Server) ReportFor(user string) []UserRow {
+	regs := s.Registrations(user)
+	rows := make([]UserRow, 0, len(regs))
+	for _, reg := range regs {
+		row := UserRow{Registration: reg}
+		s.mu.Lock()
+		if st, ok := s.urls[reg.URL]; ok && st.lastErr != nil {
+			row.Err = st.lastErr
+		}
+		s.mu.Unlock()
+		revs, seen, err := s.Facility.History(user, reg.URL)
+		if err == nil && len(revs) > 0 {
+			row.HeadRev = revs[0].Num
+			row.HeadDate = revs[0].Date
+			for _, r := range revs {
+				if seen[r.Num] {
+					row.SeenRev = r.Num
+					break // newest-first: first hit is newest seen
+				}
+			}
+			row.Changed = !seen[row.HeadRev]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// MarkSeen records that the user has now seen the head revision of url
+// (the user followed the Diff link and caught up). Checking the head
+// text in again is a no-op for the archive but updates the user's
+// control file.
+func (s *Server) MarkSeen(user, url string) error {
+	text, err := s.Facility.Checkout(url, "")
+	if err != nil {
+		return err
+	}
+	_, err = s.Facility.RememberContent(user, url, text)
+	return err
+}
+
+// FixedChange is one entry of the community "What's New" page.
+type FixedChange struct {
+	URL     string
+	Title   string
+	Rev     string
+	Changed time.Time
+}
+
+// FixedChanges lists the fixed-page set's most recent changes, newest
+// first — the data behind the §8.2 "specialized What's New page".
+func (s *Server) FixedChanges() []FixedChange {
+	s.mu.Lock()
+	var out []FixedChange
+	for url, st := range s.urls {
+		if !st.fixed || st.lastNewRev == "" {
+			continue
+		}
+		title := st.title
+		if title == "" {
+			title = url
+		}
+		out = append(out, FixedChange{URL: url, Title: title, Rev: st.lastNewRev, Changed: st.lastNewTime})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Changed.Equal(out[j].Changed) {
+			return out[i].Changed.After(out[j].Changed)
+		}
+		return out[i].URL < out[j].URL
+	})
+	return out
+}
+
+// TrackedCount returns the number of distinct URLs under management and
+// how many were discovered recursively.
+func (s *Server) TrackedCount() (total, derived int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.urls {
+		if st.derivedFrom != "" {
+			derived++
+		}
+	}
+	return len(s.urls), derived
+}

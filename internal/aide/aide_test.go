@@ -1,0 +1,304 @@
+package aide
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+const (
+	userA = "douglis@research.att.com"
+	userB = "tball@research.att.com"
+)
+
+type rig struct {
+	web   *websim.Web
+	clock *simclock.Sim
+	fac   *snapshot.Facility
+	srv   *Server
+}
+
+func newRig(t *testing.T, cfgSrc string) *rig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	client := webclient.New(web)
+	fac, err := snapshot.New(t.TempDir(), client, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := w3config.ParseString(cfgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{web: web, clock: clock, fac: fac, srv: NewServer(fac, client, cfg, clock)}
+}
+
+func TestSharedURLCheckedOnce(t *testing.T) {
+	// §8.3: "Regardless of how many users have registered an interest in
+	// a page, it need only be checked once."
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h").Page("/popular").Set("content v1\n")
+	for u := 0; u < 50; u++ {
+		r.srv.Register(fmt.Sprintf("user%d@att.com", u), Registration{URL: "http://h/popular"})
+	}
+	stats := r.srv.TrackAll()
+	if stats.Checked != 1 {
+		t.Fatalf("checked = %d, want 1 for 50 users", stats.Checked)
+	}
+	heads, gets := r.web.TotalRequests()
+	if heads+gets > 2 { // one HEAD + one GET for the initial archive
+		t.Errorf("origin saw %d requests for 50 users", heads+gets)
+	}
+}
+
+func TestAutoArchiveOnChange(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "Page P"})
+
+	stats := r.srv.TrackAll()
+	if stats.NewVersions != 1 {
+		t.Fatalf("first sweep: %+v", stats)
+	}
+	// No change: no new version, still checked.
+	stats = r.srv.TrackAll()
+	if stats.NewVersions != 0 || stats.Checked != 1 {
+		t.Fatalf("no-change sweep: %+v", stats)
+	}
+	// Page changes: auto-archived.
+	r.web.Advance(24 * time.Hour)
+	p.Set("v2\n")
+	stats = r.srv.TrackAll()
+	if stats.NewVersions != 1 {
+		t.Fatalf("change sweep: %+v", stats)
+	}
+	revs, _, err := r.fac.History("", "http://h/p")
+	if err != nil || len(revs) != 2 {
+		t.Fatalf("archive revisions = %d err=%v", len(revs), err)
+	}
+}
+
+func TestThresholdSuppressesSweepChecks(t *testing.T) {
+	r := newRig(t, "Default 2d\n")
+	r.web.Site("h").Page("/p").Set("v1\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p"})
+	r.srv.TrackAll()
+	r.web.ResetRequestCounts()
+
+	// One hour later: within the 2d threshold — skipped.
+	r.web.Advance(time.Hour)
+	stats := r.srv.TrackAll()
+	if stats.Skipped != 1 || stats.Checked != 0 {
+		t.Fatalf("within threshold: %+v", stats)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("requests issued within threshold: %d", h+g)
+	}
+	// Three days later: checked again.
+	r.web.Advance(72 * time.Hour)
+	stats = r.srv.TrackAll()
+	if stats.Checked != 1 {
+		t.Fatalf("past threshold: %+v", stats)
+	}
+}
+
+func TestPerUserReportAgainstSharedState(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
+	r.srv.Register(userB, Registration{URL: "http://h/p", Title: "P"})
+	r.srv.TrackAll()
+
+	// Neither user has seen anything yet: both see "changed".
+	rowsA := r.srv.ReportFor(userA)
+	if len(rowsA) != 1 || !rowsA[0].Changed || rowsA[0].HeadRev != "1.1" {
+		t.Fatalf("user A rows = %+v", rowsA)
+	}
+
+	// A catches up; B does not.
+	if err := r.srv.MarkSeen(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	rowsA = r.srv.ReportFor(userA)
+	if rowsA[0].Changed || rowsA[0].SeenRev != "1.1" {
+		t.Fatalf("user A after seen: %+v", rowsA[0])
+	}
+	rowsB := r.srv.ReportFor(userB)
+	if !rowsB[0].Changed {
+		t.Fatalf("user B: %+v", rowsB[0])
+	}
+
+	// The page changes and is re-archived: A is behind again.
+	r.web.Advance(time.Hour)
+	p.Set("v2\n")
+	r.srv.TrackAll()
+	rowsA = r.srv.ReportFor(userA)
+	if !rowsA[0].Changed || rowsA[0].SeenRev != "1.1" || rowsA[0].HeadRev != "1.2" {
+		t.Fatalf("user A after new version: %+v", rowsA[0])
+	}
+}
+
+func TestMarkSeenWithoutArchiveErrors(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	if err := r.srv.MarkSeen(userA, "http://h/never-archived"); err == nil {
+		t.Fatal("MarkSeen on unarchived URL succeeded")
+	}
+}
+
+func TestSweepErrorsRecorded(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("h")
+	s.Page("/p").Set("x\n")
+	s.SetDown(true)
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
+	stats := r.srv.TrackAll()
+	if stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	rows := r.srv.ReportFor(userA)
+	if rows[0].Err == nil {
+		t.Fatalf("row error missing: %+v", rows[0])
+	}
+	// Recovery clears the error.
+	s.SetDown(false)
+	r.srv.TrackAll()
+	rows = r.srv.ReportFor(userA)
+	if rows[0].Err != nil {
+		t.Fatalf("error not cleared: %+v", rows[0])
+	}
+}
+
+func TestChecksumPagesTracked(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/cgi")
+	p.Set("result A\n")
+	p.SetNoLastModified()
+	r.srv.Register(userA, Registration{URL: "http://h/cgi"})
+
+	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+		t.Fatalf("first sweep: %+v", stats)
+	}
+	if stats := r.srv.TrackAll(); stats.NewVersions != 0 {
+		t.Fatalf("unchanged sweep: %+v", stats)
+	}
+	p.Set("result B\n")
+	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+		t.Fatalf("changed sweep: %+v", stats)
+	}
+}
+
+func TestRecursiveTrackingOneHop(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("h")
+	s.Page("/home").Set(`<HTML><BODY>
+<A HREF="/projects.html">Projects</A>
+<A HREF="people.html">People</A>
+<A HREF="http://other.example/ext.html">External</A>
+<A HREF="#top">Fragment</A>
+</BODY></HTML>
+`)
+	s.Page("/projects.html").Set("<P>projects v1</P>\n")
+	s.Page("/people.html").Set("<P>people v1</P>\n")
+	r.web.Site("other.example").Page("/ext.html").Set("ext\n")
+
+	r.srv.Register(userA, Registration{URL: "http://h/home", Recursive: true})
+	stats := r.srv.TrackAll()
+	if stats.Discovered != 2 {
+		t.Fatalf("discovered = %d, want 2 (same-host only): %+v", stats.Discovered, stats)
+	}
+	// The discovered pages are themselves tracked on the next sweep.
+	stats = r.srv.TrackAll()
+	if stats.Checked != 3 {
+		t.Fatalf("second sweep checked = %d, want 3", stats.Checked)
+	}
+	total, derived := r.srv.TrackedCount()
+	if total != 3 || derived != 2 {
+		t.Fatalf("tracked = (%d,%d)", total, derived)
+	}
+	// A change in a discovered page is archived automatically.
+	r.web.Advance(time.Hour)
+	s.Page("/projects.html").Set("<P>projects v2</P>\n")
+	stats = r.srv.TrackAll()
+	if stats.NewVersions != 1 {
+		t.Fatalf("derived change sweep: %+v", stats)
+	}
+}
+
+func TestFixedPagesWhatsNew(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p1 := r.web.Site("h").Page("/fixed1")
+	p2 := r.web.Site("h").Page("/fixed2")
+	p1.Set("f1 v1\n")
+	p2.Set("f2 v1\n")
+	r.srv.AddFixed("http://h/fixed1", "Fixed One")
+	r.srv.AddFixed("http://h/fixed2", "Fixed Two")
+	r.srv.TrackAll()
+
+	r.web.Advance(24 * time.Hour)
+	p2.Set("f2 v2\n")
+	r.srv.TrackAll()
+
+	changes := r.srv.FixedChanges()
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	// Newest first: fixed2 changed later.
+	if changes[0].URL != "http://h/fixed2" || changes[0].Rev != "1.2" {
+		t.Fatalf("order/rev wrong: %+v", changes)
+	}
+	html := r.srv.WhatsNewHTML()
+	for _, want := range []string{"Fixed Two", "what changed", "r1=1.1&r2=1.2", "history"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("what's-new missing %q:\n%s", want, html)
+		}
+	}
+}
+
+func TestReportHTMLShape(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h").Page("/p").Set("v1\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "The Page"})
+	r.srv.TrackAll()
+	html := r.srv.ReportHTML(userA)
+	for _, want := range []string{
+		"The Page", "1 of 1 tracked pages",
+		"/remember?", "/diff?", "/history?",
+		"<B>Changed</B>", "you have seen none",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q:\n%s", want, html)
+		}
+	}
+}
+
+func TestPreviousRev(t *testing.T) {
+	cases := map[string]string{"1.2": "1.1", "1.10": "1.9", "1.1": "", "bogus": ""}
+	for in, want := range cases {
+		if got := previousRev(in); got != want {
+			t.Errorf("previousRev(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegisterUpdatesExisting(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "Old"})
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "New", Recursive: true})
+	regs := r.srv.Registrations(userA)
+	if len(regs) != 1 || regs[0].Title != "New" || !regs[0].Recursive {
+		t.Fatalf("regs = %+v", regs)
+	}
+	if users := r.srv.Users(); len(users) != 1 || users[0] != userA {
+		t.Fatalf("users = %v", users)
+	}
+}

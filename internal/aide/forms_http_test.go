@@ -1,0 +1,127 @@
+package aide
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"aide/internal/formreg"
+	"aide/internal/snapshot"
+)
+
+// newTestServer serves h for the duration of the test.
+func newTestServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// readBody drains and closes a response body.
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// formRig is httpRig plus an enabled form registry and a POST service.
+func formRig(t *testing.T) (*rig, string) {
+	t.Helper()
+	r := newRig(t, "Default 0\n")
+	reg, err := formreg.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Forms = reg
+	r.fac.Forms = reg
+	r.web.Site("svc.example").Page("/lookup").SetForm(func(form url.Values, n int) string {
+		return "<P>answer for " + form.Get("q") + "</P>"
+	})
+	snap := snapshot.NewServer(r.fac)
+	snap.KeepaliveInterval = 0
+	ts := newTestServer(t, r.srv.Handler(snap))
+	return r, ts
+}
+
+func TestFormEndpointsOverHTTP(t *testing.T) {
+	r, base := formRig(t)
+
+	// Save a filled-out form; the reserved fields configure it and the
+	// rest become stored service input.
+	resp, err := http.PostForm(base+"/form/save", url.Values{
+		"action": {"http://svc.example/lookup"},
+		"title":  {"My saved search"},
+		"user":   {userA},
+		"q":      {"file systems"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, "form:") {
+		t.Fatalf("form/save: %d\n%s", resp.StatusCode, body)
+	}
+	// The save auto-registered the pseudo-URL for the user.
+	regs := r.srv.Registrations(userA)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0].URL, "form:") {
+		t.Fatalf("registrations = %+v", regs)
+	}
+
+	// The list shows it; invoke executes it.
+	code, body2 := fetch(t, base+"/form/list")
+	if code != 200 || !strings.Contains(body2, "My saved search") {
+		t.Fatalf("form/list: %d\n%s", code, body2)
+	}
+	id := strings.TrimPrefix(regs[0].URL, "form:")
+	code, body2 = fetch(t, base+"/form/invoke?id="+id)
+	if code != 200 || !strings.Contains(body2, "answer for file systems") {
+		t.Fatalf("form/invoke: %d\n%s", code, body2)
+	}
+
+	// A sweep archives the output; the report covers the pseudo-URL.
+	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+		t.Fatalf("sweep: %+v", stats)
+	}
+	code, body2 = fetch(t, base+"/report?user="+url.QueryEscape(userA))
+	if code != 200 || !strings.Contains(body2, "My saved search") {
+		t.Fatalf("report: %d\n%s", code, body2)
+	}
+}
+
+func TestFormEndpointsDisabled(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	ts := newTestServer(t, r.srv.Handler(nil))
+	for _, path := range []string{"/form/save", "/form/list", "/form/invoke"} {
+		code, _ := fetch(t, ts+path)
+		if code != http.StatusNotImplemented {
+			t.Errorf("%s without registry: code = %d", path, code)
+		}
+	}
+}
+
+func TestFormSaveValidation(t *testing.T) {
+	_, base := formRig(t)
+	resp, err := http.PostForm(base+"/form/save", url.Values{"q": {"x"}}) // no action
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("save without action: %d", resp.StatusCode)
+	}
+	code, _ := fetch(t, base+"/form/invoke") // no id
+	if code != 400 {
+		t.Errorf("invoke without id: %d", code)
+	}
+	code, _ = fetch(t, base+"/form/invoke?id=nope")
+	if code != 404 {
+		t.Errorf("invoke unknown id: %d", code)
+	}
+}

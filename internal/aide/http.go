@@ -1,0 +1,309 @@
+package aide
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"aide/internal/snapshot"
+)
+
+// This file is the AIDE server's HTTP face: the per-user what's-new
+// report with its Remember/Diff/History links (§6), the registration
+// endpoint that replaces installing w3newer locally (§7: "it is too
+// time-consuming to install w3newer on one's own machine ... the primary
+// motivation for moving the functionality of w3newer into the AIDE
+// server"), and the community What's-New page for the fixed set (§8.2).
+// The snapshot facility's own endpoints are mounted alongside.
+
+// Handler returns the combined AIDE HTTP mux.
+func (s *Server) Handler(snap *snapshot.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/register", s.handleRegister)
+	mux.HandleFunc("/seen", s.handleSeen)
+	mux.HandleFunc("/whatsnew", s.handleWhatsNew)
+	mux.HandleFunc("/diffall", s.handleDiffAll)
+	mux.HandleFunc("/form/save", s.handleFormSave)
+	mux.HandleFunc("/form/list", s.handleFormList)
+	mux.HandleFunc("/form/invoke", s.handleFormInvoke)
+	mux.HandleFunc("/status", s.handleStatus)
+	if snap != nil {
+		mux.Handle("/", snap.Handler())
+	}
+	return mux
+}
+
+// handleFormSave stores a filled-out form so that a POST service can be
+// tracked (§8.4). The request itself is a form submission: the reserved
+// fields `action`, `title`, and `user` configure the registration and
+// every remaining field is stored as service input. The user changes
+// their form's ACTION to this endpoint — "the URL the form invokes [is]
+// something provided by AIDE".
+func (s *Server) handleFormSave(w http.ResponseWriter, r *http.Request) {
+	if s.Forms == nil {
+		http.Error(w, "form tracking not enabled", http.StatusNotImplemented)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	action := r.Form.Get("action")
+	if action == "" {
+		http.Error(w, "need an action parameter (the service URL)", http.StatusBadRequest)
+		return
+	}
+	title := r.Form.Get("title")
+	user := r.Form.Get("user")
+	fields := url.Values{}
+	for k, vs := range r.Form {
+		switch k {
+		case "action", "title", "user":
+			continue
+		}
+		fields[k] = vs
+	}
+	saved, err := s.Forms.Save(title, action, fields)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if user != "" {
+		s.Register(user, Registration{URL: saved.PseudoURL(), Title: title})
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<HTML><BODY>Saved form <B>%s</B> for service %s.<BR>\nTrack it as <CODE>%s</CODE> "+
+		"or <A HREF=\"/form/invoke?id=%s\">invoke it now</A>.</BODY></HTML>\n",
+		html.EscapeString(title), html.EscapeString(action), saved.PseudoURL(), saved.ID)
+}
+
+// handleFormList shows the saved forms.
+func (s *Server) handleFormList(w http.ResponseWriter, r *http.Request) {
+	if s.Forms == nil {
+		http.Error(w, "form tracking not enabled", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, "<HTML><BODY><H1>Saved forms</H1>\n<UL>\n")
+	for _, f := range s.Forms.All() {
+		title := f.Title
+		if title == "" {
+			title = f.Action
+		}
+		fmt.Fprintf(w, "<LI><CODE>%s</CODE> &mdash; %s -> %s [<A HREF=\"/form/invoke?id=%s\">invoke</A>]\n",
+			f.PseudoURL(), html.EscapeString(title), html.EscapeString(f.Action), f.ID)
+	}
+	fmt.Fprint(w, "</UL>\n</BODY></HTML>\n")
+}
+
+// handleFormInvoke replays a saved form and returns the service output,
+// making the pseudo-URL browsable through AIDE.
+func (s *Server) handleFormInvoke(w http.ResponseWriter, r *http.Request) {
+	if s.Forms == nil {
+		http.Error(w, "form tracking not enabled", http.StatusNotImplemented)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "need an id parameter", http.StatusBadRequest)
+		return
+	}
+	info, err := s.Forms.Invoke(s.Client, id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, info.Body)
+}
+
+// handleRegister adds a URL to the user's server-side hotlist.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, pageURL := q.Get("user"), q.Get("url")
+	if user == "" || pageURL == "" {
+		http.Error(w, "need user and url parameters", http.StatusBadRequest)
+		return
+	}
+	s.Register(user, Registration{
+		URL:       pageURL,
+		Title:     q.Get("title"),
+		Recursive: q.Get("recursive") == "1",
+	})
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<HTML><BODY>Registered <A HREF=\"%s\">%s</A> for %s.</BODY></HTML>\n",
+		html.EscapeString(pageURL), html.EscapeString(pageURL), html.EscapeString(user))
+}
+
+// handleSeen marks the head revision seen (the browser-history gap of
+// §6: viewing a page via HtmlDiff does not update the real browser
+// history, so the server offers an explicit catch-up).
+func (s *Server) handleSeen(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, pageURL := q.Get("user"), q.Get("url")
+	if user == "" || pageURL == "" {
+		http.Error(w, "need user and url parameters", http.StatusBadRequest)
+		return
+	}
+	if err := s.MarkSeen(user, pageURL); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<HTML><BODY>Marked %s as seen for %s.</BODY></HTML>\n",
+		html.EscapeString(pageURL), html.EscapeString(user))
+}
+
+// handleReport renders the user's server-side what's-new report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		http.Error(w, "need user parameter", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, s.ReportHTML(user))
+}
+
+// ReportHTML renders ReportFor as the Figure 1-style page with the three
+// AIDE links per row.
+func (s *Server) ReportHTML(user string) string {
+	rows := s.ReportFor(user)
+	changed := 0
+	for _, row := range rows {
+		if row.Changed {
+			changed++
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("<HTML><HEAD><TITLE>AIDE report</TITLE></HEAD><BODY>\n")
+	fmt.Fprintf(&sb, "<H1>What's new for %s</H1>\n", html.EscapeString(user))
+	fmt.Fprintf(&sb, "<P>%d of %d tracked pages have versions you have not seen.</P>\n<HR>\n<DL>\n",
+		changed, len(rows))
+	for _, row := range rows {
+		title := row.Title
+		if title == "" {
+			title = row.URL
+		}
+		q := url.Values{}
+		q.Set("url", row.URL)
+		q.Set("user", user)
+		enc := q.Encode()
+		fmt.Fprintf(&sb,
+			"<DT><A HREF=\"%s\">%s</A> &nbsp;[<A HREF=\"/remember?%s\">Remember</A>] [<A HREF=\"/diff?%s\">Diff</A>] [<A HREF=\"/history?%s\">History</A>]\n",
+			html.EscapeString(row.URL), html.EscapeString(title), enc, enc, enc)
+		switch {
+		case row.Err != nil:
+			fmt.Fprintf(&sb, "<DD><B>Error</B>: %s.\n", html.EscapeString(row.Err.Error()))
+		case row.HeadRev == "":
+			sb.WriteString("<DD>Not yet archived.\n")
+		case row.Changed:
+			fmt.Fprintf(&sb, "<DD><B>Changed</B>: revision %s of %s is newer than what you have seen%s.\n",
+				row.HeadRev, row.HeadDate.UTC().Format(time.ANSIC), seenClause(row.SeenRev))
+		default:
+			fmt.Fprintf(&sb, "<DD>Seen: you are current at revision %s.\n", row.HeadRev)
+		}
+	}
+	sb.WriteString("</DL>\n</BODY></HTML>\n")
+	return sb.String()
+}
+
+func seenClause(rev string) string {
+	if rev == "" {
+		return " (you have seen none)"
+	}
+	return " (you have seen " + rev + ")"
+}
+
+// handleWhatsNew renders the §8.2 community page for the fixed set.
+func (s *Server) handleWhatsNew(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, s.WhatsNewHTML())
+}
+
+// WhatsNewHTML renders the fixed-page changes, newest first, each with a
+// link to HtmlDiff between the two most recent versions and to the full
+// history.
+func (s *Server) WhatsNewHTML() string {
+	changes := s.FixedChanges()
+	var sb strings.Builder
+	sb.WriteString("<HTML><HEAD><TITLE>What's New</TITLE></HEAD><BODY>\n<H1>What's New</H1>\n")
+	fmt.Fprintf(&sb, "<P>%d recently changed pages in the community set.</P>\n<UL>\n", len(changes))
+	for _, c := range changes {
+		q := url.Values{}
+		q.Set("url", c.URL)
+		enc := q.Encode()
+		fmt.Fprintf(&sb, "<LI><A HREF=\"%s\">%s</A> &mdash; changed %s (rev %s)",
+			html.EscapeString(c.URL), html.EscapeString(c.Title),
+			c.Changed.UTC().Format(time.ANSIC), c.Rev)
+		if prev := previousRev(c.Rev); prev != "" {
+			fmt.Fprintf(&sb, " [<A HREF=\"/diff?%s&r1=%s&r2=%s\">what changed</A>]", enc, prev, c.Rev)
+		}
+		fmt.Fprintf(&sb, " [<A HREF=\"/history?%s\">history</A>]\n", enc)
+	}
+	sb.WriteString("</UL>\n</BODY></HTML>\n")
+	return sb.String()
+}
+
+// previousRev returns the trunk revision before rev ("" for 1.1).
+func previousRev(rev string) string {
+	i := strings.LastIndexByte(rev, '.')
+	if i < 0 {
+		return ""
+	}
+	var minor int
+	if _, err := fmt.Sscanf(rev[i+1:], "%d", &minor); err != nil || minor <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%s.%d", rev[:i], minor-1)
+}
+
+// handleStatus renders the operational overview: who tracks what, how
+// big the repository is, and how well the diff cache is doing.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	total, derived := s.TrackedCount()
+	users := s.Users()
+	stats, err := s.Facility.Storage()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	var sb strings.Builder
+	sb.WriteString("<HTML><HEAD><TITLE>AIDE status</TITLE></HEAD><BODY>\n<H1>AIDE status</H1>\n<UL>\n")
+	fmt.Fprintf(&sb, "<LI>%d distinct URLs tracked (%d discovered recursively)\n", total, derived)
+	fmt.Fprintf(&sb, "<LI>%d registered users\n", len(users))
+	fmt.Fprintf(&sb, "<LI>%d archived URLs, %.2f MB total (%.1f KB/URL)\n",
+		stats.URLs, float64(stats.TotalBytes)/(1<<20), stats.MeanBytes()/1024)
+	fmt.Fprintf(&sb, "<LI>%d HtmlDiff cache hits\n", s.Facility.DiffCacheHits())
+	sb.WriteString("</UL>\n")
+	if len(stats.PerURL) > 0 {
+		sb.WriteString("<H2>Largest archives</H2>\n<OL>\n")
+		for i, u := range stats.PerURL {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(&sb, "<LI>%s &mdash; %.1f KB\n", html.EscapeString(u.URL), float64(u.Bytes)/1024)
+		}
+		sb.WriteString("</OL>\n")
+	}
+	sb.WriteString("</BODY></HTML>\n")
+	fmt.Fprint(w, sb.String())
+}
+
+// Users lists users with registrations, sorted (for status pages).
+func (s *Server) Users() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	users := make([]string, 0, len(s.users))
+	for u := range s.users {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}

@@ -1,0 +1,117 @@
+package aide
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/snapshot"
+)
+
+// httpRig stands up the combined AIDE server over real HTTP.
+func httpRig(t *testing.T) (*rig, *httptest.Server) {
+	t.Helper()
+	r := newRig(t, "Default 0\n")
+	snap := snapshot.NewServer(r.fac)
+	snap.KeepaliveInterval = 0
+	ts := httptest.NewServer(r.srv.Handler(snap))
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	r, ts := httpRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Original page sentence content.</P>\n")
+	q := "user=" + url.QueryEscape(userA) + "&url=" + url.QueryEscape("http://h/p")
+
+	// Register, sweep, report.
+	code, _ := fetch(t, ts.URL+"/register?"+q+"&title="+url.QueryEscape("My Page"))
+	if code != 200 {
+		t.Fatalf("register code = %d", code)
+	}
+	r.srv.TrackAll()
+	code, body := fetch(t, ts.URL+"/report?user="+url.QueryEscape(userA))
+	if code != 200 || !strings.Contains(body, "<B>Changed</B>") || !strings.Contains(body, "My Page") {
+		t.Fatalf("report: %d\n%s", code, body)
+	}
+
+	// Catch up via /seen; report flips to current.
+	code, _ = fetch(t, ts.URL+"/seen?"+q)
+	if code != 200 {
+		t.Fatalf("seen code = %d", code)
+	}
+	_, body = fetch(t, ts.URL+"/report?user="+url.QueryEscape(userA))
+	if !strings.Contains(body, "you are current at revision 1.1") {
+		t.Fatalf("report after seen:\n%s", body)
+	}
+
+	// Page changes; sweep archives it; Diff link (snapshot mount) works.
+	r.web.Advance(time.Hour)
+	p.Set("<P>Original page sentence content. Fresh addition appended here.</P>\n")
+	r.srv.TrackAll()
+	code, body = fetch(t, ts.URL+"/diff?"+q+"&r1=1.1&r2=1.2")
+	if code != 200 || !strings.Contains(body, "<STRONG><I>Fresh") {
+		t.Fatalf("diff via mount: %d\n%s", code, body)
+	}
+}
+
+func TestWhatsNewEndpoint(t *testing.T) {
+	r, ts := httpRig(t)
+	p := r.web.Site("h").Page("/f")
+	p.Set("v1\n")
+	r.srv.AddFixed("http://h/f", "Fixed Page")
+	r.srv.TrackAll()
+	r.web.Advance(time.Hour)
+	p.Set("v2\n")
+	r.srv.TrackAll()
+
+	code, body := fetch(t, ts.URL+"/whatsnew")
+	if code != 200 || !strings.Contains(body, "Fixed Page") {
+		t.Fatalf("whatsnew: %d\n%s", code, body)
+	}
+}
+
+func TestHTTPParamValidation(t *testing.T) {
+	_, ts := httpRig(t)
+	for _, path := range []string{"/register", "/seen", "/report"} {
+		code, _ := fetch(t, ts.URL+path)
+		if code != 400 {
+			t.Errorf("%s without params: code = %d", path, code)
+		}
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	r, ts := httpRig(t)
+	r.web.Site("h").Page("/p").Set("content\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
+	r.srv.TrackAll()
+	code, body := fetch(t, ts.URL+"/status")
+	if code != 200 {
+		t.Fatalf("status code = %d", code)
+	}
+	for _, want := range []string{"1 distinct URLs tracked", "1 registered users", "archived URLs", "Largest archives"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status missing %q:\n%s", want, body)
+		}
+	}
+}

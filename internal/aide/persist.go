@@ -1,0 +1,105 @@
+package aide
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// This file persists the server's registration and tracking state so
+// that a snapshotd restart does not lose who is tracking what — the
+// archives themselves already live on disk in the snapshot facility.
+
+// persistedState is the on-disk form of the server's mutable state.
+type persistedState struct {
+	Users map[string][]Registration `json:"users"`
+	URLs  map[string]persistedURL   `json:"urls"`
+}
+
+// persistedURL is the durable subset of urlState. Transient per-run
+// fields (lastErr, errCount) restart clean.
+type persistedURL struct {
+	LastChecked time.Time `json:"last_checked,omitzero"`
+	LastMod     time.Time `json:"last_mod,omitzero"`
+	Checksum    string    `json:"checksum,omitempty"`
+	Title       string    `json:"title,omitempty"`
+	Recursive   bool      `json:"recursive,omitempty"`
+	Fixed       bool      `json:"fixed,omitempty"`
+	DerivedFrom string    `json:"derived_from,omitempty"`
+	LastNewRev  string    `json:"last_new_rev,omitempty"`
+	LastNewTime time.Time `json:"last_new_time,omitzero"`
+}
+
+// SaveState writes the registrations and per-URL tracking state to path.
+func (s *Server) SaveState(path string) error {
+	s.mu.Lock()
+	ps := persistedState{
+		Users: make(map[string][]Registration, len(s.users)),
+		URLs:  make(map[string]persistedURL, len(s.urls)),
+	}
+	for u, regs := range s.users {
+		sorted := append([]Registration(nil), regs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+		ps.Users[u] = sorted
+	}
+	for u, st := range s.urls {
+		ps.URLs[u] = persistedURL{
+			LastChecked: st.lastChecked,
+			LastMod:     st.lastMod,
+			Checksum:    st.checksum,
+			Title:       st.title,
+			Recursive:   st.recursive,
+			Fixed:       st.fixed,
+			DerivedFrom: st.derivedFrom,
+			LastNewRev:  st.lastNewRev,
+			LastNewTime: st.lastNewTime,
+		}
+	}
+	s.mu.Unlock()
+
+	data, err := json.MarshalIndent(ps, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadState restores state written by SaveState. A missing file is not
+// an error (first start).
+func (s *Server) LoadState(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var ps persistedState
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return fmt.Errorf("aide: corrupt state file %s: %v", path, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for u, regs := range ps.Users {
+		s.users[u] = append(s.users[u], regs...)
+	}
+	for u, p := range ps.URLs {
+		st := s.stateLocked(u)
+		st.lastChecked = p.LastChecked
+		st.lastMod = p.LastMod
+		st.checksum = p.Checksum
+		st.title = p.Title
+		st.recursive = p.Recursive
+		st.fixed = p.Fixed
+		st.derivedFrom = p.DerivedFrom
+		st.lastNewRev = p.LastNewRev
+		st.lastNewTime = p.LastNewTime
+	}
+	return nil
+}

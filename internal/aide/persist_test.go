@@ -1,0 +1,62 @@
+package aide
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStatePersistenceAcrossRestart(t *testing.T) {
+	r := newRig(t, "Default 2d\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "Page P"})
+	r.srv.AddFixed("http://h/fixed", Registration{}.Title)
+	r.web.Site("h").Page("/fixed").Set("f1\n")
+	r.srv.TrackAll()
+
+	path := filepath.Join(t.TempDir(), "aide-state.json")
+	if err := r.srv.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same facility and web.
+	srv2 := NewServer(r.fac, r.srv.Client, r.srv.Config, r.clock)
+	if err := srv2.LoadState(path); err != nil {
+		t.Fatal(err)
+	}
+	regs := srv2.Registrations(userA)
+	if len(regs) != 1 || regs[0].Title != "Page P" {
+		t.Fatalf("restored registrations = %+v", regs)
+	}
+	total, _ := srv2.TrackedCount()
+	if total != 2 {
+		t.Fatalf("restored tracked URLs = %d", total)
+	}
+	// The threshold state survived: an immediate sweep skips everything.
+	r.web.ResetRequestCounts()
+	stats := srv2.TrackAll()
+	if stats.Checked != 0 || stats.Skipped != 2 {
+		t.Fatalf("post-restore sweep: %+v", stats)
+	}
+	// Past the threshold, sweeps resume and change detection continues
+	// from the restored checksums/dates (no spurious "new version").
+	r.web.Advance(3 * 24 * time.Hour)
+	stats = srv2.TrackAll()
+	if stats.Checked != 2 || stats.NewVersions != 0 {
+		t.Fatalf("resumed sweep: %+v", stats)
+	}
+}
+
+func TestLoadStateMissingAndCorrupt(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	if err := r.srv.LoadState(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing state file: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := r.srv.LoadState(bad); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}

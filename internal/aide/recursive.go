@@ -1,0 +1,152 @@
+package aide
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"aide/internal/htmldoc"
+	"aide/internal/snapshot"
+)
+
+// This file implements recursive HtmlDiff, the §5.3/§8.3 extension:
+// "HtmlDiff could in turn be invoked recursively" over the pages a
+// registered page refers to — so a single "home page" entry yields a
+// combined view of what changed anywhere in the collection.
+
+// ChildDiff is the comparison of one page referenced by the root.
+type ChildDiff struct {
+	// URL is the referenced page.
+	URL string
+	// Diff is the comparison ("since the user last saw it" when the
+	// user has saved it, otherwise the two newest archived revisions).
+	Diff snapshot.DiffResult
+	// Skipped explains why no comparison was produced ("" when Diff is
+	// valid): "not archived", "only one version", or an error text.
+	Skipped string
+}
+
+// RecursiveDiff is a root page's comparison plus its children's.
+type RecursiveDiff struct {
+	// RootURL is the registered page.
+	RootURL string
+	// Root is the root page's own comparison.
+	Root snapshot.DiffResult
+	// Children are the same-host referenced pages, in link order.
+	Children []ChildDiff
+}
+
+// ChangedChildren counts children with real differences.
+func (r RecursiveDiff) ChangedChildren() int {
+	n := 0
+	for _, c := range r.Children {
+		if c.Skipped == "" && c.Diff.Stats.Changed() {
+			n++
+		}
+	}
+	return n
+}
+
+// DiffRecursive compares the root page since the user last saved it and
+// then every same-host page the *current* root links to, one hop deep.
+func (s *Server) DiffRecursive(user, rootURL string) (RecursiveDiff, error) {
+	out := RecursiveDiff{RootURL: rootURL}
+	rootDiff, err := s.Facility.DiffSinceSaved(user, rootURL)
+	if err != nil {
+		return out, err
+	}
+	out.Root = rootDiff
+
+	// Walk the current root content's links.
+	head, err := s.Facility.Checkout(rootURL, "")
+	if err != nil {
+		return out, err
+	}
+	seen := map[string]bool{}
+	for _, href := range htmldoc.Links(head) {
+		link := htmldoc.ResolveLink(rootURL, href)
+		if link == "" || link == rootURL || seen[link] || !htmldoc.SameHost(rootURL, link) {
+			continue
+		}
+		seen[link] = true
+		out.Children = append(out.Children, s.diffChild(user, link))
+	}
+	return out, nil
+}
+
+// diffChild produces one child's comparison, preferring the user's own
+// last-seen version as the baseline.
+func (s *Server) diffChild(user, link string) ChildDiff {
+	c := ChildDiff{URL: link}
+	if d, err := s.Facility.DiffSinceSaved(user, link); err == nil {
+		c.Diff = d
+		return c
+	}
+	// The user never saved it; fall back to the newest archived pair.
+	revs, _, err := s.Facility.History("", link)
+	switch {
+	case err != nil:
+		c.Skipped = "not archived"
+		return c
+	case len(revs) < 2:
+		c.Skipped = "only one version"
+		return c
+	}
+	d, err := s.Facility.DiffRevs(link, revs[1].Num, revs[0].Num)
+	if err != nil {
+		c.Skipped = err.Error()
+		return c
+	}
+	c.Diff = d
+	return c
+}
+
+// RecursiveDiffHTML renders the combined report: the root's merged page
+// followed by a section per referenced page.
+func (s *Server) RecursiveDiffHTML(user, rootURL string) (string, error) {
+	rd, err := s.DiffRecursive(user, rootURL)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>Recursive HtmlDiff: %s</TITLE></HEAD><BODY>\n",
+		html.EscapeString(rootURL))
+	fmt.Fprintf(&sb, "<H1>Changes in %s and the pages it references</H1>\n",
+		html.EscapeString(rootURL))
+	fmt.Fprintf(&sb, "<P>%d of %d referenced pages changed.</P>\n<HR>\n",
+		rd.ChangedChildren(), len(rd.Children))
+	sb.WriteString("<H2>The page itself</H2>\n")
+	sb.WriteString(rd.Root.HTML)
+	for _, c := range rd.Children {
+		fmt.Fprintf(&sb, "<HR>\n<H2>Referenced: <A HREF=\"%s\">%s</A></H2>\n",
+			html.EscapeString(c.URL), html.EscapeString(c.URL))
+		switch {
+		case c.Skipped != "":
+			fmt.Fprintf(&sb, "<P>(%s)</P>\n", html.EscapeString(c.Skipped))
+		case !c.Diff.Stats.Changed():
+			sb.WriteString("<P>No differences.</P>\n")
+		default:
+			sb.WriteString(c.Diff.HTML)
+		}
+	}
+	sb.WriteString("</BODY></HTML>\n")
+	return sb.String(), nil
+}
+
+// handleDiffAll serves the recursive comparison.
+func (s *Server) handleDiffAll(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, pageURL := q.Get("user"), q.Get("url")
+	if user == "" || pageURL == "" {
+		http.Error(w, "need user and url parameters", http.StatusBadRequest)
+		return
+	}
+	out, err := s.RecursiveDiffHTML(user, pageURL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, out)
+}

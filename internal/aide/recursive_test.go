@@ -1,0 +1,156 @@
+package aide
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/formreg"
+)
+
+// vlibRig builds a virtual-library root with three same-host children
+// and one external link, registers it recursively, and runs a sweep.
+func vlibRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("vlib")
+	s.Page("/index").Set(`<HTML><BODY><H1>Index</H1>
+<UL>
+<LI><A HREF="/a.html">Topic A</A>
+<LI><A HREF="/b.html">Topic B</A>
+<LI><A HREF="http://elsewhere/x">External</A>
+</UL></BODY></HTML>`)
+	s.Page("/a.html").Set("<P>topic a version one content here.</P>")
+	s.Page("/b.html").Set("<P>topic b version one content here.</P>")
+	r.web.Site("elsewhere").Page("/x").Set("ext")
+	r.srv.Register(userA, Registration{URL: "http://vlib/index", Recursive: true})
+	r.srv.TrackAll() // archives index, discovers children
+	r.srv.TrackAll() // archives children
+	return r
+}
+
+func TestDiffRecursive(t *testing.T) {
+	r := vlibRig(t)
+	// The user catches up on the root and topic A.
+	if err := r.srv.MarkSeen(userA, "http://vlib/index"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.MarkSeen(userA, "http://vlib/a.html"); err != nil {
+		t.Fatal(err)
+	}
+	// Topic A changes; topic B gets a second version too.
+	r.web.Advance(24 * time.Hour)
+	r.web.Site("vlib").Page("/a.html").Set("<P>topic a version one content here. Plus a brand new sentence.</P>")
+	r.web.Site("vlib").Page("/b.html").Set("<P>topic b version two content here.</P>")
+	r.srv.TrackAll()
+
+	rd, err := r.srv.DiffRecursive(userA, "http://vlib/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Children) != 2 {
+		t.Fatalf("children = %+v", rd.Children)
+	}
+	// Root itself unchanged.
+	if rd.Root.Stats.Changed() {
+		t.Errorf("root reported changed: %+v", rd.Root.Stats)
+	}
+	byURL := map[string]ChildDiff{}
+	for _, c := range rd.Children {
+		byURL[c.URL] = c
+	}
+	a := byURL["http://vlib/a.html"]
+	if a.Skipped != "" || !a.Diff.Stats.Changed() || a.Diff.OldRev != "1.1" {
+		t.Errorf("child a = %+v", a)
+	}
+	// Topic B was never saved by the user: the newest archived pair is
+	// used instead.
+	b := byURL["http://vlib/b.html"]
+	if b.Skipped != "" || !b.Diff.Stats.Changed() || b.Diff.NewRev != "1.2" {
+		t.Errorf("child b = %+v", b)
+	}
+	if rd.ChangedChildren() != 2 {
+		t.Errorf("changed children = %d", rd.ChangedChildren())
+	}
+}
+
+func TestRecursiveDiffHTMLRendering(t *testing.T) {
+	r := vlibRig(t)
+	r.srv.MarkSeen(userA, "http://vlib/index")
+	r.web.Advance(time.Hour)
+	r.web.Site("vlib").Page("/a.html").Set("<P>topic a reworded content lives here.</P>")
+	r.srv.TrackAll()
+
+	out, err := r.srv.RecursiveDiffHTML(userA, "http://vlib/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pages it references",
+		"Referenced: <A HREF=\"http://vlib/a.html\">",
+		"Referenced: <A HREF=\"http://vlib/b.html\">",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recursive HTML missing %q", want)
+		}
+	}
+	// The external link may appear inside the root page's own rendering,
+	// but it must not get a "Referenced:" section of its own.
+	if strings.Contains(out, `Referenced: <A HREF="http://elsewhere/x">`) {
+		t.Error("external link followed by recursive diff")
+	}
+}
+
+func TestDiffRecursiveNeverSavedRoot(t *testing.T) {
+	r := vlibRig(t)
+	if _, err := r.srv.DiffRecursive("stranger@h", "http://vlib/index"); err == nil {
+		t.Error("recursive diff for user who never saved the root succeeded")
+	}
+}
+
+func TestFormTrackingServerSide(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	flip := false
+	page := r.web.Site("svc").Page("/report")
+	page.SetForm(func(form url.Values, n int) string {
+		if flip {
+			return "<P>report B for " + form.Get("q") + "</P>"
+		}
+		return "<P>report A for " + form.Get("q") + "</P>"
+	})
+	reg, err := formreg.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Forms = reg
+	r.srv.Facility.Forms = reg
+	saved, err := reg.Save("weekly report", "http://svc/report", url.Values{"q": {"weekly"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Register(userA, Registration{URL: saved.PseudoURL(), Title: "Weekly report"})
+
+	stats := r.srv.TrackAll()
+	if stats.NewVersions != 1 || stats.Errors != 0 {
+		t.Fatalf("first sweep: %+v", stats)
+	}
+	// Unchanged output: no new version.
+	if stats := r.srv.TrackAll(); stats.NewVersions != 0 {
+		t.Fatalf("unchanged sweep: %+v", stats)
+	}
+	// Output changes: archived, and the user's report flags it.
+	flip = true
+	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+		t.Fatalf("changed sweep: %+v", stats)
+	}
+	rows := r.srv.ReportFor(userA)
+	if len(rows) != 1 || !rows[0].Changed || rows[0].HeadRev != "1.2" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The archived output is diffable like any page.
+	d, err := r.srv.Facility.DiffRevs(saved.PseudoURL(), "1.1", "1.2")
+	if err != nil || !d.Stats.Changed() {
+		t.Fatalf("form diff: %+v err=%v", d, err)
+	}
+}

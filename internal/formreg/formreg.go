@@ -1,0 +1,185 @@
+// Package formreg implements the §8.4 extension: tracking CGI services
+// that are invoked through the POST protocol. GET services can be
+// tracked like any page because their input is part of the URL, but
+// "services that use POST cannot be accessed, because the input to the
+// services is not stored."
+//
+// The paper's proposed interface is exactly what this package provides:
+// the user saves a filled-out form with AIDE ("change the URL the form
+// invokes to be something provided by AIDE. It, in turn, would have to
+// make a copy of its input to pass along to the actual service"). A
+// saved form gets a stable pseudo-URL, form:<id>, which w3newer can
+// poll (POST + checksum, since POST output never has a Last-Modified)
+// and the snapshot facility can archive and diff.
+package formreg
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"aide/internal/webclient"
+)
+
+// Scheme is the pseudo-URL scheme for saved forms.
+const Scheme = "form:"
+
+// SavedForm is one filled-out form kept by AIDE.
+type SavedForm struct {
+	// ID is the stable handle derived from the action and fields.
+	ID string `json:"id"`
+	// Title is the user's description for reports.
+	Title string `json:"title,omitempty"`
+	// Action is the URL the form invokes (the FORM tag's ACTION).
+	Action string `json:"action"`
+	// Fields is the filled-out input, re-sent on every invocation.
+	Fields url.Values `json:"fields"`
+}
+
+// PseudoURL returns the trackable form:<id> URL for the saved form.
+func (f SavedForm) PseudoURL() string { return Scheme + f.ID }
+
+// Encode renders the fields in application/x-www-form-urlencoded form
+// with deterministic key order.
+func (f SavedForm) Encode() string { return f.Fields.Encode() }
+
+// Registry stores saved forms, persistently when given a directory.
+type Registry struct {
+	mu    sync.Mutex
+	forms map[string]SavedForm
+	path  string // "" = in-memory only
+}
+
+// New returns a registry persisted in dir (or purely in-memory when dir
+// is empty). An existing registry file is loaded.
+func New(dir string) (*Registry, error) {
+	r := &Registry{forms: make(map[string]SavedForm)}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r.path = filepath.Join(dir, "forms.json")
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return r, nil
+		}
+		return nil, err
+	}
+	var forms []SavedForm
+	if err := json.Unmarshal(data, &forms); err != nil {
+		return nil, fmt.Errorf("formreg: corrupt registry %s: %v", r.path, err)
+	}
+	for _, f := range forms {
+		r.forms[f.ID] = f
+	}
+	return r, nil
+}
+
+// Save registers a filled-out form and returns it with its assigned ID.
+// Saving the same action+fields again returns the same ID (updating the
+// title), so pseudo-URLs are stable across sessions.
+func (r *Registry) Save(title, action string, fields url.Values) (SavedForm, error) {
+	if action == "" {
+		return SavedForm{}, fmt.Errorf("formreg: empty action URL")
+	}
+	f := SavedForm{Title: title, Action: action, Fields: fields}
+	f.ID = formID(action, fields)
+	r.mu.Lock()
+	r.forms[f.ID] = f
+	err := r.persistLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return SavedForm{}, err
+	}
+	return f, nil
+}
+
+// Lookup resolves a form ID or pseudo-URL.
+func (r *Registry) Lookup(idOrURL string) (SavedForm, bool) {
+	id := strings.TrimPrefix(idOrURL, Scheme)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.forms[id]
+	return f, ok
+}
+
+// Delete removes a saved form.
+func (r *Registry) Delete(idOrURL string) error {
+	id := strings.TrimPrefix(idOrURL, Scheme)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.forms, id)
+	return r.persistLocked()
+}
+
+// All lists saved forms sorted by ID.
+func (r *Registry) All() []SavedForm {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SavedForm, 0, len(r.forms))
+	for _, f := range r.forms {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Invoke replays the saved form against its service and returns the
+// output ("make a copy of its input to pass along to the actual
+// service"). The result carries a checksum; POST output never has a
+// Last-Modified date, so checksums are the only change signal.
+func (r *Registry) Invoke(client *webclient.Client, idOrURL string) (webclient.PageInfo, error) {
+	f, ok := r.Lookup(idOrURL)
+	if !ok {
+		return webclient.PageInfo{}, fmt.Errorf("formreg: no saved form %q", idOrURL)
+	}
+	info, err := client.Post(f.Action, f.Encode())
+	if err != nil {
+		return info, err
+	}
+	// Reports show the pseudo-URL, not the (input-less) action.
+	info.URL = f.PseudoURL()
+	return info, nil
+}
+
+// IsFormURL reports whether url names a saved form.
+func IsFormURL(url string) bool { return strings.HasPrefix(url, Scheme) }
+
+// persistLocked writes the registry file; r.mu must be held.
+func (r *Registry) persistLocked() error {
+	if r.path == "" {
+		return nil
+	}
+	forms := make([]SavedForm, 0, len(r.forms))
+	for _, f := range r.forms {
+		forms = append(forms, f)
+	}
+	sort.Slice(forms, func(i, j int) bool { return forms[i].ID < forms[j].ID })
+	data, err := json.MarshalIndent(forms, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := r.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, r.path)
+}
+
+// formID derives the stable handle: a short hash of the action URL and
+// the canonically encoded fields.
+func formID(action string, fields url.Values) string {
+	h := sha1.New()
+	fmt.Fprintf(h, "%s\x00%s", action, fields.Encode())
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,188 @@
+package formreg
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// stockService installs a POST-only quote service on the synthetic web
+// — the classic CGI-behind-a-form case of §8.4.
+func stockService(web *websim.Web) {
+	page := web.Site("quotes.example.com").Page("/cgi-bin/lookup")
+	prices := map[string]int{"T": 63, "IBM": 91}
+	page.SetForm(func(form url.Values, _ int) string {
+		sym := form.Get("symbol")
+		price, ok := prices[sym]
+		if !ok {
+			return "<HTML><BODY>Unknown symbol " + sym + "</BODY></HTML>\n"
+		}
+		if form.Get("detail") == "full" {
+			price += 1000 // different view, different output
+		}
+		return "<HTML><BODY>" + sym + " trades at " + itoa(price) + "</BODY></HTML>\n"
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestSaveLookupInvoke(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	stockService(web)
+	client := webclient.New(web)
+	reg, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := reg.Save("AT&T quote", "http://quotes.example.com/cgi-bin/lookup",
+		url.Values{"symbol": {"T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFormURL(f.PseudoURL()) || !strings.HasPrefix(f.PseudoURL(), "form:") {
+		t.Fatalf("pseudo URL = %q", f.PseudoURL())
+	}
+	if _, ok := reg.Lookup(f.PseudoURL()); !ok {
+		t.Fatal("lookup by pseudo-URL failed")
+	}
+
+	info, err := reg.Invoke(client, f.PseudoURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Body, "T trades at 63") {
+		t.Fatalf("service output = %q", info.Body)
+	}
+	if info.URL != f.PseudoURL() {
+		t.Errorf("info URL = %q, want pseudo-URL", info.URL)
+	}
+	if info.Checksum == "" {
+		t.Error("no checksum on POST output")
+	}
+}
+
+func TestStableIDsAndDistinctInputs(t *testing.T) {
+	reg, _ := New("")
+	a1, _ := reg.Save("one", "http://svc/", url.Values{"q": {"x"}})
+	a2, _ := reg.Save("renamed", "http://svc/", url.Values{"q": {"x"}})
+	if a1.ID != a2.ID {
+		t.Errorf("same input got different IDs: %s vs %s", a1.ID, a2.ID)
+	}
+	b, _ := reg.Save("other", "http://svc/", url.Values{"q": {"y"}})
+	if b.ID == a1.ID {
+		t.Error("different inputs share an ID")
+	}
+	if len(reg.All()) != 2 {
+		t.Errorf("All = %d entries", len(reg.All()))
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := reg.Save("persisted", "http://svc/run", url.Values{"a": {"1"}, "b": {"2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg2.Lookup(f.ID)
+	if !ok || got.Action != "http://svc/run" || got.Fields.Get("b") != "2" || got.Title != "persisted" {
+		t.Fatalf("reloaded form = %+v ok=%v", got, ok)
+	}
+
+	if err := reg2.Delete(f.PseudoURL()); err != nil {
+		t.Fatal(err)
+	}
+	reg3, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg3.Lookup(f.ID); ok {
+		t.Error("deleted form survived reload")
+	}
+}
+
+func TestInvokeUnknownForm(t *testing.T) {
+	reg, _ := New("")
+	client := webclient.New(websim.New(simclock.New(time.Time{})))
+	if _, err := reg.Invoke(client, "form:doesnotexist"); err == nil {
+		t.Error("unknown form invoked successfully")
+	}
+}
+
+func TestSaveRejectsEmptyAction(t *testing.T) {
+	reg, _ := New("")
+	if _, err := reg.Save("t", "", url.Values{}); err == nil {
+		t.Error("empty action accepted")
+	}
+}
+
+func TestChangeDetectionThroughChecksums(t *testing.T) {
+	// The §8.4 end goal: notice when a POST service's output changes for
+	// the same stored input.
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	counterOn := false
+	page := web.Site("svc.example").Page("/report")
+	page.SetForm(func(form url.Values, n int) string {
+		if counterOn {
+			return "<HTML><BODY>report v2 for " + form.Get("q") + "</BODY></HTML>\n"
+		}
+		return "<HTML><BODY>report v1 for " + form.Get("q") + "</BODY></HTML>\n"
+	})
+	client := webclient.New(web)
+	reg, _ := New("")
+	f, _ := reg.Save("report", "http://svc.example/report", url.Values{"q": {"weekly"}})
+
+	i1, err := reg.Invoke(client, f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _ := reg.Invoke(client, f.ID)
+	if i1.Checksum != i2.Checksum {
+		t.Fatal("stable service produced differing checksums")
+	}
+	counterOn = true
+	i3, _ := reg.Invoke(client, f.ID)
+	if i3.Checksum == i1.Checksum {
+		t.Fatal("changed service output not reflected in checksum")
+	}
+}
+
+func TestGetOnPostOnlyServiceFails(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	stockService(web)
+	client := webclient.New(web)
+	info, err := client.Get("http://quotes.example.com/cgi-bin/lookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != 405 {
+		t.Errorf("GET on POST-only service: status %d, want 405", info.Status)
+	}
+}

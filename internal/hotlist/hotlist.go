@@ -1,0 +1,274 @@
+// Package hotlist reads and writes the browser-side inputs of w3newer:
+// the user's hotlist (bookmarks) naming the URLs of interest, and the
+// browser's history file recording when each URL was last viewed (§3:
+// "The time when the user has viewed the page comes from the W3 browser's
+// history").
+//
+// Two mid-1990s hotlist formats are supported — Netscape's HTML bookmark
+// file and NCSA Mosaic's plain-text hotlist — plus the Mosaic-style
+// global history format.
+package hotlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/htmldoc"
+)
+
+// Entry is one hotlist item.
+type Entry struct {
+	// URL is the bookmarked location.
+	URL string
+	// Title is the descriptive text shown in reports.
+	Title string
+	// AddDate is when the bookmark was created (zero if unknown).
+	AddDate time.Time
+	// LastVisit is the browser's record of the last visit (zero if
+	// unknown); Netscape stores it in the bookmark file itself.
+	LastVisit time.Time
+}
+
+// --- Netscape bookmark files ------------------------------------------------
+
+// netscapeHeader begins every Netscape bookmark file.
+const netscapeHeader = "<!DOCTYPE NETSCAPE-Bookmark-file-1>"
+
+// ParseNetscape parses a Netscape bookmark file. Folder structure is
+// flattened: w3newer only needs the URL list.
+func ParseNetscape(r io.Reader) ([]Entry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	// Scan the flat item stream for <A HREF=...>title words</A> runs. An
+	// anchor's title may span sentence tokens (titles contain periods),
+	// so the current entry persists across tokens.
+	var cur *Entry
+	flush := func() {
+		if cur != nil && cur.URL != "" {
+			cur.Title = strings.TrimSpace(cur.Title)
+			entries = append(entries, *cur)
+		}
+		cur = nil
+	}
+	for _, tok := range htmldoc.Tokenize(string(data)) {
+		for _, it := range tok.Items {
+			switch {
+			case it.Kind == htmldoc.Markup && it.Name == "A":
+				flush()
+				e := Entry{}
+				for _, a := range it.Attrs {
+					switch a.Name {
+					case "HREF":
+						e.URL = a.Value
+					case "ADD_DATE":
+						e.AddDate = unixAttr(a.Value)
+					case "LAST_VISIT":
+						e.LastVisit = unixAttr(a.Value)
+					}
+				}
+				cur = &e
+			case it.Kind == htmldoc.Markup && it.Name == "/A":
+				flush()
+			case it.Kind == htmldoc.Word && cur != nil:
+				if cur.Title != "" {
+					cur.Title += " "
+				}
+				cur.Title += it.Raw
+			}
+		}
+	}
+	flush()
+	return entries, nil
+}
+
+// WriteNetscape renders entries as a Netscape bookmark file.
+func WriteNetscape(w io.Writer, title string, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, netscapeHeader)
+	fmt.Fprintf(bw, "<TITLE>%s</TITLE>\n<H1>%s</H1>\n<DL><p>\n", title, title)
+	for _, e := range entries {
+		fmt.Fprintf(bw, `    <DT><A HREF="%s"`, e.URL)
+		if !e.AddDate.IsZero() {
+			fmt.Fprintf(bw, ` ADD_DATE="%d"`, e.AddDate.Unix())
+		}
+		if !e.LastVisit.IsZero() {
+			fmt.Fprintf(bw, ` LAST_VISIT="%d"`, e.LastVisit.Unix())
+		}
+		fmt.Fprintf(bw, ">%s</A>\n", e.Title)
+	}
+	fmt.Fprintln(bw, "</DL><p>")
+	return bw.Flush()
+}
+
+func unixAttr(v string) time.Time {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n <= 0 {
+		return time.Time{}
+	}
+	return time.Unix(n, 0).UTC()
+}
+
+// --- Mosaic hotlists ---------------------------------------------------------
+
+// mosaicHeader begins an NCSA Mosaic hotlist.
+const mosaicHeader = "ncsa-xmosaic-hotlist-format-1"
+
+// ParseMosaic parses an NCSA Mosaic hotlist: a two-line header followed
+// by pairs of lines — "URL date" then the title.
+func ParseMosaic(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != mosaicHeader {
+		return nil, fmt.Errorf("hotlist: not a Mosaic hotlist (missing %q)", mosaicHeader)
+	}
+	sc.Scan() // list name line ("Default"); ignored
+	var entries []Entry
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		url, dateStr, _ := strings.Cut(line, " ")
+		e := Entry{URL: url}
+		if t, err := time.Parse(time.ANSIC, strings.TrimSpace(dateStr)); err == nil {
+			e.AddDate = t.UTC()
+		}
+		if sc.Scan() {
+			e.Title = strings.TrimSpace(sc.Text())
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// WriteMosaic renders entries in the Mosaic hotlist format.
+func WriteMosaic(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, mosaicHeader)
+	fmt.Fprintln(bw, "Default")
+	for _, e := range entries {
+		d := e.AddDate
+		if d.IsZero() {
+			d = time.Unix(0, 0)
+		}
+		fmt.Fprintf(bw, "%s %s\n%s\n", e.URL, d.UTC().Format(time.ANSIC), e.Title)
+	}
+	return bw.Flush()
+}
+
+// Parse sniffs the format (Netscape or Mosaic) and parses accordingly.
+func Parse(r io.Reader) ([]Entry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	s := strings.TrimSpace(string(data))
+	switch {
+	case strings.HasPrefix(s, mosaicHeader):
+		return ParseMosaic(strings.NewReader(s))
+	case strings.HasPrefix(strings.ToUpper(s), "<!DOCTYPE NETSCAPE"):
+		return ParseNetscape(strings.NewReader(s))
+	default:
+		return nil, fmt.Errorf("hotlist: unrecognised hotlist format")
+	}
+}
+
+// --- browser history ----------------------------------------------------------
+
+// historyHeader begins an NCSA Mosaic global-history file.
+const historyHeader = "ncsa-mosaic-history-format-1"
+
+// History is the browser's record of last-visit times per URL. It is the
+// tracker's source for "has the user already seen this version?" and is
+// safe for concurrent use.
+type History struct {
+	mu     sync.RWMutex
+	visits map[string]time.Time
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{visits: make(map[string]time.Time)}
+}
+
+// LastVisited returns when url was last viewed, if ever.
+func (h *History) LastVisited(url string) (time.Time, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	t, ok := h.visits[url]
+	return t, ok
+}
+
+// Visit records a view of url at time t, keeping the latest time.
+func (h *History) Visit(url string, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if old, ok := h.visits[url]; !ok || t.After(old) {
+		h.visits[url] = t
+	}
+}
+
+// Len returns the number of URLs in the history.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.visits)
+}
+
+// ParseHistory reads an NCSA-format global history file.
+func ParseHistory(r io.Reader) (*History, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != historyHeader {
+		return nil, fmt.Errorf("hotlist: not a history file (missing %q)", historyHeader)
+	}
+	sc.Scan() // list name line; ignored
+	h := NewHistory()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		url, dateStr, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		t, err := time.Parse(time.ANSIC, strings.TrimSpace(dateStr))
+		if err != nil {
+			continue
+		}
+		h.visits[url] = t.UTC()
+	}
+	return h, sc.Err()
+}
+
+// WriteHistory renders the history in NCSA format, sorted by URL for
+// stable output.
+func (h *History) WriteHistory(w io.Writer) error {
+	h.mu.RLock()
+	urls := make([]string, 0, len(h.visits))
+	for u := range h.visits {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	lines := make([]string, len(urls))
+	for i, u := range urls {
+		lines[i] = fmt.Sprintf("%s %s", u, h.visits[u].UTC().Format(time.ANSIC))
+	}
+	h.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, historyHeader)
+	fmt.Fprintln(bw, "Default")
+	for _, l := range lines {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,220 @@
+package hotlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const netscapeSample = `<!DOCTYPE NETSCAPE-Bookmark-file-1>
+<!-- This is an automatically generated file. -->
+<TITLE>Bookmarks for Fred</TITLE>
+<H1>Bookmarks</H1>
+<DL><p>
+    <DT><H3 ADD_DATE="812345678">Research</H3>
+    <DL><p>
+        <DT><A HREF="http://www.usenix.org/" ADD_DATE="812000000" LAST_VISIT="815000000">USENIX Association</A>
+        <DT><A HREF="http://www.research.att.com/" LAST_VISIT="816000000">AT&amp;T Research. Home page.</A>
+    </DL><p>
+    <DT><A HREF="http://www.yahoo.com/">Yahoo</A>
+</DL><p>
+`
+
+func TestParseNetscape(t *testing.T) {
+	entries, err := ParseNetscape(strings.NewReader(netscapeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.URL != "http://www.usenix.org/" || e.Title != "USENIX Association" {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if e.LastVisit != time.Unix(815000000, 0).UTC() {
+		t.Errorf("LAST_VISIT = %v", e.LastVisit)
+	}
+	if e.AddDate != time.Unix(812000000, 0).UTC() {
+		t.Errorf("ADD_DATE = %v", e.AddDate)
+	}
+	// Title containing a period spans sentences but must stay whole.
+	if entries[1].Title != "AT&amp;T Research. Home page." {
+		t.Errorf("entry 1 title = %q", entries[1].Title)
+	}
+	// Entry without dates parses with zero times.
+	if !entries[2].LastVisit.IsZero() || entries[2].Title != "Yahoo" {
+		t.Errorf("entry 2 = %+v", entries[2])
+	}
+}
+
+func TestNetscapeRoundTrip(t *testing.T) {
+	in := []Entry{
+		{URL: "http://a/", Title: "Page A", AddDate: time.Unix(812000000, 0).UTC(),
+			LastVisit: time.Unix(815000000, 0).UTC()},
+		{URL: "http://b/", Title: "Page B"},
+	}
+	var buf bytes.Buffer
+	if err := WriteNetscape(&buf, "Bookmarks", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseNetscape(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+const mosaicSample = `ncsa-xmosaic-hotlist-format-1
+Default
+http://www.usenix.org/ Thu Sep 28 12:00:00 1995
+USENIX Association
+http://c2.com/cgi-bin/wiki Fri Sep 29 08:30:00 1995
+WikiWikiWeb front page
+`
+
+func TestParseMosaic(t *testing.T) {
+	entries, err := ParseMosaic(strings.NewReader(mosaicSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].URL != "http://www.usenix.org/" || entries[0].Title != "USENIX Association" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	want := time.Date(1995, 9, 28, 12, 0, 0, 0, time.UTC)
+	if !entries[0].AddDate.Equal(want) {
+		t.Errorf("date = %v, want %v", entries[0].AddDate, want)
+	}
+	if entries[1].Title != "WikiWikiWeb front page" {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+}
+
+func TestMosaicRoundTrip(t *testing.T) {
+	in := []Entry{
+		{URL: "http://x/", Title: "X page", AddDate: time.Date(1995, 11, 3, 1, 2, 3, 0, time.UTC)},
+		{URL: "http://y/", Title: "Y page", AddDate: time.Date(1995, 12, 25, 0, 0, 0, 0, time.UTC)},
+	}
+	var buf bytes.Buffer
+	if err := WriteMosaic(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseMosaic(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestParseMosaicRejectsWrongHeader(t *testing.T) {
+	if _, err := ParseMosaic(strings.NewReader("not-a-hotlist\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestParseSniffsFormat(t *testing.T) {
+	if entries, err := Parse(strings.NewReader(netscapeSample)); err != nil || len(entries) != 3 {
+		t.Errorf("netscape sniff: %d entries, err %v", len(entries), err)
+	}
+	if entries, err := Parse(strings.NewReader(mosaicSample)); err != nil || len(entries) != 2 {
+		t.Errorf("mosaic sniff: %d entries, err %v", len(entries), err)
+	}
+	if _, err := Parse(strings.NewReader("random text")); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestHistoryBasics(t *testing.T) {
+	h := NewHistory()
+	if _, ok := h.LastVisited("http://x/"); ok {
+		t.Error("empty history has entries")
+	}
+	t1 := time.Date(1995, 10, 1, 10, 0, 0, 0, time.UTC)
+	t2 := t1.Add(time.Hour)
+	h.Visit("http://x/", t1)
+	h.Visit("http://x/", t2)
+	if got, _ := h.LastVisited("http://x/"); !got.Equal(t2) {
+		t.Errorf("latest visit = %v, want %v", got, t2)
+	}
+	// Older visit must not regress the record.
+	h.Visit("http://x/", t1)
+	if got, _ := h.LastVisited("http://x/"); !got.Equal(t2) {
+		t.Errorf("visit regressed to %v", got)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	h := NewHistory()
+	h.Visit("http://a/", time.Date(1995, 9, 29, 12, 0, 0, 0, time.UTC))
+	h.Visit("http://b/", time.Date(1995, 11, 3, 18, 30, 0, 0, time.UTC))
+	var buf bytes.Buffer
+	if err := h.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParseHistory(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"http://a/", "http://b/"} {
+		want, _ := h.LastVisited(u)
+		got, ok := h2.LastVisited(u)
+		if !ok || !got.Equal(want) {
+			t.Errorf("%s: got %v ok=%v, want %v", u, got, ok, want)
+		}
+	}
+}
+
+func TestParseHistoryRejectsWrongHeader(t *testing.T) {
+	if _, err := ParseHistory(strings.NewReader("wrong\n")); err == nil {
+		t.Error("bad history header accepted")
+	}
+}
+
+func TestHistorySkipsMalformedLines(t *testing.T) {
+	src := `ncsa-mosaic-history-format-1
+Default
+http://good/ Thu Sep 28 12:00:00 1995
+malformed-line-without-date
+http://bad/ not a date at all
+`
+	h, err := ParseHistory(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.LastVisited("http://good/"); !ok {
+		t.Error("good line lost")
+	}
+	if _, ok := h.LastVisited("http://bad/"); ok {
+		t.Error("malformed date accepted")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestHistoryConcurrentAccess(t *testing.T) {
+	h := NewHistory()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			h.Visit("http://x/", time.Unix(int64(i), 0))
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		h.LastVisited("http://x/")
+	}
+	<-done
+}

@@ -1,0 +1,108 @@
+package htmldiff
+
+import (
+	"strings"
+
+	"aide/internal/htmldoc"
+)
+
+// This file implements the other §5.3 refinement: "We are experimenting
+// with methods for varying the degree to which old and new text can be
+// interspersed". When every other sentence changed, the strict merged
+// page becomes a muddle of alternating struck-out and emphasised
+// fragments. Coalescing rewrites such passages as one block: the old
+// passage struck out in full, then the new passage in full — at the cost
+// of repeating the small amount of common text inside the block.
+
+// blockPart is one token of a coalesced block's new side.
+type blockPart struct {
+	tok      htmldoc.Token
+	inserted bool
+}
+
+// coalesce merges difference regions separated by runs of at most
+// within common tokens into single block segments. within <= 0 leaves
+// the segments untouched.
+func coalesce(segs []segment, within int) []segment {
+	if within <= 0 {
+		return segs
+	}
+	var out []segment
+	i := 0
+	for i < len(segs) {
+		if segs[i].kind == segCommon {
+			out = append(out, segs[i])
+			i++
+			continue
+		}
+		// Start of a difference cluster: extend while the gaps between
+		// difference segments are short common runs.
+		j := i
+		diffCount := 0
+		last := i
+		for j < len(segs) {
+			if segs[j].kind == segCommon {
+				if len(segs[j].new) > within {
+					break
+				}
+				j++
+				continue
+			}
+			diffCount++
+			last = j
+			j++
+		}
+		cluster := segs[i : last+1]
+		if diffCount < 2 {
+			// A lone difference region is already readable.
+			out = append(out, cluster...)
+		} else {
+			out = append(out, buildBlock(cluster))
+		}
+		i = last + 1
+	}
+	return out
+}
+
+// buildBlock folds a cluster of segments into one block segment.
+func buildBlock(cluster []segment) segment {
+	blk := segment{kind: segBlock}
+	for _, s := range cluster {
+		switch s.kind {
+		case segCommon:
+			blk.old = append(blk.old, s.old...)
+			for _, tok := range s.new {
+				blk.parts = append(blk.parts, blockPart{tok: tok})
+			}
+		case segOld:
+			blk.old = append(blk.old, s.old...)
+		case segNew:
+			for _, tok := range s.new {
+				blk.parts = append(blk.parts, blockPart{tok: tok, inserted: true})
+			}
+		case segModified:
+			blk.old = append(blk.old, s.old...)
+			blk.parts = append(blk.parts, blockPart{tok: s.new[0], inserted: true})
+		}
+	}
+	return blk
+}
+
+// renderBlock writes a coalesced block: the old passage struck out in
+// full, then the new passage with its insertions emphasised.
+func renderBlock(sb *strings.Builder, s segment) {
+	renderOldTokens(sb, s.old)
+	for _, p := range s.parts {
+		if p.tok.Kind == htmldoc.Breaking {
+			sb.WriteString(p.tok.Text())
+			sb.WriteByte('\n')
+			continue
+		}
+		if p.inserted {
+			renderEmphasizedSentence(sb, p.tok, nil)
+		} else {
+			sb.WriteString(p.tok.Text())
+			sb.WriteByte('\n')
+		}
+	}
+}

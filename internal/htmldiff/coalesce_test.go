@@ -1,0 +1,82 @@
+package htmldiff
+
+import (
+	"strings"
+	"testing"
+)
+
+// muddled builds the §5.3 worst case: every other sentence changed.
+const muddledOld = `<P>one stays. two goes. three stays. four goes. five stays. six goes.</P>`
+const muddledNew = `<P>one stays. TWO CAME. three stays. FOUR CAME. five stays. SIX CAME.</P>`
+
+func TestCoalesceMergesAlternatingChanges(t *testing.T) {
+	plain := Diff(muddledOld, muddledNew, Options{})
+	coal := Diff(muddledOld, muddledNew, Options{CoalesceWithin: 2})
+	if plain.Stats.Differences <= coal.Stats.Differences {
+		t.Fatalf("coalescing did not reduce regions: %d -> %d",
+			plain.Stats.Differences, coal.Stats.Differences)
+	}
+	if coal.Stats.Differences != 1 {
+		t.Fatalf("want one coalesced region, got %d", coal.Stats.Differences)
+	}
+	// The old passage appears struck as a block, before the new passage.
+	out := body(coal)
+	firstStrike := strings.Index(out, "<STRIKE>")
+	lastStrike := strings.LastIndex(out, "</STRIKE>")
+	firstEmph := strings.Index(out, "<STRONG><I>")
+	if firstStrike < 0 || firstEmph < 0 || lastStrike > firstEmph {
+		t.Errorf("old block does not precede new block:\n%s", out)
+	}
+	// All content survives: old deleted words struck, new words present.
+	for _, want := range []string{"two", "four", "six", "TWO", "FOUR", "SIX", "one", "five"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coalesced output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoalesceLeavesIsolatedChangesAlone(t *testing.T) {
+	a := `<P>alpha beta gamma delta epsilon zeta eta theta one gone here.</P>
+<P>middle paragraph totally stable with many words inside it.</P>
+<P>iota kappa lambda mu nu xi omicron pi two gone here.</P>`
+	b := strings.ReplaceAll(a, "one gone here", "one came here")
+	b = strings.ReplaceAll(b, "two gone here", "two came here")
+	plain := Diff(a, b, Options{})
+	coal := Diff(a, b, Options{CoalesceWithin: 1})
+	// The changes are far apart (long common runs), so coalescing with a
+	// small window must not merge them.
+	if coal.Stats.Differences != plain.Stats.Differences {
+		t.Errorf("distant changes merged: %d vs %d",
+			coal.Stats.Differences, plain.Stats.Differences)
+	}
+}
+
+func TestCoalesceZeroIsIdentity(t *testing.T) {
+	a := muddledOld
+	b := muddledNew
+	plain := Diff(a, b, Options{})
+	zero := Diff(a, b, Options{CoalesceWithin: 0})
+	if plain.HTML != zero.HTML {
+		t.Error("CoalesceWithin=0 altered output")
+	}
+}
+
+func TestCoalesceOnlyNewMode(t *testing.T) {
+	r := Diff(muddledOld, muddledNew, Options{CoalesceWithin: 2, Mode: OnlyNew})
+	out := body(r)
+	if strings.Contains(out, "<STRIKE>") {
+		t.Errorf("OnlyNew block contains strike-out:\n%s", out)
+	}
+	for _, want := range []string{"TWO", "FOUR", "SIX", "one", "three"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OnlyNew block missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoalesceIdenticalInputsUnaffected(t *testing.T) {
+	r := Diff(muddledOld, muddledOld, Options{CoalesceWithin: 3})
+	if r.Stats.Changed() || r.Stats.Differences != 0 {
+		t.Errorf("identical inputs with coalescing: %+v", r.Stats)
+	}
+}

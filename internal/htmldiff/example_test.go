@@ -1,0 +1,49 @@
+package htmldiff_test
+
+import (
+	"fmt"
+	"strings"
+
+	"aide/internal/htmldiff"
+)
+
+// ExampleDiff shows the basic comparison: a sentence was edited and a
+// new sentence appended; the merged page strikes the old word and
+// emphasises the new material.
+func ExampleDiff() {
+	oldPage := `<P>The meeting is on Tuesday.</P>`
+	newPage := `<P>The meeting is on Thursday. Bring your laptop.</P>`
+
+	r := htmldiff.Diff(oldPage, newPage, htmldiff.Options{})
+	fmt.Println("changed:", r.Stats.Changed())
+	fmt.Println("regions:", r.Stats.Differences)
+	fmt.Println("struck out Tuesday:", strings.Contains(r.HTML, "<STRIKE>Tuesday.</STRIKE>"))
+	fmt.Println("emphasised laptop:", strings.Contains(r.HTML, "<STRONG><I>Bring your laptop.</I></STRONG>"))
+	// Output:
+	// changed: true
+	// regions: 2
+	// struck out Tuesday: true
+	// emphasised laptop: true
+}
+
+// ExampleCompare shows the cheap statistics-only path used for noise
+// filtering: whitespace and markup-case differences are not changes.
+func ExampleCompare() {
+	a := "<P>Hello   world.</P>"
+	b := "<p>\nHello world.\n</p>"
+	s := htmldiff.Compare(a, b, htmldiff.Options{})
+	fmt.Println("changed:", s.Changed())
+	// Output:
+	// changed: false
+}
+
+// ExampleOptions_onlyNew demonstrates the "Draconian" presentation: the
+// new page plus markers, with deleted material left out entirely.
+func ExampleOptions_onlyNew() {
+	oldPage := `<P>Keep this. Drop this sentence.</P>`
+	newPage := `<P>Keep this.</P>`
+	r := htmldiff.Diff(oldPage, newPage, htmldiff.Options{Mode: htmldiff.OnlyNew})
+	fmt.Println("shows deletion:", strings.Contains(r.HTML, "Drop this"))
+	// Output:
+	// shows deletion: false
+}

@@ -1,0 +1,23 @@
+package htmldiff
+
+import "testing"
+
+// FuzzDiff checks the comparator's hard invariants on arbitrary inputs:
+// no panics, a zero change fraction iff nothing changed, and the
+// suppression path never fires for identical inputs.
+func FuzzDiff(f *testing.F) {
+	f.Add("<P>one two three.</P>", "<P>one two four.</P>")
+	f.Add("", "")
+	f.Add("<UL><LI>a<LI>b</UL>", "<P>a b</P>")
+	f.Add("<PRE>x  y</PRE>", "<PRE>x y</PRE>")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		r := Diff(a, b, Options{MaxChangeFraction: 0.99, CoalesceWithin: 2})
+		if !r.Stats.Changed() && r.Stats.ChangeFraction != 0 {
+			t.Fatalf("unchanged but fraction %v", r.Stats.ChangeFraction)
+		}
+		self := Diff(a, a, Options{MaxChangeFraction: 0.01})
+		if self.Suppressed || self.Stats.Changed() {
+			t.Fatalf("self diff changed/suppressed: %+v", self.Stats)
+		}
+	})
+}

@@ -1,0 +1,686 @@
+// Package htmldiff compares two HTML pages and renders the differences as
+// marked-up HTML, reproducing the paper's §5.
+//
+// The comparison treats a document as a sequence of sentences and
+// sentence-breaking markups (internal/htmldoc) and computes a weighted
+// longest common subsequence over the tokens with Hirschberg's algorithm
+// (internal/lcs):
+//
+//   - breaking markups match only identical breaking markups (modulo
+//     whitespace, case, and attribute order), with weight 1;
+//   - sentences match sentences in two steps: a cheap length filter, then
+//     an inner LCS whose weight W is the number of common words and
+//     content-defining markups; the sentences match iff 2·W/L is large
+//     enough, where L is the sum of their lengths.
+//
+// The default presentation is the paper's merged page: common material
+// appears once, deleted text is struck out (<STRIKE>), inserted text is
+// bold italic (<STRONG><I>), and red/green arrows — internal hypertext
+// references chained together — point at old and new material. Old
+// markups (deleted images, dead anchors) are eliminated from the merged
+// page to keep it syntactically sane.
+package htmldiff
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"aide/internal/htmldoc"
+	"aide/internal/lcs"
+)
+
+// Mode selects the presentation of the comparison (§5.2).
+type Mode int
+
+// Presentation modes.
+const (
+	// Merged produces one page summarising common, old, and new material.
+	Merged Mode = iota
+	// OnlyDifferences elides the common material, like UNIX diff.
+	OnlyDifferences
+	// OnlyNew is the "Draconian" option: the new page plus markers
+	// pointing at the new material; old material is left out entirely.
+	OnlyNew
+)
+
+// Options tune the comparison and presentation.
+type Options struct {
+	// Mode selects the presentation; the default is Merged.
+	Mode Mode
+	// Reverse swaps the sense of old and new, producing a merged page
+	// with the old markups intact and the new ones deleted (§5.2).
+	Reverse bool
+	// LengthRatio is the first-step sentence filter: two sentences may
+	// match only if min(len)/max(len) >= LengthRatio. 0 means the
+	// default of 0.5.
+	LengthRatio float64
+	// MatchRatio is the second-step threshold on 2W/L. 0 means the
+	// default of 0.5.
+	MatchRatio float64
+	// CoalesceWithin, if positive, merges difference regions separated
+	// by at most this many common tokens into single old-block /
+	// new-block passages — §5.3's control over "the degree to which old
+	// and new text can be interspersed". Zero disables coalescing.
+	CoalesceWithin int
+	// MaxChangeFraction, if positive, suppresses the merged view when
+	// the fraction of changed tokens exceeds it (§5.3: changes "so
+	// pervasive as to make the resulting merged HTML unreadable"). The
+	// result is then the new page with an explanatory banner.
+	MaxChangeFraction float64
+	// Title is used in the banner; typically the page URL.
+	Title string
+	// OldArrow and NewArrow override the difference markers. They must
+	// be self-contained HTML fragments (e.g. <IMG> tags). Defaults are
+	// red and green text arrows.
+	OldArrow, NewArrow string
+}
+
+func (o *Options) lengthRatio() float64 {
+	if o.LengthRatio > 0 {
+		return o.LengthRatio
+	}
+	return 0.5
+}
+
+func (o *Options) matchRatio() float64 {
+	if o.MatchRatio > 0 {
+		return o.MatchRatio
+	}
+	return 0.5
+}
+
+func (o *Options) oldArrow() string {
+	if o.OldArrow != "" {
+		return o.OldArrow
+	}
+	return `<FONT COLOR="#CC0000"><B>-&gt;</B></FONT>`
+}
+
+func (o *Options) newArrow() string {
+	if o.NewArrow != "" {
+		return o.NewArrow
+	}
+	return `<FONT COLOR="#007700"><B>-&gt;</B></FONT>`
+}
+
+// Stats summarises a comparison.
+type Stats struct {
+	// OldTokens and NewTokens are the token counts of the two inputs.
+	OldTokens, NewTokens int
+	// Common counts tokens matched with identical content.
+	Common int
+	// Modified counts sentence pairs matched by the weighted LCS but not
+	// identical (edited in place).
+	Modified int
+	// Deleted and Inserted count unmatched old and new tokens.
+	Deleted, Inserted int
+	// Differences is the number of difference regions (arrow anchors).
+	Differences int
+	// ChangeFraction is (Deleted+Inserted+Modified) / max(token counts).
+	ChangeFraction float64
+}
+
+// Changed reports whether the two stats describe any difference.
+func (s Stats) Changed() bool {
+	return s.Modified > 0 || s.Deleted > 0 || s.Inserted > 0
+}
+
+// Result is the outcome of a comparison.
+type Result struct {
+	// HTML is the rendered presentation.
+	HTML string
+	// Stats summarises the comparison.
+	Stats Stats
+	// Suppressed is true when MaxChangeFraction cut off the merged view.
+	Suppressed bool
+}
+
+// Diff compares two HTML pages and renders the differences.
+func Diff(oldHTML, newHTML string, opt Options) Result {
+	if opt.Reverse {
+		oldHTML, newHTML = newHTML, oldHTML
+	}
+	oldToks := htmldoc.Tokenize(oldHTML)
+	newToks := htmldoc.Tokenize(newHTML)
+	segs, stats := align(oldToks, newToks, &opt)
+	if opt.CoalesceWithin > 0 {
+		segs = coalesce(segs, opt.CoalesceWithin)
+		stats.Differences = 0
+		for _, s := range segs {
+			if s.kind != segCommon {
+				stats.Differences++
+			}
+		}
+	}
+	r := Result{Stats: stats}
+	if opt.MaxChangeFraction > 0 && stats.ChangeFraction > opt.MaxChangeFraction && stats.Changed() {
+		r.Suppressed = true
+		r.HTML = renderSuppressed(newToks, stats, &opt)
+		return r
+	}
+	switch opt.Mode {
+	case OnlyDifferences:
+		r.HTML = renderOnlyDifferences(segs, stats, &opt)
+	case OnlyNew:
+		r.HTML = renderOnlyNew(segs, stats, &opt)
+	default:
+		r.HTML = renderMerged(segs, stats, &opt)
+	}
+	return r
+}
+
+// Compare runs only the alignment and returns the statistics; it is the
+// cheap path for "has this page really changed?" noise filtering.
+func Compare(oldHTML, newHTML string, opt Options) Stats {
+	if opt.Reverse {
+		oldHTML, newHTML = newHTML, oldHTML
+	}
+	_, stats := align(htmldoc.Tokenize(oldHTML), htmldoc.Tokenize(newHTML), &opt)
+	return stats
+}
+
+// --- alignment -------------------------------------------------------------
+
+// segKind classifies an alignment segment.
+type segKind int
+
+const (
+	segCommon segKind = iota
+	segOld
+	segNew
+	segModified
+	segBlock
+)
+
+// segment is a run of the alignment: common tokens, unmatched old tokens,
+// unmatched new tokens, one matched-but-edited sentence pair, or — after
+// coalescing — a block of old material paired with ordered new parts.
+type segment struct {
+	kind  segKind
+	old   []htmldoc.Token
+	new   []htmldoc.Token
+	parts []blockPart // segBlock only
+}
+
+// align computes the token alignment and folds it into segments.
+func align(oldToks, newToks []htmldoc.Token, opt *Options) ([]segment, Stats) {
+	w := newTokenWeights(oldToks, newToks, opt.lengthRatio(), opt.matchRatio())
+	pairs := lcs.Hirschberg(w)
+
+	var segs []segment
+	stats := Stats{OldTokens: len(oldToks), NewTokens: len(newToks)}
+	ai, bi := 0, 0
+	emitGap := func(aHi, bHi int) {
+		if aHi > ai {
+			segs = append(segs, segment{kind: segOld, old: oldToks[ai:aHi]})
+			stats.Deleted += aHi - ai
+		}
+		if bHi > bi {
+			segs = append(segs, segment{kind: segNew, new: newToks[bi:bHi]})
+			stats.Inserted += bHi - bi
+		}
+		ai, bi = aHi, bHi
+	}
+	for _, p := range pairs {
+		emitGap(p.AIdx, p.BIdx)
+		ot, nt := oldToks[p.AIdx], newToks[p.BIdx]
+		if ot.NormKey() == nt.NormKey() {
+			// Identical token: extend or start a common segment.
+			if n := len(segs); n > 0 && segs[n-1].kind == segCommon {
+				segs[n-1].old = append(segs[n-1].old, ot)
+				segs[n-1].new = append(segs[n-1].new, nt)
+			} else {
+				segs = append(segs, segment{kind: segCommon,
+					old: []htmldoc.Token{ot}, new: []htmldoc.Token{nt}})
+			}
+			stats.Common++
+		} else {
+			segs = append(segs, segment{kind: segModified,
+				old: []htmldoc.Token{ot}, new: []htmldoc.Token{nt}})
+			stats.Modified++
+		}
+		ai, bi = p.AIdx+1, p.BIdx+1
+	}
+	emitGap(len(oldToks), len(newToks))
+
+	for _, s := range segs {
+		if s.kind != segCommon {
+			stats.Differences++
+		}
+	}
+	denom := stats.OldTokens
+	if stats.NewTokens > denom {
+		denom = stats.NewTokens
+	}
+	if denom > 0 {
+		stats.ChangeFraction = float64(stats.Deleted+stats.Inserted+stats.Modified) / float64(denom)
+	}
+	return segs, stats
+}
+
+// tokenWeights implements lcs.Weights over two token streams with the
+// paper's two-step sentence matching, plus two speed optimisations: a
+// memo table (Hirschberg evaluates weights repeatedly) and O(1) rejects
+// via kind/length checks and key hashes.
+type tokenWeights struct {
+	a, b        []htmldoc.Token
+	keyA, keyB  []string
+	lenA, lenB  []int
+	itemsA      [][]string // per-token item norm keys (sentences only)
+	itemsB      [][]string
+	memo        []float32
+	useMemo     bool
+	lengthRatio float64
+	matchRatio  float64
+}
+
+const memoLimit = 1 << 24 // cells; beyond this, recompute on demand
+
+func newTokenWeights(a, b []htmldoc.Token, lengthRatio, matchRatio float64) *tokenWeights {
+	w := &tokenWeights{
+		a: a, b: b,
+		keyA: make([]string, len(a)), keyB: make([]string, len(b)),
+		lenA: make([]int, len(a)), lenB: make([]int, len(b)),
+		itemsA: make([][]string, len(a)), itemsB: make([][]string, len(b)),
+		lengthRatio: lengthRatio, matchRatio: matchRatio,
+	}
+	for i, t := range a {
+		w.keyA[i], w.lenA[i], w.itemsA[i] = t.NormKey(), t.ContentLength(), itemKeys(t)
+	}
+	for j, t := range b {
+		w.keyB[j], w.lenB[j], w.itemsB[j] = t.NormKey(), t.ContentLength(), itemKeys(t)
+	}
+	if n := len(a) * len(b); n > 0 && n <= memoLimit {
+		w.memo = make([]float32, n)
+		for i := range w.memo {
+			w.memo[i] = -1
+		}
+		w.useMemo = true
+	}
+	return w
+}
+
+func itemKeys(t htmldoc.Token) []string {
+	if t.Kind != htmldoc.Sentence {
+		return nil
+	}
+	keys := make([]string, len(t.Items))
+	for i, it := range t.Items {
+		keys[i] = it.NormKey()
+	}
+	return keys
+}
+
+func (w *tokenWeights) LenA() int { return len(w.a) }
+func (w *tokenWeights) LenB() int { return len(w.b) }
+
+func (w *tokenWeights) Weight(i, j int) float64 {
+	if w.useMemo {
+		if v := w.memo[i*len(w.b)+j]; v >= 0 {
+			return float64(v)
+		}
+	}
+	v := w.weight(i, j)
+	if w.useMemo {
+		w.memo[i*len(w.b)+j] = float32(v)
+	}
+	return v
+}
+
+func (w *tokenWeights) weight(i, j int) float64 {
+	ta, tb := w.a[i], w.b[j]
+	if ta.Kind != tb.Kind {
+		return 0 // sentences match only sentences, markups only markups
+	}
+	if ta.Kind == htmldoc.Breaking {
+		if w.keyA[i] == w.keyB[j] {
+			return 1
+		}
+		return 0
+	}
+	la, lb := w.lenA[i], w.lenB[j]
+	if la == 0 && lb == 0 {
+		// Formatting-only sentences: match iff identical.
+		if w.keyA[i] == w.keyB[j] {
+			return 0.5
+		}
+		return 0
+	}
+	// Step 1: the sentence-length filter.
+	lo, hi := la, lb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 0 && float64(lo)/float64(hi) < w.lengthRatio {
+		return 0
+	}
+	if w.keyA[i] == w.keyB[j] {
+		return float64(la) // identical sentence: W is its full length
+	}
+	// Step 2: the inner LCS over words and markups.
+	pairs := lcs.Strings(w.itemsA[i], w.itemsB[j])
+	W := 0
+	for _, p := range pairs {
+		it := w.a[i].Items[p.AIdx]
+		if it.Kind == htmldoc.Word || it.IsContentDefining() {
+			W++
+		}
+	}
+	L := la + lb
+	if L == 0 || 2*float64(W)/float64(L) < w.matchRatio {
+		return 0
+	}
+	return float64(W)
+}
+
+// --- rendering -------------------------------------------------------------
+
+// anchorName returns the NAME of the n-th difference anchor.
+func anchorName(n int) string { return fmt.Sprintf("AIDE-diff-%d", n) }
+
+// arrow emits the n-th difference marker: an internal hypertext reference
+// chained to the following difference (the last chains back to the top).
+func arrow(n, total int, glyph string) string {
+	next := "#AIDE-top"
+	if n < total {
+		next = "#" + anchorName(n+1)
+	}
+	return fmt.Sprintf(`<A NAME="%s" HREF="%s">%s</A>`, anchorName(n), next, glyph)
+}
+
+// banner renders the header inserted at the front of the output (§5.2:
+// "A banner at the front of the document contains a link to the first
+// difference").
+func banner(stats Stats, opt *Options, note string) string {
+	var sb strings.Builder
+	sb.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD>`)
+	sb.WriteString(`<B>AIDE HtmlDiff</B>`)
+	if opt.Title != "" {
+		sb.WriteString(": " + html.EscapeString(opt.Title))
+	}
+	sb.WriteString("<BR>\n")
+	if !stats.Changed() {
+		sb.WriteString("No differences found.")
+	} else {
+		fmt.Fprintf(&sb, "%d difference region(s): %d deleted, %d inserted, %d modified token(s). ",
+			stats.Differences, stats.Deleted, stats.Inserted, stats.Modified)
+		fmt.Fprintf(&sb, `<A HREF="#%s">First difference</A>. `, anchorName(1))
+		sb.WriteString(`Deleted text is <STRIKE>struck out</STRIKE>; new text is <STRONG><I>emphasized</I></STRONG>.`)
+	}
+	if note != "" {
+		sb.WriteString("<BR>\n" + note)
+	}
+	sb.WriteString("</TD></TR></TABLE>\n<HR>\n")
+	return sb.String()
+}
+
+// renderMerged produces the paper's preferred merged-page presentation.
+func renderMerged(segs []segment, stats Stats, opt *Options) string {
+	var sb strings.Builder
+	sb.WriteString(banner(stats, opt, ""))
+	n := 0
+	for _, s := range segs {
+		switch s.kind {
+		case segCommon:
+			for _, t := range s.new {
+				sb.WriteString(t.Text())
+				sb.WriteByte('\n')
+			}
+		case segOld:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			sb.WriteByte('\n')
+			renderOldTokens(&sb, s.old)
+		case segNew:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderNewTokens(&sb, s.new)
+		case segModified:
+			n++
+			glyph := opt.newArrow()
+			sb.WriteString(arrow(n, stats.Differences, glyph))
+			sb.WriteByte('\n')
+			renderModifiedSentence(&sb, s.old[0], s.new[0])
+		case segBlock:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderBlock(&sb, s)
+		}
+	}
+	return sb.String()
+}
+
+// renderOnlyDifferences elides common material (§5.2's second option).
+func renderOnlyDifferences(segs []segment, stats Stats, opt *Options) string {
+	var sb strings.Builder
+	sb.WriteString(banner(stats, opt,
+		"Common text has been elided; only changed material is shown."))
+	n := 0
+	for _, s := range segs {
+		switch s.kind {
+		case segCommon:
+			continue
+		case segOld:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			sb.WriteByte('\n')
+			renderOldTokens(&sb, s.old)
+		case segNew:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderNewTokens(&sb, s.new)
+		case segModified:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderModifiedSentence(&sb, s.old[0], s.new[0])
+		case segBlock:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderBlock(&sb, s)
+		}
+		sb.WriteString("<HR>\n")
+	}
+	return sb.String()
+}
+
+// renderOnlyNew is the "Draconian" option: the most recent page plus
+// markers pointing at new material; nothing old is shown, so the result
+// has no syntactic risk at all.
+func renderOnlyNew(segs []segment, stats Stats, opt *Options) string {
+	var sb strings.Builder
+	sb.WriteString(banner(stats, opt, "Deleted material is not shown."))
+	n := 0
+	for _, s := range segs {
+		switch s.kind {
+		case segCommon:
+			for _, t := range s.new {
+				sb.WriteString(t.Text())
+				sb.WriteByte('\n')
+			}
+		case segOld:
+			n++ // anchor chain still counts the region, but shows nothing
+			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			sb.WriteByte('\n')
+		case segNew:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			renderNewTokens(&sb, s.new)
+		case segModified:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			sb.WriteString(s.new[0].Text())
+			sb.WriteByte('\n')
+		case segBlock:
+			n++
+			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			sb.WriteByte('\n')
+			for _, p := range s.parts {
+				sb.WriteString(p.tok.Text())
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// renderSuppressed is the §5.3 fallback when changes are too pervasive.
+func renderSuppressed(newToks []htmldoc.Token, stats Stats, opt *Options) string {
+	var sb strings.Builder
+	note := fmt.Sprintf("Changes are too pervasive to display meaningfully "+
+		"(%.0f%% of the page changed); showing the new version unannotated.",
+		stats.ChangeFraction*100)
+	// Build a bannerless stats copy so the banner doesn't link to
+	// difference anchors that don't exist in this presentation.
+	plain := stats
+	plain.Differences = 0
+	sb.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD><B>AIDE HtmlDiff</B>`)
+	if opt.Title != "" {
+		sb.WriteString(": " + html.EscapeString(opt.Title))
+	}
+	sb.WriteString("<BR>\n" + note + "</TD></TR></TABLE>\n<HR>\n")
+	for _, t := range newToks {
+		sb.WriteString(t.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderOldTokens emits deleted material: words struck out, markups
+// eliminated (old hypertext references and images do not appear in the
+// merged page — §5.2).
+func renderOldTokens(sb *strings.Builder, toks []htmldoc.Token) {
+	for _, t := range toks {
+		if t.Kind == htmldoc.Breaking {
+			continue // old structural markup is dropped entirely
+		}
+		words := make([]string, 0, len(t.Items))
+		for _, it := range t.Items {
+			if it.Kind == htmldoc.Word {
+				words = append(words, it.Raw)
+			}
+		}
+		if len(words) == 0 {
+			continue
+		}
+		sep := " "
+		if t.Pre {
+			sep = "\n"
+		}
+		sb.WriteString("<STRIKE>")
+		sb.WriteString(strings.Join(words, sep))
+		sb.WriteString("</STRIKE>\n")
+	}
+}
+
+// renderNewTokens emits inserted material: breaking markups as-is, and
+// sentence words wrapped in the new-text font with their markups intact.
+func renderNewTokens(sb *strings.Builder, toks []htmldoc.Token) {
+	for _, t := range toks {
+		if t.Kind == htmldoc.Breaking {
+			sb.WriteString(t.Text())
+			sb.WriteByte('\n')
+			continue
+		}
+		renderEmphasizedSentence(sb, t, nil)
+	}
+}
+
+// renderEmphasizedSentence writes a sentence with word runs wrapped in
+// <STRONG><I>. If emphasize is non-nil, only items whose index is present
+// are emphasised; otherwise all words are.
+func renderEmphasizedSentence(sb *strings.Builder, t htmldoc.Token, emphasize map[int]bool) {
+	sep := " "
+	if t.Pre {
+		sep = "\n"
+	}
+	inEmph := false
+	for idx, it := range t.Items {
+		if idx > 0 {
+			sb.WriteString(sep)
+		}
+		want := it.Kind == htmldoc.Word && (emphasize == nil || emphasize[idx])
+		if want && !inEmph {
+			sb.WriteString("<STRONG><I>")
+			inEmph = true
+		}
+		if !want && inEmph {
+			sb.WriteString("</I></STRONG>")
+			inEmph = false
+		}
+		sb.WriteString(it.Raw)
+	}
+	if inEmph {
+		sb.WriteString("</I></STRONG>")
+	}
+	sb.WriteByte('\n')
+}
+
+// renderModifiedSentence merges a matched-but-edited sentence pair:
+// common words in the original font, deleted words struck out, inserted
+// words emphasised, old markups eliminated, new markups kept. A changed
+// content-defining markup (e.g. an anchor whose URL changed) is pointed
+// at by the arrow, but its text stays in the original font (§5.2).
+func renderModifiedSentence(sb *strings.Builder, old, new htmldoc.Token) {
+	oldKeys := itemKeys(old)
+	newKeys := itemKeys(new)
+	pairs := lcs.Strings(oldKeys, newKeys)
+	matchedNew := make(map[int]bool, len(pairs))
+	matchedOld := make(map[int]bool, len(pairs))
+	for _, p := range pairs {
+		matchedOld[p.AIdx] = true
+		matchedNew[p.BIdx] = true
+	}
+	sep := " "
+	if new.Pre {
+		sep = "\n"
+	}
+
+	// Walk the new sentence, interleaving deleted old words at the
+	// positions where they disappeared.
+	oi := 0
+	first := true
+	writeSep := func() {
+		if !first {
+			sb.WriteString(sep)
+		}
+		first = false
+	}
+	flushOldUpTo := func(limit int) {
+		for ; oi < limit; oi++ {
+			it := old.Items[oi]
+			if matchedOld[oi] || it.Kind != htmldoc.Word {
+				continue // matched items render via new; old markups drop
+			}
+			writeSep()
+			sb.WriteString("<STRIKE>" + it.Raw + "</STRIKE>")
+		}
+	}
+	pi := 0
+	for ni, it := range new.Items {
+		// Emit any old deletions that precede this new item's match.
+		if pi < len(pairs) && pairs[pi].BIdx == ni {
+			flushOldUpTo(pairs[pi].AIdx)
+			oi = pairs[pi].AIdx + 1
+			pi++
+			writeSep()
+			sb.WriteString(it.Raw)
+			continue
+		}
+		writeSep()
+		if it.Kind == htmldoc.Word {
+			sb.WriteString("<STRONG><I>" + it.Raw + "</I></STRONG>")
+		} else {
+			sb.WriteString(it.Raw) // new markup kept, unhighlighted
+		}
+	}
+	flushOldUpTo(len(old.Items))
+	sb.WriteByte('\n')
+}

@@ -1,0 +1,412 @@
+package htmldiff
+
+import (
+	"strings"
+	"testing"
+)
+
+// body strips the banner (everything through the first <HR>) so tests can
+// assert on the marked-up document itself; the banner legend contains
+// literal <STRIKE>/<STRONG> samples.
+func body(r Result) string {
+	_, rest, ok := strings.Cut(r.HTML, "<HR>\n")
+	if !ok {
+		return r.HTML
+	}
+	return rest
+}
+
+func TestIdenticalPagesNoDifferences(t *testing.T) {
+	page := `<HTML><BODY><H1>Title</H1><P>Some stable text here.</P></BODY></HTML>`
+	r := Diff(page, page, Options{})
+	if r.Stats.Changed() {
+		t.Fatalf("identical pages reported changed: %+v", r.Stats)
+	}
+	if !strings.Contains(r.HTML, "No differences found") {
+		t.Errorf("banner missing no-differences notice:\n%s", r.HTML)
+	}
+	if strings.Contains(r.HTML, "<STRIKE>") || strings.Contains(r.HTML, "<STRONG><I>") {
+		t.Errorf("identical diff contains change markup:\n%s", r.HTML)
+	}
+}
+
+func TestWhitespaceOnlyChangeIsNoChange(t *testing.T) {
+	a := "<P>Hello   world. </P>"
+	b := "<P>\nHello world.\n</P>"
+	if s := Compare(a, b, Options{}); s.Changed() {
+		t.Errorf("whitespace-only difference flagged: %+v", s)
+	}
+}
+
+func TestInsertedSentenceEmphasized(t *testing.T) {
+	a := `<P>First sentence stays.</P>`
+	b := `<P>First sentence stays. Brand new sentence added.</P>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Inserted == 0 {
+		t.Fatalf("no insertion detected: %+v", r.Stats)
+	}
+	if !strings.Contains(body(r), "<STRONG><I>Brand") {
+		t.Errorf("inserted text not emphasized:\n%s", r.HTML)
+	}
+	if strings.Contains(body(r), "<STRIKE>") {
+		t.Errorf("pure insertion produced struck-out text:\n%s", r.HTML)
+	}
+}
+
+func TestDeletedSentenceStruckOut(t *testing.T) {
+	a := `<P>Keep this. Delete this entire sentence.</P>`
+	b := `<P>Keep this.</P>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Deleted == 0 {
+		t.Fatalf("no deletion detected: %+v", r.Stats)
+	}
+	if !strings.Contains(r.HTML, "<STRIKE>Delete this entire sentence.</STRIKE>") {
+		t.Errorf("deleted text not struck out:\n%s", r.HTML)
+	}
+}
+
+func TestOldMarkupsEliminated(t *testing.T) {
+	// Deleted sentences lose their markups: dead links and images must
+	// not appear in the merged page (§5.2).
+	a := `<P>Gone sentence with <A HREF="dead.html">a dead link</A> and <IMG SRC="gone.gif"> image.</P>`
+	b := `<P>Completely different replacement text without any of those markups whatsoever.</P>`
+	r := Diff(a, b, Options{})
+	if strings.Contains(r.HTML, "dead.html") || strings.Contains(r.HTML, "gone.gif") {
+		t.Errorf("old markups leaked into merged page:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "<STRIKE>") {
+		t.Errorf("deleted words not struck out:\n%s", r.HTML)
+	}
+}
+
+func TestModifiedSentenceWordLevel(t *testing.T) {
+	a := `<P>The committee meets on Tuesday at noon.</P>`
+	b := `<P>The committee meets on Thursday at noon.</P>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Modified != 1 {
+		t.Fatalf("want 1 modified sentence, got %+v", r.Stats)
+	}
+	if !strings.Contains(r.HTML, "<STRIKE>Tuesday</STRIKE>") {
+		t.Errorf("old word not struck:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "<STRONG><I>Thursday</I></STRONG>") {
+		t.Errorf("new word not emphasized:\n%s", r.HTML)
+	}
+	// Unchanged words keep their original font.
+	if strings.Contains(r.HTML, "<STRONG><I>committee") {
+		t.Errorf("unchanged word emphasized:\n%s", r.HTML)
+	}
+}
+
+func TestAnchorURLChangeKeepsTextFont(t *testing.T) {
+	// The paper's example: changing the URL in an anchor but not the
+	// anchor text. An arrow points at the sentence, but the text itself
+	// stays in its original font.
+	a := `<P>See <A HREF="old-location.html">the project page</A> for details.</P>`
+	b := `<P>See <A HREF="new-location.html">the project page</A> for details.</P>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Modified != 1 {
+		t.Fatalf("want modified sentence, got %+v", r.Stats)
+	}
+	if strings.Contains(body(r), "<STRIKE>") || strings.Contains(body(r), "<STRONG><I>") {
+		t.Errorf("anchor-only change altered text font:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "new-location.html") {
+		t.Errorf("new anchor missing:\n%s", r.HTML)
+	}
+	if strings.Contains(r.HTML, "old-location.html") {
+		t.Errorf("old anchor kept:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, anchorName(1)) {
+		t.Errorf("no arrow points at the modified sentence:\n%s", r.HTML)
+	}
+}
+
+func TestParagraphToListIsFormatChangeOnly(t *testing.T) {
+	// §5.1: sentence content matches; the <P> -> <UL>/<LI> markups are
+	// the differences.
+	a := `<P>First point here. Second point here.</P>`
+	b := `<UL><LI>First point here.<LI>Second point here.</UL>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Modified != 0 {
+		t.Errorf("sentences reported modified: %+v", r.Stats)
+	}
+	// The content sentences survive unhighlighted.
+	if strings.Contains(r.HTML, "<STRIKE>First") || strings.Contains(r.HTML, "<STRONG><I>First") {
+		t.Errorf("unchanged sentence content highlighted:\n%s", r.HTML)
+	}
+	// Structural change is visible: the new list markup is present.
+	if !strings.Contains(r.HTML, "<UL>") {
+		t.Errorf("new structure missing:\n%s", r.HTML)
+	}
+}
+
+func TestArrowChain(t *testing.T) {
+	a := `<P>One stays. Two goes away. Three stays. Four goes away too. Five stays.</P>`
+	b := `<P>One stays. Three stays. Five stays. Six is brand new here.</P>`
+	r := Diff(a, b, Options{})
+	if r.Stats.Differences < 2 {
+		t.Fatalf("expected at least 2 difference regions: %+v", r.Stats)
+	}
+	// First arrow links to second.
+	if !strings.Contains(r.HTML, `<A NAME="AIDE-diff-1" HREF="#AIDE-diff-2">`) {
+		t.Errorf("arrow chain broken:\n%s", r.HTML)
+	}
+	// Last arrow links back to the top.
+	last := anchorName(r.Stats.Differences)
+	if !strings.Contains(r.HTML, `<A NAME="`+last+`" HREF="#AIDE-top">`) {
+		t.Errorf("last arrow does not return to top:\n%s", r.HTML)
+	}
+	// Banner links to the first difference.
+	if !strings.Contains(r.HTML, `<A HREF="#AIDE-diff-1">First difference</A>`) {
+		t.Errorf("banner missing first-difference link:\n%s", r.HTML)
+	}
+}
+
+func TestOldAndNewArrowsDistinct(t *testing.T) {
+	a := `<P>Content removed entirely from this page now.</P><P>Shared tail sentence.</P>`
+	b := `<P>Shared tail sentence.</P><P>Fresh content appended to this page now.</P>`
+	r := Diff(a, b, Options{})
+	if !strings.Contains(r.HTML, "#CC0000") {
+		t.Errorf("no red (old) arrow:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "#007700") {
+		t.Errorf("no green (new) arrow:\n%s", r.HTML)
+	}
+}
+
+func TestReverseSwapsRoles(t *testing.T) {
+	a := `<P>Original sentence about cats.</P>`
+	b := `<P>Original sentence about cats. Added sentence about dogs.</P>`
+	r := Diff(a, b, Options{Reverse: true})
+	// Reversed: the added sentence is now the "old" (deleted) one.
+	if !strings.Contains(r.HTML, "<STRIKE>Added sentence about dogs.</STRIKE>") {
+		t.Errorf("reverse mode did not strike the added sentence:\n%s", r.HTML)
+	}
+}
+
+func TestOnlyDifferencesElidesCommon(t *testing.T) {
+	a := `<P>Common alpha beta gamma delta. Removed sentence here.</P>`
+	b := `<P>Common alpha beta gamma delta.</P>`
+	r := Diff(a, b, Options{Mode: OnlyDifferences})
+	if strings.Contains(r.HTML, "alpha beta gamma") {
+		t.Errorf("common text not elided:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "<STRIKE>Removed sentence here.</STRIKE>") {
+		t.Errorf("difference missing:\n%s", r.HTML)
+	}
+}
+
+func TestOnlyNewHidesDeletions(t *testing.T) {
+	a := `<P>Stays the same. Vanishing sentence.</P>`
+	b := `<P>Stays the same. Arriving sentence.</P>`
+	r := Diff(a, b, Options{Mode: OnlyNew})
+	if strings.Contains(r.HTML, "Vanishing") {
+		t.Errorf("deleted material shown in OnlyNew mode:\n%s", r.HTML)
+	}
+	if !strings.Contains(body(r), "Arriving sentence.") {
+		t.Errorf("new material missing:\n%s", r.HTML)
+	}
+	if strings.Contains(body(r), "<STRIKE>") {
+		t.Errorf("strike-out in OnlyNew mode:\n%s", r.HTML)
+	}
+}
+
+func TestSuppressionOnPervasiveChange(t *testing.T) {
+	a := `<P>alpha one. beta two. gamma three. delta four. epsilon five.</P>`
+	b := `<P>zeta six. eta seven. theta eight. iota nine. kappa ten.</P>`
+	r := Diff(a, b, Options{MaxChangeFraction: 0.5, Title: "http://x/"})
+	if !r.Suppressed {
+		t.Fatalf("pervasive change not suppressed: %+v", r.Stats)
+	}
+	if strings.Contains(r.HTML, "<STRIKE>") {
+		t.Errorf("suppressed view still contains strike-outs:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "too pervasive") {
+		t.Errorf("suppression notice missing:\n%s", r.HTML)
+	}
+	// The new content is shown.
+	if !strings.Contains(r.HTML, "kappa ten.") {
+		t.Errorf("new page content missing:\n%s", r.HTML)
+	}
+}
+
+func TestSuppressionNotTriggeredBelowThreshold(t *testing.T) {
+	a := `<P>one two three four five six seven eight nine ten. changed bit.</P>`
+	b := `<P>one two three four five six seven eight nine ten. altered bit.</P>`
+	r := Diff(a, b, Options{MaxChangeFraction: 0.9})
+	if r.Suppressed {
+		t.Errorf("small change suppressed: %+v", r.Stats)
+	}
+}
+
+func TestTitleEscaped(t *testing.T) {
+	r := Diff("<P>a.</P>", "<P>b.</P>", Options{Title: `<script>"evil"</script>`})
+	if strings.Contains(r.HTML, "<script>") {
+		t.Errorf("title not escaped:\n%s", r.HTML)
+	}
+}
+
+func TestCustomArrows(t *testing.T) {
+	a := `<P>old sentence removed now.</P><P>shared ending sentence.</P>`
+	b := `<P>shared ending sentence.</P>`
+	r := Diff(a, b, Options{OldArrow: `<IMG SRC="red.gif" ALT="old">`})
+	if !strings.Contains(r.HTML, `<IMG SRC="red.gif" ALT="old">`) {
+		t.Errorf("custom arrow not used:\n%s", r.HTML)
+	}
+}
+
+func TestPreContentComparedByLine(t *testing.T) {
+	a := "<PRE>\nline one   kept\nline two   gone\n</PRE>"
+	b := "<PRE>\nline one   kept\nline two   here\n</PRE>"
+	r := Diff(a, b, Options{})
+	if !r.Stats.Changed() {
+		t.Fatalf("pre change not detected")
+	}
+	// Spacing inside PRE is preserved in the output.
+	if !strings.Contains(r.HTML, "line one   kept") {
+		t.Errorf("pre spacing lost:\n%s", r.HTML)
+	}
+}
+
+func TestCompareStatsCounts(t *testing.T) {
+	a := `<P>s one stays here. s two leaves now.</P>`
+	b := `<P>s one stays here. s three arrives now.</P>`
+	s := Compare(a, b, Options{})
+	if s.Deleted+s.Modified == 0 || s.Inserted+s.Modified == 0 {
+		t.Errorf("stats missing changes: %+v", s)
+	}
+	if s.ChangeFraction <= 0 || s.ChangeFraction > 1 {
+		t.Errorf("change fraction out of range: %v", s.ChangeFraction)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	r := Diff("", "", Options{})
+	if r.Stats.Changed() {
+		t.Errorf("empty vs empty changed: %+v", r.Stats)
+	}
+	r = Diff("", "<P>brand new page content.</P>", Options{})
+	if r.Stats.Inserted == 0 {
+		t.Errorf("empty old vs content: %+v", r.Stats)
+	}
+	r = Diff("<P>removed page content.</P>", "", Options{})
+	if r.Stats.Deleted == 0 {
+		t.Errorf("content vs empty new: %+v", r.Stats)
+	}
+}
+
+// usenixOld/usenixNew model the Figure 2 scenario: two versions of an
+// association home page with an edited announcement and a new item.
+const usenixOld = `<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD><BODY>
+<H1>USENIX: The UNIX and Advanced Computing Systems Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association.</P>
+<UL>
+<LI><A HREF="events.html">Calendar of upcoming events</A>
+<LI><A HREF="lisa95.html">LISA IX, Monterey, September 17-22, 1995.</A>
+<LI><A HREF="sec95.html">5th Security Symposium, Salt Lake City.</A>
+</UL>
+<P>Membership information is available online. Contact our office for
+registration materials.</P>
+<HR>
+<ADDRESS>USENIX Association, Berkeley CA</ADDRESS>
+</BODY></HTML>`
+
+const usenixNew = `<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD><BODY>
+<H1>USENIX: The UNIX and Advanced Computing Systems Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association.</P>
+<UL>
+<LI><A HREF="events.html">Calendar of upcoming events</A>
+<LI><A HREF="usenix96.html">1996 USENIX Technical Conference, San Diego,
+January 22-26, 1996.</A>
+<LI><A HREF="sec95.html">5th Security Symposium, Salt Lake City.</A>
+<LI><A HREF="sage.html">SAGE: the System Administrators Guild</A>
+</UL>
+<P>Membership information is available online. Contact our office for
+registration materials.</P>
+<HR>
+<ADDRESS>USENIX Association, Berkeley CA</ADDRESS>
+</BODY></HTML>`
+
+func TestMergedPageFigure2(t *testing.T) {
+	r := Diff(usenixOld, usenixNew, Options{Title: "http://www.usenix.org/"})
+	// The LISA announcement was replaced by the 1996 conference.
+	if !strings.Contains(body(r), "<STRIKE>") {
+		t.Errorf("no struck-out old announcement:\n%s", r.HTML)
+	}
+	if !strings.Contains(r.HTML, "usenix96.html") {
+		t.Errorf("new announcement link missing:\n%s", r.HTML)
+	}
+	if strings.Contains(r.HTML, "lisa95.html") {
+		t.Errorf("old announcement link survived into merged page:\n%s", r.HTML)
+	}
+	// The SAGE item is a pure addition and must be emphasised.
+	if !strings.Contains(r.HTML, "<STRONG><I>SAGE:") {
+		t.Errorf("added item not emphasized:\n%s", r.HTML)
+	}
+	// Common material appears exactly once.
+	if n := strings.Count(r.HTML, "Membership information is available online."); n != 1 {
+		t.Errorf("common sentence appears %d times", n)
+	}
+	// Arrows chain from the banner through every region.
+	if !strings.Contains(r.HTML, `HREF="#AIDE-diff-1"`) {
+		t.Errorf("banner does not link to first difference:\n%s", r.HTML)
+	}
+}
+
+func TestLargeDocumentAlignment(t *testing.T) {
+	// Build a long document and verify the aligner stays correct when
+	// the memo path and Hirschberg recursion are well exercised.
+	var a, b strings.Builder
+	for i := 0; i < 300; i++ {
+		s := "<P>Paragraph number " + strings.Repeat("x", i%7+1) + " content sentence here.</P>\n"
+		a.WriteString(s)
+		if i%29 == 0 {
+			b.WriteString("<P>Injected sentence replaces the original paragraph entirely.</P>\n")
+		} else {
+			b.WriteString(s)
+		}
+	}
+	r := Diff(a.String(), b.String(), Options{})
+	if !r.Stats.Changed() {
+		t.Fatal("changes not detected in large doc")
+	}
+	if r.Stats.Common == 0 {
+		t.Fatal("no common tokens found in large doc")
+	}
+	// Most of the document is unchanged.
+	if r.Stats.ChangeFraction > 0.3 {
+		t.Errorf("change fraction unexpectedly high: %v", r.Stats.ChangeFraction)
+	}
+}
+
+func BenchmarkHtmlDiffSmallChange(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("<P>Stable paragraph with a handful of words in it. ")
+		sb.WriteString("Second stable sentence too.</P>\n")
+	}
+	oldPage := sb.String()
+	newPage := strings.Replace(oldPage, "handful", "bunch", 3)
+	b.SetBytes(int64(len(oldPage)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diff(oldPage, newPage, Options{})
+	}
+}
+
+func BenchmarkCompareIdentical(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<P>Identical page content sentence number whatever.</P>\n")
+	}
+	page := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(page, page, Options{})
+	}
+}

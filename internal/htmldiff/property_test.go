@@ -1,0 +1,181 @@
+package htmldiff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aide/internal/htmldoc"
+)
+
+// Property-based tests for the invariants a diff-to-HTML renderer must
+// never break, over randomly generated 1995-style documents.
+
+// genDoc builds a random small HTML document from a fixed vocabulary.
+func genDoc(r *rand.Rand) string {
+	words := []string{"web", "page", "change", "track", "version", "diff", "system"}
+	tags := []string{"P", "LI", "H2", "BLOCKQUOTE"}
+	var sb strings.Builder
+	sb.WriteString("<HTML><BODY>")
+	for para := 0; para < 1+r.Intn(6); para++ {
+		tag := tags[r.Intn(len(tags))]
+		sb.WriteString("<" + tag + ">")
+		for s := 0; s < 1+r.Intn(3); s++ {
+			for w := 0; w < 1+r.Intn(6); w++ {
+				sb.WriteString(words[r.Intn(len(words))] + " ")
+			}
+			sb.WriteString(". ")
+		}
+		sb.WriteString("</" + tag + ">")
+	}
+	sb.WriteString("</BODY></HTML>")
+	return sb.String()
+}
+
+// mutate applies a random edit: delete, insert, or swap a paragraph.
+func mutate(r *rand.Rand, doc string) string {
+	parts := strings.SplitAfter(doc, ">")
+	if len(parts) < 4 {
+		return doc + "<P>added tail sentence here.</P>"
+	}
+	i := 1 + r.Intn(len(parts)-2)
+	switch r.Intn(3) {
+	case 0:
+		parts[i] = "" // delete a fragment
+	case 1:
+		parts[i] += "<P>inserted paragraph right here. </P>"
+	default:
+		j := 1 + r.Intn(len(parts)-2)
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "")
+}
+
+func TestPropertySelfDiffIsEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		doc := genDoc(r)
+		res := Diff(doc, doc, Options{})
+		if res.Stats.Changed() {
+			t.Fatalf("trial %d: self diff changed: %+v\ndoc: %s", trial, res.Stats, doc)
+		}
+		if res.Stats.ChangeFraction != 0 {
+			t.Fatalf("trial %d: self diff fraction %v", trial, res.Stats.ChangeFraction)
+		}
+	}
+}
+
+func TestPropertyAllNewContentSurvivesInMerged(t *testing.T) {
+	// Every word of the NEW document must appear in the merged page
+	// (deletions are struck out but additions and common text must all
+	// be there).
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		oldDoc := genDoc(r)
+		newDoc := mutate(r, oldDoc)
+		res := Diff(oldDoc, newDoc, Options{})
+		for _, tok := range htmldoc.Tokenize(newDoc) {
+			for _, it := range tok.Items {
+				if it.Kind != htmldoc.Word {
+					continue
+				}
+				if !strings.Contains(res.HTML, it.Raw) {
+					t.Fatalf("trial %d: new word %q missing from merged page\nold: %s\nnew: %s\nout: %s",
+						trial, it.Raw, oldDoc, newDoc, res.HTML)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyOnlyNewNeverStrikes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		oldDoc := genDoc(r)
+		newDoc := mutate(r, oldDoc)
+		res := Diff(oldDoc, newDoc, Options{Mode: OnlyNew})
+		if strings.Contains(body(res), "<STRIKE>") {
+			t.Fatalf("trial %d: OnlyNew produced strike-out", trial)
+		}
+	}
+}
+
+func TestPropertyBalancedMarkupInsertions(t *testing.T) {
+	// The renderer's own markup must stay balanced: equal counts of
+	// open/close STRIKE and STRONG tags.
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 150; trial++ {
+		oldDoc := genDoc(r)
+		newDoc := mutate(r, mutate(r, oldDoc))
+		res := Diff(oldDoc, newDoc, Options{})
+		for _, pair := range [][2]string{
+			{"<STRIKE>", "</STRIKE>"},
+			{"<STRONG><I>", "</I></STRONG>"},
+		} {
+			open := strings.Count(res.HTML, pair[0])
+			clos := strings.Count(res.HTML, pair[1])
+			if open != clos {
+				t.Fatalf("trial %d: unbalanced %s: %d open, %d close\n%s",
+					trial, pair[0], open, clos, res.HTML)
+			}
+		}
+	}
+}
+
+func TestPropertySymmetricRoles(t *testing.T) {
+	// The *verdict* is direction-independent: if (a,b) differ then (b,a)
+	// differ, token counts swap, and Reverse produces the same stats as
+	// swapping the arguments. (The fine-grained deleted/modified split
+	// may legitimately differ between directions: optimal weighted
+	// alignments are not unique.)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a := genDoc(r)
+		b := mutate(r, a)
+		sAB := Compare(a, b, Options{})
+		sBA := Compare(b, a, Options{})
+		if sAB.Changed() != sBA.Changed() {
+			t.Fatalf("trial %d: verdicts disagree: %+v vs %+v", trial, sAB, sBA)
+		}
+		if sAB.OldTokens != sBA.NewTokens || sAB.NewTokens != sBA.OldTokens {
+			t.Fatalf("trial %d: token counts do not swap: %+v vs %+v", trial, sAB, sBA)
+		}
+		sRev := Compare(a, b, Options{Reverse: true})
+		if sRev != sBA {
+			t.Fatalf("trial %d: Reverse != swapped args: %+v vs %+v", trial, sRev, sBA)
+		}
+	}
+}
+
+func TestQuickArbitraryBytesNeverPanic(t *testing.T) {
+	f := func(a, b []byte) bool {
+		Diff(string(a), string(b), Options{})
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAnchorChainComplete(t *testing.T) {
+	// Every emitted anchor NAME from 1..Differences exists exactly once,
+	// and every HREF in the chain points at an existing anchor or the top.
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		a := genDoc(r)
+		b := mutate(r, mutate(r, a))
+		res := Diff(a, b, Options{})
+		for i := 1; i <= res.Stats.Differences; i++ {
+			name := `NAME="` + anchorName(i) + `"`
+			if n := strings.Count(res.HTML, name); n != 1 {
+				t.Fatalf("trial %d: anchor %d appears %d times", trial, i, n)
+			}
+		}
+		if res.Stats.Differences > 0 &&
+			!strings.Contains(res.HTML, `HREF="#`+anchorName(1)+`"`) {
+			t.Fatalf("trial %d: banner link to first difference missing", trial)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package htmldoc
+
+import "strings"
+
+// Bulletin extracts a Smart-Bookmarks-style bulletin from a page: §2.1
+// describes "an extension to HTML to allow a description of a page, or
+// recent changes to it, to be obtained along with other 'header'
+// information". The convention implemented here is the META form:
+//
+//	<META NAME="bulletin" CONTENT="10 new links have been added">
+//
+// The paper's critique — a bulletin reflects the *maintainer's* idea of
+// what is new, not the reader's — is exactly why AIDE treats bulletins
+// as an annotation on the report rather than a substitute for HtmlDiff.
+func Bulletin(src string) (string, bool) {
+	for _, tok := range Tokenize(src) {
+		for _, it := range tok.Items {
+			if it.Kind != Markup || it.Name != "META" {
+				continue
+			}
+			var name, content string
+			for _, a := range it.Attrs {
+				switch a.Name {
+				case "NAME":
+					name = strings.ToLower(a.Value)
+				case "CONTENT":
+					content = a.Value
+				}
+			}
+			if name == "bulletin" && strings.TrimSpace(content) != "" {
+				return DecodeEntities(strings.TrimSpace(content)), true
+			}
+		}
+	}
+	return "", false
+}

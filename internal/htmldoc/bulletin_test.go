@@ -1,0 +1,28 @@
+package htmldoc
+
+import "testing"
+
+func TestBulletin(t *testing.T) {
+	src := `<HTML><HEAD>
+<TITLE>Page</TITLE>
+<META NAME="bulletin" CONTENT="10 new links have been added">
+</HEAD><BODY>body</BODY></HTML>`
+	b, ok := Bulletin(src)
+	if !ok || b != "10 new links have been added" {
+		t.Fatalf("Bulletin = (%q,%v)", b, ok)
+	}
+	if _, ok := Bulletin("<HTML><BODY>no meta</BODY></HTML>"); ok {
+		t.Error("bulletin found where none exists")
+	}
+	if _, ok := Bulletin(`<META NAME="keywords" CONTENT="x">`); ok {
+		t.Error("non-bulletin META matched")
+	}
+	if _, ok := Bulletin(`<META NAME="bulletin" CONTENT="  ">`); ok {
+		t.Error("blank bulletin accepted")
+	}
+	// Case-insensitive NAME value, entities decoded.
+	b, ok = Bulletin(`<META NAME="Bulletin" CONTENT="now with Q&amp;A section">`)
+	if !ok || b != "now with Q&A section" {
+		t.Errorf("bulletin = (%q,%v)", b, ok)
+	}
+}

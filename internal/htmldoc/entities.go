@@ -1,0 +1,115 @@
+package htmldoc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DecodeEntities resolves the character entities of mid-1990s HTML
+// (named ISO-8859-1 entities and numeric references) so that word
+// comparison sees "AT&T" and "AT&amp;T" as the same word regardless of
+// which spelling a page revision used.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	sb.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				sb.WriteString(s)
+				break
+			}
+			sb.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		// Find the entity terminator. Entities may legally omit the
+		// semicolon in 1995-era HTML; treat any non-name byte as an end.
+		end := 1
+		for end < len(s) && end < 12 && isEntityChar(s[end]) {
+			end++
+		}
+		name := s[1:end]
+		consumed := end
+		if consumed < len(s) && s[consumed] == ';' {
+			consumed++
+		}
+		if decoded, ok := decodeEntity(name); ok {
+			sb.WriteString(decoded)
+			s = s[consumed:]
+			continue
+		}
+		// Unknown entity: keep the ampersand literally.
+		sb.WriteByte('&')
+		s = s[1:]
+	}
+	return sb.String()
+}
+
+func isEntityChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '#':
+		return true
+	}
+	return false
+}
+
+// decodeEntity resolves one entity name (without & and ;).
+func decodeEntity(name string) (string, bool) {
+	if name == "" {
+		return "", false
+	}
+	if name[0] == '#' {
+		num := name[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		n, err := strconv.ParseInt(num, base, 32)
+		if err != nil || n <= 0 || n > 0x10FFFF {
+			return "", false
+		}
+		return string(rune(n)), true
+	}
+	if r, ok := namedEntities[name]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// namedEntities covers HTML 2.0's entity set: the four markup escapes
+// plus the ISO-8859-1 (Latin-1) characters.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": "\"", "apos": "'",
+	"nbsp": " ", "iexcl": "¡", "cent": "¢", "pound": "£",
+	"curren": "¤", "yen": "¥", "brvbar": "¦", "sect": "§",
+	"uml": "¨", "copy": "©", "ordf": "ª", "laquo": "«",
+	"not": "¬", "shy": "­", "reg": "®", "macr": "¯",
+	"deg": "°", "plusmn": "±", "sup2": "²", "sup3": "³",
+	"acute": "´", "micro": "µ", "para": "¶", "middot": "·",
+	"cedil": "¸", "sup1": "¹", "ordm": "º", "raquo": "»",
+	"frac14": "¼", "frac12": "½", "frac34": "¾", "iquest": "¿",
+	"Agrave": "À", "Aacute": "Á", "Acirc": "Â", "Atilde": "Ã",
+	"Auml": "Ä", "Aring": "Å", "AElig": "Æ", "Ccedil": "Ç",
+	"Egrave": "È", "Eacute": "É", "Ecirc": "Ê", "Euml": "Ë",
+	"Igrave": "Ì", "Iacute": "Í", "Icirc": "Î", "Iuml": "Ï",
+	"ETH": "Ð", "Ntilde": "Ñ", "Ograve": "Ò", "Oacute": "Ó",
+	"Ocirc": "Ô", "Otilde": "Õ", "Ouml": "Ö", "times": "×",
+	"Oslash": "Ø", "Ugrave": "Ù", "Uacute": "Ú", "Ucirc": "Û",
+	"Uuml": "Ü", "Yacute": "Ý", "THORN": "Þ", "szlig": "ß",
+	"agrave": "à", "aacute": "á", "acirc": "â", "atilde": "ã",
+	"auml": "ä", "aring": "å", "aelig": "æ", "ccedil": "ç",
+	"egrave": "è", "eacute": "é", "ecirc": "ê", "euml": "ë",
+	"igrave": "ì", "iacute": "í", "icirc": "î", "iuml": "ï",
+	"eth": "ð", "ntilde": "ñ", "ograve": "ò", "oacute": "ó",
+	"ocirc": "ô", "otilde": "õ", "ouml": "ö", "divide": "÷",
+	"oslash": "ø", "ugrave": "ù", "uacute": "ú", "ucirc": "û",
+	"uuml": "ü", "yacute": "ý", "thorn": "þ", "yuml": "ÿ",
+}

@@ -1,0 +1,69 @@
+package htmldoc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEntities(t *testing.T) {
+	cases := map[string]string{
+		"plain text":        "plain text",
+		"AT&amp;T":          "AT&T",
+		"AT&amp T":          "AT& T", // missing semicolon still decodes
+		"a &lt; b &gt; c":   "a < b > c",
+		"&quot;hi&quot;":    "\"hi\"",
+		"&copy; 1995":       "© 1995",
+		"&eacute;tude":      "étude",
+		"&#65;&#66;":        "AB",
+		"&#x41;":            "A",
+		"&unknown; stays":   "&unknown; stays",
+		"&;":                "&;",
+		"&":                 "&",
+		"&&amp;":            "&&",
+		"caf&eacute":        "café", // terminal entity without semicolon
+		"1 &#0; bad":        "1 &#0; bad",
+		"tail&":             "tail&",
+		"&amp;&amp;&amp;":   "&&&",
+		"fish &amp; chips.": "fish & chips.",
+	}
+	for in, want := range cases {
+		if got := DecodeEntities(in); got != want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEntitySpellingsCompareEqual(t *testing.T) {
+	a := Tokenize("<P>research at AT&amp;T Bell Labs.</P>")
+	b := Tokenize("<P>research at AT&T Bell Labs.</P>")
+	if len(a) != len(b) {
+		t.Fatalf("token counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NormKey() != b[i].NormKey() {
+			t.Errorf("token %d keys differ: %q vs %q", i, a[i].NormKey(), b[i].NormKey())
+		}
+	}
+}
+
+func TestQuickDecodeEntitiesNeverPanicsOrGrows(t *testing.T) {
+	f := func(raw []byte) bool {
+		in := string(raw)
+		out := DecodeEntities(in)
+		// Decoding never makes the string longer (entities only shrink,
+		// except multi-byte runes replacing short names — bound loosely).
+		return len(out) <= len(in)+4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEntitiesIdempotentOnDecoded(t *testing.T) {
+	// Decoding plain text (no '&') is the identity.
+	for _, s := range []string{"", "hello world", "a<b>c", "déjà vu"} {
+		if got := DecodeEntities(s); got != s {
+			t.Errorf("DecodeEntities(%q) = %q", s, got)
+		}
+	}
+}

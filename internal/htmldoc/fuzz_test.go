@@ -1,0 +1,57 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize hammers the lexer with arbitrary bytes: it must always
+// terminate without panicking, and re-tokenizing its own rendering must
+// be stable (render∘tokenize is idempotent after one pass).
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"<P>Hello world. Bye.</P>",
+		"<A HREF=\"x\">link</A> trailing",
+		"<!-- comment --><!DOCTYPE x>",
+		"<PRE>\n a  b \n</PRE>",
+		"<SCRIPT>if (a<b) x();</SCRIPT>",
+		"1 < 2 > 3 & 4",
+		"<p><p><p>",
+		"<A HREF='unterminated",
+		"&amp;&#65;&bogus;",
+		"<STYLE>p { color: red }</STYLE><P>text</P>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := Tokenize(src)
+		once := Render(toks)
+		twice := Render(Tokenize(once))
+		if once != twice {
+			t.Fatalf("render not stable:\nsrc:   %q\nonce:  %q\ntwice: %q", src, once, twice)
+		}
+		for _, tok := range toks {
+			_ = tok.NormKey()
+			_ = tok.ContentLength()
+		}
+		_ = Links(src)
+		_ = EntityRefs(src)
+		_, _ = Bulletin(src)
+	})
+}
+
+// FuzzDecodeEntities checks the decoder never panics and never expands
+// pathologically.
+func FuzzDecodeEntities(f *testing.F) {
+	for _, s := range []string{"", "&amp;", "&#65;", "&#x41;", "&&&", "&unknown;", strings.Repeat("&", 100)} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out := DecodeEntities(src)
+		if len(out) > len(src)+8 {
+			t.Fatalf("decode grew %d -> %d", len(src), len(out))
+		}
+	})
+}

@@ -1,0 +1,546 @@
+// Package htmldoc lexes HTML into the token model of the paper's §5.1: a
+// document is a sequence of "sentences" and "sentence-breaking markups".
+//
+//   - A sentence-breaking markup (<P>, <HR>, <LI>, <H1>, ...) is a token by
+//     itself.
+//   - A sentence is a sequence of words and non-sentence-breaking markups
+//     (<B>, <A>, <IMG>, ...) containing at most one English sentence (it
+//     may be a fragment).
+//
+// Only lexical analysis is performed — no parse tree is built, exactly as
+// in the paper. Markup names and attribute names are case-normalised, and
+// attribute (variable,value) pairs are sorted, so that markups can be
+// compared "modulo whitespace, case, and reordering".
+//
+// Whitespace carries no content and is normalised away, except inside
+// <PRE>, where each line becomes its own sentence with spacing preserved.
+package htmldoc
+
+import (
+	"sort"
+	"strings"
+)
+
+// ItemKind distinguishes the constituents of a sentence.
+type ItemKind int
+
+// Item kinds.
+const (
+	// Word is a whitespace-delimited run of text.
+	Word ItemKind = iota
+	// Markup is a tag, comment, or declaration.
+	Markup
+)
+
+// Attr is one normalised attribute of a markup: Name is upper-cased,
+// Value keeps its source spelling (quotes removed).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Item is a word or a markup appearing inside a token.
+type Item struct {
+	Kind ItemKind
+	// Raw is the exact source text: the word itself, or the full tag
+	// including angle brackets. Rendering a document re-emits Raw.
+	Raw string
+	// Name is the upper-cased tag name for markups ("" for words). End
+	// tags keep their slash: "/UL". Comments use "!--" and declarations
+	// "!".
+	Name string
+	// Attrs are the normalised attributes, sorted by name (markups only).
+	Attrs []Attr
+}
+
+// IsContentDefining reports whether the item is a markup that carries
+// content in the paper's sense (an image or hypertext reference rather
+// than pure formatting). Content-defining markups count toward sentence
+// length and get change highlighting.
+func (it Item) IsContentDefining() bool {
+	if it.Kind != Markup {
+		return false
+	}
+	return contentDefining[strings.TrimPrefix(it.Name, "/")]
+}
+
+// NormKey returns the comparison key for the item: words compare with
+// character entities decoded (so "AT&amp;T" matches "AT&T"); markups
+// compare by upper-cased name plus sorted attribute pairs with
+// case-folded values.
+func (it Item) NormKey() string {
+	if it.Kind == Word {
+		return DecodeEntities(it.Raw)
+	}
+	var sb strings.Builder
+	sb.WriteByte('<')
+	sb.WriteString(it.Name)
+	for _, a := range it.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteByte('=')
+		sb.WriteString(strings.ToLower(a.Value))
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// TokenKind distinguishes the two top-level token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	// Sentence is a sequence of words and non-breaking markups.
+	Sentence TokenKind = iota
+	// Breaking is a single sentence-breaking markup.
+	Breaking
+)
+
+// Token is the unit of comparison for HtmlDiff.
+type Token struct {
+	Kind TokenKind
+	// Items holds the sentence contents, or exactly one markup item for
+	// Breaking tokens.
+	Items []Item
+	// Pre marks sentences lexed inside <PRE>; they render with their
+	// original spacing and compare exactly.
+	Pre bool
+}
+
+// ContentLength returns the paper's sentence length: the number of words
+// plus content-defining markups. Formatting markups are not counted.
+func (t Token) ContentLength() int {
+	n := 0
+	for _, it := range t.Items {
+		if it.Kind == Word || it.IsContentDefining() {
+			n++
+		}
+	}
+	return n
+}
+
+// NormKey returns a whitespace/case-insensitive key for the whole token,
+// used for the exact matching of breaking markups and for hashing.
+func (t Token) NormKey() string {
+	var sb strings.Builder
+	for i, it := range t.Items {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(it.NormKey())
+	}
+	return sb.String()
+}
+
+// Text renders the token back to HTML source. Sentences rejoin their
+// items with single spaces (or original lines for <PRE> content).
+func (t Token) Text() string {
+	sep := " "
+	if t.Pre {
+		sep = "\n"
+	}
+	var sb strings.Builder
+	for i, it := range t.Items {
+		if i > 0 {
+			sb.WriteString(sep)
+		}
+		sb.WriteString(it.Raw)
+	}
+	return sb.String()
+}
+
+// IsBreakingTag reports whether the (possibly "/"-prefixed, any-case) tag
+// name is sentence-breaking.
+func IsBreakingTag(name string) bool {
+	name = strings.ToUpper(strings.TrimPrefix(name, "/"))
+	return breaking[name]
+}
+
+// breaking lists the sentence-breaking (structural) markups of
+// mid-1990s HTML. Unknown tags default to non-breaking (inline).
+var breaking = map[string]bool{
+	"HTML": true, "HEAD": true, "BODY": true, "TITLE": true,
+	"P": true, "BR": true, "HR": true,
+	"H1": true, "H2": true, "H3": true, "H4": true, "H5": true, "H6": true,
+	"UL": true, "OL": true, "DL": true, "LI": true, "DT": true, "DD": true,
+	"MENU": true, "DIR": true,
+	"TABLE": true, "TR": true, "TD": true, "TH": true, "CAPTION": true,
+	"BLOCKQUOTE": true, "PRE": true, "DIV": true, "CENTER": true,
+	"ADDRESS": true, "FORM": true, "ISINDEX": true, "META": true,
+	"LINK": true, "BASE": true, "FRAMESET": true, "FRAME": true,
+	"NOFRAMES": true, "STYLE": true, "SCRIPT": true,
+	"!--": true, "!": true,
+}
+
+// contentDefining lists the markups that define content rather than
+// formatting (paper §5.1: "<IMG src=...> and <A href=...>").
+var contentDefining = map[string]bool{
+	"A": true, "IMG": true, "APPLET": true, "EMBED": true, "OBJECT": true,
+	"INPUT": true, "SELECT": true, "OPTION": true, "TEXTAREA": true,
+	"FRAME": true, "IFRAME": true, "AREA": true, "MAP": true,
+}
+
+// Tokenize lexes src into the sentence / breaking-markup token stream.
+func Tokenize(src string) []Token {
+	lx := lexer{src: src}
+	items := lx.run()
+	return segment(items)
+}
+
+// lexer produces a flat item stream annotated with word/markup kinds and,
+// for text inside <PRE>, line-preserving word items. Content inside
+// <SCRIPT> and <STYLE> is opaque: it is not prose, so it becomes one
+// verbatim item compared exactly.
+type lexer struct {
+	src    string
+	pos    int
+	pre    int // <PRE> nesting depth
+	opaque int // <SCRIPT>/<STYLE> nesting depth
+}
+
+// lexItem is an Item plus segmentation hints.
+type lexItem struct {
+	Item
+	sentenceEnd bool // word ends a sentence (terminal punctuation)
+	preLine     bool // item is a raw <PRE> line
+}
+
+func (lx *lexer) run() []lexItem {
+	var items []lexItem
+	for lx.pos < len(lx.src) {
+		if lx.opaque > 0 {
+			if it, moved := lx.lexOpaqueText(); moved {
+				if it != nil {
+					items = append(items, *it)
+				}
+				continue
+			}
+			// Positioned at the closing tag: normal markup handling.
+		}
+		c := lx.src[lx.pos]
+		switch {
+		case c == '<' && lx.looksLikeMarkup():
+			it, ok := lx.lexMarkup()
+			if !ok {
+				// Treat a stray '<' as text.
+				items = append(items, lx.lexTextRun()...)
+				continue
+			}
+			switch strings.TrimPrefix(it.Name, "/") {
+			case "PRE":
+				if strings.HasPrefix(it.Name, "/") {
+					if lx.pre > 0 {
+						lx.pre--
+					}
+				} else {
+					lx.pre++
+				}
+			case "SCRIPT", "STYLE":
+				if strings.HasPrefix(it.Name, "/") {
+					if lx.opaque > 0 {
+						lx.opaque--
+					}
+				} else {
+					lx.opaque++
+				}
+			}
+			items = append(items, lexItem{Item: it})
+		case isSpace(c):
+			lx.pos++
+		default:
+			items = append(items, lx.lexTextRun()...)
+		}
+	}
+	return items
+}
+
+// looksLikeMarkup reports whether the '<' at pos starts a tag, comment,
+// or declaration (rather than literal text such as "1 < 2").
+func (lx *lexer) looksLikeMarkup() bool {
+	if lx.pos+1 >= len(lx.src) {
+		return false
+	}
+	c := lx.src[lx.pos+1]
+	return isAlpha(c) || c == '/' || c == '!'
+}
+
+// lexMarkup consumes one tag/comment/declaration starting at '<'.
+func (lx *lexer) lexMarkup() (Item, bool) {
+	start := lx.pos
+	if strings.HasPrefix(lx.src[lx.pos:], "<!--") {
+		end := strings.Index(lx.src[lx.pos+4:], "-->")
+		if end < 0 {
+			lx.pos = len(lx.src)
+			// Trailing whitespace is trimmed so that rendering (which
+			// appends a newline) stays idempotent.
+			return Item{Kind: Markup, Raw: strings.TrimRight(lx.src[start:], " \t\r\n"), Name: "!--"}, true
+		}
+		lx.pos += 4 + end + 3
+		return Item{Kind: Markup, Raw: lx.src[start:lx.pos], Name: "!--"}, true
+	}
+	end := lx.findTagEnd()
+	unterminated := end < 0
+	if unterminated {
+		// Unterminated tag: consume to EOF as a best effort.
+		end = len(lx.src)
+	}
+	raw := lx.src[start:end]
+	lx.pos = end
+	if unterminated {
+		raw = strings.TrimRight(raw, " \t\r\n")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(raw, "<"), ">")
+	inner = strings.TrimSpace(inner)
+	if inner == "" {
+		return Item{}, false
+	}
+	if inner[0] == '!' {
+		return Item{Kind: Markup, Raw: raw, Name: "!"}, true
+	}
+	name, rest := splitTagName(inner)
+	if name == "" {
+		return Item{}, false
+	}
+	attrs := parseAttrs(rest)
+	return Item{Kind: Markup, Raw: raw, Name: strings.ToUpper(name), Attrs: attrs}, true
+}
+
+// findTagEnd returns the index just past the '>' closing the tag at pos,
+// honouring quoted attribute values.
+func (lx *lexer) findTagEnd() int {
+	i := lx.pos + 1
+	var quote byte
+	for i < len(lx.src) {
+		c := lx.src[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '>':
+			return i + 1
+		}
+		i++
+	}
+	return -1
+}
+
+// lexTextRun consumes text up to the next markup, producing word items.
+// Inside <PRE>, each source line becomes one spacing-preserving item.
+func (lx *lexer) lexTextRun() []lexItem {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '<' && lx.looksLikeMarkup() {
+			break
+		}
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if lx.pre > 0 {
+		return preLines(text)
+	}
+	var items []lexItem
+	for _, w := range strings.Fields(text) {
+		items = append(items, lexItem{
+			Item:        Item{Kind: Word, Raw: w},
+			sentenceEnd: endsSentence(w),
+		})
+	}
+	return items
+}
+
+// lexOpaqueText consumes the body of a <SCRIPT> or <STYLE> element up to
+// its closing tag (or EOF) as one verbatim item: code is not prose, and
+// a `<` inside it ("if (a<b)") is not markup. moved is false when the
+// cursor already sits on the closing tag.
+func (lx *lexer) lexOpaqueText() (it *lexItem, moved bool) {
+	rest := lx.src[lx.pos:]
+	lower := strings.ToLower(rest)
+	end := len(rest)
+	for _, close := range []string{"</script", "</style"} {
+		if i := strings.Index(lower, close); i >= 0 && i < end {
+			end = i
+		}
+	}
+	if end == 0 {
+		return nil, false
+	}
+	text := rest[:end]
+	lx.pos += end
+	if strings.TrimSpace(text) == "" {
+		return nil, true
+	}
+	return &lexItem{
+		Item:    Item{Kind: Word, Raw: strings.TrimSpace(text)},
+		preLine: true,
+	}, true
+}
+
+// preLines splits <PRE> text into one item per line, keeping interior
+// spacing. Blank lines are dropped (they carry no content).
+func preLines(text string) []lexItem {
+	var items []lexItem
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		items = append(items, lexItem{
+			Item:    Item{Kind: Word, Raw: line},
+			preLine: true,
+		})
+	}
+	return items
+}
+
+// endsSentence reports whether a word terminates an English sentence:
+// '.', '!', or '?' possibly followed by closing quotes or brackets.
+func endsSentence(w string) bool {
+	i := len(w) - 1
+	for i >= 0 {
+		switch w[i] {
+		case '"', '\'', ')', ']', '}':
+			i--
+			continue
+		case '.', '!', '?':
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// splitTagName separates the tag name (with any leading '/') from the
+// attribute text.
+func splitTagName(inner string) (name, rest string) {
+	i := 0
+	if i < len(inner) && inner[i] == '/' {
+		i++
+	}
+	j := i
+	for j < len(inner) && (isAlpha(inner[j]) || isDigit(inner[j])) {
+		j++
+	}
+	if j == i {
+		return "", ""
+	}
+	return inner[:j], inner[j:]
+}
+
+// parseAttrs parses attribute text into normalised, name-sorted pairs.
+func parseAttrs(s string) []Attr {
+	var attrs []Attr
+	i := 0
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// Attribute name.
+		j := i
+		for j < len(s) && !isSpace(s[j]) && s[j] != '=' {
+			j++
+		}
+		name := strings.ToUpper(s[i:j])
+		i = j
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		value := ""
+		if i < len(s) && s[i] == '=' {
+			i++
+			for i < len(s) && isSpace(s[i]) {
+				i++
+			}
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				q := s[i]
+				i++
+				j = i
+				for j < len(s) && s[j] != q {
+					j++
+				}
+				value = s[i:j]
+				i = j
+				if i < len(s) {
+					i++ // closing quote
+				}
+			} else {
+				j = i
+				for j < len(s) && !isSpace(s[j]) {
+					j++
+				}
+				value = s[i:j]
+				i = j
+			}
+		}
+		if name != "" && name != "/" {
+			attrs = append(attrs, Attr{Name: name, Value: value})
+		}
+	}
+	sort.SliceStable(attrs, func(a, b int) bool { return attrs[a].Name < attrs[b].Name })
+	return attrs
+}
+
+// segment groups the item stream into sentence and breaking-markup tokens.
+func segment(items []lexItem) []Token {
+	var tokens []Token
+	var cur []Item
+	var curPre bool
+	flush := func() {
+		if len(cur) > 0 {
+			tokens = append(tokens, Token{Kind: Sentence, Items: cur, Pre: curPre})
+			cur = nil
+			curPre = false
+		}
+	}
+	for _, it := range items {
+		switch {
+		case it.Kind == Markup && breaking[strings.TrimPrefix(it.Name, "/")]:
+			flush()
+			tokens = append(tokens, Token{Kind: Breaking, Items: []Item{it.Item}})
+		case it.preLine:
+			// Each <PRE> line is its own sentence.
+			flush()
+			tokens = append(tokens, Token{Kind: Sentence, Items: []Item{it.Item}, Pre: true})
+		default:
+			cur = append(cur, it.Item)
+			if it.sentenceEnd {
+				flush()
+			}
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Render reassembles a token stream into HTML text, one token per line:
+// breaking markups on their own lines, sentences flowing with single
+// spaces. The output is semantically equivalent (modulo insignificant
+// whitespace) to a source that produced the tokens.
+func Render(tokens []Token) string {
+	var sb strings.Builder
+	for _, t := range tokens {
+		if text := t.Text(); text != "" {
+			sb.WriteString(text)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func isSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\f':
+		return true
+	}
+	return false
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

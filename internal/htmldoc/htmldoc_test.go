@@ -1,0 +1,351 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tokenKinds summarises a token stream for assertions.
+func tokenKinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeSimpleParagraph(t *testing.T) {
+	toks := Tokenize("<P>Hello world. Second sentence here.</P>")
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Kind != Breaking || toks[0].Items[0].Name != "P" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].Kind != Sentence || toks[1].Text() != "Hello world." {
+		t.Errorf("token 1 = %q", toks[1].Text())
+	}
+	if toks[2].Kind != Sentence || toks[2].Text() != "Second sentence here." {
+		t.Errorf("token 2 = %q", toks[2].Text())
+	}
+	if toks[3].Kind != Breaking || toks[3].Items[0].Name != "/P" {
+		t.Errorf("token 3 = %+v", toks[3])
+	}
+}
+
+func TestSentenceFragmentsWithoutPunctuation(t *testing.T) {
+	// A fragment ends at the breaking markup, not only at punctuation.
+	toks := Tokenize("some opening text<HR>closing text")
+	want := []TokenKind{Sentence, Breaking, Sentence}
+	got := tokenKinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNonBreakingMarkupStaysInSentence(t *testing.T) {
+	toks := Tokenize(`This is <B>bold</B> and <A HREF="x.html">a link</A> inline.`)
+	if len(toks) != 1 {
+		t.Fatalf("want one sentence, got %d: %v", len(toks), toks)
+	}
+	s := toks[0]
+	var markups []string
+	for _, it := range s.Items {
+		if it.Kind == Markup {
+			markups = append(markups, it.Name)
+		}
+	}
+	want := []string{"B", "/B", "A", "/A"}
+	if strings.Join(markups, ",") != strings.Join(want, ",") {
+		t.Errorf("markups = %v, want %v", markups, want)
+	}
+}
+
+func TestContentLengthCountsWordsAndContentMarkups(t *testing.T) {
+	// 4 words + <A> + <IMG> = 6; <B> and </B> don't count.
+	toks := Tokenize(`one <B>two</B> three four <A HREF="u">...</A> <IMG SRC="i.gif">`)
+	total := 0
+	for _, tok := range toks {
+		total += tok.ContentLength()
+	}
+	// words: one two three four ... (the "..." inside A is a word too)
+	// content markups: A, IMG (closing /A also counts as content-defining
+	// per classification of its base name).
+	want := 5 + 3
+	if total != want {
+		t.Errorf("content length = %d, want %d (%v)", total, want, toks)
+	}
+}
+
+func TestMarkupNormalization(t *testing.T) {
+	a := Tokenize(`<a href="HTTP://X/" name=top>link text</a>`)
+	b := Tokenize(`<A NAME="top"   HREF='http://x/'>link   text</A>`)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("tokens: %v vs %v", a, b)
+	}
+	if a[0].NormKey() != b[0].NormKey() {
+		t.Errorf("norm keys differ:\n%q\n%q", a[0].NormKey(), b[0].NormKey())
+	}
+}
+
+func TestBreakingMarkupExactMatchKeys(t *testing.T) {
+	a := Tokenize("<H1 ALIGN=center>")[0]
+	b := Tokenize("<h1 align=CENTER>")[0]
+	c := Tokenize("<h1 align=left>")[0]
+	if a.NormKey() != b.NormKey() {
+		t.Errorf("equivalent H1s differ: %q vs %q", a.NormKey(), b.NormKey())
+	}
+	if a.NormKey() == c.NormKey() {
+		t.Errorf("different H1s match: %q", a.NormKey())
+	}
+}
+
+func TestCommentsAndDeclarations(t *testing.T) {
+	toks := Tokenize(`<!DOCTYPE HTML PUBLIC "-//IETF//DTD HTML//EN"><!-- a comment -->text`)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Items[0].Name != "!" {
+		t.Errorf("doctype name = %q", toks[0].Items[0].Name)
+	}
+	if toks[1].Items[0].Name != "!--" {
+		t.Errorf("comment name = %q", toks[1].Items[0].Name)
+	}
+	if toks[1].Items[0].Raw != "<!-- a comment -->" {
+		t.Errorf("comment raw = %q", toks[1].Items[0].Raw)
+	}
+}
+
+func TestUnterminatedConstructs(t *testing.T) {
+	// Lexer must not panic or lose the trailing text.
+	for _, src := range []string{
+		"<!-- never closed",
+		"<A HREF=\"x",
+		"text with a stray < here",
+		"<",
+		"<>",
+		"1 < 2 but 3 > 2",
+	} {
+		toks := Tokenize(src)
+		_ = toks // just verifying no panic and termination
+	}
+	// Stray '<' stays literal text.
+	toks := Tokenize("1 < 2 done.")
+	if len(toks) != 1 || toks[0].Kind != Sentence {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if got := toks[0].Text(); got != "1 < 2 done." {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestPreservesPreLines(t *testing.T) {
+	src := "<PRE>\ncol1   col2\n  indented\n\n</PRE>"
+	toks := Tokenize(src)
+	// <PRE>, line1, line2, </PRE>
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if !toks[1].Pre || toks[1].Text() != "col1   col2" {
+		t.Errorf("pre line 1 = %q (pre=%v)", toks[1].Text(), toks[1].Pre)
+	}
+	if toks[2].Text() != "  indented" {
+		t.Errorf("pre line 2 = %q", toks[2].Text())
+	}
+}
+
+func TestWhitespaceInsignificantOutsidePre(t *testing.T) {
+	a := Tokenize("<P>some   text\n\twith spacing</P>")
+	b := Tokenize("<P>some text with spacing</P>")
+	if len(a) != len(b) {
+		t.Fatalf("token counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NormKey() != b[i].NormKey() {
+			t.Errorf("token %d differs: %q vs %q", i, a[i].NormKey(), b[i].NormKey())
+		}
+	}
+}
+
+func TestSentenceEndPunctuation(t *testing.T) {
+	cases := []struct {
+		word string
+		want bool
+	}{
+		{"end.", true}, {"end!", true}, {"end?", true},
+		{"end.)", true}, {"end.\"", true}, {"end...", true},
+		{"mid", false}, {"e.g.x", false}, {"", false}, {"..", true},
+		{"(a)", false},
+	}
+	for _, c := range cases {
+		if got := endsSentence(c.word); got != c.want {
+			t.Errorf("endsSentence(%q) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestParagraphToListExample(t *testing.T) {
+	// The paper's example: turning a paragraph of sentences into a list
+	// keeps the sentence content identical; only formatting changes.
+	para := Tokenize("<P>First thing. Second thing.</P>")
+	list := Tokenize("<UL><LI>First thing.<LI>Second thing.</UL>")
+	var paraS, listS []string
+	for _, tok := range para {
+		if tok.Kind == Sentence {
+			paraS = append(paraS, tok.NormKey())
+		}
+	}
+	for _, tok := range list {
+		if tok.Kind == Sentence {
+			listS = append(listS, tok.NormKey())
+		}
+	}
+	if strings.Join(paraS, "|") != strings.Join(listS, "|") {
+		t.Errorf("sentence content differs:\n%v\n%v", paraS, listS)
+	}
+}
+
+func TestRenderRoundTripTokens(t *testing.T) {
+	src := `<HTML><BODY><H1>Title</H1><P>Hello <B>world</B>. Bye.</P></BODY></HTML>`
+	once := Render(Tokenize(src))
+	twice := Render(Tokenize(once))
+	if once != twice {
+		t.Errorf("render not stable:\n%q\n%q", once, twice)
+	}
+}
+
+// TestQuickTokenizeTotal checks that every non-space source byte outside
+// markup survives into some token (no text is silently dropped), for
+// plain-text inputs.
+func TestQuickTokenizeTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build plain text without '<'.
+		var sb strings.Builder
+		for _, c := range raw {
+			if c == '<' {
+				c = 'x'
+			}
+			sb.WriteByte(c)
+		}
+		src := sb.String()
+		toks := Tokenize(src)
+		var joined []string
+		for _, tok := range toks {
+			for _, it := range tok.Items {
+				joined = append(joined, it.Raw)
+			}
+		}
+		return strings.Join(joined, " ") == strings.Join(strings.Fields(src), " ")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTokenizeNeverPanics throws arbitrary bytes at the lexer.
+func TestQuickTokenizeNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		Tokenize(string(raw))
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrsWithoutValues(t *testing.T) {
+	toks := Tokenize("<DL COMPACT>")
+	it := toks[0].Items[0]
+	if len(it.Attrs) != 1 || it.Attrs[0].Name != "COMPACT" || it.Attrs[0].Value != "" {
+		t.Errorf("attrs = %+v", it.Attrs)
+	}
+}
+
+func TestIsBreakingTag(t *testing.T) {
+	for _, name := range []string{"P", "p", "/p", "LI", "h3", "/TABLE"} {
+		if !IsBreakingTag(name) {
+			t.Errorf("IsBreakingTag(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"B", "a", "/i", "IMG", "FONT", "UNKNOWNTAG"} {
+		if IsBreakingTag(name) {
+			t.Errorf("IsBreakingTag(%q) = true", name)
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<P>This is paragraph content with a <A HREF=\"x.html\">link</A> in it. ")
+		sb.WriteString("And a second sentence too.</P>\n")
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tokenize(src)
+	}
+}
+
+func TestScriptAndStyleOpaque(t *testing.T) {
+	src := `<HTML><HEAD>
+<STYLE>BODY { color: black; }</STYLE>
+<SCRIPT>
+if (a<b && c>d) { document.write("<P>not markup</P>"); }
+</SCRIPT>
+</HEAD><BODY><P>Real prose here.</P></BODY></HTML>`
+	toks := Tokenize(src)
+	// The script body must be one verbatim token, not lexed as markup.
+	var opaqueCount int
+	for _, tok := range toks {
+		for _, it := range tok.Items {
+			if it.Kind == Word && strings.Contains(it.Raw, "a<b") {
+				opaqueCount++
+				if !strings.Contains(it.Raw, `document.write("<P>not markup</P>")`) {
+					t.Errorf("script body split: %q", it.Raw)
+				}
+			}
+			if it.Kind == Markup && it.Name == "P" && strings.Contains(it.Raw, "not markup") {
+				t.Errorf("markup lexed inside script: %q", it.Raw)
+			}
+		}
+	}
+	if opaqueCount != 1 {
+		t.Fatalf("script body items = %d, want 1\n%v", opaqueCount, toks)
+	}
+	// Identical scripts compare equal; changed scripts differ.
+	a := Tokenize(src)
+	b := Tokenize(strings.Replace(src, "c>d", "c>e", 1))
+	same := true
+	if len(a) == len(b) {
+		for i := range a {
+			if a[i].NormKey() != b[i].NormKey() {
+				same = false
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Error("changed script body not detected")
+	}
+}
+
+func TestUnterminatedScriptConsumesToEOF(t *testing.T) {
+	toks := Tokenize("<SCRIPT>var x = 1; // never closed")
+	if len(toks) < 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	last := toks[len(toks)-1]
+	if last.Kind != Sentence || !strings.Contains(last.Text(), "var x = 1") {
+		t.Errorf("script tail lost: %v", toks)
+	}
+}

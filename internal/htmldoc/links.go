@@ -1,0 +1,128 @@
+package htmldoc
+
+import "strings"
+
+// Links returns the HREF targets of every anchor in the document, in
+// order, duplicates included. The AIDE server's recursive tracking
+// (§8.3) uses this to follow a registered page's links.
+func Links(src string) []string {
+	var out []string
+	for _, tok := range Tokenize(src) {
+		for _, it := range tok.Items {
+			if it.Kind != Markup || it.Name != "A" {
+				continue
+			}
+			for _, a := range it.Attrs {
+				if a.Name == "HREF" && a.Value != "" {
+					out = append(out, a.Value)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EntityRefs returns the URLs of the entities a page embeds or
+// references — IMG/EMBED sources and anchor targets — as (markup-name,
+// target) pairs in document order, duplicates removed. This is the
+// reference set used by §5.3's "smarter comparisons": "store a checksum
+// of each entity and use the checksums to determine if something has
+// changed".
+func EntityRefs(src string) []EntityRef {
+	var out []EntityRef
+	seen := map[string]bool{}
+	add := func(name, target string) {
+		if target == "" || seen[name+"\x00"+target] {
+			return
+		}
+		seen[name+"\x00"+target] = true
+		out = append(out, EntityRef{Markup: name, Target: target})
+	}
+	for _, tok := range Tokenize(src) {
+		for _, it := range tok.Items {
+			if it.Kind != Markup {
+				continue
+			}
+			switch it.Name {
+			case "A", "AREA":
+				for _, a := range it.Attrs {
+					if a.Name == "HREF" {
+						add(it.Name, a.Value)
+					}
+				}
+			case "IMG", "EMBED", "FRAME", "IFRAME":
+				for _, a := range it.Attrs {
+					if a.Name == "SRC" {
+						add(it.Name, a.Value)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EntityRef is one referenced entity: the markup that referenced it and
+// the (possibly relative) target URL.
+type EntityRef struct {
+	// Markup is the upper-cased tag name (A, IMG, ...).
+	Markup string
+	// Target is the HREF/SRC value as written.
+	Target string
+}
+
+// ResolveLink resolves a possibly relative link against the page URL it
+// appeared on. Fragments and non-HTTP schemes resolve to "".
+func ResolveLink(pageURL, href string) string {
+	href = strings.TrimSpace(href)
+	switch {
+	case href == "", strings.HasPrefix(href, "#"):
+		return ""
+	case strings.HasPrefix(href, "mailto:"), strings.HasPrefix(href, "news:"),
+		strings.HasPrefix(href, "gopher:"), strings.HasPrefix(href, "ftp:"),
+		strings.HasPrefix(href, "javascript:"):
+		return ""
+	case strings.Contains(href, "://"):
+		if strings.HasPrefix(href, "http://") || strings.HasPrefix(href, "https://") {
+			return stripFragment(href)
+		}
+		return ""
+	}
+	scheme, rest, ok := strings.Cut(pageURL, "://")
+	if !ok {
+		return ""
+	}
+	host, path, _ := strings.Cut(rest, "/")
+	if strings.HasPrefix(href, "/") {
+		return stripFragment(scheme + "://" + host + href)
+	}
+	dir := ""
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		dir = path[:i+1]
+	}
+	return stripFragment(scheme + "://" + host + "/" + dir + href)
+}
+
+// SameHost reports whether two URLs share a host, the boundary for
+// recursive tracking ("by following the internal pages automatically").
+func SameHost(a, b string) bool {
+	return hostPart(a) != "" && hostPart(a) == hostPart(b)
+}
+
+func hostPart(u string) string {
+	_, rest, ok := strings.Cut(u, "://")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+func stripFragment(u string) string {
+	if i := strings.IndexByte(u, '#'); i >= 0 {
+		return u[:i]
+	}
+	return u
+}

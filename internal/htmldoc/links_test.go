@@ -1,0 +1,82 @@
+package htmldoc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLinks(t *testing.T) {
+	src := `<HTML><BODY>
+<A HREF="a.html">one</A>
+<P>text <A HREF="/abs/b.html">two</A> more</P>
+<A NAME="anchor-without-href">x</A>
+<A HREF="http://other.host/c.html">three</A>
+<A HREF="a.html">duplicate kept</A>
+</BODY></HTML>`
+	got := Links(src)
+	want := []string{"a.html", "/abs/b.html", "http://other.host/c.html", "a.html"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Links = %v, want %v", got, want)
+	}
+}
+
+func TestResolveLink(t *testing.T) {
+	base := "http://h/dir/page.html"
+	cases := []struct{ href, want string }{
+		{"other.html", "http://h/dir/other.html"},
+		{"/top.html", "http://h/top.html"},
+		{"http://x/abs.html", "http://x/abs.html"},
+		{"https://x/abs.html", "https://x/abs.html"},
+		{"#frag", ""},
+		{"", ""},
+		{"mailto:u@h", ""},
+		{"ftp://ftp.host/file", ""},
+		{"gopher://g/x", ""},
+		{"sub/deep.html", "http://h/dir/sub/deep.html"},
+		{"page.html#sec", "http://h/dir/page.html"},
+	}
+	for _, c := range cases {
+		if got := ResolveLink(base, c.href); got != c.want {
+			t.Errorf("ResolveLink(%q) = %q, want %q", c.href, got, c.want)
+		}
+	}
+	// Base without a path.
+	if got := ResolveLink("http://h", "x.html"); got != "http://h/x.html" {
+		t.Errorf("root-relative = %q", got)
+	}
+}
+
+func TestSameHost(t *testing.T) {
+	if !SameHost("http://h/a", "http://h/b") {
+		t.Error("same host not detected")
+	}
+	if SameHost("http://h/a", "http://other/b") {
+		t.Error("different hosts matched")
+	}
+	if SameHost("http://h:80/a", "http://h/b") {
+		t.Error("port-differing hosts matched (ports are part of the host)")
+	}
+	if SameHost("not-a-url", "also-not") {
+		t.Error("non-URLs matched")
+	}
+}
+
+func TestEntityRefs(t *testing.T) {
+	src := `<HTML><BODY>
+<IMG SRC="logo.gif"> <IMG SRC="logo.gif">
+<A HREF="page.html">text</A>
+<EMBED SRC="movie.mpg">
+<AREA HREF="map.html">
+<IMG ALT="no src">
+</BODY></HTML>`
+	refs := EntityRefs(src)
+	want := []EntityRef{
+		{Markup: "IMG", Target: "logo.gif"},
+		{Markup: "A", Target: "page.html"},
+		{Markup: "EMBED", Target: "movie.mpg"},
+		{Markup: "AREA", Target: "map.html"},
+	}
+	if !reflect.DeepEqual(refs, want) {
+		t.Errorf("EntityRefs = %v, want %v", refs, want)
+	}
+}

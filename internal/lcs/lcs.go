@@ -1,0 +1,281 @@
+// Package lcs implements the longest-common-subsequence algorithms that
+// underlie both the RCS-style line deltas and HtmlDiff's weighted sentence
+// comparison.
+//
+// Three algorithms are provided:
+//
+//   - DP: the textbook quadratic-time, quadratic-space dynamic program over
+//     arbitrary non-negative match weights. Used as an oracle in tests and
+//     as the ablation baseline for memory measurements.
+//   - Hirschberg: the linear-space divide-and-conquer refinement of the
+//     same recurrence (Hirschberg, JACM 1977), the algorithm the paper
+//     cites for HtmlDiff. Same O(n·m) time, O(min(n,m)) space.
+//   - Strings: a Hunt–McIlroy-flavoured algorithm for sequences of opaque
+//     equal/unequal tokens (UNIX diff's problem), running in
+//     O((r+n) log n) where r is the number of matching index pairs. Used
+//     by the line differ that produces RCS ed-script deltas.
+//
+// All three return the same kind of answer: an increasing sequence of
+// index pairs (i, j) meaning element i of A is matched with element j of
+// B, such that the total match weight is maximal.
+package lcs
+
+import "sort"
+
+// Weights describes two abstract sequences and the reward for matching an
+// element of the first against an element of the second. A weight of zero
+// means the elements may not be matched. Implementations must be cheap:
+// Weight is called O(LenA·LenB) times.
+type Weights interface {
+	// LenA returns the length of the first sequence.
+	LenA() int
+	// LenB returns the length of the second sequence.
+	LenB() int
+	// Weight returns the non-negative reward for matching A[i] with B[j].
+	Weight(i, j int) float64
+}
+
+// Pair records that A[AIdx] is matched with B[BIdx] at the given weight.
+type Pair struct {
+	AIdx, BIdx int
+	Weight     float64
+}
+
+// TotalWeight sums the weights of a match sequence.
+func TotalWeight(pairs []Pair) float64 {
+	var t float64
+	for _, p := range pairs {
+		t += p.Weight
+	}
+	return t
+}
+
+// DP computes a maximum-weight common subsequence with the quadratic-space
+// dynamic program. It is simple and allocation-heavy by design; prefer
+// Hirschberg outside of tests and ablations.
+func DP(w Weights) []Pair {
+	n, m := w.LenA(), w.LenB()
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// score[i][j] = best weight matching A[:i] against B[:j].
+	score := make([][]float64, n+1)
+	cells := make([]float64, (n+1)*(m+1))
+	for i := range score {
+		score[i] = cells[i*(m+1) : (i+1)*(m+1)]
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := score[i-1][j]
+			if s := score[i][j-1]; s > best {
+				best = s
+			}
+			if wt := w.Weight(i-1, j-1); wt > 0 {
+				if s := score[i-1][j-1] + wt; s > best {
+					best = s
+				}
+			}
+			score[i][j] = best
+		}
+	}
+	// Trace back, preferring diagonal moves so that ties yield matches.
+	var rev []Pair
+	i, j := n, m
+	for i > 0 && j > 0 {
+		wt := w.Weight(i-1, j-1)
+		switch {
+		case wt > 0 && score[i][j] == score[i-1][j-1]+wt:
+			rev = append(rev, Pair{AIdx: i - 1, BIdx: j - 1, Weight: wt})
+			i--
+			j--
+		case score[i][j] == score[i-1][j]:
+			i--
+		default:
+			j--
+		}
+	}
+	reverse(rev)
+	return rev
+}
+
+// Hirschberg computes the same maximum-weight common subsequence as DP in
+// linear space using divide and conquer.
+func Hirschberg(w Weights) []Pair {
+	n, m := w.LenA(), w.LenB()
+	if n == 0 || m == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, min(n, m))
+	hirschberg(w, 0, n, 0, m, &out)
+	return out
+}
+
+// hirschberg appends to out the optimal pairs matching A[alo:ahi] against
+// B[blo:bhi], in increasing index order.
+func hirschberg(w Weights, alo, ahi, blo, bhi int, out *[]Pair) {
+	an, bn := ahi-alo, bhi-blo
+	if an == 0 || bn == 0 {
+		return
+	}
+	if an == 1 {
+		// Base case: match the single A element against the best B
+		// element, if any match is possible.
+		bestJ, bestW := -1, 0.0
+		for j := blo; j < bhi; j++ {
+			if wt := w.Weight(alo, j); wt > bestW {
+				bestJ, bestW = j, wt
+			}
+		}
+		if bestJ >= 0 {
+			*out = append(*out, Pair{AIdx: alo, BIdx: bestJ, Weight: bestW})
+		}
+		return
+	}
+	mid := alo + an/2
+	// Forward scores for A[alo:mid] vs prefixes of B[blo:bhi].
+	fwd := nwScore(w, alo, mid, blo, bhi, false)
+	// Backward scores for A[mid:ahi] vs suffixes of B[blo:bhi].
+	bwd := nwScore(w, mid, ahi, blo, bhi, true)
+	// Choose the split point k maximising fwd[k] + bwd[bn-k].
+	split, best := blo, fwd[0]+bwd[bn]
+	for k := 0; k <= bn; k++ {
+		if s := fwd[k] + bwd[bn-k]; s > best {
+			best = s
+			split = blo + k
+		}
+	}
+	hirschberg(w, alo, mid, blo, split, out)
+	hirschberg(w, mid, ahi, split, bhi, out)
+}
+
+// nwScore returns the last row of the LCS score matrix for A[alo:ahi]
+// against B[blo:bhi]. When rev is true, both ranges are traversed in
+// reverse, producing the scores of suffix alignments. The returned slice
+// has length bhi-blo+1; entry k is the best score using the first (or, in
+// reverse, last) k elements of the B range.
+func nwScore(w Weights, alo, ahi, blo, bhi int, rev bool) []float64 {
+	bn := bhi - blo
+	prev := make([]float64, bn+1)
+	cur := make([]float64, bn+1)
+	for i := alo; i < ahi; i++ {
+		ai := i
+		if rev {
+			ai = ahi - 1 - (i - alo)
+		}
+		cur[0] = 0
+		for k := 1; k <= bn; k++ {
+			bj := blo + k - 1
+			if rev {
+				bj = bhi - k
+			}
+			best := prev[k]
+			if cur[k-1] > best {
+				best = cur[k-1]
+			}
+			if wt := w.Weight(ai, bj); wt > 0 {
+				if s := prev[k-1] + wt; s > best {
+					best = s
+				}
+			}
+			cur[k] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// Strings computes the LCS of two string sequences under exact equality
+// (each match has weight 1), using the match-point/longest-increasing-
+// subsequence formulation of Hunt and McIlroy's diff algorithm.
+func Strings(a, b []string) []Pair {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// Trim the common prefix and suffix first; real documents share most
+	// of their lines, and this keeps the candidate lists small.
+	pre := 0
+	for pre < n && pre < m && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < n-pre && suf < m-pre && a[n-1-suf] == b[m-1-suf] {
+		suf++
+	}
+	pairs := make([]Pair, 0, min(n, m))
+	for i := 0; i < pre; i++ {
+		pairs = append(pairs, Pair{AIdx: i, BIdx: i, Weight: 1})
+	}
+	pairs = appendMiddleLCS(a[pre:n-suf], b[pre:m-suf], pre, pairs)
+	for i := suf; i > 0; i-- {
+		pairs = append(pairs, Pair{AIdx: n - i, BIdx: m - i, Weight: 1})
+	}
+	return pairs
+}
+
+// lisNode is a candidate chain node in the increasing-subsequence search.
+type lisNode struct {
+	ai, bj int
+	prev   *lisNode
+}
+
+// appendMiddleLCS computes the LCS of the trimmed middle sections and
+// appends the resulting pairs (offset back into original coordinates).
+func appendMiddleLCS(a, b []string, off int, pairs []Pair) []Pair {
+	if len(a) == 0 || len(b) == 0 {
+		return pairs
+	}
+	// Positions of each line value in b, ascending.
+	occ := make(map[string][]int, len(b))
+	for j, s := range b {
+		occ[s] = append(occ[s], j)
+	}
+	// tails[k] is the candidate ending the best known common subsequence
+	// of length k+1 with the smallest final b index.
+	var tails []*lisNode
+	for i, s := range a {
+		js := occ[s]
+		// Visit b positions in descending order so that multiple matches
+		// for the same a element cannot extend one another.
+		for x := len(js) - 1; x >= 0; x-- {
+			j := js[x]
+			// Find the first tail whose bj >= j; we will replace it.
+			k := sort.Search(len(tails), func(k int) bool { return tails[k].bj >= j })
+			node := &lisNode{ai: i, bj: j}
+			if k > 0 {
+				node.prev = tails[k-1]
+			}
+			if k == len(tails) {
+				tails = append(tails, node)
+			} else {
+				tails[k] = node
+			}
+		}
+	}
+	if len(tails) == 0 {
+		return pairs
+	}
+	// Walk the best chain back to the start, then reverse into pairs.
+	chain := make([]*lisNode, 0, len(tails))
+	for n := tails[len(tails)-1]; n != nil; n = n.prev {
+		chain = append(chain, n)
+	}
+	for x := len(chain) - 1; x >= 0; x-- {
+		n := chain[x]
+		pairs = append(pairs, Pair{AIdx: n.ai + off, BIdx: n.bj + off, Weight: 1})
+	}
+	return pairs
+}
+
+func reverse(p []Pair) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

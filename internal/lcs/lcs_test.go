@@ -1,0 +1,283 @@
+package lcs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// eqWeights adapts two string slices to the Weights interface with
+// weight-1 exact matching.
+type eqWeights struct{ a, b []string }
+
+func (w eqWeights) LenA() int { return len(w.a) }
+func (w eqWeights) LenB() int { return len(w.b) }
+func (w eqWeights) Weight(i, j int) float64 {
+	if w.a[i] == w.b[j] {
+		return 1
+	}
+	return 0
+}
+
+// fuzzyWeights gives partial credit for tokens sharing a prefix, to
+// exercise the weighted (non-0/1) paths.
+type fuzzyWeights struct{ a, b []string }
+
+func (w fuzzyWeights) LenA() int { return len(w.a) }
+func (w fuzzyWeights) LenB() int { return len(w.b) }
+func (w fuzzyWeights) Weight(i, j int) float64 {
+	x, y := w.a[i], w.b[j]
+	if x == y {
+		return 2
+	}
+	if len(x) > 0 && len(y) > 0 && x[0] == y[0] {
+		return 0.5
+	}
+	return 0
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, " ")
+}
+
+func TestDPSimple(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"a", "", 0},
+		{"", "b", 0},
+		{"a b c", "a b c", 3},
+		{"a b c", "a x c", 2},
+		{"a b c d", "b c d a", 3},
+		{"x y z", "p q r", 0},
+		{"a a a", "a a", 2},
+		{"a b a b a", "b a b a b", 4},
+	}
+	for _, c := range cases {
+		got := TotalWeight(DP(eqWeights{split(c.a), split(c.b)}))
+		if got != c.want {
+			t.Errorf("DP(%q,%q) weight = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHirschbergMatchesDPWeight(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"a", "a"},
+		{"a b c d e", "a c e"},
+		{"a b c d e f g", "g f e d c b a"},
+		{"the quick brown fox", "the slow brown dog"},
+		{"a a b b c c", "c c b b a a"},
+	}
+	for _, c := range cases {
+		w := eqWeights{split(c[0]), split(c[1])}
+		dw := TotalWeight(DP(w))
+		hw := TotalWeight(Hirschberg(w))
+		if dw != hw {
+			t.Errorf("weights differ for (%q,%q): DP=%v Hirschberg=%v", c[0], c[1], dw, hw)
+		}
+	}
+}
+
+func TestHirschbergWeighted(t *testing.T) {
+	w := fuzzyWeights{split("apple banana cherry"), split("apricot banana citrus")}
+	pairs := Hirschberg(w)
+	// banana matches exactly (2), apple/apricot and cherry/citrus each 0.5.
+	if got, want := TotalWeight(pairs), 3.0; got != want {
+		t.Fatalf("weight = %v, want %v (pairs %v)", got, want, pairs)
+	}
+}
+
+// validPairs checks that a match sequence is strictly increasing in both
+// indexes, within bounds, and only uses nonzero-weight matches.
+func validPairs(t *testing.T, w Weights, pairs []Pair) {
+	t.Helper()
+	lastA, lastB := -1, -1
+	for _, p := range pairs {
+		if p.AIdx <= lastA || p.BIdx <= lastB {
+			t.Fatalf("pairs not strictly increasing: %v", pairs)
+		}
+		if p.AIdx >= w.LenA() || p.BIdx >= w.LenB() || p.AIdx < 0 || p.BIdx < 0 {
+			t.Fatalf("pair out of range: %v", p)
+		}
+		if w.Weight(p.AIdx, p.BIdx) <= 0 {
+			t.Fatalf("pair with non-positive weight: %v", p)
+		}
+		lastA, lastB = p.AIdx, p.BIdx
+	}
+}
+
+func randTokens(r *rand.Rand, n, alphabet int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + r.Intn(alphabet)))
+	}
+	return out
+}
+
+func TestPropertyHirschbergEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := randTokens(r, r.Intn(30), 4)
+		b := randTokens(r, r.Intn(30), 4)
+		w := eqWeights{a, b}
+		dp := DP(w)
+		hb := Hirschberg(w)
+		validPairs(t, w, dp)
+		validPairs(t, w, hb)
+		if TotalWeight(dp) != TotalWeight(hb) {
+			t.Fatalf("trial %d: DP=%v Hirschberg=%v (a=%v b=%v)",
+				trial, TotalWeight(dp), TotalWeight(hb), a, b)
+		}
+	}
+}
+
+func TestPropertyStringsEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := randTokens(r, r.Intn(40), 3)
+		b := randTokens(r, r.Intn(40), 3)
+		sp := Strings(a, b)
+		validPairs(t, eqWeights{a, b}, sp)
+		want := TotalWeight(DP(eqWeights{a, b}))
+		if got := TotalWeight(sp); got != want {
+			t.Fatalf("trial %d: Strings=%v DP=%v (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+// TestQuickLCSInvariants uses testing/quick to assert structural
+// invariants: the LCS of x with itself is x, and LCS length is symmetric.
+func TestQuickLCSInvariants(t *testing.T) {
+	self := func(raw []byte) bool {
+		toks := bytesToTokens(raw, 5)
+		pairs := Strings(toks, toks)
+		if len(pairs) != len(toks) {
+			return false
+		}
+		for i, p := range pairs {
+			if p.AIdx != i || p.BIdx != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(self, nil); err != nil {
+		t.Errorf("LCS(x,x) != identity: %v", err)
+	}
+	sym := func(ra, rb []byte) bool {
+		a := bytesToTokens(ra, 4)
+		b := bytesToTokens(rb, 4)
+		return len(Strings(a, b)) == len(Strings(b, a))
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("LCS length not symmetric: %v", err)
+	}
+}
+
+// TestQuickSubsequenceBound: the LCS is never longer than either input.
+func TestQuickSubsequenceBound(t *testing.T) {
+	f := func(ra, rb []byte) bool {
+		a := bytesToTokens(ra, 6)
+		b := bytesToTokens(rb, 6)
+		n := len(Strings(a, b))
+		return n <= len(a) && n <= len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func bytesToTokens(raw []byte, alphabet int) []string {
+	if len(raw) > 64 {
+		raw = raw[:64]
+	}
+	out := make([]string, len(raw))
+	for i, c := range raw {
+		out[i] = string(rune('a' + int(c)%alphabet))
+	}
+	return out
+}
+
+func TestStringsCommonPrefixSuffix(t *testing.T) {
+	a := split("h1 h2 x y z t1 t2")
+	b := split("h1 h2 p q t1 t2")
+	pairs := Strings(a, b)
+	if got, want := len(pairs), 4; got != want {
+		t.Fatalf("len = %d want %d: %v", got, want, pairs)
+	}
+	// Prefix pairs must align identically.
+	if pairs[0] != (Pair{0, 0, 1}) || pairs[1] != (Pair{1, 1, 1}) {
+		t.Errorf("prefix pairs wrong: %v", pairs)
+	}
+	if pairs[2] != (Pair{5, 4, 1}) || pairs[3] != (Pair{6, 5, 1}) {
+		t.Errorf("suffix pairs wrong: %v", pairs)
+	}
+}
+
+func TestStringsAllEqualLines(t *testing.T) {
+	// Pathological diff input: many identical lines.
+	a := make([]string, 50)
+	b := make([]string, 30)
+	for i := range a {
+		a[i] = "same"
+	}
+	for i := range b {
+		b[i] = "same"
+	}
+	pairs := Strings(a, b)
+	if len(pairs) != 30 {
+		t.Fatalf("want 30 matches, got %d", len(pairs))
+	}
+}
+
+func BenchmarkDPEqual1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randTokens(r, 1000, 26)
+	y := append([]string(nil), x...)
+	for i := 0; i < len(y); i += 10 {
+		y[i] = "CHANGED"
+	}
+	w := eqWeights{x, y}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DP(w)
+	}
+}
+
+func BenchmarkHirschbergEqual1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randTokens(r, 1000, 26)
+	y := append([]string(nil), x...)
+	for i := 0; i < len(y); i += 10 {
+		y[i] = "CHANGED"
+	}
+	w := eqWeights{x, y}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hirschberg(w)
+	}
+}
+
+func BenchmarkStrings10000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randTokens(r, 10000, 1000)
+	y := append([]string(nil), x...)
+	for i := 0; i < len(y); i += 50 {
+		y[i] = "CHANGED"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Strings(x, y)
+	}
+}

@@ -1,0 +1,196 @@
+// Package lockmgr provides the per-key mutual exclusion the snapshot
+// facility needs (§4.2): one lock per URL around repository operations
+// and one lock per user around control-file updates.
+//
+// A Manager combines an in-process queue (goroutines waiting on the same
+// key block on a shared mutex, so simultaneous requests for the same page
+// are serialised rather than duplicated) with an on-disk lock file that
+// excludes other processes, in the spirit of the paper's "UNIX file
+// locking on both a per-URL lock file and the per-user control file".
+// Lock files older than StaleAfter are considered abandoned by a crashed
+// process and are broken.
+package lockmgr
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Default tuning; overridable per Manager.
+const (
+	// DefaultStaleAfter is how old a lock file must be before it is
+	// presumed abandoned and broken.
+	DefaultStaleAfter = 5 * time.Minute
+	// DefaultAcquireTimeout bounds how long Lock waits for another
+	// process before giving up.
+	DefaultAcquireTimeout = 30 * time.Second
+	// pollInterval is the retry cadence while another process holds the
+	// file lock.
+	pollInterval = 10 * time.Millisecond
+)
+
+// Manager hands out per-key locks backed by lock files under Dir.
+type Manager struct {
+	dir string
+	// StaleAfter is the age at which a lock file is broken.
+	StaleAfter time.Duration
+	// AcquireTimeout bounds Lock's wait for the on-disk lock.
+	AcquireTimeout time.Duration
+
+	mu    sync.Mutex
+	locks map[string]*entry
+}
+
+type entry struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// New returns a Manager storing lock files under dir (created on demand).
+func New(dir string) *Manager {
+	return &Manager{
+		dir:            dir,
+		StaleAfter:     DefaultStaleAfter,
+		AcquireTimeout: DefaultAcquireTimeout,
+		locks:          make(map[string]*entry),
+	}
+}
+
+// Lock acquires the lock for key, blocking in-process waiters and
+// contending with other processes through the lock file. It returns an
+// unlock function, which must be called exactly once.
+func (m *Manager) Lock(key string) (unlock func(), err error) {
+	e := m.acquireEntry(key)
+	e.mu.Lock()
+	path, err := m.lockFile(key)
+	if err != nil {
+		e.mu.Unlock()
+		m.releaseEntry(key)
+		return nil, err
+	}
+	deadline := time.Now().Add(m.AcquireTimeout)
+	for {
+		ok, ferr := m.tryLockFile(path)
+		if ferr != nil {
+			e.mu.Unlock()
+			m.releaseEntry(key)
+			return nil, ferr
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			e.mu.Unlock()
+			m.releaseEntry(key)
+			return nil, fmt.Errorf("lockmgr: timed out waiting for %q", key)
+		}
+		time.Sleep(pollInterval)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			os.Remove(path)
+			e.mu.Unlock()
+			m.releaseEntry(key)
+		})
+	}, nil
+}
+
+// TryLock attempts to acquire the lock without blocking. It returns
+// ok=false if some other holder (in-process or on disk) has it.
+func (m *Manager) TryLock(key string) (unlock func(), ok bool, err error) {
+	e := m.acquireEntry(key)
+	if !e.mu.TryLock() {
+		m.releaseEntry(key)
+		return nil, false, nil
+	}
+	path, err := m.lockFile(key)
+	if err != nil {
+		e.mu.Unlock()
+		m.releaseEntry(key)
+		return nil, false, err
+	}
+	got, err := m.tryLockFile(path)
+	if err != nil || !got {
+		e.mu.Unlock()
+		m.releaseEntry(key)
+		return nil, false, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			os.Remove(path)
+			e.mu.Unlock()
+			m.releaseEntry(key)
+		})
+	}, true, nil
+}
+
+// acquireEntry bumps the refcount on the per-key in-process entry.
+func (m *Manager) acquireEntry(key string) *entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.locks[key]
+	if !ok {
+		e = &entry{}
+		m.locks[key] = e
+	}
+	e.refs++
+	return e
+}
+
+// releaseEntry drops the refcount, deleting idle entries so the map does
+// not grow without bound across many URLs.
+func (m *Manager) releaseEntry(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[key]
+	if e == nil {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(m.locks, key)
+	}
+}
+
+// lockFile returns the lock file path for key, creating the directory.
+func (m *Manager) lockFile(key string) (string, error) {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha1.Sum([]byte(key))
+	return filepath.Join(m.dir, hex.EncodeToString(sum[:])+".lock"), nil
+}
+
+// tryLockFile attempts to create the lock file exclusively, breaking it
+// first if it is stale.
+func (m *Manager) tryLockFile(path string) (bool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		fmt.Fprintf(f, "%s\n", strconv.Itoa(os.Getpid()))
+		f.Close()
+		return true, nil
+	}
+	if !os.IsExist(err) {
+		return false, err
+	}
+	fi, serr := os.Stat(path)
+	if serr != nil {
+		// Raced with the holder's unlock; retry on the next poll.
+		return false, nil
+	}
+	if time.Since(fi.ModTime()) > m.StaleAfter {
+		// Abandoned lock from a crashed process: break it. A race here
+		// at worst removes a lock file created a poll ago; the O_EXCL
+		// create below (next iteration) re-arbitrates.
+		os.Remove(path)
+	}
+	return false, nil
+}

@@ -1,0 +1,273 @@
+package lockmgr
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLockUnlockBasic(t *testing.T) {
+	m := New(t.TempDir())
+	unlock, err := m.Lock("http://example.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock()
+	// Re-acquire after unlock must succeed immediately.
+	unlock2, err := m.Lock("http://example.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock2()
+}
+
+func TestUnlockIdempotent(t *testing.T) {
+	m := New(t.TempDir())
+	unlock, err := m.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock()
+	unlock() // second call must be a no-op, not a panic or double-unlock
+	if _, err := m.Lock("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutualExclusionSameKey(t *testing.T) {
+	m := New(t.TempDir())
+	const goroutines = 16
+	var counter, max int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			unlock, err := m.Lock("shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			counter++
+			if counter > max {
+				max = counter
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			counter--
+			mu.Unlock()
+			unlock()
+		}()
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Errorf("max concurrent holders = %d, want 1", max)
+	}
+}
+
+func TestDifferentKeysIndependent(t *testing.T) {
+	m := New(t.TempDir())
+	u1, err := m.Lock("key-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u1()
+	// A different key must not block.
+	done := make(chan struct{})
+	go func() {
+		u2, err := m.Lock("key-b")
+		if err == nil {
+			u2()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("independent key blocked")
+	}
+}
+
+func TestTryLockContention(t *testing.T) {
+	m := New(t.TempDir())
+	unlock, err := m.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.TryLock("k"); ok {
+		t.Fatal("TryLock succeeded while held")
+	}
+	unlock()
+	u2, ok, err := m.TryLock("k")
+	if err != nil || !ok {
+		t.Fatalf("TryLock after release: ok=%v err=%v", ok, err)
+	}
+	u2()
+}
+
+func TestStaleLockBroken(t *testing.T) {
+	dir := t.TempDir()
+	m := New(dir)
+	m.StaleAfter = 50 * time.Millisecond
+	m.AcquireTimeout = 2 * time.Second
+
+	// Simulate a crashed process: plant a lock file by hand.
+	path, err := m.lockFile("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("99999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	unlock, err := m.Lock("k")
+	if err != nil {
+		t.Fatalf("stale lock not broken: %v", err)
+	}
+	unlock()
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	dir := t.TempDir()
+	// Two managers simulate two processes sharing the lock directory.
+	m1 := New(dir)
+	m2 := New(dir)
+	m2.AcquireTimeout = 100 * time.Millisecond
+	m2.StaleAfter = time.Hour
+
+	unlock, err := m1.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unlock()
+	start := time.Now()
+	if _, err := m2.Lock("k"); err == nil {
+		t.Fatal("cross-process lock acquired while held")
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Error("timed out too early")
+	}
+}
+
+func TestCrossProcessHandoff(t *testing.T) {
+	dir := t.TempDir()
+	m1 := New(dir)
+	m2 := New(dir)
+	unlock, err := m1.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		u, err := m2.Lock("k")
+		if err == nil {
+			u()
+		}
+		acquired <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	unlock()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("second process failed to acquire after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second process never acquired")
+	}
+}
+
+func TestEntryMapDoesNotLeak(t *testing.T) {
+	m := New(t.TempDir())
+	for i := 0; i < 100; i++ {
+		unlock, err := m.Lock(string(rune('a' + i%26)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		unlock()
+	}
+	m.mu.Lock()
+	n := len(m.locks)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Errorf("entry map holds %d idle entries, want 0", n)
+	}
+}
+
+func TestLockFilesRemovedOnUnlock(t *testing.T) {
+	dir := t.TempDir()
+	m := New(dir)
+	unlock, err := m.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.lock"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 lock file while held, got %d", len(files))
+	}
+	unlock()
+	files, _ = filepath.Glob(filepath.Join(dir, "*.lock"))
+	if len(files) != 0 {
+		t.Errorf("lock file left behind after unlock: %v", files)
+	}
+}
+
+func TestLockDirectoryCreationFailure(t *testing.T) {
+	// A file where the lock directory should be makes MkdirAll fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "locks")
+	if err := os.WriteFile(blocker, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := New(blocker)
+	if _, err := m.Lock("k"); err == nil {
+		t.Fatal("lock with unusable directory succeeded")
+	}
+	if _, ok, err := m.TryLock("k"); ok || err == nil {
+		t.Fatalf("trylock with unusable directory: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTryLockCrossProcessContention(t *testing.T) {
+	dir := t.TempDir()
+	m1, m2 := New(dir), New(dir)
+	unlock, err := m1.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unlock()
+	// The other "process" cannot TryLock while the file is held.
+	if _, ok, err := m2.TryLock("k"); ok || err != nil {
+		t.Fatalf("cross-process TryLock: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFreshLockNotBrokenAsStale(t *testing.T) {
+	dir := t.TempDir()
+	m1 := New(dir)
+	m2 := New(dir)
+	m2.StaleAfter = time.Hour
+	m2.AcquireTimeout = 80 * time.Millisecond
+	unlock, err := m1.Lock("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unlock()
+	if _, err := m2.Lock("k"); err == nil {
+		t.Fatal("fresh lock was stolen")
+	}
+	// The holder's lock file must still exist (not broken).
+	files, _ := filepath.Glob(filepath.Join(dir, "*.lock"))
+	if len(files) != 1 {
+		t.Fatalf("lock files = %v", files)
+	}
+}

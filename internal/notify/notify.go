@@ -1,0 +1,260 @@
+// Package notify implements the notification architecture §3.1 envisions
+// as the scalable alternative to polling: "A user who expresses an
+// interest in a page, or a browser that is currently caching a page,
+// could register an interest in the page with its local caching service.
+// The caching service would in turn register an interest with an
+// Internet-wide, distributed service that would make a best effort to
+// notify the caching service of changes in a timely fashion. ... either
+// the content provider notifies the repository of changes, or the
+// repository polls it periodically. Either way, there would not be a
+// large number of clients polling each interesting HTTP server."
+//
+// Two pieces:
+//
+//   - Hub: the Internet-wide service. Content providers push change
+//     announcements for their URLs, or the hub polls providers that
+//     don't (the "negotiation between the distributed repository and the
+//     content provider"). Delivery to subscribers is asynchronous and
+//     best-effort: a slow subscriber's queue overflows and drops rather
+//     than stalling the hub.
+//
+//   - Relay: a local caching service's subscription endpoint. It
+//     accumulates the modification dates announced by the hub and
+//     exposes them through the same ModInfo oracle interface as the
+//     proxy-cache daemon, so w3newer consults lazily pushed knowledge
+//     exactly as it consults the proxy — no polling at all for pages
+//     covered by notifications.
+package notify
+
+import (
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// Notification announces that a URL changed at (or before) ModTime.
+type Notification struct {
+	// URL is the changed page.
+	URL string
+	// ModTime is the page's new modification time.
+	ModTime time.Time
+	// AnnouncedAt is when the hub learned of the change.
+	AnnouncedAt time.Time
+}
+
+// Subscriber receives notifications. Deliveries are asynchronous; the
+// hub never blocks on a subscriber.
+type Subscriber interface {
+	// Notify delivers one notification. It must not block for long;
+	// the hub's per-subscriber queue is bounded.
+	Notify(Notification)
+}
+
+// HubStats counts hub activity.
+type HubStats struct {
+	// Announced counts change announcements accepted (pushed or
+	// discovered by polling).
+	Announced int
+	// Delivered counts notifications handed to subscribers.
+	Delivered int
+	// Dropped counts notifications discarded because a subscriber's
+	// queue was full (best-effort delivery).
+	Dropped int
+	// Polled counts provider polls performed by PollSweep.
+	Polled int
+}
+
+// Hub is the distributed notification service (one node of it; the
+// paper's Harvest-style replication is out of scope, the interface is
+// the point).
+type Hub struct {
+	clock simclock.Clock
+	// QueueSize bounds each subscriber's pending deliveries.
+	QueueSize int
+
+	mu        sync.Mutex
+	interests map[string][]*subscription // URL -> subscribers
+	lastMod   map[string]time.Time       // URL -> last announced mod time
+	polled    map[string]bool            // URLs the hub polls itself
+	stats     HubStats
+	closed    bool
+}
+
+// subscription is one subscriber's bounded delivery queue.
+type subscription struct {
+	sub   Subscriber
+	queue chan Notification
+	done  chan struct{}
+}
+
+// NewHub returns a hub on the given clock (wall clock if nil).
+func NewHub(clock simclock.Clock) *Hub {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Hub{
+		clock:     clock,
+		QueueSize: 64,
+		interests: make(map[string][]*subscription),
+		lastMod:   make(map[string]time.Time),
+		polled:    make(map[string]bool),
+	}
+}
+
+// Subscribe registers interest in url on behalf of sub. The poll flag
+// asks the hub to poll the provider itself during PollSweep (for
+// providers that never push).
+func (h *Hub) Subscribe(url string, sub Subscriber, poll bool) {
+	s := &subscription{
+		sub:   sub,
+		queue: make(chan Notification, h.QueueSize),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		for n := range s.queue {
+			s.sub.Notify(n)
+		}
+		close(s.done)
+	}()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.interests[url] = append(h.interests[url], s)
+	if poll {
+		h.polled[url] = true
+	}
+}
+
+// Announce is the content-provider push path: the provider tells the
+// repository its page changed.
+func (h *Hub) Announce(url string, mod time.Time) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	if last, ok := h.lastMod[url]; ok && !mod.After(last) {
+		h.mu.Unlock()
+		return // stale or duplicate announcement
+	}
+	h.lastMod[url] = mod
+	h.stats.Announced++
+	n := Notification{URL: url, ModTime: mod, AnnouncedAt: h.clock.Now()}
+	subs := append([]*subscription(nil), h.interests[url]...)
+	for _, s := range subs {
+		select {
+		case s.queue <- n:
+			h.stats.Delivered++
+		default:
+			h.stats.Dropped++ // best effort: never block the hub
+		}
+	}
+	h.mu.Unlock()
+}
+
+// PollSweep is the repository-polls-the-provider path: one pass over the
+// URLs marked for polling, issuing HEAD requests and announcing any
+// newer modification dates. Each URL costs one request regardless of
+// subscriber count.
+func (h *Hub) PollSweep(client *webclient.Client) {
+	h.mu.Lock()
+	urls := make([]string, 0, len(h.polled))
+	for u := range h.polled {
+		urls = append(urls, u)
+	}
+	h.mu.Unlock()
+	for _, u := range urls {
+		info, err := client.Head(u)
+		h.mu.Lock()
+		h.stats.Polled++
+		h.mu.Unlock()
+		if err != nil || !info.HasLastModified {
+			continue
+		}
+		h.Announce(u, info.LastModified)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Close stops accepting announcements and drains subscriber queues.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	var subs []*subscription
+	for _, list := range h.interests {
+		subs = append(subs, list...)
+	}
+	h.interests = make(map[string][]*subscription)
+	h.mu.Unlock()
+	for _, s := range subs {
+		close(s.queue)
+		<-s.done
+	}
+}
+
+// Relay is the local caching service's end of the protocol: it receives
+// notifications and remembers the freshest modification date per URL.
+// It implements the tracker's ModOracle, so w3newer treats lazily pushed
+// knowledge exactly like proxy-cache knowledge.
+type Relay struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	entries map[string]relayEntry
+	// received counts notifications accepted.
+	received int
+}
+
+type relayEntry struct {
+	mod        time.Time
+	receivedAt time.Time
+}
+
+// NewRelay returns an empty relay on the given clock (wall if nil).
+func NewRelay(clock simclock.Clock) *Relay {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Relay{clock: clock, entries: make(map[string]relayEntry)}
+}
+
+// Notify implements Subscriber.
+func (r *Relay) Notify(n Notification) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[n.URL]; ok && !n.ModTime.After(e.mod) {
+		return
+	}
+	r.entries[n.URL] = relayEntry{mod: n.ModTime, receivedAt: r.clock.Now()}
+	r.received++
+}
+
+// ModInfo implements the tracker.ModOracle interface: the freshest
+// notified modification date and when it arrived.
+func (r *Relay) ModInfo(url string) (lastMod, cachedAt time.Time, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, found := r.entries[url]
+	if !found {
+		return time.Time{}, time.Time{}, false
+	}
+	return e.mod, e.receivedAt, true
+}
+
+// Received reports how many notifications the relay has accepted.
+func (r *Relay) Received() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
+}

@@ -1,0 +1,210 @@
+package notify
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/hotlist"
+	"aide/internal/simclock"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func TestProviderPushReachesRelay(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	hub := NewHub(clock)
+	defer hub.Close()
+	relay := NewRelay(clock)
+	hub.Subscribe("http://h/p", relay, false)
+
+	mod := clock.Now()
+	hub.Announce("http://h/p", mod)
+	waitFor(t, func() bool { return relay.Received() == 1 })
+
+	got, at, ok := relay.ModInfo("http://h/p")
+	if !ok || !got.Equal(mod) || at.IsZero() {
+		t.Fatalf("ModInfo = (%v,%v,%v)", got, at, ok)
+	}
+}
+
+func TestDuplicateAndStaleAnnouncementsSuppressed(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	hub := NewHub(clock)
+	defer hub.Close()
+	relay := NewRelay(clock)
+	hub.Subscribe("http://h/p", relay, false)
+
+	mod := clock.Now()
+	hub.Announce("http://h/p", mod)
+	hub.Announce("http://h/p", mod)                 // duplicate
+	hub.Announce("http://h/p", mod.Add(-time.Hour)) // stale
+	waitFor(t, func() bool { return relay.Received() >= 1 })
+	time.Sleep(10 * time.Millisecond)
+	if n := relay.Received(); n != 1 {
+		t.Errorf("relay received %d notifications, want 1", n)
+	}
+	if s := hub.Stats(); s.Announced != 1 {
+		t.Errorf("hub stats = %+v", s)
+	}
+}
+
+func TestMultipleSubscribersOneAnnouncement(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	hub := NewHub(clock)
+	defer hub.Close()
+	relays := make([]*Relay, 5)
+	for i := range relays {
+		relays[i] = NewRelay(clock)
+		hub.Subscribe("http://h/p", relays[i], false)
+	}
+	hub.Announce("http://h/p", clock.Now())
+	for i, r := range relays {
+		rr := r
+		waitFor(t, func() bool { return rr.Received() == 1 })
+		_ = i
+	}
+	if s := hub.Stats(); s.Delivered != 5 {
+		t.Errorf("delivered = %d, want 5", s.Delivered)
+	}
+}
+
+// blockingSubscriber never returns from Notify, to exercise the
+// best-effort overflow path.
+type blockingSubscriber struct{ block chan struct{} }
+
+func (b *blockingSubscriber) Notify(Notification) { <-b.block }
+
+func TestBestEffortDropsOnOverflow(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	hub := NewHub(clock)
+	hub.QueueSize = 2
+	blocker := &blockingSubscriber{block: make(chan struct{})}
+	hub.Subscribe("http://h/p", blocker, false)
+
+	// One in-flight + two queued fit; further announcements must drop
+	// rather than stall.
+	for i := 0; i < 10; i++ {
+		hub.Announce("http://h/p", clock.Now().Add(time.Duration(i+1)*time.Minute))
+	}
+	if s := hub.Stats(); s.Dropped == 0 {
+		t.Errorf("no drops despite blocked subscriber: %+v", s)
+	}
+	close(blocker.block)
+	hub.Close()
+}
+
+func TestPollSweepDiscoversChanges(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+	client := webclient.New(web)
+
+	hub := NewHub(clock)
+	defer hub.Close()
+	relay := NewRelay(clock)
+	// This provider never pushes; the hub polls it.
+	hub.Subscribe("http://h/p", relay, true)
+
+	hub.PollSweep(client)
+	waitFor(t, func() bool { return relay.Received() == 1 })
+
+	// No change: the sweep polls but announces nothing new.
+	hub.PollSweep(client)
+	time.Sleep(5 * time.Millisecond)
+	if relay.Received() != 1 {
+		t.Errorf("unchanged page re-announced")
+	}
+	// Change: the next sweep discovers and announces it.
+	web.Advance(24 * time.Hour)
+	p.Set("v2")
+	hub.PollSweep(client)
+	waitFor(t, func() bool { return relay.Received() == 2 })
+	if s := hub.Stats(); s.Polled != 3 {
+		t.Errorf("polled = %d, want 3", s.Polled)
+	}
+}
+
+// TestTrackerConsumesRelay is the §3.1 integration: with a relay as the
+// tracker's oracle, a pushed change is reported without any polling.
+func TestTrackerConsumesRelay(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+
+	hist := hotlist.NewHistory()
+	hist.Visit("http://h/p", clock.Now().Add(time.Hour)) // user saw v1
+
+	hub := NewHub(clock)
+	defer hub.Close()
+	relay := NewRelay(clock)
+	hub.Subscribe("http://h/p", relay, false)
+
+	cfg, _ := w3config.ParseString("Default 2d\n")
+	tr := tracker.New(webclient.New(web), cfg, hist, clock)
+	tr.Proxy = relay // the relay speaks the same oracle protocol
+
+	// The provider pushes a change three days later.
+	web.Advance(72 * time.Hour)
+	p.Set("v2")
+	hub.Announce("http://h/p", clock.Now())
+	waitFor(t, func() bool { return relay.Received() == 1 })
+
+	web.ResetRequestCounts()
+	rs := tr.Run([]hotlist.Entry{{URL: "http://h/p", Title: "P"}})
+	if rs[0].Status != tracker.Changed || rs[0].Via != "proxy" {
+		t.Fatalf("result = %+v", rs[0])
+	}
+	if h, g := web.TotalRequests(); h+g != 0 {
+		t.Errorf("notified change still polled the origin: %d requests", h+g)
+	}
+}
+
+func TestRelayConcurrent(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	relay := NewRelay(clock)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				relay.Notify(Notification{URL: "http://h/p", ModTime: time.Unix(int64(i*1000+j), 0)})
+				relay.ModInfo("http://h/p")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, _, ok := relay.ModInfo("http://h/p"); !ok {
+		t.Error("entry lost")
+	}
+}
+
+func TestCloseIdempotentAndAnnounceAfterClose(t *testing.T) {
+	hub := NewHub(simclock.New(time.Time{}))
+	relay := NewRelay(nil)
+	hub.Subscribe("http://h/p", relay, false)
+	hub.Close()
+	hub.Close() // must not panic
+	hub.Announce("http://h/p", time.Now())
+	if s := hub.Stats(); s.Announced != 0 {
+		t.Errorf("announcement accepted after close: %+v", s)
+	}
+}

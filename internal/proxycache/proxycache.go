@@ -1,0 +1,224 @@
+// Package proxycache implements the caching proxy that w3newer consults
+// before going to the network (§3): it caches page bodies and
+// modification dates with a time-to-live, and exposes the cached
+// modification information as a cheap oracle — the paper's "related
+// daemon on the same machine as an AT&T-wide proxy-caching server, which
+// returns information about pages that are currently cached on the
+// server and may eliminate some accesses over the Internet".
+//
+// The cache is a webclient.Transport wrapper, so a Client pointed at it
+// behaves exactly like one pointed at the origin, minus the traffic.
+package proxycache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// Stats counts cache outcomes.
+type Stats struct {
+	// Hits served entirely from cache.
+	Hits int
+	// Misses forwarded upstream (cold or expired).
+	Misses int
+	// Revalidated counts expired entries refreshed by a conditional GET
+	// that came back 304 Not Modified.
+	Revalidated int
+	// Errors are upstream failures.
+	Errors int
+}
+
+// Cache is a TTL + LRU caching proxy over an upstream transport.
+type Cache struct {
+	// TTL is how long a cached entry is served without revalidation
+	// (the "time-to-live value" of §3.1).
+	TTL time.Duration
+	// MaxEntries bounds the cache size; older entries are evicted LRU.
+	MaxEntries int
+
+	upstream webclient.Transport
+	clock    simclock.Clock
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	stats   Stats
+}
+
+// entry is one cached page.
+type entry struct {
+	url      string
+	status   int
+	lastMod  time.Time
+	location string
+	body     string
+	hasBody  bool
+	cachedAt time.Time
+}
+
+// DefaultTTL mirrors a mid-1990s proxy's default freshness window.
+const DefaultTTL = 24 * time.Hour
+
+// New returns a cache over upstream. If clock is nil the wall clock is
+// used.
+func New(upstream webclient.Transport, clock simclock.Clock) *Cache {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Cache{
+		TTL:        DefaultTTL,
+		MaxEntries: 10000,
+		upstream:   upstream,
+		clock:      clock,
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+// RoundTrip implements webclient.Transport. HEAD requests are satisfied
+// from cached metadata when fresh; GET requests need a fresh cached
+// body. An expired entry with a known modification date is revalidated
+// with a conditional GET — a 304 renews it without re-transferring the
+// body (the "check the modification date of a cached page" behaviour of
+// §3.1's cache-consistency discussion).
+func (c *Cache) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
+	now := c.clock.Now()
+	var staleMod time.Time
+	c.mu.Lock()
+	if el, ok := c.entries[req.URL]; ok {
+		e := el.Value.(*entry)
+		if now.Sub(e.cachedAt) <= c.TTL && (req.Method == "HEAD" || e.hasBody) {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.respond(req.Method), nil
+		}
+		if e.hasBody && e.status == 200 && !e.lastMod.IsZero() && req.Method != "POST" {
+			staleMod = e.lastMod
+		}
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	upReq := *req
+	if !staleMod.IsZero() && upReq.IfModifiedSince.IsZero() {
+		upReq.IfModifiedSince = staleMod
+	}
+	resp, err := c.upstream.RoundTrip(&upReq)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.Status == 304 && !staleMod.IsZero() && req.IfModifiedSince.IsZero() {
+		// Our own revalidation succeeded: renew the entry and answer
+		// the client from it (the client did not ask conditionally).
+		c.mu.Lock()
+		c.stats.Revalidated++
+		var renewed *webclient.Response
+		if el, ok := c.entries[req.URL]; ok {
+			e := el.Value.(*entry)
+			e.cachedAt = now
+			c.lru.MoveToFront(el)
+			renewed = e.respond(req.Method)
+		}
+		c.mu.Unlock()
+		if renewed != nil {
+			return renewed, nil
+		}
+		// Entry vanished under us (eviction race): fall through with an
+		// unconditional refetch.
+		resp, err = c.upstream.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.store(req, resp, now)
+	return resp, nil
+}
+
+// store records an upstream response.
+func (c *Cache) store(req *webclient.Request, resp *webclient.Response, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var e *entry
+	if el, ok := c.entries[req.URL]; ok {
+		e = el.Value.(*entry)
+		c.lru.MoveToFront(el)
+	} else {
+		e = &entry{url: req.URL}
+		c.entries[req.URL] = c.lru.PushFront(e)
+	}
+	e.status = resp.Status
+	e.lastMod = resp.LastModified
+	e.location = resp.Location
+	e.cachedAt = now
+	if req.Method != "HEAD" {
+		e.body = resp.Body
+		e.hasBody = true
+	}
+	for c.MaxEntries > 0 && c.lru.Len() > c.MaxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).url)
+	}
+}
+
+// respond builds a response from a cached entry.
+func (e *entry) respond(method string) *webclient.Response {
+	resp := &webclient.Response{
+		Status:       e.status,
+		LastModified: e.lastMod,
+		Location:     e.location,
+	}
+	if method != "HEAD" {
+		resp.Body = e.body
+	}
+	return resp
+}
+
+// ModInfo is the daemon interface w3newer queries: the cached
+// modification date for url and when that information was obtained.
+// ok is false when the page is not in the cache (expired entries still
+// report, with their old cachedAt — the caller judges staleness).
+func (c *Cache) ModInfo(url string) (lastMod, cachedAt time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[url]
+	if !found {
+		return time.Time{}, time.Time{}, false
+	}
+	e := el.Value.(*entry)
+	if e.status != 200 || e.lastMod.IsZero() {
+		return time.Time{}, time.Time{}, false
+	}
+	return e.lastMod, e.cachedAt, true
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Flush drops all entries (a client "forcing a full reload" at cache
+// scope).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}

@@ -1,0 +1,236 @@
+package proxycache
+
+import (
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+func newRig() (*websim.Web, *Cache, *simclock.Sim) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	return web, New(web, clock), clock
+}
+
+func TestCacheHitServesWithoutOrigin(t *testing.T) {
+	web, cache, _ := newRig()
+	web.Site("h").Page("/p").Set("body v1")
+	c := webclient.New(cache)
+
+	i1, err := c.Get("http://h/p")
+	if err != nil || i1.Body != "body v1" {
+		t.Fatalf("first get: %+v err=%v", i1, err)
+	}
+	web.ResetRequestCounts()
+	i2, err := c.Get("http://h/p")
+	if err != nil || i2.Body != "body v1" {
+		t.Fatalf("second get: %+v err=%v", i2, err)
+	}
+	if h, g := web.TotalRequests(); h+g != 0 {
+		t.Errorf("cache hit reached origin: %d requests", h+g)
+	}
+	s := cache.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTTLExpiryRefetches(t *testing.T) {
+	web, cache, clock := newRig()
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+	c := webclient.New(cache)
+	c.Get("http://h/p")
+	clock.Advance(cache.TTL + time.Minute)
+	p.Set("v2")
+
+	info, err := c.Get("http://h/p")
+	if err != nil || info.Body != "v2" {
+		t.Fatalf("expired entry served stale: %+v err=%v", info, err)
+	}
+}
+
+func TestHeadSatisfiedFromGetEntry(t *testing.T) {
+	web, cache, _ := newRig()
+	web.Site("h").Page("/p").Set("body")
+	c := webclient.New(cache)
+	c.Get("http://h/p")
+	web.ResetRequestCounts()
+
+	info, err := c.Head("http://h/p")
+	if err != nil || !info.HasLastModified {
+		t.Fatalf("HEAD from cache: %+v err=%v", info, err)
+	}
+	if h, g := web.TotalRequests(); h+g != 0 {
+		t.Errorf("cached HEAD reached origin")
+	}
+}
+
+func TestGetAfterHeadFetchesBody(t *testing.T) {
+	web, cache, _ := newRig()
+	web.Site("h").Page("/p").Set("the body")
+	c := webclient.New(cache)
+	c.Head("http://h/p") // caches metadata only
+	info, err := c.Get("http://h/p")
+	if err != nil || info.Body != "the body" {
+		t.Fatalf("GET after HEAD: %+v err=%v", info, err)
+	}
+}
+
+func TestModInfoOracle(t *testing.T) {
+	web, cache, clock := newRig()
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+	modTime := clock.Now()
+	c := webclient.New(cache)
+
+	if _, _, ok := cache.ModInfo("http://h/p"); ok {
+		t.Fatal("oracle answered before any fetch")
+	}
+	c.Get("http://h/p")
+	mod, cachedAt, ok := cache.ModInfo("http://h/p")
+	if !ok || !mod.Equal(modTime) || !cachedAt.Equal(clock.Now()) {
+		t.Fatalf("oracle = (%v,%v,%v)", mod, cachedAt, ok)
+	}
+	// Pages without Last-Modified yield no oracle info.
+	dyn := web.Site("h").Page("/cgi")
+	dyn.Set("x")
+	dyn.SetNoLastModified()
+	c.Get("http://h/cgi")
+	if _, _, ok := cache.ModInfo("http://h/cgi"); ok {
+		t.Error("oracle answered for page without Last-Modified")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	web, cache, _ := newRig()
+	cache.MaxEntries = 3
+	for _, p := range []string{"/a", "/b", "/c", "/d"} {
+		web.Site("h").Page(p).Set("x" + p)
+	}
+	c := webclient.New(cache)
+	for _, p := range []string{"/a", "/b", "/c"} {
+		c.Get("http://h" + p)
+	}
+	c.Get("http://h/a") // refresh /a in the LRU
+	c.Get("http://h/d") // evicts /b
+	if cache.Len() != 3 {
+		t.Fatalf("len = %d", cache.Len())
+	}
+	if _, _, ok := cache.ModInfo("http://h/b"); ok {
+		t.Error("LRU victim /b still cached")
+	}
+	if _, _, ok := cache.ModInfo("http://h/a"); !ok {
+		t.Error("recently used /a evicted")
+	}
+}
+
+func TestErrorsPropagateAndCount(t *testing.T) {
+	web, cache, _ := newRig()
+	s := web.Site("h")
+	s.Page("/p").Set("x")
+	s.SetDown(true)
+	c := webclient.New(cache)
+	if _, err := c.Get("http://h/p"); err == nil {
+		t.Fatal("origin error swallowed")
+	}
+	if cache.Stats().Errors != 1 {
+		t.Errorf("stats = %+v", cache.Stats())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	web, cache, _ := newRig()
+	web.Site("h").Page("/p").Set("x")
+	c := webclient.New(cache)
+	c.Get("http://h/p")
+	cache.Flush()
+	if cache.Len() != 0 {
+		t.Errorf("len after flush = %d", cache.Len())
+	}
+	web.ResetRequestCounts()
+	c.Get("http://h/p")
+	if _, g := web.TotalRequests(); g != 1 {
+		t.Errorf("flushed entry not refetched")
+	}
+}
+
+func TestCentralizationEconomy(t *testing.T) {
+	// §2.1: "Centralizing the update checks on a W3 server has the
+	// advantage of polling hosts only once regardless of the number of
+	// users interested." N users sharing a proxy generate one origin GET.
+	web, cache, _ := newRig()
+	web.Site("h").Page("/popular").Set("content")
+	for u := 0; u < 25; u++ {
+		c := webclient.New(cache)
+		if _, err := c.Get("http://h/popular"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, g := web.TotalRequests(); g != 1 {
+		t.Errorf("origin saw %d GETs for 25 users, want 1", g)
+	}
+}
+
+func TestRevalidationWith304(t *testing.T) {
+	web, cache, clock := newRig()
+	p := web.Site("h").Page("/p")
+	p.Set("stable body")
+	c := webclient.New(cache)
+	if _, err := c.Get("http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	// TTL expires but the page has not changed: the proxy revalidates
+	// with a conditional GET, gets 304, and serves the cached body.
+	clock.Advance(cache.TTL + time.Minute)
+	info, err := c.Get("http://h/p")
+	if err != nil || info.Body != "stable body" {
+		t.Fatalf("revalidated get: %+v err=%v", info, err)
+	}
+	if s := cache.Stats(); s.Revalidated != 1 {
+		t.Errorf("stats = %+v, want 1 revalidation", s)
+	}
+	// A further fetch within the renewed TTL is a plain hit.
+	if _, err := c.Get("http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Errorf("stats after renewed hit = %+v", s)
+	}
+}
+
+func TestRevalidationChangedBody(t *testing.T) {
+	web, cache, clock := newRig()
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+	c := webclient.New(cache)
+	c.Get("http://h/p")
+	clock.Advance(cache.TTL + time.Minute)
+	p.Set("v2") // changed at a later mod time
+	info, err := c.Get("http://h/p")
+	if err != nil || info.Body != "v2" {
+		t.Fatalf("changed revalidation: %+v err=%v", info, err)
+	}
+	if s := cache.Stats(); s.Revalidated != 0 {
+		t.Errorf("spurious revalidation recorded: %+v", s)
+	}
+}
+
+func TestClientConditionalPassesThrough(t *testing.T) {
+	web, cache, clock := newRig()
+	p := web.Site("h").Page("/p")
+	p.Set("body")
+	mod := clock.Now()
+	c := webclient.New(cache)
+	c.Get("http://h/p")
+	// A client that already holds the current version gets its own 304
+	// through the proxy.
+	_, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	_ = notMod
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package rcs_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aide/internal/rcs"
+	"aide/internal/simclock"
+)
+
+// Example walks the archive lifecycle: check-ins (including a no-op),
+// checkout by revision and by date, and the log.
+func Example() {
+	dir, err := os.MkdirTemp("", "rcs-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	clock := simclock.New(time.Time{})
+	arch := rcs.Open(filepath.Join(dir, "page.html,v"), clock)
+
+	rev, changed, _ := arch.Checkin("<P>version one</P>\n", "douglis", "initial")
+	fmt.Printf("checked in %s (changed=%v)\n", rev, changed)
+
+	// Checking in identical content is free.
+	rev, changed, _ = arch.Checkin("<P>version one</P>\n", "tball", "dup")
+	fmt.Printf("duplicate -> %s (changed=%v)\n", rev, changed)
+
+	midpoint := clock.Now().Add(12 * time.Hour)
+	clock.Advance(24 * time.Hour)
+	rev, _, _ = arch.Checkin("<P>version two</P>\n", "douglis", "update")
+	fmt.Printf("updated to %s\n", rev)
+
+	text, _ := arch.Checkout("1.1")
+	fmt.Printf("1.1 = %q\n", text)
+	_, atRev, _ := arch.CheckoutAtDate(midpoint)
+	fmt.Printf("as of midpoint = revision %s\n", atRev)
+	log, _ := arch.Log()
+	fmt.Printf("%d revisions on record\n", len(log))
+	// Output:
+	// checked in 1.1 (changed=true)
+	// duplicate -> 1.1 (changed=false)
+	// updated to 1.2
+	// 1.1 = "<P>version one</P>\n"
+	// as of midpoint = revision 1.1
+	// 2 revisions on record
+}

@@ -1,0 +1,50 @@
+package rcs
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseArchive throws arbitrary bytes at the archive parser: it must
+// reject or accept without panicking, and anything it accepts must
+// serialize and re-parse to the same revision list.
+func FuzzParseArchive(f *testing.F) {
+	valid := serializeArchive(&archiveFile{revs: []revEntry{{
+		Revision: Revision{Num: "1.2", Date: mustDate("1995.11.03.12.00.00"), Author: "douglis", Log: "l"},
+		text:     "head text\n",
+	}, {
+		Revision: Revision{Num: "1.1", Date: mustDate("1995.09.29.12.00.00"), Author: "tball"},
+		text:     "d1 1\na1 1\nold line\n",
+	}}})
+	seeds := []string{
+		"",
+		valid,
+		"head 1.1;",
+		"head\t1.1;\naccess;\nlocks; strict;\ncomment @# @;\n\n1.1\ndate 1995.01.01.00.00.00;\tauthor u;\tstate Exp;\nnext\t;\n\n\ndesc\n@@\n\n\n1.1\nlog\n@@\ntext\n@x@\n",
+		"garbage @ everywhere @@",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		af, err := parseArchive(src)
+		if err != nil {
+			return
+		}
+		round, err := parseArchive(serializeArchive(af))
+		if err != nil {
+			t.Fatalf("accepted archive did not round-trip: %v", err)
+		}
+		if len(round.revs) != len(af.revs) {
+			t.Fatalf("round trip changed rev count: %d -> %d", len(af.revs), len(round.revs))
+		}
+	})
+}
+
+func mustDate(s string) time.Time {
+	parsed, err := time.Parse(dateFormat, s)
+	if err != nil {
+		panic(err)
+	}
+	return parsed
+}

@@ -1,0 +1,746 @@
+// Package rcs implements a Revision Control System work-alike: an archive
+// file per document holding the newest revision in full and every older
+// revision as a reverse delta (an RCS-format ed script produced by
+// internal/textdiff). This is the version repository behind the snapshot
+// facility, mirroring the paper's use of RCS (Tichy, SPE 1985):
+//
+//   - a check-in of unchanged content is detected and skipped,
+//   - storage cost beyond the first copy is proportional to the size of
+//     the changes, and
+//   - any revision can be retrieved by number or by date ("the state of
+//     the page as user U last saw it").
+//
+// The on-disk format is a simplified trunk-only `,v` dialect: @-quoted
+// strings with `@` doubled, head-first revision order, and a `noeol` flag
+// so that texts without a final newline round-trip exactly.
+package rcs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/textdiff"
+)
+
+// ErrNoRevision is returned when a requested revision does not exist.
+var ErrNoRevision = errors.New("rcs: no such revision")
+
+// ErrNoArchive is returned when operating on an archive that has never
+// had a check-in.
+var ErrNoArchive = errors.New("rcs: archive does not exist")
+
+// dateFormat is the RCS datestamp layout (UTC).
+const dateFormat = "2006.01.02.15.04.05"
+
+// Revision describes one stored revision of a document.
+type Revision struct {
+	// Num is the trunk revision number, e.g. "1.3".
+	Num string
+	// Date is the check-in time (UTC).
+	Date time.Time
+	// Author is the identity supplied at check-in.
+	Author string
+	// Log is the check-in log message.
+	Log string
+}
+
+// revEntry is the in-memory form of one archive revision.
+type revEntry struct {
+	Revision
+	noEOL bool
+	// text is the full document for the head revision and a reverse
+	// ed script (new -> old) for every other revision.
+	text string
+}
+
+// ErrLocked is returned when an operation conflicts with another user's
+// revision lock.
+var ErrLocked = errors.New("rcs: revision is locked")
+
+// Archive is a single versioned document. An Archive value serialises its
+// own operations; cross-process exclusion is the caller's responsibility
+// (the snapshot facility holds per-URL locks around archive operations).
+type Archive struct {
+	path  string
+	clock simclock.Clock
+
+	mu sync.Mutex
+}
+
+// Open returns a handle on the archive file at path. The file need not
+// exist yet; it is created by the first Checkin. If clock is nil the wall
+// clock is used.
+func Open(path string, clock simclock.Clock) *Archive {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Archive{path: path, clock: clock}
+}
+
+// Path returns the archive file path.
+func (a *Archive) Path() string { return a.path }
+
+// Exists reports whether the archive has at least one revision on disk.
+func (a *Archive) Exists() bool {
+	_, err := os.Stat(a.path)
+	return err == nil
+}
+
+// Size returns the archive file size in bytes, or 0 if it does not exist.
+func (a *Archive) Size() int64 {
+	fi, err := os.Stat(a.path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Checkin stores text as a new head revision and returns its revision
+// number. If text is byte-for-byte identical to the current head, nothing
+// is written and Checkin returns the existing head number with
+// changed=false — the paper relies on this to make "Remember" idempotent.
+func (a *Archive) Checkin(text, author, log string) (rev string, changed bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clock.Now().UTC()
+
+	f, err := a.load()
+	switch {
+	case errors.Is(err, ErrNoArchive):
+		f = &archiveFile{}
+	case err != nil:
+		return "", false, err
+	}
+
+	// RCS lock discipline: another user's lock blocks the check-in; the
+	// author's own lock is consumed by it (as `ci` does).
+	lockReleased := false
+	for user := range f.locks {
+		if user != quoteWord(author) && user != author {
+			return "", false, fmt.Errorf("%w by %s", ErrLocked, user)
+		}
+		delete(f.locks, user)
+		lockReleased = true
+	}
+
+	if len(f.revs) > 0 {
+		headText := f.revs[0].text
+		if headText == text {
+			if lockReleased {
+				if err := a.store(f); err != nil {
+					return "", false, err
+				}
+			}
+			return f.revs[0].Num, false, nil
+		}
+		// Replace the old head's full text with a reverse delta that
+		// rebuilds it from the new text.
+		oldLines := textdiff.Lines(headText)
+		newLines := textdiff.Lines(text)
+		f.revs[0].text = textdiff.EdScript(newLines, oldLines)
+	}
+
+	num := "1.1"
+	if len(f.revs) > 0 {
+		num = nextRev(f.revs[0].Num)
+	}
+	head := revEntry{
+		Revision: Revision{Num: num, Date: now, Author: author, Log: log},
+		noEOL:    text != "" && !textdiff.HasTrailingNewline(text),
+		text:     text,
+	}
+	f.revs = append([]revEntry{head}, f.revs...)
+	if err := a.store(f); err != nil {
+		return "", false, err
+	}
+	return num, true, nil
+}
+
+// Head returns the newest revision number.
+func (a *Archive) Head() (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return "", err
+	}
+	return f.revs[0].Num, nil
+}
+
+// Checkout returns the text of the given revision. An empty rev selects
+// the head.
+func (a *Archive) Checkout(rev string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return "", err
+	}
+	return f.checkout(rev)
+}
+
+// CheckoutAtDate returns the newest revision checked in at or before t,
+// mirroring `co -d`. It returns the text and the revision number.
+func (a *Archive) CheckoutAtDate(t time.Time) (text, rev string, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return "", "", err
+	}
+	for _, r := range f.revs { // head-first: first hit is the newest
+		if !r.Date.After(t) {
+			text, err := f.checkout(r.Num)
+			return text, r.Num, err
+		}
+	}
+	return "", "", fmt.Errorf("%w: none at or before %s", ErrNoRevision, t.UTC().Format(dateFormat))
+}
+
+// Log returns all revisions, newest first, like rlog.
+func (a *Archive) Log() ([]Revision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Revision, len(f.revs))
+	for i, r := range f.revs {
+		out[i] = r.Revision
+	}
+	return out, nil
+}
+
+// Lock takes an RCS-style soft lock on the head revision for user, the
+// way `co -l` reserves the right to make the next check-in. It fails
+// with ErrLocked while another user holds a lock. Re-locking by the same
+// user refreshes the lock to the current head.
+func (a *Archive) Lock(user string) (rev string, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return "", err
+	}
+	u := quoteWord(user)
+	for holder := range f.locks {
+		if holder != u {
+			return "", fmt.Errorf("%w by %s", ErrLocked, holder)
+		}
+	}
+	if f.locks == nil {
+		f.locks = map[string]string{}
+	}
+	head := f.revs[0].Num
+	f.locks[u] = head
+	if err := a.store(f); err != nil {
+		return "", err
+	}
+	return head, nil
+}
+
+// Unlock releases user's lock (`rcs -u`). Releasing a lock one does not
+// hold is an error.
+func (a *Archive) Unlock(user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return err
+	}
+	u := quoteWord(user)
+	if _, held := f.locks[u]; !held {
+		return fmt.Errorf("rcs: %s holds no lock", user)
+	}
+	delete(f.locks, u)
+	return a.store(f)
+}
+
+// LockedBy reports the current lock holder, if any.
+func (a *Archive) LockedBy() (user, rev string, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return "", "", false
+	}
+	for u, r := range f.locks {
+		return u, r, true
+	}
+	return "", "", false
+}
+
+// Prune drops the oldest revisions so that at most keep remain — the
+// §4.2 resource-utilization lever ("The facility could also impose a
+// limit"). Reverse deltas chain newest-to-oldest, so truncating the tail
+// leaves every kept revision reconstructible. It returns the number of
+// revisions dropped.
+func (a *Archive) Prune(keep int) (dropped int, err error) {
+	if keep < 1 {
+		return 0, fmt.Errorf("rcs: must keep at least one revision")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.load()
+	if err != nil {
+		return 0, err
+	}
+	if len(f.revs) <= keep {
+		return 0, nil
+	}
+	dropped = len(f.revs) - keep
+	f.revs = f.revs[:keep]
+	if err := a.store(f); err != nil {
+		return 0, err
+	}
+	return dropped, nil
+}
+
+// DiffRevs returns a unified diff between two revisions, like rcsdiff.
+func (a *Archive) DiffRevs(oldRev, newRev string) (string, error) {
+	oldText, err := a.Checkout(oldRev)
+	if err != nil {
+		return "", err
+	}
+	newText, err := a.Checkout(newRev)
+	if err != nil {
+		return "", err
+	}
+	name := filepath.Base(a.path)
+	return textdiff.Unified(
+		fmt.Sprintf("%s %s", name, oldRev),
+		fmt.Sprintf("%s %s", name, newRev),
+		textdiff.Lines(oldText), textdiff.Lines(newText), 3), nil
+}
+
+// nextRev increments the minor component of a trunk revision number.
+func nextRev(num string) string {
+	i := strings.LastIndexByte(num, '.')
+	minor, err := strconv.Atoi(num[i+1:])
+	if err != nil {
+		// Corrupt numbers cannot occur through this package's API; fall
+		// back to restarting the minor sequence rather than panicking.
+		return num + ".1"
+	}
+	return num[:i+1] + strconv.Itoa(minor+1)
+}
+
+// compareRev orders trunk revision numbers ("1.10" > "1.9").
+func compareRev(x, y string) int {
+	px := strings.Split(x, ".")
+	py := strings.Split(y, ".")
+	for i := 0; i < len(px) && i < len(py); i++ {
+		a, _ := strconv.Atoi(px[i])
+		b, _ := strconv.Atoi(py[i])
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(px) - len(py)
+}
+
+// archiveFile is the parsed archive.
+type archiveFile struct {
+	revs []revEntry // newest first
+	// locks maps a user to the revision they hold locked (RCS-style
+	// soft locks; at most one per user).
+	locks map[string]string
+}
+
+// checkout rebuilds the text of rev from the head by applying reverse
+// deltas down the trunk.
+func (f *archiveFile) checkout(rev string) (string, error) {
+	if len(f.revs) == 0 {
+		return "", ErrNoArchive
+	}
+	if rev == "" {
+		rev = f.revs[0].Num
+	}
+	idx := -1
+	for i, r := range f.revs {
+		if r.Num == rev {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return "", fmt.Errorf("%w: %s", ErrNoRevision, rev)
+	}
+	lines := textdiff.Lines(f.revs[0].text)
+	for i := 1; i <= idx; i++ {
+		var err error
+		lines, err = textdiff.ApplyEd(lines, f.revs[i].text)
+		if err != nil {
+			return "", fmt.Errorf("rcs: corrupt delta for %s: %v", f.revs[i].Num, err)
+		}
+	}
+	text := textdiff.Join(lines)
+	if f.revs[idx].noEOL {
+		text = strings.TrimSuffix(text, "\n")
+	}
+	return text, nil
+}
+
+// load parses the archive file.
+func (a *Archive) load() (*archiveFile, error) {
+	data, err := os.ReadFile(a.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoArchive
+		}
+		return nil, err
+	}
+	return parseArchive(string(data))
+}
+
+// store atomically rewrites the archive file.
+func (a *Archive) store(f *archiveFile) error {
+	if err := os.MkdirAll(filepath.Dir(a.path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(a.path), ".rcs-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.WriteString(serializeArchive(f))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmpName, a.path)
+}
+
+// --- on-disk format -------------------------------------------------------
+
+// serializeArchive renders the archive in the simplified `,v` dialect.
+func serializeArchive(f *archiveFile) string {
+	var sb strings.Builder
+	head := ""
+	if len(f.revs) > 0 {
+		head = f.revs[0].Num
+	}
+	fmt.Fprintf(&sb, "head\t%s;\n", head)
+	sb.WriteString("access;\nsymbols;\nlocks")
+	users := make([]string, 0, len(f.locks))
+	for u := range f.locks {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		fmt.Fprintf(&sb, "\n\t%s:%s", quoteWord(u), f.locks[u])
+	}
+	sb.WriteString("; strict;\n")
+	sb.WriteString("comment\t@# @;\n\n")
+	for i, r := range f.revs {
+		next := ""
+		if i+1 < len(f.revs) {
+			next = f.revs[i+1].Num
+		}
+		fmt.Fprintf(&sb, "%s\n", r.Num)
+		fmt.Fprintf(&sb, "date\t%s;\tauthor %s;\tstate Exp;", r.Date.UTC().Format(dateFormat), quoteWord(r.Author))
+		if r.noEOL {
+			sb.WriteString("\tnoeol;")
+		}
+		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "next\t%s;\n\n", next)
+	}
+	sb.WriteString("\ndesc\n@@\n\n")
+	for _, r := range f.revs {
+		fmt.Fprintf(&sb, "\n%s\nlog\n@%s@\ntext\n@%s@\n", r.Num, escapeAt(r.Log), escapeAt(r.text))
+	}
+	return sb.String()
+}
+
+func escapeAt(s string) string { return strings.ReplaceAll(s, "@", "@@") }
+
+// quoteWord makes an author safe to embed unquoted (RCS authors are simple
+// words; ours are email-ish identifiers).
+func quoteWord(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '-', r == '_', r == '@', r == '+':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// parseArchive parses the simplified `,v` dialect. It is deliberately
+// strict: a malformed archive is an error, never silently partial data.
+func parseArchive(src string) (*archiveFile, error) {
+	p := &parser{src: src}
+	f := &archiveFile{}
+
+	// Admin section.
+	if _, err := p.expectKeyword("head"); err != nil {
+		return nil, err
+	}
+	headNum := p.wordUntilSemi()
+	meta := map[string]revEntry{}
+	var order []string
+
+	for {
+		p.skipSpace()
+		word := p.peekWord()
+		switch word {
+		case "locks":
+			p.takeWord()
+			for {
+				p.skipSpace()
+				if p.pos < len(p.src) && p.src[p.pos] == ';' {
+					p.pos++
+					break
+				}
+				entry := p.takeWord()
+				if entry == "" {
+					return nil, errors.New("rcs: unterminated locks list")
+				}
+				user, rev, ok := strings.Cut(entry, ":")
+				if !ok || !isRevNum(rev) {
+					return nil, fmt.Errorf("rcs: malformed lock entry %q", entry)
+				}
+				if f.locks == nil {
+					f.locks = map[string]string{}
+				}
+				f.locks[user] = rev
+			}
+			continue
+		case "access", "symbols", "comment", "strict":
+			p.skipStatement()
+			continue
+		case "desc":
+			p.takeWord()
+			if _, err := p.atString(); err != nil {
+				return nil, fmt.Errorf("rcs: bad desc: %v", err)
+			}
+		case "":
+			return nil, errors.New("rcs: unexpected end of archive header")
+		default:
+			if !isRevNum(word) {
+				return nil, fmt.Errorf("rcs: unexpected token %q in header", word)
+			}
+			// Revision metadata block.
+			num := p.takeWord()
+			e := revEntry{Revision: Revision{Num: num}}
+			if _, err := p.expectKeyword("date"); err != nil {
+				return nil, err
+			}
+			dateStr := p.wordUntilSemi()
+			d, err := time.Parse(dateFormat, dateStr)
+			if err != nil {
+				return nil, fmt.Errorf("rcs: bad date %q: %v", dateStr, err)
+			}
+			e.Date = d
+			for {
+				p.skipSpace()
+				kw := p.peekWord()
+				if kw == "author" {
+					p.takeWord()
+					e.Author = p.wordUntilSemi()
+				} else if kw == "state" || kw == "branches" {
+					p.skipStatement()
+				} else if kw == "noeol" {
+					p.takeWord()
+					p.wordUntilSemi()
+					e.noEOL = true
+				} else if kw == "next" {
+					p.takeWord()
+					p.wordUntilSemi() // chain is implied by order; value unused
+					break
+				} else {
+					return nil, fmt.Errorf("rcs: unexpected token %q in revision %s", kw, num)
+				}
+			}
+			meta[num] = e
+			order = append(order, num)
+			continue
+		}
+		break
+	}
+
+	// Text sections: "<num> log @...@ text @...@".
+	for {
+		p.skipSpace()
+		word := p.peekWord()
+		if word == "" {
+			break
+		}
+		if !isRevNum(word) {
+			return nil, fmt.Errorf("rcs: unexpected token %q in body", word)
+		}
+		num := p.takeWord()
+		e, ok := meta[num]
+		if !ok {
+			return nil, fmt.Errorf("rcs: body for unknown revision %s", num)
+		}
+		if _, err := p.expectKeyword("log"); err != nil {
+			return nil, err
+		}
+		logStr, err := p.atString()
+		if err != nil {
+			return nil, fmt.Errorf("rcs: bad log for %s: %v", num, err)
+		}
+		e.Log = logStr
+		if _, err := p.expectKeyword("text"); err != nil {
+			return nil, err
+		}
+		text, err := p.atString()
+		if err != nil {
+			return nil, fmt.Errorf("rcs: bad text for %s: %v", num, err)
+		}
+		e.text = text
+		meta[num] = e
+	}
+
+	for _, num := range order {
+		f.revs = append(f.revs, meta[num])
+	}
+	if len(f.revs) == 0 {
+		return nil, errors.New("rcs: archive has no revisions")
+	}
+	if f.revs[0].Num != headNum {
+		return nil, fmt.Errorf("rcs: head %s is not first revision %s", headNum, f.revs[0].Num)
+	}
+	// Revisions must be strictly descending on the trunk.
+	if !sort.SliceIsSorted(f.revs, func(i, j int) bool {
+		return compareRev(f.revs[i].Num, f.revs[j].Num) > 0
+	}) {
+		return nil, errors.New("rcs: revisions out of order")
+	}
+	return f, nil
+}
+
+// parser is a minimal cursor over the archive source.
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peekWord returns the next whitespace/semicolon-delimited word without
+// consuming it.
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	i := p.pos
+	for i < len(p.src) && !isDelim(p.src[i]) {
+		i++
+	}
+	return p.src[p.pos:i]
+}
+
+func (p *parser) takeWord() string {
+	w := p.peekWord()
+	p.pos += len(w)
+	return w
+}
+
+// wordUntilSemi reads a word and consumes the trailing semicolon.
+func (p *parser) wordUntilSemi() string {
+	w := p.takeWord()
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ';' {
+		p.pos++
+	}
+	return w
+}
+
+// skipStatement consumes everything through the next semicolon.
+func (p *parser) skipStatement() {
+	for p.pos < len(p.src) && p.src[p.pos] != ';' {
+		p.pos++
+	}
+	if p.pos < len(p.src) {
+		p.pos++
+	}
+}
+
+func (p *parser) expectKeyword(kw string) (string, error) {
+	got := p.takeWord()
+	if got != kw {
+		return "", fmt.Errorf("rcs: expected %q, found %q", kw, got)
+	}
+	return got, nil
+}
+
+// atString parses an @-quoted string with @@ unescaping.
+func (p *parser) atString() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '@' {
+		return "", errors.New("missing opening @")
+	}
+	p.pos++
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != '@' {
+			sb.WriteByte(c)
+			p.pos++
+			continue
+		}
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '@' {
+			sb.WriteByte('@')
+			p.pos += 2
+			continue
+		}
+		p.pos++
+		return sb.String(), nil
+	}
+	return "", errors.New("unterminated @-string")
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', ';':
+		return true
+	}
+	return false
+}
+
+func isRevNum(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+		case s[i] == '.':
+			dot = true
+		default:
+			return false
+		}
+	}
+	return dot
+}

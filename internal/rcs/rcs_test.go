@@ -1,0 +1,575 @@
+package rcs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+func newTestArchive(t *testing.T) (*Archive, *simclock.Sim) {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	path := filepath.Join(t.TempDir(), "page.html,v")
+	return Open(path, clock), clock
+}
+
+func TestCheckinCheckoutSingle(t *testing.T) {
+	a, _ := newTestArchive(t)
+	rev, changed, err := a.Checkin("<html>v1</html>\n", "douglis", "initial")
+	if err != nil || !changed || rev != "1.1" {
+		t.Fatalf("Checkin = (%q,%v,%v), want (1.1,true,nil)", rev, changed, err)
+	}
+	got, err := a.Checkout("1.1")
+	if err != nil || got != "<html>v1</html>\n" {
+		t.Fatalf("Checkout = (%q,%v)", got, err)
+	}
+	if head, _ := a.Head(); head != "1.1" {
+		t.Errorf("Head = %q", head)
+	}
+}
+
+func TestCheckinUnchangedSkipped(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, _, err := a.Checkin("same\n", "u", "one"); err != nil {
+		t.Fatal(err)
+	}
+	size1 := a.Size()
+	rev, changed, err := a.Checkin("same\n", "u", "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || rev != "1.1" {
+		t.Fatalf("duplicate checkin = (%q,%v), want (1.1,false)", rev, changed)
+	}
+	if a.Size() != size1 {
+		t.Errorf("archive grew on unchanged checkin: %d -> %d", size1, a.Size())
+	}
+}
+
+func TestMultiRevisionHistory(t *testing.T) {
+	a, clock := newTestArchive(t)
+	versions := []string{
+		"line1\nline2\nline3\n",
+		"line1\nline2 modified\nline3\n",
+		"line1\nline2 modified\nline3\nline4 added\n",
+		"totally\ndifferent\ncontent\n",
+	}
+	for i, v := range versions {
+		clock.Advance(24 * time.Hour)
+		rev, changed, err := a.Checkin(v, "ball", "rev")
+		if err != nil || !changed {
+			t.Fatalf("checkin %d: (%v,%v)", i, changed, err)
+		}
+		want := "1." + string(rune('1'+i))
+		if rev != want {
+			t.Fatalf("checkin %d rev = %q, want %q", i, rev, want)
+		}
+	}
+	// Every old version must reconstruct exactly.
+	for i, v := range versions {
+		rev := "1." + string(rune('1'+i))
+		got, err := a.Checkout(rev)
+		if err != nil {
+			t.Fatalf("checkout %s: %v", rev, err)
+		}
+		if got != v {
+			t.Errorf("checkout %s:\n got %q\nwant %q", rev, got, v)
+		}
+	}
+	log, err := a.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 4 || log[0].Num != "1.4" || log[3].Num != "1.1" {
+		t.Fatalf("log = %+v", log)
+	}
+	for i := 1; i < len(log); i++ {
+		if !log[i].Date.Before(log[i-1].Date) {
+			t.Errorf("log dates not descending: %v then %v", log[i-1].Date, log[i].Date)
+		}
+	}
+}
+
+func TestCheckoutAtDate(t *testing.T) {
+	a, clock := newTestArchive(t)
+	t0 := clock.Now()
+	if _, _, err := a.Checkin("v1\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(48 * time.Hour)
+	if _, _, err := a.Checkin("v2\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	text, rev, err := a.CheckoutAtDate(t0.Add(24 * time.Hour))
+	if err != nil || rev != "1.1" || text != "v1\n" {
+		t.Fatalf("at +24h: (%q,%q,%v)", text, rev, err)
+	}
+	text, rev, err = a.CheckoutAtDate(t0.Add(72 * time.Hour))
+	if err != nil || rev != "1.2" || text != "v2\n" {
+		t.Fatalf("at +72h: (%q,%q,%v)", text, rev, err)
+	}
+	if _, _, err := a.CheckoutAtDate(t0.Add(-time.Hour)); !errors.Is(err, ErrNoRevision) {
+		t.Fatalf("before first rev: err = %v, want ErrNoRevision", err)
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	a, _ := newTestArchive(t)
+	texts := []string{"no newline at end", "now with newline\n", "again none\nsecond"}
+	for _, v := range texts {
+		if _, _, err := a.Checkin(v, "u", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range texts {
+		rev := "1." + string(rune('1'+i))
+		got, err := a.Checkout(rev)
+		if err != nil || got != v {
+			t.Errorf("checkout %s = (%q,%v), want %q", rev, got, err, v)
+		}
+	}
+}
+
+func TestAtSignQuoting(t *testing.T) {
+	a, _ := newTestArchive(t)
+	v1 := "mail me @ douglis@research.att.com\n@@literal@@\n"
+	v2 := "mail me @ ball@research.att.com\n@@literal@@\n"
+	if _, _, err := a.Checkin(v1, "u@h", "log with @ sign"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Checkin(v2, "u@h", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Checkout("1.1"); got != v1 {
+		t.Errorf("v1 round trip: %q", got)
+	}
+	if got, _ := a.Checkout("1.2"); got != v2 {
+		t.Errorf("v2 round trip: %q", got)
+	}
+	log, err := a.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log[1].Log != "log with @ sign" {
+		t.Errorf("log message = %q", log[1].Log)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, _, err := a.Checkin("", "u", "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Checkin("content\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Checkout("1.1"); err != nil || got != "" {
+		t.Errorf("empty checkout = (%q,%v)", got, err)
+	}
+}
+
+func TestMissingArchiveAndRevision(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, err := a.Checkout("1.1"); !errors.Is(err, ErrNoArchive) {
+		t.Errorf("checkout on missing archive: %v", err)
+	}
+	if _, err := a.Log(); !errors.Is(err, ErrNoArchive) {
+		t.Errorf("log on missing archive: %v", err)
+	}
+	if _, _, err := a.Checkin("x\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Checkout("9.9"); !errors.Is(err, ErrNoRevision) {
+		t.Errorf("checkout missing rev: %v", err)
+	}
+}
+
+func TestDiffRevs(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, _, err := a.Checkin("alpha\nbeta\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Checkin("alpha\ngamma\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.DiffRevs("1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d, "-beta") || !strings.Contains(d, "+gamma") {
+		t.Errorf("diff missing changes:\n%s", d)
+	}
+}
+
+func TestRevNumbersPastTen(t *testing.T) {
+	a, _ := newTestArchive(t)
+	for i := 0; i < 12; i++ {
+		text := strings.Repeat("line\n", i+1)
+		if _, _, err := a.Checkin(text, "u", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head, _ := a.Head()
+	if head != "1.12" {
+		t.Fatalf("head = %q, want 1.12", head)
+	}
+	// 1.9 vs 1.10 ordering must be numeric, not lexical.
+	if got, _ := a.Checkout("1.10"); got != strings.Repeat("line\n", 10) {
+		t.Errorf("1.10 content wrong (%d lines)", strings.Count(got, "\n"))
+	}
+}
+
+func TestPropertyRandomHistoryReconstructs(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	a, clock := newTestArchive(t)
+	words := []string{"alpha", "beta", "gamma", "<p>", "</p>", "delta", ""}
+	var versions []string
+	cur := []string{"start"}
+	for i := 0; i < 25; i++ {
+		// Random edit: insert, delete, or replace a random line.
+		next := append([]string(nil), cur...)
+		switch op := r.Intn(3); {
+		case op == 0 || len(next) == 0:
+			pos := 0
+			if len(next) > 0 {
+				pos = r.Intn(len(next) + 1)
+			}
+			next = append(next[:pos], append([]string{words[r.Intn(len(words))]}, next[pos:]...)...)
+		case op == 1:
+			pos := r.Intn(len(next))
+			next = append(next[:pos], next[pos+1:]...)
+		default:
+			pos := r.Intn(len(next))
+			next[pos] = words[r.Intn(len(words))] + "-edited"
+		}
+		cur = next
+		text := strings.Join(cur, "\n") + "\n"
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(text, "u", ""); err != nil {
+			t.Fatal(err)
+		}
+		if n := len(versions); n == 0 || versions[n-1] != text {
+			versions = append(versions, text)
+		}
+	}
+	log, err := a.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != len(versions) {
+		t.Fatalf("revision count = %d, want %d", len(log), len(versions))
+	}
+	for i, v := range versions {
+		rev := log[len(log)-1-i].Num
+		got, err := a.Checkout(rev)
+		if err != nil || got != v {
+			t.Fatalf("rev %s mismatch: err=%v\n got %q\nwant %q", rev, err, got, v)
+		}
+	}
+}
+
+func TestStorageIsDeltaNotFullCopies(t *testing.T) {
+	a, _ := newTestArchive(t)
+	base := strings.Repeat("unchanging boilerplate line\n", 400)
+	for i := 0; i < 10; i++ {
+		text := base + "changing footer " + strings.Repeat("x", i) + "\n"
+		if _, _, err := a.Checkin(text, "u", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullCopies := int64(10 * len(base))
+	if a.Size() >= fullCopies/2 {
+		t.Errorf("archive size %d not delta-compressed (10 full copies would be %d)",
+			a.Size(), fullCopies)
+	}
+}
+
+func TestParseRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage",
+		"head 1.1;\n", // no revisions
+		"head 1.2;\n1.1\ndate 1995.01.01.00.00.00; author u; next ;\n\ndesc\n@@\n\n1.1\nlog\n@@\ntext\n@x@\n", // head mismatch
+		"head 1.1;\n1.1\ndate NOTADATE; author u; next ;\n\ndesc\n@@\n",
+		"head 1.1;\n1.1\ndate 1995.01.01.00.00.00; author u; next ;\n\ndesc\n@@\n\n1.1\nlog\n@unterminated",
+	}
+	for i, c := range cases {
+		if _, err := parseArchive(c); err == nil {
+			t.Errorf("case %d: parse succeeded on corrupt input", i)
+		}
+	}
+}
+
+func TestConcurrentCheckins(t *testing.T) {
+	a, _ := newTestArchive(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				_, _, err = a.Checkin(strings.Repeat("g", g+1)+"\n", "u", "")
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Archive must still be parseable and consistent.
+	if _, err := a.Log(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenNilClockUsesWall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x,v")
+	a := Open(path, nil)
+	before := time.Now().Add(-time.Minute)
+	if _, _, err := a.Checkin("x\n", "u", ""); err != nil {
+		t.Fatal(err)
+	}
+	log, _ := a.Log()
+	if log[0].Date.Before(before) {
+		t.Errorf("wall-clock date too old: %v", log[0].Date)
+	}
+}
+
+func TestArchiveFileIsPlainText(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, _, err := a.Checkin("<html>hello</html>\n", "douglis", "first"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(a.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"head\t1.1;", "author douglis;", "text\n@<html>hello</html>\n@"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("archive file missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func BenchmarkCheckin(b *testing.B) {
+	dir := b.TempDir()
+	base := strings.Repeat("stable line of page content here\n", 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Open(filepath.Join(dir, "bench", "p"+string(rune('a'+i%26)), "x,v"), nil)
+		if _, _, err := a.Checkin(base+"footer\n", "u", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckoutDeep(b *testing.B) {
+	a := Open(filepath.Join(b.TempDir(), "deep,v"), nil)
+	base := strings.Repeat("stable line\n", 100)
+	for i := 0; i < 50; i++ {
+		if _, _, err := a.Checkin(base+"version "+strings.Repeat("i", i+1)+"\n", "u", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Checkout("1.1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPruneKeepsNewestRevisions(t *testing.T) {
+	a, clock := newTestArchive(t)
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(strings.Repeat("line\n", i+1), "u", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := a.Size()
+	dropped, err := a.Prune(3)
+	if err != nil || dropped != 7 {
+		t.Fatalf("Prune = (%d,%v), want (7,nil)", dropped, err)
+	}
+	if a.Size() >= sizeBefore {
+		t.Errorf("prune did not shrink archive: %d -> %d", sizeBefore, a.Size())
+	}
+	log, err := a.Log()
+	if err != nil || len(log) != 3 {
+		t.Fatalf("log after prune = %d revs, err %v", len(log), err)
+	}
+	if log[0].Num != "1.10" || log[2].Num != "1.8" {
+		t.Fatalf("wrong revisions kept: %+v", log)
+	}
+	// Every kept revision still reconstructs.
+	for i, want := range []int{10, 9, 8} {
+		got, err := a.Checkout(log[i].Num)
+		if err != nil || got != strings.Repeat("line\n", want) {
+			t.Errorf("checkout %s after prune: err=%v", log[i].Num, err)
+		}
+	}
+	// Dropped revisions are gone.
+	if _, err := a.Checkout("1.1"); !errors.Is(err, ErrNoRevision) {
+		t.Errorf("pruned revision still accessible: %v", err)
+	}
+	// Numbering continues from the head.
+	rev, _, err := a.Checkin("fresh content\n", "u", "")
+	if err != nil || rev != "1.11" {
+		t.Errorf("checkin after prune = (%q,%v)", rev, err)
+	}
+}
+
+func TestPruneNoOpAndValidation(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, err := a.Prune(1); !errors.Is(err, ErrNoArchive) {
+		t.Errorf("prune on missing archive: %v", err)
+	}
+	a.Checkin("v1\n", "u", "")
+	a.Checkin("v2\n", "u", "")
+	if dropped, err := a.Prune(5); err != nil || dropped != 0 {
+		t.Errorf("prune with slack = (%d,%v)", dropped, err)
+	}
+	if _, err := a.Prune(0); err == nil {
+		t.Error("prune(0) accepted")
+	}
+}
+
+func TestLockDiscipline(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, err := a.Lock("douglis"); !errors.Is(err, ErrNoArchive) {
+		t.Fatalf("lock on missing archive: %v", err)
+	}
+	a.Checkin("v1\n", "douglis", "")
+
+	rev, err := a.Lock("douglis")
+	if err != nil || rev != "1.1" {
+		t.Fatalf("lock = (%q,%v)", rev, err)
+	}
+	if user, lrev, ok := a.LockedBy(); !ok || user != "douglis" || lrev != "1.1" {
+		t.Fatalf("LockedBy = (%q,%q,%v)", user, lrev, ok)
+	}
+	// Another user can neither lock nor check in.
+	if _, err := a.Lock("tball"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second lock: %v", err)
+	}
+	if _, _, err := a.Checkin("v2 by tball\n", "tball", ""); !errors.Is(err, ErrLocked) {
+		t.Fatalf("locked checkin by other: %v", err)
+	}
+	// The holder's check-in succeeds and consumes the lock.
+	rev, changed, err := a.Checkin("v2 by douglis\n", "douglis", "")
+	if err != nil || !changed || rev != "1.2" {
+		t.Fatalf("holder checkin = (%q,%v,%v)", rev, changed, err)
+	}
+	if _, _, ok := a.LockedBy(); ok {
+		t.Fatal("lock survived the check-in")
+	}
+	// Now anyone may proceed again.
+	if _, _, err := a.Checkin("v3 by tball\n", "tball", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockPersistsOnDisk(t *testing.T) {
+	a, _ := newTestArchive(t)
+	a.Checkin("v1\n", "u", "")
+	if _, err := a.Lock("douglis"); err != nil {
+		t.Fatal(err)
+	}
+	// A second handle on the same file sees the lock.
+	b := Open(a.Path(), nil)
+	if user, _, ok := b.LockedBy(); !ok || user != "douglis" {
+		t.Fatalf("lock not persisted: (%q,%v)", user, ok)
+	}
+	data, _ := os.ReadFile(a.Path())
+	if !strings.Contains(string(data), "douglis:1.1") {
+		t.Errorf("lock missing from archive file:\n%s", data)
+	}
+}
+
+func TestUnlock(t *testing.T) {
+	a, _ := newTestArchive(t)
+	a.Checkin("v1\n", "u", "")
+	a.Lock("douglis")
+	if err := a.Unlock("tball"); err == nil {
+		t.Fatal("unlock by non-holder succeeded")
+	}
+	if err := a.Unlock("douglis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.LockedBy(); ok {
+		t.Fatal("lock survived unlock")
+	}
+	if _, err := a.Lock("tball"); err != nil {
+		t.Fatalf("lock after unlock: %v", err)
+	}
+}
+
+func TestRelockRefreshesToHead(t *testing.T) {
+	a, _ := newTestArchive(t)
+	a.Checkin("v1\n", "douglis", "")
+	a.Lock("douglis")
+	a.Checkin("v2\n", "douglis", "") // consumes lock
+	a.Lock("douglis")
+	if _, rev, _ := a.LockedBy(); rev != "1.2" {
+		t.Fatalf("relock rev = %q, want 1.2", rev)
+	}
+}
+
+func TestPropertySerializeParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	alphabet := []string{"plain line", "line with @ sign", "@@", "", "  indented", "tab\tseparated"}
+	for trial := 0; trial < 60; trial++ {
+		f := &archiveFile{}
+		n := 1 + r.Intn(6)
+		for i := n; i >= 1; i-- { // newest first
+			var body strings.Builder
+			for l := 0; l < r.Intn(8); l++ {
+				body.WriteString(alphabet[r.Intn(len(alphabet))] + "\n")
+			}
+			f.revs = append(f.revs, revEntry{
+				Revision: Revision{
+					Num:    fmt.Sprintf("1.%d", i),
+					Date:   time.Date(1995, 9, 1+i, i, 0, 0, 0, time.UTC),
+					Author: "user" + string(rune('a'+r.Intn(3))),
+					Log:    alphabet[r.Intn(len(alphabet))],
+				},
+				noEOL: r.Intn(4) == 0,
+				text:  body.String(),
+			})
+		}
+		if r.Intn(2) == 0 {
+			f.locks = map[string]string{"locker": f.revs[0].Num}
+		}
+		got, err := parseArchive(serializeArchive(f))
+		if err != nil {
+			t.Fatalf("trial %d: parse(serialize) failed: %v\n%s", trial, err, serializeArchive(f))
+		}
+		if len(got.revs) != len(f.revs) {
+			t.Fatalf("trial %d: rev count %d != %d", trial, len(got.revs), len(f.revs))
+		}
+		for i := range f.revs {
+			w, g := f.revs[i], got.revs[i]
+			if g.Num != w.Num || !g.Date.Equal(w.Date) || g.Log != w.Log ||
+				g.text != w.text || g.noEOL != w.noEOL {
+				t.Fatalf("trial %d rev %d mismatch:\n got %+v\nwant %+v", trial, i, g, w)
+			}
+		}
+		if len(f.locks) > 0 {
+			if got.locks["locker"] != f.locks["locker"] {
+				t.Fatalf("trial %d: locks lost: %v", trial, got.locks)
+			}
+		}
+	}
+}

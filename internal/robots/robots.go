@@ -1,0 +1,228 @@
+// Package robots implements the robot exclusion protocol ("A standard
+// for robot exclusion", 1994) as used by w3newer (§3.1): before polling a
+// URL, the tracker consults the site's /robots.txt; if the URL is
+// disallowed for robots, that fact is cached so the page is not accessed
+// again unless a special flag overrides the protocol.
+package robots
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+// Policy is a parsed robots.txt: ordered (agent-group, disallow-prefixes)
+// records.
+type Policy struct {
+	groups []group
+}
+
+type group struct {
+	agents    []string // lower-cased User-agent values; "*" matches all
+	disallows []string // path prefixes; "" (empty Disallow) allows all
+}
+
+// Parse reads a robots.txt body. Unknown fields are ignored, per the
+// protocol's tolerance requirements.
+func Parse(body string) *Policy {
+	p := &Policy{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	var cur *group
+	lastWasAgent := false
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			// Blank lines end a record.
+			cur = nil
+			lastWasAgent = false
+			continue
+		}
+		field, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		field = strings.ToLower(strings.TrimSpace(field))
+		value = strings.TrimSpace(value)
+		switch field {
+		case "user-agent":
+			if cur == nil || !lastWasAgent {
+				p.groups = append(p.groups, group{})
+				cur = &p.groups[len(p.groups)-1]
+			}
+			cur.agents = append(cur.agents, strings.ToLower(value))
+			lastWasAgent = true
+		case "disallow":
+			if cur == nil {
+				// Disallow before any User-agent applies to all agents.
+				p.groups = append(p.groups, group{agents: []string{"*"}})
+				cur = &p.groups[len(p.groups)-1]
+			}
+			cur.disallows = append(cur.disallows, value)
+			lastWasAgent = false
+		default:
+			lastWasAgent = false
+		}
+	}
+	return p
+}
+
+// Allowed reports whether the given agent may fetch path. The most
+// specific matching agent group wins; within a group, any matching
+// Disallow prefix forbids the path. An empty Disallow value allows
+// everything.
+func (p *Policy) Allowed(agent, path string) bool {
+	if p == nil {
+		return true
+	}
+	agent = strings.ToLower(agent)
+	if path == "" {
+		path = "/"
+	}
+	g := p.matchGroup(agent)
+	if g == nil {
+		return true
+	}
+	for _, d := range g.disallows {
+		if d == "" {
+			continue
+		}
+		if strings.HasPrefix(path, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchGroup picks the group whose agent token is the longest substring
+// of the caller's agent name, falling back to "*".
+func (p *Policy) matchGroup(agent string) *group {
+	var star *group
+	var best *group
+	bestLen := -1
+	for i := range p.groups {
+		g := &p.groups[i]
+		for _, a := range g.agents {
+			if a == "*" {
+				if star == nil {
+					star = g
+				}
+				continue
+			}
+			if strings.Contains(agent, a) && len(a) > bestLen {
+				best = g
+				bestLen = len(a)
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return star
+}
+
+// FetchFunc retrieves a URL and returns the HTTP status and body. It is
+// satisfied by internal/webclient; the indirection keeps this package
+// free of transport concerns.
+type FetchFunc func(url string) (status int, body string, err error)
+
+// Cache caches per-host policies and per-URL exclusion verdicts with a
+// time-to-live, implementing w3newer's "that fact is cached" behaviour.
+type Cache struct {
+	// Agent is the robot name presented to exclusion rules.
+	Agent string
+	// TTL bounds how long a fetched policy is trusted.
+	TTL time.Duration
+	// Ignore disables the exclusion protocol entirely — the paper's
+	// "special flag set when the script is invoked".
+	Ignore bool
+
+	fetch FetchFunc
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	policies map[string]cachedPolicy
+}
+
+type cachedPolicy struct {
+	policy  *Policy
+	fetched time.Time
+}
+
+// DefaultAgent is w3newer's robot name.
+const DefaultAgent = "w3newer"
+
+// NewCache returns a Cache using fetch to retrieve robots.txt files. If
+// clock is nil the wall clock is used.
+func NewCache(fetch FetchFunc, clock simclock.Clock) *Cache {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Cache{
+		Agent:    DefaultAgent,
+		TTL:      7 * 24 * time.Hour,
+		fetch:    fetch,
+		clock:    clock,
+		policies: make(map[string]cachedPolicy),
+	}
+}
+
+// Allowed reports whether the robot may fetch the given URL. Fetch
+// failures fail open (a site without robots.txt allows robots), except
+// that transport errors leave any cached policy in force.
+func (c *Cache) Allowed(rawURL string) bool {
+	if c.Ignore {
+		return true
+	}
+	scheme, host, path := splitURL(rawURL)
+	if scheme != "http" && scheme != "https" {
+		return true // file: and friends have no exclusion protocol
+	}
+	pol := c.policyFor(scheme, host)
+	return pol.Allowed(c.Agent, path)
+}
+
+// policyFor returns the cached policy for host, refreshing it if stale.
+func (c *Cache) policyFor(scheme, host string) *Policy {
+	now := c.clock.Now()
+	c.mu.Lock()
+	cached, ok := c.policies[host]
+	c.mu.Unlock()
+	if ok && now.Sub(cached.fetched) <= c.TTL {
+		return cached.policy
+	}
+	status, bodyText, err := c.fetch(scheme + "://" + host + "/robots.txt")
+	var pol *Policy
+	switch {
+	case err != nil && ok:
+		return cached.policy // keep the stale policy on transport errors
+	case err != nil || status >= 400:
+		pol = &Policy{} // no robots.txt: everything allowed
+	default:
+		pol = Parse(bodyText)
+	}
+	c.mu.Lock()
+	c.policies[host] = cachedPolicy{policy: pol, fetched: now}
+	c.mu.Unlock()
+	return pol
+}
+
+// splitURL extracts scheme, host[:port], and path from a URL without
+// net/url's full generality (the tracker normalises URLs upstream).
+func splitURL(raw string) (scheme, host, path string) {
+	scheme, rest, ok := strings.Cut(raw, "://")
+	if !ok {
+		return "", "", raw
+	}
+	scheme = strings.ToLower(scheme)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return scheme, rest[:i], rest[i:]
+	}
+	return scheme, rest, "/"
+}

@@ -1,0 +1,204 @@
+package robots
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+const sample = `# robots.txt for http://www.example.com/
+User-agent: *
+Disallow: /cgi-bin/
+Disallow: /private/
+
+User-agent: w3newer
+Disallow: /stats/
+
+User-agent: badbot
+Disallow: /
+`
+
+func TestParseAndAllowed(t *testing.T) {
+	p := Parse(sample)
+	cases := []struct {
+		agent, path string
+		want        bool
+	}{
+		{"somebot", "/index.html", true},
+		{"somebot", "/cgi-bin/counter", false},
+		{"somebot", "/private/x", false},
+		{"w3newer/1.0", "/stats/daily.html", false},
+		{"w3newer/1.0", "/cgi-bin/counter", true}, // specific group overrides *
+		{"w3newer/1.0", "/index.html", true},
+		{"badbot", "/anything", false},
+		{"BADBOT", "/anything", false}, // case-insensitive agents
+	}
+	for _, c := range cases {
+		if got := p.Allowed(c.agent, c.path); got != c.want {
+			t.Errorf("Allowed(%q,%q) = %v, want %v", c.agent, c.path, got, c.want)
+		}
+	}
+}
+
+func TestEmptyDisallowAllowsAll(t *testing.T) {
+	p := Parse("User-agent: *\nDisallow:\n")
+	if !p.Allowed("w3newer", "/anything") {
+		t.Error("empty Disallow blocked access")
+	}
+}
+
+func TestEmptyPolicyAllowsAll(t *testing.T) {
+	p := Parse("")
+	if !p.Allowed("w3newer", "/x") {
+		t.Error("empty robots.txt blocked access")
+	}
+	var nilPolicy *Policy
+	if !nilPolicy.Allowed("w3newer", "/x") {
+		t.Error("nil policy blocked access")
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	p := Parse("User-agent: * # everyone\nDisallow: /secret/ # hidden\n")
+	if p.Allowed("x", "/secret/a") {
+		t.Error("commented Disallow ignored")
+	}
+}
+
+func TestMultipleAgentsShareGroup(t *testing.T) {
+	p := Parse("User-agent: alpha\nUser-agent: beta\nDisallow: /x/\n")
+	if p.Allowed("alpha", "/x/1") || p.Allowed("beta", "/x/1") {
+		t.Error("shared group not applied to both agents")
+	}
+	if !p.Allowed("gamma", "/x/1") {
+		t.Error("unrelated agent blocked")
+	}
+}
+
+// fakeFetcher serves robots.txt bodies and counts fetches.
+type fakeFetcher struct {
+	bodies map[string]string // url -> body
+	status int
+	err    error
+	calls  int
+}
+
+func (f *fakeFetcher) fetch(url string) (int, string, error) {
+	f.calls++
+	if f.err != nil {
+		return 0, "", f.err
+	}
+	body, ok := f.bodies[url]
+	if !ok {
+		return 404, "", nil
+	}
+	status := f.status
+	if status == 0 {
+		status = 200
+	}
+	return status, body, nil
+}
+
+func TestCacheAllowedAndCaching(t *testing.T) {
+	ff := &fakeFetcher{bodies: map[string]string{
+		"http://host.example/robots.txt": "User-agent: *\nDisallow: /cgi-bin/\n",
+	}}
+	clock := simclock.New(time.Time{})
+	c := NewCache(ff.fetch, clock)
+
+	if c.Allowed("http://host.example/cgi-bin/counter") {
+		t.Error("disallowed URL permitted")
+	}
+	if !c.Allowed("http://host.example/page.html") {
+		t.Error("allowed URL blocked")
+	}
+	if ff.calls != 1 {
+		t.Errorf("robots.txt fetched %d times, want 1 (cached)", ff.calls)
+	}
+
+	// After the TTL the policy is refreshed.
+	clock.Advance(c.TTL + time.Hour)
+	c.Allowed("http://host.example/page.html")
+	if ff.calls != 2 {
+		t.Errorf("stale policy not refreshed: calls = %d", ff.calls)
+	}
+}
+
+func TestCacheMissingRobotsAllows(t *testing.T) {
+	ff := &fakeFetcher{bodies: map[string]string{}}
+	c := NewCache(ff.fetch, simclock.New(time.Time{}))
+	if !c.Allowed("http://nofile.example/anything") {
+		t.Error("404 robots.txt blocked access")
+	}
+}
+
+func TestCacheTransportErrorKeepsStalePolicy(t *testing.T) {
+	ff := &fakeFetcher{bodies: map[string]string{
+		"http://host.example/robots.txt": "User-agent: *\nDisallow: /x/\n",
+	}}
+	clock := simclock.New(time.Time{})
+	c := NewCache(ff.fetch, clock)
+	if c.Allowed("http://host.example/x/1") {
+		t.Fatal("initial policy not applied")
+	}
+	// Host becomes unreachable; the stale policy stays in force.
+	ff.err = errors.New("network unreachable")
+	clock.Advance(c.TTL + time.Hour)
+	if c.Allowed("http://host.example/x/1") {
+		t.Error("stale policy dropped on transport error")
+	}
+}
+
+func TestCacheTransportErrorNoPolicyFailsOpen(t *testing.T) {
+	ff := &fakeFetcher{err: errors.New("timeout")}
+	c := NewCache(ff.fetch, simclock.New(time.Time{}))
+	if !c.Allowed("http://unreachable.example/x") {
+		t.Error("transport error with no cached policy blocked access")
+	}
+}
+
+func TestCacheIgnoreFlag(t *testing.T) {
+	ff := &fakeFetcher{bodies: map[string]string{
+		"http://host.example/robots.txt": "User-agent: *\nDisallow: /\n",
+	}}
+	c := NewCache(ff.fetch, simclock.New(time.Time{}))
+	c.Ignore = true // the paper's override flag
+	if !c.Allowed("http://host.example/anything") {
+		t.Error("Ignore flag did not bypass exclusion")
+	}
+	if ff.calls != 0 {
+		t.Error("robots.txt fetched despite Ignore")
+	}
+}
+
+func TestNonHTTPSchemesExempt(t *testing.T) {
+	ff := &fakeFetcher{}
+	c := NewCache(ff.fetch, simclock.New(time.Time{}))
+	if !c.Allowed("file:/etc/motd") {
+		t.Error("file: URL subjected to robots exclusion")
+	}
+	if ff.calls != 0 {
+		t.Error("fetch attempted for file: URL")
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct {
+		in                  string
+		scheme, host, ppath string
+	}{
+		{"http://h/p/q", "http", "h", "/p/q"},
+		{"http://h:8080/", "http", "h:8080", "/"},
+		{"http://h", "http", "h", "/"},
+		{"HTTPS://H/x", "https", "H", "/x"},
+		{"file:/x", "", "", "file:/x"},
+	}
+	for _, c := range cases {
+		s, h, p := splitURL(c.in)
+		if s != c.scheme || h != c.host || p != c.ppath {
+			t.Errorf("splitURL(%q) = (%q,%q,%q)", c.in, s, h, p)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package simclock provides a clock abstraction so that the tracker, the
+// snapshot repository, and the synthetic web can run against either real
+// time or a deterministic simulated time line.
+//
+// The paper's experiments span days to months of wall time (daily w3newer
+// runs, half a year of archive growth); a simulated clock lets the
+// reproduction compress those spans into milliseconds while keeping every
+// timestamp-dependent code path (thresholds, staleness, Last-Modified
+// comparisons, RCS datestamps) exercised with realistic values.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout AIDE.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// Wall is a Clock backed by the real system time.
+type Wall struct{}
+
+// Now returns time.Now.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sim is a deterministic, manually advanced clock. The zero value is not
+// usable; construct one with New. Sim is safe for concurrent use.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// Epoch is the default starting instant for simulated clocks: the rough
+// date of the paper's measurements (late 1995).
+var Epoch = time.Date(1995, time.September, 29, 12, 0, 0, 0, time.UTC)
+
+// New returns a simulated clock starting at the given instant. If start is
+// the zero time, the clock starts at Epoch.
+func New(start time.Time) *Sim {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d and returns the new time. Negative
+// durations are ignored: simulated time never runs backwards.
+func (s *Sim) Advance(d time.Duration) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d > 0 {
+		s.now = s.now.Add(d)
+	}
+	return s.now
+}
+
+// Set jumps the clock to t if t is later than the current time, and
+// returns the (possibly unchanged) current time.
+func (s *Sim) Set(t time.Time) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.After(s.now) {
+		s.now = t
+	}
+	return s.now
+}

@@ -1,0 +1,71 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtEpochByDefault(t *testing.T) {
+	s := New(time.Time{})
+	if !s.Now().Equal(Epoch) {
+		t.Errorf("Now = %v, want %v", s.Now(), Epoch)
+	}
+	custom := time.Date(1996, 1, 22, 9, 0, 0, 0, time.UTC)
+	if got := New(custom).Now(); !got.Equal(custom) {
+		t.Errorf("custom start = %v", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	s := New(time.Time{})
+	t0 := s.Now()
+	t1 := s.Advance(36 * time.Hour)
+	if t1.Sub(t0) != 36*time.Hour || !s.Now().Equal(t1) {
+		t.Errorf("advance: %v -> %v", t0, t1)
+	}
+	// Negative advances are ignored: simulated time is monotonic.
+	t2 := s.Advance(-time.Hour)
+	if !t2.Equal(t1) {
+		t.Errorf("negative advance moved the clock: %v", t2)
+	}
+}
+
+func TestSetOnlyMovesForward(t *testing.T) {
+	s := New(time.Time{})
+	future := s.Now().Add(time.Hour)
+	if got := s.Set(future); !got.Equal(future) {
+		t.Errorf("Set forward = %v", got)
+	}
+	past := future.Add(-2 * time.Hour)
+	if got := s.Set(past); !got.Equal(future) {
+		t.Errorf("Set backward moved the clock: %v", got)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	got := Wall{}.Now()
+	if got.Before(before.Add(-time.Second)) || got.After(time.Now().Add(time.Second)) {
+		t.Errorf("wall Now = %v", got)
+	}
+}
+
+func TestSimConcurrent(t *testing.T) {
+	s := New(time.Time{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Advance(time.Millisecond)
+				s.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Now().Sub(Epoch); got != 8*time.Second {
+		t.Errorf("total advance = %v, want 8s", got)
+	}
+}

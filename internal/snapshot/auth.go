@@ -1,0 +1,200 @@
+package snapshot
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file implements the §4.2 security discussion: "In order to use
+// the facility one must give an identifier (currently one's email
+// address, which anyone can specify) ... By moving to an authenticated
+// system ... The repository would associate impersonal account
+// identifiers with a set of URLs and version numbers, and passwords
+// would be needed to access one of these accounts. ... unless the
+// account creation can be done anonymously."
+//
+// Accounts holds impersonal identifiers with salted password hashes.
+// Account creation is anonymous: the service invents the identifier, so
+// even the administrator cannot map accounts to people from the
+// repository alone.
+
+// ErrAuth is returned when credentials do not verify.
+var ErrAuth = errors.New("snapshot: authentication failed")
+
+// Accounts is the password store for an authenticated facility.
+type Accounts struct {
+	path string // "" = in-memory
+
+	mu       sync.Mutex
+	accounts map[string]accountRecord
+}
+
+type accountRecord struct {
+	Salt string `json:"salt"`
+	Hash string `json:"hash"`
+}
+
+// OpenAccounts loads (or initialises) the account store under dir. An
+// empty dir keeps the store in memory.
+func OpenAccounts(dir string) (*Accounts, error) {
+	a := &Accounts{accounts: make(map[string]accountRecord)}
+	if dir == "" {
+		return a, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	a.path = filepath.Join(dir, "accounts.json")
+	data, err := os.ReadFile(a.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return a, nil
+		}
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &a.accounts); err != nil {
+		return nil, fmt.Errorf("snapshot: corrupt account store: %v", err)
+	}
+	return a, nil
+}
+
+// CreateAnonymous mints a fresh impersonal account protected by
+// password and returns its identifier.
+func (a *Accounts) CreateAnonymous(password string) (string, error) {
+	if password == "" {
+		return "", fmt.Errorf("snapshot: empty password")
+	}
+	idBytes := make([]byte, 8)
+	if _, err := rand.Read(idBytes); err != nil {
+		return "", err
+	}
+	id := "acct-" + hex.EncodeToString(idBytes)
+	return id, a.create(id, password)
+}
+
+// create installs an account record.
+func (a *Accounts) create(id, password string) error {
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		return err
+	}
+	rec := accountRecord{
+		Salt: hex.EncodeToString(salt),
+		Hash: hashPassword(hex.EncodeToString(salt), password),
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, exists := a.accounts[id]; exists {
+		return fmt.Errorf("snapshot: account %s already exists", id)
+	}
+	a.accounts[id] = rec
+	return a.persistLocked()
+}
+
+// Verify checks credentials in constant time.
+func (a *Accounts) Verify(id, password string) bool {
+	a.mu.Lock()
+	rec, ok := a.accounts[id]
+	a.mu.Unlock()
+	if !ok {
+		// Burn comparable time for unknown accounts.
+		subtle.ConstantTimeCompare([]byte(hashPassword("", password)), []byte(hashPassword("", "")))
+		return false
+	}
+	want := rec.Hash
+	got := hashPassword(rec.Salt, password)
+	return subtle.ConstantTimeCompare([]byte(want), []byte(got)) == 1
+}
+
+// SetPassword rotates an account's password after verifying the old one.
+func (a *Accounts) SetPassword(id, oldPassword, newPassword string) error {
+	if !a.Verify(id, oldPassword) {
+		return ErrAuth
+	}
+	if newPassword == "" {
+		return fmt.Errorf("snapshot: empty password")
+	}
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.accounts[id] = accountRecord{
+		Salt: hex.EncodeToString(salt),
+		Hash: hashPassword(hex.EncodeToString(salt), newPassword),
+	}
+	return a.persistLocked()
+}
+
+// Len returns the number of accounts.
+func (a *Accounts) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.accounts)
+}
+
+func (a *Accounts) persistLocked() error {
+	if a.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(a.accounts, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := a.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, a.path)
+}
+
+func hashPassword(saltHex, password string) string {
+	h := sha256.Sum256([]byte(saltHex + "\x00" + password))
+	return hex.EncodeToString(h[:])
+}
+
+// --- server enforcement --------------------------------------------------------
+
+// authUser extracts and verifies the acting user for a request. Without
+// an Accounts store the facility runs in the paper's original open mode
+// (any identifier accepted); with one, user must be a valid account ID
+// and password must verify.
+func (s *Server) authUser(r *http.Request) (string, error) {
+	q := r.URL.Query()
+	user := q.Get("user")
+	if s.Accounts == nil {
+		return user, nil
+	}
+	if user == "" || !s.Accounts.Verify(user, q.Get("password")) {
+		return "", ErrAuth
+	}
+	return user, nil
+}
+
+// handleAccountNew creates an anonymous account: the response carries
+// the minted identifier the user must use as `user` from now on.
+func (s *Server) handleAccountNew(w http.ResponseWriter, r *http.Request) {
+	if s.Accounts == nil {
+		http.Error(w, "authentication not enabled", http.StatusNotImplemented)
+		return
+	}
+	password := r.URL.Query().Get("password")
+	id, err := s.Accounts.CreateAnonymous(password)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<HTML><BODY>Your anonymous account is <CODE>%s</CODE>. "+
+		"Pass it as the <CODE>user</CODE> parameter with your password.</BODY></HTML>\n", id)
+}

@@ -1,0 +1,135 @@
+package snapshot
+
+import (
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestAccountsCreateVerify(t *testing.T) {
+	a, err := OpenAccounts("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := a.CreateAnonymous("s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "acct-") {
+		t.Errorf("id = %q", id)
+	}
+	if !a.Verify(id, "s3cret") {
+		t.Error("correct password rejected")
+	}
+	if a.Verify(id, "wrong") {
+		t.Error("wrong password accepted")
+	}
+	if a.Verify("acct-nonexistent", "s3cret") {
+		t.Error("unknown account accepted")
+	}
+}
+
+func TestAccountsAnonymousIDsDistinct(t *testing.T) {
+	a, _ := OpenAccounts("")
+	id1, _ := a.CreateAnonymous("p1")
+	id2, _ := a.CreateAnonymous("p2")
+	if id1 == id2 {
+		t.Error("two anonymous accounts share an ID")
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestAccountsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccounts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := a.CreateAnonymous("pw")
+	a2, err := OpenAccounts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Verify(id, "pw") {
+		t.Error("account lost across reload")
+	}
+}
+
+func TestAccountsSetPassword(t *testing.T) {
+	a, _ := OpenAccounts("")
+	id, _ := a.CreateAnonymous("old")
+	if err := a.SetPassword(id, "wrong", "new"); !errors.Is(err, ErrAuth) {
+		t.Errorf("rotate with wrong password: %v", err)
+	}
+	if err := a.SetPassword(id, "old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Verify(id, "old") || !a.Verify(id, "new") {
+		t.Error("rotation did not take effect")
+	}
+	if err := a.SetPassword(id, "new", ""); err == nil {
+		t.Error("empty new password accepted")
+	}
+}
+
+func TestEmptyPasswordRejected(t *testing.T) {
+	a, _ := OpenAccounts("")
+	if _, err := a.CreateAnonymous(""); err == nil {
+		t.Error("empty password accepted")
+	}
+}
+
+func TestAuthenticatedServerFlow(t *testing.T) {
+	r := newRig(t)
+	srv := NewServer(r.fac)
+	srv.KeepaliveInterval = 0
+	srv.Accounts, _ = OpenAccounts("")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	r.web.Site("h").Page("/p").Set("<P>secret page content.</P>\n")
+
+	// Without credentials: 401.
+	code, _ := get(t, ts.URL+"/remember?url="+url.QueryEscape("http://h/p")+"&user=whoever")
+	if code != 401 {
+		t.Fatalf("unauthenticated remember: code = %d, want 401", code)
+	}
+	// Create an anonymous account over HTTP.
+	code, body := get(t, ts.URL+"/account/new?password=pw123")
+	if code != 200 {
+		t.Fatalf("account/new: %d %s", code, body)
+	}
+	start := strings.Index(body, "acct-")
+	if start < 0 {
+		t.Fatalf("no account id in %q", body)
+	}
+	id := body[start : start+len("acct-")+16]
+
+	// With credentials the full flow works under the impersonal ID.
+	q := "url=" + url.QueryEscape("http://h/p") + "&user=" + id + "&password=pw123"
+	code, body = get(t, ts.URL+"/remember?"+q)
+	if code != 200 || !strings.Contains(body, "saved as revision 1.1") {
+		t.Fatalf("authenticated remember: %d\n%s", code, body)
+	}
+	code, _ = get(t, ts.URL+"/history?"+q)
+	if code != 200 {
+		t.Fatalf("authenticated history: %d", code)
+	}
+	// Wrong password: 401.
+	code, _ = get(t, ts.URL+"/diff?url="+url.QueryEscape("http://h/p")+"&user="+id+"&password=nope")
+	if code != 401 {
+		t.Fatalf("wrong password diff: code = %d, want 401", code)
+	}
+}
+
+func TestAccountNewDisabledWithoutStore(t *testing.T) {
+	_, ts := serverRig(t) // no Accounts configured
+	code, _ := get(t, ts.URL+"/account/new?password=x")
+	if code != 501 {
+		t.Errorf("account/new without store: code = %d, want 501", code)
+	}
+}

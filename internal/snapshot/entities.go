@@ -1,0 +1,187 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"aide/internal/htmldoc"
+	"aide/internal/webclient"
+)
+
+// This file implements §5.3's "smarter comparisons". HtmlDiff compares
+// only the text of two pages: "if the contents of an image file are
+// changed but the URL of the file does not, then the URL in the page
+// will not be flagged as changed. ... Full versioning of all entities
+// would dramatically increase storage requirements. A cheaper
+// alternative would be to store a checksum of each entity and use the
+// checksums to determine if something has changed."
+//
+// When entity tracking is enabled, each check-in also records a checksum
+// per referenced entity (images and such — things whose content is not
+// part of the page text). EntityChanges then reports which referenced
+// entities changed content between two revisions even though the page
+// text referencing them did not.
+
+// EntityTrackingOptions configure the per-revision entity snapshots.
+type EntityTrackingOptions struct {
+	// Enabled switches entity snapshots on for subsequent check-ins.
+	Enabled bool
+	// MaxEntities bounds how many referenced entities are checksummed
+	// per check-in (0 means the default of 32) — the storage/overhead
+	// compromise the paper calls for.
+	MaxEntities int
+	// FollowAnchors extends tracking to <A HREF> targets, not just
+	// embedded entities (IMG/EMBED). Off by default: anchor targets are
+	// whole pages and checking them costs a GET each.
+	FollowAnchors bool
+}
+
+func (o EntityTrackingOptions) maxEntities() int {
+	if o.MaxEntities > 0 {
+		return o.MaxEntities
+	}
+	return 32
+}
+
+// EntitySnapshot records the referenced entities of one page revision.
+type EntitySnapshot struct {
+	// Rev is the page revision this snapshot belongs to.
+	Rev string `json:"rev"`
+	// Checksums maps resolved entity URL -> content checksum ("" when
+	// the entity could not be retrieved).
+	Checksums map[string]string `json:"checksums"`
+}
+
+// EntityChange reports one referenced entity whose content changed.
+type EntityChange struct {
+	// URL is the resolved entity location.
+	URL string
+	// OldSum and NewSum are the recorded checksums ("" = unknown).
+	OldSum, NewSum string
+	// Kind classifies the change: "modified", "appeared", "vanished".
+	Kind string
+}
+
+// SetEntityTracking configures entity snapshots for future check-ins.
+func (f *Facility) SetEntityTracking(opt EntityTrackingOptions) {
+	f.entityOpt = opt
+}
+
+// snapshotEntities checksums the entities body references and stores the
+// result beside the archive, keyed by revision.
+func (f *Facility) snapshotEntities(pageURL, body, rev string) error {
+	refs := htmldoc.EntityRefs(body)
+	sums := make(map[string]string)
+	count := 0
+	for _, ref := range refs {
+		if count >= f.entityOpt.maxEntities() {
+			break
+		}
+		if ref.Markup == "A" || ref.Markup == "AREA" {
+			if !f.entityOpt.FollowAnchors {
+				continue
+			}
+		}
+		target := htmldoc.ResolveLink(pageURL, ref.Target)
+		if target == "" || target == pageURL {
+			continue
+		}
+		if _, done := sums[target]; done {
+			continue
+		}
+		count++
+		info, err := f.client.Get(target)
+		if err != nil || webclient.Classify(info.Status, nil) != webclient.OK {
+			sums[target] = "" // unreachable: recorded as unknown
+			continue
+		}
+		sums[target] = info.Checksum
+	}
+	return f.writeEntitySnapshot(pageURL, EntitySnapshot{Rev: rev, Checksums: sums})
+}
+
+// entityFile is the sidecar path for a page's entity snapshots.
+func (f *Facility) entityFile(pageURL string) string {
+	return filepath.Join(f.root, "repo", url.QueryEscape(pageURL)+",entities.json")
+}
+
+// loadEntitySnapshots reads all recorded snapshots for a page.
+func (f *Facility) loadEntitySnapshots(pageURL string) (map[string]EntitySnapshot, error) {
+	out := make(map[string]EntitySnapshot)
+	data, err := os.ReadFile(f.entityFile(pageURL))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	var list []EntitySnapshot
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("snapshot: corrupt entity file for %s: %v", pageURL, err)
+	}
+	for _, s := range list {
+		out[s.Rev] = s
+	}
+	return out, nil
+}
+
+// writeEntitySnapshot appends/replaces the snapshot for one revision.
+func (f *Facility) writeEntitySnapshot(pageURL string, snap EntitySnapshot) error {
+	all, err := f.loadEntitySnapshots(pageURL)
+	if err != nil {
+		return err
+	}
+	all[snap.Rev] = snap
+	list := make([]EntitySnapshot, 0, len(all))
+	for _, s := range all {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Rev < list[j].Rev })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := f.entityFile(pageURL)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// EntityChanges compares the entity snapshots of two revisions and
+// reports referenced entities whose content changed, appeared, or
+// vanished — differences HtmlDiff alone cannot see (§5.3).
+func (f *Facility) EntityChanges(pageURL, oldRev, newRev string) ([]EntityChange, error) {
+	all, err := f.loadEntitySnapshots(pageURL)
+	if err != nil {
+		return nil, err
+	}
+	oldSnap, okOld := all[oldRev]
+	newSnap, okNew := all[newRev]
+	if !okOld || !okNew {
+		return nil, fmt.Errorf("snapshot: no entity snapshots for %s at %s/%s (entity tracking off?)",
+			pageURL, oldRev, newRev)
+	}
+	var changes []EntityChange
+	for u, oldSum := range oldSnap.Checksums {
+		newSum, still := newSnap.Checksums[u]
+		switch {
+		case !still:
+			changes = append(changes, EntityChange{URL: u, OldSum: oldSum, Kind: "vanished"})
+		case oldSum != newSum && oldSum != "" && newSum != "":
+			changes = append(changes, EntityChange{URL: u, OldSum: oldSum, NewSum: newSum, Kind: "modified"})
+		}
+	}
+	for u, newSum := range newSnap.Checksums {
+		if _, was := oldSnap.Checksums[u]; !was {
+			changes = append(changes, EntityChange{URL: u, NewSum: newSum, Kind: "appeared"})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].URL < changes[j].URL })
+	return changes, nil
+}

@@ -1,0 +1,182 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// pageWithImage is a page whose text references an image by URL.
+const pageWithImage = `<HTML><BODY>
+<P>Our logo: <IMG SRC="/images/logo.gif"> never changes its URL.</P>
+<P>See also <A HREF="/other.html">the other page</A>.</P>
+</BODY></HTML>
+`
+
+func enableEntities(r *rig, follow bool) {
+	r.fac.SetEntityTracking(EntityTrackingOptions{Enabled: true, FollowAnchors: follow})
+}
+
+func TestEntityChangeDetectedBehindUnchangedURL(t *testing.T) {
+	r := newRig(t)
+	enableEntities(r, false)
+	s := r.web.Site("h")
+	s.Page("/p").Set(pageWithImage)
+	s.Page("/images/logo.gif").Set("GIF89a-old-bytes")
+	s.Page("/other.html").Set("other v1")
+
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	// The image content changes; the page text (and the IMG URL) do not.
+	r.web.Advance(24 * time.Hour)
+	s.Page("/images/logo.gif").Set("GIF89a-NEW-bytes")
+	// The page must actually change for a second revision to exist; in
+	// the paper's scenario the page text changes elsewhere while the
+	// image URL stays put.
+	s.Page("/p").Set(pageWithImage + "<P>An unrelated new paragraph.</P>\n")
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+
+	changes, err := r.fac.EntityChanges("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	c := changes[0]
+	if c.URL != "http://h/images/logo.gif" || c.Kind != "modified" || c.OldSum == c.NewSum {
+		t.Fatalf("change = %+v", c)
+	}
+	// HtmlDiff alone cannot see this: the page text's diff never
+	// mentions the image bytes.
+	d, err := r.fac.DiffRevs("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(d.HTML, "GIF89a") {
+		t.Error("diff leaked entity bytes")
+	}
+}
+
+func TestEntityAppearedAndVanished(t *testing.T) {
+	r := newRig(t)
+	enableEntities(r, false)
+	s := r.web.Site("h")
+	s.Page("/a.gif").Set("image A")
+	s.Page("/b.gif").Set("image B")
+	s.Page("/p").Set(`<P><IMG SRC="/a.gif"> here.</P>`)
+	r.fac.Remember(userA, "http://h/p")
+	r.web.Advance(time.Hour)
+	s.Page("/p").Set(`<P><IMG SRC="/b.gif"> here instead.</P>`)
+	r.fac.Remember(userA, "http://h/p")
+
+	changes, err := r.fac.EntityChanges("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, c := range changes {
+		kinds[c.URL] = c.Kind
+	}
+	if kinds["http://h/a.gif"] != "vanished" || kinds["http://h/b.gif"] != "appeared" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestAnchorsFollowedOnlyWhenAsked(t *testing.T) {
+	r := newRig(t)
+	s := r.web.Site("h")
+	s.Page("/p").Set(pageWithImage)
+	s.Page("/images/logo.gif").Set("img")
+	s.Page("/other.html").Set("other v1")
+
+	// Without FollowAnchors, only the image is snapshotted.
+	enableEntities(r, false)
+	r.fac.Remember(userA, "http://h/p")
+	snaps, err := r.fac.loadEntitySnapshots("http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := snaps["1.1"].Checksums
+	if _, ok := sums["http://h/other.html"]; ok {
+		t.Errorf("anchor target snapshotted without FollowAnchors: %v", sums)
+	}
+	if _, ok := sums["http://h/images/logo.gif"]; !ok {
+		t.Errorf("image not snapshotted: %v", sums)
+	}
+
+	// With FollowAnchors, the anchor target is covered too.
+	r2 := newRig(t)
+	enableEntities(r2, true)
+	s2 := r2.web.Site("h")
+	s2.Page("/p").Set(pageWithImage)
+	s2.Page("/images/logo.gif").Set("img")
+	s2.Page("/other.html").Set("other v1")
+	r2.fac.Remember(userA, "http://h/p")
+	snaps2, _ := r2.fac.loadEntitySnapshots("http://h/p")
+	if _, ok := snaps2["1.1"].Checksums["http://h/other.html"]; !ok {
+		t.Errorf("anchor target missing with FollowAnchors: %v", snaps2["1.1"].Checksums)
+	}
+}
+
+func TestUnreachableEntityRecordedUnknown(t *testing.T) {
+	r := newRig(t)
+	enableEntities(r, false)
+	s := r.web.Site("h")
+	s.Page("/p").Set(`<P><IMG SRC="/missing.gif"> broken.</P>`)
+	// /missing.gif does not exist (404).
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := r.fac.loadEntitySnapshots("http://h/p")
+	sum, ok := snaps["1.1"].Checksums["http://h/missing.gif"]
+	if !ok || sum != "" {
+		t.Errorf("missing entity recorded as %q ok=%v, want unknown", sum, ok)
+	}
+}
+
+func TestMaxEntitiesBound(t *testing.T) {
+	r := newRig(t)
+	r.fac.SetEntityTracking(EntityTrackingOptions{Enabled: true, MaxEntities: 2})
+	s := r.web.Site("h")
+	var sb strings.Builder
+	sb.WriteString("<P>")
+	for _, img := range []string{"a", "b", "c", "d"} {
+		s.Page("/" + img + ".gif").Set("img " + img)
+		sb.WriteString(`<IMG SRC="/` + img + `.gif"> `)
+	}
+	sb.WriteString("pics.</P>")
+	s.Page("/p").Set(sb.String())
+	r.fac.Remember(userA, "http://h/p")
+	snaps, _ := r.fac.loadEntitySnapshots("http://h/p")
+	if n := len(snaps["1.1"].Checksums); n != 2 {
+		t.Errorf("snapshotted %d entities, want 2 (bounded)", n)
+	}
+}
+
+func TestEntityChangesWithoutTracking(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("x\n")
+	r.fac.Remember(userA, "http://h/p")
+	if _, err := r.fac.EntityChanges("http://h/p", "1.1", "1.1"); err == nil {
+		t.Error("EntityChanges succeeded without tracking enabled")
+	}
+}
+
+func TestNoOpCheckinSkipsEntitySnapshot(t *testing.T) {
+	r := newRig(t)
+	enableEntities(r, false)
+	s := r.web.Site("h")
+	s.Page("/img.gif").Set("v1")
+	s.Page("/p").Set(`<P><IMG SRC="/img.gif"> x.</P>`)
+	r.fac.Remember(userA, "http://h/p")
+	r.web.ResetRequestCounts()
+	// Unchanged page: no new revision, and no entity fetches either.
+	r.fac.Remember(userB, "http://h/p")
+	if _, g := r.web.TotalRequests(); g > 1 { // one GET for the page itself
+		t.Errorf("no-op checkin still checksummed entities: %d GETs", g)
+	}
+}

@@ -1,0 +1,459 @@
+// Package snapshot implements AIDE's external versioning service (§4):
+// an archive of web-page versions kept outside both the content provider
+// and the client, built on the RCS work-alike in internal/rcs.
+//
+// A user "remembers" a page: the facility retrieves it, checks it into
+// the page's archive (a no-op if unchanged), and records in the user's
+// control file which version that user has now seen. Later the user asks
+// for the differences since the version they last saved, rendered by
+// HtmlDiff, or for the page's full version history.
+//
+// System issues handled per §4.2: per-URL and per-user locking
+// (internal/lockmgr), bounded caching of HtmlDiff output (many users who
+// saw versions N and N+1 share one invocation), and the CGI keepalive
+// trickle (in server.go).
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/formreg"
+	"aide/internal/htmldiff"
+	"aide/internal/lockmgr"
+	"aide/internal/rcs"
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// ErrNeverSaved is returned when a user asks for differences on a page
+// they have never remembered.
+var ErrNeverSaved = errors.New("snapshot: page never saved by this user")
+
+// Facility is the snapshot service instance.
+type Facility struct {
+	root   string
+	client *webclient.Client
+	clock  simclock.Clock
+	locks  *lockmgr.Manager
+
+	// DiffOptions are the HtmlDiff defaults applied when callers pass a
+	// zero Options.
+	DiffOptions htmldiff.Options
+	// Forms, when non-nil, lets the facility archive and diff saved
+	// POST services via their form:<id> pseudo-URLs (§8.4).
+	Forms *formreg.Registry
+
+	diffCache diffCache
+	entityOpt EntityTrackingOptions
+}
+
+// New creates (or reopens) a facility rooted at dir. If clock is nil the
+// wall clock is used.
+func New(dir string, client *webclient.Client, clock simclock.Clock) (*Facility, error) {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	for _, sub := range []string{"repo", "users", "locks"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Facility{
+		root:      dir,
+		client:    client,
+		clock:     clock,
+		locks:     lockmgr.New(filepath.Join(dir, "locks")),
+		diffCache: diffCache{max: 128, entries: map[string]string{}},
+	}, nil
+}
+
+// Root returns the facility's data directory.
+func (f *Facility) Root() string { return f.root }
+
+// archive returns the RCS archive handle for a URL.
+func (f *Facility) archive(pageURL string) *rcs.Archive {
+	name := url.QueryEscape(pageURL) + ",v"
+	return rcs.Open(filepath.Join(f.root, "repo", name), f.clock)
+}
+
+// RememberResult reports a Remember operation.
+type RememberResult struct {
+	// Rev is the revision now current for the user.
+	Rev string
+	// Changed is false when the fetched page was identical to the
+	// archive head (the RCS ci no-op case).
+	Changed bool
+	// FirstTime is true when this was the page's first check-in ever.
+	FirstTime bool
+}
+
+// Remember fetches url and checks it into the archive on behalf of user,
+// recording the version in the user's control file. Holding the per-URL
+// lock across fetch+check-in serialises simultaneous users (§4.2).
+func (f *Facility) Remember(user, pageURL string) (RememberResult, error) {
+	unlock, err := f.locks.Lock("url:" + pageURL)
+	if err != nil {
+		return RememberResult{}, err
+	}
+	defer unlock()
+
+	info, err := f.fetchLive(pageURL)
+	if err != nil {
+		return RememberResult{}, err
+	}
+	return f.RememberContent(user, pageURL, info.Body)
+}
+
+// RememberContent checks in content supplied by the caller (used by the
+// fixed-page archiver and by tests to avoid a second fetch). The per-URL
+// lock must not already be held by this goroutine.
+func (f *Facility) RememberContent(user, pageURL, body string) (RememberResult, error) {
+	arch := f.archive(pageURL)
+	first := !arch.Exists()
+	rev, changed, err := arch.Checkin(body, user, "checked in via AIDE snapshot")
+	if err != nil {
+		return RememberResult{}, err
+	}
+	if user != "" {
+		if err := f.markSeen(user, pageURL, rev); err != nil {
+			return RememberResult{}, err
+		}
+	}
+	if changed && f.entityOpt.Enabled {
+		if err := f.snapshotEntities(pageURL, body, rev); err != nil {
+			return RememberResult{}, err
+		}
+	}
+	return RememberResult{Rev: rev, Changed: changed, FirstTime: first}, nil
+}
+
+// DiffResult is the outcome of a difference request.
+type DiffResult struct {
+	// HTML is the HtmlDiff presentation.
+	HTML string
+	// OldRev and NewRev identify the versions compared. NewRev is
+	// "live" when the comparison is against the current page.
+	OldRev, NewRev string
+	// Stats summarises the comparison.
+	Stats htmldiff.Stats
+	// Cached is true when the output came from the HtmlDiff cache.
+	Cached bool
+}
+
+// DiffSinceSaved compares the version the user last remembered against
+// the live page — the report's "Diff" link ("display the changes in a
+// page since it was last saved away by the user", §6).
+func (f *Facility) DiffSinceSaved(user, pageURL string) (DiffResult, error) {
+	seen := f.seenVersions(user, pageURL)
+	if len(seen) == 0 {
+		return DiffResult{}, ErrNeverSaved
+	}
+	oldRev := seen[len(seen)-1]
+	oldText, err := f.archive(pageURL).Checkout(oldRev)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	info, err := f.fetchLive(pageURL)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	opt := f.DiffOptions
+	opt.Title = pageURL
+	r := htmldiff.Diff(oldText, info.Body, opt)
+	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: "live", Stats: r.Stats}, nil
+}
+
+// DiffRevs compares two archived revisions, caching the rendered output:
+// "many users who have seen versions N and N+1 of a page could retrieve
+// HtmlDiff(pageN, pageN+1) with a single invocation" (§4.2).
+func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) {
+	key := pageURL + "\x00" + oldRev + "\x00" + newRev
+	if html, ok := f.diffCache.get(key); ok {
+		return DiffResult{HTML: html, OldRev: oldRev, NewRev: newRev, Cached: true}, nil
+	}
+	arch := f.archive(pageURL)
+	oldText, err := arch.Checkout(oldRev)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	newText, err := arch.Checkout(newRev)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	opt := f.DiffOptions
+	opt.Title = fmt.Sprintf("%s (%s vs %s)", pageURL, oldRev, newRev)
+	r := htmldiff.Diff(oldText, newText, opt)
+	f.diffCache.put(key, r.HTML)
+	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: newRev, Stats: r.Stats}, nil
+}
+
+// History returns the page's revision log (newest first) and the set of
+// revisions this user has seen.
+func (f *Facility) History(user, pageURL string) (revs []rcs.Revision, seen map[string]bool, err error) {
+	revs, err = f.archive(pageURL).Log()
+	if err != nil {
+		return nil, nil, err
+	}
+	seen = make(map[string]bool)
+	for _, r := range f.seenVersions(user, pageURL) {
+		seen[r] = true
+	}
+	return revs, seen, nil
+}
+
+// Checkout returns the archived text of a revision ("" = head).
+func (f *Facility) Checkout(pageURL, rev string) (string, error) {
+	return f.archive(pageURL).Checkout(rev)
+}
+
+// CheckoutAtDate returns the archived text as of an instant, the CGI
+// "time travel" interface of §2.2.
+func (f *Facility) CheckoutAtDate(pageURL string, t time.Time) (string, string, error) {
+	return f.archive(pageURL).CheckoutAtDate(t)
+}
+
+// ArchivedURLs lists every URL with an archive, sorted.
+func (f *Facility) ArchivedURLs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(f.root, "repo"))
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ",v")
+		if name == e.Name() {
+			continue
+		}
+		u, err := url.QueryUnescape(name)
+		if err != nil {
+			continue
+		}
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls, nil
+}
+
+// StorageStats reports archive disk usage, the §7 measurements.
+type StorageStats struct {
+	// URLs is the number of archived URLs.
+	URLs int
+	// TotalBytes is the summed archive file size.
+	TotalBytes int64
+	// PerURL lists each archive's size, descending.
+	PerURL []URLSize
+}
+
+// URLSize pairs a URL with its archive size.
+type URLSize struct {
+	URL   string
+	Bytes int64
+}
+
+// MeanBytes returns the average archive size per URL.
+func (s StorageStats) MeanBytes() float64 {
+	if s.URLs == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.URLs)
+}
+
+// PruneResult reports one archive's pruning outcome.
+type PruneResult struct {
+	URL     string
+	Dropped int
+}
+
+// Prune limits every archive to at most keep revisions, dropping the
+// oldest — the §4.2 resource-utilization control. Per-URL locks are
+// held across each rewrite.
+func (f *Facility) Prune(keep int) ([]PruneResult, error) {
+	urls, err := f.ArchivedURLs()
+	if err != nil {
+		return nil, err
+	}
+	var out []PruneResult
+	for _, u := range urls {
+		unlock, err := f.locks.Lock("url:" + u)
+		if err != nil {
+			return out, err
+		}
+		dropped, err := f.archive(u).Prune(keep)
+		unlock()
+		if err != nil {
+			return out, err
+		}
+		if dropped > 0 {
+			out = append(out, PruneResult{URL: u, Dropped: dropped})
+		}
+	}
+	return out, nil
+}
+
+// Storage scans the repository and reports the §7 numbers.
+func (f *Facility) Storage() (StorageStats, error) {
+	urls, err := f.ArchivedURLs()
+	if err != nil {
+		return StorageStats{}, err
+	}
+	stats := StorageStats{URLs: len(urls)}
+	for _, u := range urls {
+		size := f.archive(u).Size()
+		stats.TotalBytes += size
+		stats.PerURL = append(stats.PerURL, URLSize{URL: u, Bytes: size})
+	}
+	sort.Slice(stats.PerURL, func(i, j int) bool { return stats.PerURL[i].Bytes > stats.PerURL[j].Bytes })
+	return stats, nil
+}
+
+// fetchLive retrieves the current content of a URL: a GET for pages, a
+// replayed POST for form:<id> pseudo-URLs.
+func (f *Facility) fetchLive(pageURL string) (webclient.PageInfo, error) {
+	var info webclient.PageInfo
+	var err error
+	if f.Forms != nil && formreg.IsFormURL(pageURL) {
+		info, err = f.Forms.Invoke(f.client, pageURL)
+	} else {
+		info, err = f.client.Get(pageURL)
+	}
+	if err != nil {
+		return info, fmt.Errorf("snapshot: retrieving %s: %w", pageURL, err)
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		return info, fmt.Errorf("snapshot: retrieving %s: HTTP %d (%s)", pageURL, info.Status, kind)
+	}
+	return info, nil
+}
+
+// --- per-user control files ---------------------------------------------------
+
+// userControl is the persistent per-user record: for each URL, the
+// ordered list of revisions the user has checked in or viewed. This is
+// the paper's "set of version numbers retained for each <user,URL>
+// combination", kept outside RCS.
+type userControl struct {
+	Versions map[string][]string `json:"versions"`
+}
+
+func (f *Facility) userFile(user string) string {
+	return filepath.Join(f.root, "users", url.QueryEscape(user)+".json")
+}
+
+// loadUser reads a user's control file ({} when absent).
+func (f *Facility) loadUser(user string) (userControl, error) {
+	uc := userControl{Versions: map[string][]string{}}
+	data, err := os.ReadFile(f.userFile(user))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return uc, nil
+		}
+		return uc, err
+	}
+	if err := json.Unmarshal(data, &uc); err != nil {
+		return uc, fmt.Errorf("snapshot: corrupt control file for %s: %v", user, err)
+	}
+	if uc.Versions == nil {
+		uc.Versions = map[string][]string{}
+	}
+	return uc, nil
+}
+
+// markSeen appends rev to the user's version set for url (idempotent on
+// the latest entry), under the per-user lock.
+func (f *Facility) markSeen(user, pageURL, rev string) error {
+	unlock, err := f.locks.Lock("user:" + user)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	uc, err := f.loadUser(user)
+	if err != nil {
+		return err
+	}
+	vs := uc.Versions[pageURL]
+	if len(vs) == 0 || vs[len(vs)-1] != rev {
+		uc.Versions[pageURL] = append(vs, rev)
+	}
+	data, err := json.MarshalIndent(uc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := f.userFile(user) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.userFile(user))
+}
+
+// seenVersions returns the user's version list for url (oldest first).
+func (f *Facility) seenVersions(user, pageURL string) []string {
+	uc, err := f.loadUser(user)
+	if err != nil {
+		return nil
+	}
+	return uc.Versions[pageURL]
+}
+
+// UserURLs lists the URLs a user has remembered, sorted.
+func (f *Facility) UserURLs(user string) []string {
+	uc, err := f.loadUser(user)
+	if err != nil {
+		return nil
+	}
+	urls := make([]string, 0, len(uc.Versions))
+	for u := range uc.Versions {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// --- HtmlDiff output cache ------------------------------------------------------
+
+// diffCache is a bounded map of rendered HtmlDiff outputs. Simple random
+// eviction suffices: entries are small and regeneration is cheap relative
+// to correctness concerns.
+type diffCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]string
+	hits    int
+}
+
+func (c *diffCache) get(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+func (c *diffCache) put(key, html string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = html
+}
+
+// DiffCacheHits reports how many diff requests were served from cache.
+func (f *Facility) DiffCacheHits() int {
+	f.diffCache.mu.Lock()
+	defer f.diffCache.mu.Unlock()
+	return f.diffCache.hits
+}

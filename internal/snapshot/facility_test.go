@@ -1,0 +1,324 @@
+package snapshot
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// rig bundles a facility bound to a synthetic web.
+type rig struct {
+	web   *websim.Web
+	clock *simclock.Sim
+	fac   *Facility
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	fac, err := New(t.TempDir(), webclient.New(web), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{web: web, clock: clock, fac: fac}
+}
+
+const userA = "douglis@research.att.com"
+const userB = "tball@research.att.com"
+
+func TestRememberAndCheckout(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("<html>v1</html>\n")
+	res, err := r.fac.Remember(userA, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rev != "1.1" || !res.Changed || !res.FirstTime {
+		t.Fatalf("remember = %+v", res)
+	}
+	text, err := r.fac.Checkout("http://h/p", "1.1")
+	if err != nil || text != "<html>v1</html>\n" {
+		t.Fatalf("checkout = (%q,%v)", text, err)
+	}
+}
+
+func TestRememberUnchangedNotSavedAgain(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("same\n")
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.fac.Remember(userA, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed || res.Rev != "1.1" {
+		t.Fatalf("second remember = %+v (want unchanged at 1.1)", res)
+	}
+}
+
+func TestPerUserVersionSets(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	// User A saves v1; the page changes; user B saves v2.
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	r.web.Advance(24 * time.Hour)
+	p.Set("v2\n")
+	res, err := r.fac.Remember(userB, "http://h/p")
+	if err != nil || res.Rev != "1.2" {
+		t.Fatalf("user B remember = %+v err=%v", res, err)
+	}
+	// Each user's history view marks their own versions.
+	_, seenA, err := r.fac.History(userA, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seenA["1.1"] || seenA["1.2"] {
+		t.Errorf("user A seen = %v", seenA)
+	}
+	_, seenB, _ := r.fac.History(userB, "http://h/p")
+	if seenB["1.1"] || !seenB["1.2"] {
+		t.Errorf("user B seen = %v", seenB)
+	}
+}
+
+func TestUserCheckinTimesTrackedWhenUnchanged(t *testing.T) {
+	// §2.2: "we wish to track the times at which each user checked in a
+	// page, even if the page hasn't changed between check-ins of that
+	// page by different users."
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("stable\n")
+	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(userB, "http://h/p") // no new revision, but B has now seen 1.1
+	_, seenB, err := r.fac.History(userB, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seenB["1.1"] {
+		t.Errorf("user B's unchanged check-in not recorded: %v", seenB)
+	}
+}
+
+func TestDiffSinceSaved(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Original sentence here today.</P>\n")
+	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	r.web.Advance(time.Hour)
+	p.Set("<P>Original sentence here today. Brand new addition arrives.</P>\n")
+
+	res, err := r.fac.DiffSinceSaved(userA, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OldRev != "1.1" || res.NewRev != "live" {
+		t.Fatalf("revs = %+v", res)
+	}
+	if !strings.Contains(res.HTML, "<STRONG><I>Brand") {
+		t.Errorf("diff missing emphasized addition:\n%s", res.HTML)
+	}
+	if !res.Stats.Changed() {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestDiffSinceSavedNeverSaved(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("x\n")
+	if _, err := r.fac.DiffSinceSaved(userA, "http://h/p"); !errors.Is(err, ErrNeverSaved) {
+		t.Fatalf("err = %v, want ErrNeverSaved", err)
+	}
+}
+
+func TestDiffRevsCached(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>version one content.</P>\n")
+	r.fac.Remember(userA, "http://h/p")
+	r.web.Advance(time.Hour)
+	p.Set("<P>version two content.</P>\n")
+	r.fac.Remember(userA, "http://h/p")
+
+	d1, err := r.fac.DiffRevs("http://h/p", "1.1", "1.2")
+	if err != nil || d1.Cached {
+		t.Fatalf("first diff: %+v err=%v", d1, err)
+	}
+	d2, err := r.fac.DiffRevs("http://h/p", "1.1", "1.2")
+	if err != nil || !d2.Cached {
+		t.Fatalf("second diff not cached: %+v err=%v", d2, err)
+	}
+	if d1.HTML != d2.HTML {
+		t.Error("cached diff differs from original")
+	}
+	if r.fac.DiffCacheHits() != 1 {
+		t.Errorf("cache hits = %d", r.fac.DiffCacheHits())
+	}
+}
+
+func TestRememberFetchErrors(t *testing.T) {
+	r := newRig(t)
+	s := r.web.Site("h")
+	s.Page("/p").Set("x\n")
+	s.SetDown(true)
+	if _, err := r.fac.Remember(userA, "http://h/p"); err == nil {
+		t.Fatal("remember succeeded against down host")
+	}
+	s.SetDown(false)
+	dead := r.web.Site("h").Page("/dead")
+	dead.Set("x")
+	dead.SetGone()
+	if _, err := r.fac.Remember(userA, "http://h/dead"); err == nil {
+		t.Fatal("remember succeeded for 404 page")
+	}
+}
+
+func TestCheckoutAtDate(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	r.fac.Remember(userA, "http://h/p")
+	mid := r.clock.Now().Add(12 * time.Hour)
+	r.web.Advance(24 * time.Hour)
+	p.Set("v2\n")
+	r.fac.Remember(userA, "http://h/p")
+
+	text, rev, err := r.fac.CheckoutAtDate("http://h/p", mid)
+	if err != nil || rev != "1.1" || text != "v1\n" {
+		t.Fatalf("at-date = (%q,%q,%v)", text, rev, err)
+	}
+}
+
+func TestArchivedURLsAndStorage(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/a").Set(strings.Repeat("aaaa\n", 100))
+	r.web.Site("h").Page("/b").Set("b\n")
+	r.fac.Remember(userA, "http://h/a")
+	r.fac.Remember(userA, "http://h/b")
+
+	urls, err := r.fac.ArchivedURLs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 2 || urls[0] != "http://h/a" || urls[1] != "http://h/b" {
+		t.Fatalf("urls = %v", urls)
+	}
+	stats, err := r.fac.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.URLs != 2 || stats.TotalBytes <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// PerURL is sorted descending; /a is far larger.
+	if stats.PerURL[0].URL != "http://h/a" {
+		t.Errorf("per-url order = %+v", stats.PerURL)
+	}
+	if stats.MeanBytes() <= 0 {
+		t.Error("mean bytes not positive")
+	}
+}
+
+func TestUserURLs(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/a").Set("x\n")
+	r.web.Site("h").Page("/b").Set("y\n")
+	r.fac.Remember(userA, "http://h/b")
+	r.fac.Remember(userA, "http://h/a")
+	urls := r.fac.UserURLs(userA)
+	if len(urls) != 2 || urls[0] != "http://h/a" {
+		t.Errorf("user urls = %v", urls)
+	}
+	if got := r.fac.UserURLs("stranger@nowhere"); len(got) != 0 {
+		t.Errorf("stranger urls = %v", got)
+	}
+}
+
+func TestSimultaneousRemembersSerialized(t *testing.T) {
+	// §4.2: simultaneous users of the same page must not corrupt the
+	// repository; the per-URL lock queues them.
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1\n")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := userA
+			if i%2 == 1 {
+				user = userB
+			}
+			if _, err := r.fac.Remember(user, "http://h/p"); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	revs, _, err := r.fac.History(userA, "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(revs) != 1 {
+		t.Fatalf("identical simultaneous saves made %d revisions, want 1", len(revs))
+	}
+}
+
+func TestURLsWithSpecialCharacters(t *testing.T) {
+	r := newRig(t)
+	weird := "http://h/cgi-bin/search?q=a+b&lang=en/ü"
+	r.web.Site("h").Page("/cgi-bin/search?q=a+b&lang=en/ü").Set("result\n")
+	if _, err := r.fac.Remember(userA, weird); err != nil {
+		t.Fatal(err)
+	}
+	urls, _ := r.fac.ArchivedURLs()
+	if len(urls) != 1 || urls[0] != weird {
+		t.Errorf("round-tripped URL = %v", urls)
+	}
+	if text, err := r.fac.Checkout(weird, ""); err != nil || text != "result\n" {
+		t.Errorf("checkout = (%q,%v)", text, err)
+	}
+}
+
+func TestFacilityPrune(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	for i := 0; i < 6; i++ {
+		p.Set(strings.Repeat("x", i+1) + "\n")
+		if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+			t.Fatal(err)
+		}
+		r.web.Advance(time.Hour)
+	}
+	q := r.web.Site("h").Page("/q")
+	q.Set("only one version\n")
+	r.fac.Remember(userA, "http://h/q")
+
+	results, err := r.fac.Prune(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].URL != "http://h/p" || results[0].Dropped != 4 {
+		t.Fatalf("prune results = %+v", results)
+	}
+	revs, _, err := r.fac.History(userA, "http://h/p")
+	if err != nil || len(revs) != 2 {
+		t.Fatalf("history after prune: %d revs, err %v", len(revs), err)
+	}
+}

@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"aide/internal/webclient"
+)
+
+// This file implements the rest of §4.2's resource-utilization remedies:
+// "The facility could also impose a limit on the number of simultaneous
+// users, or replicate itself among multiple computers, as many W3
+// services do."
+//
+//   - Gate wraps the HTTP handler with a concurrency limit: beyond
+//     MaxSimultaneous requests, clients get 503 Service Unavailable
+//     immediately rather than piling onto a saturated machine.
+//
+//   - Export/Import move the whole repository (archives, user control
+//     files, entity sidecars) as one portable JSON dump, and
+//     ReplicateFrom pulls a leader's export over HTTP — the mechanism a
+//     replica farm would use.
+
+// Gate limits simultaneous requests to the wrapped handler.
+type Gate struct {
+	handler http.Handler
+	slots   chan struct{}
+
+	mu       sync.Mutex
+	rejected int
+}
+
+// NewGate wraps handler with a limit of max simultaneous requests
+// (max <= 0 means unlimited).
+func NewGate(handler http.Handler, max int) *Gate {
+	g := &Gate{handler: handler}
+	if max > 0 {
+		g.slots = make(chan struct{}, max)
+	}
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+			defer func() { <-g.slots }()
+		default:
+			g.mu.Lock()
+			g.rejected++
+			g.mu.Unlock()
+			http.Error(w, "facility busy; try again shortly", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	g.handler.ServeHTTP(w, r)
+}
+
+// Rejected reports how many requests the gate turned away.
+func (g *Gate) Rejected() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rejected
+}
+
+// dumpFile is one repository file in an export.
+type dumpFile struct {
+	// Kind is "archive", "user", or "entities".
+	Kind string `json:"kind"`
+	// Name is the file's base name (already URL-escaped on disk).
+	Name string `json:"name"`
+	// Data is the raw file content.
+	Data string `json:"data"`
+}
+
+// Export writes the whole repository as a JSON stream of files. The
+// snapshot is not atomic across files; replicate from a quiesced leader
+// or tolerate a torn tail (each file itself is written atomically).
+func (f *Facility) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	emit := func(kind, dir string) error {
+		entries, err := os.ReadDir(filepath.Join(f.root, dir))
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(f.root, dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			k := kind
+			if kind == "archive" && strings.HasSuffix(e.Name(), ",entities.json") {
+				k = "entities"
+			}
+			if err := enc.Encode(dumpFile{Kind: k, Name: e.Name(), Data: string(data)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("archive", "repo"); err != nil {
+		return err
+	}
+	return emit("user", "users")
+}
+
+// Import installs an Export stream into this facility, overwriting any
+// files with the same names. Unknown kinds are rejected.
+func (f *Facility) Import(r io.Reader) (files int, err error) {
+	dec := json.NewDecoder(r)
+	for {
+		var df dumpFile
+		if err := dec.Decode(&df); err == io.EOF {
+			return files, nil
+		} else if err != nil {
+			return files, fmt.Errorf("snapshot: corrupt export stream: %v", err)
+		}
+		var dir string
+		switch df.Kind {
+		case "archive", "entities":
+			dir = "repo"
+		case "user":
+			dir = "users"
+		default:
+			return files, fmt.Errorf("snapshot: unknown export kind %q", df.Kind)
+		}
+		if df.Name == "" || strings.ContainsAny(df.Name, "/\\") {
+			return files, fmt.Errorf("snapshot: unsafe export name %q", df.Name)
+		}
+		path := filepath.Join(f.root, dir, df.Name)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(df.Data), 0o644); err != nil {
+			return files, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return files, err
+		}
+		files++
+	}
+}
+
+// ReplicateFrom pulls a leader facility's /export over the given
+// transport and imports it, returning the number of files installed.
+func (f *Facility) ReplicateFrom(leaderBase string, transport webclient.Transport) (int, error) {
+	client := webclient.New(transport)
+	info, err := client.Get(strings.TrimSuffix(leaderBase, "/") + "/export")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: replicating from %s: %w", leaderBase, err)
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		return 0, fmt.Errorf("snapshot: replicating from %s: HTTP %d", leaderBase, info.Status)
+	}
+	return f.Import(strings.NewReader(info.Body))
+}
+
+// handleExport streams the repository dump (§4.2 replication).
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-aide-export")
+	if err := s.Facility.Export(w); err != nil {
+		// Headers are out; report in-band.
+		fmt.Fprintf(w, "\nEXPORT ERROR: %s\n", err)
+	}
+}

@@ -1,0 +1,186 @@
+package snapshot
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/webclient"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	leader := newRig(t)
+	p := leader.web.Site("h").Page("/p")
+	p.Set("<P>version one content.</P>\n")
+	leader.fac.Remember(userA, "http://h/p")
+	leader.web.Advance(time.Hour)
+	p.Set("<P>version two content.</P>\n")
+	leader.fac.Remember(userA, "http://h/p")
+	leader.web.Site("h").Page("/q").Set("other page\n")
+	leader.fac.Remember(userB, "http://h/q")
+
+	var dump bytes.Buffer
+	if err := leader.fac.Export(&dump); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newRig(t)
+	files, err := follower.fac.Import(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files < 4 { // two archives + two user control files
+		t.Fatalf("imported %d files", files)
+	}
+	// The replica serves the same history and user state.
+	revs, seenA, err := follower.fac.History(userA, "http://h/p")
+	if err != nil || len(revs) != 2 || !seenA["1.2"] {
+		t.Fatalf("replica history: %d revs, seen %v, err %v", len(revs), seenA, err)
+	}
+	text, err := follower.fac.Checkout("http://h/p", "1.1")
+	if err != nil || text != "<P>version one content.</P>\n" {
+		t.Fatalf("replica checkout: (%q,%v)", text, err)
+	}
+	urls, _ := follower.fac.ArchivedURLs()
+	if len(urls) != 2 {
+		t.Fatalf("replica urls = %v", urls)
+	}
+}
+
+func TestReplicateOverHTTP(t *testing.T) {
+	leader := newRig(t)
+	leader.web.Site("h").Page("/p").Set("replicated content\n")
+	leader.fac.Remember(userA, "http://h/p")
+	srv := NewServer(leader.fac)
+	srv.KeepaliveInterval = 0
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	follower := newRig(t)
+	files, err := follower.fac.ReplicateFrom(ts.URL, &webclient.HTTPTransport{})
+	if err != nil || files == 0 {
+		t.Fatalf("replicate: %d files, err %v", files, err)
+	}
+	text, err := follower.fac.Checkout("http://h/p", "")
+	if err != nil || text != "replicated content\n" {
+		t.Fatalf("replica head: (%q,%v)", text, err)
+	}
+}
+
+func TestImportRejectsUnsafeDumps(t *testing.T) {
+	follower := newRig(t)
+	cases := []string{
+		`{"kind":"archive","name":"../escape,v","data":"x"}`,
+		`{"kind":"weird","name":"a","data":"x"}`,
+		`{"kind":"archive","name":"","data":"x"}`,
+		`not json at all`,
+	}
+	for _, c := range cases {
+		if _, err := follower.fac.Import(strings.NewReader(c)); err == nil {
+			t.Errorf("Import(%q) succeeded", c)
+		}
+	}
+}
+
+func TestGateLimitsSimultaneousUsers(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(200)
+	})
+	gate := NewGate(slow, 2)
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 4)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL)
+			if err == nil {
+				codes <- resp.StatusCode
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-started
+	<-started
+	// Both slots busy: the next request is turned away immediately.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third request code = %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+	close(codes)
+	for c := range codes {
+		if c != 200 {
+			t.Errorf("admitted request code = %d", c)
+		}
+	}
+	if gate.Rejected() != 1 {
+		t.Errorf("rejected = %d", gate.Rejected())
+	}
+	// After the burst, capacity is available again.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestGateUnlimitedWhenZero(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	gate := NewGate(h, 0)
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("unlimited gate: %v %d", err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServerMaxSimultaneousWired(t *testing.T) {
+	r := newRig(t)
+	srv := NewServer(r.fac)
+	srv.KeepaliveInterval = 0
+	srv.MaxSimultaneous = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// A single request passes through the gate.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("gated index: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestExportEndpoint checks /export streams a usable dump.
+func TestExportEndpoint(t *testing.T) {
+	r, ts := serverRig(t)
+	r.web.Site("h").Page("/p").Set("x\n")
+	r.fac.Remember(userA, "http://h/p")
+	code, body := get(t, ts.URL+"/export")
+	if code != 200 || !strings.Contains(body, `"kind":"archive"`) {
+		t.Fatalf("export: %d\n%s", code, body)
+	}
+	follower := newRig(t)
+	if files, err := follower.fac.Import(strings.NewReader(body)); err != nil || files == 0 {
+		t.Fatalf("import of endpoint dump: %d files, %v", files, err)
+	}
+}

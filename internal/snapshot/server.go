@@ -1,0 +1,364 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+
+	"aide/internal/rcs"
+)
+
+// This file is the facility's HTTP face: the CGI-style GET endpoints of
+// §4 and §6 (/remember, /diff, /history), the server-side version-control
+// scripts of §8.1 (/rlog, /co, /rcsdiff), and the §4.2 keepalive trickle
+// — while a long retrieval or comparison runs, the handler emits a space
+// character (ignored by the browser) every few seconds so httpd's CGI
+// timeout does not sever the connection.
+
+// Server wraps a Facility with HTTP handlers.
+type Server struct {
+	// Facility is the underlying service.
+	Facility *Facility
+	// KeepaliveInterval is the trickle cadence for long operations;
+	// zero disables the trickle (useful in tests).
+	KeepaliveInterval time.Duration
+	// Accounts, when non-nil, switches the facility to the §4.2
+	// authenticated mode: the user parameter must be a valid account ID
+	// and requests must carry its password.
+	Accounts *Accounts
+	// MaxSimultaneous, when positive, bounds concurrent requests; excess
+	// clients get 503 (§4.2: "impose a limit on the number of
+	// simultaneous users").
+	MaxSimultaneous int
+}
+
+// NewServer returns a Server with the paper-style keepalive enabled.
+func NewServer(f *Facility) *Server {
+	return &Server{Facility: f, KeepaliveInterval: 5 * time.Second}
+}
+
+// Handler returns the facility's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/remember", s.handleRemember)
+	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/co", s.handleCheckout)
+	mux.HandleFunc("/rlog", s.handleRlog)
+	mux.HandleFunc("/rcsdiff", s.handleRcsdiff)
+	mux.HandleFunc("/account/new", s.handleAccountNew)
+	mux.HandleFunc("/export", s.handleExport)
+	if s.MaxSimultaneous > 0 {
+		return NewGate(mux, s.MaxSimultaneous)
+	}
+	return mux
+}
+
+// handleIndex serves the HTML form through which pages are registered
+// with the service (§4.1: "Pages can be registered with the service via
+// an HTML form, and differences can be retrieved in the same fashion").
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, `<HTML><HEAD><TITLE>AIDE snapshot facility</TITLE></HEAD><BODY>
+<H1>AIDE snapshot facility</H1>
+<P>Save a copy of a page, or see how it has changed since you saved it.</P>
+<FORM ACTION="/remember" METHOD="GET">
+URL: <INPUT NAME="url" SIZE=60>
+Your email: <INPUT NAME="user" SIZE=30>
+<INPUT TYPE=SUBMIT VALUE="Remember">
+</FORM>
+<FORM ACTION="/diff" METHOD="GET">
+URL: <INPUT NAME="url" SIZE=60>
+Your email: <INPUT NAME="user" SIZE=30>
+<INPUT TYPE=SUBMIT VALUE="Diff">
+</FORM>
+<FORM ACTION="/history" METHOD="GET">
+URL: <INPUT NAME="url" SIZE=60>
+Your email: <INPUT NAME="user" SIZE=30>
+<INPUT TYPE=SUBMIT VALUE="History">
+</FORM>
+</BODY></HTML>
+`)
+}
+
+// userURL extracts the common query parameters.
+func userURL(r *http.Request) (user, pageURL string) {
+	q := r.URL.Query()
+	return q.Get("user"), q.Get("url")
+}
+
+// handleRemember implements the report's Remember link (§6).
+func (s *Server) handleRemember(w http.ResponseWriter, r *http.Request) {
+	user, err := s.authUser(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	pageURL := r.URL.Query().Get("url")
+	if pageURL == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	s.withKeepalive(w, func() (string, error) {
+		res, err := s.Facility.Remember(user, pageURL)
+		if err != nil {
+			return "", err
+		}
+		verb := "saved as revision " + res.Rev
+		if !res.Changed {
+			verb = "unchanged since revision " + res.Rev + "; not saved again"
+		}
+		return fmt.Sprintf(
+			"<HTML><BODY><H2>Remembered</H2><P><A HREF=\"%s\">%s</A>: %s.</P></BODY></HTML>\n",
+			html.EscapeString(pageURL), html.EscapeString(pageURL), verb), nil
+	})
+}
+
+// handleDiff implements the report's Diff link: with r1/r2 it compares
+// two archived revisions; otherwise it compares the user's last-saved
+// version against the live page.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	user, err := s.authUser(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	pageURL := r.URL.Query().Get("url")
+	if pageURL == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	r1, r2 := q.Get("r1"), q.Get("r2")
+	w.Header().Set("Content-Type", "text/html")
+	s.withKeepalive(w, func() (string, error) {
+		var res DiffResult
+		var err error
+		if r1 != "" && r2 != "" {
+			res, err = s.Facility.DiffRevs(pageURL, r1, r2)
+		} else {
+			res, err = s.Facility.DiffSinceSaved(user, pageURL)
+		}
+		if err != nil {
+			return "", err
+		}
+		return res.HTML, nil
+	})
+}
+
+// handleHistory implements the report's History link: the full version
+// log with links to view any revision or diff any adjacent pair (§6).
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	user, err := s.authUser(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	pageURL := r.URL.Query().Get("url")
+	if pageURL == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	revs, seen, err := s.Facility.History(user, pageURL)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>History of %s</TITLE></HEAD><BODY>\n", html.EscapeString(pageURL))
+	fmt.Fprintf(&sb, "<H1>Version history</H1>\n<P><A HREF=\"%s\">%s</A></P>\n<UL>\n",
+		html.EscapeString(pageURL), html.EscapeString(pageURL))
+	esc := escapeQuery(pageURL)
+	for i, rev := range revs {
+		seenMark := ""
+		if seen[rev.Num] {
+			seenMark = " <B>(seen by you)</B>"
+		}
+		fmt.Fprintf(&sb, `<LI>%s &mdash; %s by %s%s [<A HREF="/co?url=%s&rev=%s">view</A>]`,
+			rev.Num, rev.Date.UTC().Format(time.ANSIC), html.EscapeString(rev.Author), seenMark, esc, rev.Num)
+		if i+1 < len(revs) {
+			fmt.Fprintf(&sb, ` [<A HREF="/diff?url=%s&r1=%s&r2=%s">diff to %s</A>]`,
+				esc, revs[i+1].Num, rev.Num, revs[i+1].Num)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</UL>\n</BODY></HTML>\n")
+	fmt.Fprint(w, sb.String())
+}
+
+// handleCheckout serves an archived revision (/cgi-bin/co of §8.1),
+// injecting a BASE directive so relative links resolve against the
+// original location rather than the facility (§4.1).
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pageURL := q.Get("url")
+	if pageURL == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	var text string
+	var err error
+	if dateStr := q.Get("date"); dateStr != "" {
+		var t time.Time
+		t, err = time.Parse(time.RFC3339, dateStr)
+		if err != nil {
+			http.Error(w, "bad date (want RFC 3339): "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		text, _, err = s.Facility.CheckoutAtDate(pageURL, t)
+	} else {
+		text, err = s.Facility.Checkout(pageURL, q.Get("rev"))
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, InjectBase(text, pageURL))
+}
+
+// handleRlog renders the plain revision log (/cgi-bin/rlog of §8.1).
+func (s *Server) handleRlog(w http.ResponseWriter, r *http.Request) {
+	_, pageURL := userURL(r)
+	if pageURL == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	revs, _, err := s.Facility.History("", pageURL)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<HTML><BODY><H1>rlog %s</H1>\n<PRE>\n", html.EscapeString(pageURL))
+	for _, rev := range revs {
+		fmt.Fprintf(&sb, "revision %s\ndate: %s;  author: %s\n%s\n----------------------------\n",
+			rev.Num, rev.Date.UTC().Format("2006/01/02 15:04:05"), html.EscapeString(rev.Author),
+			html.EscapeString(rev.Log))
+	}
+	sb.WriteString("</PRE></BODY></HTML>\n")
+	fmt.Fprint(w, sb.String())
+}
+
+// handleRcsdiff shows differences between two revisions: HtmlDiff for
+// HTML documents, a <PRE> unified diff otherwise ("If the file's name
+// ends in .html then HtmlDiff is used", §8.1 — here selected by the
+// mode parameter with HtmlDiff as the HTML-era default).
+func (s *Server) handleRcsdiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pageURL, r1, r2 := q.Get("url"), q.Get("r1"), q.Get("r2")
+	if pageURL == "" || r1 == "" || r2 == "" {
+		http.Error(w, "need url, r1, r2 parameters", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	if q.Get("mode") == "text" {
+		d, err := s.Facility.archive(pageURL).DiffRevs(r1, r2)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		fmt.Fprintf(w, "<HTML><BODY><PRE>%s</PRE></BODY></HTML>\n", html.EscapeString(d))
+		return
+	}
+	res, err := s.Facility.DiffRevs(pageURL, r1, r2)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	fmt.Fprint(w, res.HTML)
+}
+
+// withKeepalive runs work while trickling ignorable bytes to the client,
+// then writes the result. This reproduces the §4.2 hack: "snapshot forks
+// a child process that generates one space character (ignored by the W3
+// browser) every several seconds while the parent is retrieving a page
+// or executing HtmlDiff".
+func (s *Server) withKeepalive(w http.ResponseWriter, work func() (string, error)) {
+	if s.KeepaliveInterval <= 0 {
+		out, err := work()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		fmt.Fprint(w, out)
+		return
+	}
+	type outcome struct {
+		out string
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		out, err := work()
+		done <- outcome{out, err}
+	}()
+	ticker := time.NewTicker(s.KeepaliveInterval)
+	defer ticker.Stop()
+	flusher, _ := w.(http.Flusher)
+	for {
+		select {
+		case <-ticker.C:
+			// One space, ignored by the browser, keeps httpd happy.
+			fmt.Fprint(w, " ")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case o := <-done:
+			if o.err != nil {
+				// Headers may already be out; deliver the error in-band.
+				fmt.Fprintf(w, "<HTML><BODY><B>Error:</B> %s</BODY></HTML>\n",
+					html.EscapeString(o.err.Error()))
+				return
+			}
+			fmt.Fprint(w, o.out)
+			return
+		}
+	}
+}
+
+// InjectBase inserts a <BASE HREF=...> directive so that relative links
+// in an archived copy resolve against the page's original home (§4.1).
+// The directive goes just after <HEAD> when present, else at the front.
+func InjectBase(doc, baseURL string) string {
+	tag := fmt.Sprintf("<BASE HREF=\"%s\">", baseURL)
+	upper := strings.ToUpper(doc)
+	if strings.Contains(upper, "<BASE") {
+		return doc // author already set one
+	}
+	if i := strings.Index(upper, "<HEAD>"); i >= 0 {
+		at := i + len("<HEAD>")
+		return doc[:at] + tag + doc[at:]
+	}
+	return tag + doc
+}
+
+func escapeQuery(s string) string {
+	r := strings.NewReplacer("%", "%25", "&", "%26", "+", "%2B", " ", "%20", "#", "%23", "?", "%3F", "=", "%3D", "/", "%2F", ":", "%3A")
+	return r.Replace(s)
+}
+
+// httpError maps facility errors to HTTP statuses.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, rcs.ErrNoRevision),
+		errors.Is(err, rcs.ErrNoArchive),
+		errors.Is(err, ErrNeverSaved):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

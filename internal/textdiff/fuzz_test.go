@@ -1,0 +1,39 @@
+package textdiff
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzEdRoundTrip: for any two line sets, the ed script from a to b must
+// apply cleanly and reproduce b.
+func FuzzEdRoundTrip(f *testing.F) {
+	f.Add("a\nb\nc", "a\nc\nd")
+	f.Add("", "x")
+	f.Add("same", "same")
+	f.Add("1\n2\n3\n4\n5", "5\n4\n3\n2\n1")
+	f.Fuzz(func(t *testing.T, rawA, rawB string) {
+		a := strings.Split(rawA, "\n")
+		b := strings.Split(rawB, "\n")
+		got, err := ApplyEd(a, EdScript(a, b))
+		if err != nil {
+			t.Fatalf("ApplyEd: %v", err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Fatalf("round trip:\n a=%q\n b=%q\n got=%q", a, b, got)
+		}
+	})
+}
+
+// FuzzApplyEdArbitraryScript: arbitrary scripts must be rejected or
+// applied without panicking.
+func FuzzApplyEdArbitraryScript(f *testing.F) {
+	f.Add("line1\nline2", "d1 1\n")
+	f.Add("x", "a0 1\nnew\n")
+	f.Add("x", "not a script")
+	f.Fuzz(func(t *testing.T, rawA, script string) {
+		a := strings.Split(rawA, "\n")
+		_, _ = ApplyEd(a, script)
+	})
+}

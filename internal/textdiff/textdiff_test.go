@@ -1,0 +1,255 @@
+package textdiff
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lines(s ...string) []string { return s }
+
+func TestLinesJoinRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"one\n",
+		"one\ntwo\n",
+		"one\n\nthree\n",
+	}
+	for _, c := range cases {
+		if got := Join(Lines(c)); got != c {
+			t.Errorf("Join(Lines(%q)) = %q", c, got)
+		}
+	}
+	// Without a trailing newline the round trip normalises; the flag
+	// records the difference.
+	if HasTrailingNewline("a\nb") {
+		t.Error("HasTrailingNewline(a\\nb) = true")
+	}
+	if !HasTrailingNewline("a\nb\n") {
+		t.Error("HasTrailingNewline(a\\nb\\n) = false")
+	}
+	if got := Join(Lines("a\nb")); got != "a\nb\n" {
+		t.Errorf("Join(Lines(a\\nb)) = %q", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := lines("x", "y", "z")
+	hunks := Diff(a, a)
+	if len(hunks) != 1 || hunks[0].Kind != Equal {
+		t.Fatalf("want single Equal hunk, got %v", hunks)
+	}
+}
+
+func TestDiffKinds(t *testing.T) {
+	a := lines("keep1", "del", "keep2")
+	b := lines("keep1", "keep2", "new")
+	hunks := Diff(a, b)
+	var kinds []OpKind
+	for _, h := range hunks {
+		kinds = append(kinds, h.Kind)
+	}
+	want := []OpKind{Equal, Delete, Equal, Insert}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kinds = %v, want %v (hunks %+v)", kinds, want, hunks)
+	}
+	add, del := Stats(hunks)
+	if add != 1 || del != 1 {
+		t.Errorf("Stats = (%d,%d), want (1,1)", add, del)
+	}
+}
+
+func TestDiffReplace(t *testing.T) {
+	a := lines("a", "old", "z")
+	b := lines("a", "new", "z")
+	hunks := Diff(a, b)
+	found := false
+	for _, h := range hunks {
+		if h.Kind == Replace {
+			found = true
+			if h.AHi-h.ALo != 1 || h.BHi-h.BLo != 1 {
+				t.Errorf("replace ranges wrong: %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no Replace hunk in %+v", hunks)
+	}
+}
+
+// coverInvariant checks the hunk list fully covers both inputs in order.
+func coverInvariant(t *testing.T, a, b []string, hunks []Hunk) {
+	t.Helper()
+	ai, bi := 0, 0
+	for _, h := range hunks {
+		if h.ALo != ai || h.BLo != bi {
+			t.Fatalf("gap before hunk %+v (ai=%d bi=%d)", h, ai, bi)
+		}
+		if h.AHi < h.ALo || h.BHi < h.BLo {
+			t.Fatalf("inverted hunk %+v", h)
+		}
+		if h.Kind == Equal {
+			if h.AHi-h.ALo != h.BHi-h.BLo {
+				t.Fatalf("unequal Equal hunk %+v", h)
+			}
+			for k := 0; k < h.AHi-h.ALo; k++ {
+				if a[h.ALo+k] != b[h.BLo+k] {
+					t.Fatalf("Equal hunk content mismatch at %d", k)
+				}
+			}
+		}
+		ai, bi = h.AHi, h.BHi
+	}
+	if ai != len(a) || bi != len(b) {
+		t.Fatalf("hunks do not cover inputs: end (%d,%d) want (%d,%d)", ai, bi, len(a), len(b))
+	}
+}
+
+func randLines(r *rand.Rand, n int) []string {
+	words := []string{"alpha", "beta", "gamma", "delta", "", "epsilon"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.Intn(len(words))]
+	}
+	return out
+}
+
+func TestPropertyDiffCoversAndApplies(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		a := randLines(r, r.Intn(40))
+		b := randLines(r, r.Intn(40))
+		hunks := Diff(a, b)
+		coverInvariant(t, a, b, hunks)
+		script := EdScript(a, b)
+		got, err := ApplyEd(a, script)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyEd: %v\nscript:\n%s", trial, err, script)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(b)) {
+			t.Fatalf("trial %d: ApplyEd mismatch\n a=%q\n b=%q\n got=%q\nscript:\n%s",
+				trial, a, b, got, script)
+		}
+	}
+}
+
+func normalize(s []string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+func TestQuickEdRoundTrip(t *testing.T) {
+	f := func(ra, rb []byte) bool {
+		a := bytesToLines(ra)
+		b := bytesToLines(rb)
+		got, err := ApplyEd(a, EdScript(a, b))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func bytesToLines(raw []byte) []string {
+	if len(raw) > 48 {
+		raw = raw[:48]
+	}
+	out := make([]string, len(raw))
+	for i, c := range raw {
+		out[i] = strings.Repeat(string(rune('a'+int(c)%5)), 1+int(c)%3)
+	}
+	return out
+}
+
+func TestEdScriptEmptyForIdentical(t *testing.T) {
+	a := lines("same", "same2")
+	if s := EdScript(a, a); s != "" {
+		t.Errorf("EdScript identical = %q, want empty", s)
+	}
+}
+
+func TestApplyEdErrors(t *testing.T) {
+	a := lines("one", "two")
+	cases := []string{
+		"x1 1\n",        // unknown op
+		"d0 1\n",        // line < 1
+		"d2 5\n",        // delete past end
+		"a9 1\nzz\n",    // append past end
+		"a1 3\nonly\n",  // truncated insert block
+		"d1 1\nd1 1\n",  // overlapping deletes
+		"d1 2\na1 1\nx", // append into deleted range
+	}
+	for _, c := range cases {
+		if _, err := ApplyEd(a, c); err == nil {
+			t.Errorf("ApplyEd(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestUnifiedBasic(t *testing.T) {
+	a := lines("ctx1", "ctx2", "old", "ctx3", "ctx4")
+	b := lines("ctx1", "ctx2", "new", "ctx3", "ctx4")
+	u := Unified("a.txt", "b.txt", a, b, 1)
+	for _, want := range []string{"--- a.txt", "+++ b.txt", "-old", "+new", " ctx2", " ctx3"} {
+		if !strings.Contains(u, want) {
+			t.Errorf("unified output missing %q:\n%s", want, u)
+		}
+	}
+	if strings.Contains(u, "ctx1") {
+		t.Errorf("unified output includes line outside context window:\n%s", u)
+	}
+}
+
+func TestUnifiedIdenticalEmpty(t *testing.T) {
+	a := lines("x")
+	if u := Unified("a", "b", a, a, 3); u != "" {
+		t.Errorf("identical unified = %q", u)
+	}
+}
+
+func TestUnifiedHeaderRanges(t *testing.T) {
+	a := lines("1", "2", "3")
+	b := lines("1", "2", "3", "4")
+	u := Unified("a", "b", a, b, 0)
+	if !strings.Contains(u, "@@ -3,0 +4 @@") {
+		t.Errorf("unexpected hunk header:\n%s", u)
+	}
+}
+
+func BenchmarkDiff1000Lines(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	a := randLines(r, 1000)
+	bb := append([]string(nil), a...)
+	for i := 0; i < len(bb); i += 20 {
+		bb[i] = "CHANGED-" + bb[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diff(a, bb)
+	}
+}
+
+func BenchmarkEdScriptApply(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	a := randLines(r, 1000)
+	bb := append([]string(nil), a...)
+	for i := 0; i < len(bb); i += 20 {
+		bb[i] = "CHANGED-" + bb[i]
+	}
+	script := EdScript(a, bb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyEd(a, script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

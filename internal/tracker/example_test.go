@@ -1,0 +1,60 @@
+package tracker_test
+
+import (
+	"fmt"
+	"time"
+
+	"aide/internal/hotlist"
+	"aide/internal/simclock"
+	"aide/internal/tracker"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// Example runs one w3newer pass over a two-page hotlist: one page
+// changed since the user's visit, one did not.
+func Example() {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	news := web.Site("news.example").Page("/daily")
+	news.Set("<P>old headline.</P>")
+	web.Site("docs.example").Page("/manual").Set("<P>the manual.</P>")
+
+	hist := hotlist.NewHistory()
+	visit := clock.Now().Add(time.Hour)
+	hist.Visit("http://news.example/daily", visit)
+	hist.Visit("http://docs.example/manual", visit)
+
+	// Two days later the news page changes.
+	web.Advance(48 * time.Hour)
+	news.Set("<P>fresh headline!</P>")
+
+	cfg, _ := w3config.ParseString("Default 0\n")
+	tr := tracker.New(webclient.New(web), cfg, hist, clock)
+	for _, r := range tr.Run([]hotlist.Entry{
+		{URL: "http://news.example/daily", Title: "Daily News"},
+		{URL: "http://docs.example/manual", Title: "The Manual"},
+	}) {
+		fmt.Printf("%s: %s\n", r.Entry.Title, r.Status)
+	}
+	// Output:
+	// Daily News: changed
+	// The Manual: unchanged
+}
+
+// ExampleParsePriorities shows the §7 Tapestry-style priority file.
+func ExampleParsePriorities() {
+	p, _ := tracker.ParsePrioritiesString(`
+http://www\.research\.att\.com/.* 10
+http://www\.yahoo\.com/.* -3
+Default 0
+`)
+	fmt.Println(p.WeightFor("http://www.research.att.com/ssr/"))
+	fmt.Println(p.WeightFor("http://www.yahoo.com/Computers/"))
+	fmt.Println(p.WeightFor("http://elsewhere.example/"))
+	// Output:
+	// 10
+	// -3
+	// 0
+}

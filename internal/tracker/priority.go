@@ -1,0 +1,120 @@
+package tracker
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file implements the §7 remedy for information overload: "Merely
+// sorting URLs by most recent modification dates is not satisfactory
+// when the number of URLs grows into the hundreds. Instead, we are
+// moving toward a user-specified prioritization of URLs along the lines
+// of the Tapestry system."
+//
+// A priority file pairs URL patterns with weights, in the same
+// first-match-wins style as the Table 1 threshold file:
+//
+//	# pattern                                weight
+//	http://www\.research\.att\.com/.*        10
+//	http://.*\.cs\..*\.edu/.*                5
+//	http://www\.yahoo\.com/.*                -3
+//	Default                                  0
+//
+// The report sorts primarily by status (changed first), then by the
+// user's weight, then by recency — so a high-priority unchanged page
+// still ranks below a low-priority changed one, but among the changed
+// pages the user's interests dominate pure recency.
+
+// PriorityRule pairs a pattern with a user-assigned weight.
+type PriorityRule struct {
+	// Raw is the pattern as written.
+	Raw string
+	// Pattern is the compiled, fully anchored form.
+	Pattern *regexp.Regexp
+	// Weight is the user's priority; higher sorts first.
+	Weight float64
+}
+
+// Priorities is an ordered rule list; the first match wins.
+type Priorities struct {
+	// Rules are consulted in file order.
+	Rules []PriorityRule
+	// Default applies when no rule matches.
+	Default float64
+}
+
+// ParsePriorities reads a priority file.
+func ParsePriorities(r io.Reader) (*Priorities, error) {
+	p := &Priorities{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("tracker: priorities line %d: want \"pattern weight\", got %q", lineNo, line)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tracker: priorities line %d: bad weight %q: %v", lineNo, fields[1], err)
+		}
+		if fields[0] == "Default" {
+			p.Default = w
+			continue
+		}
+		re, err := regexp.Compile("^(?:" + fields[0] + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("tracker: priorities line %d: bad pattern %q: %v", lineNo, fields[0], err)
+		}
+		p.Rules = append(p.Rules, PriorityRule{Raw: fields[0], Pattern: re, Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParsePrioritiesString is ParsePriorities over a string.
+func ParsePrioritiesString(s string) (*Priorities, error) {
+	return ParsePriorities(strings.NewReader(s))
+}
+
+// WeightFor returns the weight governing url.
+func (p *Priorities) WeightFor(url string) float64 {
+	for _, r := range p.Rules {
+		if r.Pattern.MatchString(url) {
+			return r.Weight
+		}
+	}
+	return p.Default
+}
+
+// Score returns a ReportOptions.Score value combining status, the
+// user's weights, and recency. Status dominates (changed > error >
+// unchanged > skipped), user weight breaks ties within a status class,
+// and recency breaks ties within a weight.
+func (p *Priorities) Score(r Result) float64 {
+	var rank float64
+	switch r.Status {
+	case Changed:
+		rank = 3
+	case Failed:
+		rank = 2
+	case Unchanged:
+		rank = 1
+	}
+	weight := p.WeightFor(r.Entry.URL)
+	recency := 0.0
+	if !r.LastModified.IsZero() {
+		recency = float64(r.LastModified.Unix()) / 1e12 // < 1 for any sane date
+	}
+	return rank*1e7 + weight*10 + recency
+}

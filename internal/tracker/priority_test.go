@@ -1,0 +1,90 @@
+package tracker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/hotlist"
+)
+
+const prioritySample = `# my interests
+http://www\.research\.att\.com/.* 10
+http://.*\.edu/.* 5
+http://www\.yahoo\.com/.* -3
+Default 0
+`
+
+func TestParsePriorities(t *testing.T) {
+	p, err := ParsePrioritiesString(prioritySample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]float64{
+		"http://www.research.att.com/ssr/":         10,
+		"http://snapple.cs.washington.edu/mobile/": 5,
+		"http://www.yahoo.com/Computers/":          -3,
+		"http://unmatched.example/":                0,
+	}
+	for url, want := range cases {
+		if got := p.WeightFor(url); got != want {
+			t.Errorf("WeightFor(%s) = %v, want %v", url, got, want)
+		}
+	}
+}
+
+func TestParsePrioritiesErrors(t *testing.T) {
+	for _, src := range []string{
+		"http://x/ notanumber\n",
+		"onlyonefield\n",
+		"http://[bad 1\n",
+	} {
+		if _, err := ParsePrioritiesString(src); err == nil {
+			t.Errorf("ParsePriorities(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPriorityScoreOrdering(t *testing.T) {
+	p, err := ParsePrioritiesString(prioritySample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	older := time.Date(1995, 9, 1, 0, 0, 0, 0, time.UTC)
+	newer := time.Date(1995, 11, 1, 0, 0, 0, 0, time.UTC)
+	results := []Result{
+		{Entry: hotlist.Entry{URL: "http://www.yahoo.com/x", Title: "LowPriChanged"},
+			Status: Changed, LastModified: newer},
+		{Entry: hotlist.Entry{URL: "http://www.research.att.com/y", Title: "HighPriChanged"},
+			Status: Changed, LastModified: older},
+		{Entry: hotlist.Entry{URL: "http://www.research.att.com/z", Title: "HighPriUnchanged"},
+			Status: Unchanged, LastModified: newer},
+		{Entry: hotlist.Entry{URL: "http://plain.example/", Title: "MidChangedNewer"},
+			Status: Changed, LastModified: newer},
+		{Entry: hotlist.Entry{URL: "http://plain.example/2", Title: "MidChangedOlder"},
+			Status: Changed, LastModified: older},
+	}
+	html := Report(results, ReportOptions{Prioritize: true, Score: p.Score})
+	pos := func(title string) int { return strings.Index(html, title) }
+	// Changed beats unchanged regardless of weight; among changed, the
+	// user's weight dominates recency; within equal weight, recency wins.
+	order := []string{"HighPriChanged", "MidChangedNewer", "MidChangedOlder", "LowPriChanged", "HighPriUnchanged"}
+	for i := 1; i < len(order); i++ {
+		if !(pos(order[i-1]) < pos(order[i])) {
+			t.Fatalf("order violated: %s should precede %s\n%s", order[i-1], order[i], html)
+		}
+	}
+}
+
+func TestPriorityFirstMatchWins(t *testing.T) {
+	p, err := ParsePrioritiesString("http://h/special/.* 9\nhttp://h/.* 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.WeightFor("http://h/special/x"); got != 9 {
+		t.Errorf("specific = %v", got)
+	}
+	if got := p.WeightFor("http://h/other"); got != 1 {
+		t.Errorf("general = %v", got)
+	}
+}

@@ -1,0 +1,569 @@
+// Package tracker implements w3newer, AIDE's modification tracker (§3).
+//
+// A run walks the user's hotlist and decides, per URL, whether the page
+// has changed since the browser history says the user last saw it —
+// while avoiding as many HTTP requests as possible:
+//
+//   - pages already known to be modified since the last visit (from the
+//     tracker's own state cache or from the proxy-cache daemon) are
+//     reported without any HTTP, unless that knowledge is stale;
+//   - pages visited within their per-URL threshold (Table 1) are not
+//     checked at all;
+//   - pages checked within their threshold are answered from the cached
+//     verdict;
+//   - file: URLs are stat()ed on every run (cheap);
+//   - URLs excluded by the robot exclusion protocol are not fetched, and
+//     the exclusion is cached;
+//   - pages without Last-Modified (CGI output) fall back to checksums.
+//
+// Error handling follows §3.1: errors are assumed transient and retried
+// next run by default; a flag treats an erroring URL as checked so it is
+// polled no more often than a healthy one; host-level failures can skip
+// the host's remaining URLs for the run; inaccessible URLs appear in the
+// report so the user can prune them.
+package tracker
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/formreg"
+	"aide/internal/hotlist"
+	"aide/internal/htmldoc"
+	"aide/internal/robots"
+	"aide/internal/simclock"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+)
+
+// Status is the per-URL outcome of a run.
+type Status int
+
+// Statuses, in report order.
+const (
+	// Changed: modified since the user last saw it.
+	Changed Status = iota
+	// Unchanged: checked (or known) and already seen by the user.
+	Unchanged
+	// NotChecked: skipped this run (threshold, host error, or "never").
+	NotChecked
+	// Excluded: robots.txt forbids automated retrieval.
+	Excluded
+	// Failed: the check errored; see Err.
+	Failed
+)
+
+// String names the status as the report shows it.
+func (s Status) String() string {
+	switch s {
+	case Changed:
+		return "changed"
+	case Unchanged:
+		return "unchanged"
+	case NotChecked:
+		return "not checked"
+	case Excluded:
+		return "robot-excluded"
+	case Failed:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Result is one row of a run's outcome.
+type Result struct {
+	// Entry is the hotlist item.
+	Entry hotlist.Entry
+	// Status is the verdict.
+	Status Status
+	// LastModified is the page's modification time, when known.
+	LastModified time.Time
+	// LastVisited is the browser history's view, when known.
+	LastVisited time.Time
+	// Via names the information source: "state-cache", "proxy", "HEAD",
+	// "GET+checksum", "stat", "threshold", "visited-recently",
+	// "host-error", "never".
+	Via string
+	// Err is the failure for Status Failed.
+	Err error
+	// ErrKind classifies Err.
+	ErrKind webclient.ErrKind
+	// ErrCount is how many consecutive runs have failed for this URL.
+	ErrCount int
+	// Bulletin is the page's Smart-Bookmarks-style self-description
+	// (§2.1), when the check happened to fetch the body and one was
+	// embedded. Informational only: the paper's critique is that the
+	// maintainer's "what's new" is not the reader's.
+	Bulletin string
+}
+
+// State is the tracker's persistent per-URL memory across runs ("a
+// cached modification date from previous runs of w3newer").
+type State struct {
+	URL           string    `json:"url"`
+	LastModified  time.Time `json:"last_modified,omitzero"`
+	Checksum      string    `json:"checksum,omitempty"`
+	CheckedAt     time.Time `json:"checked_at,omitzero"`
+	ErrCount      int       `json:"err_count,omitempty"`
+	RobotExcluded bool      `json:"robot_excluded,omitempty"`
+}
+
+// ModOracle is the proxy-cache daemon interface (internal/proxycache).
+type ModOracle interface {
+	// ModInfo returns the cached modification date for url and when that
+	// information was obtained.
+	ModInfo(url string) (lastMod, cachedAt time.Time, ok bool)
+}
+
+// Options configure a Tracker.
+type Options struct {
+	// StaleAfter is how old cached modification knowledge may be before
+	// HTTP is used anyway ("currently, the threshold is one week").
+	StaleAfter time.Duration
+	// TreatErrorsAsChecked makes an erroring URL count as checked, so it
+	// is polled with the same frequency as an accessible one (§3.1's
+	// second flag).
+	TreatErrorsAsChecked bool
+	// SkipHostAfterError skips a host's remaining URLs once one of its
+	// URLs has hit a transport error this run.
+	SkipHostAfterError bool
+	// IgnoreRobots bypasses the robot exclusion protocol (§3.1's
+	// "special flag set when the script is invoked").
+	IgnoreRobots bool
+	// TrustOracle treats the Proxy oracle as authoritative: any entry
+	// it has for a URL answers the check outright, with no staleness or
+	// threshold reasoning. This models §3.1's push-notification regime,
+	// where the oracle is a notification relay kept current by content
+	// providers rather than a best-effort cache.
+	TrustOracle bool
+	// Concurrency bounds the number of simultaneous checks. Values <= 1
+	// keep the paper's serial, script-like behaviour. With concurrency,
+	// SkipHostAfterError becomes best-effort: checks already in flight
+	// when a host fails are not recalled.
+	Concurrency int
+}
+
+// Tracker is a w3newer instance bound to one user's inputs.
+type Tracker struct {
+	// Client performs the checks; required.
+	Client *webclient.Client
+	// Config holds the per-URL thresholds; required.
+	Config *w3config.Config
+	// History is the browser history; required.
+	History *hotlist.History
+	// Robots, when non-nil, enforces the robot exclusion protocol.
+	Robots *robots.Cache
+	// Proxy, when non-nil, is consulted for cached modification dates
+	// before any HTTP request.
+	Proxy ModOracle
+	// Forms, when non-nil, resolves form:<id> pseudo-URLs to saved
+	// POST invocations (§8.4).
+	Forms *formreg.Registry
+	// Clock provides time; wall clock when nil.
+	Clock simclock.Clock
+	// Opt are the behavioural flags.
+	Opt Options
+
+	mu     sync.Mutex
+	states map[string]*State
+}
+
+// DefaultStaleAfter matches the paper's one-week staleness threshold.
+const DefaultStaleAfter = 7 * 24 * time.Hour
+
+// New returns a tracker with empty state.
+func New(client *webclient.Client, cfg *w3config.Config, hist *hotlist.History, clock simclock.Clock) *Tracker {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Tracker{
+		Client:  client,
+		Config:  cfg,
+		History: hist,
+		Clock:   clock,
+		Opt:     Options{StaleAfter: DefaultStaleAfter},
+		states:  make(map[string]*State),
+	}
+}
+
+// state returns (creating if needed) the persistent state for url.
+func (t *Tracker) state(url string) *State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.states[url]
+	if !ok {
+		s = &State{URL: url}
+		t.states[url] = s
+	}
+	return s
+}
+
+// hostErrs tracks hosts that have failed during a run, for the
+// skip-host-after-error policy. It is safe for concurrent use.
+type hostErrs struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func newHostErrs() *hostErrs { return &hostErrs{m: make(map[string]bool)} }
+
+func (h *hostErrs) bad(host string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.m[host]
+}
+
+func (h *hostErrs) markBad(host string) {
+	if host == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.m[host] = true
+}
+
+// Run checks every hotlist entry and returns one result per entry, in
+// hotlist order. With Opt.Concurrency > 1, distinct URLs are checked in
+// parallel up to the bound; duplicate hotlist entries share one check.
+func (t *Tracker) Run(entries []hotlist.Entry) []Result {
+	badHosts := newHostErrs()
+	if t.Opt.Concurrency <= 1 {
+		results := make([]Result, 0, len(entries))
+		for _, e := range entries {
+			r := t.checkOne(e, badHosts)
+			t.noteFailure(r, badHosts)
+			results = append(results, r)
+		}
+		return results
+	}
+	return t.runConcurrent(entries, badHosts)
+}
+
+// noteFailure records a transient host failure for skip-host logic.
+func (t *Tracker) noteFailure(r Result, badHosts *hostErrs) {
+	if t.Opt.SkipHostAfterError && r.Status == Failed && r.ErrKind == webclient.Transient {
+		badHosts.markBad(hostOf(r.Entry.URL))
+	}
+}
+
+// runConcurrent fans the checks out over a bounded worker pool. Results
+// keep hotlist order; entries naming the same URL are checked once and
+// share the outcome (their own Entry is preserved in each Result).
+func (t *Tracker) runConcurrent(entries []hotlist.Entry, badHosts *hostErrs) []Result {
+	results := make([]Result, len(entries))
+	// Group duplicate URLs: per-URL state is not designed for two
+	// simultaneous checks of the same page, and one check suffices.
+	first := make(map[string]int, len(entries))
+	var order []int // indexes of the first occurrence of each URL
+	for i, e := range entries {
+		if _, dup := first[e.URL]; !dup {
+			first[e.URL] = i
+			order = append(order, i)
+		}
+	}
+	sem := make(chan struct{}, t.Opt.Concurrency)
+	var wg sync.WaitGroup
+	for _, idx := range order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			r := t.checkOne(entries[idx], badHosts)
+			t.noteFailure(r, badHosts)
+			results[idx] = r
+		}(idx)
+	}
+	wg.Wait()
+	// Fill in duplicates from their primary's outcome.
+	for i, e := range entries {
+		if p := first[e.URL]; p != i {
+			r := results[p]
+			r.Entry = e
+			results[i] = r
+		}
+	}
+	return results
+}
+
+// checkOne applies the §3 decision procedure to one URL.
+func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
+	now := t.Clock.Now()
+	r := Result{Entry: e}
+	st := t.state(e.URL)
+
+	lastVisited, visited := t.History.LastVisited(e.URL)
+	if !visited && !e.LastVisit.IsZero() {
+		// Netscape keeps last-visit in the bookmark file itself.
+		lastVisited, visited = e.LastVisit, true
+	}
+	r.LastVisited = lastVisited
+
+	th := t.Config.ThresholdFor(e.URL)
+	if th.Never {
+		r.Status = NotChecked
+		r.Via = "never"
+		return r
+	}
+
+	// Cached robot exclusion short-circuits everything (§3.1: "that fact
+	// is cached so the page is not accessed again").
+	if st.RobotExcluded && !t.Opt.IgnoreRobots {
+		r.Status = Excluded
+		r.Via = "state-cache"
+		return r
+	}
+
+	// Host already known bad this run?
+	if badHosts.bad(hostOf(e.URL)) {
+		r.Status = NotChecked
+		r.Via = "host-error"
+		return r
+	}
+
+	isFile := strings.HasPrefix(e.URL, "file:")
+
+	// An authoritative oracle (a push-notification relay) answers the
+	// whole check: whatever modification date it holds is current.
+	if !isFile && t.Opt.TrustOracle && t.Proxy != nil {
+		if mod, _, ok := t.Proxy.ModInfo(e.URL); ok {
+			t.recordSuccess(st, mod, "", now)
+			return t.verdict(r, mod, lastVisited, visited, "proxy")
+		}
+	}
+
+	// Known-modified shortcut: if a cached date (our state or the proxy
+	// daemon) says the page changed after the user's last visit, and
+	// that knowledge is fresh, report without HTTP.
+	if !isFile {
+		if mod, via, ok := t.cachedModDate(st, now); ok {
+			if visited && mod.After(lastVisited) {
+				r.Status = Changed
+				r.LastModified = mod
+				r.Via = via
+				return r
+			}
+		}
+	}
+
+	// Visited within the threshold: not checked (§3: "If the page was
+	// visited within the threshold ... the page is not checked").
+	if !isFile && visited && th.Every > 0 && now.Sub(lastVisited) < th.Every {
+		r.Status = NotChecked
+		r.Via = "visited-recently"
+		return r
+	}
+
+	// Proxy information current with respect to the threshold counts as
+	// a check.
+	if !isFile && t.Proxy != nil {
+		if mod, cachedAt, ok := t.Proxy.ModInfo(e.URL); ok && th.Every > 0 && now.Sub(cachedAt) < th.Every {
+			t.recordSuccess(st, mod, "", now)
+			return t.verdict(r, mod, lastVisited, visited, "proxy")
+		}
+	}
+
+	// Checked within the threshold: reuse the cached verdict rather than
+	// issuing another HEAD (thresholds bound "the maximum frequency of
+	// direct HEAD requests").
+	if !isFile && !st.CheckedAt.IsZero() && th.Every > 0 && now.Sub(st.CheckedAt) < th.Every {
+		if !st.LastModified.IsZero() {
+			return t.verdict(r, st.LastModified, lastVisited, visited, "state-cache")
+		}
+		r.Status = NotChecked
+		r.Via = "threshold"
+		return r
+	}
+
+	// Robot exclusion protocol, before touching the page itself.
+	if !isFile && t.Robots != nil && !t.Opt.IgnoreRobots && !t.Robots.Allowed(e.URL) {
+		st.RobotExcluded = true
+		r.Status = Excluded
+		r.Via = "robots.txt"
+		return r
+	}
+
+	// Direct check over the wire (a stat for file: URLs, a replayed
+	// POST for saved forms).
+	var info webclient.PageInfo
+	var err error
+	if t.Forms != nil && formreg.IsFormURL(e.URL) {
+		info, err = t.Forms.Invoke(t.Client, e.URL)
+	} else {
+		info, err = t.Client.Check(e.URL)
+	}
+	if err != nil {
+		st.ErrCount++
+		if t.Opt.TreatErrorsAsChecked {
+			st.CheckedAt = now
+		}
+		r.Status = Failed
+		r.Via = "HEAD"
+		r.Err = err
+		r.ErrKind = webclient.Classify(0, err)
+		r.ErrCount = st.ErrCount
+		return r
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		st.ErrCount++
+		if t.Opt.TreatErrorsAsChecked {
+			st.CheckedAt = now
+		}
+		r.Status = Failed
+		r.Via = "HEAD"
+		r.Err = fmt.Errorf("HTTP status %d", info.Status)
+		r.ErrKind = kind
+		r.ErrCount = st.ErrCount
+		return r
+	}
+
+	via := "HEAD"
+	if isFile {
+		via = "stat"
+	}
+	if info.HasBody {
+		if b, ok := htmldoc.Bulletin(info.Body); ok {
+			r.Bulletin = b
+		}
+	}
+	mod := info.LastModified
+	if !info.HasLastModified {
+		// Checksum strategy: no Last-Modified available.
+		via = "GET+checksum"
+		changed := st.Checksum != "" && st.Checksum != info.Checksum
+		firstSight := st.Checksum == ""
+		t.recordSuccess(st, time.Time{}, info.Checksum, now)
+		switch {
+		case firstSight && visited:
+			// First checksum; assume the visit saw this content.
+			r.Status = Unchanged
+		case firstSight, changed:
+			r.Status = Changed
+			r.LastModified = now // best effort: changed by now
+		default:
+			r.Status = Unchanged
+		}
+		r.Via = via
+		return r
+	}
+	t.recordSuccess(st, mod, "", now)
+	return t.verdict(r, mod, lastVisited, visited, via)
+}
+
+// verdict fills a result given a known modification date.
+func (t *Tracker) verdict(r Result, mod, lastVisited time.Time, visited bool, via string) Result {
+	r.LastModified = mod
+	r.Via = via
+	if !visited || mod.After(lastVisited) {
+		r.Status = Changed
+	} else {
+		r.Status = Unchanged
+	}
+	return r
+}
+
+// cachedModDate returns a fresh cached modification date from the state
+// cache or the proxy daemon, with its source label.
+func (t *Tracker) cachedModDate(st *State, now time.Time) (time.Time, string, bool) {
+	stale := t.Opt.StaleAfter
+	if stale <= 0 {
+		stale = DefaultStaleAfter
+	}
+	if !st.LastModified.IsZero() && !st.CheckedAt.IsZero() && now.Sub(st.CheckedAt) < stale {
+		return st.LastModified, "state-cache", true
+	}
+	if t.Proxy != nil {
+		if mod, cachedAt, ok := t.Proxy.ModInfo(st.URL); ok && now.Sub(cachedAt) < stale {
+			return mod, "proxy", true
+		}
+	}
+	return time.Time{}, "", false
+}
+
+// recordSuccess updates the per-URL state after a successful check.
+func (t *Tracker) recordSuccess(st *State, mod time.Time, checksum string, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !mod.IsZero() {
+		st.LastModified = mod
+	}
+	if checksum != "" {
+		st.Checksum = checksum
+	}
+	st.CheckedAt = now
+	st.ErrCount = 0
+}
+
+func hostOf(url string) string {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// --- state persistence -------------------------------------------------------
+
+// SaveState writes the per-URL state cache to path (JSON lines would be
+// overkill; a single JSON array keeps it human-inspectable).
+func (t *Tracker) SaveState(path string) error {
+	t.mu.Lock()
+	states := make([]*State, 0, len(t.states))
+	for _, s := range t.states {
+		states = append(states, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].URL < states[j].URL })
+	data, err := json.MarshalIndent(states, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadState reads a state cache written by SaveState. A missing file is
+// not an error: the first run starts cold.
+func (t *Tracker) LoadState(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var states []*State
+	if err := json.Unmarshal(data, &states); err != nil {
+		return fmt.Errorf("tracker: corrupt state file %s: %v", path, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range states {
+		t.states[s.URL] = s
+	}
+	return nil
+}
+
+// StateFor exposes a copy of the per-URL state, for tests and reports.
+func (t *Tracker) StateFor(url string) (State, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.states[url]
+	if !ok {
+		return State{}, false
+	}
+	return *s, true
+}

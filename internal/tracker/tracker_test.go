@@ -1,0 +1,636 @@
+package tracker
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/hotlist"
+	"aide/internal/proxycache"
+	"aide/internal/robots"
+	"aide/internal/simclock"
+	"aide/internal/w3config"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+// rig bundles a tracker wired to a synthetic web for scenario tests.
+type rig struct {
+	web   *websim.Web
+	clock *simclock.Sim
+	hist  *hotlist.History
+	tr    *Tracker
+}
+
+func newRig(t *testing.T, cfgSrc string) *rig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	cfg, err := w3config.ParseString(cfgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := hotlist.NewHistory()
+	client := webclient.New(web)
+	tr := New(client, cfg, hist, clock)
+	return &rig{web: web, clock: clock, hist: hist, tr: tr}
+}
+
+func entry(url string) hotlist.Entry { return hotlist.Entry{URL: url, Title: url} }
+
+func one(t *testing.T, tr *Tracker, url string) Result {
+	t.Helper()
+	rs := tr.Run([]hotlist.Entry{entry(url)})
+	if len(rs) != 1 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	return rs[0]
+}
+
+func TestChangedVsUnchanged(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	// User saw the page an hour after it appeared.
+	r.web.Advance(time.Hour)
+	r.hist.Visit("http://h/p", r.clock.Now())
+
+	res := one(t, r.tr, "http://h/p")
+	if res.Status != Unchanged {
+		t.Fatalf("unmodified page: %+v", res)
+	}
+
+	// The page changes later; next run must flag it.
+	r.web.Advance(24 * time.Hour)
+	p.Set("v2")
+	r.web.Advance(time.Hour)
+	res = one(t, r.tr, "http://h/p")
+	if res.Status != Changed || res.Via != "HEAD" {
+		t.Fatalf("modified page: %+v", res)
+	}
+}
+
+func TestNeverVisitedIsChanged(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h").Page("/new").Set("content")
+	res := one(t, r.tr, "http://h/new")
+	if res.Status != Changed {
+		t.Fatalf("never-visited page not reported: %+v", res)
+	}
+}
+
+func TestNeverThresholdSkipsEntirely(t *testing.T) {
+	r := newRig(t, "http://h/dilbert/.* never\nDefault 0\n")
+	r.web.Site("h").Page("/dilbert/today").Set("comic")
+	res := one(t, r.tr, "http://h/dilbert/today")
+	if res.Status != NotChecked || res.Via != "never" {
+		t.Fatalf("never rule: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("never URL generated %d requests", h+g)
+	}
+}
+
+func TestVisitedRecentlySkipsHTTP(t *testing.T) {
+	r := newRig(t, "Default 2d\n")
+	r.web.Site("h").Page("/p").Set("v1")
+	r.web.Advance(time.Hour)
+	r.hist.Visit("http://h/p", r.clock.Now())
+	r.web.Advance(time.Hour) // well inside the 2d threshold
+
+	res := one(t, r.tr, "http://h/p")
+	if res.Status != NotChecked || res.Via != "visited-recently" {
+		t.Fatalf("recent visit: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("recently visited URL generated %d requests", h+g)
+	}
+}
+
+func TestKnownModifiedShortcutAvoidsHTTP(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	r.web.Advance(time.Hour)
+	r.hist.Visit("http://h/p", r.clock.Now())
+	r.web.Advance(time.Hour)
+	p.Set("v2")
+	r.web.Advance(time.Hour)
+
+	// First run learns the new modification date over HTTP.
+	res := one(t, r.tr, "http://h/p")
+	if res.Status != Changed {
+		t.Fatalf("first run: %+v", res)
+	}
+	heads1, _ := r.web.TotalRequests()
+
+	// Second run within the staleness window: the state cache already
+	// knows the page is newer than the visit — no HTTP at all.
+	r.web.Advance(time.Hour)
+	res = one(t, r.tr, "http://h/p")
+	if res.Status != Changed || res.Via != "state-cache" {
+		t.Fatalf("second run: %+v", res)
+	}
+	heads2, _ := r.web.TotalRequests()
+	if heads2 != heads1 {
+		t.Errorf("known-modified page re-polled: %d -> %d HEADs", heads1, heads2)
+	}
+}
+
+func TestStaleKnowledgeRefetches(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	r.web.Advance(time.Hour)
+	r.hist.Visit("http://h/p", r.clock.Now())
+	r.web.Advance(time.Hour)
+	p.Set("v2")
+	r.web.Advance(time.Hour)
+	one(t, r.tr, "http://h/p") // learn the date
+	heads1, _ := r.web.TotalRequests()
+
+	// Beyond StaleAfter, the cached date is no longer trusted.
+	r.web.Advance(8 * 24 * time.Hour)
+	res := one(t, r.tr, "http://h/p")
+	if res.Via != "HEAD" {
+		t.Fatalf("stale knowledge not refreshed: %+v", res)
+	}
+	heads2, _ := r.web.TotalRequests()
+	if heads2 != heads1+1 {
+		t.Errorf("expected one fresh HEAD, got %d", heads2-heads1)
+	}
+	_ = res
+}
+
+func TestCheckedWithinThresholdUsesCachedVerdict(t *testing.T) {
+	r := newRig(t, "Default 2d\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	r.web.Advance(30 * 24 * time.Hour) // make any cached knowledge stale
+	res := one(t, r.tr, "http://h/p")  // first check: HEAD
+	if res.Via != "HEAD" || res.Status != Changed {
+		t.Fatalf("first check: %+v", res)
+	}
+	// User still hasn't visited. A run an hour later must not re-HEAD:
+	// the check was within the 2d threshold.
+	heads1, _ := r.web.TotalRequests()
+	r.web.Advance(time.Hour)
+	res = one(t, r.tr, "http://h/p")
+	if res.Via != "state-cache" || res.Status != Changed {
+		t.Fatalf("threshold reuse: %+v", res)
+	}
+	if heads2, _ := r.web.TotalRequests(); heads2 != heads1 {
+		t.Errorf("re-polled within threshold")
+	}
+}
+
+func TestProxyOracleAnswersWithinThreshold(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	p := web.Site("h").Page("/p")
+	p.Set("v1")
+
+	proxy := proxycache.New(web, clock)
+	cfg, _ := w3config.ParseString("Default 2d\n")
+	hist := hotlist.NewHistory()
+	// The tracker's own client bypasses the proxy body cache; only the
+	// ModInfo oracle is consulted, as in the paper's daemon setup.
+	tr := New(webclient.New(web), cfg, hist, clock)
+	tr.Proxy = proxy
+
+	// Prime the proxy as if some browser had just fetched the page.
+	if _, err := webclient.New(proxy).Get("http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	web.ResetRequestCounts()
+
+	// Make tracker state-cache knowledge absent but proxy info fresh.
+	rs := tr.Run([]hotlist.Entry{entry("http://h/p")})
+	if rs[0].Via != "proxy" {
+		t.Fatalf("proxy oracle unused: %+v", rs[0])
+	}
+	if h, g := web.TotalRequests(); h+g != 0 {
+		t.Errorf("proxy-answerable check hit origin: %d requests", h+g)
+	}
+}
+
+func TestChecksumFallbackForCGI(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/cgi-out")
+	p.Set("result A")
+	p.SetNoLastModified()
+	r.hist.Visit("http://h/cgi-out", r.clock.Now())
+
+	// First check records the checksum; user has visited, so unchanged.
+	res := one(t, r.tr, "http://h/cgi-out")
+	if res.Status != Unchanged || res.Via != "GET+checksum" {
+		t.Fatalf("first checksum check: %+v", res)
+	}
+	// Same content: still unchanged.
+	res = one(t, r.tr, "http://h/cgi-out")
+	if res.Status != Unchanged {
+		t.Fatalf("same content: %+v", res)
+	}
+	// Content changes: checksum differs.
+	p.Set("result B")
+	res = one(t, r.tr, "http://h/cgi-out")
+	if res.Status != Changed || res.Via != "GET+checksum" {
+		t.Fatalf("changed content: %+v", res)
+	}
+}
+
+func TestRobotExclusionCachedAndOverridable(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("h")
+	s.SetRobots("User-agent: *\nDisallow: /private/\n")
+	s.Page("/private/p").Set("secret")
+	r.tr.Robots = robots.NewCache(func(url string) (int, string, error) {
+		info, err := r.tr.Client.Get(url)
+		return info.Status, info.Body, err
+	}, r.clock)
+
+	res := one(t, r.tr, "http://h/private/p")
+	if res.Status != Excluded || res.Via != "robots.txt" {
+		t.Fatalf("exclusion: %+v", res)
+	}
+	// Second run answers from the cached exclusion without refetching
+	// robots.txt or the page.
+	r.web.ResetRequestCounts()
+	res = one(t, r.tr, "http://h/private/p")
+	if res.Status != Excluded || res.Via != "state-cache" {
+		t.Fatalf("cached exclusion: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("cached exclusion still generated %d requests", h+g)
+	}
+	// The override flag forces the check (§3.1).
+	r.tr.Opt.IgnoreRobots = true
+	res = one(t, r.tr, "http://h/private/p")
+	if res.Status != Changed {
+		t.Fatalf("ignore-robots run: %+v", res)
+	}
+}
+
+func TestErrorHandlingTransient(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("h")
+	s.Page("/p").Set("x")
+	s.SetDown(true)
+
+	res := one(t, r.tr, "http://h/p")
+	if res.Status != Failed || res.ErrKind != webclient.Transient || res.ErrCount != 1 {
+		t.Fatalf("down host: %+v", res)
+	}
+	res = one(t, r.tr, "http://h/p")
+	if res.ErrCount != 2 {
+		t.Fatalf("error count not accumulating: %+v", res)
+	}
+	// Recovery resets the counter.
+	s.SetDown(false)
+	res = one(t, r.tr, "http://h/p")
+	if res.Status == Failed {
+		t.Fatalf("recovered host still failing: %+v", res)
+	}
+	if st, _ := r.tr.StateFor("http://h/p"); st.ErrCount != 0 {
+		t.Errorf("err count not reset: %+v", st)
+	}
+}
+
+func TestGonePageReportedAsError(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/dead")
+	p.Set("x")
+	p.SetGone()
+	res := one(t, r.tr, "http://h/dead")
+	if res.Status != Failed || res.ErrKind != webclient.Gone {
+		t.Fatalf("gone page: %+v", res)
+	}
+}
+
+func TestTreatErrorsAsChecked(t *testing.T) {
+	r := newRig(t, "Default 2d\n")
+	s := r.web.Site("h")
+	s.Page("/p").Set("x")
+	s.SetDown(true)
+	r.tr.Opt.TreatErrorsAsChecked = true
+
+	one(t, r.tr, "http://h/p") // fails, but counts as checked
+	r.web.ResetRequestCounts()
+	r.web.Advance(time.Hour)
+	res := one(t, r.tr, "http://h/p")
+	if res.Via != "threshold" || res.Status != NotChecked {
+		t.Fatalf("errored URL re-polled within threshold: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("requests issued despite treat-errors-as-checked: %d", h+g)
+	}
+}
+
+func TestSkipHostAfterError(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	s := r.web.Site("slow.example")
+	s.Page("/a").Set("x")
+	s.Page("/b").Set("y")
+	s.Page("/c").Set("z")
+	r.web.Site("ok.example").Page("/d").Set("w")
+	s.SetTimeout(true)
+	r.tr.Opt.SkipHostAfterError = true
+
+	rs := r.tr.Run([]hotlist.Entry{
+		entry("http://slow.example/a"),
+		entry("http://slow.example/b"),
+		entry("http://ok.example/d"),
+		entry("http://slow.example/c"),
+	})
+	if rs[0].Status != Failed {
+		t.Fatalf("first URL: %+v", rs[0])
+	}
+	if rs[1].Status != NotChecked || rs[1].Via != "host-error" {
+		t.Fatalf("second URL on bad host: %+v", rs[1])
+	}
+	if rs[3].Status != NotChecked {
+		t.Fatalf("later URL on bad host: %+v", rs[3])
+	}
+	if rs[2].Status == Failed {
+		t.Fatalf("healthy host affected: %+v", rs[2])
+	}
+	// Only one request hit the bad host.
+	if h, g := s.Requests(); h+g != 1 {
+		t.Errorf("bad host saw %d requests, want 1", h+g)
+	}
+}
+
+func TestFileURLStat(t *testing.T) {
+	r := newRig(t, "file:.* 0\nDefault never\n")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "notes.html")
+	if err := os.WriteFile(path, []byte("<p>notes</p>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The file's mtime is "now" (wall clock); the user saw it before the
+	// simulated epoch, so it reads as changed.
+	res := one(t, r.tr, "file:"+path)
+	if res.Status != Changed || res.Via != "stat" {
+		t.Fatalf("file URL: %+v", res)
+	}
+	// After visiting now (well past the mtime), it reads as seen.
+	r.hist.Visit("file:"+path, time.Now().Add(time.Hour))
+	res = one(t, r.tr, "file:"+path)
+	if res.Status != Unchanged {
+		t.Fatalf("visited file: %+v", res)
+	}
+}
+
+func TestStatePersistenceRoundTrip(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h").Page("/p").Set("v1")
+	one(t, r.tr, "http://h/p")
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := r.tr.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh tracker (a new run of the script) loads the cache.
+	tr2 := New(r.tr.Client, r.tr.Config, r.hist, r.clock)
+	if err := tr2.LoadState(path); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := tr2.StateFor("http://h/p")
+	if !ok || st.LastModified.IsZero() || st.CheckedAt.IsZero() {
+		t.Fatalf("state not restored: %+v ok=%v", st, ok)
+	}
+	// Missing file is not an error (cold start).
+	tr3 := New(r.tr.Client, r.tr.Config, r.hist, r.clock)
+	if err := tr3.LoadState(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt file is an error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := tr3.LoadState(bad); err == nil {
+		t.Error("corrupt state accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rs := []Result{
+		{Status: Changed}, {Status: Changed}, {Status: Unchanged},
+		{Status: Failed}, {Status: NotChecked},
+	}
+	m := Summary(rs)
+	if m[Changed] != 2 || m[Unchanged] != 1 || m[Failed] != 1 || m[NotChecked] != 1 {
+		t.Errorf("summary = %v", m)
+	}
+}
+
+// TestReportFigure1 exercises the report shape of Figure 1: anchors with
+// descriptive text, changed/unchanged/not-checked/error rows, and the
+// Remember/Diff/History links.
+func TestReportFigure1(t *testing.T) {
+	mod := time.Date(1995, 11, 3, 10, 0, 0, 0, time.UTC)
+	visit := time.Date(1995, 10, 1, 9, 0, 0, 0, time.UTC)
+	rs := []Result{
+		{Entry: hotlist.Entry{URL: "http://a/", Title: "Mobile Computing Page"},
+			Status: Changed, LastModified: mod, LastVisited: visit, Via: "HEAD"},
+		{Entry: hotlist.Entry{URL: "http://b/", Title: "Stable Page"},
+			Status: Unchanged, LastModified: visit, LastVisited: visit, Via: "HEAD"},
+		{Entry: hotlist.Entry{URL: "http://c/", Title: "Rarely Polled"},
+			Status: NotChecked, Via: "visited-recently"},
+		{Entry: hotlist.Entry{URL: "http://d/", Title: "Dead Link"},
+			Status: Failed, Err: os.ErrDeadlineExceeded, ErrKind: webclient.Transient, ErrCount: 3},
+	}
+	html := Report(rs, ReportOptions{
+		SnapshotBase: "http://aide.research.att.com/snapshot",
+		User:         "douglis@research.att.com",
+		Now:          mod.Add(2 * time.Hour),
+	})
+	for _, want := range []string{
+		"<A HREF=\"http://a/\">Mobile Computing Page</A>",
+		"<B>Changed</B>",
+		"1 of 4 pages have changed",
+		"Seen:",
+		"Not checked this run",
+		"consider removing this URL",
+		"/snapshot/remember?",
+		"/snapshot/diff?",
+		"/snapshot/history?",
+		"url=http%3A%2F%2Fa%2F",
+		"user=douglis%40research.att.com",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q:\n%s", want, html)
+		}
+	}
+}
+
+func TestReportPrioritization(t *testing.T) {
+	older := time.Date(1995, 10, 1, 0, 0, 0, 0, time.UTC)
+	newer := time.Date(1995, 11, 1, 0, 0, 0, 0, time.UTC)
+	rs := []Result{
+		{Entry: hotlist.Entry{URL: "http://unchanged/", Title: "ZZZ Unchanged"}, Status: Unchanged},
+		{Entry: hotlist.Entry{URL: "http://older/", Title: "Older Change"}, Status: Changed, LastModified: older},
+		{Entry: hotlist.Entry{URL: "http://newer/", Title: "Newer Change"}, Status: Changed, LastModified: newer},
+	}
+	html := Report(rs, ReportOptions{Prioritize: true})
+	iNewer := strings.Index(html, "Newer Change")
+	iOlder := strings.Index(html, "Older Change")
+	iUnch := strings.Index(html, "ZZZ Unchanged")
+	if !(iNewer < iOlder && iOlder < iUnch) {
+		t.Errorf("priority order wrong: newer=%d older=%d unchanged=%d", iNewer, iOlder, iUnch)
+	}
+	// Without prioritization, hotlist order is preserved.
+	html = Report(rs, ReportOptions{})
+	if !(strings.Index(html, "ZZZ Unchanged") < strings.Index(html, "Older Change")) {
+		t.Error("hotlist order not preserved without Prioritize")
+	}
+}
+
+func TestReportWithoutSnapshotBaseOmitsLinks(t *testing.T) {
+	rs := []Result{{Entry: hotlist.Entry{URL: "http://a/", Title: "A"}, Status: Changed}}
+	html := Report(rs, ReportOptions{})
+	if strings.Contains(html, "Remember") {
+		t.Errorf("links present without snapshot base:\n%s", html)
+	}
+}
+
+func BenchmarkTrackerRun250(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	cfg, _ := w3config.ParseString("Default 2d\n")
+	hist := hotlist.NewHistory()
+	tr := New(webclient.New(web), cfg, hist, clock)
+
+	entries := make([]hotlist.Entry, 250)
+	for i := range entries {
+		host := string(rune('a'+i%20)) + ".example"
+		path := "/page" + string(rune('0'+i%10))
+		web.Site(host).Page(path).Set("content")
+		entries[i] = entry("http://" + host + path)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Run(entries)
+	}
+}
+
+// staticOracle is an always-fresh ModOracle for TrustOracle tests.
+type staticOracle struct {
+	mod, at time.Time
+	ok      bool
+}
+
+func (o staticOracle) ModInfo(string) (time.Time, time.Time, bool) { return o.mod, o.at, o.ok }
+
+func TestTrustOracleAnswersWithoutHTTP(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	visit := r.clock.Now().Add(time.Hour)
+	r.hist.Visit("http://h/p", visit)
+	r.web.Advance(10 * 24 * time.Hour)
+
+	// The oracle says the page is unchanged since before the visit;
+	// TrustOracle accepts that outright, even though the entry is old.
+	r.tr.Proxy = staticOracle{mod: visit.Add(-time.Hour), at: visit, ok: true}
+	r.tr.Opt.TrustOracle = true
+	res := one(t, r.tr, "http://h/p")
+	if res.Status != Unchanged || res.Via != "proxy" {
+		t.Fatalf("trusted oracle: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("trusted oracle still polled: %d requests", h+g)
+	}
+
+	// A URL the oracle does not cover falls through to a normal check.
+	r.web.Site("h").Page("/other").Set("x")
+	r.tr.Proxy = staticOracle{ok: false}
+	res = one(t, r.tr, "http://h/other")
+	if res.Via != "HEAD" {
+		t.Fatalf("uncovered URL: %+v", res)
+	}
+}
+
+func TestConcurrentRunMatchesSerial(t *testing.T) {
+	build := func() (*rig, []hotlist.Entry) {
+		r := newRig(t, "Default 0\n")
+		var entries []hotlist.Entry
+		for i := 0; i < 60; i++ {
+			host := string(rune('a'+i%6)) + ".example"
+			path := "/p" + string(rune('0'+i%10))
+			page := r.web.Site(host).Page(path)
+			if page.VersionCount() == 0 {
+				page.Set("content " + host + path)
+			}
+			entries = append(entries, entry("http://"+host+path))
+		}
+		// One host is down; one page is gone.
+		r.web.Site("f.example").SetDown(true)
+		dead := r.web.Site("a.example").Page("/dead")
+		dead.Set("x")
+		dead.SetGone()
+		entries = append(entries, entry("http://a.example/dead"))
+		return r, entries
+	}
+
+	rSerial, entries := build()
+	serial := rSerial.tr.Run(entries)
+
+	rConc, entries2 := build()
+	rConc.tr.Opt.Concurrency = 8
+	conc := rConc.tr.Run(entries2)
+
+	if len(serial) != len(conc) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(conc))
+	}
+	for i := range serial {
+		if serial[i].Entry.URL != conc[i].Entry.URL {
+			t.Fatalf("order differs at %d: %s vs %s", i, serial[i].Entry.URL, conc[i].Entry.URL)
+		}
+		if serial[i].Status != conc[i].Status {
+			t.Errorf("%s: serial %v vs concurrent %v",
+				serial[i].Entry.URL, serial[i].Status, conc[i].Status)
+		}
+	}
+}
+
+func TestConcurrentDuplicateURLsCheckedOnce(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h").Page("/p").Set("content")
+	r.tr.Opt.Concurrency = 4
+	entries := []hotlist.Entry{
+		{URL: "http://h/p", Title: "first"},
+		{URL: "http://h/p", Title: "second"},
+		{URL: "http://h/p", Title: "third"},
+	}
+	rs := r.tr.Run(entries)
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if rs[i].Entry.Title != want || rs[i].Status != Changed {
+			t.Errorf("result %d = %+v", i, rs[i])
+		}
+	}
+	if h, g := r.web.TotalRequests(); h+g != 1 {
+		t.Errorf("duplicate URL checked %d times, want 1", h+g)
+	}
+}
+
+func TestBulletinSurfacesInReport(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	p := r.web.Site("h").Page("/cgi-page")
+	p.Set(`<HTML><HEAD><META NAME="bulletin" CONTENT="2 talks added to the program"></HEAD>
+<BODY><P>program listing</P></BODY></HTML>`)
+	p.SetNoLastModified() // forces the GET path, where the body is seen
+	res := one(t, r.tr, "http://h/cgi-page")
+	if res.Bulletin != "2 talks added to the program" {
+		t.Fatalf("bulletin = %q (via %s)", res.Bulletin, res.Via)
+	}
+	html := Report([]Result{res}, ReportOptions{})
+	if !strings.Contains(html, "Bulletin: 2 talks added to the program") {
+		t.Errorf("report missing bulletin:\n%s", html)
+	}
+}

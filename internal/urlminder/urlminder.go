@@ -1,0 +1,251 @@
+// Package urlminder implements the URL-minder comparator of §2.1: a
+// change-notification service that "runs as a service on the W3 itself
+// and sends email when a page changes. Unlike the tools that run on the
+// user's host and use the hotlist to determine which URLs to check,
+// URL-minder acts on URLs provided explicitly by a user via an HTML
+// form. ... URL-minder uses a checksum of the content of a page, so it
+// can detect changes in pages that do not provide a Last-Modified date
+// ... and checks pages with an arbitrary frequency that is guaranteed to
+// be at least as often as some threshold, such as a week."
+//
+// It exists here as the baseline AIDE is compared against: central like
+// AIDE's server-side tracking, but GET+checksum only (no HEAD economy),
+// email-only notification (no archived versions, no HtmlDiff — the user
+// learns *that* the page changed, never *how*), and form-only
+// registration.
+package urlminder
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// Message is one outgoing notification email.
+type Message struct {
+	// To is the recipient address.
+	To string
+	// Subject is the mail subject.
+	Subject string
+	// Body is the mail text.
+	Body string
+	// SentAt is when the service generated it.
+	SentAt time.Time
+}
+
+// Mailer delivers notification email.
+type Mailer interface {
+	// Send delivers one message.
+	Send(m Message) error
+}
+
+// Outbox is a Mailer that collects messages, for tests and demos.
+type Outbox struct {
+	mu       sync.Mutex
+	messages []Message
+}
+
+// Send implements Mailer.
+func (o *Outbox) Send(m Message) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.messages = append(o.messages, m)
+	return nil
+}
+
+// Messages returns a copy of everything sent.
+func (o *Outbox) Messages() []Message {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Message(nil), o.messages...)
+}
+
+// SweepStats summarises one service pass.
+type SweepStats struct {
+	// Due is how many URLs were due for a check.
+	Due int
+	// Changed is how many checksums differed.
+	Changed int
+	// Mailed is how many notification emails went out.
+	Mailed int
+	// Errors counts failed retrievals.
+	Errors int
+}
+
+// Service is the URL-minder instance.
+type Service struct {
+	// Client fetches pages.
+	Client *webclient.Client
+	// Mailer sends notifications.
+	Mailer Mailer
+	// Clock provides time.
+	Clock simclock.Clock
+	// CheckInterval is the per-URL check cadence — the paper's "at
+	// least as often as some threshold, such as a week".
+	CheckInterval time.Duration
+
+	mu    sync.Mutex
+	state map[string]*urlState
+}
+
+type urlState struct {
+	subscribers map[string]bool
+	checksum    string
+	lastChecked time.Time
+}
+
+// New returns a service with a one-week check interval.
+func New(client *webclient.Client, mailer Mailer, clock simclock.Clock) *Service {
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	return &Service{
+		Client:        client,
+		Mailer:        mailer,
+		Clock:         clock,
+		CheckInterval: 7 * 24 * time.Hour,
+		state:         make(map[string]*urlState),
+	}
+}
+
+// Register subscribes email to changes of url.
+func (s *Service) Register(email, url string) error {
+	if email == "" || url == "" {
+		return fmt.Errorf("urlminder: need both email and url")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.state[url]
+	if !ok {
+		st = &urlState{subscribers: make(map[string]bool)}
+		s.state[url] = st
+	}
+	st.subscribers[email] = true
+	return nil
+}
+
+// Unregister removes a subscription; the URL stops being checked when
+// its last subscriber leaves.
+func (s *Service) Unregister(email, url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.state[url]
+	if !ok {
+		return
+	}
+	delete(st.subscribers, email)
+	if len(st.subscribers) == 0 {
+		delete(s.state, url)
+	}
+}
+
+// URLs lists the registered URLs, sorted.
+func (s *Service) URLs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	urls := make([]string, 0, len(s.state))
+	for u := range s.state {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// Sweep checks every registered URL that is due (older than
+// CheckInterval since its last check; a never-checked URL is always
+// due), comparing content checksums and mailing every subscriber of a
+// changed page. The first check records the baseline silently.
+func (s *Service) Sweep() SweepStats {
+	now := s.Clock.Now()
+	type job struct {
+		url  string
+		subs []string
+	}
+	var jobs []job
+	s.mu.Lock()
+	for u, st := range s.state {
+		if !st.lastChecked.IsZero() && now.Sub(st.lastChecked) < s.CheckInterval {
+			continue
+		}
+		subs := make([]string, 0, len(st.subscribers))
+		for e := range st.subscribers {
+			subs = append(subs, e)
+		}
+		sort.Strings(subs)
+		jobs = append(jobs, job{url: u, subs: subs})
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].url < jobs[j].url })
+
+	var stats SweepStats
+	stats.Due = len(jobs)
+	for _, j := range jobs {
+		info, err := s.Client.Get(j.url) // always a full GET: checksum strategy
+		s.mu.Lock()
+		st := s.state[j.url]
+		if st == nil {
+			s.mu.Unlock()
+			continue // unregistered mid-sweep
+		}
+		st.lastChecked = now
+		if err != nil || webclient.Classify(info.Status, nil) != webclient.OK {
+			s.mu.Unlock()
+			stats.Errors++
+			continue
+		}
+		first := st.checksum == ""
+		changed := !first && st.checksum != info.Checksum
+		st.checksum = info.Checksum
+		s.mu.Unlock()
+		if !changed {
+			continue
+		}
+		stats.Changed++
+		for _, email := range j.subs {
+			m := Message{
+				To:      email,
+				Subject: "Your URL-minder: change detected",
+				Body: fmt.Sprintf("The page you asked us to watch has changed:\n\n    %s\n\n"+
+					"We cannot tell you what changed, only that it did.\n", j.url),
+				SentAt: now,
+			}
+			if s.Mailer != nil && s.Mailer.Send(m) == nil {
+				stats.Mailed++
+			}
+		}
+	}
+	return stats
+}
+
+// Handler returns the registration form endpoint — the paper's "URLs
+// provided explicitly by a user via an HTML form".
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<HTML><BODY><H1>URL-minder</H1>
+<FORM ACTION="/register" METHOD="GET">
+URL: <INPUT NAME="url" SIZE=60>
+Email: <INPUT NAME="email" SIZE=30>
+<INPUT TYPE=SUBMIT VALUE="Watch it">
+</FORM></BODY></HTML>
+`)
+	})
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if err := s.Register(q.Get("email"), q.Get("url")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<HTML><BODY>Watching %s for %s.</BODY></HTML>\n",
+			html.EscapeString(q.Get("url")), html.EscapeString(q.Get("email")))
+	})
+	return mux
+}

@@ -1,0 +1,178 @@
+package urlminder
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+	"aide/internal/websim"
+)
+
+type rig struct {
+	web    *websim.Web
+	clock  *simclock.Sim
+	outbox *Outbox
+	svc    *Service
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	outbox := &Outbox{}
+	svc := New(webclient.New(web), outbox, clock)
+	return &rig{web: web, clock: clock, outbox: outbox, svc: svc}
+}
+
+func TestFirstSweepIsBaseline(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("v1")
+	r.svc.Register("u@h", "http://h/p")
+	stats := r.svc.Sweep()
+	if stats.Due != 1 || stats.Changed != 0 || stats.Mailed != 0 {
+		t.Fatalf("baseline sweep: %+v", stats)
+	}
+	if len(r.outbox.Messages()) != 0 {
+		t.Error("baseline sweep sent mail")
+	}
+}
+
+func TestChangeTriggersEmail(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("v1")
+	r.svc.Register("fred@att.com", "http://h/p")
+	r.svc.Register("tom@att.com", "http://h/p")
+	r.svc.Sweep()
+
+	r.clock.Advance(8 * 24 * time.Hour)
+	p.Set("v2")
+	stats := r.svc.Sweep()
+	if stats.Changed != 1 || stats.Mailed != 2 {
+		t.Fatalf("change sweep: %+v", stats)
+	}
+	msgs := r.outbox.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	if !strings.Contains(msgs[0].Body, "http://h/p") {
+		t.Errorf("mail body missing URL: %q", msgs[0].Body)
+	}
+	// The deficiency the paper calls out: the mail says *that*, not *how*.
+	if strings.Contains(msgs[0].Body, "v1") || strings.Contains(msgs[0].Body, "v2") {
+		t.Errorf("URL-minder mail should not contain content details: %q", msgs[0].Body)
+	}
+}
+
+func TestChecksumWorksWithoutLastModified(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/cgi")
+	p.Set("output 1")
+	p.SetNoLastModified()
+	r.svc.Register("u@h", "http://h/cgi")
+	r.svc.Sweep()
+	r.clock.Advance(8 * 24 * time.Hour)
+	p.Set("output 2")
+	if stats := r.svc.Sweep(); stats.Changed != 1 {
+		t.Fatalf("CGI change missed: %+v", stats)
+	}
+}
+
+func TestCheckIntervalRespected(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("v1")
+	r.svc.Register("u@h", "http://h/p")
+	r.svc.Sweep()
+	r.web.ResetRequestCounts()
+
+	// A sweep a day later does nothing: the URL is not due for a week.
+	r.clock.Advance(24 * time.Hour)
+	if stats := r.svc.Sweep(); stats.Due != 0 {
+		t.Fatalf("sweep within interval: %+v", stats)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 0 {
+		t.Errorf("requests within interval: %d", h+g)
+	}
+	r.clock.Advance(7 * 24 * time.Hour)
+	if stats := r.svc.Sweep(); stats.Due != 1 {
+		t.Fatalf("sweep past interval: %+v", stats)
+	}
+}
+
+func TestAlwaysFullGET(t *testing.T) {
+	// URL-minder's cost model: the checksum strategy always transfers
+	// the body, even for pages that do provide Last-Modified.
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("content with last-modified")
+	r.svc.Register("u@h", "http://h/p")
+	r.svc.Sweep()
+	h, g := r.web.TotalRequests()
+	if h != 0 || g != 1 {
+		t.Errorf("requests = (%d HEAD, %d GET), want (0,1)", h, g)
+	}
+}
+
+func TestUnregisterStopsChecks(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("v1")
+	r.svc.Register("u@h", "http://h/p")
+	r.svc.Unregister("u@h", "http://h/p")
+	if n := len(r.svc.URLs()); n != 0 {
+		t.Fatalf("URLs after unregister = %d", n)
+	}
+	if stats := r.svc.Sweep(); stats.Due != 0 {
+		t.Fatalf("sweep after unregister: %+v", stats)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	r := newRig(t)
+	s := r.web.Site("h")
+	s.Page("/p").Set("x")
+	s.SetDown(true)
+	r.svc.Register("u@h", "http://h/p")
+	if stats := r.svc.Sweep(); stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := newRig(t)
+	if err := r.svc.Register("", "http://h/p"); err == nil {
+		t.Error("empty email accepted")
+	}
+	if err := r.svc.Register("u@h", ""); err == nil {
+		t.Error("empty url accepted")
+	}
+}
+
+func TestFormEndpoint(t *testing.T) {
+	r := newRig(t)
+	srv := httptest.NewServer(r.svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/register?email=u%40h&url=http%3A%2F%2Fh%2Fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "Watching") {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	if got := r.svc.URLs(); len(got) != 1 || got[0] != "http://h/p" {
+		t.Fatalf("URLs = %v", got)
+	}
+	resp, err = http.Get(srv.URL + "/register?email=&url=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad register code = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,25 @@
+package w3config_test
+
+import (
+	"fmt"
+
+	"aide/internal/w3config"
+)
+
+// Example parses the paper's literal Table 1 and resolves a few URLs.
+func Example() {
+	cfg, _ := w3config.ParseString(w3config.Table1)
+	for _, url := range []string{
+		"http://www.yahoo.com/Computers/",
+		"http://www.research.att.com/orgs/ssr/",
+		"http://www.unitedmedia.com/comics/dilbert/",
+		"http://www.usenix.org/",
+	} {
+		fmt.Printf("%s -> %s\n", url, cfg.ThresholdFor(url))
+	}
+	// Output:
+	// http://www.yahoo.com/Computers/ -> 7d
+	// http://www.research.att.com/orgs/ssr/ -> 0
+	// http://www.unitedmedia.com/comics/dilbert/ -> never
+	// http://www.usenix.org/ -> 2d
+}

@@ -1,0 +1,206 @@
+// Package w3config parses w3newer's per-URL polling-threshold
+// configuration, the format shown in the paper's Table 1:
+//
+//	# Comments start with a sharp sign.
+//	# Default is equivalent to ending the file with ".*"
+//	Default                                          2d
+//	file:.*                                          0
+//	http://www\.yahoo\.com/.*                        7d
+//	http://.*\.att\.com/.*                           0
+//	http://www\.unitedmedia\.com/comics/dilbert/     never
+//
+// Each line pairs a pattern with a threshold: the maximum frequency of
+// direct HEAD requests for matching URLs. 0 means "check on every run",
+// "never" means the URL is never checked, and durations combine days and
+// hours ("2d", "12h", "1d12h"). The first matching pattern wins.
+package w3config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultThreshold applies when a configuration has no Default line: one
+// day, a reasonable compromise between freshness and server load.
+var DefaultThreshold = Threshold{Every: 24 * time.Hour}
+
+// Threshold is a per-URL polling bound.
+type Threshold struct {
+	// Never means the URL must not be checked at all (e.g. pages known
+	// to differ on every fetch, like the paper's Dilbert example).
+	Never bool
+	// Every is the minimum interval between direct checks. Zero means
+	// check on every run.
+	Every time.Duration
+}
+
+// String renders the threshold in the configuration syntax.
+func (t Threshold) String() string {
+	if t.Never {
+		return "never"
+	}
+	if t.Every == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	d := t.Every
+	if days := d / (24 * time.Hour); days > 0 {
+		fmt.Fprintf(&sb, "%dd", days)
+		d -= days * 24 * time.Hour
+	}
+	if hours := d / time.Hour; hours > 0 {
+		fmt.Fprintf(&sb, "%dh", hours)
+		d -= hours * time.Hour
+	}
+	if sb.Len() == 0 || d != 0 {
+		// Sub-hour residue has no syntax; fall back to hours rounded up.
+		return fmt.Sprintf("%dh", (t.Every+time.Hour-1)/time.Hour)
+	}
+	return sb.String()
+}
+
+// Rule pairs a URL pattern with its threshold.
+type Rule struct {
+	// Raw is the pattern as written in the file.
+	Raw string
+	// Pattern is the compiled, fully anchored form.
+	Pattern *regexp.Regexp
+	// Threshold is the polling bound for matching URLs.
+	Threshold Threshold
+}
+
+// Config is an ordered rule list plus the default threshold.
+type Config struct {
+	// Rules are consulted in file order; the first match wins.
+	Rules []Rule
+	// Default applies when no rule matches.
+	Default Threshold
+	// hasDefault records whether the file set Default explicitly.
+	hasDefault bool
+}
+
+// Parse reads a configuration in the Table 1 format.
+func Parse(r io.Reader) (*Config, error) {
+	cfg := &Config{Default: DefaultThreshold}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("w3config: line %d: want \"pattern threshold\", got %q", lineNo, line)
+		}
+		th, err := ParseThreshold(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("w3config: line %d: %v", lineNo, err)
+		}
+		if fields[0] == "Default" {
+			cfg.Default = th
+			cfg.hasDefault = true
+			continue
+		}
+		re, err := regexp.Compile("^(?:" + fields[0] + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("w3config: line %d: bad pattern %q: %v", lineNo, fields[0], err)
+		}
+		cfg.Rules = append(cfg.Rules, Rule{Raw: fields[0], Pattern: re, Threshold: th})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Config, error) { return Parse(strings.NewReader(s)) }
+
+// ParseThreshold parses "0", "never", or a day/hour combination.
+func ParseThreshold(s string) (Threshold, error) {
+	switch strings.ToLower(s) {
+	case "never":
+		return Threshold{Never: true}, nil
+	case "0":
+		return Threshold{}, nil
+	}
+	var total time.Duration
+	rest := strings.ToLower(s)
+	seen := false
+	for rest != "" {
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i == 0 || i >= len(rest) {
+			return Threshold{}, fmt.Errorf("bad threshold %q", s)
+		}
+		n, err := strconv.Atoi(rest[:i])
+		if err != nil {
+			return Threshold{}, fmt.Errorf("bad threshold %q: %v", s, err)
+		}
+		switch rest[i] {
+		case 'd':
+			total += time.Duration(n) * 24 * time.Hour
+		case 'h':
+			total += time.Duration(n) * time.Hour
+		case 'm':
+			total += time.Duration(n) * time.Minute
+		default:
+			return Threshold{}, fmt.Errorf("bad threshold unit %q in %q", rest[i], s)
+		}
+		rest = rest[i+1:]
+		seen = true
+	}
+	if !seen {
+		return Threshold{}, fmt.Errorf("empty threshold %q", s)
+	}
+	return Threshold{Every: total}, nil
+}
+
+// ThresholdFor returns the threshold governing url: the first matching
+// rule, or the default.
+func (c *Config) ThresholdFor(url string) Threshold {
+	for _, r := range c.Rules {
+		if r.Pattern.MatchString(url) {
+			return r.Threshold
+		}
+	}
+	return c.Default
+}
+
+// MatchingRule returns the raw pattern that governs url ("Default" when
+// none matches), for report annotations.
+func (c *Config) MatchingRule(url string) string {
+	for _, r := range c.Rules {
+		if r.Pattern.MatchString(url) {
+			return r.Raw
+		}
+	}
+	return "Default"
+}
+
+// HasExplicitDefault reports whether the file set a Default line.
+func (c *Config) HasExplicitDefault() bool { return c.hasDefault }
+
+// Table1 is the paper's example configuration, usable as a ready-made
+// Config for demos and the Table 1 experiment.
+const Table1 = `# Comments start with a sharp sign.
+# perl syntax requires that "." be escaped
+# Default is equivalent to ending the file with ".*"
+Default 2d
+file:.* 0
+http://www\.yahoo\.com/.* 7d
+http://.*\.att\.com/.* 0
+http://www\.ncsa\.uiuc\.edu/SDG/Software/Mosaic/Docs/whats-new\.html 12h
+http://snapple\.cs\.washington\.edu:600/mobile/ 1d
+# this is in my hotlist but will be different every day
+http://www\.unitedmedia\.com/comics/dilbert/ never
+`

@@ -1,0 +1,201 @@
+package w3config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, src string) *Config {
+	t.Helper()
+	cfg, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestTable1Semantics checks every row of the paper's Table 1 against the
+// thresholds the text describes.
+func TestTable1Semantics(t *testing.T) {
+	cfg := mustParse(t, Table1)
+	cases := []struct {
+		url  string
+		want Threshold
+		why  string
+	}{
+		{"http://www.yahoo.com/Computers/", Threshold{Every: 7 * 24 * time.Hour},
+			"Yahoo checked only every seven days to reduce load"},
+		{"file:/home/douglis/notes.html", Threshold{},
+			"local files checked on every run (stat is cheap)"},
+		{"http://www.research.att.com/people/", Threshold{},
+			"anything in att.com checked every execution"},
+		{"http://www.ncsa.uiuc.edu/SDG/Software/Mosaic/Docs/whats-new.html",
+			Threshold{Every: 12 * time.Hour}, "Mosaic what's-new every 12h"},
+		{"http://snapple.cs.washington.edu:600/mobile/", Threshold{Every: 24 * time.Hour},
+			"mobile page daily"},
+		{"http://www.unitedmedia.com/comics/dilbert/", Threshold{Never: true},
+			"Dilbert never checked: always different"},
+		{"http://www.usenix.org/", Threshold{Every: 48 * time.Hour},
+			"unmatched URLs use the 2d default"},
+	}
+	for _, c := range cases {
+		if got := cfg.ThresholdFor(c.url); got != c.want {
+			t.Errorf("%s: got %+v, want %+v (%s)", c.url, got, c.want, c.why)
+		}
+	}
+	if !cfg.HasExplicitDefault() {
+		t.Error("Table1 default not detected")
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	cfg := mustParse(t, `
+http://host/special/.* 0
+http://host/.* 7d
+`)
+	if got := cfg.ThresholdFor("http://host/special/page.html"); got.Every != 0 || got.Never {
+		t.Errorf("specific rule not preferred: %+v", got)
+	}
+	if got := cfg.ThresholdFor("http://host/other.html"); got.Every != 7*24*time.Hour {
+		t.Errorf("general rule not applied: %+v", got)
+	}
+}
+
+func TestPatternsAreAnchored(t *testing.T) {
+	cfg := mustParse(t, `http://att\.com/x 0`)
+	// A URL merely containing the pattern must not match.
+	if got := cfg.ThresholdFor("http://evil.example/http://att.com/x"); got.Every == 0 && !got.Never {
+		t.Error("unanchored pattern matched embedded URL")
+	}
+	if got := cfg.ThresholdFor("http://att.com/xy"); got.Every == 0 && !got.Never {
+		t.Error("pattern matched URL with trailing garbage")
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Threshold
+		wantErr bool
+	}{
+		{"0", Threshold{}, false},
+		{"never", Threshold{Never: true}, false},
+		{"NEVER", Threshold{Never: true}, false},
+		{"2d", Threshold{Every: 48 * time.Hour}, false},
+		{"12h", Threshold{Every: 12 * time.Hour}, false},
+		{"1d12h", Threshold{Every: 36 * time.Hour}, false},
+		{"30m", Threshold{Every: 30 * time.Minute}, false},
+		{"", Threshold{}, true},
+		{"abc", Threshold{}, true},
+		{"12", Threshold{}, true},
+		{"12x", Threshold{}, true},
+		{"d", Threshold{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseThreshold(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseThreshold(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseThreshold(%q) = (%+v,%v), want %+v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestThresholdString(t *testing.T) {
+	cases := []struct {
+		in   Threshold
+		want string
+	}{
+		{Threshold{Never: true}, "never"},
+		{Threshold{}, "0"},
+		{Threshold{Every: 48 * time.Hour}, "2d"},
+		{Threshold{Every: 36 * time.Hour}, "1d12h"},
+		{Threshold{Every: 12 * time.Hour}, "12h"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Round trip.
+	for _, s := range []string{"never", "0", "2d", "12h", "1d12h"} {
+		th, err := ParseThreshold(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if th.String() != s {
+			t.Errorf("round trip %q -> %q", s, th.String())
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	cfg := mustParse(t, `
+# leading comment
+
+Default 1d
+# comment between rules
+
+http://x/.* 0
+`)
+	if len(cfg.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(cfg.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"http://x/ 0 extra",
+		"http://x/",
+		"http://x/ 5q",
+		`http://[bad 0`,
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestNoDefaultUsesPackageDefault(t *testing.T) {
+	cfg := mustParse(t, "http://x/.* 0\n")
+	if cfg.HasExplicitDefault() {
+		t.Error("spurious explicit default")
+	}
+	if got := cfg.ThresholdFor("http://unmatched/"); got != DefaultThreshold {
+		t.Errorf("fallback = %+v, want %+v", got, DefaultThreshold)
+	}
+}
+
+func TestMatchingRule(t *testing.T) {
+	cfg := mustParse(t, Table1)
+	if got := cfg.MatchingRule("http://www.yahoo.com/a"); !strings.Contains(got, "yahoo") {
+		t.Errorf("MatchingRule = %q", got)
+	}
+	if got := cfg.MatchingRule("http://nomatch.example/"); got != "Default" {
+		t.Errorf("MatchingRule fallback = %q", got)
+	}
+}
+
+func BenchmarkConfigMatch(b *testing.B) {
+	cfg, err := ParseString(Table1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := []string{
+		"http://www.yahoo.com/Computers/WWW/",
+		"http://www.research.att.com/orgs/ssr/",
+		"http://www.usenix.org/events/",
+		"file:/home/u/notes.html",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.ThresholdFor(urls[i%len(urls)])
+	}
+}

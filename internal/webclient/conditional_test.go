@@ -1,0 +1,119 @@
+package webclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// condTransport answers conditionally based on a fixed mod time.
+type condTransport struct {
+	mod  time.Time
+	body string
+	log  []Request
+}
+
+func (c *condTransport) RoundTrip(req *Request) (*Response, error) {
+	c.log = append(c.log, *req)
+	if !req.IfModifiedSince.IsZero() && !c.mod.After(req.IfModifiedSince) {
+		return &Response{Status: 304, LastModified: c.mod}, nil
+	}
+	if req.Method == "POST" {
+		return &Response{Status: 200, Body: "posted:" + req.Body}, nil
+	}
+	return &Response{Status: 200, LastModified: c.mod, Body: c.body}, nil
+}
+
+func TestGetConditionalNotModified(t *testing.T) {
+	mod := time.Date(1995, 10, 1, 0, 0, 0, 0, time.UTC)
+	ct := &condTransport{mod: mod, body: "content"}
+	c := New(ct)
+
+	info, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	if err != nil || !notMod {
+		t.Fatalf("expected 304: %+v notMod=%v err=%v", info, notMod, err)
+	}
+	if info.HasBody {
+		t.Error("304 response carried a body")
+	}
+	info, notMod, err = c.GetConditional("http://h/p", mod.Add(-time.Hour))
+	if err != nil || notMod {
+		t.Fatalf("expected 200: notMod=%v err=%v", notMod, err)
+	}
+	if info.Body != "content" || info.Checksum == "" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestPostSendsBody(t *testing.T) {
+	ct := &condTransport{}
+	c := New(ct)
+	info, err := c.Post("http://svc/run", "a=1&b=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Body != "posted:a=1&b=2" || !info.HasBody || info.Checksum == "" {
+		t.Fatalf("info = %+v", info)
+	}
+	last := ct.log[len(ct.log)-1]
+	if last.Method != "POST" || last.Body != "a=1&b=2" ||
+		last.ContentType != "application/x-www-form-urlencoded" {
+		t.Errorf("request = %+v", last)
+	}
+}
+
+func TestHTTPTransportConditionalAndPost(t *testing.T) {
+	mod := time.Date(1995, 11, 3, 12, 0, 0, 0, time.UTC)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case "POST":
+			if ct := r.Header.Get("Content-Type"); ct != "application/x-www-form-urlencoded" {
+				t.Errorf("content type = %q", ct)
+			}
+			r.ParseForm()
+			w.Write([]byte("echo " + r.Form.Get("x")))
+		default:
+			if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+				if ts, err := http.ParseTime(ims); err == nil && !mod.After(ts) {
+					w.WriteHeader(http.StatusNotModified)
+					return
+				}
+			}
+			w.Header().Set("Last-Modified", mod.Format(http.TimeFormat))
+			w.Write([]byte("fresh body"))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(&HTTPTransport{})
+	_, notMod, err := c.GetConditional(srv.URL+"/p", mod.Add(time.Minute))
+	if err != nil || !notMod {
+		t.Fatalf("real 304: notMod=%v err=%v", notMod, err)
+	}
+	info, notMod, err := c.GetConditional(srv.URL+"/p", mod.Add(-time.Hour))
+	if err != nil || notMod || info.Body != "fresh body" {
+		t.Fatalf("real 200: %+v notMod=%v err=%v", info, notMod, err)
+	}
+	info, err = c.Post(srv.URL+"/svc", "x=42")
+	if err != nil || info.Body != "echo 42" {
+		t.Fatalf("real POST: %+v err=%v", info, err)
+	}
+}
+
+func TestGetConditionalFileURL(t *testing.T) {
+	mod := time.Date(1995, 10, 10, 8, 0, 0, 0, time.UTC)
+	c := New(&condTransport{})
+	c.Stat = func(string) (os.FileInfo, error) { return fakeFileInfo{mod: mod}, nil }
+	c.ReadFile = func(string) ([]byte, error) { return []byte("file data"), nil }
+
+	_, notMod, err := c.GetConditional("file:/x", mod.Add(time.Hour))
+	if err != nil || !notMod {
+		t.Fatalf("file 304: notMod=%v err=%v", notMod, err)
+	}
+	info, notMod, err := c.GetConditional("file:/x", mod.Add(-time.Hour))
+	if err != nil || notMod || info.Body != "file data" {
+		t.Fatalf("file 200: %+v notMod=%v err=%v", info, notMod, err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package webclient is AIDE's HTTP access layer. It provides the two
+// change-detection strategies of §2.1 — the HEAD request for a
+// Last-Modified date (w3new's strategy) and the full-GET content checksum
+// (URL-minder's strategy, required for CGI output that carries no
+// Last-Modified) — plus the error classification that w3newer's §3.1
+// error handling depends on (transient network trouble vs. a URL that is
+// really gone).
+//
+// Transport abstracts the wire so that the same client runs against the
+// real network (HTTPTransport) or against the in-process synthetic web
+// (internal/websim), and also resolves file: URLs with a stat call, as
+// w3newer's "file:" hotlist entries do.
+package webclient
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Request is a minimal HTTP request. AIDE issues HEAD and GET for
+// tracking and archiving, conditional GETs for cache revalidation, and
+// POST for the §8.4 form services.
+type Request struct {
+	// Method is "HEAD", "GET", or "POST".
+	Method string
+	// URL is the absolute URL.
+	URL string
+	// IfModifiedSince, when nonzero, makes the request conditional: the
+	// server may answer 304 Not Modified instead of a body.
+	IfModifiedSince time.Time
+	// Body is the request entity for POST (a URL-encoded form).
+	Body string
+	// ContentType describes Body; defaults to
+	// application/x-www-form-urlencoded for POSTs with a body.
+	ContentType string
+}
+
+// Response carries the pieces of an HTTP response AIDE consumes.
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// LastModified is the parsed Last-Modified header; zero when the
+	// server sent none (typical for CGI output).
+	LastModified time.Time
+	// Location is the redirect target for 3xx responses.
+	Location string
+	// Body is the entity body ("" for HEAD).
+	Body string
+}
+
+// Transport performs a request. Implementations: HTTPTransport (real
+// network) and websim.Web (simulation).
+type Transport interface {
+	RoundTrip(*Request) (*Response, error)
+}
+
+// ErrKind classifies failures for w3newer's error handling (§3.1).
+type ErrKind int
+
+// Error kinds, ordered roughly by severity.
+const (
+	// OK: no error.
+	OK ErrKind = iota
+	// Transient: timeouts, refused connections, 5xx — worth retrying on
+	// the next run ("errors are likely to be transient").
+	Transient
+	// Moved: the URL has a forwarding pointer (3xx).
+	Moved
+	// Gone: the URL no longer exists (404/410) — the user should act.
+	Gone
+	// Forbidden: the server refuses access (401/403).
+	Forbidden
+)
+
+// String names the kind for reports.
+func (k ErrKind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case Transient:
+		return "transient error"
+	case Moved:
+		return "moved"
+	case Gone:
+		return "gone"
+	case Forbidden:
+		return "forbidden"
+	}
+	return "unknown"
+}
+
+// Classify maps a status code and transport error to an ErrKind.
+func Classify(status int, err error) ErrKind {
+	if err != nil {
+		return Transient
+	}
+	switch {
+	case status >= 200 && status < 300:
+		return OK
+	case status >= 300 && status < 400:
+		return Moved
+	case status == 404 || status == 410:
+		return Gone
+	case status == 401 || status == 403:
+		return Forbidden
+	case status >= 500:
+		return Transient
+	default:
+		return Transient
+	}
+}
+
+// PageInfo is the result of a check or fetch.
+type PageInfo struct {
+	// URL is the final URL after redirects.
+	URL string
+	// Status is the final HTTP status (200 for file: successes).
+	Status int
+	// LastModified is the server's modification date, if provided.
+	LastModified time.Time
+	// HasLastModified records whether the server provided one.
+	HasLastModified bool
+	// Body is the content, when fetched.
+	Body string
+	// HasBody records whether Body was fetched.
+	HasBody bool
+	// Checksum is the hex MD5 of Body, when fetched.
+	Checksum string
+	// Redirected counts redirects followed.
+	Redirected int
+}
+
+// Client issues checks and fetches over a Transport.
+type Client struct {
+	// Transport performs the requests; required.
+	Transport Transport
+	// MaxRedirects bounds redirect following (default 5).
+	MaxRedirects int
+	// Stat resolves file: URLs; defaults to os.Stat. Replaceable for
+	// tests.
+	Stat func(path string) (os.FileInfo, error)
+	// ReadFile fetches file: bodies; defaults to os.ReadFile.
+	ReadFile func(path string) ([]byte, error)
+}
+
+// New returns a Client over the given transport.
+func New(t Transport) *Client {
+	return &Client{Transport: t, MaxRedirects: 5, Stat: os.Stat, ReadFile: os.ReadFile}
+}
+
+// Head performs a HEAD request (following redirects) and returns the
+// modification info without the body.
+func (c *Client) Head(url string) (PageInfo, error) {
+	if isFileURL(url) {
+		return c.statFile(url)
+	}
+	return c.do(Request{Method: "HEAD", URL: url})
+}
+
+// Get fetches the page body (following redirects) and computes its
+// checksum.
+func (c *Client) Get(url string) (PageInfo, error) {
+	if isFileURL(url) {
+		return c.readFile(url)
+	}
+	info, err := c.do(Request{Method: "GET", URL: url})
+	if err != nil {
+		return info, err
+	}
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, nil
+}
+
+// GetConditional performs a conditional GET (If-Modified-Since). When
+// the server answers 304, notModified is true and the PageInfo carries
+// no body — the Netscape-style revalidation of §3.1's cache-consistency
+// discussion.
+func (c *Client) GetConditional(url string, since time.Time) (info PageInfo, notModified bool, err error) {
+	if isFileURL(url) {
+		info, err = c.statFile(url)
+		if err != nil || info.Status != 200 {
+			return info, false, err
+		}
+		if !info.LastModified.After(since) {
+			info.Status = 304
+			return info, true, nil
+		}
+		info, err = c.readFile(url)
+		return info, false, err
+	}
+	info, err = c.do(Request{Method: "GET", URL: url, IfModifiedSince: since})
+	if err != nil {
+		return info, false, err
+	}
+	if info.Status == 304 {
+		return info, true, nil
+	}
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, false, nil
+}
+
+// Post submits a URL-encoded form and returns the service's output with
+// its checksum — the §8.4 path for tracking CGI services that use POST.
+func (c *Client) Post(url, form string) (PageInfo, error) {
+	info, err := c.do(Request{
+		Method:      "POST",
+		URL:         url,
+		Body:        form,
+		ContentType: "application/x-www-form-urlencoded",
+	})
+	if err != nil {
+		return info, err
+	}
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, nil
+}
+
+// Check implements w3new's strategy: request the Last-Modified date if
+// available; otherwise retrieve and checksum the whole page (§2.1).
+func (c *Client) Check(url string) (PageInfo, error) {
+	info, err := c.Head(url)
+	if err != nil || Classify(info.Status, nil) != OK {
+		return info, err
+	}
+	if info.HasLastModified {
+		return info, nil
+	}
+	return c.Get(url)
+}
+
+// ChecksumBody returns the hex MD5 of a page body — the URL-minder
+// change-detection strategy.
+func ChecksumBody(body string) string {
+	sum := md5.Sum([]byte(body))
+	return hex.EncodeToString(sum[:])
+}
+
+// do performs one round trip with redirect following.
+func (c *Client) do(req Request) (PageInfo, error) {
+	info := PageInfo{URL: req.URL}
+	max := c.MaxRedirects
+	if max <= 0 {
+		max = 5
+	}
+	for hop := 0; ; hop++ {
+		hopReq := req
+		hopReq.URL = info.URL
+		resp, err := c.Transport.RoundTrip(&hopReq)
+		if err != nil {
+			return info, err
+		}
+		info.Status = resp.Status
+		info.LastModified = resp.LastModified
+		info.HasLastModified = !resp.LastModified.IsZero()
+		info.Body = resp.Body
+		if resp.Status >= 300 && resp.Status < 400 && resp.Location != "" {
+			if hop >= max {
+				return info, fmt.Errorf("webclient: too many redirects at %s", info.URL)
+			}
+			info.URL = resolveRef(info.URL, resp.Location)
+			info.Redirected++
+			continue
+		}
+		return info, nil
+	}
+}
+
+// statFile resolves a file: URL via stat, the cheap local check of §3.
+func (c *Client) statFile(url string) (PageInfo, error) {
+	path := filePath(url)
+	fi, err := c.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return PageInfo{URL: url, Status: 404}, nil
+		}
+		return PageInfo{URL: url}, err
+	}
+	return PageInfo{
+		URL: url, Status: 200,
+		LastModified:    fi.ModTime().UTC(),
+		HasLastModified: true,
+	}, nil
+}
+
+// readFile fetches a file: URL body.
+func (c *Client) readFile(url string) (PageInfo, error) {
+	info, err := c.statFile(url)
+	if err != nil || info.Status != 200 {
+		return info, err
+	}
+	data, err := c.ReadFile(filePath(url))
+	if err != nil {
+		return info, err
+	}
+	info.Body = string(data)
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, nil
+}
+
+func isFileURL(url string) bool {
+	return strings.HasPrefix(url, "file:")
+}
+
+// filePath strips the file: prefix, tolerating both "file:/p" and
+// "file:///p".
+func filePath(url string) string {
+	p := strings.TrimPrefix(url, "file:")
+	p = strings.TrimPrefix(p, "//")
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return p
+}
+
+// resolveRef resolves a possibly relative redirect Location against base.
+func resolveRef(base, ref string) string {
+	if strings.Contains(ref, "://") {
+		return ref
+	}
+	scheme, rest, ok := strings.Cut(base, "://")
+	if !ok {
+		return ref
+	}
+	host, path, _ := strings.Cut(rest, "/")
+	if strings.HasPrefix(ref, "/") {
+		return scheme + "://" + host + ref
+	}
+	// Relative to the base directory.
+	dir := ""
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		dir = path[:i]
+	}
+	return scheme + "://" + host + "/" + joinPath(dir, ref)
+}
+
+func joinPath(dir, ref string) string {
+	if dir == "" {
+		return ref
+	}
+	return dir + "/" + ref
+}
+
+// --- real-network transport ---------------------------------------------------
+
+// HTTPTransport performs requests over the real network with net/http.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; a default with a 30-second
+	// timeout is used when nil.
+	Client *http.Client
+	// UserAgent identifies the robot (robots.txt compliance is handled
+	// by internal/robots above this layer).
+	UserAgent string
+}
+
+// RoundTrip implements Transport. Redirects are reported, not followed:
+// the caller's redirect logic also runs against simulated transports, so
+// it lives in Client.
+func (t *HTTPTransport) RoundTrip(req *Request) (*Response, error) {
+	hc := t.Client
+	if hc == nil {
+		hc = &http.Client{
+			Timeout: 30 * time.Second,
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
+	}
+	var bodyReader io.Reader
+	if req.Body != "" {
+		bodyReader = strings.NewReader(req.Body)
+	}
+	hreq, err := http.NewRequest(req.Method, req.URL, bodyReader)
+	if err != nil {
+		return nil, err
+	}
+	ua := t.UserAgent
+	if ua == "" {
+		ua = "w3newer/2.0 (AIDE)"
+	}
+	hreq.Header.Set("User-Agent", ua)
+	if !req.IfModifiedSince.IsZero() {
+		hreq.Header.Set("If-Modified-Since", req.IfModifiedSince.UTC().Format(http.TimeFormat))
+	}
+	if req.Body != "" {
+		ct := req.ContentType
+		if ct == "" {
+			ct = "application/x-www-form-urlencoded"
+		}
+		hreq.Header.Set("Content-Type", ct)
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	resp := &Response{Status: hresp.StatusCode, Location: hresp.Header.Get("Location")}
+	if lm := hresp.Header.Get("Last-Modified"); lm != "" {
+		if ts, perr := http.ParseTime(lm); perr == nil {
+			resp.LastModified = ts.UTC()
+		}
+	}
+	if req.Method != "HEAD" {
+		body, rerr := io.ReadAll(hresp.Body)
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = string(body)
+	}
+	return resp, nil
+}
+
+// IsTimeout reports whether err is a network timeout, for callers that
+// want to distinguish overload from other transient failures (§3.1's
+// proxy-server overload aggravation concern).
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,291 @@
+package webclient
+
+import (
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// fakeTransport serves canned responses and records requests.
+type fakeTransport struct {
+	responses map[string]*Response // key "METHOD url"
+	err       error
+	log       []string
+}
+
+func (f *fakeTransport) RoundTrip(req *Request) (*Response, error) {
+	f.log = append(f.log, req.Method+" "+req.URL)
+	if f.err != nil {
+		return nil, f.err
+	}
+	if r, ok := f.responses[req.Method+" "+req.URL]; ok {
+		return r, nil
+	}
+	return &Response{Status: 404}, nil
+}
+
+func TestHeadReturnsLastModified(t *testing.T) {
+	mod := time.Date(1995, 11, 3, 12, 0, 0, 0, time.UTC)
+	ft := &fakeTransport{responses: map[string]*Response{
+		"HEAD http://h/p": {Status: 200, LastModified: mod},
+	}}
+	c := New(ft)
+	info, err := c.Head("http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasLastModified || !info.LastModified.Equal(mod) {
+		t.Errorf("info = %+v", info)
+	}
+	if info.HasBody {
+		t.Error("HEAD fetched a body")
+	}
+}
+
+func TestGetComputesChecksum(t *testing.T) {
+	ft := &fakeTransport{responses: map[string]*Response{
+		"GET http://h/p": {Status: 200, Body: "<html>hi</html>"},
+	}}
+	c := New(ft)
+	info, err := c.Get("http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasBody || info.Body != "<html>hi</html>" {
+		t.Errorf("body = %+v", info)
+	}
+	if info.Checksum != ChecksumBody("<html>hi</html>") {
+		t.Errorf("checksum = %q", info.Checksum)
+	}
+	// Checksums distinguish different bodies.
+	if ChecksumBody("a") == ChecksumBody("b") {
+		t.Error("checksum collision on trivial inputs")
+	}
+}
+
+func TestCheckUsesHeadWhenLastModifiedAvailable(t *testing.T) {
+	mod := time.Date(1995, 11, 3, 12, 0, 0, 0, time.UTC)
+	ft := &fakeTransport{responses: map[string]*Response{
+		"HEAD http://h/p": {Status: 200, LastModified: mod},
+	}}
+	c := New(ft)
+	info, err := c.Check("http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.HasBody {
+		t.Error("Check fetched body despite Last-Modified")
+	}
+	if len(ft.log) != 1 || ft.log[0] != "HEAD http://h/p" {
+		t.Errorf("requests = %v", ft.log)
+	}
+}
+
+func TestCheckFallsBackToChecksum(t *testing.T) {
+	// A CGI-ish page: no Last-Modified on HEAD, so Check must GET and
+	// checksum the body (the w3new strategy of §2.1).
+	ft := &fakeTransport{responses: map[string]*Response{
+		"HEAD http://h/cgi": {Status: 200},
+		"GET http://h/cgi":  {Status: 200, Body: "output 42"},
+	}}
+	c := New(ft)
+	info, err := c.Check("http://h/cgi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasBody || info.Checksum == "" {
+		t.Errorf("fallback missing checksum: %+v", info)
+	}
+	if len(ft.log) != 2 {
+		t.Errorf("requests = %v", ft.log)
+	}
+}
+
+func TestRedirectFollowing(t *testing.T) {
+	ft := &fakeTransport{responses: map[string]*Response{
+		"GET http://h/old":      {Status: 302, Location: "http://h/new"},
+		"GET http://h/new":      {Status: 301, Location: "/final"},
+		"GET http://h/final":    {Status: 200, Body: "here"},
+		"HEAD http://h/relbase": {Status: 302, Location: "sibling.html"},
+		"HEAD http://h/sibling.html": {Status: 200,
+			LastModified: time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}}
+	c := New(ft)
+	info, err := c.Get("http://h/old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.URL != "http://h/final" || info.Body != "here" || info.Redirected != 2 {
+		t.Errorf("info = %+v", info)
+	}
+	// Relative Location against a path-less base directory.
+	info, err = c.Head("http://h/relbase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.URL != "http://h/sibling.html" {
+		t.Errorf("relative redirect resolved to %q", info.URL)
+	}
+}
+
+func TestRedirectLoopBounded(t *testing.T) {
+	ft := &fakeTransport{responses: map[string]*Response{
+		"GET http://h/a": {Status: 302, Location: "http://h/b"},
+		"GET http://h/b": {Status: 302, Location: "http://h/a"},
+	}}
+	c := New(ft)
+	if _, err := c.Get("http://h/a"); err == nil {
+		t.Fatal("redirect loop not detected")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   ErrKind
+	}{
+		{200, nil, OK},
+		{204, nil, OK},
+		{301, nil, Moved},
+		{404, nil, Gone},
+		{410, nil, Gone},
+		{403, nil, Forbidden},
+		{401, nil, Forbidden},
+		{500, nil, Transient},
+		{503, nil, Transient},
+		{0, errors.New("timeout"), Transient},
+	}
+	for _, c := range cases {
+		if got := Classify(c.status, c.err); got != c.want {
+			t.Errorf("Classify(%d,%v) = %v, want %v", c.status, c.err, got, c.want)
+		}
+	}
+	// Kinds have distinct names for reports.
+	seen := map[string]bool{}
+	for _, k := range []ErrKind{OK, Transient, Moved, Gone, Forbidden} {
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+}
+
+func TestTransportErrorPropagates(t *testing.T) {
+	ft := &fakeTransport{err: errors.New("connection refused")}
+	c := New(ft)
+	if _, err := c.Head("http://h/x"); err == nil {
+		t.Fatal("transport error swallowed")
+	}
+}
+
+// fakeFileInfo implements fs.FileInfo for the file: tests.
+type fakeFileInfo struct {
+	mod time.Time
+}
+
+func (f fakeFileInfo) Name() string       { return "f" }
+func (f fakeFileInfo) Size() int64        { return 0 }
+func (f fakeFileInfo) Mode() fs.FileMode  { return 0 }
+func (f fakeFileInfo) ModTime() time.Time { return f.mod }
+func (f fakeFileInfo) IsDir() bool        { return false }
+func (f fakeFileInfo) Sys() any           { return nil }
+
+func TestFileURLStat(t *testing.T) {
+	mod := time.Date(1995, 10, 10, 8, 0, 0, 0, time.UTC)
+	c := New(&fakeTransport{})
+	c.Stat = func(path string) (os.FileInfo, error) {
+		if path != "/home/u/notes.html" {
+			t.Errorf("stat path = %q", path)
+		}
+		return fakeFileInfo{mod: mod}, nil
+	}
+	info, err := c.Head("file:/home/u/notes.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != 200 || !info.LastModified.Equal(mod) {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestFileURLMissing(t *testing.T) {
+	c := New(&fakeTransport{})
+	c.Stat = func(string) (os.FileInfo, error) { return nil, os.ErrNotExist }
+	info, err := c.Head("file:///no/such")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != 404 {
+		t.Errorf("status = %d, want 404", info.Status)
+	}
+}
+
+func TestFileURLGet(t *testing.T) {
+	c := New(&fakeTransport{})
+	c.Stat = func(string) (os.FileInfo, error) { return fakeFileInfo{mod: time.Now()}, nil }
+	c.ReadFile = func(path string) ([]byte, error) { return []byte("file body"), nil }
+	info, err := c.Get("file:/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Body != "file body" || info.Checksum == "" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestHTTPTransportRealServer(t *testing.T) {
+	mod := time.Date(1995, 11, 3, 12, 0, 0, 0, time.UTC)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/page":
+			w.Header().Set("Last-Modified", mod.Format(http.TimeFormat))
+			if r.Method != "HEAD" {
+				w.Write([]byte("<html>real</html>"))
+			}
+		case "/moved":
+			http.Redirect(w, r, "/page", http.StatusFound)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(&HTTPTransport{})
+	info, err := c.Head(srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.LastModified.Equal(mod) {
+		t.Errorf("Last-Modified = %v, want %v", info.LastModified, mod)
+	}
+	info, err = c.Get(srv.URL + "/moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Body != "<html>real</html>" || info.Redirected != 1 {
+		t.Errorf("info = %+v", info)
+	}
+	info, err = c.Head(srv.URL + "/gone")
+	if err != nil || Classify(info.Status, nil) != Gone {
+		t.Errorf("missing page: %+v err=%v", info, err)
+	}
+}
+
+func TestFilePathForms(t *testing.T) {
+	cases := map[string]string{
+		"file:/a/b":    "/a/b",
+		"file:///a/b":  "/a/b",
+		"file://a/b":   "/a/b",
+		"file:rel/pth": "/rel/pth",
+	}
+	for in, want := range cases {
+		if got := filePath(in); got != want {
+			t.Errorf("filePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package websim
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+func TestConditionalGet304(t *testing.T) {
+	w := New(simclock.New(time.Time{}))
+	p := w.Site("h").Page("/p")
+	p.Set("v1")
+	mod := w.Clock().Now()
+	c := webclient.New(w)
+
+	_, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	if err != nil || !notMod {
+		t.Fatalf("304 path: notMod=%v err=%v", notMod, err)
+	}
+	// Page changes: conditional GET returns the new body.
+	w.Advance(24 * time.Hour)
+	p.Set("v2")
+	info, notMod, err := c.GetConditional("http://h/p", mod)
+	if err != nil || notMod || info.Body != "v2" {
+		t.Fatalf("changed path: %+v notMod=%v err=%v", info, notMod, err)
+	}
+	// Pages without Last-Modified never answer 304.
+	cgi := w.Site("h").Page("/cgi")
+	cgi.Set("x")
+	cgi.SetNoLastModified()
+	_, notMod, err = c.GetConditional("http://h/cgi", mod.Add(100*time.Hour))
+	if err != nil || notMod {
+		t.Fatalf("no-LM page answered 304: notMod=%v err=%v", notMod, err)
+	}
+}
+
+func TestFormService(t *testing.T) {
+	w := New(simclock.New(time.Time{}))
+	p := w.Site("svc").Page("/search")
+	p.SetForm(func(form url.Values, n int) string {
+		return "results for " + form.Get("q")
+	})
+	c := webclient.New(w)
+
+	info, err := c.Post("http://svc/search", "q=mobile+computing")
+	if err != nil || !strings.Contains(info.Body, "results for mobile computing") {
+		t.Fatalf("post: %+v err=%v", info, err)
+	}
+	// Malformed body is a 400.
+	info, err = c.Post("http://svc/search", "%zz=bad")
+	if err != nil || info.Status != 400 {
+		t.Fatalf("bad form: %+v err=%v", info, err)
+	}
+	// POST to a non-form page is a 405.
+	w.Site("svc").Page("/plain").Set("x")
+	info, err = c.Post("http://svc/plain", "a=1")
+	if err != nil || info.Status != 405 {
+		t.Fatalf("post to plain page: %+v err=%v", info, err)
+	}
+}
+
+func TestFormServiceOverRealHTTP(t *testing.T) {
+	w := New(simclock.New(time.Time{}))
+	p := w.Site("svc.example").Page("/lookup")
+	p.SetForm(func(form url.Values, n int) string {
+		return "hello " + form.Get("name")
+	})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	resp, err := http.PostForm(srv.URL+"/svc.example/lookup", url.Values{"name": {"fred"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	n, _ := resp.Body.Read(buf)
+	if got := string(buf[:n]); got != "hello fred" {
+		t.Errorf("body = %q", got)
+	}
+}
+
+func TestConditionalGetOverRealHTTP(t *testing.T) {
+	w := New(simclock.New(time.Time{}))
+	p := w.Site("h").Page("/p")
+	p.Set("body")
+	mod := w.Clock().Now()
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	c := webclient.New(&webclient.HTTPTransport{})
+	_, notMod, err := c.GetConditional(srv.URL+"/h/p", mod.Add(time.Minute))
+	if err != nil || !notMod {
+		t.Fatalf("real-HTTP 304: notMod=%v err=%v", notMod, err)
+	}
+}

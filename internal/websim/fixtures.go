@@ -1,0 +1,47 @@
+package websim
+
+// Fixture pages shared by the Figure 2 experiment, the root benchmark
+// harness, and the examples: two versions of a USENIX-style association
+// home page, modelled on the 9/29/95 and 11/3/95 snapshots the paper's
+// Figure 2 compares — an announcement replaced, a second one edited, and
+// a brand-new item added.
+
+// USENIXSept is the older version (as of 9/29/95).
+const USENIXSept = `<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD><BODY>
+<H1>USENIX: The UNIX and Advanced Computing Systems Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association. Since 1975 the USENIX Association has brought
+together the community of engineers and system administrators.</P>
+<H2>Upcoming Events</H2>
+<UL>
+<LI><A HREF="events/calendar.html">Calendar of upcoming events</A>
+<LI><A HREF="events/lisa95.html">LISA IX, Monterey, California, September 17-22, 1995</A>
+<LI><A HREF="events/sec95.html">Fifth USENIX Security Symposium, Salt Lake City, June 1995</A>
+</UL>
+<H2>Membership</H2>
+<P>Membership information is available online. Contact the USENIX office
+for registration materials and conference proceedings.</P>
+<HR>
+<ADDRESS>USENIX Association, 2560 Ninth Street, Berkeley CA</ADDRESS>
+</BODY></HTML>`
+
+// USENIXNov is the newer version (as of 11/3/95).
+const USENIXNov = `<HTML><HEAD><TITLE>USENIX Association</TITLE></HEAD><BODY>
+<H1>USENIX: The UNIX and Advanced Computing Systems Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association. Since 1975 the USENIX Association has brought
+together the community of engineers and system administrators.</P>
+<H2>Upcoming Events</H2>
+<UL>
+<LI><A HREF="events/calendar.html">Calendar of upcoming events</A>
+<LI><A HREF="events/usenix96.html">1996 USENIX Technical Conference, San Diego,
+January 22-26, 1996</A>
+<LI><A HREF="events/sec96.html">Sixth USENIX Security Symposium, San Jose, July 1996</A>
+<LI><A HREF="sage/">SAGE: the System Administrators Guild</A>
+</UL>
+<H2>Membership</H2>
+<P>Membership information is available online. Contact the USENIX office
+for registration materials and conference proceedings.</P>
+<HR>
+<ADDRESS>USENIX Association, 2560 Ninth Street, Berkeley CA</ADDRESS>
+</BODY></HTML>`

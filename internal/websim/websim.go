@@ -1,0 +1,485 @@
+// Package websim is the synthetic web that stands in for the 1995/96
+// Internet in this reproduction (see DESIGN.md, "Substitutions"). It
+// models virtual hosts and pages whose content evolves over simulated
+// time under configurable change processes, and exposes exactly the
+// observables AIDE's tools consume: HEAD/GET with Last-Modified headers,
+// status codes, redirects, robots.txt, and fault injection (down hosts,
+// timeouts), plus per-request counters for the polling experiments.
+//
+// A Web implements webclient.Transport for fast in-process experiments
+// and http.Handler for integration tests over real sockets.
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// ErrHostDown is returned when the virtual host is marked down.
+var ErrHostDown = errors.New("websim: connection refused")
+
+// ErrTimeout is returned when the virtual host is overloaded. It
+// satisfies net.Error-style timeout checks by message only; AIDE treats
+// all transport errors as transient anyway.
+var ErrTimeout = errors.New("websim: request timed out")
+
+// Version is one stored state of a page.
+type Version struct {
+	// Time is the modification instant.
+	Time time.Time
+	// Body is the page content.
+	Body string
+}
+
+// Page is one resource on a virtual host.
+type Page struct {
+	site *Site
+	path string
+
+	mu       sync.Mutex
+	versions []Version
+	// noLastModified suppresses the Last-Modified header (CGI output).
+	noLastModified bool
+	// dynamic, when set, computes the body per request (counter pages,
+	// embedded-clock pages — the paper's "noisy" modifications).
+	dynamic func(now time.Time, requestNum int) string
+	// gone makes the page answer 404 (deactivated URL).
+	gone bool
+	// redirect makes the page answer 302 to the given location (a URL
+	// that moved with a forwarding pointer).
+	redirect string
+	// form, when set, makes the page a POST service: the handler maps a
+	// URL-encoded form body to output (§8.4's CGI-with-POST case).
+	form func(form url.Values, requestNum int) string
+	// fetches counts GET/POST requests, for dynamic bodies.
+	fetches int
+}
+
+// URL returns the page's absolute URL.
+func (p *Page) URL() string { return "http://" + p.site.host + p.path }
+
+// Set records a new version with the current simulated time.
+func (p *Page) Set(body string) {
+	p.SetAt(body, p.site.web.clock.Now())
+}
+
+// SetAt records a new version at an explicit instant.
+func (p *Page) SetAt(body string, t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.versions = append(p.versions, Version{Time: t.UTC(), Body: body})
+}
+
+// Current returns the newest version.
+func (p *Page) Current() Version {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.versions) == 0 {
+		return Version{}
+	}
+	return p.versions[len(p.versions)-1]
+}
+
+// VersionCount returns how many versions the page has had.
+func (p *Page) VersionCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.versions)
+}
+
+// SetNoLastModified marks the page as CGI-like: responses carry no
+// Last-Modified header, forcing checksum-based change detection.
+func (p *Page) SetNoLastModified() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noLastModified = true
+}
+
+// SetDynamic installs a per-request body generator (noisy pages). The
+// generator receives the simulated time and a running request count.
+func (p *Page) SetDynamic(gen func(now time.Time, requestNum int) string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dynamic = gen
+	p.noLastModified = true
+}
+
+// SetGone deactivates the URL (404).
+func (p *Page) SetGone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gone = true
+}
+
+// SetRedirect gives the URL a forwarding pointer.
+func (p *Page) SetRedirect(location string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.redirect = location
+}
+
+// SetForm makes the page a POST service: the handler receives the
+// parsed form and a running request count and returns the output body.
+// GET/HEAD on a pure form service answer 405.
+func (p *Page) SetForm(handler func(form url.Values, requestNum int) string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.form = handler
+	p.noLastModified = true
+}
+
+// respond builds the response for one request.
+func (p *Page) respond(req *webclient.Request, now time.Time) *webclient.Response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.gone:
+		return &webclient.Response{Status: 404}
+	case p.redirect != "":
+		return &webclient.Response{Status: 302, Location: p.redirect}
+	}
+	if req.Method == "POST" {
+		if p.form == nil {
+			return &webclient.Response{Status: 405}
+		}
+		vals, err := url.ParseQuery(req.Body)
+		if err != nil {
+			return &webclient.Response{Status: 400}
+		}
+		p.fetches++
+		return &webclient.Response{Status: 200, Body: p.form(vals, p.fetches)}
+	}
+	if p.form != nil && p.dynamic == nil && len(p.versions) == 0 {
+		return &webclient.Response{Status: 405} // POST-only service
+	}
+	if p.dynamic != nil {
+		p.fetches++
+		body := p.dynamic(now, p.fetches)
+		resp := &webclient.Response{Status: 200}
+		if req.Method != "HEAD" {
+			resp.Body = body
+		}
+		return resp
+	}
+	if len(p.versions) == 0 {
+		return &webclient.Response{Status: 404}
+	}
+	v := p.versions[len(p.versions)-1]
+	// Conditional GET: unchanged since the client's copy -> 304.
+	if !req.IfModifiedSince.IsZero() && !p.noLastModified && !v.Time.After(req.IfModifiedSince) {
+		return &webclient.Response{Status: 304, LastModified: v.Time}
+	}
+	resp := &webclient.Response{Status: 200}
+	if !p.noLastModified {
+		resp.LastModified = v.Time
+	}
+	if req.Method != "HEAD" {
+		resp.Body = v.Body
+	}
+	return resp
+}
+
+// Site is a virtual host.
+type Site struct {
+	web  *Web
+	host string
+
+	mu    sync.Mutex
+	pages map[string]*Page
+	// down simulates a dead or unreachable server.
+	down bool
+	// timeout simulates an overloaded server: every request errors.
+	timeout bool
+	// failEvery makes every n-th request time out (deterministic
+	// intermittent failure, for the §3.1 error-handling experiments).
+	failEvery int
+	// heads and gets count requests served (fault-rejected requests
+	// count too: they still cost the client a connection attempt).
+	heads, gets int
+}
+
+// Page returns (creating if needed) the page at path ("/..." form).
+func (s *Site) Page(path string) *Page {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[path]
+	if !ok {
+		p = &Page{site: s, path: path}
+		s.pages[path] = p
+	}
+	return p
+}
+
+// SetRobots installs a robots.txt body for the host.
+func (s *Site) SetRobots(body string) {
+	s.Page("/robots.txt").Set(body)
+}
+
+// SetDown marks the host unreachable (or back up).
+func (s *Site) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+// SetTimeout makes every request to the host time out (or stop doing so).
+func (s *Site) SetTimeout(timeout bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timeout = timeout
+}
+
+// SetFailEvery makes every n-th request to the host time out — the
+// intermittent overload of §3.1's "proxy-caching servers are sometimes
+// overloaded to the point of timing out". n <= 0 disables the fault.
+func (s *Site) SetFailEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+}
+
+// Requests returns the HEAD and GET counts served by this host.
+func (s *Site) Requests() (heads, gets int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heads, s.gets
+}
+
+// Web is the collection of virtual hosts sharing one simulated clock.
+type Web struct {
+	clock *simclock.Sim
+
+	mu        sync.Mutex
+	sites     map[string]*Site
+	processes []*process
+}
+
+// New returns an empty web on the given clock (a fresh one if nil).
+func New(clock *simclock.Sim) *Web {
+	if clock == nil {
+		clock = simclock.New(time.Time{})
+	}
+	return &Web{clock: clock, sites: make(map[string]*Site)}
+}
+
+// Clock returns the web's simulated clock.
+func (w *Web) Clock() *simclock.Sim { return w.clock }
+
+// Site returns (creating if needed) the virtual host with the given name
+// (e.g. "www.yahoo.com" or "host:8080").
+func (w *Web) Site(host string) *Site {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.sites[host]
+	if !ok {
+		s = &Site{web: w, host: host, pages: make(map[string]*Page)}
+		w.sites[host] = s
+	}
+	return s
+}
+
+// Hosts lists the virtual host names, sorted.
+func (w *Web) Hosts() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hosts := make([]string, 0, len(w.sites))
+	for h := range w.sites {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// TotalRequests sums HEAD and GET counts over all hosts.
+func (w *Web) TotalRequests() (heads, gets int) {
+	w.mu.Lock()
+	sites := make([]*Site, 0, len(w.sites))
+	for _, s := range w.sites {
+		sites = append(sites, s)
+	}
+	w.mu.Unlock()
+	for _, s := range sites {
+		h, g := s.Requests()
+		heads += h
+		gets += g
+	}
+	return heads, gets
+}
+
+// ResetRequestCounts zeroes all request counters (between experiment
+// phases).
+func (w *Web) ResetRequestCounts() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.sites {
+		s.mu.Lock()
+		s.heads, s.gets = 0, 0
+		s.mu.Unlock()
+	}
+}
+
+// RoundTrip implements webclient.Transport against the virtual web.
+func (w *Web) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
+	host, path, err := splitHTTPURL(req.URL)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	site, ok := w.sites[host]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("websim: no such host %q", host)
+	}
+	site.mu.Lock()
+	if req.Method == "HEAD" {
+		site.heads++
+	} else {
+		site.gets++
+	}
+	down, timeout := site.down, site.timeout
+	if site.failEvery > 0 && (site.heads+site.gets)%site.failEvery == 0 {
+		timeout = true
+	}
+	page := site.pages[path]
+	site.mu.Unlock()
+	switch {
+	case down:
+		return nil, ErrHostDown
+	case timeout:
+		return nil, ErrTimeout
+	case page == nil:
+		return &webclient.Response{Status: 404}, nil
+	}
+	return page.respond(req, w.clock.Now()), nil
+}
+
+// splitHTTPURL splits an http:// URL into host and path.
+func splitHTTPURL(url string) (host, path string, err error) {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		return "", "", fmt.Errorf("websim: unsupported URL %q", url)
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i], rest[i:], nil
+	}
+	return rest, "/", nil
+}
+
+// Handler adapts the web to net/http for integration tests over real
+// sockets. Because every virtual host shares one listener, the logical
+// host is carried as the first path segment: GET /www.yahoo.com/path.
+func (w *Web) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		trimmed := strings.TrimPrefix(r.URL.Path, "/")
+		host, path, ok := strings.Cut(trimmed, "/")
+		if !ok {
+			path = ""
+		}
+		req := &webclient.Request{
+			Method: r.Method,
+			URL:    "http://" + host + "/" + path,
+		}
+		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			if t, perr := http.ParseTime(ims); perr == nil {
+				req.IfModifiedSince = t
+			}
+		}
+		if r.Method == "POST" {
+			body, rerr := io.ReadAll(r.Body)
+			if rerr != nil {
+				http.Error(rw, rerr.Error(), http.StatusBadRequest)
+				return
+			}
+			req.Body = string(body)
+			req.ContentType = r.Header.Get("Content-Type")
+		}
+		resp, err := w.RoundTrip(req)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if !resp.LastModified.IsZero() {
+			rw.Header().Set("Last-Modified", resp.LastModified.UTC().Format(http.TimeFormat))
+		}
+		if resp.Location != "" {
+			// Rewrite the logical URL into the path-prefixed form.
+			loc := resp.Location
+			if h, p, lerr := splitHTTPURL(loc); lerr == nil {
+				loc = "/" + h + p
+			}
+			rw.Header().Set("Location", loc)
+		}
+		rw.WriteHeader(resp.Status)
+		if r.Method != "HEAD" {
+			fmt.Fprint(rw, resp.Body)
+		}
+	})
+}
+
+// --- change processes -------------------------------------------------------
+
+// process drives one page's evolution on the simulated clock.
+type process struct {
+	page     *Page
+	interval time.Duration
+	next     time.Time
+	step     int
+	gen      func(step int) string
+}
+
+// Evolve schedules page to be regenerated by gen every interval of
+// simulated time, starting one interval from now. gen receives the step
+// number (1, 2, ...). The initial content (step 0) is installed
+// immediately.
+func (w *Web) Evolve(page *Page, interval time.Duration, gen func(step int) string) {
+	page.Set(gen(0))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.processes = append(w.processes, &process{
+		page:     page,
+		interval: interval,
+		next:     w.clock.Now().Add(interval),
+		gen:      gen,
+	})
+}
+
+// AdvanceTo moves the simulated clock to t, applying every scheduled
+// change that falls due on the way, in time order.
+func (w *Web) AdvanceTo(t time.Time) {
+	for {
+		w.mu.Lock()
+		var earliest *process
+		for _, p := range w.processes {
+			if !p.next.After(t) && (earliest == nil || p.next.Before(earliest.next)) {
+				earliest = p
+			}
+		}
+		w.mu.Unlock()
+		if earliest == nil {
+			break
+		}
+		w.clock.Set(earliest.next)
+		earliest.step++
+		earliest.page.SetAt(earliest.gen(earliest.step), earliest.next)
+		earliest.next = earliest.next.Add(earliest.interval)
+	}
+	w.clock.Set(t)
+}
+
+// Advance moves the clock forward by d, applying due changes.
+func (w *Web) Advance(d time.Duration) {
+	w.AdvanceTo(w.clock.Now().Add(d))
+}

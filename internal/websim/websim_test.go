@@ -1,0 +1,290 @@
+package websim
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+func newWeb() *Web {
+	return New(simclock.New(time.Time{}))
+}
+
+func TestBasicServe(t *testing.T) {
+	w := newWeb()
+	p := w.Site("www.example.com").Page("/index.html")
+	p.Set("<html>v1</html>")
+	c := webclient.New(w)
+
+	info, err := c.Get("http://www.example.com/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != 200 || info.Body != "<html>v1</html>" {
+		t.Fatalf("info = %+v", info)
+	}
+	if !info.HasLastModified {
+		t.Error("static page missing Last-Modified")
+	}
+	// HEAD carries the date but no body.
+	info, err = c.Head("http://www.example.com/index.html")
+	if err != nil || info.HasBody {
+		t.Errorf("HEAD: %+v err=%v", info, err)
+	}
+}
+
+func TestLastModifiedTracksClock(t *testing.T) {
+	w := newWeb()
+	p := w.Site("h").Page("/p")
+	p.Set("v1")
+	t1 := w.Clock().Now()
+	w.Advance(48 * time.Hour)
+	p.Set("v2")
+	t2 := w.Clock().Now()
+
+	c := webclient.New(w)
+	info, _ := c.Head("http://h/p")
+	if !info.LastModified.Equal(t2) {
+		t.Errorf("Last-Modified = %v, want %v", info.LastModified, t2)
+	}
+	if t2.Sub(t1) != 48*time.Hour {
+		t.Errorf("clock advance wrong: %v", t2.Sub(t1))
+	}
+}
+
+func TestMissingHostAndPage(t *testing.T) {
+	w := newWeb()
+	w.Site("h").Page("/exists").Set("x")
+	c := webclient.New(w)
+	if _, err := c.Head("http://nohost/"); err == nil {
+		t.Error("unknown host did not error")
+	}
+	info, err := c.Head("http://h/missing")
+	if err != nil || info.Status != 404 {
+		t.Errorf("missing page: %+v err=%v", info, err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	w := newWeb()
+	s := w.Site("h")
+	s.Page("/p").Set("x")
+	c := webclient.New(w)
+
+	s.SetDown(true)
+	if _, err := c.Head("http://h/p"); err == nil {
+		t.Error("down host served request")
+	}
+	s.SetDown(false)
+	s.SetTimeout(true)
+	if _, err := c.Head("http://h/p"); err == nil {
+		t.Error("timing-out host served request")
+	}
+	s.SetTimeout(false)
+	if info, err := c.Head("http://h/p"); err != nil || info.Status != 200 {
+		t.Errorf("recovered host: %+v err=%v", info, err)
+	}
+}
+
+func TestGoneAndRedirect(t *testing.T) {
+	w := newWeb()
+	s := w.Site("h")
+	s.Page("/dead").Set("x")
+	s.Page("/dead").SetGone()
+	s.Page("/old").SetRedirect("http://h/new")
+	s.Page("/new").Set("moved here")
+	c := webclient.New(w)
+
+	info, err := c.Head("http://h/dead")
+	if err != nil || webclient.Classify(info.Status, nil) != webclient.Gone {
+		t.Errorf("gone page: %+v err=%v", info, err)
+	}
+	info, err = c.Get("http://h/old")
+	if err != nil || info.Body != "moved here" || info.Redirected != 1 {
+		t.Errorf("redirect: %+v err=%v", info, err)
+	}
+}
+
+func TestDynamicCounterPage(t *testing.T) {
+	w := newWeb()
+	p := w.Site("h").Page("/counter")
+	p.SetDynamic(CounterBody("Counter"))
+	c := webclient.New(w)
+
+	i1, _ := c.Get("http://h/counter")
+	i2, _ := c.Get("http://h/counter")
+	if i1.Body == i2.Body {
+		t.Error("counter page identical across fetches")
+	}
+	if i1.HasLastModified || i2.HasLastModified {
+		t.Error("dynamic page advertised Last-Modified")
+	}
+}
+
+func TestClockBodyChangesWithTime(t *testing.T) {
+	w := newWeb()
+	p := w.Site("h").Page("/clock")
+	p.SetDynamic(ClockBody("Clock"))
+	c := webclient.New(w)
+	i1, _ := c.Get("http://h/clock")
+	w.Advance(time.Hour)
+	i2, _ := c.Get("http://h/clock")
+	if i1.Body == i2.Body {
+		t.Error("clock page identical across time")
+	}
+}
+
+func TestRequestCounters(t *testing.T) {
+	w := newWeb()
+	w.Site("a").Page("/p").Set("x")
+	w.Site("b").Page("/p").Set("y")
+	c := webclient.New(w)
+	c.Head("http://a/p")
+	c.Head("http://a/p")
+	c.Get("http://b/p")
+
+	if h, g := w.Site("a").Requests(); h != 2 || g != 0 {
+		t.Errorf("site a = (%d,%d)", h, g)
+	}
+	if h, g := w.TotalRequests(); h != 2 || g != 1 {
+		t.Errorf("total = (%d,%d)", h, g)
+	}
+	w.ResetRequestCounts()
+	if h, g := w.TotalRequests(); h != 0 || g != 0 {
+		t.Errorf("after reset = (%d,%d)", h, g)
+	}
+}
+
+func TestEvolveAppendsOnSchedule(t *testing.T) {
+	w := newWeb()
+	p := w.Site("h").Page("/news")
+	w.Evolve(p, 24*time.Hour, AppendGenerator("News", 1))
+	if p.VersionCount() != 1 {
+		t.Fatalf("initial versions = %d", p.VersionCount())
+	}
+	w.Advance(72 * time.Hour)
+	if p.VersionCount() != 4 { // initial + 3 daily steps
+		t.Fatalf("versions after 3 days = %d, want 4", p.VersionCount())
+	}
+	// Append-only: the previous body is a prefix-preserving subset.
+	body := p.Current().Body
+	if !strings.Contains(body, "Item 0:") || !strings.Contains(body, "Item 3:") {
+		t.Errorf("appended items missing:\n%s", body)
+	}
+	// Modification times ascend with the schedule.
+	v := p.Current()
+	if got := v.Time.Sub(simclock.Epoch); got != 72*time.Hour {
+		t.Errorf("last mod at +%v, want +72h", got)
+	}
+}
+
+func TestEvolveOrderAcrossPages(t *testing.T) {
+	w := newWeb()
+	var order []string
+	p1 := w.Site("h").Page("/a")
+	p2 := w.Site("h").Page("/b")
+	w.Evolve(p1, 36*time.Hour, func(step int) string {
+		if step > 0 {
+			order = append(order, "a")
+		}
+		return "a"
+	})
+	w.Evolve(p2, 24*time.Hour, func(step int) string {
+		if step > 0 {
+			order = append(order, "b")
+		}
+		return "b"
+	})
+	w.Advance(80 * time.Hour)
+	// b fires at 24,48,72; a at 36,72 — interleaved in time order, with
+	// the 72h tie broken deterministically (earliest-first scan).
+	want := "b a b a b" // 24,36,48,72(a),72(b) — a registered first wins ties
+	got := strings.Join(order, " ")
+	if got != "b a b a b" && got != "b a b b a" {
+		t.Errorf("order = %q, want %q (tie either way)", got, want)
+	}
+}
+
+func TestGeneratorsShapes(t *testing.T) {
+	app := AppendGenerator("T", 7)
+	if app(0) == app(1) {
+		t.Error("append generator static")
+	}
+	if !strings.HasPrefix(app(1), app(0)[:100]) {
+		t.Error("append generator not prefix-stable")
+	}
+
+	edit := EditGenerator("T", 10, 7)
+	if edit(0) == edit(1) {
+		t.Error("edit generator static")
+	}
+	// Edits are in place: sizes stay close.
+	if d := len(edit(1)) - len(edit(0)); d > 500 || d < -500 {
+		t.Errorf("edit changed size by %d", d)
+	}
+
+	rep := ReplaceGenerator("T", 200, 7)
+	if rep(1) == rep(2) {
+		t.Error("replace generator repeated content")
+	}
+
+	st := StaticGenerator("T", 100, 7)
+	if st(0) != st(5) {
+		t.Error("static generator changed")
+	}
+
+	sz := SizedChangeGenerator(400, 20, 7)
+	if sz(1) == sz(2) {
+		t.Error("sized-change generator static")
+	}
+}
+
+func TestFillerDeterministic(t *testing.T) {
+	a := AppendGenerator("X", 42)(3)
+	b := AppendGenerator("X", 42)(3)
+	if a != b {
+		t.Error("generator not deterministic for same seed/step")
+	}
+}
+
+func TestHTTPHandlerIntegration(t *testing.T) {
+	w := newWeb()
+	w.Site("www.usenix.org").Page("/index.html").Set("<html>usenix</html>")
+	w.Site("www.usenix.org").Page("/old").SetRedirect("http://www.usenix.org/index.html")
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	c := webclient.New(&webclient.HTTPTransport{})
+	info, err := c.Get(srv.URL + "/www.usenix.org/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != 200 || info.Body != "<html>usenix</html>" {
+		t.Errorf("info = %+v", info)
+	}
+	if !info.HasLastModified {
+		t.Error("Last-Modified header lost over real HTTP")
+	}
+	// Redirects are rewritten into the path-prefixed namespace.
+	info, err = c.Get(srv.URL + "/www.usenix.org/old")
+	if err != nil || info.Body != "<html>usenix</html>" {
+		t.Errorf("redirect over real HTTP: %+v err=%v", info, err)
+	}
+}
+
+func BenchmarkSimRoundTrip(b *testing.B) {
+	w := newWeb()
+	w.Site("h").Page("/p").Set(strings.Repeat("content ", 500))
+	c := webclient.New(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Head("http://h/p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package websim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// This file holds the page generators used by the experiments and
+// examples: deterministic synthetic content whose evolution mimics the
+// page populations the paper's measurements depend on — append-mostly
+// "what's new" pages, edit-in-place pages, full-replacement pages, and
+// the "noisy" counter/clock pages of §3.1.
+
+// vocabulary for deterministic filler text.
+var vocabulary = []string{
+	"system", "network", "server", "client", "protocol", "document",
+	"version", "archive", "change", "update", "release", "research",
+	"mobile", "computing", "software", "interface", "caching", "storage",
+	"index", "project", "group", "paper", "conference", "workshop",
+	"available", "information", "announcement", "meeting", "schedule",
+}
+
+// Filler produces n deterministic pseudo-English words from rng.
+func Filler(rng *rand.Rand, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocabulary[rng.Intn(len(vocabulary))]
+	}
+	return strings.Join(words, " ")
+}
+
+// FillerSentences produces n sentences of 6–14 words each.
+func FillerSentences(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(Filler(rng, 6+rng.Intn(9)))
+		sb.WriteByte('.')
+	}
+	return sb.String()
+}
+
+// AppendGenerator returns a generator for a "what's new"-style page: a
+// header plus a list that grows by one dated item per step. Old items
+// are retained, so changes are small relative to page size — the shape
+// the RCS deltas compress well.
+func AppendGenerator(title string, seed int64) func(step int) string {
+	return func(step int) string {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>%s</TITLE></HEAD><BODY>\n<H1>%s</H1>\n<UL>\n", title, title)
+		for i := 0; i <= step; i++ {
+			// Each item's text is a pure function of (seed, i), so item
+			// i is identical across steps: append-only evolution.
+			fmt.Fprintf(&sb, "<LI><A HREF=\"item%d.html\">Item %d: %s.</A>\n",
+				i, i, Filler(rng, 5+rng.Intn(5)))
+		}
+		sb.WriteString("</UL>\n</BODY></HTML>\n")
+		return sb.String()
+	}
+}
+
+// EditGenerator returns a generator for a page of stable paragraphs in
+// which each step rewrites one paragraph in place — the WikiWikiWeb-style
+// "content can be modified anywhere on the page" case (§1).
+func EditGenerator(title string, paragraphs int, seed int64) func(step int) string {
+	base := make([]string, paragraphs)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range base {
+		base[i] = FillerSentences(rng, 2+rng.Intn(3))
+	}
+	return func(step int) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>%s</TITLE></HEAD><BODY>\n<H1>%s</H1>\n", title, title)
+		for i, para := range base {
+			text := para
+			if step > 0 && i == (step*7)%paragraphs {
+				erng := rand.New(rand.NewSource(seed + int64(step)*1000))
+				text = FillerSentences(erng, 2+erng.Intn(3))
+			}
+			fmt.Fprintf(&sb, "<P>%s</P>\n", text)
+		}
+		sb.WriteString("</BODY></HTML>\n")
+		return sb.String()
+	}
+}
+
+// ReplaceGenerator returns a generator whose every step is entirely new
+// content of roughly bodyWords words — the paper's "What's New in
+// Mosaic" case where the whole page is replaced and HtmlDiff is useless
+// but archival cost is high (§8.2).
+func ReplaceGenerator(title string, bodyWords int, seed int64) func(step int) string {
+	return func(step int) string {
+		rng := rand.New(rand.NewSource(seed + int64(step)))
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>%s #%d</TITLE></HEAD><BODY>\n<H1>%s</H1>\n", title, step, title)
+		for remaining := bodyWords; remaining > 0; {
+			n := 40
+			if remaining < n {
+				n = remaining
+			}
+			fmt.Fprintf(&sb, "<P>%s.</P>\n", Filler(rng, n))
+			remaining -= n
+		}
+		sb.WriteString("</BODY></HTML>\n")
+		return sb.String()
+	}
+}
+
+// StaticGenerator returns a generator that never changes.
+func StaticGenerator(title string, bodyWords int, seed int64) func(step int) string {
+	body := func() string {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>%s</TITLE></HEAD><BODY>\n<H1>%s</H1>\n", title, title)
+		fmt.Fprintf(&sb, "<P>%s</P>\n</BODY></HTML>\n", FillerSentences(rng, bodyWords/8+1))
+		return sb.String()
+	}()
+	return func(int) string { return body }
+}
+
+// CounterBody returns a dynamic page body generator embedding the access
+// count — a page that "reports the number of times it has been accessed"
+// and therefore looks different on every retrieval (§3.1).
+func CounterBody(title string) func(now time.Time, requestNum int) string {
+	return func(_ time.Time, requestNum int) string {
+		return fmt.Sprintf("<HTML><BODY><H1>%s</H1>\n<P>You are visitor number %d.</P>\n</BODY></HTML>\n",
+			title, requestNum)
+	}
+}
+
+// ClockBody returns a dynamic body generator embedding the current time
+// — the other classic noisy page.
+func ClockBody(title string) func(now time.Time, requestNum int) string {
+	return func(now time.Time, _ int) string {
+		return fmt.Sprintf("<HTML><BODY><H1>%s</H1>\n<P>Generated at %s.</P>\n</BODY></HTML>\n",
+			title, now.UTC().Format(time.ANSIC))
+	}
+}
+
+// SizedChangeGenerator returns a generator for the §7 storage experiment:
+// a page with a stable body of baseWords words where each step rewrites a
+// slice of changeWords words, so each check-in's delta is proportional to
+// changeWords.
+func SizedChangeGenerator(baseWords, changeWords int, seed int64) func(step int) string {
+	rng := rand.New(rand.NewSource(seed))
+	paras := make([]string, 0, baseWords/40+1)
+	for remaining := baseWords; remaining > 0; {
+		n := 40
+		if remaining < n {
+			n = remaining
+		}
+		paras = append(paras, Filler(rng, n))
+		remaining -= n
+	}
+	return func(step int) string {
+		var sb strings.Builder
+		sb.WriteString("<HTML><BODY>\n")
+		for i, p := range paras {
+			text := p
+			if step > 0 && len(paras) > 0 && i == step%len(paras) {
+				crng := rand.New(rand.NewSource(seed + int64(step)*31))
+				text = Filler(crng, changeWords)
+			}
+			fmt.Fprintf(&sb, "<P>%s.</P>\n", text)
+		}
+		sb.WriteString("</BODY></HTML>\n")
+		return sb.String()
+	}
+}

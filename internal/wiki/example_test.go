@@ -1,0 +1,44 @@
+package wiki_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+	"aide/internal/wiki"
+)
+
+// Example shows the WebWeaver flow: Ward writes, Fred reads, Tom makes a
+// subtle edit, and Fred's personalised diff pinpoints it.
+func Example() {
+	dir, err := os.MkdirTemp("", "wiki-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	clock := simclock.New(time.Time{})
+	fac, err := snapshot.New(dir, nil, clock)
+	if err != nil {
+		panic(err)
+	}
+	w := wiki.New(fac, clock)
+
+	w.Edit("ward", "DesignPatterns", "<P>Patterns call upon one another.</P>")
+	w.Read("fred", "DesignPatterns")
+	clock.Advance(time.Hour)
+	w.Edit("tom", "DesignPatterns", "<P>Patterns build upon one another.</P>")
+
+	d, _ := w.DiffForReader("fred", "DesignPatterns")
+	fmt.Println("fred compares", d.OldRev, "to", d.NewRev)
+	fmt.Println("edit visible:", strings.Contains(d.HTML, "<STRIKE>call</STRIKE>"))
+
+	unread, _ := w.UnreadChanges("fred")
+	fmt.Println("unread pages for fred:", len(unread))
+	// Output:
+	// fred compares 1.1 to 1.2
+	// edit visible: true
+	// unread pages for fred: 1
+}

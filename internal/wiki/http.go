@@ -1,0 +1,260 @@
+package wiki
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"aide/internal/snapshot"
+)
+
+// Server is WebWeaver's HTTP face: view, edit, RecentChanges, and the
+// personalised diff and history views. The reader identity travels in
+// the user query parameter, as in the rest of AIDE.
+type Server struct {
+	// Wiki is the underlying store.
+	Wiki *Wiki
+	// FrontPage is the document shown at "/". Defaults to "FrontPage".
+	FrontPage string
+}
+
+// NewServer wraps a wiki.
+func NewServer(w *Wiki) *Server { return &Server{Wiki: w, FrontPage: "FrontPage"} }
+
+// Handler returns the wiki's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleFront)
+	mux.HandleFunc("/view", s.handleView)
+	mux.HandleFunc("/edit", s.handleEdit)
+	mux.HandleFunc("/recent", s.handleRecent)
+	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/history", s.handleHistory)
+	return mux
+}
+
+func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	http.Redirect(w, r, "/view?page="+s.FrontPage+"&user="+q.Get("user"), http.StatusFound)
+}
+
+// handleView renders a page with WikiWord links, records the read, and
+// appends the §8.1-style unobtrusive footer linking to the history.
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	page, user := q.Get("page"), q.Get("user")
+	if page == "" {
+		http.Error(w, "need a page parameter", http.StatusBadRequest)
+		return
+	}
+	body, rev, err := s.Wiki.Read(user, page)
+	if errors.Is(err, ErrNoPage) {
+		// A wiki invites you to create what does not exist yet.
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<HTML><BODY><H1>%s</H1><P>This page does not exist yet. "+
+			"<A HREF=\"/edit?page=%s&user=%s\">Create it</A>.</P></BODY></HTML>\n",
+			html.EscapeString(page), page, user)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, LinkWikiWords(body))
+	revs, _, _ := s.Wiki.History("", page)
+	var when string
+	if len(revs) > 0 {
+		when = revs[0].Date.UTC().Format(time.ANSIC)
+	}
+	fmt.Fprintf(w, "<HR><I>Revision %s, last modified <A HREF=\"/history?page=%s&user=%s\">%s</A>. "+
+		"[<A HREF=\"/edit?page=%s&user=%s\">Edit</A>] [<A HREF=\"/diff?page=%s&user=%s\">What changed?</A>] "+
+		"[<A HREF=\"/recent?user=%s\">RecentChanges</A>]</I>\n",
+		rev, page, user, when, page, user, page, user, user)
+}
+
+// handleEdit shows the edit form (GET) or stores a revision (POST). The
+// form carries the revision the edit is based on; a save against a moved
+// head is rejected with a conflict page showing what changed meanwhile.
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		page, user := r.Form.Get("page"), r.Form.Get("user")
+		if page == "" || user == "" {
+			http.Error(w, "need page and user", http.StatusBadRequest)
+			return
+		}
+		body, base := r.Form.Get("body"), r.Form.Get("base")
+		rev, err := s.Wiki.EditFrom(user, page, body, base)
+		if errors.Is(err, ErrEditConflict) {
+			s.renderConflict(w, page, user, body, base, err)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<HTML><BODY>Saved %s as revision %s. "+
+			"<A HREF=\"/view?page=%s&user=%s\">View it</A>.</BODY></HTML>\n",
+			html.EscapeString(page), rev, page, user)
+		return
+	}
+	q := r.URL.Query()
+	page, user := q.Get("page"), q.Get("user")
+	if page == "" {
+		http.Error(w, "need a page parameter", http.StatusBadRequest)
+		return
+	}
+	current, _ := s.Wiki.ReadAt(page, "")
+	base := ""
+	if revs, _, err := s.Wiki.History("", page); err == nil && len(revs) > 0 {
+		base = revs[0].Num
+	}
+	w.Header().Set("Content-Type", "text/html")
+	writeEditForm(w, page, user, current, base, "")
+}
+
+// renderConflict shows the §1-style resolution page: HtmlDiff of what
+// changed underneath the author, plus their text ready to resubmit
+// against the new head.
+func (s *Server) renderConflict(w http.ResponseWriter, page, user, body, base string, cause error) {
+	w.Header().Set("Content-Type", "text/html")
+	w.WriteHeader(http.StatusConflict)
+	fmt.Fprintf(w, "<HTML><BODY><H1>Edit conflict on %s</H1>\n<P>%s.</P>\n",
+		html.EscapeString(page), html.EscapeString(cause.Error()))
+	if base != "" {
+		if d, err := s.Wiki.ConflictDiff(page, base); err == nil {
+			fmt.Fprintf(w, "<H2>What changed while you were editing</H2>\n%s\n", d.HTML)
+		}
+	}
+	newBase := ""
+	if revs, _, err := s.Wiki.History("", page); err == nil && len(revs) > 0 {
+		newBase = revs[0].Num
+	}
+	fmt.Fprint(w, "<H2>Your text (resubmit to apply it over the new head)</H2>\n")
+	writeEditForm(w, page, user, body, newBase, "Save over new head")
+	fmt.Fprint(w, "</BODY></HTML>\n")
+}
+
+// writeEditForm emits the shared edit form.
+func writeEditForm(w io.Writer, page, user, body, base, submit string) {
+	if submit == "" {
+		submit = "Save"
+	}
+	fmt.Fprintf(w, `<FORM ACTION="/edit" METHOD="POST">
+<INPUT TYPE=HIDDEN NAME="page" VALUE="%s">
+<INPUT TYPE=HIDDEN NAME="base" VALUE="%s">
+Your name: <INPUT NAME="user" VALUE="%s"><BR>
+<TEXTAREA NAME="body" ROWS=20 COLS=80>%s</TEXTAREA><BR>
+<INPUT TYPE=SUBMIT VALUE="%s">
+</FORM>
+`, html.EscapeString(page), html.EscapeString(base), html.EscapeString(user),
+		html.EscapeString(body), html.EscapeString(submit))
+}
+
+// handleRecent renders RecentChanges, marking the rows the reader has
+// not caught up with.
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	changes, err := s.Wiki.RecentChanges()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	unreadSet := map[string]bool{}
+	if user != "" {
+		unread, err := s.Wiki.UnreadChanges(user)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, c := range unread {
+			unreadSet[c.Page] = true
+		}
+	}
+	w.Header().Set("Content-Type", "text/html")
+	var sb strings.Builder
+	sb.WriteString("<HTML><HEAD><TITLE>RecentChanges</TITLE></HEAD><BODY>\n<H1>RecentChanges</H1>\n<UL>\n")
+	for _, c := range changes {
+		mark := ""
+		if unreadSet[c.Page] {
+			mark = " <B>(new to you)</B>"
+		}
+		fmt.Fprintf(&sb, "<LI><A HREF=\"/view?page=%s&user=%s\">%s</A> &mdash; %s by %s (rev %s)%s "+
+			"[<A HREF=\"/diff?page=%s&user=%s\">what changed?</A>]\n",
+			c.Page, user, c.Page, c.Date.UTC().Format(time.ANSIC),
+			html.EscapeString(c.Author), c.Rev, mark, c.Page, user)
+	}
+	sb.WriteString("</UL>\n</BODY></HTML>\n")
+	fmt.Fprint(w, sb.String())
+}
+
+// handleDiff renders the reader's personalised HtmlDiff.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	page, user := q.Get("page"), q.Get("user")
+	if page == "" || user == "" {
+		http.Error(w, "need page and user parameters", http.StatusBadRequest)
+		return
+	}
+	d, err := s.Wiki.DiffForReader(user, page)
+	switch {
+	case errors.Is(err, snapshot.ErrNeverSaved):
+		http.Redirect(w, r, "/view?page="+page+"&user="+user, http.StatusFound)
+		return
+	case errors.Is(err, ErrNoPage):
+		http.NotFound(w, r)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, d.HTML)
+	fmt.Fprintf(w, "<HR><I>Comparing revision %s (your last read) with %s. "+
+		"<A HREF=\"/view?page=%s&user=%s\">Catch up</A>.</I>\n", d.OldRev, d.NewRev, page, user)
+}
+
+// handleHistory lists a page's revisions with view/diff links.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	page, user := q.Get("page"), q.Get("user")
+	if page == "" {
+		http.Error(w, "need a page parameter", http.StatusBadRequest)
+		return
+	}
+	revs, seen, err := s.Wiki.History(user, page)
+	if errors.Is(err, ErrNoPage) {
+		http.NotFound(w, r)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<HTML><BODY><H1>History of %s</H1>\n<UL>\n", html.EscapeString(page))
+	for _, rev := range revs {
+		mark := ""
+		if seen[rev.Num] {
+			mark = " <B>(seen by you)</B>"
+		}
+		fmt.Fprintf(&sb, "<LI>%s &mdash; %s by %s%s\n",
+			rev.Num, rev.Date.UTC().Format(time.ANSIC), html.EscapeString(rev.Author), mark)
+	}
+	sb.WriteString("</UL>\n</BODY></HTML>\n")
+	fmt.Fprint(w, sb.String())
+}

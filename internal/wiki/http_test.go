@@ -1,0 +1,232 @@
+package wiki
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func httpRig(t *testing.T) (*rig, *httptest.Server) {
+	t.Helper()
+	r := newRig(t)
+	ts := httptest.NewServer(NewServer(r.w).Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHTTPEditViewFlow(t *testing.T) {
+	_, ts := httpRig(t)
+
+	// Missing page invites creation.
+	code, body := get(t, ts.URL+"/view?page=FrontPage&user=ward")
+	if code != 200 || !strings.Contains(body, "does not exist yet") {
+		t.Fatalf("missing page view: %d\n%s", code, body)
+	}
+
+	// Create it through the form POST.
+	resp, err := http.PostForm(ts.URL+"/edit", url.Values{
+		"page": {"FrontPage"},
+		"user": {"ward"},
+		"body": {"<P>Welcome. See PatternLanguage for more.</P>"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(data), "revision 1.1") {
+		t.Fatalf("edit post: %d\n%s", resp.StatusCode, data)
+	}
+
+	// View renders WikiWord links and the unobtrusive footer.
+	code, body = get(t, ts.URL+"/view?page=FrontPage&user=fred")
+	if code != 200 {
+		t.Fatalf("view code = %d", code)
+	}
+	for _, want := range []string{
+		`<A HREF="/view?page=PatternLanguage">PatternLanguage</A>`,
+		"Revision 1.1, last modified",
+		"/history?page=FrontPage",
+		"[<A HREF=\"/edit?page=FrontPage&user=fred\">Edit</A>]",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("view missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPRecentAndPersonalDiff(t *testing.T) {
+	r, ts := httpRig(t)
+	r.w.Edit("ward", "FrontPage", "<P>original page text here.</P>")
+	// Fred reads it over HTTP (recording his read).
+	get(t, ts.URL+"/view?page=FrontPage&user=fred")
+	// Ward revises it.
+	r.clock.Advance(1000000000)
+	r.w.Edit("ward", "FrontPage", "<P>revised page text here.</P>")
+
+	// RecentChanges marks the page new-to-fred.
+	code, body := get(t, ts.URL+"/recent?user=fred")
+	if code != 200 || !strings.Contains(body, "(new to you)") {
+		t.Fatalf("recent: %d\n%s", code, body)
+	}
+	// Fred's diff shows the word-level change.
+	code, body = get(t, ts.URL+"/diff?page=FrontPage&user=fred")
+	if code != 200 {
+		t.Fatalf("diff code = %d", code)
+	}
+	if !strings.Contains(body, "<STRIKE>original</STRIKE>") ||
+		!strings.Contains(body, "<STRONG><I>revised</I></STRONG>") {
+		t.Errorf("diff content:\n%s", body)
+	}
+	if !strings.Contains(body, "your last read") {
+		t.Errorf("diff footer missing:\n%s", body)
+	}
+}
+
+func TestHTTPDiffNeverReadRedirects(t *testing.T) {
+	r, ts := httpRig(t)
+	r.w.Edit("ward", "FrontPage", "<P>x.</P>")
+	// A reader who never opened the page is redirected to the view.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(ts.URL + "/diff?page=FrontPage&user=stranger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 302 {
+		t.Fatalf("code = %d, want 302", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.Contains(loc, "/view?page=FrontPage") {
+		t.Errorf("redirect location = %q", loc)
+	}
+}
+
+func TestHTTPHistory(t *testing.T) {
+	r, ts := httpRig(t)
+	r.w.Edit("ward", "FrontPage", "<P>v1.</P>")
+	r.clock.Advance(1000000000)
+	r.w.Edit("tom", "FrontPage", "<P>v2.</P>")
+	code, body := get(t, ts.URL+"/history?page=FrontPage&user=tom")
+	if code != 200 {
+		t.Fatalf("history code = %d", code)
+	}
+	for _, want := range []string{"1.1", "1.2", "by ward", "by tom", "(seen by you)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("history missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPFrontRedirectAndValidation(t *testing.T) {
+	_, ts := httpRig(t)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(ts.URL + "/?user=fred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 302 || !strings.Contains(resp.Header.Get("Location"), "page=FrontPage") {
+		t.Fatalf("front redirect: %d %q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+	code, _ := get(t, ts.URL+"/view")
+	if code != 400 {
+		t.Errorf("view without page: %d", code)
+	}
+	code, _ = get(t, ts.URL+"/history?page=NoSuchPage")
+	if code != 404 {
+		t.Errorf("history of missing page: %d", code)
+	}
+	// Bad page name on POST.
+	resp2, err := http.PostForm(ts.URL+"/edit", url.Values{
+		"page": {"lowercase"}, "user": {"u"}, "body": {"x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("bad page name post: %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPEditConflictFlow(t *testing.T) {
+	r, ts := httpRig(t)
+	r.w.Edit("ward", "SharedPage", "<P>original.</P>")
+
+	// Two editors load the form (base = 1.1 in both).
+	code, form := get(t, ts.URL+"/edit?page=SharedPage&user=fred")
+	if code != 200 || !strings.Contains(form, `NAME="base" VALUE="1.1"`) {
+		t.Fatalf("edit form: %d\n%s", code, form)
+	}
+	// Fred saves.
+	resp, err := http.PostForm(ts.URL+"/edit", url.Values{
+		"page": {"SharedPage"}, "user": {"fred"},
+		"body": {"<P>fred version.</P>"}, "base": {"1.1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("fred save code = %d", resp.StatusCode)
+	}
+	// Tom saves from the stale base and gets the conflict page.
+	resp, err = http.PostForm(ts.URL+"/edit", url.Values{
+		"page": {"SharedPage"}, "user": {"tom"},
+		"body": {"<P>tom version.</P>"}, "base": {"1.1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("tom save code = %d, want 409", resp.StatusCode)
+	}
+	body := string(data)
+	for _, want := range []string{
+		"Edit conflict on SharedPage",
+		"What changed while you were editing",
+		"fred",                    // the intervening change is visible
+		`NAME="base" VALUE="1.2"`, // resubmit form targets the new head
+		"tom version.",            // his text is preserved
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("conflict page missing %q:\n%s", want, body)
+		}
+	}
+	// Resubmitting against the new head succeeds.
+	resp, err = http.PostForm(ts.URL+"/edit", url.Values{
+		"page": {"SharedPage"}, "user": {"tom"},
+		"body": {"<P>tom version.</P>"}, "base": {"1.2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(data), "revision 1.3") {
+		t.Fatalf("resubmit: %d\n%s", resp.StatusCode, data)
+	}
+}

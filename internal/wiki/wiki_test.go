@@ -1,0 +1,225 @@
+package wiki
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/snapshot"
+)
+
+const (
+	ward = "ward"
+	fred = "fred"
+	tom  = "tom"
+)
+
+type rig struct {
+	clock *simclock.Sim
+	w     *Wiki
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clock := simclock.New(time.Time{})
+	fac, err := snapshot.New(t.TempDir(), nil, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, w: New(fac, clock)}
+}
+
+func TestEditReadRoundTrip(t *testing.T) {
+	r := newRig(t)
+	rev, err := r.w.Edit(ward, "FrontPage", "<P>welcome to the wiki.</P>")
+	if err != nil || rev != "1.1" {
+		t.Fatalf("edit = (%q,%v)", rev, err)
+	}
+	body, rev, err := r.w.Read(fred, "FrontPage")
+	if err != nil || rev != "1.1" || !strings.Contains(body, "welcome") {
+		t.Fatalf("read = (%q,%q,%v)", body, rev, err)
+	}
+	// Identical re-save is a no-op revision-wise.
+	rev, err = r.w.Edit(tom, "FrontPage", "<P>welcome to the wiki.</P>")
+	if err != nil || rev != "1.1" {
+		t.Fatalf("no-op edit = (%q,%v)", rev, err)
+	}
+}
+
+func TestPageNameValidation(t *testing.T) {
+	r := newRig(t)
+	for _, bad := range []string{"frontpage", "Front", "FRONT", "Front Page", "X", ""} {
+		if _, err := r.w.Edit(ward, bad, "x"); err == nil {
+			t.Errorf("bad page name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"FrontPage", "PatternLanguage", "WikiWikiWeb", "Rfc2068Notes"} {
+		if !IsPageName(good) {
+			t.Errorf("good page name %q rejected", good)
+		}
+	}
+}
+
+func TestMissingPage(t *testing.T) {
+	r := newRig(t)
+	if _, _, err := r.w.Read(fred, "NoSuchPage"); !errors.Is(err, ErrNoPage) {
+		t.Errorf("read missing page: %v", err)
+	}
+	if _, err := r.w.DiffForReader(fred, "NoSuchPage"); !errors.Is(err, ErrNoPage) {
+		t.Errorf("diff missing page: %v", err)
+	}
+}
+
+func TestRecentChangesOrder(t *testing.T) {
+	r := newRig(t)
+	r.w.Edit(ward, "FirstPage", "<P>one.</P>")
+	r.clock.Advance(time.Hour)
+	r.w.Edit(ward, "SecondPage", "<P>two.</P>")
+	r.clock.Advance(time.Hour)
+	r.w.Edit(tom, "FirstPage", "<P>one revised.</P>")
+
+	changes, err := r.w.RecentChanges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if changes[0].Page != "FirstPage" || changes[0].Author != tom || changes[0].Rev != "1.2" {
+		t.Errorf("newest change = %+v", changes[0])
+	}
+	if changes[0].Revisions != 2 || changes[1].Revisions != 1 {
+		t.Errorf("revision counts = %+v", changes)
+	}
+}
+
+func TestPersonalisedDiffCatchesSubtleEdit(t *testing.T) {
+	r := newRig(t)
+	r.w.Edit(ward, "PatternLanguage",
+		"<P>A pattern language is a network of patterns that call upon one another.</P>")
+	// Fred reads it.
+	if _, _, err := r.w.Read(fred, "PatternLanguage"); err != nil {
+		t.Fatal(err)
+	}
+	// Tom makes a one-word mid-page edit.
+	r.clock.Advance(time.Hour)
+	r.w.Edit(tom, "PatternLanguage",
+		"<P>A pattern language is a network of patterns that build upon one another.</P>")
+
+	d, err := r.w.DiffForReader(fred, "PatternLanguage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OldRev != "1.1" || d.NewRev != "1.2" {
+		t.Fatalf("diff revs = %+v", d)
+	}
+	if !strings.Contains(d.HTML, "<STRIKE>call</STRIKE>") ||
+		!strings.Contains(d.HTML, "<STRONG><I>build</I></STRONG>") {
+		t.Errorf("subtle edit not highlighted:\n%s", d.HTML)
+	}
+	// Tom, who made the edit, has seen the head: his unread set is empty.
+	unread, err := r.w.UnreadChanges(tom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unread) != 0 {
+		t.Errorf("editor has unread changes: %+v", unread)
+	}
+	// Fred is behind on the page he read before the edit.
+	unread, _ = r.w.UnreadChanges(fred)
+	if len(unread) != 1 || unread[0].Page != "PatternLanguage" {
+		t.Errorf("fred unread = %+v", unread)
+	}
+	// After catching up (a fresh read), the diff is empty-handed and the
+	// unread set clears.
+	r.w.Read(fred, "PatternLanguage")
+	if unread, _ = r.w.UnreadChanges(fred); len(unread) != 0 {
+		t.Errorf("fred still behind after reading: %+v", unread)
+	}
+}
+
+func TestDiffForReaderNeverRead(t *testing.T) {
+	r := newRig(t)
+	r.w.Edit(ward, "SomePage", "<P>content.</P>")
+	if _, err := r.w.DiffForReader(fred, "SomePage"); !errors.Is(err, snapshot.ErrNeverSaved) {
+		t.Errorf("diff for stranger: %v", err)
+	}
+}
+
+func TestHistoryAndReadAt(t *testing.T) {
+	r := newRig(t)
+	r.w.Edit(ward, "GrowingPage", "<P>v1.</P>")
+	r.clock.Advance(time.Hour)
+	r.w.Edit(tom, "GrowingPage", "<P>v2.</P>")
+
+	revs, seen, err := r.w.History(ward, "GrowingPage")
+	if err != nil || len(revs) != 2 {
+		t.Fatalf("history: %d revs, %v", len(revs), err)
+	}
+	if !seen["1.1"] || seen["1.2"] {
+		t.Errorf("ward seen = %v", seen)
+	}
+	old, err := r.w.ReadAt("GrowingPage", "1.1")
+	if err != nil || !strings.Contains(old, "v1") {
+		t.Errorf("ReadAt 1.1 = (%q,%v)", old, err)
+	}
+}
+
+func TestLinkWikiWords(t *testing.T) {
+	body := `<P>See PatternLanguage and the FrontPage. Not aWikiWord, not UPPERCASE.
+Already linked: <A HREF="/x">InsideAnchor stays</A>. End with WikiWord.</P>`
+	out := LinkWikiWords(body)
+	for _, want := range []string{
+		`<A HREF="/view?page=PatternLanguage">PatternLanguage</A>`,
+		`<A HREF="/view?page=FrontPage">FrontPage</A>.`,
+		`<A HREF="/view?page=WikiWord">WikiWord</A>.`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `page=InsideAnchor`) {
+		t.Errorf("word inside anchor was linked:\n%s", out)
+	}
+	if strings.Contains(out, "page=UPPERCASE") || strings.Contains(out, "page=aWikiWord") {
+		t.Errorf("non-WikiWord linked:\n%s", out)
+	}
+}
+
+func TestEditFromConflict(t *testing.T) {
+	r := newRig(t)
+	// Create via EditFrom with empty base (fresh page).
+	rev, err := r.w.EditFrom(ward, "SharedPage", "<P>draft one.</P>", "")
+	if err != nil || rev != "1.1" {
+		t.Fatalf("create = (%q,%v)", rev, err)
+	}
+	// Fred and Tom both start editing from 1.1; Fred saves first.
+	r.clock.Advance(time.Minute)
+	if _, err := r.w.EditFrom(fred, "SharedPage", "<P>fred's take.</P>", "1.1"); err != nil {
+		t.Fatal(err)
+	}
+	// Tom's save, still based on 1.1, conflicts.
+	_, err = r.w.EditFrom(tom, "SharedPage", "<P>tom's take.</P>", "1.1")
+	if !errors.Is(err, ErrEditConflict) {
+		t.Fatalf("concurrent save: %v", err)
+	}
+	// The conflict diff shows Fred's intervening change.
+	d, err := r.w.ConflictDiff("SharedPage", "1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Stats.Changed() || !strings.Contains(d.HTML, "fred's") {
+		t.Errorf("conflict diff:\n%s", d.HTML)
+	}
+	// Tom retries against the new head and succeeds.
+	rev, err = r.w.EditFrom(tom, "SharedPage", "<P>tom's take.</P>", "1.2")
+	if err != nil || rev != "1.3" {
+		t.Fatalf("retry = (%q,%v)", rev, err)
+	}
+	// Creating over an existing page with empty base also conflicts.
+	if _, err := r.w.EditFrom(ward, "SharedPage", "x", ""); !errors.Is(err, ErrEditConflict) {
+		t.Fatalf("fresh-create over existing page: %v", err)
+	}
+}
