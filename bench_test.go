@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	neturl "net/url"
@@ -89,14 +90,14 @@ func BenchmarkFig1TrackerRun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Run(entries)
+		tr.Run(context.Background(), entries)
 	}
 }
 
 // BenchmarkFig1Report measures rendering the Figure 1 HTML report.
 func BenchmarkFig1Report(b *testing.B) {
 	tr, entries, _ := fig1Rig(b)
-	results := tr.Run(entries)
+	results := tr.Run(context.Background(), entries)
 	opt := tracker.ReportOptions{SnapshotBase: "http://aide/", User: "u@h", Prioritize: true}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -215,7 +216,7 @@ func pollBench(b *testing.B, cfgSrc string, persistent bool) (requests int) {
 		if !persistent {
 			tr = tracker.New(webclient.New(web), cfg, hist, clock)
 		}
-		tr.Run(entries)
+		tr.Run(context.Background(), entries)
 	}
 	b.StopTimer()
 	h, g := web.TotalRequests()
@@ -255,12 +256,12 @@ func BenchmarkServerSideTracking(b *testing.B) {
 			srv.Register(fmt.Sprintf("u%d@h", u), aide.Registration{URL: page.URL()})
 		}
 	}
-	srv.TrackAll() // cold archive pass
+	srv.TrackAll(context.Background()) // cold archive pass
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		web.Advance(24 * time.Hour)
-		srv.TrackAll()
+		srv.TrackAll(context.Background())
 	}
 }
 
@@ -364,7 +365,7 @@ func BenchmarkSnapshotRemember(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		web.Advance(24 * time.Hour)
-		if _, err := fac.Remember("bench@h", "http://h/p"); err != nil {
+		if _, err := fac.Remember(context.Background(), "bench@h", "http://h/p"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -380,10 +381,10 @@ func BenchmarkDiffCacheHit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fac.Remember("u@h", "http://h/p")
+	fac.Remember(context.Background(), "u@h", "http://h/p")
 	clock.Advance(time.Hour)
 	page.Set(websim.USENIXNov)
-	fac.Remember("u@h", "http://h/p")
+	fac.Remember(context.Background(), "u@h", "http://h/p")
 	if _, err := fac.DiffRevs("http://h/p", "1.1", "1.2"); err != nil {
 		b.Fatal(err)
 	}
@@ -403,7 +404,7 @@ func BenchmarkProxyOracle(b *testing.B) {
 	web := websim.New(clock)
 	web.Site("h").Page("/p").Set("content")
 	proxy := proxycache.New(web, clock)
-	if _, err := webclient.New(proxy).Get("http://h/p"); err != nil {
+	if _, err := webclient.New(proxy).Get(context.Background(), "http://h/p"); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -431,7 +432,7 @@ func BenchmarkCheckStrategies(b *testing.B) {
 	b.Run("head-last-modified", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			info, err := client.Check("http://h/static")
+			info, err := client.Check(context.Background(), "http://h/static")
 			if err != nil || info.HasBody {
 				b.Fatalf("unexpected: %+v %v", info, err)
 			}
@@ -440,7 +441,7 @@ func BenchmarkCheckStrategies(b *testing.B) {
 	b.Run("get-checksum", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			info, err := client.Check("http://h/cgi")
+			info, err := client.Check(context.Background(), "http://h/cgi")
 			if err != nil || !info.HasBody {
 				b.Fatalf("unexpected: %+v %v", info, err)
 			}
@@ -469,7 +470,7 @@ func BenchmarkFormInvoke(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reg.Invoke(client, saved.ID); err != nil {
+		if _, err := reg.Invoke(context.Background(), client, saved.ID); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -553,7 +554,7 @@ func BenchmarkTrackerConcurrency(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr.Run(entries)
+				tr.Run(context.Background(), entries)
 			}
 		})
 	}
@@ -582,7 +583,7 @@ func BenchmarkEntitySnapshot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Each iteration is a changed check-in (unique suffix).
 		body := page.String() + fmt.Sprintf("<!-- v%d -->", i)
-		if _, err := fac.RememberContent("", "http://h/gallery", body); err != nil {
+		if _, err := fac.RememberContent(context.Background(), "", "http://h/gallery", body); err != nil {
 			b.Fatal(err)
 		}
 	}

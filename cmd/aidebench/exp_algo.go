@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -19,7 +20,7 @@ import (
 // expLCS measures HtmlDiff's cost against document size and compares the
 // two LCS engines — the quadratic-space dynamic program and Hirschberg's
 // linear-space algorithm the paper cites — in time and allocated bytes.
-func expLCS(string) {
+func expLCS(_ context.Context, _ string) {
 	fmt.Println("    HtmlDiff wall time vs document size (5% of sentences edited):")
 	for _, kb := range []int{1, 4, 16, 64} {
 		oldDoc := syntheticDoc(kb * 1024)
@@ -116,7 +117,7 @@ func editFraction(doc string, frac float64) string {
 // expRCS demonstrates the archive properties the snapshot facility
 // relies on (§4): unchanged check-ins are free, storage is head + small
 // reverse deltas, and any date maps to the version current then.
-func expRCS(string) {
+func expRCS(_ context.Context, _ string) {
 	dir, err := os.MkdirTemp("", "aide-rcs-*")
 	if err != nil {
 		panic(err)

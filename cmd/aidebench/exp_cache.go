@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -16,7 +17,7 @@ import (
 // many users who have seen versions N and N+1 of a page could retrieve
 // HtmlDiff(pageN, pageN+1) with a single invocation", and the archive
 // prune limit.
-func expCache(string) {
+func expCache(ctx context.Context, _ string) {
 	dir, err := os.MkdirTemp("", "aide-cache-*")
 	if err != nil {
 		panic(err)
@@ -30,10 +31,10 @@ func expCache(string) {
 	if err != nil {
 		panic(err)
 	}
-	fac.Remember("u@h", "http://h/p")
+	fac.Remember(ctx, "u@h", "http://h/p")
 	clock.Advance(time.Hour)
 	page.Set(websim.USENIXNov)
-	fac.Remember("u@h", "http://h/p")
+	fac.Remember(ctx, "u@h", "http://h/p")
 
 	const users = 200
 	start := time.Now()
@@ -53,7 +54,7 @@ func expCache(string) {
 	web.Evolve(churn, 24*time.Hour, websim.ReplaceGenerator("Churn", 400, 9))
 	for day := 0; day < 60; day++ {
 		web.Advance(24 * time.Hour)
-		fac.RememberContent("", "http://h/churn", churn.Current().Body)
+		fac.RememberContent(ctx, "", "http://h/churn", churn.Current().Body)
 	}
 	stats, _ := fac.Storage()
 	var before int64

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ import (
 // default) finds more changes sooner at the price of more traffic to the
 // flaky hosts; errors-as-checked backs off to the normal cadence. The
 // skip-host policy caps how hard one sick host is hammered within a run.
-func expErrors(string) {
+func expErrors(ctx context.Context, _ string) {
 	type cond struct {
 		name             string
 		errorsAsChecked  bool
@@ -40,12 +41,12 @@ func expErrors(string) {
 	fmt.Printf("    %-36s %9s %9s %9s %9s\n",
 		"condition", "requests", "errors", "changed", "sick-host req")
 	for _, c := range conds {
-		reqs, errs, changed, sick := runErrorCondition(c.errorsAsChecked, c.skipHostAfterErr)
+		reqs, errs, changed, sick := runErrorCondition(ctx, c.errorsAsChecked, c.skipHostAfterErr)
 		fmt.Printf("    %-36s %9d %9d %9d %9d\n", c.name, reqs, errs, changed, sick)
 	}
 }
 
-func runErrorCondition(errorsAsChecked, skipHost bool) (requests, errors, changed, sickHostReqs int) {
+func runErrorCondition(ctx context.Context, errorsAsChecked, skipHost bool) (requests, errors, changed, sickHostReqs int) {
 	clock := simclock.New(time.Time{})
 	web := websim.New(clock)
 	var entries []hotlist.Entry
@@ -70,7 +71,7 @@ func runErrorCondition(errorsAsChecked, skipHost bool) (requests, errors, change
 	for day := 0; day < 30; day++ {
 		web.Advance(24 * time.Hour)
 		h0, g0 := web.TotalRequests()
-		for _, r := range tr.Run(entries) {
+		for _, r := range tr.Run(ctx, entries) {
 			switch r.Status {
 			case tracker.Failed:
 				errors++

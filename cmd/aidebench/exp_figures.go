@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ import (
 
 // expTable1 parses the paper's literal Table 1 and shows the threshold
 // each sample URL resolves to, demonstrating first-match-wins semantics.
-func expTable1(string) {
+func expTable1(_ context.Context, _ string) {
 	cfg, err := w3config.ParseString(w3config.Table1)
 	if err != nil {
 		panic(err)
@@ -44,7 +45,7 @@ func expTable1(string) {
 // expFig1 builds a hotlist whose URLs land in every state the Figure 1
 // report shows — changed, seen, not-checked, robot-excluded, erroring —
 // runs w3newer once, and writes the report.
-func expFig1(outDir string) {
+func expFig1(ctx context.Context, outDir string) {
 	clock := simclock.New(time.Time{})
 	web := websim.New(clock)
 	client := webclient.New(web)
@@ -99,12 +100,12 @@ func expFig1(outDir string) {
 		panic(err)
 	}
 	tr := tracker.New(client, cfg, hist, clock)
-	tr.Robots = robots.NewCache(func(url string) (int, string, error) {
-		info, err := client.Get(url)
+	tr.Robots = robots.NewCache(func(ctx context.Context, url string) (int, string, error) {
+		info, err := client.Get(ctx, url)
 		return info.Status, info.Body, err
 	}, clock)
 
-	results := tr.Run(entries)
+	results := tr.Run(ctx, entries)
 	for _, r := range results {
 		fmt.Printf("      %-45s %-14s via %s\n", r.Entry.Title, r.Status, r.Via)
 	}
@@ -123,7 +124,7 @@ func expFig1(outDir string) {
 
 // expFig2 runs HtmlDiff over the two versions and writes the merged
 // page, reporting the same structural elements the paper's figure shows.
-func expFig2(outDir string) {
+func expFig2(_ context.Context, outDir string) {
 	r := htmldiff.Diff(websim.USENIXSept, websim.USENIXNov, htmldiff.Options{
 		Title: "http://www.usenix.org/ (9/29/95 vs 11/3/95)",
 	})

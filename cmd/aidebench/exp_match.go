@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -17,7 +18,7 @@ import (
 // each of 40 sentences; a matcher that still pairs the edited sentences
 // reports them as in-place modifications (good: word-level highlighting),
 // while one that rejects the pair reports a delete+insert (coarser).
-func expMatch(string) {
+func expMatch(_ context.Context, _ string) {
 	fmt.Println("    40 sentences, 30% of words rewritten in each; how the §5.1 thresholds")
 	fmt.Println("    classify the edits (modified = word-level highlighting survives):")
 	fmt.Printf("    %-12s %-12s %10s %10s %10s\n",

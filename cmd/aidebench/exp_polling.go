@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -57,7 +58,7 @@ http://host02\..* never
 // runCondition simulates 30 days of daily runs under one condition and
 // returns the tracker-issued request total and the number of changed
 // reports produced.
-func runCondition(name string, useThresholds, persistent, useProxy bool) (requests, changedReports int) {
+func runCondition(ctx context.Context, name string, useThresholds, persistent, useProxy bool) (requests, changedReports int) {
 	clock := simclock.New(time.Time{})
 	web, entries := buildPollingWeb(clock)
 	cfgSrc := "Default 0\n"
@@ -94,7 +95,7 @@ func runCondition(name string, useThresholds, persistent, useProxy bool) (reques
 			pc := webclient.New(proxy)
 			for _, e := range entries {
 				if communityRng.Float64() < 0.33 {
-					pc.Get(e.URL)
+					pc.Get(ctx, e.URL)
 				}
 			}
 		}
@@ -102,7 +103,7 @@ func runCondition(name string, useThresholds, persistent, useProxy bool) (reques
 			tr = newTracker() // w3new forgets everything between runs
 		}
 		before1, before2 := web.TotalRequests()
-		results := tr.Run(entries)
+		results := tr.Run(ctx, entries)
 		after1, after2 := web.TotalRequests()
 		requests += (after1 - before1) + (after2 - before2)
 		// The user reads the report and visits every changed page. The
@@ -115,7 +116,7 @@ func runCondition(name string, useThresholds, persistent, useProxy bool) (reques
 			changedReports++
 			hist.Visit(r.Entry.URL, clock.Now())
 			if proxy != nil {
-				webclient.New(proxy).Get(r.Entry.URL)
+				webclient.New(proxy).Get(ctx, r.Entry.URL)
 			}
 		}
 	}
@@ -127,7 +128,7 @@ func runCondition(name string, useThresholds, persistent, useProxy bool) (reques
 // Section 2.1 poll every URL with the same frequency. We modified w3new
 // to make it more scalable"), plus two comparators: the URL-minder
 // service of §2.1 and the Harvest-style push notification of §3.1.
-func expPolling(string) {
+func expPolling(ctx context.Context, _ string) {
 	fmt.Println("    250-URL hotlist, 30 simulated days of daily runs; user visits changed pages.")
 	fmt.Printf("    %-46s %10s %10s %9s\n", "condition", "requests", "req/run", "changed")
 	type cond struct {
@@ -141,7 +142,7 @@ func expPolling(string) {
 	}
 	var baseline int
 	for i, c := range conds {
-		reqs, changed := runCondition(c.name, c.thresholds, c.persistent, c.useProxy)
+		reqs, changed := runCondition(ctx, c.name, c.thresholds, c.persistent, c.useProxy)
 		if i == 0 {
 			baseline = reqs
 		}
@@ -151,18 +152,18 @@ func expPolling(string) {
 		}
 		fmt.Println()
 	}
-	umReqs, umMails := runURLMinder()
+	umReqs, umMails := runURLMinder(ctx)
 	fmt.Printf("    %-46s %10d %10.1f %9d   (%.1fx fewer; email says *that*, never *how*)\n",
 		"URL-minder comparator (weekly GET+checksum)", umReqs, float64(umReqs)/30, umMails,
 		float64(baseline)/float64(umReqs))
-	pushReqs, pushNotifs := runPushNotify()
+	pushReqs, pushNotifs := runPushNotify(ctx)
 	fmt.Printf("    %-46s %10d %10.1f %9d   (providers push; w3newer consumes the relay)\n",
 		"Harvest-style notification (§3.1)", pushReqs, float64(pushReqs)/30, pushNotifs)
 }
 
 // runURLMinder measures the §2.1 URL-minder comparator on the same
 // workload: a central service, GET+checksum, weekly per-URL cadence.
-func runURLMinder() (requests, mails int) {
+func runURLMinder(ctx context.Context) (requests, mails int) {
 	clock := simclock.New(time.Time{})
 	web, entries := buildPollingWeb(clock)
 	outbox := &urlminder.Outbox{}
@@ -172,7 +173,7 @@ func runURLMinder() (requests, mails int) {
 	}
 	for day := 0; day < 30; day++ {
 		web.Advance(24 * time.Hour)
-		svc.Sweep()
+		svc.Sweep(ctx)
 	}
 	h, g := web.TotalRequests()
 	return h + g, len(outbox.Messages())
@@ -181,7 +182,7 @@ func runURLMinder() (requests, mails int) {
 // runPushNotify measures the §3.1 ideal: every provider announces its
 // changes to a notification hub, a local relay accumulates them, and
 // w3newer answers entirely from the relay — zero polling.
-func runPushNotify() (requests, reported int) {
+func runPushNotify(ctx context.Context) (requests, reported int) {
 	clock := simclock.New(time.Time{})
 	web, entries := buildPollingWeb(clock)
 	hub := notify.NewHub(clock)
@@ -221,7 +222,7 @@ func runPushNotify() (requests, reported int) {
 		for relay.Received() < hub.Stats().Delivered {
 			time.Sleep(time.Millisecond)
 		}
-		for _, r := range tr.Run(entries) {
+		for _, r := range tr.Run(ctx, entries) {
 			if r.Status == tracker.Changed {
 				reported++
 				hist.Visit(r.Entry.URL, clock.Now())
@@ -235,13 +236,13 @@ func runPushNotify() (requests, reported int) {
 // expServerSide reproduces the §8.3 economy of scale: per-user polling
 // costs grow linearly with the user population, while a centralised AIDE
 // server checks each distinct page once per sweep.
-func expServerSide(string) {
+func expServerSide(ctx context.Context, _ string) {
 	fmt.Println("    100-URL pool (quarter changes daily); each user tracks 80; one daily cycle.")
 	fmt.Println("    server-side also archives each changed page (its GETs are included).")
 	fmt.Printf("    %-8s %22s %22s %10s\n", "users", "client-side requests", "server-side requests", "ratio")
 	for _, users := range []int{1, 10, 100} {
-		clientReqs := measureClientSide(users)
-		serverReqs := measureServerSide(users)
+		clientReqs := measureClientSide(ctx, users)
+		serverReqs := measureServerSide(ctx, users)
 		fmt.Printf("    %-8d %22d %22d %9.1fx\n",
 			users, clientReqs, serverReqs, float64(clientReqs)/float64(serverReqs))
 	}
@@ -271,20 +272,20 @@ func buildPool(clock *simclock.Sim) *websim.Web {
 	return web
 }
 
-func measureClientSide(users int) int {
+func measureClientSide(ctx context.Context, users int) int {
 	clock := simclock.New(time.Time{})
 	web := buildPool(clock)
 	cfg, _ := w3config.ParseString("Default 0\n")
 	web.Advance(24 * time.Hour)
 	for u := 0; u < users; u++ {
 		tr := tracker.New(webclient.New(web), cfg, hotlist.NewHistory(), clock)
-		tr.Run(userEntries(u))
+		tr.Run(ctx, userEntries(u))
 	}
 	h, g := web.TotalRequests()
 	return h + g
 }
 
-func measureServerSide(users int) int {
+func measureServerSide(ctx context.Context, users int) int {
 	clock := simclock.New(time.Time{})
 	web := buildPool(clock)
 	cfg, _ := w3config.ParseString("Default 0\n")
@@ -306,10 +307,10 @@ func measureServerSide(users int) int {
 	}
 	// Pre-archive (first sweep fetches everything once), then measure a
 	// steady-state daily sweep.
-	srv.TrackAll()
+	srv.TrackAll(ctx)
 	web.Advance(24 * time.Hour)
 	web.ResetRequestCounts()
-	srv.TrackAll()
+	srv.TrackAll(ctx)
 	h, g := web.TotalRequests()
 	return h + g
 }

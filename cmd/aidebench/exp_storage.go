@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -24,7 +25,7 @@ import (
 // single-digit-MB range for ~500 URLs, (b) per-URL mean in the ~10-20 KB
 // range, (c) the three churners dominating total storage, and (d) delta
 // storage far below the full-copy baseline.
-func expStorage(string) {
+func expStorage(ctx context.Context, _ string) {
 	const (
 		days       = 180
 		normalURLs = 497
@@ -53,7 +54,7 @@ func expStorage(string) {
 		for day := 0; day <= days; {
 			body := gen(step)
 			clock.Set(simclock.Epoch.Add(time.Duration(day) * 24 * time.Hour))
-			res, err := fac.RememberContent("", url, body)
+			res, err := fac.RememberContent(ctx, "", url, body)
 			if err != nil {
 				panic(err)
 			}

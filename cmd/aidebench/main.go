@@ -12,17 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 )
 
 // experiment names in run order.
 var experiments = []struct {
 	name string
 	desc string
-	run  func(outDir string)
+	run  func(ctx context.Context, outDir string)
 }{
 	{"table1", "Table 1: w3newer threshold configuration semantics", expTable1},
 	{"fig1", "Figure 1: w3newer report over a mixed-state hotlist", expFig1},
@@ -46,14 +49,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aidebench:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "aidebench: interrupted")
+			os.Exit(1)
+		}
 		ran = true
 		fmt.Printf("==> %s — %s\n", e.name, e.desc)
-		e.run(*out)
+		e.run(ctx, *out)
 		fmt.Println()
 	}
 	if !ran {

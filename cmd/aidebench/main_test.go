@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,7 +17,7 @@ func TestExperimentsRun(t *testing.T) {
 		switch e.name {
 		case "table1", "fig1", "fig2", "rcs", "cache", "serverside":
 			t.Run(e.name, func(t *testing.T) {
-				e.run(out)
+				e.run(context.Background(), out)
 			})
 		}
 	}

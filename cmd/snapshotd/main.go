@@ -9,6 +9,12 @@
 //
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
 //	          [-sweep 1h] [-fixed fixed-urls.txt] [-forms] [-auth]
+//	          [-timeout 30s] [-req-timeout 2m]
+//
+// -timeout bounds each outgoing fetch (per retry attempt); -req-timeout
+// bounds the total work one incoming HTTP request may trigger. An
+// interrupt cancels the root context: the sweep loop stops between
+// URLs, state is saved, and the HTTP server shuts down gracefully.
 //
 // -forms enables §8.4 form tracking (saved POST services under
 // /form/save, /form/list, /form/invoke); -auth switches the facility to
@@ -45,17 +51,29 @@ func main() {
 	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
 	enableForms := flag.Bool("forms", false, "enable saved-form (POST service) tracking")
 	enableAuth := flag.Bool("auth", false, "require account authentication (anonymous accounts via /account/new)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-fetch timeout (each retry attempt; 0 = none)")
+	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "deadline for the work behind one incoming HTTP request (0 = none)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	client := webclient.New(&webclient.HTTPTransport{})
+	client.Timeout = *timeout
+	client.Retry = webclient.DefaultRetryPolicy()
 	fac, err := snapshot.New(*dataDir, client, nil)
 	if err != nil {
 		log.Fatal("snapshotd: ", err)
 	}
 	cfg := loadConfig(*configPath)
 	srv := aide.NewServer(fac, client, cfg, nil)
-	srv.Robots = robots.NewCache(func(url string) (int, string, error) {
-		info, err := client.Get(url)
+	srv.RequestTimeout = *reqTimeout
+	// robots.txt failures fail open, so one attempt is enough; retrying
+	// with backoff would stall every sweep on hosts that are down.
+	robotsClient := webclient.New(&webclient.HTTPTransport{})
+	robotsClient.Timeout = *timeout
+	srv.Robots = robots.NewCache(func(ctx context.Context, url string) (int, string, error) {
+		info, err := robotsClient.Get(ctx, url)
 		return info.Status, info.Body, err
 	}, nil)
 
@@ -86,18 +104,24 @@ func main() {
 	if *sweep > 0 {
 		go func() {
 			for {
-				stats := srv.TrackAll()
-				log.Printf("snapshotd: sweep: %d distinct, %d checked, %d skipped, %d new versions, %d errors, %d discovered",
-					stats.Distinct, stats.Checked, stats.Skipped, stats.NewVersions, stats.Errors, stats.Discovered)
+				stats := srv.TrackAll(ctx)
+				log.Printf("snapshotd: sweep: %d distinct, %d checked, %d skipped, %d new versions, %d errors, %d discovered, %d canceled",
+					stats.Distinct, stats.Checked, stats.Skipped, stats.NewVersions, stats.Errors, stats.Discovered, stats.Canceled)
 				if err := srv.SaveState(statePath); err != nil {
 					log.Printf("snapshotd: saving state: %v", err)
 				}
-				time.Sleep(*sweep)
+				select {
+				case <-time.After(*sweep):
+				case <-ctx.Done():
+					log.Print("snapshotd: sweep loop stopped")
+					return
+				}
 			}
 		}()
 	}
 
 	snapSrv := snapshot.NewServer(fac)
+	snapSrv.RequestTimeout = *reqTimeout
 	if *enableAuth {
 		accounts, err := snapshot.OpenAccounts(*dataDir)
 		if err != nil {
@@ -108,16 +132,14 @@ func main() {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(snapSrv)}
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		<-ctx.Done()
 		log.Print("snapshotd: shutting down")
 		if err := srv.SaveState(statePath); err != nil {
 			log.Printf("snapshotd: saving state: %v", err)
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
+		httpSrv.Shutdown(shutCtx)
 	}()
 	log.Printf("snapshotd: serving on %s (data in %s)", *addr, *dataDir)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -12,18 +12,25 @@
 //	        [-state state.json]
 //	        [-snapshot http://host/snapshot] [-user you@example.com]
 //	        [-prioritize] [-ignore-robots] [-errors-as-checked]
+//	        [-timeout 30s] [-retries 3] [-deadline 0]
 //	        [-every 1h] [-passes N] [-o report.html]
 //
 // With -every, w3newer runs as its own periodic daemon instead of
 // relying on cron: a pass every interval, regenerating the report each
-// time (-passes bounds the count; 0 means forever).
+// time (-passes bounds the count; 0 means forever). An interrupt
+// (SIGINT/SIGTERM) cancels the run's context: in-flight checks stop,
+// the remaining entries are reported as canceled, state is saved, and
+// the pass's partial report is still written.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aide/internal/hotlist"
@@ -34,11 +41,14 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// Canceling ctx ends the run early with a partial report.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("w3newer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	hotlistPath := fs.String("hotlist", "", "hotlist file (Netscape bookmarks or Mosaic hotlist)")
@@ -55,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	skipBadHosts := fs.Bool("skip-bad-hosts", true, "skip a host's remaining URLs after a transport error")
 	every := fs.Duration("every", 0, "repeat the pass on this interval (0 = single pass)")
 	passes := fs.Int("passes", 0, "with -every, stop after this many passes (0 = forever)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (each retry attempt; 0 = none)")
+	retries := fs.Int("retries", 3, "attempts per request for transient failures")
+	deadline := fs.Duration("deadline", 0, "overall deadline per pass; a pass cut short reports the rest as canceled (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,12 +97,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	client := webclient.New(&webclient.HTTPTransport{})
+	client.Timeout = *timeout
+	client.Retry = webclient.DefaultRetryPolicy()
+	client.Retry.MaxAttempts = *retries
 	tr := tracker.New(client, cfg, hist, nil)
 	tr.Opt.TreatErrorsAsChecked = *errorsAsChecked
 	tr.Opt.SkipHostAfterError = *skipBadHosts
 	tr.Opt.IgnoreRobots = *ignoreRobots
-	tr.Robots = robots.NewCache(func(url string) (int, string, error) {
-		info, err := client.Get(url)
+	// robots.txt failures fail open, so one attempt is enough; retrying
+	// with backoff would stall every pass on hosts that are down.
+	robotsClient := webclient.New(&webclient.HTTPTransport{})
+	robotsClient.Timeout = *timeout
+	tr.Robots = robots.NewCache(func(ctx context.Context, url string) (int, string, error) {
+		info, err := robotsClient.Get(ctx, url)
 		return info.Status, info.Body, err
 	}, nil)
 
@@ -120,7 +140,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// onePass runs a check cycle and emits the report.
 	onePass := func() int {
-		results := tr.Run(entries)
+		passCtx, cancel := ctx, context.CancelFunc(func() {})
+		if *deadline > 0 {
+			passCtx, cancel = context.WithTimeout(ctx, *deadline)
+		}
+		results := tr.Run(passCtx, entries)
+		cancel()
 		if *statePath != "" {
 			if err := tr.SaveState(*statePath); err != nil {
 				fmt.Fprintln(stderr, "w3newer: warning: saving state:", err)
@@ -146,7 +171,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return onePass()
 	}
 	// Daemon mode: the paper ran w3newer from cron; -every builds the
-	// periodic behaviour in.
+	// periodic behaviour in. The inter-pass sleep is interruptible so a
+	// signal stops the daemon promptly.
 	for pass := 1; ; pass++ {
 		if code := onePass(); code != 0 {
 			return code
@@ -154,7 +180,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *passes > 0 && pass >= *passes {
 			return 0
 		}
-		time.Sleep(*every)
+		select {
+		case <-time.After(*every):
+		case <-ctx.Done():
+			fmt.Fprintln(stderr, "w3newer: interrupted; exiting")
+			return 0
+		}
 	}
 }
 

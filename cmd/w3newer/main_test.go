@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -99,7 +100,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 
 	var out, errb bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-hotlist", r.hotlist,
 		"-history", r.history,
 		"-config", r.config,
@@ -133,7 +134,7 @@ func TestCLIOutputFileAndSummary(t *testing.T) {
 	outPath := filepath.Join(r.dir, "report.html")
 
 	var out, errb bytes.Buffer
-	code := run([]string{"-hotlist", r.hotlist, "-o", outPath}, &out, &errb)
+	code := run(context.Background(), []string{"-hotlist", r.hotlist, "-o", outPath}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
 	}
@@ -163,7 +164,7 @@ func TestCLIPrioritiesFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errb bytes.Buffer
-	code := run([]string{"-hotlist", r.hotlist, "-priorities", prioPath}, &out, &errb)
+	code := run(context.Background(), []string{"-hotlist", r.hotlist, "-priorities", prioPath}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
 	}
@@ -175,10 +176,10 @@ func TestCLIPrioritiesFile(t *testing.T) {
 
 func TestCLIMissingInputs(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{}, &out, &errb); code != 2 {
 		t.Fatalf("no hotlist exit = %d", code)
 	}
-	if code := run([]string{"-hotlist", "/no/such/file"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-hotlist", "/no/such/file"}, &out, &errb); code != 1 {
 		t.Fatalf("missing hotlist file exit = %d", code)
 	}
 }
@@ -191,7 +192,7 @@ func TestCLIDaemonModePasses(t *testing.T) {
 
 	var out, errb bytes.Buffer
 	start := time.Now()
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-hotlist", r.hotlist, "-o", outPath,
 		"-every", "10ms", "-passes", "3",
 	}, &out, &errb)

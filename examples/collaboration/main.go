@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -38,14 +39,14 @@ type wiki struct {
 // edit applies an author's edit and archives the new version.
 func (w *wiki) edit(author, page, body string) {
 	w.web.Site("wiki.example.com").Page("/" + page).Set(body)
-	if _, err := w.fac.Remember(author, "http://wiki.example.com/"+page); err != nil {
+	if _, err := w.fac.Remember(context.Background(), author, "http://wiki.example.com/"+page); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // read records that a reader has caught up with a page's current state.
 func (w *wiki) read(reader, page string) {
-	if _, err := w.fac.Remember(reader, "http://wiki.example.com/"+page); err != nil {
+	if _, err := w.fac.Remember(context.Background(), reader, "http://wiki.example.com/"+page); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -123,7 +124,7 @@ func main() {
 	fmt.Println("\nFred's personalised diffs (vs the versions he last read):")
 	for _, page := range []string{"PatternLanguage", "FrontPage"} {
 		url := "http://wiki.example.com/" + page
-		diff, err := fac.DiffSinceSaved("fred", url)
+		diff, err := fac.DiffSinceSaved(context.Background(), "fred", url)
 		if err != nil {
 			log.Fatal(err)
 		}

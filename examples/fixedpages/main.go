@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 	// Two weeks of daily sweeps: every change is archived automatically.
 	for day := 0; day < 14; day++ {
 		web.Advance(24 * time.Hour)
-		stats := srv.TrackAll()
+		stats := srv.TrackAll(context.Background())
 		if stats.NewVersions > 0 {
 			fmt.Printf("day %2d: %d page(s) changed and were auto-archived\n", day+1, stats.NewVersions)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/url"
@@ -87,14 +88,14 @@ func main() {
 	fmt.Printf("saved form -> trackable pseudo-URL %s\n", saved.PseudoURL())
 
 	// First sweep records the baseline output.
-	srv.TrackAll()
-	srv.MarkSeen(user, saved.PseudoURL())
+	srv.TrackAll(context.Background())
+	srv.MarkSeen(context.Background(), user, saved.PseudoURL())
 	fmt.Println("day 0: baseline result set archived as revision 1.1")
 
 	// Days pass; nothing changes; sweeps stay quiet.
 	for day := 1; day <= 3; day++ {
 		web.Advance(24 * time.Hour)
-		if s := srv.TrackAll(); s.NewVersions != 0 {
+		if s := srv.TrackAll(context.Background()); s.NewVersions != 0 {
 			log.Fatalf("unexpected change on day %d", day)
 		}
 	}
@@ -103,7 +104,7 @@ func main() {
 	// A new paper lands in the bibliography.
 	web.Advance(24 * time.Hour)
 	papers = append(papers, "Tracking and viewing changes in a distributed file system world")
-	stats := srv.TrackAll()
+	stats := srv.TrackAll(context.Background())
 	fmt.Printf("day 4: checksum changed -> %d new version archived\n", stats.NewVersions)
 
 	// The user's report flags the form, and HtmlDiff shows the addition.

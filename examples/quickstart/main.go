@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -45,7 +46,7 @@ func main() {
 	}
 	tr := tracker.New(client, cfg, hist, clock)
 
-	results := tr.Run(entries)
+	results := tr.Run(context.Background(), entries)
 	fmt.Printf("day 0:  %s -> %s\n", results[0].Entry.Title, results[0].Status)
 
 	// --- 2. snapshot: remember the page --------------------------------
@@ -59,7 +60,7 @@ func main() {
 		log.Fatal(err)
 	}
 	const user = "you@example.com"
-	res, err := fac.Remember(user, "http://www.usenix.org/")
+	res, err := fac.Remember(context.Background(), user, "http://www.usenix.org/")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,13 +70,13 @@ func main() {
 	web.Advance(35 * 24 * time.Hour)
 	page.Set(websim.USENIXNov)
 
-	results = tr.Run(entries)
+	results = tr.Run(context.Background(), entries)
 	fmt.Printf("day 35: %s -> %s (modified %s)\n",
 		results[0].Entry.Title, results[0].Status,
 		results[0].LastModified.Format("Jan 2 2006"))
 
 	// --- 4. HtmlDiff: see exactly what changed -------------------------
-	diff, err := fac.DiffSinceSaved(user, "http://www.usenix.org/")
+	diff, err := fac.DiffSinceSaved(context.Background(), user, "http://www.usenix.org/")
 	if err != nil {
 		log.Fatal(err)
 	}

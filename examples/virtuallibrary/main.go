@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -75,7 +76,7 @@ func main() {
 		Recursive: true,
 	})
 
-	stats := srv.TrackAll()
+	stats := srv.TrackAll(context.Background())
 	total, derived := srv.TrackedCount()
 	fmt.Printf("after the first sweep: %d URLs tracked (%d discovered from the index)\n",
 		total, derived)
@@ -85,7 +86,7 @@ func main() {
 	newVersions := 0
 	for day := 0; day < 7; day++ {
 		web.Advance(24 * time.Hour)
-		s := srv.TrackAll()
+		s := srv.TrackAll(context.Background())
 		newVersions += s.NewVersions
 	}
 	fmt.Printf("over one week: %d new versions auto-archived across the library\n", newVersions)

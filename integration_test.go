@@ -7,6 +7,7 @@ package bench
 // tracking, archiving, and HtmlDiff — holds together.
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -95,7 +96,7 @@ func TestFullLoopReportLinksWork(t *testing.T) {
 	tr := tracker.New(webclient.New(&webclient.HTTPTransport{}),
 		mustCfg(t, "Default 0\n"), hist, nil)
 	entries := []hotlist.Entry{{URL: pageURL, Title: "USENIX Association"}}
-	results := tr.Run(entries)
+	results := tr.Run(context.Background(), entries)
 	report := tracker.Report(results, tracker.ReportOptions{
 		SnapshotBase: rig.aideSrv.URL,
 		User:         user,
@@ -153,7 +154,7 @@ func TestServerSideLoopOverHTTP(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("register: %d", code)
 	}
-	rig.server.TrackAll()
+	rig.server.TrackAll(context.Background())
 
 	code, body := httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
 	if code != 200 || !strings.Contains(body, "<B>Changed</B>") {
@@ -168,7 +169,7 @@ func TestServerSideLoopOverHTTP(t *testing.T) {
 	// The page changes; the sweep archives it; the report flips back.
 	rig.web.Advance(24 * time.Hour) // a later Last-Modified
 	page.Set("<P>draft two of the paper.</P>")
-	rig.server.TrackAll()
+	rig.server.TrackAll(context.Background())
 	_, body = httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
 	if !strings.Contains(body, "revision 1.2") || !strings.Contains(body, "<B>Changed</B>") {
 		t.Fatalf("report 3:\n%s", body)

@@ -14,6 +14,7 @@
 package aide
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -74,6 +75,9 @@ type SweepStats struct {
 	Errors int
 	// Discovered is how many new URLs recursive tracking added.
 	Discovered int
+	// Canceled is how many URLs were left unchecked because the sweep's
+	// context ended first.
+	Canceled int
 }
 
 // Server is the AIDE server: registrations, the shared tracking state,
@@ -93,6 +97,10 @@ type Server struct {
 	Forms *formreg.Registry
 	// Clock provides time.
 	Clock simclock.Clock
+	// RequestTimeout, when positive, bounds the work one HTTP request may
+	// trigger: handlers derive their context from the request's and add
+	// this deadline.
+	RequestTimeout time.Duration
 
 	mu    sync.Mutex
 	users map[string][]Registration
@@ -184,18 +192,25 @@ func (s *Server) trackedURLs() []string {
 // TrackAll performs one server-side sweep: each distinct URL is checked
 // at most once (§8.3's economy of scale), changed pages are archived
 // automatically, and recursive roots contribute their links to the
-// tracked set.
-func (s *Server) TrackAll() SweepStats {
+// tracked set. A done ctx stops the sweep between URLs; the remainder
+// is counted in Canceled.
+func (s *Server) TrackAll(ctx context.Context) SweepStats {
 	var stats SweepStats
-	for _, url := range s.trackedURLs() {
-		s.trackOne(url, &stats)
+	urls := s.trackedURLs()
+	for i, url := range urls {
+		if ctx.Err() != nil {
+			stats.Canceled = len(urls) - i
+			break
+		}
+		s.trackOne(ctx, url, &stats)
 	}
 	stats.Distinct = len(s.trackedURLs())
 	return stats
 }
 
-// trackOne checks a single URL and updates its state and the archive.
-func (s *Server) trackOne(url string, stats *SweepStats) {
+// trackOne checks a single URL under ctx and updates its state and the
+// archive.
+func (s *Server) trackOne(ctx context.Context, url string, stats *SweepStats) {
 	now := s.Clock.Now()
 	s.mu.Lock()
 	st := s.stateLocked(url)
@@ -207,7 +222,7 @@ func (s *Server) trackOne(url string, stats *SweepStats) {
 		stats.Skipped++
 		return
 	}
-	if s.Robots != nil && !s.Robots.Allowed(url) {
+	if s.Robots != nil && !s.Robots.Allowed(ctx, url) {
 		stats.Skipped++
 		s.mu.Lock()
 		st.lastChecked = now
@@ -219,9 +234,9 @@ func (s *Server) trackOne(url string, stats *SweepStats) {
 	var info webclient.PageInfo
 	var err error
 	if s.Forms != nil && formreg.IsFormURL(url) {
-		info, err = s.Forms.Invoke(s.Client, url)
+		info, err = s.Forms.Invoke(ctx, s.Client, url)
 	} else {
-		info, err = s.Client.Check(url)
+		info, err = s.Client.Check(ctx, url)
 	}
 	if err == nil {
 		if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
@@ -256,7 +271,7 @@ func (s *Server) trackOne(url string, stats *SweepStats) {
 	}
 	body := info.Body
 	if !info.HasBody {
-		full, err := s.Client.Get(url)
+		full, err := s.Client.Get(ctx, url)
 		if err != nil {
 			stats.Errors++
 			s.mu.Lock()
@@ -267,7 +282,7 @@ func (s *Server) trackOne(url string, stats *SweepStats) {
 		}
 		body = full.Body
 	}
-	res, err := s.Facility.RememberContent("", url, body)
+	res, err := s.Facility.RememberContent(ctx, "", url, body)
 	if err != nil {
 		stats.Errors++
 		return
@@ -359,12 +374,12 @@ func (s *Server) ReportFor(user string) []UserRow {
 // (the user followed the Diff link and caught up). Checking the head
 // text in again is a no-op for the archive but updates the user's
 // control file.
-func (s *Server) MarkSeen(user, url string) error {
+func (s *Server) MarkSeen(ctx context.Context, user, url string) error {
 	text, err := s.Facility.Checkout(url, "")
 	if err != nil {
 		return err
 	}
-	_, err = s.Facility.RememberContent(user, url, text)
+	_, err = s.Facility.RememberContent(ctx, user, url, text)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestSharedURLCheckedOnce(t *testing.T) {
 	for u := 0; u < 50; u++ {
 		r.srv.Register(fmt.Sprintf("user%d@att.com", u), Registration{URL: "http://h/popular"})
 	}
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.Checked != 1 {
 		t.Fatalf("checked = %d, want 1 for 50 users", stats.Checked)
 	}
@@ -65,19 +66,19 @@ func TestAutoArchiveOnChange(t *testing.T) {
 	p.Set("v1\n")
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "Page P"})
 
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.NewVersions != 1 {
 		t.Fatalf("first sweep: %+v", stats)
 	}
 	// No change: no new version, still checked.
-	stats = r.srv.TrackAll()
+	stats = r.srv.TrackAll(context.Background())
 	if stats.NewVersions != 0 || stats.Checked != 1 {
 		t.Fatalf("no-change sweep: %+v", stats)
 	}
 	// Page changes: auto-archived.
 	r.web.Advance(24 * time.Hour)
 	p.Set("v2\n")
-	stats = r.srv.TrackAll()
+	stats = r.srv.TrackAll(context.Background())
 	if stats.NewVersions != 1 {
 		t.Fatalf("change sweep: %+v", stats)
 	}
@@ -91,12 +92,12 @@ func TestThresholdSuppressesSweepChecks(t *testing.T) {
 	r := newRig(t, "Default 2d\n")
 	r.web.Site("h").Page("/p").Set("v1\n")
 	r.srv.Register(userA, Registration{URL: "http://h/p"})
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	r.web.ResetRequestCounts()
 
 	// One hour later: within the 2d threshold — skipped.
 	r.web.Advance(time.Hour)
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.Skipped != 1 || stats.Checked != 0 {
 		t.Fatalf("within threshold: %+v", stats)
 	}
@@ -105,7 +106,7 @@ func TestThresholdSuppressesSweepChecks(t *testing.T) {
 	}
 	// Three days later: checked again.
 	r.web.Advance(72 * time.Hour)
-	stats = r.srv.TrackAll()
+	stats = r.srv.TrackAll(context.Background())
 	if stats.Checked != 1 {
 		t.Fatalf("past threshold: %+v", stats)
 	}
@@ -117,7 +118,7 @@ func TestPerUserReportAgainstSharedState(t *testing.T) {
 	p.Set("v1\n")
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
 	r.srv.Register(userB, Registration{URL: "http://h/p", Title: "P"})
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
 	// Neither user has seen anything yet: both see "changed".
 	rowsA := r.srv.ReportFor(userA)
@@ -126,7 +127,7 @@ func TestPerUserReportAgainstSharedState(t *testing.T) {
 	}
 
 	// A catches up; B does not.
-	if err := r.srv.MarkSeen(userA, "http://h/p"); err != nil {
+	if err := r.srv.MarkSeen(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	rowsA = r.srv.ReportFor(userA)
@@ -141,7 +142,7 @@ func TestPerUserReportAgainstSharedState(t *testing.T) {
 	// The page changes and is re-archived: A is behind again.
 	r.web.Advance(time.Hour)
 	p.Set("v2\n")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	rowsA = r.srv.ReportFor(userA)
 	if !rowsA[0].Changed || rowsA[0].SeenRev != "1.1" || rowsA[0].HeadRev != "1.2" {
 		t.Fatalf("user A after new version: %+v", rowsA[0])
@@ -150,7 +151,7 @@ func TestPerUserReportAgainstSharedState(t *testing.T) {
 
 func TestMarkSeenWithoutArchiveErrors(t *testing.T) {
 	r := newRig(t, "Default 0\n")
-	if err := r.srv.MarkSeen(userA, "http://h/never-archived"); err == nil {
+	if err := r.srv.MarkSeen(context.Background(), userA, "http://h/never-archived"); err == nil {
 		t.Fatal("MarkSeen on unarchived URL succeeded")
 	}
 }
@@ -161,7 +162,7 @@ func TestSweepErrorsRecorded(t *testing.T) {
 	s.Page("/p").Set("x\n")
 	s.SetDown(true)
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.Errors != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
@@ -171,7 +172,7 @@ func TestSweepErrorsRecorded(t *testing.T) {
 	}
 	// Recovery clears the error.
 	s.SetDown(false)
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	rows = r.srv.ReportFor(userA)
 	if rows[0].Err != nil {
 		t.Fatalf("error not cleared: %+v", rows[0])
@@ -185,14 +186,14 @@ func TestChecksumPagesTracked(t *testing.T) {
 	p.SetNoLastModified()
 	r.srv.Register(userA, Registration{URL: "http://h/cgi"})
 
-	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 1 {
 		t.Fatalf("first sweep: %+v", stats)
 	}
-	if stats := r.srv.TrackAll(); stats.NewVersions != 0 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 0 {
 		t.Fatalf("unchanged sweep: %+v", stats)
 	}
 	p.Set("result B\n")
-	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 1 {
 		t.Fatalf("changed sweep: %+v", stats)
 	}
 }
@@ -212,12 +213,12 @@ func TestRecursiveTrackingOneHop(t *testing.T) {
 	r.web.Site("other.example").Page("/ext.html").Set("ext\n")
 
 	r.srv.Register(userA, Registration{URL: "http://h/home", Recursive: true})
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.Discovered != 2 {
 		t.Fatalf("discovered = %d, want 2 (same-host only): %+v", stats.Discovered, stats)
 	}
 	// The discovered pages are themselves tracked on the next sweep.
-	stats = r.srv.TrackAll()
+	stats = r.srv.TrackAll(context.Background())
 	if stats.Checked != 3 {
 		t.Fatalf("second sweep checked = %d, want 3", stats.Checked)
 	}
@@ -228,7 +229,7 @@ func TestRecursiveTrackingOneHop(t *testing.T) {
 	// A change in a discovered page is archived automatically.
 	r.web.Advance(time.Hour)
 	s.Page("/projects.html").Set("<P>projects v2</P>\n")
-	stats = r.srv.TrackAll()
+	stats = r.srv.TrackAll(context.Background())
 	if stats.NewVersions != 1 {
 		t.Fatalf("derived change sweep: %+v", stats)
 	}
@@ -242,11 +243,11 @@ func TestFixedPagesWhatsNew(t *testing.T) {
 	p2.Set("f2 v1\n")
 	r.srv.AddFixed("http://h/fixed1", "Fixed One")
 	r.srv.AddFixed("http://h/fixed2", "Fixed Two")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
 	r.web.Advance(24 * time.Hour)
 	p2.Set("f2 v2\n")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
 	changes := r.srv.FixedChanges()
 	if len(changes) != 2 {
@@ -268,7 +269,7 @@ func TestReportHTMLShape(t *testing.T) {
 	r := newRig(t, "Default 0\n")
 	r.web.Site("h").Page("/p").Set("v1\n")
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "The Page"})
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	html := r.srv.ReportHTML(userA)
 	for _, want := range []string{
 		"The Page", "1 of 1 tracked pages",

@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -86,7 +87,7 @@ func TestFormEndpointsOverHTTP(t *testing.T) {
 	}
 
 	// A sweep archives the output; the report covers the pseudo-URL.
-	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 1 {
 		t.Fatalf("sweep: %+v", stats)
 	}
 	code, body2 = fetch(t, base+"/report?user="+url.QueryEscape(userA))

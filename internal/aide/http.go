@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"net/http"
@@ -19,6 +20,17 @@ import (
 // motivation for moving the functionality of w3newer into the AIDE
 // server"), and the community What's-New page for the fixed set (§8.2).
 // The snapshot facility's own endpoints are mounted alongside.
+
+// reqCtx derives the working context for one request: the request's own
+// context (canceled when the client goes away) plus the server's
+// per-request deadline.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
+}
 
 // Handler returns the combined AIDE HTTP mux.
 func (s *Server) Handler(snap *snapshot.Server) http.Handler {
@@ -113,7 +125,9 @@ func (s *Server) handleFormInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need an id parameter", http.StatusBadRequest)
 		return
 	}
-	info, err := s.Forms.Invoke(s.Client, id)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	info, err := s.Forms.Invoke(ctx, s.Client, id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -150,7 +164,9 @@ func (s *Server) handleSeen(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need user and url parameters", http.StatusBadRequest)
 		return
 	}
-	if err := s.MarkSeen(user, pageURL); err != nil {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if err := s.MarkSeen(ctx, user, pageURL); err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}

@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -48,7 +49,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("register code = %d", code)
 	}
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	code, body := fetch(t, ts.URL+"/report?user="+url.QueryEscape(userA))
 	if code != 200 || !strings.Contains(body, "<B>Changed</B>") || !strings.Contains(body, "My Page") {
 		t.Fatalf("report: %d\n%s", code, body)
@@ -67,7 +68,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	// Page changes; sweep archives it; Diff link (snapshot mount) works.
 	r.web.Advance(time.Hour)
 	p.Set("<P>Original page sentence content. Fresh addition appended here.</P>\n")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	code, body = fetch(t, ts.URL+"/diff?"+q+"&r1=1.1&r2=1.2")
 	if code != 200 || !strings.Contains(body, "<STRONG><I>Fresh") {
 		t.Fatalf("diff via mount: %d\n%s", code, body)
@@ -79,10 +80,10 @@ func TestWhatsNewEndpoint(t *testing.T) {
 	p := r.web.Site("h").Page("/f")
 	p.Set("v1\n")
 	r.srv.AddFixed("http://h/f", "Fixed Page")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	r.web.Advance(time.Hour)
 	p.Set("v2\n")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
 	code, body := fetch(t, ts.URL+"/whatsnew")
 	if code != 200 || !strings.Contains(body, "Fixed Page") {
@@ -104,7 +105,7 @@ func TestStatusEndpoint(t *testing.T) {
 	r, ts := httpRig(t)
 	r.web.Site("h").Page("/p").Set("content\n")
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "P"})
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 	code, body := fetch(t, ts.URL+"/status")
 	if code != 200 {
 		t.Fatalf("status code = %d", code)

@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,7 +15,7 @@ func TestStatePersistenceAcrossRestart(t *testing.T) {
 	r.srv.Register(userA, Registration{URL: "http://h/p", Title: "Page P"})
 	r.srv.AddFixed("http://h/fixed", Registration{}.Title)
 	r.web.Site("h").Page("/fixed").Set("f1\n")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
 	path := filepath.Join(t.TempDir(), "aide-state.json")
 	if err := r.srv.SaveState(path); err != nil {
@@ -36,14 +37,14 @@ func TestStatePersistenceAcrossRestart(t *testing.T) {
 	}
 	// The threshold state survived: an immediate sweep skips everything.
 	r.web.ResetRequestCounts()
-	stats := srv2.TrackAll()
+	stats := srv2.TrackAll(context.Background())
 	if stats.Checked != 0 || stats.Skipped != 2 {
 		t.Fatalf("post-restore sweep: %+v", stats)
 	}
 	// Past the threshold, sweeps resume and change detection continues
 	// from the restored checksums/dates (no spurious "new version").
 	r.web.Advance(3 * 24 * time.Hour)
-	stats = srv2.TrackAll()
+	stats = srv2.TrackAll(context.Background())
 	if stats.Checked != 2 || stats.NewVersions != 0 {
 		t.Fatalf("resumed sweep: %+v", stats)
 	}

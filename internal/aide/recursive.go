@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"net/http"
@@ -49,10 +50,11 @@ func (r RecursiveDiff) ChangedChildren() int {
 }
 
 // DiffRecursive compares the root page since the user last saved it and
-// then every same-host page the *current* root links to, one hop deep.
-func (s *Server) DiffRecursive(user, rootURL string) (RecursiveDiff, error) {
+// then every same-host page the *current* root links to, one hop deep;
+// ctx bounds the live fetches the comparisons need.
+func (s *Server) DiffRecursive(ctx context.Context, user, rootURL string) (RecursiveDiff, error) {
 	out := RecursiveDiff{RootURL: rootURL}
-	rootDiff, err := s.Facility.DiffSinceSaved(user, rootURL)
+	rootDiff, err := s.Facility.DiffSinceSaved(ctx, user, rootURL)
 	if err != nil {
 		return out, err
 	}
@@ -70,16 +72,16 @@ func (s *Server) DiffRecursive(user, rootURL string) (RecursiveDiff, error) {
 			continue
 		}
 		seen[link] = true
-		out.Children = append(out.Children, s.diffChild(user, link))
+		out.Children = append(out.Children, s.diffChild(ctx, user, link))
 	}
 	return out, nil
 }
 
 // diffChild produces one child's comparison, preferring the user's own
 // last-seen version as the baseline.
-func (s *Server) diffChild(user, link string) ChildDiff {
+func (s *Server) diffChild(ctx context.Context, user, link string) ChildDiff {
 	c := ChildDiff{URL: link}
-	if d, err := s.Facility.DiffSinceSaved(user, link); err == nil {
+	if d, err := s.Facility.DiffSinceSaved(ctx, user, link); err == nil {
 		c.Diff = d
 		return c
 	}
@@ -104,8 +106,8 @@ func (s *Server) diffChild(user, link string) ChildDiff {
 
 // RecursiveDiffHTML renders the combined report: the root's merged page
 // followed by a section per referenced page.
-func (s *Server) RecursiveDiffHTML(user, rootURL string) (string, error) {
-	rd, err := s.DiffRecursive(user, rootURL)
+func (s *Server) RecursiveDiffHTML(ctx context.Context, user, rootURL string) (string, error) {
+	rd, err := s.DiffRecursive(ctx, user, rootURL)
 	if err != nil {
 		return "", err
 	}
@@ -142,7 +144,9 @@ func (s *Server) handleDiffAll(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need user and url parameters", http.StatusBadRequest)
 		return
 	}
-	out, err := s.RecursiveDiffHTML(user, pageURL)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	out, err := s.RecursiveDiffHTML(ctx, user, pageURL)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return

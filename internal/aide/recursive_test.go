@@ -1,6 +1,7 @@
 package aide
 
 import (
+	"context"
 	"net/url"
 	"strings"
 	"testing"
@@ -25,27 +26,27 @@ func vlibRig(t *testing.T) *rig {
 	s.Page("/b.html").Set("<P>topic b version one content here.</P>")
 	r.web.Site("elsewhere").Page("/x").Set("ext")
 	r.srv.Register(userA, Registration{URL: "http://vlib/index", Recursive: true})
-	r.srv.TrackAll() // archives index, discovers children
-	r.srv.TrackAll() // archives children
+	r.srv.TrackAll(context.Background()) // archives index, discovers children
+	r.srv.TrackAll(context.Background()) // archives children
 	return r
 }
 
 func TestDiffRecursive(t *testing.T) {
 	r := vlibRig(t)
 	// The user catches up on the root and topic A.
-	if err := r.srv.MarkSeen(userA, "http://vlib/index"); err != nil {
+	if err := r.srv.MarkSeen(context.Background(), userA, "http://vlib/index"); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.srv.MarkSeen(userA, "http://vlib/a.html"); err != nil {
+	if err := r.srv.MarkSeen(context.Background(), userA, "http://vlib/a.html"); err != nil {
 		t.Fatal(err)
 	}
 	// Topic A changes; topic B gets a second version too.
 	r.web.Advance(24 * time.Hour)
 	r.web.Site("vlib").Page("/a.html").Set("<P>topic a version one content here. Plus a brand new sentence.</P>")
 	r.web.Site("vlib").Page("/b.html").Set("<P>topic b version two content here.</P>")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
-	rd, err := r.srv.DiffRecursive(userA, "http://vlib/index")
+	rd, err := r.srv.DiffRecursive(context.Background(), userA, "http://vlib/index")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +78,12 @@ func TestDiffRecursive(t *testing.T) {
 
 func TestRecursiveDiffHTMLRendering(t *testing.T) {
 	r := vlibRig(t)
-	r.srv.MarkSeen(userA, "http://vlib/index")
+	r.srv.MarkSeen(context.Background(), userA, "http://vlib/index")
 	r.web.Advance(time.Hour)
 	r.web.Site("vlib").Page("/a.html").Set("<P>topic a reworded content lives here.</P>")
-	r.srv.TrackAll()
+	r.srv.TrackAll(context.Background())
 
-	out, err := r.srv.RecursiveDiffHTML(userA, "http://vlib/index")
+	out, err := r.srv.RecursiveDiffHTML(context.Background(), userA, "http://vlib/index")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRecursiveDiffHTMLRendering(t *testing.T) {
 
 func TestDiffRecursiveNeverSavedRoot(t *testing.T) {
 	r := vlibRig(t)
-	if _, err := r.srv.DiffRecursive("stranger@h", "http://vlib/index"); err == nil {
+	if _, err := r.srv.DiffRecursive(context.Background(), "stranger@h", "http://vlib/index"); err == nil {
 		t.Error("recursive diff for user who never saved the root succeeded")
 	}
 }
@@ -131,17 +132,17 @@ func TestFormTrackingServerSide(t *testing.T) {
 	}
 	r.srv.Register(userA, Registration{URL: saved.PseudoURL(), Title: "Weekly report"})
 
-	stats := r.srv.TrackAll()
+	stats := r.srv.TrackAll(context.Background())
 	if stats.NewVersions != 1 || stats.Errors != 0 {
 		t.Fatalf("first sweep: %+v", stats)
 	}
 	// Unchanged output: no new version.
-	if stats := r.srv.TrackAll(); stats.NewVersions != 0 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 0 {
 		t.Fatalf("unchanged sweep: %+v", stats)
 	}
 	// Output changes: archived, and the user's report flags it.
 	flip = true
-	if stats := r.srv.TrackAll(); stats.NewVersions != 1 {
+	if stats := r.srv.TrackAll(context.Background()); stats.NewVersions != 1 {
 		t.Fatalf("changed sweep: %+v", stats)
 	}
 	rows := r.srv.ReportFor(userA)

@@ -14,6 +14,7 @@
 package formreg
 
 import (
+	"context"
 	"crypto/sha1"
 	"encoding/hex"
 	"encoding/json"
@@ -134,16 +135,16 @@ func (r *Registry) All() []SavedForm {
 	return out
 }
 
-// Invoke replays the saved form against its service and returns the
-// output ("make a copy of its input to pass along to the actual
-// service"). The result carries a checksum; POST output never has a
-// Last-Modified date, so checksums are the only change signal.
-func (r *Registry) Invoke(client *webclient.Client, idOrURL string) (webclient.PageInfo, error) {
+// Invoke replays the saved form against its service under ctx and
+// returns the output ("make a copy of its input to pass along to the
+// actual service"). The result carries a checksum; POST output never
+// has a Last-Modified date, so checksums are the only change signal.
+func (r *Registry) Invoke(ctx context.Context, client *webclient.Client, idOrURL string) (webclient.PageInfo, error) {
 	f, ok := r.Lookup(idOrURL)
 	if !ok {
 		return webclient.PageInfo{}, fmt.Errorf("formreg: no saved form %q", idOrURL)
 	}
-	info, err := client.Post(f.Action, f.Encode())
+	info, err := client.Post(ctx, f.Action, f.Encode())
 	if err != nil {
 		return info, err
 	}

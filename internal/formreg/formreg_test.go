@@ -1,6 +1,7 @@
 package formreg
 
 import (
+	"context"
 	"net/url"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func TestSaveLookupInvoke(t *testing.T) {
 		t.Fatal("lookup by pseudo-URL failed")
 	}
 
-	info, err := reg.Invoke(client, f.PseudoURL())
+	info, err := reg.Invoke(context.Background(), client, f.PseudoURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestPersistence(t *testing.T) {
 func TestInvokeUnknownForm(t *testing.T) {
 	reg, _ := New("")
 	client := webclient.New(websim.New(simclock.New(time.Time{})))
-	if _, err := reg.Invoke(client, "form:doesnotexist"); err == nil {
+	if _, err := reg.Invoke(context.Background(), client, "form:doesnotexist"); err == nil {
 		t.Error("unknown form invoked successfully")
 	}
 }
@@ -158,16 +159,16 @@ func TestChangeDetectionThroughChecksums(t *testing.T) {
 	reg, _ := New("")
 	f, _ := reg.Save("report", "http://svc.example/report", url.Values{"q": {"weekly"}})
 
-	i1, err := reg.Invoke(client, f.ID)
+	i1, err := reg.Invoke(context.Background(), client, f.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	i2, _ := reg.Invoke(client, f.ID)
+	i2, _ := reg.Invoke(context.Background(), client, f.ID)
 	if i1.Checksum != i2.Checksum {
 		t.Fatal("stable service produced differing checksums")
 	}
 	counterOn = true
-	i3, _ := reg.Invoke(client, f.ID)
+	i3, _ := reg.Invoke(context.Background(), client, f.ID)
 	if i3.Checksum == i1.Checksum {
 		t.Fatal("changed service output not reflected in checksum")
 	}
@@ -178,7 +179,7 @@ func TestGetOnPostOnlyServiceFails(t *testing.T) {
 	web := websim.New(clock)
 	stockService(web)
 	client := webclient.New(web)
-	info, err := client.Get("http://quotes.example.com/cgi-bin/lookup")
+	info, err := client.Get(context.Background(), "http://quotes.example.com/cgi-bin/lookup")
 	if err != nil {
 		t.Fatal(err)
 	}

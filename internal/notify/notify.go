@@ -27,6 +27,7 @@
 package notify
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -156,8 +157,8 @@ func (h *Hub) Announce(url string, mod time.Time) {
 // PollSweep is the repository-polls-the-provider path: one pass over the
 // URLs marked for polling, issuing HEAD requests and announcing any
 // newer modification dates. Each URL costs one request regardless of
-// subscriber count.
-func (h *Hub) PollSweep(client *webclient.Client) {
+// subscriber count. A done ctx ends the pass between URLs.
+func (h *Hub) PollSweep(ctx context.Context, client *webclient.Client) {
 	h.mu.Lock()
 	urls := make([]string, 0, len(h.polled))
 	for u := range h.polled {
@@ -165,7 +166,10 @@ func (h *Hub) PollSweep(client *webclient.Client) {
 	}
 	h.mu.Unlock()
 	for _, u := range urls {
-		info, err := client.Head(u)
+		if ctx.Err() != nil {
+			return
+		}
+		info, err := client.Head(ctx, u)
 		h.mu.Lock()
 		h.stats.Polled++
 		h.mu.Unlock()

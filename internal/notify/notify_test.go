@@ -1,6 +1,7 @@
 package notify
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -122,11 +123,11 @@ func TestPollSweepDiscoversChanges(t *testing.T) {
 	// This provider never pushes; the hub polls it.
 	hub.Subscribe("http://h/p", relay, true)
 
-	hub.PollSweep(client)
+	hub.PollSweep(context.Background(), client)
 	waitFor(t, func() bool { return relay.Received() == 1 })
 
 	// No change: the sweep polls but announces nothing new.
-	hub.PollSweep(client)
+	hub.PollSweep(context.Background(), client)
 	time.Sleep(5 * time.Millisecond)
 	if relay.Received() != 1 {
 		t.Errorf("unchanged page re-announced")
@@ -134,7 +135,7 @@ func TestPollSweepDiscoversChanges(t *testing.T) {
 	// Change: the next sweep discovers and announces it.
 	web.Advance(24 * time.Hour)
 	p.Set("v2")
-	hub.PollSweep(client)
+	hub.PollSweep(context.Background(), client)
 	waitFor(t, func() bool { return relay.Received() == 2 })
 	if s := hub.Stats(); s.Polled != 3 {
 		t.Errorf("polled = %d, want 3", s.Polled)
@@ -168,7 +169,7 @@ func TestTrackerConsumesRelay(t *testing.T) {
 	waitFor(t, func() bool { return relay.Received() == 1 })
 
 	web.ResetRequestCounts()
-	rs := tr.Run([]hotlist.Entry{{URL: "http://h/p", Title: "P"}})
+	rs := tr.Run(context.Background(), []hotlist.Entry{{URL: "http://h/p", Title: "P"}})
 	if rs[0].Status != tracker.Changed || rs[0].Via != "proxy" {
 		t.Fatalf("result = %+v", rs[0])
 	}

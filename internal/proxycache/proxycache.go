@@ -12,6 +12,7 @@ package proxycache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"time"
 
@@ -84,8 +85,9 @@ func New(upstream webclient.Transport, clock simclock.Clock) *Cache {
 // body. An expired entry with a known modification date is revalidated
 // with a conditional GET — a 304 renews it without re-transferring the
 // body (the "check the modification date of a cached page" behaviour of
-// §3.1's cache-consistency discussion).
-func (c *Cache) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
+// §3.1's cache-consistency discussion). The caller's ctx flows through
+// to the upstream transport; cache hits never consult it.
+func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, error) {
 	now := c.clock.Now()
 	var staleMod time.Time
 	c.mu.Lock()
@@ -108,7 +110,7 @@ func (c *Cache) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
 	if !staleMod.IsZero() && upReq.IfModifiedSince.IsZero() {
 		upReq.IfModifiedSince = staleMod
 	}
-	resp, err := c.upstream.RoundTrip(&upReq)
+	resp, err := c.upstream.RoundTrip(ctx, &upReq)
 	if err != nil {
 		c.mu.Lock()
 		c.stats.Errors++
@@ -133,7 +135,7 @@ func (c *Cache) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
 		}
 		// Entry vanished under us (eviction race): fall through with an
 		// unconditional refetch.
-		resp, err = c.upstream.RoundTrip(req)
+		resp, err = c.upstream.RoundTrip(ctx, req)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package proxycache
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,12 +21,12 @@ func TestCacheHitServesWithoutOrigin(t *testing.T) {
 	web.Site("h").Page("/p").Set("body v1")
 	c := webclient.New(cache)
 
-	i1, err := c.Get("http://h/p")
+	i1, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || i1.Body != "body v1" {
 		t.Fatalf("first get: %+v err=%v", i1, err)
 	}
 	web.ResetRequestCounts()
-	i2, err := c.Get("http://h/p")
+	i2, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || i2.Body != "body v1" {
 		t.Fatalf("second get: %+v err=%v", i2, err)
 	}
@@ -43,11 +44,11 @@ func TestTTLExpiryRefetches(t *testing.T) {
 	p := web.Site("h").Page("/p")
 	p.Set("v1")
 	c := webclient.New(cache)
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	clock.Advance(cache.TTL + time.Minute)
 	p.Set("v2")
 
-	info, err := c.Get("http://h/p")
+	info, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || info.Body != "v2" {
 		t.Fatalf("expired entry served stale: %+v err=%v", info, err)
 	}
@@ -57,10 +58,10 @@ func TestHeadSatisfiedFromGetEntry(t *testing.T) {
 	web, cache, _ := newRig()
 	web.Site("h").Page("/p").Set("body")
 	c := webclient.New(cache)
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	web.ResetRequestCounts()
 
-	info, err := c.Head("http://h/p")
+	info, err := c.Head(context.Background(), "http://h/p")
 	if err != nil || !info.HasLastModified {
 		t.Fatalf("HEAD from cache: %+v err=%v", info, err)
 	}
@@ -73,8 +74,8 @@ func TestGetAfterHeadFetchesBody(t *testing.T) {
 	web, cache, _ := newRig()
 	web.Site("h").Page("/p").Set("the body")
 	c := webclient.New(cache)
-	c.Head("http://h/p") // caches metadata only
-	info, err := c.Get("http://h/p")
+	c.Head(context.Background(), "http://h/p") // caches metadata only
+	info, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || info.Body != "the body" {
 		t.Fatalf("GET after HEAD: %+v err=%v", info, err)
 	}
@@ -90,7 +91,7 @@ func TestModInfoOracle(t *testing.T) {
 	if _, _, ok := cache.ModInfo("http://h/p"); ok {
 		t.Fatal("oracle answered before any fetch")
 	}
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	mod, cachedAt, ok := cache.ModInfo("http://h/p")
 	if !ok || !mod.Equal(modTime) || !cachedAt.Equal(clock.Now()) {
 		t.Fatalf("oracle = (%v,%v,%v)", mod, cachedAt, ok)
@@ -99,7 +100,7 @@ func TestModInfoOracle(t *testing.T) {
 	dyn := web.Site("h").Page("/cgi")
 	dyn.Set("x")
 	dyn.SetNoLastModified()
-	c.Get("http://h/cgi")
+	c.Get(context.Background(), "http://h/cgi")
 	if _, _, ok := cache.ModInfo("http://h/cgi"); ok {
 		t.Error("oracle answered for page without Last-Modified")
 	}
@@ -113,10 +114,10 @@ func TestLRUEviction(t *testing.T) {
 	}
 	c := webclient.New(cache)
 	for _, p := range []string{"/a", "/b", "/c"} {
-		c.Get("http://h" + p)
+		c.Get(context.Background(), "http://h"+p)
 	}
-	c.Get("http://h/a") // refresh /a in the LRU
-	c.Get("http://h/d") // evicts /b
+	c.Get(context.Background(), "http://h/a") // refresh /a in the LRU
+	c.Get(context.Background(), "http://h/d") // evicts /b
 	if cache.Len() != 3 {
 		t.Fatalf("len = %d", cache.Len())
 	}
@@ -134,7 +135,7 @@ func TestErrorsPropagateAndCount(t *testing.T) {
 	s.Page("/p").Set("x")
 	s.SetDown(true)
 	c := webclient.New(cache)
-	if _, err := c.Get("http://h/p"); err == nil {
+	if _, err := c.Get(context.Background(), "http://h/p"); err == nil {
 		t.Fatal("origin error swallowed")
 	}
 	if cache.Stats().Errors != 1 {
@@ -146,13 +147,13 @@ func TestFlush(t *testing.T) {
 	web, cache, _ := newRig()
 	web.Site("h").Page("/p").Set("x")
 	c := webclient.New(cache)
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	cache.Flush()
 	if cache.Len() != 0 {
 		t.Errorf("len after flush = %d", cache.Len())
 	}
 	web.ResetRequestCounts()
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	if _, g := web.TotalRequests(); g != 1 {
 		t.Errorf("flushed entry not refetched")
 	}
@@ -166,7 +167,7 @@ func TestCentralizationEconomy(t *testing.T) {
 	web.Site("h").Page("/popular").Set("content")
 	for u := 0; u < 25; u++ {
 		c := webclient.New(cache)
-		if _, err := c.Get("http://h/popular"); err != nil {
+		if _, err := c.Get(context.Background(), "http://h/popular"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -180,13 +181,13 @@ func TestRevalidationWith304(t *testing.T) {
 	p := web.Site("h").Page("/p")
 	p.Set("stable body")
 	c := webclient.New(cache)
-	if _, err := c.Get("http://h/p"); err != nil {
+	if _, err := c.Get(context.Background(), "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	// TTL expires but the page has not changed: the proxy revalidates
 	// with a conditional GET, gets 304, and serves the cached body.
 	clock.Advance(cache.TTL + time.Minute)
-	info, err := c.Get("http://h/p")
+	info, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || info.Body != "stable body" {
 		t.Fatalf("revalidated get: %+v err=%v", info, err)
 	}
@@ -194,7 +195,7 @@ func TestRevalidationWith304(t *testing.T) {
 		t.Errorf("stats = %+v, want 1 revalidation", s)
 	}
 	// A further fetch within the renewed TTL is a plain hit.
-	if _, err := c.Get("http://h/p"); err != nil {
+	if _, err := c.Get(context.Background(), "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	if s := cache.Stats(); s.Hits != 1 {
@@ -207,10 +208,10 @@ func TestRevalidationChangedBody(t *testing.T) {
 	p := web.Site("h").Page("/p")
 	p.Set("v1")
 	c := webclient.New(cache)
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	clock.Advance(cache.TTL + time.Minute)
 	p.Set("v2") // changed at a later mod time
-	info, err := c.Get("http://h/p")
+	info, err := c.Get(context.Background(), "http://h/p")
 	if err != nil || info.Body != "v2" {
 		t.Fatalf("changed revalidation: %+v err=%v", info, err)
 	}
@@ -225,10 +226,10 @@ func TestClientConditionalPassesThrough(t *testing.T) {
 	p.Set("body")
 	mod := clock.Now()
 	c := webclient.New(cache)
-	c.Get("http://h/p")
+	c.Get(context.Background(), "http://h/p")
 	// A client that already holds the current version gets its own 304
 	// through the proxy.
-	_, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	_, notMod, err := c.GetConditional(context.Background(), "http://h/p", mod.Add(time.Hour))
 	_ = notMod
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ package robots
 
 import (
 	"bufio"
+	"context"
 	"strings"
 	"sync"
 	"time"
@@ -127,10 +128,10 @@ func (p *Policy) matchGroup(agent string) *group {
 	return star
 }
 
-// FetchFunc retrieves a URL and returns the HTTP status and body. It is
-// satisfied by internal/webclient; the indirection keeps this package
-// free of transport concerns.
-type FetchFunc func(url string) (status int, body string, err error)
+// FetchFunc retrieves a URL under ctx and returns the HTTP status and
+// body. It is satisfied by internal/webclient; the indirection keeps
+// this package free of transport concerns.
+type FetchFunc func(ctx context.Context, url string) (status int, body string, err error)
 
 // Cache caches per-host policies and per-URL exclusion verdicts with a
 // time-to-live, implementing w3newer's "that fact is cached" behaviour.
@@ -173,10 +174,11 @@ func NewCache(fetch FetchFunc, clock simclock.Clock) *Cache {
 	}
 }
 
-// Allowed reports whether the robot may fetch the given URL. Fetch
-// failures fail open (a site without robots.txt allows robots), except
-// that transport errors leave any cached policy in force.
-func (c *Cache) Allowed(rawURL string) bool {
+// Allowed reports whether the robot may fetch the given URL; ctx bounds
+// any robots.txt retrieval the verdict needs. Fetch failures fail open
+// (a site without robots.txt allows robots), except that transport
+// errors leave any cached policy in force.
+func (c *Cache) Allowed(ctx context.Context, rawURL string) bool {
 	if c.Ignore {
 		return true
 	}
@@ -184,12 +186,12 @@ func (c *Cache) Allowed(rawURL string) bool {
 	if scheme != "http" && scheme != "https" {
 		return true // file: and friends have no exclusion protocol
 	}
-	pol := c.policyFor(scheme, host)
+	pol := c.policyFor(ctx, scheme, host)
 	return pol.Allowed(c.Agent, path)
 }
 
 // policyFor returns the cached policy for host, refreshing it if stale.
-func (c *Cache) policyFor(scheme, host string) *Policy {
+func (c *Cache) policyFor(ctx context.Context, scheme, host string) *Policy {
 	now := c.clock.Now()
 	c.mu.Lock()
 	cached, ok := c.policies[host]
@@ -197,7 +199,7 @@ func (c *Cache) policyFor(scheme, host string) *Policy {
 	if ok && now.Sub(cached.fetched) <= c.TTL {
 		return cached.policy
 	}
-	status, bodyText, err := c.fetch(scheme + "://" + host + "/robots.txt")
+	status, bodyText, err := c.fetch(ctx, scheme+"://"+host+"/robots.txt")
 	var pol *Policy
 	switch {
 	case err != nil && ok:

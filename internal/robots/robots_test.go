@@ -1,6 +1,7 @@
 package robots
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ type fakeFetcher struct {
 	calls  int
 }
 
-func (f *fakeFetcher) fetch(url string) (int, string, error) {
+func (f *fakeFetcher) fetch(ctx context.Context, url string) (int, string, error) {
 	f.calls++
 	if f.err != nil {
 		return 0, "", f.err
@@ -108,10 +109,10 @@ func TestCacheAllowedAndCaching(t *testing.T) {
 	clock := simclock.New(time.Time{})
 	c := NewCache(ff.fetch, clock)
 
-	if c.Allowed("http://host.example/cgi-bin/counter") {
+	if c.Allowed(context.Background(), "http://host.example/cgi-bin/counter") {
 		t.Error("disallowed URL permitted")
 	}
-	if !c.Allowed("http://host.example/page.html") {
+	if !c.Allowed(context.Background(), "http://host.example/page.html") {
 		t.Error("allowed URL blocked")
 	}
 	if ff.calls != 1 {
@@ -120,7 +121,7 @@ func TestCacheAllowedAndCaching(t *testing.T) {
 
 	// After the TTL the policy is refreshed.
 	clock.Advance(c.TTL + time.Hour)
-	c.Allowed("http://host.example/page.html")
+	c.Allowed(context.Background(), "http://host.example/page.html")
 	if ff.calls != 2 {
 		t.Errorf("stale policy not refreshed: calls = %d", ff.calls)
 	}
@@ -129,7 +130,7 @@ func TestCacheAllowedAndCaching(t *testing.T) {
 func TestCacheMissingRobotsAllows(t *testing.T) {
 	ff := &fakeFetcher{bodies: map[string]string{}}
 	c := NewCache(ff.fetch, simclock.New(time.Time{}))
-	if !c.Allowed("http://nofile.example/anything") {
+	if !c.Allowed(context.Background(), "http://nofile.example/anything") {
 		t.Error("404 robots.txt blocked access")
 	}
 }
@@ -140,13 +141,13 @@ func TestCacheTransportErrorKeepsStalePolicy(t *testing.T) {
 	}}
 	clock := simclock.New(time.Time{})
 	c := NewCache(ff.fetch, clock)
-	if c.Allowed("http://host.example/x/1") {
+	if c.Allowed(context.Background(), "http://host.example/x/1") {
 		t.Fatal("initial policy not applied")
 	}
 	// Host becomes unreachable; the stale policy stays in force.
 	ff.err = errors.New("network unreachable")
 	clock.Advance(c.TTL + time.Hour)
-	if c.Allowed("http://host.example/x/1") {
+	if c.Allowed(context.Background(), "http://host.example/x/1") {
 		t.Error("stale policy dropped on transport error")
 	}
 }
@@ -154,7 +155,7 @@ func TestCacheTransportErrorKeepsStalePolicy(t *testing.T) {
 func TestCacheTransportErrorNoPolicyFailsOpen(t *testing.T) {
 	ff := &fakeFetcher{err: errors.New("timeout")}
 	c := NewCache(ff.fetch, simclock.New(time.Time{}))
-	if !c.Allowed("http://unreachable.example/x") {
+	if !c.Allowed(context.Background(), "http://unreachable.example/x") {
 		t.Error("transport error with no cached policy blocked access")
 	}
 }
@@ -165,7 +166,7 @@ func TestCacheIgnoreFlag(t *testing.T) {
 	}}
 	c := NewCache(ff.fetch, simclock.New(time.Time{}))
 	c.Ignore = true // the paper's override flag
-	if !c.Allowed("http://host.example/anything") {
+	if !c.Allowed(context.Background(), "http://host.example/anything") {
 		t.Error("Ignore flag did not bypass exclusion")
 	}
 	if ff.calls != 0 {
@@ -176,7 +177,7 @@ func TestCacheIgnoreFlag(t *testing.T) {
 func TestNonHTTPSchemesExempt(t *testing.T) {
 	ff := &fakeFetcher{}
 	c := NewCache(ff.fetch, simclock.New(time.Time{}))
-	if !c.Allowed("file:/etc/motd") {
+	if !c.Allowed(context.Background(), "file:/etc/motd") {
 		t.Error("file: URL subjected to robots exclusion")
 	}
 	if ff.calls != 0 {

@@ -10,6 +10,7 @@
 package simclock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -73,4 +74,36 @@ func (s *Sim) Set(t time.Time) time.Time {
 		s.now = t
 	}
 	return s.now
+}
+
+// advancer is implemented by clocks whose waits are simulated rather
+// than real (*Sim): sleeping advances the clock instead of blocking.
+type advancer interface {
+	Advance(d time.Duration) time.Time
+}
+
+// Sleep waits for d on the given clock, honouring ctx. On a simulated
+// clock the wait consumes simulated time and returns immediately, which
+// keeps retry/backoff schedules deterministic in tests; on the wall
+// clock it blocks for real. A done context cuts the wait short and its
+// error is returned.
+func Sleep(ctx context.Context, c Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if a, ok := c.(advancer); ok {
+		a.Advance(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

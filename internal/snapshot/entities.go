@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/url"
@@ -71,9 +72,9 @@ func (f *Facility) SetEntityTracking(opt EntityTrackingOptions) {
 	f.entityOpt = opt
 }
 
-// snapshotEntities checksums the entities body references and stores the
-// result beside the archive, keyed by revision.
-func (f *Facility) snapshotEntities(pageURL, body, rev string) error {
+// snapshotEntities checksums the entities body references under ctx and
+// stores the result beside the archive, keyed by revision.
+func (f *Facility) snapshotEntities(ctx context.Context, pageURL, body, rev string) error {
 	refs := htmldoc.EntityRefs(body)
 	sums := make(map[string]string)
 	count := 0
@@ -94,7 +95,7 @@ func (f *Facility) snapshotEntities(pageURL, body, rev string) error {
 			continue
 		}
 		count++
-		info, err := f.client.Get(target)
+		info, err := f.client.Get(ctx, target)
 		if err != nil || webclient.Classify(info.Status, nil) != webclient.OK {
 			sums[target] = "" // unreachable: recorded as unknown
 			continue

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestEntityChangeDetectedBehindUnchangedURL(t *testing.T) {
 	s.Page("/images/logo.gif").Set("GIF89a-old-bytes")
 	s.Page("/other.html").Set("other v1")
 
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	// The image content changes; the page text (and the IMG URL) do not.
@@ -35,7 +36,7 @@ func TestEntityChangeDetectedBehindUnchangedURL(t *testing.T) {
 	// the paper's scenario the page text changes elsewhere while the
 	// image URL stays put.
 	s.Page("/p").Set(pageWithImage + "<P>An unrelated new paragraph.</P>\n")
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,10 +69,10 @@ func TestEntityAppearedAndVanished(t *testing.T) {
 	s.Page("/a.gif").Set("image A")
 	s.Page("/b.gif").Set("image B")
 	s.Page("/p").Set(`<P><IMG SRC="/a.gif"> here.</P>`)
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	r.web.Advance(time.Hour)
 	s.Page("/p").Set(`<P><IMG SRC="/b.gif"> here instead.</P>`)
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 
 	changes, err := r.fac.EntityChanges("http://h/p", "1.1", "1.2")
 	if err != nil {
@@ -95,7 +96,7 @@ func TestAnchorsFollowedOnlyWhenAsked(t *testing.T) {
 
 	// Without FollowAnchors, only the image is snapshotted.
 	enableEntities(r, false)
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	snaps, err := r.fac.loadEntitySnapshots("http://h/p")
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +116,7 @@ func TestAnchorsFollowedOnlyWhenAsked(t *testing.T) {
 	s2.Page("/p").Set(pageWithImage)
 	s2.Page("/images/logo.gif").Set("img")
 	s2.Page("/other.html").Set("other v1")
-	r2.fac.Remember(userA, "http://h/p")
+	r2.fac.Remember(context.Background(), userA, "http://h/p")
 	snaps2, _ := r2.fac.loadEntitySnapshots("http://h/p")
 	if _, ok := snaps2["1.1"].Checksums["http://h/other.html"]; !ok {
 		t.Errorf("anchor target missing with FollowAnchors: %v", snaps2["1.1"].Checksums)
@@ -128,7 +129,7 @@ func TestUnreachableEntityRecordedUnknown(t *testing.T) {
 	s := r.web.Site("h")
 	s.Page("/p").Set(`<P><IMG SRC="/missing.gif"> broken.</P>`)
 	// /missing.gif does not exist (404).
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	snaps, _ := r.fac.loadEntitySnapshots("http://h/p")
@@ -150,7 +151,7 @@ func TestMaxEntitiesBound(t *testing.T) {
 	}
 	sb.WriteString("pics.</P>")
 	s.Page("/p").Set(sb.String())
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	snaps, _ := r.fac.loadEntitySnapshots("http://h/p")
 	if n := len(snaps["1.1"].Checksums); n != 2 {
 		t.Errorf("snapshotted %d entities, want 2 (bounded)", n)
@@ -160,7 +161,7 @@ func TestMaxEntitiesBound(t *testing.T) {
 func TestEntityChangesWithoutTracking(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("x\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	if _, err := r.fac.EntityChanges("http://h/p", "1.1", "1.1"); err == nil {
 		t.Error("EntityChanges succeeded without tracking enabled")
 	}
@@ -172,10 +173,10 @@ func TestNoOpCheckinSkipsEntitySnapshot(t *testing.T) {
 	s := r.web.Site("h")
 	s.Page("/img.gif").Set("v1")
 	s.Page("/p").Set(`<P><IMG SRC="/img.gif"> x.</P>`)
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	r.web.ResetRequestCounts()
 	// Unchanged page: no new revision, and no entity fetches either.
-	r.fac.Remember(userB, "http://h/p")
+	r.fac.Remember(context.Background(), userB, "http://h/p")
 	if _, g := r.web.TotalRequests(); g > 1 { // one GET for the page itself
 		t.Errorf("no-op checkin still checksummed entities: %d GETs", g)
 	}

@@ -15,6 +15,7 @@
 package snapshot
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -96,27 +97,29 @@ type RememberResult struct {
 	FirstTime bool
 }
 
-// Remember fetches url and checks it into the archive on behalf of user,
-// recording the version in the user's control file. Holding the per-URL
-// lock across fetch+check-in serialises simultaneous users (§4.2).
-func (f *Facility) Remember(user, pageURL string) (RememberResult, error) {
+// Remember fetches url under ctx and checks it into the archive on
+// behalf of user, recording the version in the user's control file.
+// Holding the per-URL lock across fetch+check-in serialises
+// simultaneous users (§4.2).
+func (f *Facility) Remember(ctx context.Context, user, pageURL string) (RememberResult, error) {
 	unlock, err := f.locks.Lock("url:" + pageURL)
 	if err != nil {
 		return RememberResult{}, err
 	}
 	defer unlock()
 
-	info, err := f.fetchLive(pageURL)
+	info, err := f.fetchLive(ctx, pageURL)
 	if err != nil {
 		return RememberResult{}, err
 	}
-	return f.RememberContent(user, pageURL, info.Body)
+	return f.RememberContent(ctx, user, pageURL, info.Body)
 }
 
 // RememberContent checks in content supplied by the caller (used by the
-// fixed-page archiver and by tests to avoid a second fetch). The per-URL
-// lock must not already be held by this goroutine.
-func (f *Facility) RememberContent(user, pageURL, body string) (RememberResult, error) {
+// fixed-page archiver and by tests to avoid a second fetch); ctx bounds
+// the entity-checksum fetches that a changed check-in may trigger. The
+// per-URL lock must not already be held by this goroutine.
+func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body string) (RememberResult, error) {
 	arch := f.archive(pageURL)
 	first := !arch.Exists()
 	rev, changed, err := arch.Checkin(body, user, "checked in via AIDE snapshot")
@@ -129,7 +132,7 @@ func (f *Facility) RememberContent(user, pageURL, body string) (RememberResult, 
 		}
 	}
 	if changed && f.entityOpt.Enabled {
-		if err := f.snapshotEntities(pageURL, body, rev); err != nil {
+		if err := f.snapshotEntities(ctx, pageURL, body, rev); err != nil {
 			return RememberResult{}, err
 		}
 	}
@@ -151,8 +154,9 @@ type DiffResult struct {
 
 // DiffSinceSaved compares the version the user last remembered against
 // the live page — the report's "Diff" link ("display the changes in a
-// page since it was last saved away by the user", §6).
-func (f *Facility) DiffSinceSaved(user, pageURL string) (DiffResult, error) {
+// page since it was last saved away by the user", §6). ctx bounds the
+// live fetch.
+func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (DiffResult, error) {
 	seen := f.seenVersions(user, pageURL)
 	if len(seen) == 0 {
 		return DiffResult{}, ErrNeverSaved
@@ -162,7 +166,7 @@ func (f *Facility) DiffSinceSaved(user, pageURL string) (DiffResult, error) {
 	if err != nil {
 		return DiffResult{}, err
 	}
-	info, err := f.fetchLive(pageURL)
+	info, err := f.fetchLive(ctx, pageURL)
 	if err != nil {
 		return DiffResult{}, err
 	}
@@ -315,15 +319,15 @@ func (f *Facility) Storage() (StorageStats, error) {
 	return stats, nil
 }
 
-// fetchLive retrieves the current content of a URL: a GET for pages, a
-// replayed POST for form:<id> pseudo-URLs.
-func (f *Facility) fetchLive(pageURL string) (webclient.PageInfo, error) {
+// fetchLive retrieves the current content of a URL under ctx: a GET for
+// pages, a replayed POST for form:<id> pseudo-URLs.
+func (f *Facility) fetchLive(ctx context.Context, pageURL string) (webclient.PageInfo, error) {
 	var info webclient.PageInfo
 	var err error
 	if f.Forms != nil && formreg.IsFormURL(pageURL) {
-		info, err = f.Forms.Invoke(f.client, pageURL)
+		info, err = f.Forms.Invoke(ctx, f.client, pageURL)
 	} else {
-		info, err = f.client.Get(pageURL)
+		info, err = f.client.Get(ctx, pageURL)
 	}
 	if err != nil {
 		return info, fmt.Errorf("snapshot: retrieving %s: %w", pageURL, err)

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -36,7 +37,7 @@ const userB = "tball@research.att.com"
 func TestRememberAndCheckout(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("<html>v1</html>\n")
-	res, err := r.fac.Remember(userA, "http://h/p")
+	res, err := r.fac.Remember(context.Background(), userA, "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +53,10 @@ func TestRememberAndCheckout(t *testing.T) {
 func TestRememberUnchangedNotSavedAgain(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("same\n")
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.fac.Remember(userA, "http://h/p")
+	res, err := r.fac.Remember(context.Background(), userA, "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +70,12 @@ func TestPerUserVersionSets(t *testing.T) {
 	p := r.web.Site("h").Page("/p")
 	p.Set("v1\n")
 	// User A saves v1; the page changes; user B saves v2.
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	r.web.Advance(24 * time.Hour)
 	p.Set("v2\n")
-	res, err := r.fac.Remember(userB, "http://h/p")
+	res, err := r.fac.Remember(context.Background(), userB, "http://h/p")
 	if err != nil || res.Rev != "1.2" {
 		t.Fatalf("user B remember = %+v err=%v", res, err)
 	}
@@ -98,8 +99,8 @@ func TestUserCheckinTimesTrackedWhenUnchanged(t *testing.T) {
 	// page by different users."
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("stable\n")
-	r.fac.Remember(userA, "http://h/p")
-	r.fac.Remember(userB, "http://h/p") // no new revision, but B has now seen 1.1
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+	r.fac.Remember(context.Background(), userB, "http://h/p") // no new revision, but B has now seen 1.1
 	_, seenB, err := r.fac.History(userB, "http://h/p")
 	if err != nil {
 		t.Fatal(err)
@@ -113,13 +114,13 @@ func TestDiffSinceSaved(t *testing.T) {
 	r := newRig(t)
 	p := r.web.Site("h").Page("/p")
 	p.Set("<P>Original sentence here today.</P>\n")
-	if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	r.web.Advance(time.Hour)
 	p.Set("<P>Original sentence here today. Brand new addition arrives.</P>\n")
 
-	res, err := r.fac.DiffSinceSaved(userA, "http://h/p")
+	res, err := r.fac.DiffSinceSaved(context.Background(), userA, "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestDiffSinceSaved(t *testing.T) {
 func TestDiffSinceSavedNeverSaved(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("x\n")
-	if _, err := r.fac.DiffSinceSaved(userA, "http://h/p"); !errors.Is(err, ErrNeverSaved) {
+	if _, err := r.fac.DiffSinceSaved(context.Background(), userA, "http://h/p"); !errors.Is(err, ErrNeverSaved) {
 		t.Fatalf("err = %v, want ErrNeverSaved", err)
 	}
 }
@@ -146,10 +147,10 @@ func TestDiffRevsCached(t *testing.T) {
 	r := newRig(t)
 	p := r.web.Site("h").Page("/p")
 	p.Set("<P>version one content.</P>\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	r.web.Advance(time.Hour)
 	p.Set("<P>version two content.</P>\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 
 	d1, err := r.fac.DiffRevs("http://h/p", "1.1", "1.2")
 	if err != nil || d1.Cached {
@@ -172,14 +173,14 @@ func TestRememberFetchErrors(t *testing.T) {
 	s := r.web.Site("h")
 	s.Page("/p").Set("x\n")
 	s.SetDown(true)
-	if _, err := r.fac.Remember(userA, "http://h/p"); err == nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err == nil {
 		t.Fatal("remember succeeded against down host")
 	}
 	s.SetDown(false)
 	dead := r.web.Site("h").Page("/dead")
 	dead.Set("x")
 	dead.SetGone()
-	if _, err := r.fac.Remember(userA, "http://h/dead"); err == nil {
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/dead"); err == nil {
 		t.Fatal("remember succeeded for 404 page")
 	}
 }
@@ -188,11 +189,11 @@ func TestCheckoutAtDate(t *testing.T) {
 	r := newRig(t)
 	p := r.web.Site("h").Page("/p")
 	p.Set("v1\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	mid := r.clock.Now().Add(12 * time.Hour)
 	r.web.Advance(24 * time.Hour)
 	p.Set("v2\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 
 	text, rev, err := r.fac.CheckoutAtDate("http://h/p", mid)
 	if err != nil || rev != "1.1" || text != "v1\n" {
@@ -204,8 +205,8 @@ func TestArchivedURLsAndStorage(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/a").Set(strings.Repeat("aaaa\n", 100))
 	r.web.Site("h").Page("/b").Set("b\n")
-	r.fac.Remember(userA, "http://h/a")
-	r.fac.Remember(userA, "http://h/b")
+	r.fac.Remember(context.Background(), userA, "http://h/a")
+	r.fac.Remember(context.Background(), userA, "http://h/b")
 
 	urls, err := r.fac.ArchivedURLs()
 	if err != nil {
@@ -234,8 +235,8 @@ func TestUserURLs(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/a").Set("x\n")
 	r.web.Site("h").Page("/b").Set("y\n")
-	r.fac.Remember(userA, "http://h/b")
-	r.fac.Remember(userA, "http://h/a")
+	r.fac.Remember(context.Background(), userA, "http://h/b")
+	r.fac.Remember(context.Background(), userA, "http://h/a")
 	urls := r.fac.UserURLs(userA)
 	if len(urls) != 2 || urls[0] != "http://h/a" {
 		t.Errorf("user urls = %v", urls)
@@ -261,7 +262,7 @@ func TestSimultaneousRemembersSerialized(t *testing.T) {
 			if i%2 == 1 {
 				user = userB
 			}
-			if _, err := r.fac.Remember(user, "http://h/p"); err != nil {
+			if _, err := r.fac.Remember(context.Background(), user, "http://h/p"); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -284,7 +285,7 @@ func TestURLsWithSpecialCharacters(t *testing.T) {
 	r := newRig(t)
 	weird := "http://h/cgi-bin/search?q=a+b&lang=en/ü"
 	r.web.Site("h").Page("/cgi-bin/search?q=a+b&lang=en/ü").Set("result\n")
-	if _, err := r.fac.Remember(userA, weird); err != nil {
+	if _, err := r.fac.Remember(context.Background(), userA, weird); err != nil {
 		t.Fatal(err)
 	}
 	urls, _ := r.fac.ArchivedURLs()
@@ -301,14 +302,14 @@ func TestFacilityPrune(t *testing.T) {
 	p := r.web.Site("h").Page("/p")
 	for i := 0; i < 6; i++ {
 		p.Set(strings.Repeat("x", i+1) + "\n")
-		if _, err := r.fac.Remember(userA, "http://h/p"); err != nil {
+		if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
 			t.Fatal(err)
 		}
 		r.web.Advance(time.Hour)
 	}
 	q := r.web.Site("h").Page("/q")
 	q.Set("only one version\n")
-	r.fac.Remember(userA, "http://h/q")
+	r.fac.Remember(context.Background(), userA, "http://h/q")
 
 	results, err := r.fac.Prune(2)
 	if err != nil {

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -150,10 +151,11 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 }
 
 // ReplicateFrom pulls a leader facility's /export over the given
-// transport and imports it, returning the number of files installed.
-func (f *Facility) ReplicateFrom(leaderBase string, transport webclient.Transport) (int, error) {
+// transport under ctx and imports it, returning the number of files
+// installed.
+func (f *Facility) ReplicateFrom(ctx context.Context, leaderBase string, transport webclient.Transport) (int, error) {
 	client := webclient.New(transport)
-	info, err := client.Get(strings.TrimSuffix(leaderBase, "/") + "/export")
+	info, err := client.Get(ctx, strings.TrimSuffix(leaderBase, "/")+"/export")
 	if err != nil {
 		return 0, fmt.Errorf("snapshot: replicating from %s: %w", leaderBase, err)
 	}

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -16,12 +17,12 @@ func TestExportImportRoundTrip(t *testing.T) {
 	leader := newRig(t)
 	p := leader.web.Site("h").Page("/p")
 	p.Set("<P>version one content.</P>\n")
-	leader.fac.Remember(userA, "http://h/p")
+	leader.fac.Remember(context.Background(), userA, "http://h/p")
 	leader.web.Advance(time.Hour)
 	p.Set("<P>version two content.</P>\n")
-	leader.fac.Remember(userA, "http://h/p")
+	leader.fac.Remember(context.Background(), userA, "http://h/p")
 	leader.web.Site("h").Page("/q").Set("other page\n")
-	leader.fac.Remember(userB, "http://h/q")
+	leader.fac.Remember(context.Background(), userB, "http://h/q")
 
 	var dump bytes.Buffer
 	if err := leader.fac.Export(&dump); err != nil {
@@ -54,14 +55,14 @@ func TestExportImportRoundTrip(t *testing.T) {
 func TestReplicateOverHTTP(t *testing.T) {
 	leader := newRig(t)
 	leader.web.Site("h").Page("/p").Set("replicated content\n")
-	leader.fac.Remember(userA, "http://h/p")
+	leader.fac.Remember(context.Background(), userA, "http://h/p")
 	srv := NewServer(leader.fac)
 	srv.KeepaliveInterval = 0
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	follower := newRig(t)
-	files, err := follower.fac.ReplicateFrom(ts.URL, &webclient.HTTPTransport{})
+	files, err := follower.fac.ReplicateFrom(context.Background(), ts.URL, &webclient.HTTPTransport{})
 	if err != nil || files == 0 {
 		t.Fatalf("replicate: %d files, err %v", files, err)
 	}
@@ -174,7 +175,7 @@ func TestServerMaxSimultaneousWired(t *testing.T) {
 func TestExportEndpoint(t *testing.T) {
 	r, ts := serverRig(t)
 	r.web.Site("h").Page("/p").Set("x\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	code, body := get(t, ts.URL+"/export")
 	if code != 200 || !strings.Contains(body, `"kind":"archive"`) {
 		t.Fatalf("export: %d\n%s", code, body)

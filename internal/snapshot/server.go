@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"html"
@@ -33,6 +34,22 @@ type Server struct {
 	// clients get 503 (§4.2: "impose a limit on the number of
 	// simultaneous users").
 	MaxSimultaneous int
+	// RequestTimeout, when positive, bounds the work done for one
+	// request: each handler derives its context from the request's and
+	// adds this deadline, so a hung upstream fetch cannot pin a handler
+	// (and its Gate slot) forever.
+	RequestTimeout time.Duration
+}
+
+// reqCtx derives the working context for one request: the request's own
+// context (canceled when the client goes away) plus the server's
+// per-request deadline.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // NewServer returns a Server with the paper-style keepalive enabled.
@@ -107,9 +124,11 @@ func (s *Server) handleRemember(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
 	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	w.Header().Set("Content-Type", "text/html")
 	s.withKeepalive(w, func() (string, error) {
-		res, err := s.Facility.Remember(user, pageURL)
+		res, err := s.Facility.Remember(ctx, user, pageURL)
 		if err != nil {
 			return "", err
 		}
@@ -139,6 +158,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	r1, r2 := q.Get("r1"), q.Get("r2")
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	w.Header().Set("Content-Type", "text/html")
 	s.withKeepalive(w, func() (string, error) {
 		var res DiffResult
@@ -146,7 +167,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		if r1 != "" && r2 != "" {
 			res, err = s.Facility.DiffRevs(pageURL, r1, r2)
 		} else {
-			res, err = s.Facility.DiffSinceSaved(user, pageURL)
+			res, err = s.Facility.DiffSinceSaved(ctx, user, pageURL)
 		}
 		if err != nil {
 			return "", err

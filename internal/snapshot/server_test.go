@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -111,7 +112,7 @@ func TestMissingParams(t *testing.T) {
 func TestCheckoutWithBaseInjection(t *testing.T) {
 	r, ts := serverRig(t)
 	r.web.Site("h").Page("/dir/p").Set("<HTML><HEAD><TITLE>T</TITLE></HEAD><BODY><A HREF=\"rel.html\">rel</A></BODY></HTML>\n")
-	r.fac.Remember(userA, "http://h/dir/p")
+	r.fac.Remember(context.Background(), userA, "http://h/dir/p")
 	code, body := get(t, ts.URL+"/co?url="+url.QueryEscape("http://h/dir/p")+"&rev=1.1")
 	if code != 200 {
 		t.Fatalf("co code = %d", code)
@@ -125,11 +126,11 @@ func TestCheckoutAtDateParam(t *testing.T) {
 	r, ts := serverRig(t)
 	p := r.web.Site("h").Page("/p")
 	p.Set("v1\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	mid := r.clock.Now().Add(time.Hour)
 	r.web.Advance(2 * time.Hour)
 	p.Set("v2\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 
 	code, body := get(t, ts.URL+"/co?url="+url.QueryEscape("http://h/p")+
 		"&date="+url.QueryEscape(mid.Format(time.RFC3339)))
@@ -146,10 +147,10 @@ func TestRlogAndRcsdiff(t *testing.T) {
 	r, ts := serverRig(t)
 	p := r.web.Site("h").Page("/p")
 	p.Set("<P>alpha beta gamma delta.</P>\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 	r.web.Advance(time.Hour)
 	p.Set("<P>alpha beta gamma epsilon.</P>\n")
-	r.fac.Remember(userA, "http://h/p")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
 
 	code, body := get(t, ts.URL+"/rlog?url="+url.QueryEscape("http://h/p"))
 	if code != 200 || !strings.Contains(body, "revision 1.2") || !strings.Contains(body, "revision 1.1") {

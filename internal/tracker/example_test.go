@@ -1,6 +1,7 @@
 package tracker_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,7 +33,7 @@ func Example() {
 
 	cfg, _ := w3config.ParseString("Default 0\n")
 	tr := tracker.New(webclient.New(web), cfg, hist, clock)
-	for _, r := range tr.Run([]hotlist.Entry{
+	for _, r := range tr.Run(context.Background(), []hotlist.Entry{
 		{URL: "http://news.example/daily", Title: "Daily News"},
 		{URL: "http://docs.example/manual", Title: "The Manual"},
 	}) {

@@ -24,8 +24,10 @@
 package tracker
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -87,7 +89,7 @@ type Result struct {
 	LastVisited time.Time
 	// Via names the information source: "state-cache", "proxy", "HEAD",
 	// "GET+checksum", "stat", "threshold", "visited-recently",
-	// "host-error", "never".
+	// "host-error", "never", "canceled".
 	Via string
 	// Err is the failure for Status Failed.
 	Err error
@@ -191,16 +193,45 @@ func New(client *webclient.Client, cfg *w3config.Config, hist *hotlist.History, 
 	}
 }
 
-// state returns (creating if needed) the persistent state for url.
-func (t *Tracker) state(url string) *State {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// stateLocked returns (creating if needed) the persistent state for
+// url; t.mu must be held.
+func (t *Tracker) stateLocked(url string) *State {
 	s, ok := t.states[url]
 	if !ok {
 		s = &State{URL: url}
 		t.states[url] = s
 	}
 	return s
+}
+
+// stateSnapshot returns a copy of the persistent state for url, creating
+// it if needed. checkOne reasons over the copy; every mutation goes
+// through the locked helpers below, so concurrent checks never touch a
+// shared *State field directly.
+func (t *Tracker) stateSnapshot(url string) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return *t.stateLocked(url)
+}
+
+// recordFailure bumps the consecutive-error count for url, optionally
+// counting the failed attempt as a check, and returns the new count.
+func (t *Tracker) recordFailure(url string, markChecked bool, now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stateLocked(url)
+	st.ErrCount++
+	if markChecked {
+		st.CheckedAt = now
+	}
+	return st.ErrCount
+}
+
+// markRobotExcluded caches a robots.txt exclusion verdict for url.
+func (t *Tracker) markRobotExcluded(url string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stateLocked(url).RobotExcluded = true
 }
 
 // hostErrs tracks hosts that have failed during a run, for the
@@ -230,18 +261,38 @@ func (h *hostErrs) markBad(host string) {
 // Run checks every hotlist entry and returns one result per entry, in
 // hotlist order. With Opt.Concurrency > 1, distinct URLs are checked in
 // parallel up to the bound; duplicate hotlist entries share one check.
-func (t *Tracker) Run(entries []hotlist.Entry) []Result {
+//
+// Cancellation: once ctx is done, no new checks are launched and the
+// remaining entries are returned as NotChecked with Via "canceled" —
+// the run always yields one result per entry, in order, so a deadline
+// produces a partial report rather than none.
+func (t *Tracker) Run(ctx context.Context, entries []hotlist.Entry) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	badHosts := newHostErrs()
 	if t.Opt.Concurrency <= 1 {
 		results := make([]Result, 0, len(entries))
-		for _, e := range entries {
-			r := t.checkOne(e, badHosts)
+		for i, e := range entries {
+			if ctx.Err() != nil {
+				for _, rest := range entries[i:] {
+					results = append(results, canceledResult(rest))
+				}
+				break
+			}
+			r := t.checkOne(ctx, e, badHosts)
 			t.noteFailure(r, badHosts)
 			results = append(results, r)
 		}
 		return results
 	}
-	return t.runConcurrent(entries, badHosts)
+	return t.runConcurrent(ctx, entries, badHosts)
+}
+
+// canceledResult marks one entry as unvisited because the run's context
+// ended first.
+func canceledResult(e hotlist.Entry) Result {
+	return Result{Entry: e, Status: NotChecked, Via: "canceled"}
 }
 
 // noteFailure records a transient host failure for skip-host logic.
@@ -253,8 +304,11 @@ func (t *Tracker) noteFailure(r Result, badHosts *hostErrs) {
 
 // runConcurrent fans the checks out over a bounded worker pool. Results
 // keep hotlist order; entries naming the same URL are checked once and
-// share the outcome (their own Entry is preserved in each Result).
-func (t *Tracker) runConcurrent(entries []hotlist.Entry, badHosts *hostErrs) []Result {
+// share the outcome (their own Entry is preserved in each Result). A
+// done ctx stops further launches; checks already in flight finish (or
+// fail fast, since the same ctx reaches the transport) and everything
+// not yet launched comes back canceled.
+func (t *Tracker) runConcurrent(ctx context.Context, entries []hotlist.Entry, badHosts *hostErrs) []Result {
 	results := make([]Result, len(entries))
 	// Group duplicate URLs: per-URL state is not designed for two
 	// simultaneous checks of the same page, and one check suffices.
@@ -268,20 +322,33 @@ func (t *Tracker) runConcurrent(entries []hotlist.Entry, badHosts *hostErrs) []R
 	}
 	sem := make(chan struct{}, t.Opt.Concurrency)
 	var wg sync.WaitGroup
+	launched := make(map[int]bool, len(order))
+launch:
 	for _, idx := range order {
+		// Waiting for a worker slot must not outlive the run's deadline.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break launch
+		}
+		launched[idx] = true
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(idx int) {
 			defer func() {
 				<-sem
 				wg.Done()
 			}()
-			r := t.checkOne(entries[idx], badHosts)
+			r := t.checkOne(ctx, entries[idx], badHosts)
 			t.noteFailure(r, badHosts)
 			results[idx] = r
 		}(idx)
 	}
 	wg.Wait()
+	for _, idx := range order {
+		if !launched[idx] {
+			results[idx] = canceledResult(entries[idx])
+		}
+	}
 	// Fill in duplicates from their primary's outcome.
 	for i, e := range entries {
 		if p := first[e.URL]; p != i {
@@ -293,11 +360,11 @@ func (t *Tracker) runConcurrent(entries []hotlist.Entry, badHosts *hostErrs) []R
 	return results
 }
 
-// checkOne applies the §3 decision procedure to one URL.
-func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
+// checkOne applies the §3 decision procedure to one URL under ctx.
+func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostErrs) Result {
 	now := t.Clock.Now()
 	r := Result{Entry: e}
-	st := t.state(e.URL)
+	st := t.stateSnapshot(e.URL)
 
 	lastVisited, visited := t.History.LastVisited(e.URL)
 	if !visited && !e.LastVisit.IsZero() {
@@ -334,7 +401,7 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 	// whole check: whatever modification date it holds is current.
 	if !isFile && t.Opt.TrustOracle && t.Proxy != nil {
 		if mod, _, ok := t.Proxy.ModInfo(e.URL); ok {
-			t.recordSuccess(st, mod, "", now)
+			t.recordSuccess(e.URL, mod, "", now)
 			return t.verdict(r, mod, lastVisited, visited, "proxy")
 		}
 	}
@@ -365,7 +432,7 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 	// a check.
 	if !isFile && t.Proxy != nil {
 		if mod, cachedAt, ok := t.Proxy.ModInfo(e.URL); ok && th.Every > 0 && now.Sub(cachedAt) < th.Every {
-			t.recordSuccess(st, mod, "", now)
+			t.recordSuccess(e.URL, mod, "", now)
 			return t.verdict(r, mod, lastVisited, visited, "proxy")
 		}
 	}
@@ -383,8 +450,8 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 	}
 
 	// Robot exclusion protocol, before touching the page itself.
-	if !isFile && t.Robots != nil && !t.Opt.IgnoreRobots && !t.Robots.Allowed(e.URL) {
-		st.RobotExcluded = true
+	if !isFile && t.Robots != nil && !t.Opt.IgnoreRobots && !t.Robots.Allowed(ctx, e.URL) {
+		t.markRobotExcluded(e.URL)
 		r.Status = Excluded
 		r.Via = "robots.txt"
 		return r
@@ -395,32 +462,29 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 	var info webclient.PageInfo
 	var err error
 	if t.Forms != nil && formreg.IsFormURL(e.URL) {
-		info, err = t.Forms.Invoke(t.Client, e.URL)
+		info, err = t.Forms.Invoke(ctx, t.Client, e.URL)
 	} else {
-		info, err = t.Client.Check(e.URL)
+		info, err = t.Client.Check(ctx, e.URL)
 	}
 	if err != nil {
-		st.ErrCount++
-		if t.Opt.TreatErrorsAsChecked {
-			st.CheckedAt = now
+		if ctx.Err() != nil {
+			// The run's context ended, not the page: report the entry as
+			// canceled rather than failed, and don't charge it an error.
+			return canceledResult(e)
 		}
 		r.Status = Failed
 		r.Via = "HEAD"
 		r.Err = err
 		r.ErrKind = webclient.Classify(0, err)
-		r.ErrCount = st.ErrCount
+		r.ErrCount = t.recordFailure(e.URL, t.Opt.TreatErrorsAsChecked, now)
 		return r
 	}
 	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
-		st.ErrCount++
-		if t.Opt.TreatErrorsAsChecked {
-			st.CheckedAt = now
-		}
 		r.Status = Failed
 		r.Via = "HEAD"
 		r.Err = fmt.Errorf("HTTP status %d", info.Status)
 		r.ErrKind = kind
-		r.ErrCount = st.ErrCount
+		r.ErrCount = t.recordFailure(e.URL, t.Opt.TreatErrorsAsChecked, now)
 		return r
 	}
 
@@ -439,7 +503,7 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 		via = "GET+checksum"
 		changed := st.Checksum != "" && st.Checksum != info.Checksum
 		firstSight := st.Checksum == ""
-		t.recordSuccess(st, time.Time{}, info.Checksum, now)
+		t.recordSuccess(e.URL, time.Time{}, info.Checksum, now)
 		switch {
 		case firstSight && visited:
 			// First checksum; assume the visit saw this content.
@@ -453,7 +517,7 @@ func (t *Tracker) checkOne(e hotlist.Entry, badHosts *hostErrs) Result {
 		r.Via = via
 		return r
 	}
-	t.recordSuccess(st, mod, "", now)
+	t.recordSuccess(e.URL, mod, "", now)
 	return t.verdict(r, mod, lastVisited, visited, via)
 }
 
@@ -470,8 +534,9 @@ func (t *Tracker) verdict(r Result, mod, lastVisited time.Time, visited bool, vi
 }
 
 // cachedModDate returns a fresh cached modification date from the state
-// cache or the proxy daemon, with its source label.
-func (t *Tracker) cachedModDate(st *State, now time.Time) (time.Time, string, bool) {
+// cache or the proxy daemon, with its source label. st is checkOne's
+// snapshot copy, so no lock is needed here.
+func (t *Tracker) cachedModDate(st State, now time.Time) (time.Time, string, bool) {
 	stale := t.Opt.StaleAfter
 	if stale <= 0 {
 		stale = DefaultStaleAfter
@@ -488,9 +553,10 @@ func (t *Tracker) cachedModDate(st *State, now time.Time) (time.Time, string, bo
 }
 
 // recordSuccess updates the per-URL state after a successful check.
-func (t *Tracker) recordSuccess(st *State, mod time.Time, checksum string, now time.Time) {
+func (t *Tracker) recordSuccess(url string, mod time.Time, checksum string, now time.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	st := t.stateLocked(url)
 	if !mod.IsZero() {
 		st.LastModified = mod
 	}
@@ -501,26 +567,28 @@ func (t *Tracker) recordSuccess(st *State, mod time.Time, checksum string, now t
 	st.ErrCount = 0
 }
 
-func hostOf(url string) string {
-	rest, ok := strings.CutPrefix(url, "http://")
-	if !ok {
+// hostOf extracts the host[:port] component of a URL for the host-error
+// bookkeeping. Scheme-less URLs and pseudo-URLs without an authority
+// (form:<id>, file paths) yield "", which the bookkeeping ignores.
+func hostOf(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
 		return ""
 	}
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		return rest[:i]
-	}
-	return rest
+	return u.Host
 }
 
 // --- state persistence -------------------------------------------------------
 
 // SaveState writes the per-URL state cache to path (JSON lines would be
-// overkill; a single JSON array keeps it human-inspectable).
+// overkill; a single JSON array keeps it human-inspectable). The states
+// are copied under the lock — marshaling shared pointers outside it
+// would race with a concurrent run's updates.
 func (t *Tracker) SaveState(path string) error {
 	t.mu.Lock()
-	states := make([]*State, 0, len(t.states))
+	states := make([]State, 0, len(t.states))
 	for _, s := range t.states {
-		states = append(states, s)
+		states = append(states, *s)
 	}
 	t.mu.Unlock()
 	sort.Slice(states, func(i, j int) bool { return states[i].URL < states[j].URL })

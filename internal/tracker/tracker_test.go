@@ -1,6 +1,7 @@
 package tracker
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,7 @@ func entry(url string) hotlist.Entry { return hotlist.Entry{URL: url, Title: url
 
 func one(t *testing.T, tr *Tracker, url string) Result {
 	t.Helper()
-	rs := tr.Run([]hotlist.Entry{entry(url)})
+	rs := tr.Run(context.Background(), []hotlist.Entry{entry(url)})
 	if len(rs) != 1 {
 		t.Fatalf("results = %d", len(rs))
 	}
@@ -201,13 +202,13 @@ func TestProxyOracleAnswersWithinThreshold(t *testing.T) {
 	tr.Proxy = proxy
 
 	// Prime the proxy as if some browser had just fetched the page.
-	if _, err := webclient.New(proxy).Get("http://h/p"); err != nil {
+	if _, err := webclient.New(proxy).Get(context.Background(), "http://h/p"); err != nil {
 		t.Fatal(err)
 	}
 	web.ResetRequestCounts()
 
 	// Make tracker state-cache knowledge absent but proxy info fresh.
-	rs := tr.Run([]hotlist.Entry{entry("http://h/p")})
+	rs := tr.Run(context.Background(), []hotlist.Entry{entry("http://h/p")})
 	if rs[0].Via != "proxy" {
 		t.Fatalf("proxy oracle unused: %+v", rs[0])
 	}
@@ -246,8 +247,8 @@ func TestRobotExclusionCachedAndOverridable(t *testing.T) {
 	s := r.web.Site("h")
 	s.SetRobots("User-agent: *\nDisallow: /private/\n")
 	s.Page("/private/p").Set("secret")
-	r.tr.Robots = robots.NewCache(func(url string) (int, string, error) {
-		info, err := r.tr.Client.Get(url)
+	r.tr.Robots = robots.NewCache(func(ctx context.Context, url string) (int, string, error) {
+		info, err := r.tr.Client.Get(context.Background(), url)
 		return info.Status, info.Body, err
 	}, r.clock)
 
@@ -338,7 +339,7 @@ func TestSkipHostAfterError(t *testing.T) {
 	s.SetTimeout(true)
 	r.tr.Opt.SkipHostAfterError = true
 
-	rs := r.tr.Run([]hotlist.Entry{
+	rs := r.tr.Run(context.Background(), []hotlist.Entry{
 		entry("http://slow.example/a"),
 		entry("http://slow.example/b"),
 		entry("http://ok.example/d"),
@@ -512,7 +513,7 @@ func BenchmarkTrackerRun250(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Run(entries)
+		tr.Run(context.Background(), entries)
 	}
 }
 
@@ -576,11 +577,11 @@ func TestConcurrentRunMatchesSerial(t *testing.T) {
 	}
 
 	rSerial, entries := build()
-	serial := rSerial.tr.Run(entries)
+	serial := rSerial.tr.Run(context.Background(), entries)
 
 	rConc, entries2 := build()
 	rConc.tr.Opt.Concurrency = 8
-	conc := rConc.tr.Run(entries2)
+	conc := rConc.tr.Run(context.Background(), entries2)
 
 	if len(serial) != len(conc) {
 		t.Fatalf("lengths differ: %d vs %d", len(serial), len(conc))
@@ -605,7 +606,7 @@ func TestConcurrentDuplicateURLsCheckedOnce(t *testing.T) {
 		{URL: "http://h/p", Title: "second"},
 		{URL: "http://h/p", Title: "third"},
 	}
-	rs := r.tr.Run(entries)
+	rs := r.tr.Run(context.Background(), entries)
 	if len(rs) != 3 {
 		t.Fatalf("results = %d", len(rs))
 	}

@@ -16,6 +16,7 @@
 package urlminder
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"net/http"
@@ -76,6 +77,9 @@ type SweepStats struct {
 	Mailed int
 	// Errors counts failed retrievals.
 	Errors int
+	// Canceled counts due URLs left unchecked because the sweep's
+	// context ended first.
+	Canceled int
 }
 
 // Service is the URL-minder instance.
@@ -160,8 +164,10 @@ func (s *Service) URLs() []string {
 // Sweep checks every registered URL that is due (older than
 // CheckInterval since its last check; a never-checked URL is always
 // due), comparing content checksums and mailing every subscriber of a
-// changed page. The first check records the baseline silently.
-func (s *Service) Sweep() SweepStats {
+// changed page. The first check records the baseline silently. A done
+// ctx stops the pass between URLs; unvisited URLs stay due and are
+// counted in Canceled.
+func (s *Service) Sweep(ctx context.Context) SweepStats {
 	now := s.Clock.Now()
 	type job struct {
 		url  string
@@ -185,8 +191,12 @@ func (s *Service) Sweep() SweepStats {
 
 	var stats SweepStats
 	stats.Due = len(jobs)
-	for _, j := range jobs {
-		info, err := s.Client.Get(j.url) // always a full GET: checksum strategy
+	for i, j := range jobs {
+		if ctx.Err() != nil {
+			stats.Canceled = len(jobs) - i
+			break
+		}
+		info, err := s.Client.Get(ctx, j.url) // always a full GET: checksum strategy
 		s.mu.Lock()
 		st := s.state[j.url]
 		if st == nil {

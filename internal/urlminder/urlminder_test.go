@@ -1,6 +1,7 @@
 package urlminder
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -33,7 +34,7 @@ func TestFirstSweepIsBaseline(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("v1")
 	r.svc.Register("u@h", "http://h/p")
-	stats := r.svc.Sweep()
+	stats := r.svc.Sweep(context.Background())
 	if stats.Due != 1 || stats.Changed != 0 || stats.Mailed != 0 {
 		t.Fatalf("baseline sweep: %+v", stats)
 	}
@@ -48,11 +49,11 @@ func TestChangeTriggersEmail(t *testing.T) {
 	p.Set("v1")
 	r.svc.Register("fred@att.com", "http://h/p")
 	r.svc.Register("tom@att.com", "http://h/p")
-	r.svc.Sweep()
+	r.svc.Sweep(context.Background())
 
 	r.clock.Advance(8 * 24 * time.Hour)
 	p.Set("v2")
-	stats := r.svc.Sweep()
+	stats := r.svc.Sweep(context.Background())
 	if stats.Changed != 1 || stats.Mailed != 2 {
 		t.Fatalf("change sweep: %+v", stats)
 	}
@@ -75,10 +76,10 @@ func TestChecksumWorksWithoutLastModified(t *testing.T) {
 	p.Set("output 1")
 	p.SetNoLastModified()
 	r.svc.Register("u@h", "http://h/cgi")
-	r.svc.Sweep()
+	r.svc.Sweep(context.Background())
 	r.clock.Advance(8 * 24 * time.Hour)
 	p.Set("output 2")
-	if stats := r.svc.Sweep(); stats.Changed != 1 {
+	if stats := r.svc.Sweep(context.Background()); stats.Changed != 1 {
 		t.Fatalf("CGI change missed: %+v", stats)
 	}
 }
@@ -87,19 +88,19 @@ func TestCheckIntervalRespected(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("v1")
 	r.svc.Register("u@h", "http://h/p")
-	r.svc.Sweep()
+	r.svc.Sweep(context.Background())
 	r.web.ResetRequestCounts()
 
 	// A sweep a day later does nothing: the URL is not due for a week.
 	r.clock.Advance(24 * time.Hour)
-	if stats := r.svc.Sweep(); stats.Due != 0 {
+	if stats := r.svc.Sweep(context.Background()); stats.Due != 0 {
 		t.Fatalf("sweep within interval: %+v", stats)
 	}
 	if h, g := r.web.TotalRequests(); h+g != 0 {
 		t.Errorf("requests within interval: %d", h+g)
 	}
 	r.clock.Advance(7 * 24 * time.Hour)
-	if stats := r.svc.Sweep(); stats.Due != 1 {
+	if stats := r.svc.Sweep(context.Background()); stats.Due != 1 {
 		t.Fatalf("sweep past interval: %+v", stats)
 	}
 }
@@ -110,7 +111,7 @@ func TestAlwaysFullGET(t *testing.T) {
 	r := newRig(t)
 	r.web.Site("h").Page("/p").Set("content with last-modified")
 	r.svc.Register("u@h", "http://h/p")
-	r.svc.Sweep()
+	r.svc.Sweep(context.Background())
 	h, g := r.web.TotalRequests()
 	if h != 0 || g != 1 {
 		t.Errorf("requests = (%d HEAD, %d GET), want (0,1)", h, g)
@@ -125,7 +126,7 @@ func TestUnregisterStopsChecks(t *testing.T) {
 	if n := len(r.svc.URLs()); n != 0 {
 		t.Fatalf("URLs after unregister = %d", n)
 	}
-	if stats := r.svc.Sweep(); stats.Due != 0 {
+	if stats := r.svc.Sweep(context.Background()); stats.Due != 0 {
 		t.Fatalf("sweep after unregister: %+v", stats)
 	}
 }
@@ -136,7 +137,7 @@ func TestErrorsCounted(t *testing.T) {
 	s.Page("/p").Set("x")
 	s.SetDown(true)
 	r.svc.Register("u@h", "http://h/p")
-	if stats := r.svc.Sweep(); stats.Errors != 1 {
+	if stats := r.svc.Sweep(context.Background()); stats.Errors != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
 }

@@ -1,6 +1,7 @@
 package webclient
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,7 +16,7 @@ type condTransport struct {
 	log  []Request
 }
 
-func (c *condTransport) RoundTrip(req *Request) (*Response, error) {
+func (c *condTransport) RoundTrip(_ context.Context, req *Request) (*Response, error) {
 	c.log = append(c.log, *req)
 	if !req.IfModifiedSince.IsZero() && !c.mod.After(req.IfModifiedSince) {
 		return &Response{Status: 304, LastModified: c.mod}, nil
@@ -31,14 +32,14 @@ func TestGetConditionalNotModified(t *testing.T) {
 	ct := &condTransport{mod: mod, body: "content"}
 	c := New(ct)
 
-	info, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	info, notMod, err := c.GetConditional(context.Background(), "http://h/p", mod.Add(time.Hour))
 	if err != nil || !notMod {
 		t.Fatalf("expected 304: %+v notMod=%v err=%v", info, notMod, err)
 	}
 	if info.HasBody {
 		t.Error("304 response carried a body")
 	}
-	info, notMod, err = c.GetConditional("http://h/p", mod.Add(-time.Hour))
+	info, notMod, err = c.GetConditional(context.Background(), "http://h/p", mod.Add(-time.Hour))
 	if err != nil || notMod {
 		t.Fatalf("expected 200: notMod=%v err=%v", notMod, err)
 	}
@@ -50,7 +51,7 @@ func TestGetConditionalNotModified(t *testing.T) {
 func TestPostSendsBody(t *testing.T) {
 	ct := &condTransport{}
 	c := New(ct)
-	info, err := c.Post("http://svc/run", "a=1&b=2")
+	info, err := c.Post(context.Background(), "http://svc/run", "a=1&b=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,15 +89,15 @@ func TestHTTPTransportConditionalAndPost(t *testing.T) {
 	defer srv.Close()
 
 	c := New(&HTTPTransport{})
-	_, notMod, err := c.GetConditional(srv.URL+"/p", mod.Add(time.Minute))
+	_, notMod, err := c.GetConditional(context.Background(), srv.URL+"/p", mod.Add(time.Minute))
 	if err != nil || !notMod {
 		t.Fatalf("real 304: notMod=%v err=%v", notMod, err)
 	}
-	info, notMod, err := c.GetConditional(srv.URL+"/p", mod.Add(-time.Hour))
+	info, notMod, err := c.GetConditional(context.Background(), srv.URL+"/p", mod.Add(-time.Hour))
 	if err != nil || notMod || info.Body != "fresh body" {
 		t.Fatalf("real 200: %+v notMod=%v err=%v", info, notMod, err)
 	}
-	info, err = c.Post(srv.URL+"/svc", "x=42")
+	info, err = c.Post(context.Background(), srv.URL+"/svc", "x=42")
 	if err != nil || info.Body != "echo 42" {
 		t.Fatalf("real POST: %+v err=%v", info, err)
 	}
@@ -108,11 +109,11 @@ func TestGetConditionalFileURL(t *testing.T) {
 	c.Stat = func(string) (os.FileInfo, error) { return fakeFileInfo{mod: mod}, nil }
 	c.ReadFile = func(string) ([]byte, error) { return []byte("file data"), nil }
 
-	_, notMod, err := c.GetConditional("file:/x", mod.Add(time.Hour))
+	_, notMod, err := c.GetConditional(context.Background(), "file:/x", mod.Add(time.Hour))
 	if err != nil || !notMod {
 		t.Fatalf("file 304: notMod=%v err=%v", notMod, err)
 	}
-	info, notMod, err := c.GetConditional("file:/x", mod.Add(-time.Hour))
+	info, notMod, err := c.GetConditional(context.Background(), "file:/x", mod.Add(-time.Hour))
 	if err != nil || notMod || info.Body != "file data" {
 		t.Fatalf("file 200: %+v notMod=%v err=%v", info, notMod, err)
 	}

@@ -13,6 +13,7 @@
 package webclient
 
 import (
+	"context"
 	"crypto/md5"
 	"encoding/hex"
 	"errors"
@@ -23,6 +24,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"aide/internal/simclock"
 )
 
 // Request is a minimal HTTP request. AIDE issues HEAD and GET for
@@ -57,9 +60,11 @@ type Response struct {
 }
 
 // Transport performs a request. Implementations: HTTPTransport (real
-// network) and websim.Web (simulation).
+// network) and websim.Web (simulation). Every implementation must
+// honour ctx: return promptly with ctx.Err() (possibly wrapped) once
+// the context is canceled or past its deadline.
 type Transport interface {
-	RoundTrip(*Request) (*Response, error)
+	RoundTrip(ctx context.Context, req *Request) (*Response, error)
 }
 
 // ErrKind classifies failures for w3newer's error handling (§3.1).
@@ -138,17 +143,32 @@ type PageInfo struct {
 	Redirected int
 }
 
-// Client issues checks and fetches over a Transport.
+// Client issues checks and fetches over a Transport. Every method takes
+// a leading context.Context that bounds the whole operation, redirects
+// and retries included: ctx flows down into the Transport, so a caller's
+// deadline or cancellation stops the wire work promptly.
 type Client struct {
 	// Transport performs the requests; required.
 	Transport Transport
 	// MaxRedirects bounds redirect following (default 5).
 	MaxRedirects int
+	// Timeout, when positive, bounds each individual round-trip attempt
+	// (a per-request timeout layered under the caller's ctx). A tripped
+	// timeout is a Transient failure and is retried per Retry.
+	Timeout time.Duration
+	// Retry is the transient-failure retry policy; the zero value
+	// disables retry.
+	Retry RetryPolicy
+	// Clock paces retry backoff; wall clock when nil. Inject a
+	// simclock.Sim to make backoff spend simulated time.
+	Clock simclock.Clock
 	// Stat resolves file: URLs; defaults to os.Stat. Replaceable for
 	// tests.
 	Stat func(path string) (os.FileInfo, error)
 	// ReadFile fetches file: bodies; defaults to os.ReadFile.
 	ReadFile func(path string) ([]byte, error)
+
+	retrier retrier
 }
 
 // New returns a Client over the given transport.
@@ -158,20 +178,20 @@ func New(t Transport) *Client {
 
 // Head performs a HEAD request (following redirects) and returns the
 // modification info without the body.
-func (c *Client) Head(url string) (PageInfo, error) {
+func (c *Client) Head(ctx context.Context, url string) (PageInfo, error) {
 	if isFileURL(url) {
 		return c.statFile(url)
 	}
-	return c.do(Request{Method: "HEAD", URL: url})
+	return c.do(ctx, Request{Method: "HEAD", URL: url})
 }
 
 // Get fetches the page body (following redirects) and computes its
 // checksum.
-func (c *Client) Get(url string) (PageInfo, error) {
+func (c *Client) Get(ctx context.Context, url string) (PageInfo, error) {
 	if isFileURL(url) {
 		return c.readFile(url)
 	}
-	info, err := c.do(Request{Method: "GET", URL: url})
+	info, err := c.do(ctx, Request{Method: "GET", URL: url})
 	if err != nil {
 		return info, err
 	}
@@ -184,7 +204,7 @@ func (c *Client) Get(url string) (PageInfo, error) {
 // the server answers 304, notModified is true and the PageInfo carries
 // no body — the Netscape-style revalidation of §3.1's cache-consistency
 // discussion.
-func (c *Client) GetConditional(url string, since time.Time) (info PageInfo, notModified bool, err error) {
+func (c *Client) GetConditional(ctx context.Context, url string, since time.Time) (info PageInfo, notModified bool, err error) {
 	if isFileURL(url) {
 		info, err = c.statFile(url)
 		if err != nil || info.Status != 200 {
@@ -197,7 +217,7 @@ func (c *Client) GetConditional(url string, since time.Time) (info PageInfo, not
 		info, err = c.readFile(url)
 		return info, false, err
 	}
-	info, err = c.do(Request{Method: "GET", URL: url, IfModifiedSince: since})
+	info, err = c.do(ctx, Request{Method: "GET", URL: url, IfModifiedSince: since})
 	if err != nil {
 		return info, false, err
 	}
@@ -211,8 +231,8 @@ func (c *Client) GetConditional(url string, since time.Time) (info PageInfo, not
 
 // Post submits a URL-encoded form and returns the service's output with
 // its checksum — the §8.4 path for tracking CGI services that use POST.
-func (c *Client) Post(url, form string) (PageInfo, error) {
-	info, err := c.do(Request{
+func (c *Client) Post(ctx context.Context, url, form string) (PageInfo, error) {
+	info, err := c.do(ctx, Request{
 		Method:      "POST",
 		URL:         url,
 		Body:        form,
@@ -228,15 +248,15 @@ func (c *Client) Post(url, form string) (PageInfo, error) {
 
 // Check implements w3new's strategy: request the Last-Modified date if
 // available; otherwise retrieve and checksum the whole page (§2.1).
-func (c *Client) Check(url string) (PageInfo, error) {
-	info, err := c.Head(url)
+func (c *Client) Check(ctx context.Context, url string) (PageInfo, error) {
+	info, err := c.Head(ctx, url)
 	if err != nil || Classify(info.Status, nil) != OK {
 		return info, err
 	}
 	if info.HasLastModified {
 		return info, nil
 	}
-	return c.Get(url)
+	return c.Get(ctx, url)
 }
 
 // ChecksumBody returns the hex MD5 of a page body — the URL-minder
@@ -246,8 +266,12 @@ func ChecksumBody(body string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// do performs one round trip with redirect following.
-func (c *Client) do(req Request) (PageInfo, error) {
+// do performs one logical request: redirect following around the
+// retrying round trip.
+func (c *Client) do(ctx context.Context, req Request) (PageInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	info := PageInfo{URL: req.URL}
 	max := c.MaxRedirects
 	if max <= 0 {
@@ -256,7 +280,7 @@ func (c *Client) do(req Request) (PageInfo, error) {
 	for hop := 0; ; hop++ {
 		hopReq := req
 		hopReq.URL = info.URL
-		resp, err := c.Transport.RoundTrip(&hopReq)
+		resp, err := c.roundTrip(ctx, &hopReq)
 		if err != nil {
 			return info, err
 		}
@@ -364,10 +388,12 @@ type HTTPTransport struct {
 	UserAgent string
 }
 
-// RoundTrip implements Transport. Redirects are reported, not followed:
-// the caller's redirect logic also runs against simulated transports, so
-// it lives in Client.
-func (t *HTTPTransport) RoundTrip(req *Request) (*Response, error) {
+// RoundTrip implements Transport. The request is bound to ctx, so the
+// caller's deadline or cancellation aborts the dial, the headers, and
+// the body read. Redirects are reported, not followed: the caller's
+// redirect logic also runs against simulated transports, so it lives in
+// Client.
+func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response, error) {
 	hc := t.Client
 	if hc == nil {
 		hc = &http.Client{
@@ -381,7 +407,7 @@ func (t *HTTPTransport) RoundTrip(req *Request) (*Response, error) {
 	if req.Body != "" {
 		bodyReader = strings.NewReader(req.Body)
 	}
-	hreq, err := http.NewRequest(req.Method, req.URL, bodyReader)
+	hreq, err := http.NewRequestWithContext(ctx, req.Method, req.URL, bodyReader)
 	if err != nil {
 		return nil, err
 	}
@@ -421,10 +447,14 @@ func (t *HTTPTransport) RoundTrip(req *Request) (*Response, error) {
 	return resp, nil
 }
 
-// IsTimeout reports whether err is a network timeout, for callers that
-// want to distinguish overload from other transient failures (§3.1's
+// IsTimeout reports whether err is a network timeout — including a
+// tripped per-request context deadline — for callers that want to
+// distinguish overload from other transient failures (§3.1's
 // proxy-server overload aggravation concern).
 func IsTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -1,6 +1,7 @@
 package webclient
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 	"net/http"
@@ -17,7 +18,7 @@ type fakeTransport struct {
 	log       []string
 }
 
-func (f *fakeTransport) RoundTrip(req *Request) (*Response, error) {
+func (f *fakeTransport) RoundTrip(_ context.Context, req *Request) (*Response, error) {
 	f.log = append(f.log, req.Method+" "+req.URL)
 	if f.err != nil {
 		return nil, f.err
@@ -34,7 +35,7 @@ func TestHeadReturnsLastModified(t *testing.T) {
 		"HEAD http://h/p": {Status: 200, LastModified: mod},
 	}}
 	c := New(ft)
-	info, err := c.Head("http://h/p")
+	info, err := c.Head(context.Background(), "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestGetComputesChecksum(t *testing.T) {
 		"GET http://h/p": {Status: 200, Body: "<html>hi</html>"},
 	}}
 	c := New(ft)
-	info, err := c.Get("http://h/p")
+	info, err := c.Get(context.Background(), "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestCheckUsesHeadWhenLastModifiedAvailable(t *testing.T) {
 		"HEAD http://h/p": {Status: 200, LastModified: mod},
 	}}
 	c := New(ft)
-	info, err := c.Check("http://h/p")
+	info, err := c.Check(context.Background(), "http://h/p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestCheckFallsBackToChecksum(t *testing.T) {
 		"GET http://h/cgi":  {Status: 200, Body: "output 42"},
 	}}
 	c := New(ft)
-	info, err := c.Check("http://h/cgi")
+	info, err := c.Check(context.Background(), "http://h/cgi")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRedirectFollowing(t *testing.T) {
 			LastModified: time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)},
 	}}
 	c := New(ft)
-	info, err := c.Get("http://h/old")
+	info, err := c.Get(context.Background(), "http://h/old")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestRedirectFollowing(t *testing.T) {
 		t.Errorf("info = %+v", info)
 	}
 	// Relative Location against a path-less base directory.
-	info, err = c.Head("http://h/relbase")
+	info, err = c.Head(context.Background(), "http://h/relbase")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRedirectLoopBounded(t *testing.T) {
 		"GET http://h/b": {Status: 302, Location: "http://h/a"},
 	}}
 	c := New(ft)
-	if _, err := c.Get("http://h/a"); err == nil {
+	if _, err := c.Get(context.Background(), "http://h/a"); err == nil {
 		t.Fatal("redirect loop not detected")
 	}
 }
@@ -178,7 +179,7 @@ func TestClassify(t *testing.T) {
 func TestTransportErrorPropagates(t *testing.T) {
 	ft := &fakeTransport{err: errors.New("connection refused")}
 	c := New(ft)
-	if _, err := c.Head("http://h/x"); err == nil {
+	if _, err := c.Head(context.Background(), "http://h/x"); err == nil {
 		t.Fatal("transport error swallowed")
 	}
 }
@@ -204,7 +205,7 @@ func TestFileURLStat(t *testing.T) {
 		}
 		return fakeFileInfo{mod: mod}, nil
 	}
-	info, err := c.Head("file:/home/u/notes.html")
+	info, err := c.Head(context.Background(), "file:/home/u/notes.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestFileURLStat(t *testing.T) {
 func TestFileURLMissing(t *testing.T) {
 	c := New(&fakeTransport{})
 	c.Stat = func(string) (os.FileInfo, error) { return nil, os.ErrNotExist }
-	info, err := c.Head("file:///no/such")
+	info, err := c.Head(context.Background(), "file:///no/such")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestFileURLGet(t *testing.T) {
 	c := New(&fakeTransport{})
 	c.Stat = func(string) (os.FileInfo, error) { return fakeFileInfo{mod: time.Now()}, nil }
 	c.ReadFile = func(path string) ([]byte, error) { return []byte("file body"), nil }
-	info, err := c.Get("file:/x")
+	info, err := c.Get(context.Background(), "file:/x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,21 +257,21 @@ func TestHTTPTransportRealServer(t *testing.T) {
 	defer srv.Close()
 
 	c := New(&HTTPTransport{})
-	info, err := c.Head(srv.URL + "/page")
+	info, err := c.Head(context.Background(), srv.URL+"/page")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !info.LastModified.Equal(mod) {
 		t.Errorf("Last-Modified = %v, want %v", info.LastModified, mod)
 	}
-	info, err = c.Get(srv.URL + "/moved")
+	info, err = c.Get(context.Background(), srv.URL+"/moved")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Body != "<html>real</html>" || info.Redirected != 1 {
 		t.Errorf("info = %+v", info)
 	}
-	info, err = c.Head(srv.URL + "/gone")
+	info, err = c.Head(context.Background(), srv.URL+"/gone")
 	if err != nil || Classify(info.Status, nil) != Gone {
 		t.Errorf("missing page: %+v err=%v", info, err)
 	}

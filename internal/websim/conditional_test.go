@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -19,14 +20,14 @@ func TestConditionalGet304(t *testing.T) {
 	mod := w.Clock().Now()
 	c := webclient.New(w)
 
-	_, notMod, err := c.GetConditional("http://h/p", mod.Add(time.Hour))
+	_, notMod, err := c.GetConditional(context.Background(), "http://h/p", mod.Add(time.Hour))
 	if err != nil || !notMod {
 		t.Fatalf("304 path: notMod=%v err=%v", notMod, err)
 	}
 	// Page changes: conditional GET returns the new body.
 	w.Advance(24 * time.Hour)
 	p.Set("v2")
-	info, notMod, err := c.GetConditional("http://h/p", mod)
+	info, notMod, err := c.GetConditional(context.Background(), "http://h/p", mod)
 	if err != nil || notMod || info.Body != "v2" {
 		t.Fatalf("changed path: %+v notMod=%v err=%v", info, notMod, err)
 	}
@@ -34,7 +35,7 @@ func TestConditionalGet304(t *testing.T) {
 	cgi := w.Site("h").Page("/cgi")
 	cgi.Set("x")
 	cgi.SetNoLastModified()
-	_, notMod, err = c.GetConditional("http://h/cgi", mod.Add(100*time.Hour))
+	_, notMod, err = c.GetConditional(context.Background(), "http://h/cgi", mod.Add(100*time.Hour))
 	if err != nil || notMod {
 		t.Fatalf("no-LM page answered 304: notMod=%v err=%v", notMod, err)
 	}
@@ -48,18 +49,18 @@ func TestFormService(t *testing.T) {
 	})
 	c := webclient.New(w)
 
-	info, err := c.Post("http://svc/search", "q=mobile+computing")
+	info, err := c.Post(context.Background(), "http://svc/search", "q=mobile+computing")
 	if err != nil || !strings.Contains(info.Body, "results for mobile computing") {
 		t.Fatalf("post: %+v err=%v", info, err)
 	}
 	// Malformed body is a 400.
-	info, err = c.Post("http://svc/search", "%zz=bad")
+	info, err = c.Post(context.Background(), "http://svc/search", "%zz=bad")
 	if err != nil || info.Status != 400 {
 		t.Fatalf("bad form: %+v err=%v", info, err)
 	}
 	// POST to a non-form page is a 405.
 	w.Site("svc").Page("/plain").Set("x")
-	info, err = c.Post("http://svc/plain", "a=1")
+	info, err = c.Post(context.Background(), "http://svc/plain", "a=1")
 	if err != nil || info.Status != 405 {
 		t.Fatalf("post to plain page: %+v err=%v", info, err)
 	}
@@ -95,7 +96,7 @@ func TestConditionalGetOverRealHTTP(t *testing.T) {
 	defer srv.Close()
 
 	c := webclient.New(&webclient.HTTPTransport{})
-	_, notMod, err := c.GetConditional(srv.URL+"/h/p", mod.Add(time.Minute))
+	_, notMod, err := c.GetConditional(context.Background(), srv.URL+"/h/p", mod.Add(time.Minute))
 	if err != nil || !notMod {
 		t.Fatalf("real-HTTP 304: notMod=%v err=%v", notMod, err)
 	}

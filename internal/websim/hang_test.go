@@ -1,0 +1,87 @@
+package websim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// A wedged server (SetHang) holds the connection open forever; the
+// client's per-request timeout must trip, and the failure must classify
+// Transient — §3.1's overloaded-proxy scenario.
+func TestHungHostTripsPerRequestTimeout(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := New(clock)
+	web.Site("stuck.example").Page("/p").Set("<P>never delivered.</P>")
+	web.Site("stuck.example").SetHang(true)
+
+	c := webclient.New(web)
+	c.Timeout = 30 * time.Millisecond // wall time: WithTimeout is real
+	c.Clock = clock                   // backoff (none here) in simulated time
+
+	start := time.Now()
+	_, err := c.Get(context.Background(), "http://stuck.example/p")
+	if err == nil {
+		t.Fatal("hung host returned success")
+	}
+	if !webclient.IsTimeout(err) {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if kind := webclient.Classify(0, err); kind != webclient.Transient {
+		t.Errorf("Classify = %v, want Transient", kind)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v; per-request deadline did not trip", elapsed)
+	}
+}
+
+// With retry enabled, each attempt against a hung host gets its own
+// per-attempt deadline, and the backoff between them spends simulated
+// time only.
+func TestHungHostRetriedPerAttempt(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := New(clock)
+	site := web.Site("stuck.example")
+	site.Page("/p").Set("<P>x</P>")
+	site.SetHang(true)
+
+	c := webclient.New(web)
+	c.Timeout = 20 * time.Millisecond
+	c.Retry = webclient.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Minute, MaxDelay: time.Hour}
+	c.Clock = clock
+
+	if _, err := c.Get(context.Background(), "http://stuck.example/p"); err == nil {
+		t.Fatal("hung host returned success")
+	}
+	if _, gets := site.Requests(); gets != 3 {
+		t.Errorf("attempts = %d, want 3", gets)
+	}
+	// Two backoff pauses, 1m then 2m, in simulated time.
+	if got := clock.Now().Sub(simclock.Epoch); got != 3*time.Minute {
+		t.Errorf("simulated backoff = %v, want 3m", got)
+	}
+}
+
+// A caller's own deadline aborts the hang even with no per-request
+// timeout configured.
+func TestHungHostHonorsCallerDeadline(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := New(clock)
+	web.Site("stuck.example").Page("/p").Set("<P>x</P>")
+	web.Site("stuck.example").SetHang(true)
+
+	c := webclient.New(web)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Get(ctx, "http://stuck.example/p")
+	if err == nil {
+		t.Fatal("hung host returned success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("caller deadline did not abort the hang (%v)", elapsed)
+	}
+}

@@ -11,6 +11,7 @@
 package websim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -200,6 +201,9 @@ type Site struct {
 	down bool
 	// timeout simulates an overloaded server: every request errors.
 	timeout bool
+	// hang simulates a wedged server: requests block until the caller's
+	// context is canceled or times out, instead of failing fast.
+	hang bool
 	// failEvery makes every n-th request time out (deterministic
 	// intermittent failure, for the §3.1 error-handling experiments).
 	failEvery int
@@ -240,6 +244,16 @@ func (s *Site) SetTimeout(timeout bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.timeout = timeout
+}
+
+// SetHang makes every request to the host block until the caller's
+// context gives up (or stops doing so) — the wedged-server failure mode
+// that only per-request deadlines can defend against, as opposed to
+// SetTimeout's fast error.
+func (s *Site) SetHang(hang bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hang = hang
 }
 
 // SetFailEvery makes every n-th request to the host time out — the
@@ -331,8 +345,18 @@ func (w *Web) ResetRequestCounts() {
 	}
 }
 
-// RoundTrip implements webclient.Transport against the virtual web.
-func (w *Web) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
+// RoundTrip implements webclient.Transport against the virtual web. It
+// honours ctx: an already-done context fails immediately, and a hung
+// host blocks exactly until the context is canceled or its deadline
+// passes — so the per-request timeouts and cancellation that protect
+// real fetches are exercised against the simulation too.
+func (w *Web) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	host, path, err := splitHTTPURL(req.URL)
 	if err != nil {
 		return nil, err
@@ -349,13 +373,16 @@ func (w *Web) RoundTrip(req *webclient.Request) (*webclient.Response, error) {
 	} else {
 		site.gets++
 	}
-	down, timeout := site.down, site.timeout
+	down, timeout, hang := site.down, site.timeout, site.hang
 	if site.failEvery > 0 && (site.heads+site.gets)%site.failEvery == 0 {
 		timeout = true
 	}
 	page := site.pages[path]
 	site.mu.Unlock()
 	switch {
+	case hang:
+		<-ctx.Done()
+		return nil, fmt.Errorf("websim: %s hung: %w", host, ctx.Err())
 	case down:
 		return nil, ErrHostDown
 	case timeout:
@@ -406,7 +433,7 @@ func (w *Web) Handler() http.Handler {
 			req.Body = string(body)
 			req.ContentType = r.Header.Get("Content-Type")
 		}
-		resp, err := w.RoundTrip(req)
+		resp, err := w.RoundTrip(r.Context(), req)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadGateway)
 			return

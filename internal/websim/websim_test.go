@@ -1,6 +1,7 @@
 package websim
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func TestBasicServe(t *testing.T) {
 	p.Set("<html>v1</html>")
 	c := webclient.New(w)
 
-	info, err := c.Get("http://www.example.com/index.html")
+	info, err := c.Get(context.Background(), "http://www.example.com/index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestBasicServe(t *testing.T) {
 		t.Error("static page missing Last-Modified")
 	}
 	// HEAD carries the date but no body.
-	info, err = c.Head("http://www.example.com/index.html")
+	info, err = c.Head(context.Background(), "http://www.example.com/index.html")
 	if err != nil || info.HasBody {
 		t.Errorf("HEAD: %+v err=%v", info, err)
 	}
@@ -47,7 +48,7 @@ func TestLastModifiedTracksClock(t *testing.T) {
 	t2 := w.Clock().Now()
 
 	c := webclient.New(w)
-	info, _ := c.Head("http://h/p")
+	info, _ := c.Head(context.Background(), "http://h/p")
 	if !info.LastModified.Equal(t2) {
 		t.Errorf("Last-Modified = %v, want %v", info.LastModified, t2)
 	}
@@ -60,10 +61,10 @@ func TestMissingHostAndPage(t *testing.T) {
 	w := newWeb()
 	w.Site("h").Page("/exists").Set("x")
 	c := webclient.New(w)
-	if _, err := c.Head("http://nohost/"); err == nil {
+	if _, err := c.Head(context.Background(), "http://nohost/"); err == nil {
 		t.Error("unknown host did not error")
 	}
-	info, err := c.Head("http://h/missing")
+	info, err := c.Head(context.Background(), "http://h/missing")
 	if err != nil || info.Status != 404 {
 		t.Errorf("missing page: %+v err=%v", info, err)
 	}
@@ -76,16 +77,16 @@ func TestFaultInjection(t *testing.T) {
 	c := webclient.New(w)
 
 	s.SetDown(true)
-	if _, err := c.Head("http://h/p"); err == nil {
+	if _, err := c.Head(context.Background(), "http://h/p"); err == nil {
 		t.Error("down host served request")
 	}
 	s.SetDown(false)
 	s.SetTimeout(true)
-	if _, err := c.Head("http://h/p"); err == nil {
+	if _, err := c.Head(context.Background(), "http://h/p"); err == nil {
 		t.Error("timing-out host served request")
 	}
 	s.SetTimeout(false)
-	if info, err := c.Head("http://h/p"); err != nil || info.Status != 200 {
+	if info, err := c.Head(context.Background(), "http://h/p"); err != nil || info.Status != 200 {
 		t.Errorf("recovered host: %+v err=%v", info, err)
 	}
 }
@@ -99,11 +100,11 @@ func TestGoneAndRedirect(t *testing.T) {
 	s.Page("/new").Set("moved here")
 	c := webclient.New(w)
 
-	info, err := c.Head("http://h/dead")
+	info, err := c.Head(context.Background(), "http://h/dead")
 	if err != nil || webclient.Classify(info.Status, nil) != webclient.Gone {
 		t.Errorf("gone page: %+v err=%v", info, err)
 	}
-	info, err = c.Get("http://h/old")
+	info, err = c.Get(context.Background(), "http://h/old")
 	if err != nil || info.Body != "moved here" || info.Redirected != 1 {
 		t.Errorf("redirect: %+v err=%v", info, err)
 	}
@@ -115,8 +116,8 @@ func TestDynamicCounterPage(t *testing.T) {
 	p.SetDynamic(CounterBody("Counter"))
 	c := webclient.New(w)
 
-	i1, _ := c.Get("http://h/counter")
-	i2, _ := c.Get("http://h/counter")
+	i1, _ := c.Get(context.Background(), "http://h/counter")
+	i2, _ := c.Get(context.Background(), "http://h/counter")
 	if i1.Body == i2.Body {
 		t.Error("counter page identical across fetches")
 	}
@@ -130,9 +131,9 @@ func TestClockBodyChangesWithTime(t *testing.T) {
 	p := w.Site("h").Page("/clock")
 	p.SetDynamic(ClockBody("Clock"))
 	c := webclient.New(w)
-	i1, _ := c.Get("http://h/clock")
+	i1, _ := c.Get(context.Background(), "http://h/clock")
 	w.Advance(time.Hour)
-	i2, _ := c.Get("http://h/clock")
+	i2, _ := c.Get(context.Background(), "http://h/clock")
 	if i1.Body == i2.Body {
 		t.Error("clock page identical across time")
 	}
@@ -143,9 +144,9 @@ func TestRequestCounters(t *testing.T) {
 	w.Site("a").Page("/p").Set("x")
 	w.Site("b").Page("/p").Set("y")
 	c := webclient.New(w)
-	c.Head("http://a/p")
-	c.Head("http://a/p")
-	c.Get("http://b/p")
+	c.Head(context.Background(), "http://a/p")
+	c.Head(context.Background(), "http://a/p")
+	c.Get(context.Background(), "http://b/p")
 
 	if h, g := w.Site("a").Requests(); h != 2 || g != 0 {
 		t.Errorf("site a = (%d,%d)", h, g)
@@ -259,7 +260,7 @@ func TestHTTPHandlerIntegration(t *testing.T) {
 	defer srv.Close()
 
 	c := webclient.New(&webclient.HTTPTransport{})
-	info, err := c.Get(srv.URL + "/www.usenix.org/index.html")
+	info, err := c.Get(context.Background(), srv.URL+"/www.usenix.org/index.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestHTTPHandlerIntegration(t *testing.T) {
 		t.Error("Last-Modified header lost over real HTTP")
 	}
 	// Redirects are rewritten into the path-prefixed namespace.
-	info, err = c.Get(srv.URL + "/www.usenix.org/old")
+	info, err = c.Get(context.Background(), srv.URL+"/www.usenix.org/old")
 	if err != nil || info.Body != "<html>usenix</html>" {
 		t.Errorf("redirect over real HTTP: %+v err=%v", info, err)
 	}
@@ -283,7 +284,7 @@ func BenchmarkSimRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Head("http://h/p"); err != nil {
+		if _, err := c.Head(context.Background(), "http://h/p"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package wiki
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -80,7 +81,10 @@ func (w *Wiki) Edit(author, page, body string) (rev string, err error) {
 	if !IsPageName(page) {
 		return "", fmt.Errorf("wiki: %q is not a WikiWord page name", page)
 	}
-	res, err := w.fac.RememberContent(author, pageURL(page), body)
+	// Wiki check-ins are local disk writes; entity tracking (the only
+	// thing RememberContent's ctx bounds) is never enabled on a wiki's
+	// facility, so Background is correct here.
+	res, err := w.fac.RememberContent(context.Background(), author, pageURL(page), body)
 	if err != nil {
 		return "", err
 	}
@@ -146,7 +150,7 @@ func (w *Wiki) Read(reader, page string) (body, rev string, err error) {
 	}
 	rev = revs[0].Num
 	if reader != "" {
-		if _, err := w.fac.RememberContent(reader, pageURL(page), body); err != nil {
+		if _, err := w.fac.RememberContent(context.Background(), reader, pageURL(page), body); err != nil {
 			return "", "", err
 		}
 	}
