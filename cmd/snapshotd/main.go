@@ -10,6 +10,12 @@
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
 //	          [-sweep 1h] [-fixed fixed-urls.txt] [-forms] [-auth]
 //	          [-timeout 30s] [-req-timeout 2m]
+//	          [-debug-addr :6060] [-log-level info]
+//
+// The main listener always exposes /debug/metrics and /debug/traces
+// (JSON snapshots of the obs registry and recent trace spans).
+// -debug-addr starts a second listener adding net/http/pprof;
+// -log-level enables structured logs on stderr (debug|info|warn|error).
 //
 // -timeout bounds each outgoing fetch (per retry attempt); -req-timeout
 // bounds the total work one incoming HTTP request may trigger. An
@@ -37,6 +43,7 @@ import (
 
 	"aide/internal/aide"
 	"aide/internal/formreg"
+	"aide/internal/obs"
 	"aide/internal/robots"
 	"aide/internal/snapshot"
 	"aide/internal/w3config"
@@ -53,7 +60,23 @@ func main() {
 	enableAuth := flag.Bool("auth", false, "require account authentication (anonymous accounts via /account/new)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-fetch timeout (each retry attempt; 0 = none)")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "deadline for the work behind one incoming HTTP request (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "optional second listener with /debug/metrics, /debug/traces, and net/http/pprof")
+	logLevel := flag.String("log-level", "", "enable structured logs on stderr at this level (debug|info|warn|error)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		if err := obs.EnableLogging(os.Stderr, *logLevel); err != nil {
+			log.Fatal("snapshotd: ", err)
+		}
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("snapshotd: debug endpoints on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				log.Printf("snapshotd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -14,6 +14,13 @@
 //	        [-prioritize] [-ignore-robots] [-errors-as-checked]
 //	        [-timeout 30s] [-retries 3] [-deadline 0]
 //	        [-every 1h] [-passes N] [-o report.html]
+//	        [-debug-addr :6060] [-log-level info]
+//
+// -debug-addr starts an HTTP listener with /debug/metrics,
+// /debug/traces, and net/http/pprof for inspecting a long-running
+// daemon; -log-level enables structured logs on stderr
+// (debug|info|warn|error). After each pass a metrics summary line is
+// printed to stderr.
 //
 // With -every, w3newer runs as its own periodic daemon instead of
 // relying on cron: a pass every interval, regenerating the report each
@@ -28,12 +35,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"aide/internal/hotlist"
+	"aide/internal/obs"
 	"aide/internal/robots"
 	"aide/internal/tracker"
 	"aide/internal/w3config"
@@ -68,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (each retry attempt; 0 = none)")
 	retries := fs.Int("retries", 3, "attempts per request for transient failures")
 	deadline := fs.Duration("deadline", 0, "overall deadline per pass; a pass cut short reports the rest as canceled (0 = none)")
+	debugAddr := fs.String("debug-addr", "", "optional HTTP listener with /debug/metrics, /debug/traces, and net/http/pprof")
+	logLevel := fs.String("log-level", "", "enable structured logs on stderr at this level (debug|info|warn|error)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,6 +92,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "w3newer:", err)
 		return 1
+	}
+
+	if *logLevel != "" {
+		if err := obs.EnableLogging(stderr, *logLevel); err != nil {
+			return fail(err)
+		}
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				fmt.Fprintln(stderr, "w3newer: debug listener:", err)
+			}
+		}()
 	}
 
 	entries, err := loadHotlist(*hotlistPath)
@@ -153,6 +177,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		opts.Now = time.Now()
 		report := tracker.Report(results, opts)
+		// Cumulative counters across passes; the sweep summary (§3's
+		// per-run accounting) goes to stderr so the report stays clean.
+		fmt.Fprintf(stderr, "w3newer: metrics: %s\n",
+			obs.Default.SummaryLine("tracker.", "webclient.", "robots.", "proxycache."))
 		if *out == "" {
 			fmt.Fprint(stdout, report)
 			return 0

@@ -202,8 +202,16 @@ func TestCLIDaemonModePasses(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
 		t.Errorf("daemon mode returned too fast: %v", elapsed)
 	}
-	// Three summary lines, one per pass.
-	if got := strings.Count(errb.String(), "w3newer:"); got != 3 {
+	// Three result summary lines and three metrics lines, one of each
+	// per pass.
+	if got := strings.Count(errb.String(), "errors ->"); got != 3 {
 		t.Errorf("summary lines = %d, want 3:\n%s", got, errb.String())
+	}
+	if got := strings.Count(errb.String(), "w3newer: metrics:"); got != 3 {
+		t.Errorf("metrics lines = %d, want 3:\n%s", got, errb.String())
+	}
+	// Counters are cumulative across passes.
+	if !strings.Contains(errb.String(), "tracker.sweeps=") {
+		t.Errorf("metrics line missing tracker.sweeps:\n%s", errb.String())
 	}
 }

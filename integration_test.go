@@ -8,6 +8,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -19,6 +20,8 @@ import (
 
 	"aide/internal/aide"
 	"aide/internal/hotlist"
+	"aide/internal/obs"
+	"aide/internal/proxycache"
 	"aide/internal/simclock"
 	"aide/internal/snapshot"
 	"aide/internal/tracker"
@@ -173,6 +176,104 @@ func TestServerSideLoopOverHTTP(t *testing.T) {
 	_, body = httpGet(t, rig.aideSrv.URL+"/report?user="+url.QueryEscape(user))
 	if !strings.Contains(body, "revision 1.2") || !strings.Contains(body, "<B>Changed</B>") {
 		t.Fatalf("report 3:\n%s", body)
+	}
+}
+
+// TestDebugObservabilityEndpoints checks the observability layer end to
+// end: after server-side sweeps through a caching transport, GET
+// /debug/metrics on the AIDE server reports nonzero fetch attempts, a
+// populated sweep-duration histogram, and proxy-cache hits; and
+// /debug/traces holds the nested span chain of a single tracker check
+// (sweep -> check -> fetch -> cache lookup).
+func TestDebugObservabilityEndpoints(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	web := websim.New(clock)
+	webSrv := httptest.NewServer(web.Handler())
+	t.Cleanup(webSrv.Close)
+
+	// An isolated registry keeps other tests' metrics out of the
+	// assertions; the trace side uses DefaultTracer because that is what
+	// the server's /debug/traces endpoint serves in production.
+	reg := obs.NewRegistry()
+	obs.DefaultTracer.Reset()
+
+	cache := proxycache.New(&webclient.HTTPTransport{}, clock)
+	cache.Metrics = reg
+	client := webclient.New(cache)
+	client.Metrics = reg
+	fac, err := snapshot.New(t.TempDir(), client, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac.Metrics = reg
+	server := aide.NewServer(fac, client, mustCfg(t, "Default 0\n"), clock)
+	server.Metrics = reg
+	snapSrv := snapshot.NewServer(fac)
+	snapSrv.KeepaliveInterval = 0
+	aideSrv := httptest.NewServer(server.Handler(snapSrv))
+	t.Cleanup(aideSrv.Close)
+
+	page := web.Site("obs.example").Page("/index.html")
+	page.Set("<P>metrics draft one.</P>")
+	pageURL := webSrv.URL + "/obs.example/index.html"
+
+	code, _ := httpGet(t, aideSrv.URL+"/register?user=obs@example.com&url="+
+		url.QueryEscape(pageURL)+"&title=Obs")
+	if code != 200 {
+		t.Fatalf("register: %d", code)
+	}
+	// Sweep twice without advancing the clock: the first fetch fills the
+	// proxy cache, the second is answered from it.
+	server.TrackAll(context.Background())
+	server.TrackAll(context.Background())
+
+	code, body := httpGet(t, aideSrv.URL+"/debug/metrics")
+	if code != 200 {
+		t.Fatalf("/debug/metrics: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/metrics decode: %v\n%s", err, body)
+	}
+	if snap.Counters["webclient.attempts"] == 0 {
+		t.Errorf("webclient.attempts = 0, want > 0\n%s", body)
+	}
+	if snap.Counters["proxycache.hits"] == 0 {
+		t.Errorf("proxycache.hits = 0, want > 0\n%s", body)
+	}
+	if h, ok := snap.Histograms["tracker.sweep.duration"]; !ok || h.Count == 0 {
+		t.Errorf("tracker.sweep.duration histogram missing or empty\n%s", body)
+	}
+
+	code, body = httpGet(t, aideSrv.URL+"/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	var spans []obs.SpanRecord
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/traces decode: %v\n%s", err, body)
+	}
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	// Walk one cache lookup up to its root: the chain must nest at least
+	// three spans and terminate at the sweep.
+	var chain []string
+	for _, s := range spans {
+		if s.Name != "proxycache.lookup" {
+			continue
+		}
+		chain = chain[:0]
+		for cur, ok := s, true; ok; cur, ok = byID[cur.Parent] {
+			chain = append(chain, cur.Name)
+		}
+		if len(chain) >= 3 && chain[len(chain)-1] == "aide.sweep" {
+			break
+		}
+	}
+	if len(chain) < 3 || chain[len(chain)-1] != "aide.sweep" {
+		t.Fatalf("no >=3-deep span chain from a cache lookup to aide.sweep; got %v in spans:\n%s", chain, body)
 	}
 }
 

@@ -17,11 +17,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"aide/internal/formreg"
 	"aide/internal/htmldoc"
+	"aide/internal/obs"
 	"aide/internal/robots"
 	"aide/internal/simclock"
 	"aide/internal/snapshot"
@@ -97,6 +99,9 @@ type Server struct {
 	Forms *formreg.Registry
 	// Clock provides time.
 	Clock simclock.Clock
+	// Metrics receives the server's sweep counters and histograms, and
+	// is what the /debug/metrics endpoint serves; obs.Default when nil.
+	Metrics *obs.Registry
 	// RequestTimeout, when positive, bounds the work one HTTP request may
 	// trigger: handlers derive their context from the request's and add
 	// this deadline.
@@ -105,6 +110,14 @@ type Server struct {
 	mu    sync.Mutex
 	users map[string][]Registration
 	urls  map[string]*urlState
+}
+
+// metrics returns the server's registry (obs.Default when unset).
+func (s *Server) metrics() *obs.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return obs.Default
 }
 
 // NewServer wires an AIDE server.
@@ -196,7 +209,10 @@ func (s *Server) trackedURLs() []string {
 // is counted in Canceled.
 func (s *Server) TrackAll(ctx context.Context) SweepStats {
 	var stats SweepStats
+	start := s.Clock.Now()
+	ctx, span := obs.StartSpan(ctx, "aide.sweep")
 	urls := s.trackedURLs()
+	span.SetAttr("urls", strconv.Itoa(len(urls)))
 	for i, url := range urls {
 		if ctx.Err() != nil {
 			stats.Canceled = len(urls) - i
@@ -205,12 +221,40 @@ func (s *Server) TrackAll(ctx context.Context) SweepStats {
 		s.trackOne(ctx, url, &stats)
 	}
 	stats.Distinct = len(s.trackedURLs())
+	s.recordSweep(span, stats, start)
 	return stats
 }
 
+// recordSweep finishes a sweep's span and records its metrics. The
+// histogram shares the tracker's name — both are the paper's "sweep" —
+// so dashboards see one series whichever side did the polling.
+func (s *Server) recordSweep(span *obs.Span, stats SweepStats, start time.Time) {
+	m := s.metrics()
+	dur := s.Clock.Now().Sub(start)
+	m.Counter("aide.sweeps").Inc()
+	m.Histogram("tracker.sweep.duration", nil).ObserveDuration(dur)
+	m.Counter("aide.sweep.checked").Add(int64(stats.Checked))
+	m.Counter("aide.sweep.skipped").Add(int64(stats.Skipped))
+	m.Counter("aide.sweep.new_versions").Add(int64(stats.NewVersions))
+	m.Counter("aide.sweep.errors").Add(int64(stats.Errors))
+	m.Counter("aide.sweep.discovered").Add(int64(stats.Discovered))
+	m.Counter("aide.sweep.canceled").Add(int64(stats.Canceled))
+	span.SetAttr("checked", strconv.Itoa(stats.Checked))
+	span.SetAttr("new_versions", strconv.Itoa(stats.NewVersions))
+	span.End()
+	obs.Logger().Info("aide sweep",
+		"distinct", stats.Distinct, "checked", stats.Checked, "skipped", stats.Skipped,
+		"new_versions", stats.NewVersions, "errors", stats.Errors,
+		"discovered", stats.Discovered, "canceled", stats.Canceled, "duration", dur)
+}
+
 // trackOne checks a single URL under ctx and updates its state and the
-// archive.
+// archive, traced as an "aide.check" span nesting the robots, fetch,
+// and check-in spans below it.
 func (s *Server) trackOne(ctx context.Context, url string, stats *SweepStats) {
+	ctx, span := obs.StartSpan(ctx, "aide.check")
+	span.SetAttr("url", url)
+	defer span.End()
 	now := s.Clock.Now()
 	s.mu.Lock()
 	st := s.stateLocked(url)

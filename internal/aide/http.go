@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/snapshot"
 )
 
@@ -44,6 +45,9 @@ func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 	mux.HandleFunc("/form/list", s.handleFormList)
 	mux.HandleFunc("/form/invoke", s.handleFormInvoke)
 	mux.HandleFunc("/status", s.handleStatus)
+	debug := obs.Handler(s.metrics(), nil)
+	mux.Handle("/debug/metrics", debug)
+	mux.Handle("/debug/traces", debug)
 	if snap != nil {
 		mux.Handle("/", snap.Handler())
 	}

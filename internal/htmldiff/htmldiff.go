@@ -28,6 +28,7 @@ import (
 
 	"aide/internal/htmldoc"
 	"aide/internal/lcs"
+	"aide/internal/obs"
 )
 
 // Mode selects the presentation of the comparison (§5.2).
@@ -143,6 +144,7 @@ func Diff(oldHTML, newHTML string, opt Options) Result {
 	}
 	oldToks := htmldoc.Tokenize(oldHTML)
 	newToks := htmldoc.Tokenize(newHTML)
+	recordDiffMetrics(oldToks, newToks)
 	segs, stats := align(oldToks, newToks, &opt)
 	if opt.CoalesceWithin > 0 {
 		segs = coalesce(segs, opt.CoalesceWithin)
@@ -168,6 +170,30 @@ func Diff(oldHTML, newHTML string, opt Options) Result {
 		r.HTML = renderMerged(segs, stats, &opt)
 	}
 	return r
+}
+
+// recordDiffMetrics counts a comparison's inputs in the process
+// registry: token and sentence volumes plus the outer LCS's cost bound
+// (the token-pair table Hirschberg's algorithm walks), the number every
+// later perf PR on the diff path reports against.
+func recordDiffMetrics(oldToks, newToks []htmldoc.Token) {
+	m := obs.Default
+	m.Counter("htmldiff.diffs").Inc()
+	m.Counter("htmldiff.tokens.old").Add(int64(len(oldToks)))
+	m.Counter("htmldiff.tokens.new").Add(int64(len(newToks)))
+	m.Counter("htmldiff.lcs.cells").Add(int64(len(oldToks)) * int64(len(newToks)))
+	var sentences int64
+	for _, t := range oldToks {
+		if t.Kind == htmldoc.Sentence {
+			sentences++
+		}
+	}
+	for _, t := range newToks {
+		if t.Kind == htmldoc.Sentence {
+			sentences++
+		}
+	}
+	m.Counter("htmldiff.sentences").Add(sentences)
 }
 
 // Compare runs only the alignment and returns the statistics; it is the

@@ -1,0 +1,50 @@
+package obs
+
+// HTTP exposure: /debug/metrics serves a registry snapshot as JSON,
+// /debug/traces the tracer's ring buffer. Handler produces a handler
+// bound to specific instances (the AIDE server mounts one for its
+// registry); DebugMux additionally wires net/http/pprof for the
+// -debug-addr sidecar server on snapshotd and w3newer.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves /debug/metrics and /debug/traces for the given
+// registry and tracer (Default/DefaultTracer when nil).
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tr.Spans())
+	})
+	return mux
+}
+
+// DebugMux is the full diagnostics mux for a -debug-addr server:
+// /debug/metrics, /debug/traces, and the pprof endpoints.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", Handler(nil, nil))
+	mux.Handle("/debug/traces", Handler(nil, nil))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

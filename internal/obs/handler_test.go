@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDebugEndpoints drives /debug/metrics and /debug/traces over HTTP.
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("webclient.attempts").Add(3)
+	reg.Histogram("tracker.sweep.duration", nil).Observe(0.5)
+	tr := NewTracer(8)
+	_, s := StartSpan(WithTracer(context.Background(), tr), "sweep")
+	s.End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["webclient.attempts"] != 3 {
+		t.Errorf("attempts = %d, want 3", snap.Counters["webclient.attempts"])
+	}
+	if snap.Histograms["tracker.sweep.duration"].Count != 1 {
+		t.Errorf("sweep histogram = %+v", snap.Histograms["tracker.sweep.duration"])
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var spans []SpanRecord
+	if err := json.NewDecoder(resp2.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "sweep" {
+		t.Errorf("spans = %+v", spans)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+// Structured leveled logging on log/slog. The default logger discards
+// everything, so library code can log freely without polluting test
+// output or the reports of the paper's quiet, cron-driven tools; the
+// -log-level flag on snapshotd and w3newer installs a real handler.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.DiscardHandler))
+}
+
+// Logger returns the process logger (silent unless configured).
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process logger.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// ParseLevel maps a flag value to a slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+}
+
+// EnableLogging installs a text handler writing to w at the given
+// level — the -log-level flag's implementation.
+func EnableLogging(w io.Writer, level string) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})))
+	return nil
+}

@@ -1,0 +1,301 @@
+// Package obs is AIDE's observability substrate: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket latency histograms),
+// leveled structured logging with a silent default, and lightweight
+// context-propagated trace spans with an in-memory ring-buffer exporter.
+//
+// The paper's w3newer "reports summary statistics" per sweep and the
+// authors reason throughout about polling cost, cache hit rates, and
+// diff latency; this package is the runtime counterpart. Every hot path
+// (webclient attempts, tracker sweeps, proxy-cache lookups, snapshot
+// check-ins, HtmlDiff invocations) records here, and the numbers are
+// served as JSON from /debug/metrics and /debug/traces.
+//
+// Determinism: nothing in this package reads the wall clock on its own.
+// Durations are observed by the instrumented code, which measures them
+// on its injected simclock.Clock, so a run paced by simclock.Sim yields
+// byte-for-byte identical snapshots.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (either direction).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LatencyBuckets are the default histogram bounds for network and diff
+// latencies, in seconds: sub-millisecond cache hits through the paper's
+// multi-minute wedged-proxy fetches.
+var LatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 5, 30, 120}
+
+// Histogram counts observations into fixed cumulative buckets. An
+// observation lands in the first bucket whose upper bound is >= the
+// value; values above every bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n int64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// snapshot returns the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Sum: h.sum, Buckets: make([]Bucket, len(h.counts))}
+	for i, c := range h.counts {
+		b := Bucket{Count: c, UpperBound: math.Inf(1)}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		}
+		s.Buckets[i] = b
+		s.Count += c
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with NewRegistry. Metric accessors get-or-create,
+// so instrumented code neither pre-registers nor error-checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry: instrumented packages record
+// here unless a component was given its own registry, and the /debug
+// endpoints serve it.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (sorted ascending) on first use; nil bounds mean
+// LatencyBuckets. Later calls return the existing histogram regardless
+// of bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound (+Inf for the
+	// overflow bucket, rendered as "+Inf" in JSON).
+	UpperBound float64 `json:"le"`
+	// Count is the number of observations in this bucket.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders +Inf as a string, since JSON has no infinity.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b.UpperBound), "0"), ".")
+	}
+	return json.Marshal(struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON parses the string form written by MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.Le == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	_, err := fmt.Sscanf(raw.Le, "%g", &b.UpperBound)
+	return err
+}
+
+// HistogramSnapshot is a histogram's state at one instant.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a registry's full state at one instant. Maps marshal with
+// sorted keys, so identical metric states yield identical JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// SummaryLine renders the registry as a single sorted "name=value" line
+// for log output — w3newer's per-pass summary-statistics report. Only
+// metrics whose name starts with one of the prefixes appear (no
+// prefixes: everything); zero-valued counters are elided; histograms
+// contribute name.count and name.sum_ms.
+func (r *Registry) SummaryLine(prefixes ...string) string {
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	s := r.Snapshot()
+	var parts []string
+	for name, v := range s.Counters {
+		if v != 0 && match(name) {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for name, v := range s.Gauges {
+		if match(name) {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for name, h := range s.Histograms {
+		if h.Count != 0 && match(name) {
+			parts = append(parts, fmt.Sprintf("%s.count=%d", name, h.Count),
+				fmt.Sprintf("%s.sum_ms=%.1f", name, h.Sum*1000))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

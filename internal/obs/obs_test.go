@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race this also proves the registry's get-or-create is safe.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 32, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("inflight").Add(1)
+				r.Histogram("lat", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("inflight").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestCounterIgnoresNegative checks counters are monotone.
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the cumulative-bucket convention:
+// a value exactly at a bound counts in that bound's bucket, values past
+// every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 9.99, 10, 11, 1e6} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	wantCounts := []int64{2, 2, 2, 2} // [<=0.1, <=1, <=10, +Inf]
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+}
+
+// TestSnapshotDeterministicUnderSimclock runs the same simclock-paced
+// observation schedule into two registries and demands identical JSON —
+// the property that lets aidebench report reproducible numbers.
+func TestSnapshotDeterministicUnderSimclock(t *testing.T) {
+	run := func() string {
+		clock := simclock.New(time.Time{})
+		r := NewRegistry()
+		for i := 0; i < 50; i++ {
+			start := clock.Now()
+			clock.Advance(time.Duration(i%7) * 100 * time.Millisecond)
+			r.Histogram("fetch", nil).ObserveDuration(clock.Now().Sub(start))
+			r.Counter("attempts").Inc()
+			if i%3 == 0 {
+				r.Counter("retries").Inc()
+			}
+			r.Gauge("inflight").Set(int64(i % 5))
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("snapshots differ:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if !strings.Contains(a, `"attempts": 50`) {
+		t.Errorf("snapshot missing attempts:\n%s", a)
+	}
+	if !strings.Contains(a, `"+Inf"`) {
+		t.Errorf("snapshot missing +Inf bucket:\n%s", a)
+	}
+}
+
+// TestSummaryLine checks prefix filtering, zero elision, and sorting.
+func TestSummaryLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("webclient.attempts").Add(4)
+	r.Counter("webclient.retries") // zero: elided
+	r.Counter("other.thing").Inc()
+	r.Histogram("tracker.sweep.duration", nil).Observe(0.25)
+	got := r.SummaryLine("webclient.", "tracker.")
+	want := "tracker.sweep.duration.count=1 tracker.sweep.duration.sum_ms=250.0 webclient.attempts=4"
+	if got != want {
+		t.Errorf("summary = %q, want %q", got, want)
+	}
+}

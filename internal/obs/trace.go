@@ -1,0 +1,192 @@
+package obs
+
+// Lightweight tracing for the fetch path: a span per logical operation
+// (sweep, per-URL check, fetch, cache lookup, robots consultation),
+// linked parent-to-child through context.Context, finished spans kept in
+// a fixed-size ring buffer and served from /debug/traces. This is the
+// minimal subset of distributed tracing that a single-process AIDE
+// needs: enough to see that one tracker check nested a fetch which
+// nested a cache lookup, and how long each layer took.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+// SpanRecord is one finished span as exported to the ring buffer.
+type SpanRecord struct {
+	// ID identifies the span within its tracer; IDs start at 1.
+	ID uint64 `json:"id"`
+	// Parent is the enclosing span's ID (0 for a root span).
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the operation, e.g. "webclient.fetch".
+	Name string `json:"name"`
+	// Start is the span's begin instant on the tracer's clock.
+	Start time.Time `json:"start"`
+	// DurationMS is the span's length in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Attrs are the span's key/value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer issues spans and keeps the most recent finished ones.
+type Tracer struct {
+	// Clock timestamps spans; wall clock when nil. Inject a
+	// simclock.Sim for deterministic traces.
+	Clock simclock.Clock
+
+	ids  atomic.Uint64
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// DefaultTracer receives spans started without an explicit tracer in
+// the context; /debug/traces serves it.
+var DefaultTracer = NewTracer(512)
+
+// NewTracer returns a tracer retaining the last size finished spans.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, size)}
+}
+
+func (t *Tracer) clock() simclock.Clock {
+	if t.Clock != nil {
+		return t.Clock
+	}
+	return simclock.Wall{}
+}
+
+// export appends a finished span to the ring.
+func (t *Tracer) export(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained finished spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Reset drops every retained span (for tests).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = 0
+	t.full = false
+}
+
+// Span is an operation in progress. Methods are safe on a nil receiver
+// so instrumented code never guards.
+type Span struct {
+	tracer *Tracer
+	start  time.Time
+
+	mu    sync.Mutex
+	rec   SpanRecord
+	ended bool
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	tracerKey
+)
+
+// WithTracer returns a context whose spans report to tr — how a test or
+// a component isolates its traces from DefaultTracer.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, tr)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// tracerFrom picks the tracer for a new span: the enclosing span's,
+// else the context's, else DefaultTracer.
+func tracerFrom(ctx context.Context) *Tracer {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.tracer
+	}
+	if tr, ok := ctx.Value(tracerKey).(*Tracer); ok {
+		return tr
+	}
+	return DefaultTracer
+}
+
+// StartSpan begins a span named name, child of the context's current
+// span if any, and returns the context carrying it. End the span with
+// Span.End; an unended span is simply never exported.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := tracerFrom(ctx)
+	var parent uint64
+	if p := SpanFromContext(ctx); p != nil {
+		parent = p.rec.ID
+	}
+	s := &Span{
+		tracer: tr,
+		start:  tr.clock().Now(),
+		rec:    SpanRecord{ID: tr.ids.Add(1), Parent: parent, Name: name},
+	}
+	s.rec.Start = s.start
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string)
+	}
+	s.rec.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End finishes the span and exports it. Idempotent: only the first call
+// exports.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.DurationMS = float64(s.tracer.clock().Now().Sub(s.start)) / float64(time.Millisecond)
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.export(rec)
+}

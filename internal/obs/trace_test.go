@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+)
+
+// TestSpanNesting checks parent links and simclock-measured durations.
+func TestSpanNesting(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	tr := NewTracer(16)
+	tr.Clock = clock
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, sweep := StartSpan(ctx, "sweep")
+	ctx, check := StartSpan(ctx, "check")
+	check.SetAttr("url", "http://h/")
+	ctx2, fetch := StartSpan(ctx, "fetch")
+	_ = ctx2
+	clock.Advance(250 * time.Millisecond)
+	fetch.End()
+	check.End()
+	clock.Advance(time.Second)
+	sweep.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["fetch"].Parent != byName["check"].ID {
+		t.Errorf("fetch parent = %d, want check %d", byName["fetch"].Parent, byName["check"].ID)
+	}
+	if byName["check"].Parent != byName["sweep"].ID {
+		t.Errorf("check parent = %d, want sweep %d", byName["check"].Parent, byName["sweep"].ID)
+	}
+	if byName["sweep"].Parent != 0 {
+		t.Errorf("sweep parent = %d, want 0 (root)", byName["sweep"].Parent)
+	}
+	if byName["fetch"].DurationMS != 250 {
+		t.Errorf("fetch duration = %v ms, want 250", byName["fetch"].DurationMS)
+	}
+	if byName["sweep"].DurationMS != 1250 {
+		t.Errorf("sweep duration = %v ms, want 1250", byName["sweep"].DurationMS)
+	}
+	if byName["check"].Attrs["url"] != "http://h/" {
+		t.Errorf("check attrs = %v", byName["check"].Attrs)
+	}
+}
+
+// TestTracerRingWraps checks the buffer keeps the newest spans.
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, s := StartSpan(ctx, fmt.Sprintf("op%d", i))
+		s.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("op%d", 6+i); s.Name != want {
+			t.Errorf("span %d = %s, want %s", i, s.Name, want)
+		}
+	}
+}
+
+// TestNilSpanSafe checks instrumented code need not guard nil spans.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End() // must not panic
+}
+
+// TestEndIdempotent checks a double End exports once.
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := StartSpan(WithTracer(context.Background(), tr), "op")
+	s.End()
+	s.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Errorf("spans = %d, want 1", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 	"aide/internal/webclient"
 )
@@ -40,6 +41,9 @@ type Cache struct {
 	TTL time.Duration
 	// MaxEntries bounds the cache size; older entries are evicted LRU.
 	MaxEntries int
+	// Metrics receives the hit/miss/revalidation counters (in addition
+	// to the Stats snapshot); obs.Default when nil.
+	Metrics *obs.Registry
 
 	upstream webclient.Transport
 	clock    simclock.Clock
@@ -88,6 +92,11 @@ func New(upstream webclient.Transport, clock simclock.Clock) *Cache {
 // §3.1's cache-consistency discussion). The caller's ctx flows through
 // to the upstream transport; cache hits never consult it.
 func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, error) {
+	m := c.metrics()
+	ctx, span := obs.StartSpan(ctx, "proxycache.lookup")
+	span.SetAttr("url", req.URL)
+	outcome := "miss"
+	defer func() { span.SetAttr("outcome", outcome); span.End() }()
 	now := c.clock.Now()
 	var staleMod time.Time
 	c.mu.Lock()
@@ -97,6 +106,8 @@ func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclie
 			c.lru.MoveToFront(el)
 			c.stats.Hits++
 			c.mu.Unlock()
+			m.Counter("proxycache.hits").Inc()
+			outcome = "hit"
 			return e.respond(req.Method), nil
 		}
 		if e.hasBody && e.status == 200 && !e.lastMod.IsZero() && req.Method != "POST" {
@@ -105,6 +116,7 @@ func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclie
 	}
 	c.stats.Misses++
 	c.mu.Unlock()
+	m.Counter("proxycache.misses").Inc()
 
 	upReq := *req
 	if !staleMod.IsZero() && upReq.IfModifiedSince.IsZero() {
@@ -115,11 +127,15 @@ func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclie
 		c.mu.Lock()
 		c.stats.Errors++
 		c.mu.Unlock()
+		m.Counter("proxycache.errors").Inc()
+		outcome = "error"
 		return nil, err
 	}
 	if resp.Status == 304 && !staleMod.IsZero() && req.IfModifiedSince.IsZero() {
 		// Our own revalidation succeeded: renew the entry and answer
 		// the client from it (the client did not ask conditionally).
+		m.Counter("proxycache.revalidated").Inc()
+		outcome = "revalidated"
 		c.mu.Lock()
 		c.stats.Revalidated++
 		var renewed *webclient.Response
@@ -142,6 +158,14 @@ func (c *Cache) RoundTrip(ctx context.Context, req *webclient.Request) (*webclie
 	}
 	c.store(req, resp, now)
 	return resp, nil
+}
+
+// metrics returns the cache's registry (obs.Default when unset).
+func (c *Cache) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
 }
 
 // store records an upstream response.

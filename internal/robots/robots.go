@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 )
 
@@ -143,6 +144,9 @@ type Cache struct {
 	// Ignore disables the exclusion protocol entirely — the paper's
 	// "special flag set when the script is invoked".
 	Ignore bool
+	// Metrics receives the cache-hit/fetch/exclusion counters;
+	// obs.Default when nil.
+	Metrics *obs.Registry
 
 	fetch FetchFunc
 	clock simclock.Clock
@@ -187,24 +191,49 @@ func (c *Cache) Allowed(ctx context.Context, rawURL string) bool {
 		return true // file: and friends have no exclusion protocol
 	}
 	pol := c.policyFor(ctx, scheme, host)
-	return pol.Allowed(c.Agent, path)
+	allowed := pol.Allowed(c.Agent, path)
+	if !allowed {
+		c.metrics().Counter("robots.excluded").Inc()
+	}
+	return allowed
+}
+
+// metrics returns the cache's registry (obs.Default when unset).
+func (c *Cache) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
 }
 
 // policyFor returns the cached policy for host, refreshing it if stale.
+// Refreshes are traced as "robots.fetch" spans under the caller's span.
 func (c *Cache) policyFor(ctx context.Context, scheme, host string) *Policy {
+	m := c.metrics()
 	now := c.clock.Now()
 	c.mu.Lock()
 	cached, ok := c.policies[host]
 	c.mu.Unlock()
 	if ok && now.Sub(cached.fetched) <= c.TTL {
+		m.Counter("robots.cache.hits").Inc()
 		return cached.policy
 	}
+	m.Counter("robots.fetches").Inc()
+	ctx, span := obs.StartSpan(ctx, "robots.fetch")
+	span.SetAttr("host", host)
 	status, bodyText, err := c.fetch(ctx, scheme+"://"+host+"/robots.txt")
+	span.End()
 	var pol *Policy
 	switch {
 	case err != nil && ok:
+		m.Counter("robots.fetch.errors").Inc()
+		obs.Logger().Warn("robots.txt refresh failed; keeping stale policy", "host", host, "err", err)
 		return cached.policy // keep the stale policy on transport errors
 	case err != nil || status >= 400:
+		if err != nil {
+			m.Counter("robots.fetch.errors").Inc()
+			obs.Logger().Warn("robots.txt fetch failed; failing open", "host", host, "err", err)
+		}
 		pol = &Policy{} // no robots.txt: everything allowed
 	default:
 		pol = Parse(bodyText)

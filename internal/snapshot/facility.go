@@ -30,6 +30,7 @@ import (
 	"aide/internal/formreg"
 	"aide/internal/htmldiff"
 	"aide/internal/lockmgr"
+	"aide/internal/obs"
 	"aide/internal/rcs"
 	"aide/internal/simclock"
 	"aide/internal/webclient"
@@ -52,9 +53,30 @@ type Facility struct {
 	// Forms, when non-nil, lets the facility archive and diff saved
 	// POST services via their form:<id> pseudo-URLs (§8.4).
 	Forms *formreg.Registry
+	// Metrics receives the check-in/delta/diff-latency metrics;
+	// obs.Default when nil.
+	Metrics *obs.Registry
 
 	diffCache diffCache
 	entityOpt EntityTrackingOptions
+}
+
+// metrics returns the facility's registry (obs.Default when unset).
+func (f *Facility) metrics() *obs.Registry {
+	if f.Metrics != nil {
+		return f.Metrics
+	}
+	return obs.Default
+}
+
+// diff runs HtmlDiff and records its latency (on the facility's clock,
+// so simulated runs are deterministic) — the §4.2 cost the paper's
+// evaluation cares about.
+func (f *Facility) diff(oldText, newText string, opt htmldiff.Options) htmldiff.Result {
+	start := f.clock.Now()
+	r := htmldiff.Diff(oldText, newText, opt)
+	f.metrics().Histogram("snapshot.diff.duration", nil).ObserveDuration(f.clock.Now().Sub(start))
+	return r
 }
 
 // New creates (or reopens) a facility rooted at dir. If clock is nil the
@@ -120,11 +142,21 @@ func (f *Facility) Remember(ctx context.Context, user, pageURL string) (Remember
 // the entity-checksum fetches that a changed check-in may trigger. The
 // per-URL lock must not already be held by this goroutine.
 func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body string) (RememberResult, error) {
+	ctx, span := obs.StartSpan(ctx, "snapshot.checkin")
+	span.SetAttr("url", pageURL)
+	defer span.End()
+	m := f.metrics()
+	m.Counter("snapshot.checkins").Inc()
 	arch := f.archive(pageURL)
 	first := !arch.Exists()
 	rev, changed, err := arch.Checkin(body, user, "checked in via AIDE snapshot")
 	if err != nil {
 		return RememberResult{}, err
+	}
+	if changed {
+		m.Counter("snapshot.checkins.changed").Inc()
+		m.Counter("snapshot.delta.bytes").Add(int64(len(body)))
+		obs.Logger().Debug("snapshot check-in", "url", pageURL, "rev", rev, "bytes", len(body), "first", first)
 	}
 	if user != "" {
 		if err := f.markSeen(user, pageURL, rev); err != nil {
@@ -172,7 +204,7 @@ func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (Di
 	}
 	opt := f.DiffOptions
 	opt.Title = pageURL
-	r := htmldiff.Diff(oldText, info.Body, opt)
+	r := f.diff(oldText, info.Body, opt)
 	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: "live", Stats: r.Stats}, nil
 }
 
@@ -182,6 +214,7 @@ func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (Di
 func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) {
 	key := pageURL + "\x00" + oldRev + "\x00" + newRev
 	if html, ok := f.diffCache.get(key); ok {
+		f.metrics().Counter("snapshot.diffcache.hits").Inc()
 		return DiffResult{HTML: html, OldRev: oldRev, NewRev: newRev, Cached: true}, nil
 	}
 	arch := f.archive(pageURL)
@@ -195,7 +228,7 @@ func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) 
 	}
 	opt := f.DiffOptions
 	opt.Title = fmt.Sprintf("%s (%s vs %s)", pageURL, oldRev, newRev)
-	r := htmldiff.Diff(oldText, newText, opt)
+	r := f.diff(oldText, newText, opt)
 	f.diffCache.put(key, r.HTML)
 	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: newRev, Stats: r.Stats}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/rcs"
 )
 
@@ -69,6 +70,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/rcsdiff", s.handleRcsdiff)
 	mux.HandleFunc("/account/new", s.handleAccountNew)
 	mux.HandleFunc("/export", s.handleExport)
+	debug := obs.Handler(s.Facility.metrics(), nil)
+	mux.Handle("/debug/metrics", debug)
+	mux.Handle("/debug/traces", debug)
 	if s.MaxSimultaneous > 0 {
 		return NewGate(mux, s.MaxSimultaneous)
 	}

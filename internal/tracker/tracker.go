@@ -30,6 +30,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"aide/internal/formreg"
 	"aide/internal/hotlist"
 	"aide/internal/htmldoc"
+	"aide/internal/obs"
 	"aide/internal/robots"
 	"aide/internal/simclock"
 	"aide/internal/w3config"
@@ -168,11 +170,22 @@ type Tracker struct {
 	Forms *formreg.Registry
 	// Clock provides time; wall clock when nil.
 	Clock simclock.Clock
+	// Metrics receives sweep counters and the sweep-duration histogram;
+	// obs.Default when nil.
+	Metrics *obs.Registry
 	// Opt are the behavioural flags.
 	Opt Options
 
 	mu     sync.Mutex
 	states map[string]*State
+}
+
+// metrics returns the tracker's registry (obs.Default when unset).
+func (t *Tracker) metrics() *obs.Registry {
+	if t.Metrics != nil {
+		return t.Metrics
+	}
+	return obs.Default
 }
 
 // DefaultStaleAfter matches the paper's one-week staleness threshold.
@@ -270,9 +283,13 @@ func (t *Tracker) Run(ctx context.Context, entries []hotlist.Entry) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := t.Clock.Now()
+	ctx, span := obs.StartSpan(ctx, "tracker.sweep")
+	span.SetAttr("entries", strconv.Itoa(len(entries)))
 	badHosts := newHostErrs()
+	var results []Result
 	if t.Opt.Concurrency <= 1 {
-		results := make([]Result, 0, len(entries))
+		results = make([]Result, 0, len(entries))
 		for i, e := range entries {
 			if ctx.Err() != nil {
 				for _, rest := range entries[i:] {
@@ -284,9 +301,33 @@ func (t *Tracker) Run(ctx context.Context, entries []hotlist.Entry) []Result {
 			t.noteFailure(r, badHosts)
 			results = append(results, r)
 		}
-		return results
+	} else {
+		results = t.runConcurrent(ctx, entries, badHosts)
 	}
-	return t.runConcurrent(ctx, entries, badHosts)
+	t.recordSweep(span, results, start)
+	return results
+}
+
+// recordSweep finishes a run's span and records the per-sweep metrics:
+// the sweep-duration histogram (measured on the tracker's clock, so
+// simclock-paced runs are deterministic) and one counter per outcome.
+func (t *Tracker) recordSweep(span *obs.Span, results []Result, start time.Time) {
+	m := t.metrics()
+	dur := t.Clock.Now().Sub(start)
+	m.Counter("tracker.sweeps").Inc()
+	m.Histogram("tracker.sweep.duration", nil).ObserveDuration(dur)
+	sum := Summary(results)
+	m.Counter("tracker.checks.changed").Add(int64(sum[Changed]))
+	m.Counter("tracker.checks.unchanged").Add(int64(sum[Unchanged]))
+	m.Counter("tracker.checks.notchecked").Add(int64(sum[NotChecked]))
+	m.Counter("tracker.checks.excluded").Add(int64(sum[Excluded]))
+	m.Counter("tracker.checks.failed").Add(int64(sum[Failed]))
+	span.SetAttr("changed", strconv.Itoa(sum[Changed]))
+	span.SetAttr("failed", strconv.Itoa(sum[Failed]))
+	span.End()
+	obs.Logger().Info("tracker sweep",
+		"entries", len(results), "changed", sum[Changed], "unchanged", sum[Unchanged],
+		"notchecked", sum[NotChecked]+sum[Excluded], "failed", sum[Failed], "duration", dur)
 }
 
 // canceledResult marks one entry as unvisited because the run's context
@@ -360,10 +401,19 @@ launch:
 	return results
 }
 
-// checkOne applies the §3 decision procedure to one URL under ctx.
-func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostErrs) Result {
+// checkOne applies the §3 decision procedure to one URL under ctx,
+// traced as a "tracker.check" span nesting whatever robots.txt and
+// fetch work the decision needs.
+func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostErrs) (r Result) {
+	ctx, span := obs.StartSpan(ctx, "tracker.check")
+	span.SetAttr("url", e.URL)
+	defer func() {
+		span.SetAttr("status", r.Status.String())
+		span.SetAttr("via", r.Via)
+		span.End()
+	}()
 	now := t.Clock.Now()
-	r := Result{Entry: e}
+	r = Result{Entry: e}
 	st := t.stateSnapshot(e.URL)
 
 	lastVisited, visited := t.History.LastVisited(e.URL)

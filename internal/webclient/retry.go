@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 )
 
@@ -96,34 +97,67 @@ func (r *retrier) jitterFrac(seed int64) float64 {
 
 // roundTrip performs one logical request: per-attempt timeout, then
 // retry-with-backoff on Transient failures, stopping the moment the
-// caller's context is done.
-func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error) {
-	attempts := c.Retry.attempts()
+// caller's context is done. It reports how many attempts it made and
+// how long it slept between them, and records the attempt/retry/latency
+// metrics.
+func (c *Client) roundTrip(ctx context.Context, req *Request) (resp *Response, tries int, backoff time.Duration, err error) {
+	m := c.metrics()
+	maxTries := c.Retry.attempts()
 	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if cerr := ctx.Err(); cerr != nil {
+			m.Counter("webclient.cancels").Inc()
+			return nil, tries, backoff, cerr
 		}
-		resp, err := c.attempt(ctx, req)
+		tries++
+		m.Counter("webclient.attempts").Inc()
+		start := c.clock().Now()
+		resp, err = c.attempt(ctx, req)
+		m.Histogram("webclient.attempt.duration", nil).ObserveDuration(c.clock().Now().Sub(start))
+		if err != nil && IsTimeout(err) {
+			m.Counter("webclient.timeouts").Inc()
+		}
 		if err == nil && Classify(resp.Status, nil) != Transient {
-			return resp, nil
+			return resp, tries, backoff, nil
 		}
 		if err != nil && ctx.Err() != nil {
 			// The caller's own deadline or cancellation tripped
 			// mid-flight; retrying would outlive the caller's interest.
-			return nil, err
+			m.Counter("webclient.cancels").Inc()
+			return nil, tries, backoff, err
 		}
-		if attempt+1 >= attempts {
+		if attempt+1 >= maxTries {
 			// Out of tries: deliver the last outcome (a 5xx response is
 			// returned as-is for the caller's Classify to see).
-			return resp, err
+			return resp, tries, backoff, err
 		}
+		cause := retryCause(resp, err)
+		m.Counter("webclient.retries").Inc()
+		m.Counter("webclient.retries." + cause).Inc()
 		pause := c.Retry.backoff(attempt, c.retrier.jitterFrac(c.Retry.Seed))
+		obs.Logger().Debug("webclient retry",
+			"url", req.URL, "attempt", attempt+1, "cause", cause, "backoff", pause)
 		if serr := simclock.Sleep(ctx, c.clock(), pause); serr != nil {
 			if err == nil {
 				err = serr
 			}
-			return nil, err
+			m.Counter("webclient.cancels").Inc()
+			return nil, tries, backoff, err
 		}
+		backoff += pause
+	}
+}
+
+// retryCause labels why an attempt is being retried, for the per-cause
+// retry counters (§3.1 distinguishes proxy overload from other
+// transient trouble).
+func retryCause(resp *Response, err error) string {
+	switch {
+	case err == nil:
+		return "status" // a retryable 5xx
+	case IsTimeout(err):
+		return "timeout"
+	default:
+		return "transport"
 	}
 }
 
@@ -143,4 +177,12 @@ func (c *Client) clock() simclock.Clock {
 		return c.Clock
 	}
 	return simclock.Wall{}
+}
+
+// metrics returns the client's registry (obs.Default when unset).
+func (c *Client) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 )
 
@@ -186,5 +187,82 @@ func TestRetryRefusesCanceledContextUpFront(t *testing.T) {
 	}
 	if st.calls != 0 {
 		t.Errorf("attempts = %d, want 0", st.calls)
+	}
+}
+
+// TestRetryStatsOnPageInfo checks the attempt count and total backoff
+// are surfaced on the result, so callers need not sniff logs.
+func TestRetryStatsOnPageInfo(t *testing.T) {
+	c, _, _ := retryClient(fail, serverErr, ok)
+	info, err := c.Get(context.Background(), "http://h/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attempts != 3 {
+		t.Errorf("info.Attempts = %d, want 3", info.Attempts)
+	}
+	// Jitter is zero: the schedule is exactly 1s + 2s.
+	if info.BackoffTotal != 3*time.Second {
+		t.Errorf("info.BackoffTotal = %v, want 3s", info.BackoffTotal)
+	}
+}
+
+// TestRetryStatsAcrossRedirects checks attempts accumulate over hops.
+func TestRetryStatsAcrossRedirects(t *testing.T) {
+	redirect := func() (*Response, error) {
+		return &Response{Status: 302, Location: "http://h/new"}, nil
+	}
+	c, _, _ := retryClient(redirect, fail, ok)
+	info, err := c.Get(context.Background(), "http://h/old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.URL != "http://h/new" || info.Redirected != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Attempts != 3 { // 1 redirect hop + 1 failure + 1 success
+		t.Errorf("info.Attempts = %d, want 3", info.Attempts)
+	}
+	if info.BackoffTotal != time.Second {
+		t.Errorf("info.BackoffTotal = %v, want 1s", info.BackoffTotal)
+	}
+}
+
+// TestRetryMetrics checks the per-cause retry counters and the attempt
+// histogram land in the client's injected registry.
+func TestRetryMetrics(t *testing.T) {
+	c, _, _ := retryClient(fail, serverErr, ok)
+	c.Metrics = obs.NewRegistry()
+	if _, err := c.Get(context.Background(), "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Metrics.Snapshot()
+	want := map[string]int64{
+		"webclient.attempts":          3,
+		"webclient.retries":           2,
+		"webclient.retries.transport": 1,
+		"webclient.retries.status":    1,
+	}
+	for name, n := range want {
+		if snap.Counters[name] != n {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], n)
+		}
+	}
+	if got := snap.Histograms["webclient.attempt.duration"].Count; got != 3 {
+		t.Errorf("attempt histogram count = %d, want 3", got)
+	}
+}
+
+// TestCancelMetric checks a mid-retry cancellation is counted.
+func TestCancelMetric(t *testing.T) {
+	c, _, _ := retryClient(fail)
+	c.Metrics = obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, "http://h/p"); err == nil {
+		t.Fatal("want error from canceled context")
+	}
+	if got := c.Metrics.Counter("webclient.cancels").Value(); got == 0 {
+		t.Error("webclient.cancels = 0, want nonzero")
 	}
 }

@@ -22,9 +22,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 )
 
@@ -141,6 +143,14 @@ type PageInfo struct {
 	Checksum string
 	// Redirected counts redirects followed.
 	Redirected int
+	// Attempts is the total number of wire round trips the operation
+	// took, retries and redirect hops included (0 for file: URLs, which
+	// never touch the wire). Callers can assert retry behaviour from
+	// this instead of sniffing logs.
+	Attempts int
+	// BackoffTotal is the cumulative time spent sleeping between retry
+	// attempts (simulated time under a simclock.Sim pacing clock).
+	BackoffTotal time.Duration
 }
 
 // Client issues checks and fetches over a Transport. Every method takes
@@ -159,9 +169,14 @@ type Client struct {
 	// Retry is the transient-failure retry policy; the zero value
 	// disables retry.
 	Retry RetryPolicy
-	// Clock paces retry backoff; wall clock when nil. Inject a
-	// simclock.Sim to make backoff spend simulated time.
+	// Clock paces retry backoff and measures attempt latency; wall
+	// clock when nil. Inject a simclock.Sim to make backoff spend
+	// simulated time.
 	Clock simclock.Clock
+	// Metrics receives the client's counters and latency histograms
+	// (attempts, retries by cause, timeouts, cancels); obs.Default when
+	// nil. Inject a private registry to isolate a test's numbers.
+	Metrics *obs.Registry
 	// Stat resolves file: URLs; defaults to os.Stat. Replaceable for
 	// tests.
 	Stat func(path string) (os.FileInfo, error)
@@ -267,12 +282,20 @@ func ChecksumBody(body string) string {
 }
 
 // do performs one logical request: redirect following around the
-// retrying round trip.
+// retrying round trip, traced as one "webclient.fetch" span.
 func (c *Client) do(ctx context.Context, req Request) (PageInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	info := PageInfo{URL: req.URL}
+	ctx, span := obs.StartSpan(ctx, "webclient.fetch")
+	span.SetAttr("method", req.Method)
+	span.SetAttr("url", req.URL)
+	defer func() {
+		span.SetAttr("status", strconv.Itoa(info.Status))
+		span.SetAttr("attempts", strconv.Itoa(info.Attempts))
+		span.End()
+	}()
 	max := c.MaxRedirects
 	if max <= 0 {
 		max = 5
@@ -280,7 +303,9 @@ func (c *Client) do(ctx context.Context, req Request) (PageInfo, error) {
 	for hop := 0; ; hop++ {
 		hopReq := req
 		hopReq.URL = info.URL
-		resp, err := c.roundTrip(ctx, &hopReq)
+		resp, tries, slept, err := c.roundTrip(ctx, &hopReq)
+		info.Attempts += tries
+		info.BackoffTotal += slept
 		if err != nil {
 			return info, err
 		}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 	"aide/internal/webclient"
 )
@@ -275,10 +276,21 @@ func (s *Site) Requests() (heads, gets int) {
 // Web is the collection of virtual hosts sharing one simulated clock.
 type Web struct {
 	clock *simclock.Sim
+	// Metrics receives the served-request and injected-fault counters;
+	// obs.Default when nil.
+	Metrics *obs.Registry
 
 	mu        sync.Mutex
 	sites     map[string]*Site
 	processes []*process
+}
+
+// metrics returns the web's registry (obs.Default when unset).
+func (w *Web) metrics() *obs.Registry {
+	if w.Metrics != nil {
+		return w.Metrics
+	}
+	return obs.Default
 }
 
 // New returns an empty web on the given clock (a fresh one if nil).
@@ -379,13 +391,17 @@ func (w *Web) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient
 	}
 	page := site.pages[path]
 	site.mu.Unlock()
+	w.metrics().Counter("websim.requests").Inc()
 	switch {
 	case hang:
+		w.metrics().Counter("websim.faults").Inc()
 		<-ctx.Done()
 		return nil, fmt.Errorf("websim: %s hung: %w", host, ctx.Err())
 	case down:
+		w.metrics().Counter("websim.faults").Inc()
 		return nil, ErrHostDown
 	case timeout:
+		w.metrics().Counter("websim.faults").Inc()
 		return nil, ErrTimeout
 	case page == nil:
 		return &webclient.Response{Status: 404}, nil
