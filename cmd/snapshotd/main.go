@@ -8,14 +8,23 @@
 // Usage:
 //
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
-//	          [-sweep 1h] [-fixed fixed-urls.txt] [-forms] [-auth]
-//	          [-timeout 30s] [-req-timeout 2m]
+//	          [-sweep 1h] [-sweep-workers 4] [-fixed fixed-urls.txt]
+//	          [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
+//	          [-max-inflight 64] [-breaker-threshold 5] [-breaker-cooldown 5m]
 //	          [-debug-addr :6060] [-log-level info]
 //
-// The main listener always exposes /debug/metrics and /debug/traces
-// (JSON snapshots of the obs registry and recent trace spans).
-// -debug-addr starts a second listener adding net/http/pprof;
-// -log-level enables structured logs on stderr (debug|info|warn|error).
+// The main listener always exposes /debug/metrics, /debug/traces
+// (JSON snapshots of the obs registry and recent trace spans), and
+// /debug/health (per-host circuit-breaker state and load-shedding gate
+// occupancy). -debug-addr starts a second listener adding
+// net/http/pprof; -log-level enables structured logs on stderr
+// (debug|info|warn|error).
+//
+// Failure isolation: -breaker-threshold/-breaker-cooldown configure the
+// per-host circuit breakers on outgoing checks; -max-inflight bounds
+// incoming requests, shedding the excess with 503 + Retry-After;
+// -sweep-workers polls that many hosts in parallel per sweep (URLs on
+// one host stay serial).
 //
 // -timeout bounds each outgoing fetch (per retry attempt); -req-timeout
 // bounds the total work one incoming HTTP request may trigger. An
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"aide/internal/aide"
+	"aide/internal/breaker"
 	"aide/internal/formreg"
 	"aide/internal/obs"
 	"aide/internal/robots"
@@ -60,6 +70,10 @@ func main() {
 	enableAuth := flag.Bool("auth", false, "require account authentication (anonymous accounts via /account/new)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-fetch timeout (each retry attempt; 0 = none)")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "deadline for the work behind one incoming HTTP request (0 = none)")
+	sweepWorkers := flag.Int("sweep-workers", 4, "hosts polled in parallel per sweep (<=1 = serial)")
+	maxInflight := flag.Int("max-inflight", 64, "max simultaneous incoming HTTP requests before shedding with 503 (0 = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive host failures before the circuit breaker opens (0 disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Minute, "how long an open breaker rejects a host before probing again")
 	debugAddr := flag.String("debug-addr", "", "optional second listener with /debug/metrics, /debug/traces, and net/http/pprof")
 	logLevel := flag.String("log-level", "", "enable structured logs on stderr at this level (debug|info|warn|error)")
 	flag.Parse()
@@ -84,6 +98,12 @@ func main() {
 	client := webclient.New(&webclient.HTTPTransport{})
 	client.Timeout = *timeout
 	client.Retry = webclient.DefaultRetryPolicy()
+	if *breakerThreshold > 0 {
+		client.Breakers = breaker.NewSet(breaker.Config{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+		})
+	}
 	fac, err := snapshot.New(*dataDir, client, nil)
 	if err != nil {
 		log.Fatal("snapshotd: ", err)
@@ -91,6 +111,8 @@ func main() {
 	cfg := loadConfig(*configPath)
 	srv := aide.NewServer(fac, client, cfg, nil)
 	srv.RequestTimeout = *reqTimeout
+	srv.Concurrency = *sweepWorkers
+	srv.MaxSimultaneous = *maxInflight
 	// robots.txt failures fail open, so one attempt is enough; retrying
 	// with backoff would stall every sweep on hosts that are down.
 	robotsClient := webclient.New(&webclient.HTTPTransport{})
@@ -128,8 +150,8 @@ func main() {
 		go func() {
 			for {
 				stats := srv.TrackAll(ctx)
-				log.Printf("snapshotd: sweep: %d distinct, %d checked, %d skipped, %d new versions, %d errors, %d discovered, %d canceled",
-					stats.Distinct, stats.Checked, stats.Skipped, stats.NewVersions, stats.Errors, stats.Discovered, stats.Canceled)
+				log.Printf("snapshotd: sweep: %d distinct, %d checked, %d skipped, %d new versions, %d errors (%d degraded), %d discovered, %d canceled",
+					stats.Distinct, stats.Checked, stats.Skipped, stats.NewVersions, stats.Errors, stats.Degraded, stats.Discovered, stats.Canceled)
 				if err := srv.SaveState(statePath); err != nil {
 					log.Printf("snapshotd: saving state: %v", err)
 				}

@@ -12,7 +12,8 @@
 //	        [-state state.json]
 //	        [-snapshot http://host/snapshot] [-user you@example.com]
 //	        [-prioritize] [-ignore-robots] [-errors-as-checked]
-//	        [-timeout 30s] [-retries 3] [-deadline 0]
+//	        [-timeout 30s] [-retries 3] [-deadline 0] [-workers 1]
+//	        [-breaker-threshold 5] [-breaker-cooldown 5m]
 //	        [-every 1h] [-passes N] [-o report.html]
 //	        [-debug-addr :6060] [-log-level info]
 //
@@ -41,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/hotlist"
 	"aide/internal/obs"
 	"aide/internal/robots"
@@ -76,6 +78,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	passes := fs.Int("passes", 0, "with -every, stop after this many passes (0 = forever)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (each retry attempt; 0 = none)")
 	retries := fs.Int("retries", 3, "attempts per request for transient failures")
+	workers := fs.Int("workers", 1, "hosts checked in parallel per pass (<=1 = serial; one host's URLs stay serial)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive host failures before the circuit breaker opens (0 disables breakers)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Minute, "how long an open breaker rejects a host before probing again")
 	deadline := fs.Duration("deadline", 0, "overall deadline per pass; a pass cut short reports the rest as canceled (0 = none)")
 	debugAddr := fs.String("debug-addr", "", "optional HTTP listener with /debug/metrics, /debug/traces, and net/http/pprof")
 	logLevel := fs.String("log-level", "", "enable structured logs on stderr at this level (debug|info|warn|error)")
@@ -124,10 +129,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	client.Timeout = *timeout
 	client.Retry = webclient.DefaultRetryPolicy()
 	client.Retry.MaxAttempts = *retries
+	if *breakerThreshold > 0 {
+		client.Breakers = breaker.NewSet(breaker.Config{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+		})
+	}
 	tr := tracker.New(client, cfg, hist, nil)
 	tr.Opt.TreatErrorsAsChecked = *errorsAsChecked
 	tr.Opt.SkipHostAfterError = *skipBadHosts
 	tr.Opt.IgnoreRobots = *ignoreRobots
+	tr.Opt.Concurrency = *workers
 	// robots.txt failures fail open, so one attempt is enough; retrying
 	// with backoff would stall every pass on hosts that are down.
 	robotsClient := webclient.New(&webclient.HTTPTransport{})
@@ -180,7 +192,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Cumulative counters across passes; the sweep summary (§3's
 		// per-run accounting) goes to stderr so the report stays clean.
 		fmt.Fprintf(stderr, "w3newer: metrics: %s\n",
-			obs.Default.SummaryLine("tracker.", "webclient.", "robots.", "proxycache."))
+			obs.Default.SummaryLine("tracker.", "webclient.", "breaker.", "robots.", "proxycache."))
 		if *out == "" {
 			fmt.Fprint(stdout, report)
 			return 0

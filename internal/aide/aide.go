@@ -16,6 +16,7 @@ package aide
 import (
 	"context"
 	"fmt"
+	neturl "net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -75,11 +76,27 @@ type SweepStats struct {
 	NewVersions int
 	// Errors is how many checks failed.
 	Errors int
+	// Degraded is how many of those failures still had last-known-good
+	// state (a modification date or checksum from an earlier sweep) to
+	// fall back on: the URL is stale, not lost.
+	Degraded int
 	// Discovered is how many new URLs recursive tracking added.
 	Discovered int
 	// Canceled is how many URLs were left unchecked because the sweep's
 	// context ended first.
 	Canceled int
+}
+
+// merge folds another sweep's counts into s (Distinct is set once by
+// the caller, not merged).
+func (s *SweepStats) merge(o SweepStats) {
+	s.Checked += o.Checked
+	s.Skipped += o.Skipped
+	s.NewVersions += o.NewVersions
+	s.Errors += o.Errors
+	s.Degraded += o.Degraded
+	s.Discovered += o.Discovered
+	s.Canceled += o.Canceled
 }
 
 // Server is the AIDE server: registrations, the shared tracking state,
@@ -106,6 +123,14 @@ type Server struct {
 	// trigger: handlers derive their context from the request's and add
 	// this deadline.
 	RequestTimeout time.Duration
+	// Concurrency bounds the number of hosts a sweep polls at once.
+	// Values <= 1 keep the serial sweep. URLs on the same host are
+	// always checked one at a time, whatever the bound.
+	Concurrency int
+	// MaxSimultaneous, when positive, bounds in-flight HTTP requests on
+	// the server's handler: excess requests are shed with 503 and a
+	// Retry-After hint instead of queueing without bound.
+	MaxSimultaneous int
 
 	mu    sync.Mutex
 	users map[string][]Registration
@@ -213,16 +238,88 @@ func (s *Server) TrackAll(ctx context.Context) SweepStats {
 	ctx, span := obs.StartSpan(ctx, "aide.sweep")
 	urls := s.trackedURLs()
 	span.SetAttr("urls", strconv.Itoa(len(urls)))
-	for i, url := range urls {
-		if ctx.Err() != nil {
-			stats.Canceled = len(urls) - i
-			break
+	if s.Concurrency <= 1 {
+		for i, url := range urls {
+			if ctx.Err() != nil {
+				stats.Canceled = len(urls) - i
+				break
+			}
+			s.trackOne(ctx, url, &stats)
 		}
-		s.trackOne(ctx, url, &stats)
+	} else {
+		stats = s.trackAllConcurrent(ctx, urls)
 	}
 	stats.Distinct = len(s.trackedURLs())
 	s.recordSweep(span, stats, start)
 	return stats
+}
+
+// trackAllConcurrent polls hosts in parallel up to s.Concurrency while
+// keeping each host's URLs serial, so one slow or dead host delays only
+// its own group and is probed by at most one in-flight request. Each
+// group accumulates its own stats and merges them at the end — no
+// shared counters on the hot path.
+func (s *Server) trackAllConcurrent(ctx context.Context, urls []string) SweepStats {
+	var groupList [][]string
+	hostGroup := make(map[string]int)
+	for _, u := range urls {
+		h := hostOfURL(u)
+		if h == "" {
+			groupList = append(groupList, []string{u})
+			continue
+		}
+		gi, ok := hostGroup[h]
+		if !ok {
+			gi = len(groupList)
+			hostGroup[h] = gi
+			groupList = append(groupList, nil)
+		}
+		groupList[gi] = append(groupList[gi], u)
+	}
+	sem := make(chan struct{}, s.Concurrency)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total SweepStats
+	for _, g := range groupList {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			mu.Lock()
+			total.Canceled += len(g)
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(g []string) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			var local SweepStats
+			for _, u := range g {
+				if ctx.Err() != nil {
+					local.Canceled++
+					continue
+				}
+				s.trackOne(ctx, u, &local)
+			}
+			mu.Lock()
+			total.merge(local)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return total
+}
+
+// hostOfURL extracts the host[:port] for sweep grouping; hostless
+// pseudo-URLs (form:, file paths) yield "".
+func hostOfURL(rawURL string) string {
+	u, err := neturl.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	return u.Host
 }
 
 // recordSweep finishes a sweep's span and records its metrics. The
@@ -237,6 +334,7 @@ func (s *Server) recordSweep(span *obs.Span, stats SweepStats, start time.Time) 
 	m.Counter("aide.sweep.skipped").Add(int64(stats.Skipped))
 	m.Counter("aide.sweep.new_versions").Add(int64(stats.NewVersions))
 	m.Counter("aide.sweep.errors").Add(int64(stats.Errors))
+	m.Counter("aide.sweep.degraded").Add(int64(stats.Degraded))
 	m.Counter("aide.sweep.discovered").Add(int64(stats.Discovered))
 	m.Counter("aide.sweep.canceled").Add(int64(stats.Canceled))
 	span.SetAttr("checked", strconv.Itoa(stats.Checked))
@@ -244,7 +342,7 @@ func (s *Server) recordSweep(span *obs.Span, stats SweepStats, start time.Time) 
 	span.End()
 	obs.Logger().Info("aide sweep",
 		"distinct", stats.Distinct, "checked", stats.Checked, "skipped", stats.Skipped,
-		"new_versions", stats.NewVersions, "errors", stats.Errors,
+		"new_versions", stats.NewVersions, "errors", stats.Errors, "degraded", stats.Degraded,
 		"discovered", stats.Discovered, "canceled", stats.Canceled, "duration", dur)
 }
 
@@ -292,8 +390,14 @@ func (s *Server) trackOne(ctx context.Context, url string, stats *SweepStats) {
 	if err != nil {
 		st.errCount++
 		st.lastErr = err
+		degraded := !st.lastMod.IsZero() || st.checksum != ""
 		s.mu.Unlock()
 		stats.Errors++
+		if degraded {
+			// Earlier sweeps left a modification date or checksum: the
+			// URL's answer is stale rather than gone.
+			stats.Degraded++
+		}
 		return
 	}
 	st.errCount = 0

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/obs"
 	"aide/internal/snapshot"
 )
@@ -48,8 +49,21 @@ func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 	debug := obs.Handler(s.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
 	mux.Handle("/debug/traces", debug)
+	var gate *snapshot.Gate
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		var set *breaker.Set
+		if s.Client != nil {
+			set = s.Client.Breakers
+		}
+		snapshot.ServeHealth(w, set, gate)
+	})
 	if snap != nil {
 		mux.Handle("/", snap.Handler())
+	}
+	if s.MaxSimultaneous > 0 {
+		gate = snapshot.NewGate(mux, s.MaxSimultaneous)
+		gate.Metrics = s.metrics()
+		return gate
 	}
 	return mux
 }

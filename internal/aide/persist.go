@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"aide/internal/fsatomic"
 )
 
 // This file persists the server's registration and tracking state so
@@ -63,11 +65,7 @@ func (s *Server) SaveState(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsatomic.WriteFile(path, data, 0o644)
 }
 
 // LoadState restores state written by SaveState. A missing file is not

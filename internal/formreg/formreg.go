@@ -23,6 +23,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"aide/internal/fsatomic"
 	"strings"
 	"sync"
 
@@ -170,11 +172,7 @@ func (r *Registry) persistLocked() error {
 	if err != nil {
 		return err
 	}
-	tmp := r.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, r.path)
+	return fsatomic.WriteFile(r.path, data, 0o644)
 }
 
 // formID derives the stable handle: a short hash of the action URL and

@@ -416,6 +416,12 @@ func (a *Archive) store(f *archiveFile) error {
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.WriteString(serializeArchive(f))
+	if werr == nil {
+		// Make the archive durable before the rename flips the name to
+		// it: a crash just after the rename must not leave the archive
+		// pointing at unwritten data.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmpName)

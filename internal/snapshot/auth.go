@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"aide/internal/fsatomic"
 )
 
 // This file implements the §4.2 security discussion: "In order to use
@@ -151,11 +153,7 @@ func (a *Accounts) persistLocked() error {
 	if err != nil {
 		return err
 	}
-	tmp := a.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
-		return err
-	}
-	return os.Rename(tmp, a.path)
+	return fsatomic.WriteFile(a.path, data, 0o600)
 }
 
 func hashPassword(saltHex, password string) string {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"aide/internal/fsatomic"
 	"aide/internal/htmldoc"
 	"aide/internal/webclient"
 )
@@ -146,12 +147,7 @@ func (f *Facility) writeEntitySnapshot(pageURL string, snap EntitySnapshot) erro
 	if err != nil {
 		return err
 	}
-	path := f.entityFile(pageURL)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsatomic.WriteFile(f.entityFile(pageURL), data, 0o644)
 }
 
 // EntityChanges compares the entity snapshots of two revisions and

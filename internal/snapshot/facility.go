@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"aide/internal/formreg"
+	"aide/internal/fsatomic"
 	"aide/internal/htmldiff"
 	"aide/internal/lockmgr"
 	"aide/internal/obs"
@@ -424,11 +425,7 @@ func (f *Facility) markSeen(user, pageURL, rev string) error {
 	if err != nil {
 		return err
 	}
-	tmp := f.userFile(user) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, f.userFile(user))
+	return fsatomic.WriteFile(f.userFile(user), data, 0o644)
 }
 
 // seenVersions returns the user's version list for url (oldest first).

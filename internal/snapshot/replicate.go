@@ -8,9 +8,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"aide/internal/fsatomic"
+	"aide/internal/obs"
 	"aide/internal/webclient"
 )
 
@@ -28,14 +32,28 @@ import (
 //     ReplicateFrom pulls a leader's export over HTTP — the mechanism a
 //     replica farm would use.
 
-// Gate limits simultaneous requests to the wrapped handler.
+// Gate limits simultaneous requests to the wrapped handler. Shed
+// requests get 503 plus a Retry-After hint, which webclient's
+// RetryPolicy honours — overload turns into paced backoff instead of a
+// retry storm.
 type Gate struct {
 	handler http.Handler
 	slots   chan struct{}
 
+	// RetryAfter is the pause advertised on shed requests; DefaultRetryAfter
+	// when zero.
+	RetryAfter time.Duration
+	// Metrics receives the shed/admitted counters and the in-flight
+	// gauge; obs.Default when nil.
+	Metrics *obs.Registry
+
 	mu       sync.Mutex
 	rejected int
 }
+
+// DefaultRetryAfter is the Retry-After hint shed requests carry when
+// the gate has no explicit setting.
+const DefaultRetryAfter = 2 * time.Second
 
 // NewGate wraps handler with a limit of max simultaneous requests
 // (max <= 0 means unlimited).
@@ -47,20 +65,43 @@ func NewGate(handler http.Handler, max int) *Gate {
 	return g
 }
 
+// metrics returns the gate's registry (obs.Default when unset).
+func (g *Gate) metrics() *obs.Registry {
+	if g.Metrics != nil {
+		return g.Metrics
+	}
+	return obs.Default
+}
+
 // ServeHTTP implements http.Handler.
 func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if g.slots != nil {
 		select {
 		case g.slots <- struct{}{}:
-			defer func() { <-g.slots }()
+			g.metrics().Gauge("gate.inflight").Add(1)
+			defer func() {
+				g.metrics().Gauge("gate.inflight").Add(-1)
+				<-g.slots
+			}()
 		default:
 			g.mu.Lock()
 			g.rejected++
 			g.mu.Unlock()
+			g.metrics().Counter("gate.shed").Inc()
+			ra := g.RetryAfter
+			if ra <= 0 {
+				ra = DefaultRetryAfter
+			}
+			secs := int(ra / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			http.Error(w, "facility busy; try again shortly", http.StatusServiceUnavailable)
 			return
 		}
 	}
+	g.metrics().Counter("gate.admitted").Inc()
 	g.handler.ServeHTTP(w, r)
 }
 
@@ -69,6 +110,22 @@ func (g *Gate) Rejected() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.rejected
+}
+
+// InFlight reports how many requests currently hold a slot.
+func (g *Gate) InFlight() int {
+	if g.slots == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Capacity reports the gate's slot limit (0 = unlimited).
+func (g *Gate) Capacity() int {
+	if g.slots == nil {
+		return 0
+	}
+	return cap(g.slots)
 }
 
 // dumpFile is one repository file in an export.
@@ -139,11 +196,7 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 			return files, fmt.Errorf("snapshot: unsafe export name %q", df.Name)
 		}
 		path := filepath.Join(f.root, dir, df.Name)
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, []byte(df.Data), 0o644); err != nil {
-			return files, err
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := fsatomic.WriteFile(path, []byte(df.Data), 0o644); err != nil {
 			return files, err
 		}
 		files++

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"html"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/obs"
 	"aide/internal/rcs"
 )
@@ -73,10 +75,71 @@ func (s *Server) Handler() http.Handler {
 	debug := obs.Handler(s.Facility.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
 	mux.Handle("/debug/traces", debug)
+	var gate *Gate
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		var set *breaker.Set
+		if s.Facility.client != nil {
+			set = s.Facility.client.Breakers
+		}
+		ServeHealth(w, set, gate)
+	})
 	if s.MaxSimultaneous > 0 {
-		return NewGate(mux, s.MaxSimultaneous)
+		gate = NewGate(mux, s.MaxSimultaneous)
+		gate.Metrics = s.Facility.metrics()
+		return gate
 	}
 	return mux
+}
+
+// HealthStatus is the /debug/health payload: the failure-isolation
+// layer's view of the process — which upstream hosts are tripped and
+// how loaded the request gate is.
+type HealthStatus struct {
+	// Status is "ok" when no breaker is open, "degraded" otherwise.
+	Status string `json:"status"`
+	// OpenHosts counts breakers currently open or half-open.
+	OpenHosts int `json:"open_hosts"`
+	// Breakers is the per-host breaker state, sorted by host.
+	Breakers []breaker.HostState `json:"breakers,omitempty"`
+	// Gate reports the load-shedding gate, when one is configured.
+	Gate *GateStatus `json:"gate,omitempty"`
+}
+
+// GateStatus is the load-shedding gate's health view.
+type GateStatus struct {
+	InFlight int `json:"in_flight"`
+	Capacity int `json:"capacity"`
+	Rejected int `json:"rejected"`
+}
+
+// Health assembles a HealthStatus from a breaker set and a gate (either
+// may be nil).
+func Health(set *breaker.Set, gate *Gate) HealthStatus {
+	h := HealthStatus{Status: "ok"}
+	if set != nil {
+		h.Breakers = set.Snapshot()
+		for _, b := range h.Breakers {
+			if b.State != "closed" {
+				h.OpenHosts++
+			}
+		}
+	}
+	if h.OpenHosts > 0 {
+		h.Status = "degraded"
+	}
+	if gate != nil {
+		h.Gate = &GateStatus{InFlight: gate.InFlight(), Capacity: gate.Capacity(), Rejected: gate.Rejected()}
+	}
+	return h
+}
+
+// ServeHealth writes the health payload as JSON — shared by the
+// snapshot and aide servers' /debug/health endpoints.
+func ServeHealth(w http.ResponseWriter, set *breaker.Set, gate *Gate) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Health(set, gate))
 }
 
 // handleIndex serves the HTML form through which pages are registered

@@ -153,3 +153,54 @@ func Summary(results []Result) map[Status]int {
 	}
 	return m
 }
+
+// HostCounts is one host's sweep outcome, for the degradation report.
+type HostCounts struct {
+	// Host is the host[:port], or "" for hostless entries (file:, form:).
+	Host string
+	// OK counts entries answered normally (changed, unchanged,
+	// threshold-skipped, excluded — anything that is not a failure).
+	OK int
+	// Degraded counts failures served with a Stale last-known-good
+	// answer.
+	Degraded int
+	// Skipped counts entries not checked because the host was already
+	// known bad this run.
+	Skipped int
+	// Failed counts hard failures with nothing to fall back on.
+	Failed int
+}
+
+// HostSummary tallies a sweep per host, separating clean answers from
+// degraded (stale-served), skipped (host known bad), and hard-failed
+// entries — the "sweep completed degraded" report for operators. Hosts
+// are returned sorted by name.
+func HostSummary(results []Result) []HostCounts {
+	byHost := make(map[string]*HostCounts)
+	var order []string
+	for _, r := range results {
+		h := hostOf(r.Entry.URL)
+		hc, ok := byHost[h]
+		if !ok {
+			hc = &HostCounts{Host: h}
+			byHost[h] = hc
+			order = append(order, h)
+		}
+		switch {
+		case r.Status == Failed && r.Stale:
+			hc.Degraded++
+		case r.Status == Failed:
+			hc.Failed++
+		case r.Status == NotChecked && r.Via == "host-error":
+			hc.Skipped++
+		default:
+			hc.OK++
+		}
+	}
+	sort.Strings(order)
+	out := make([]HostCounts, 0, len(order))
+	for _, h := range order {
+		out = append(out, *byHost[h])
+	}
+	return out
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"aide/internal/formreg"
+	"aide/internal/fsatomic"
 	"aide/internal/hotlist"
 	"aide/internal/htmldoc"
 	"aide/internal/obs"
@@ -99,6 +100,11 @@ type Result struct {
 	ErrKind webclient.ErrKind
 	// ErrCount is how many consecutive runs have failed for this URL.
 	ErrCount int
+	// Stale marks a Failed result that still carries last-known-good
+	// knowledge (LastModified and/or a stored checksum) from an earlier
+	// successful check: the answer served under degradation is explicit
+	// about being old rather than silently absent.
+	Stale bool
 	// Bulletin is the page's Smart-Bookmarks-style self-description
 	// (§2.1), when the check happened to fetch the body and one was
 	// embedded. Informational only: the paper's critique is that the
@@ -322,12 +328,24 @@ func (t *Tracker) recordSweep(span *obs.Span, results []Result, start time.Time)
 	m.Counter("tracker.checks.notchecked").Add(int64(sum[NotChecked]))
 	m.Counter("tracker.checks.excluded").Add(int64(sum[Excluded]))
 	m.Counter("tracker.checks.failed").Add(int64(sum[Failed]))
+	var degraded, skipped int
+	for _, r := range results {
+		if r.Status == Failed && r.Stale {
+			degraded++
+		}
+		if r.Status == NotChecked && r.Via == "host-error" {
+			skipped++
+		}
+	}
+	m.Counter("tracker.checks.degraded").Add(int64(degraded))
+	m.Counter("tracker.checks.skipped").Add(int64(skipped))
 	span.SetAttr("changed", strconv.Itoa(sum[Changed]))
 	span.SetAttr("failed", strconv.Itoa(sum[Failed]))
 	span.End()
 	obs.Logger().Info("tracker sweep",
 		"entries", len(results), "changed", sum[Changed], "unchanged", sum[Unchanged],
-		"notchecked", sum[NotChecked]+sum[Excluded], "failed", sum[Failed], "duration", dur)
+		"notchecked", sum[NotChecked]+sum[Excluded], "failed", sum[Failed],
+		"degraded", degraded, "skipped", skipped, "duration", dur)
 }
 
 // canceledResult marks one entry as unvisited because the run's context
@@ -336,19 +354,34 @@ func canceledResult(e hotlist.Entry) Result {
 	return Result{Entry: e, Status: NotChecked, Via: "canceled"}
 }
 
-// noteFailure records a transient host failure for skip-host logic.
+// noteFailure records a host-level failure for skip-host logic.
 func (t *Tracker) noteFailure(r Result, badHosts *hostErrs) {
-	if t.Opt.SkipHostAfterError && r.Status == Failed && r.ErrKind == webclient.Transient {
+	if r.Status != Failed {
+		return
+	}
+	switch {
+	case r.ErrKind == webclient.Tripped:
+		// The host's circuit breaker is open: nothing else will get
+		// through this run, so skip its remaining URLs regardless of the
+		// SkipHostAfterError policy.
+		badHosts.markBad(hostOf(r.Entry.URL))
+	case t.Opt.SkipHostAfterError && r.ErrKind == webclient.Transient:
 		badHosts.markBad(hostOf(r.Entry.URL))
 	}
 }
 
-// runConcurrent fans the checks out over a bounded worker pool. Results
-// keep hotlist order; entries naming the same URL are checked once and
-// share the outcome (their own Entry is preserved in each Result). A
-// done ctx stops further launches; checks already in flight finish (or
-// fail fast, since the same ctx reaches the transport) and everything
-// not yet launched comes back canceled.
+// runConcurrent fans the checks out over a bounded worker pool with
+// per-host serialization: distinct hosts run in parallel up to the
+// Concurrency bound, but a single host's URLs are checked one at a time
+// by one worker. A misbehaving host is therefore probed by at most one
+// in-flight request — skip-host and circuit-breaker knowledge gained on
+// its first URL protects all its later ones, and no host ever sees a
+// thundering herd from a single sweep. Results keep hotlist order;
+// entries naming the same URL are checked once and share the outcome
+// (their own Entry is preserved in each Result). A done ctx stops
+// further launches; checks already in flight finish (or fail fast,
+// since the same ctx reaches the transport) and everything not yet
+// launched comes back canceled.
 func (t *Tracker) runConcurrent(ctx context.Context, entries []hotlist.Entry, badHosts *hostErrs) []Result {
 	results := make([]Result, len(entries))
 	// Group duplicate URLs: per-URL state is not designed for two
@@ -361,28 +394,57 @@ func (t *Tracker) runConcurrent(ctx context.Context, entries []hotlist.Entry, ba
 			order = append(order, i)
 		}
 	}
+	// Partition the unique URLs into serial groups: one group per host,
+	// in first-appearance order. Hostless pseudo-URLs (file:, form:)
+	// have no server to protect, so each forms its own group and still
+	// runs in parallel with everything else.
+	type group struct{ idxs []int }
+	var groupList []*group
+	hostGroup := make(map[string]*group)
+	for _, idx := range order {
+		h := hostOf(entries[idx].URL)
+		if h == "" {
+			groupList = append(groupList, &group{idxs: []int{idx}})
+			continue
+		}
+		g, ok := hostGroup[h]
+		if !ok {
+			g = &group{}
+			hostGroup[h] = g
+			groupList = append(groupList, g)
+		}
+		g.idxs = append(g.idxs, idx)
+	}
 	sem := make(chan struct{}, t.Opt.Concurrency)
 	var wg sync.WaitGroup
 	launched := make(map[int]bool, len(order))
 launch:
-	for _, idx := range order {
+	for _, g := range groupList {
 		// Waiting for a worker slot must not outlive the run's deadline.
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
 			break launch
 		}
-		launched[idx] = true
+		for _, idx := range g.idxs {
+			launched[idx] = true
+		}
 		wg.Add(1)
-		go func(idx int) {
+		go func(idxs []int) {
 			defer func() {
 				<-sem
 				wg.Done()
 			}()
-			r := t.checkOne(ctx, entries[idx], badHosts)
-			t.noteFailure(r, badHosts)
-			results[idx] = r
-		}(idx)
+			for _, idx := range idxs {
+				if ctx.Err() != nil {
+					results[idx] = canceledResult(entries[idx])
+					continue
+				}
+				r := t.checkOne(ctx, entries[idx], badHosts)
+				t.noteFailure(r, badHosts)
+				results[idx] = r
+			}
+		}(g.idxs)
 	}
 	wg.Wait()
 	for _, idx := range order {
@@ -527,7 +589,7 @@ func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostE
 		r.Err = err
 		r.ErrKind = webclient.Classify(0, err)
 		r.ErrCount = t.recordFailure(e.URL, t.Opt.TreatErrorsAsChecked, now)
-		return r
+		return t.degrade(r, st)
 	}
 	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
 		r.Status = Failed
@@ -535,7 +597,7 @@ func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostE
 		r.Err = fmt.Errorf("HTTP status %d", info.Status)
 		r.ErrKind = kind
 		r.ErrCount = t.recordFailure(e.URL, t.Opt.TreatErrorsAsChecked, now)
-		return r
+		return t.degrade(r, st)
 	}
 
 	via := "HEAD"
@@ -569,6 +631,17 @@ func (t *Tracker) checkOne(ctx context.Context, e hotlist.Entry, badHosts *hostE
 	}
 	t.recordSuccess(e.URL, mod, "", now)
 	return t.verdict(r, mod, lastVisited, visited, via)
+}
+
+// degrade fills a Failed result with the last-known-good answer from
+// the URL's state, marked Stale: a sweep under partial failure reports
+// what it last knew about the page instead of reporting nothing.
+func (t *Tracker) degrade(r Result, st State) Result {
+	if !st.LastModified.IsZero() || st.Checksum != "" {
+		r.LastModified = st.LastModified
+		r.Stale = true
+	}
+	return r
 }
 
 // verdict fills a result given a known modification date.
@@ -646,11 +719,7 @@ func (t *Tracker) SaveState(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsatomic.WriteFile(path, data, 0o644)
 }
 
 // LoadState reads a state cache written by SaveState. A missing file is

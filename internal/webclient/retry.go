@@ -10,10 +10,12 @@ package webclient
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/obs"
 	"aide/internal/simclock"
 )
@@ -55,16 +57,21 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// maxDelay returns the effective backoff cap.
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 30 * time.Second
+}
+
 // backoff returns the pause after attempt (0-based), already jittered.
 func (p RetryPolicy) backoff(attempt int, jitterFrac float64) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = time.Second
 	}
-	max := p.MaxDelay
-	if max <= 0 {
-		max = 30 * time.Second
-	}
+	max := p.maxDelay()
 	d := base
 	for i := 0; i < attempt && d < max; i++ {
 		d *= 2
@@ -102,17 +109,34 @@ func (r *retrier) jitterFrac(seed int64) float64 {
 // metrics.
 func (c *Client) roundTrip(ctx context.Context, req *Request) (resp *Response, tries int, backoff time.Duration, err error) {
 	m := c.metrics()
+	var br *breaker.Breaker
+	if c.Breakers != nil {
+		if host := hostOfURL(req.URL); host != "" {
+			br = c.Breakers.For(host)
+		}
+	}
 	maxTries := c.Retry.attempts()
 	for attempt := 0; ; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			m.Counter("webclient.cancels").Inc()
 			return nil, tries, backoff, cerr
 		}
+		if br != nil && !br.Allow() {
+			// The host's breaker is open: fail fast, distinctly, without
+			// touching the wire — retrying here would defeat the point.
+			m.Counter("webclient.breaker.short_circuits").Inc()
+			return nil, tries, backoff, fmt.Errorf("%w: %s", ErrBreakerOpen, hostOfURL(req.URL))
+		}
 		tries++
 		m.Counter("webclient.attempts").Inc()
 		start := c.clock().Now()
 		resp, err = c.attempt(ctx, req)
 		m.Histogram("webclient.attempt.duration", nil).ObserveDuration(c.clock().Now().Sub(start))
+		if br != nil {
+			// Any response below 500 proves the host alive; a transport
+			// error, timeout, or 5xx is a host-level failure.
+			br.Record(err == nil && resp.Status < 500)
+		}
 		if err != nil && IsTimeout(err) {
 			m.Counter("webclient.timeouts").Inc()
 		}
@@ -131,9 +155,19 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (resp *Response, t
 			return resp, tries, backoff, err
 		}
 		cause := retryCause(resp, err)
+		pause := c.Retry.backoff(attempt, c.retrier.jitterFrac(c.Retry.Seed))
+		if err == nil && resp.Status == 503 && resp.RetryAfter > 0 {
+			// The server asked for a specific pause (load shedding's
+			// 503 + Retry-After): honour it, capped at MaxDelay, and
+			// account it as its own retry cause.
+			cause = "retry-after"
+			pause = resp.RetryAfter
+			if max := c.Retry.maxDelay(); pause > max {
+				pause = max
+			}
+		}
 		m.Counter("webclient.retries").Inc()
 		m.Counter("webclient.retries." + cause).Inc()
-		pause := c.Retry.backoff(attempt, c.retrier.jitterFrac(c.Retry.Seed))
 		obs.Logger().Debug("webclient retry",
 			"url", req.URL, "attempt", attempt+1, "cause", cause, "backoff", pause)
 		if serr := simclock.Sleep(ctx, c.clock(), pause); serr != nil {

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/obs"
 	"aide/internal/simclock"
 )
@@ -59,6 +60,11 @@ type Response struct {
 	Location string
 	// Body is the entity body ("" for HEAD).
 	Body string
+	// RetryAfter is the server's requested pause before retrying,
+	// parsed from the Retry-After header of a 503 (or other) response;
+	// zero when the server sent none. RetryPolicy honours it, capped at
+	// MaxDelay.
+	RetryAfter time.Duration
 }
 
 // Transport performs a request. Implementations: HTTPTransport (real
@@ -85,6 +91,12 @@ const (
 	Gone
 	// Forbidden: the server refuses access (401/403).
 	Forbidden
+	// Tripped: the host's circuit breaker is open; the call was
+	// short-circuited without touching the wire. Like Transient it is
+	// worth retrying later, but it carries no new evidence about the
+	// host — the breaker's cooldown, not the caller, decides when the
+	// wire is tried again.
+	Tripped
 )
 
 // String names the kind for reports.
@@ -100,13 +112,23 @@ func (k ErrKind) String() string {
 		return "gone"
 	case Forbidden:
 		return "forbidden"
+	case Tripped:
+		return "breaker-open"
 	}
 	return "unknown"
 }
 
+// ErrBreakerOpen is the failure delivered for a host whose circuit
+// breaker is open: the call never touched the wire. Test with
+// errors.Is; Classify maps it to Tripped.
+var ErrBreakerOpen = errors.New("webclient: host circuit breaker open")
+
 // Classify maps a status code and transport error to an ErrKind.
 func Classify(status int, err error) ErrKind {
 	if err != nil {
+		if errors.Is(err, ErrBreakerOpen) {
+			return Tripped
+		}
 		return Transient
 	}
 	switch {
@@ -177,6 +199,11 @@ type Client struct {
 	// (attempts, retries by cause, timeouts, cancels); obs.Default when
 	// nil. Inject a private registry to isolate a test's numbers.
 	Metrics *obs.Registry
+	// Breakers, when non-nil, applies per-host circuit breaking: calls
+	// to a host whose breaker is open fail fast with ErrBreakerOpen
+	// (ErrKind Tripped) instead of paying connect/timeout/retry costs,
+	// and every attempt's outcome feeds the host's breaker.
+	Breakers *breaker.Set
 	// Stat resolves file: URLs; defaults to os.Stat. Replaceable for
 	// tests.
 	Stat func(path string) (os.FileInfo, error)
@@ -462,6 +489,9 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 			resp.LastModified = ts.UTC()
 		}
 	}
+	if ra := hresp.Header.Get("Retry-After"); ra != "" {
+		resp.RetryAfter = parseRetryAfter(ra)
+	}
 	if req.Method != "HEAD" {
 		body, rerr := io.ReadAll(hresp.Body)
 		if rerr != nil {
@@ -470,6 +500,37 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 		resp.Body = string(body)
 	}
 	return resp, nil
+}
+
+// parseRetryAfter parses a Retry-After header value: either delta
+// seconds or an HTTP-date (relative to the wall clock, the only clock a
+// real server's date can be compared against). Unparseable values yield
+// zero.
+func parseRetryAfter(v string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// hostOfURL extracts the host[:port] component of an http(s) URL for
+// per-host bookkeeping (circuit breakers). URLs without an authority
+// (file:, form:<id>) yield "".
+func hostOfURL(rawURL string) string {
+	_, rest, ok := strings.Cut(rawURL, "://")
+	if !ok {
+		return ""
+	}
+	host, _, _ := strings.Cut(rest, "/")
+	return host
 }
 
 // IsTimeout reports whether err is a network timeout — including a

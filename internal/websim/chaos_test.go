@@ -1,0 +1,227 @@
+package websim
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/webclient"
+)
+
+// fetchStatuses performs n GETs and returns the status sequence, with
+// -1 standing in for transport errors.
+func fetchStatuses(t *testing.T, c *webclient.Client, url string, n int) []int {
+	t.Helper()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		info, err := c.Get(context.Background(), url)
+		if err != nil {
+			out = append(out, -1)
+			continue
+		}
+		out = append(out, info.Status)
+	}
+	return out
+}
+
+func TestFaultProfileDeterministic(t *testing.T) {
+	w := newWeb()
+	s := w.Site("flaky.example.com")
+	s.Page("/p").Set("content")
+	c := webclient.New(w)
+
+	profile := FaultProfile{Seed: 42, FailProb: 0.5, RetryAfter: 7 * time.Second}
+	s.SetFaults(profile)
+	first := fetchStatuses(t, c, "http://flaky.example.com/p", 30)
+
+	// Reinstalling the same profile reseeds the fault source, so the
+	// exact same sequence must replay.
+	s.SetFaults(profile)
+	second := fetchStatuses(t, c, "http://flaky.example.com/p", 30)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d: first run %d, replay %d", i, first[i], second[i])
+		}
+	}
+	var fives, oks int
+	for _, st := range first {
+		switch st {
+		case 503:
+			fives++
+		case 200:
+			oks++
+		}
+	}
+	if fives == 0 || oks == 0 {
+		t.Fatalf("FailProb=0.5 over 30 requests gave %d 503s and %d 200s", fives, oks)
+	}
+
+	// Injected 503s carry the advertised Retry-After over the transport.
+	s.SetFaults(FaultProfile{Seed: 1, FailProb: 1, RetryAfter: 7 * time.Second})
+	resp, err := w.RoundTrip(context.Background(), &webclient.Request{Method: "GET", URL: "http://flaky.example.com/p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 503 || resp.RetryAfter != 7*time.Second {
+		t.Errorf("injected fault = status %d RetryAfter %v", resp.Status, resp.RetryAfter)
+	}
+}
+
+func TestFaultProfileFlapSchedule(t *testing.T) {
+	w := newWeb()
+	s := w.Site("flappy.example.com")
+	s.Page("/p").Set("content")
+	c := webclient.New(w)
+	s.SetFaults(FaultProfile{FlapPeriod: 10 * time.Minute, FlapDown: 2 * time.Minute})
+
+	url := "http://flappy.example.com/p"
+	if _, err := c.Get(context.Background(), url); err == nil {
+		t.Fatal("host up at start of flap period, want down")
+	}
+	w.Advance(2 * time.Minute)
+	if _, err := c.Get(context.Background(), url); err != nil {
+		t.Fatalf("host down after flap window: %v", err)
+	}
+	w.Advance(8 * time.Minute) // start of the next period
+	if _, err := c.Get(context.Background(), url); err == nil {
+		t.Fatal("host up at start of second flap period, want down")
+	}
+	w.Advance(3 * time.Minute)
+	if _, err := c.Get(context.Background(), url); err != nil {
+		t.Fatalf("host down mid-period: %v", err)
+	}
+}
+
+func TestFaultProfileLatencySpendsSimTime(t *testing.T) {
+	w := newWeb()
+	s := w.Site("slow.example.com")
+	s.Page("/p").Set("content")
+	s.SetFaults(FaultProfile{Latency: 45 * time.Second})
+	c := webclient.New(w)
+
+	before := w.Clock().Now()
+	if _, err := c.Get(context.Background(), "http://slow.example.com/p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Clock().Now().Sub(before); got != 45*time.Second {
+		t.Errorf("latency consumed %v of simulated time, want 45s", got)
+	}
+}
+
+func TestTruncateInProcess(t *testing.T) {
+	w := newWeb()
+	s := w.Site("cut.example.com")
+	s.Page("/p").Set("0123456789")
+	s.SetTruncate(4)
+	c := webclient.New(w)
+
+	info, err := c.Get(context.Background(), "http://cut.example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Body != "0123" {
+		t.Errorf("truncated body = %q, want %q", info.Body, "0123")
+	}
+}
+
+func TestTruncateOverSockets(t *testing.T) {
+	w := newWeb()
+	s := w.Site("cut.example.com")
+	s.Page("/p").Set(strings.Repeat("x", 4096))
+	s.SetFaults(FaultProfile{TruncateBodies: 100})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	// The handler promises the full Content-Length but delivers 100
+	// bytes, so the client's body read must fail — this is a read-path
+	// transport error, not a status.
+	c := webclient.New(&webclient.HTTPTransport{})
+	_, err := c.Get(context.Background(), srv.URL+"/cut.example.com/p")
+	if err == nil {
+		t.Fatal("GET of a wire-truncated body succeeded, want read error")
+	}
+	if webclient.Classify(0, err) != webclient.Transient {
+		t.Errorf("truncation error classified %v, want Transient", webclient.Classify(0, err))
+	}
+}
+
+func TestDribbleInProcessSpendsSimTime(t *testing.T) {
+	w := newWeb()
+	s := w.Site("drip.example.com")
+	s.Page("/p").Set(strings.Repeat("x", 100))
+	s.SetDribble(10, time.Second) // 10 chunks, 1s apiece
+	c := webclient.New(w)
+
+	before := w.Clock().Now()
+	info, err := c.Get(context.Background(), "http://drip.example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Body) != 100 {
+		t.Errorf("dribbled body length = %d, want 100", len(info.Body))
+	}
+	if got := w.Clock().Now().Sub(before); got != 10*time.Second {
+		t.Errorf("dribble consumed %v of simulated time, want 10s", got)
+	}
+}
+
+func TestDribbleOverSockets(t *testing.T) {
+	w := newWeb()
+	s := w.Site("drip.example.com")
+	s.Page("/p").Set(strings.Repeat("y", 64))
+	s.SetDribble(16, time.Millisecond)
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	c := webclient.New(&webclient.HTTPTransport{})
+	start := time.Now()
+	info, err := c.Get(context.Background(), srv.URL+"/drip.example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Body != strings.Repeat("y", 64) {
+		t.Errorf("dribbled body corrupted: %d bytes", len(info.Body))
+	}
+	if time.Since(start) < 3*time.Millisecond {
+		t.Error("dribble over sockets finished too fast to have paused")
+	}
+}
+
+func TestRetryAfterHeaderOverSockets(t *testing.T) {
+	w := newWeb()
+	s := w.Site("busy.example.com")
+	s.Page("/p").Set("content")
+	s.SetFaults(FaultProfile{Seed: 1, FailProb: 1, RetryAfter: 9 * time.Second})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	tr := &webclient.HTTPTransport{}
+	resp, err := tr.RoundTrip(context.Background(), &webclient.Request{
+		Method: "GET", URL: srv.URL + "/busy.example.com/p",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 503 || resp.RetryAfter != 9*time.Second {
+		t.Errorf("over sockets: status %d RetryAfter %v, want 503 / 9s", resp.Status, resp.RetryAfter)
+	}
+}
+
+func TestFaultProfileComposesWithSetDown(t *testing.T) {
+	w := newWeb()
+	s := w.Site("dead.example.com")
+	s.Page("/p").Set("content")
+	s.SetFaults(FaultProfile{Seed: 3, FailProb: 0.1})
+	s.SetDown(true)
+	c := webclient.New(w)
+	if _, err := c.Get(context.Background(), "http://dead.example.com/p"); err == nil {
+		t.Fatal("SetDown(true) host served a request despite fault profile")
+	}
+	s.SetDown(false)
+	s.ClearFaults()
+	if _, err := c.Get(context.Background(), "http://dead.example.com/p"); err != nil {
+		t.Fatalf("cleared host still failing: %v", err)
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -191,6 +193,49 @@ func (p *Page) respond(req *webclient.Request, now time.Time) *webclient.Respons
 	return resp
 }
 
+// FaultProfile is a seeded, deterministic chaos specification for one
+// site, composing the failure modes a 1996 host exhibited for weeks at
+// a time: a fraction of requests answered with a 5xx, added latency on
+// every request, bodies cut short on the wire, and scheduled flapping
+// (down for part of every period). The profile composes with the
+// blunter SetDown/SetHang/SetTimeout/SetFailEvery knobs; all
+// randomness comes from Seed, so a given request sequence always sees
+// the same faults.
+type FaultProfile struct {
+	// Seed seeds the per-site fault source; the same seed and request
+	// order reproduce the same fault sequence exactly.
+	Seed int64
+	// FailProb is the probability (0..1) that a request is answered
+	// with FailStatus instead of being served.
+	FailProb float64
+	// FailStatus is the injected status (default 503).
+	FailStatus int
+	// RetryAfter, when positive, is advertised on injected 5xx
+	// responses — the load-shedding hint RetryPolicy honours.
+	RetryAfter time.Duration
+	// Latency is added to every request, spent on the web's clock
+	// (simulated time under simclock.Sim).
+	Latency time.Duration
+	// TruncateBodies, when positive, cuts served bodies to this many
+	// bytes: over the HTTP handler the full Content-Length is promised
+	// but fewer bytes arrive, so the client's read path errors.
+	TruncateBodies int
+	// DribbleChunk and DribbleDelay, when positive, serve bodies in
+	// chunks of DribbleChunk bytes with DribbleDelay between them — the
+	// slow-body fault that exercises read deadlines rather than connect
+	// errors. Over the in-process transport the delay is spent on the
+	// web's clock; over the HTTP handler it is real time.
+	DribbleChunk int
+	// DribbleDelay is the pause between dribbled chunks.
+	DribbleDelay time.Duration
+	// FlapPeriod, when positive, makes the host flap on a schedule: at
+	// the start of every period it is down (connection refused) for
+	// FlapDown, then up for the remainder.
+	FlapPeriod time.Duration
+	// FlapDown is the down window at the start of each flap period.
+	FlapDown time.Duration
+}
+
 // Site is a virtual host.
 type Site struct {
 	web  *Web
@@ -208,6 +253,18 @@ type Site struct {
 	// failEvery makes every n-th request time out (deterministic
 	// intermittent failure, for the §3.1 error-handling experiments).
 	failEvery int
+	// faults is the chaos profile, nil when none is installed.
+	faults *FaultProfile
+	// faultRng is the profile's seeded randomness source.
+	faultRng *rand.Rand
+	// flapStart anchors the flap schedule (set when the profile is
+	// installed).
+	flapStart time.Time
+	// truncate / dribbleChunk / dribbleDelay are the standalone wire
+	// faults (SetTruncate, SetDribble); a profile's values override.
+	truncate     int
+	dribbleChunk int
+	dribbleDelay time.Duration
 	// heads and gets count requests served (fault-rejected requests
 	// count too: they still cost the client a connection attempt).
 	heads, gets int
@@ -264,6 +321,48 @@ func (s *Site) SetFailEvery(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failEvery = n
+}
+
+// SetFaults installs a chaos profile on the host, anchoring its flap
+// schedule at the current simulated time. The profile's fault source is
+// reseeded, so installing the same profile twice replays the same fault
+// sequence.
+func (s *Site) SetFaults(p FaultProfile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := p
+	s.faults = &cp
+	s.faultRng = rand.New(rand.NewSource(p.Seed))
+	s.flapStart = s.web.clock.Now()
+}
+
+// ClearFaults removes the chaos profile (the blunt SetDown/SetHang
+// knobs are untouched).
+func (s *Site) ClearFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = nil
+	s.faultRng = nil
+}
+
+// SetTruncate cuts served bodies to n bytes (0 disables). Over the
+// HTTP handler the response promises the full Content-Length but
+// delivers only n bytes, so the client fails mid-read — the
+// truncated-body fault that exercises the read path rather than the
+// connect path.
+func (s *Site) SetTruncate(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.truncate = n
+}
+
+// SetDribble serves bodies in chunks of chunk bytes with delay between
+// them (chunk <= 0 disables) — a slow body rather than a slow connect.
+func (s *Site) SetDribble(chunk int, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dribbleChunk = chunk
+	s.dribbleDelay = delay
 }
 
 // Requests returns the HEAD and GET counts served by this host.
@@ -357,28 +456,62 @@ func (w *Web) ResetRequestCounts() {
 	}
 }
 
+// wireFaults are the read-path faults the transport applies to a
+// response after the page logic has produced it.
+type wireFaults struct {
+	truncate     int
+	dribbleChunk int
+	dribbleDelay time.Duration
+}
+
 // RoundTrip implements webclient.Transport against the virtual web. It
 // honours ctx: an already-done context fails immediately, and a hung
 // host blocks exactly until the context is canceled or its deadline
 // passes — so the per-request timeouts and cancellation that protect
-// real fetches are exercised against the simulation too.
+// real fetches are exercised against the simulation too. Wire faults
+// (truncation, dribble) are applied in-process: a truncated body
+// arrives short (forcing a checksum change or parse error) and a
+// dribbled body spends the chunked delays on the web's clock.
 func (w *Web) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, error) {
+	resp, wf, err := w.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if wf.truncate > 0 && len(resp.Body) > wf.truncate {
+		resp.Body = resp.Body[:wf.truncate]
+	}
+	if wf.dribbleChunk > 0 && wf.dribbleDelay > 0 && len(resp.Body) > 0 {
+		chunks := (len(resp.Body) + wf.dribbleChunk - 1) / wf.dribbleChunk
+		total := time.Duration(chunks) * wf.dribbleDelay
+		if serr := simclock.Sleep(ctx, w.clock, total); serr != nil {
+			return nil, fmt.Errorf("websim: body read interrupted: %w", serr)
+		}
+	}
+	return resp, nil
+}
+
+// roundTrip is the shared request path: fault decisions, counters, and
+// page dispatch. It returns the full response plus the wire faults for
+// the caller (in-process transport or HTTP handler) to apply.
+func (w *Web) roundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, wireFaults, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var wf wireFaults
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, wf, err
 	}
 	host, path, err := splitHTTPURL(req.URL)
 	if err != nil {
-		return nil, err
+		return nil, wf, err
 	}
 	w.mu.Lock()
 	site, ok := w.sites[host]
 	w.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("websim: no such host %q", host)
+		return nil, wf, fmt.Errorf("websim: no such host %q", host)
 	}
+	now := w.clock.Now()
 	site.mu.Lock()
 	if req.Method == "HEAD" {
 		site.heads++
@@ -389,24 +522,58 @@ func (w *Web) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient
 	if site.failEvery > 0 && (site.heads+site.gets)%site.failEvery == 0 {
 		timeout = true
 	}
+	wf = wireFaults{truncate: site.truncate, dribbleChunk: site.dribbleChunk, dribbleDelay: site.dribbleDelay}
+	var latency time.Duration
+	var inject5xx *webclient.Response
+	if p := site.faults; p != nil {
+		latency = p.Latency
+		if p.TruncateBodies > 0 {
+			wf.truncate = p.TruncateBodies
+		}
+		if p.DribbleChunk > 0 {
+			wf.dribbleChunk, wf.dribbleDelay = p.DribbleChunk, p.DribbleDelay
+		}
+		if p.FlapPeriod > 0 && p.FlapDown > 0 {
+			// Down at the start of every period, up for the rest.
+			if elapsed := now.Sub(site.flapStart) % p.FlapPeriod; elapsed >= 0 && elapsed < p.FlapDown {
+				down = true
+			}
+		}
+		if !down && p.FailProb > 0 && site.faultRng.Float64() < p.FailProb {
+			status := p.FailStatus
+			if status == 0 {
+				status = 503
+			}
+			inject5xx = &webclient.Response{Status: status, RetryAfter: p.RetryAfter}
+		}
+	}
 	page := site.pages[path]
 	site.mu.Unlock()
 	w.metrics().Counter("websim.requests").Inc()
+	if latency > 0 {
+		if serr := simclock.Sleep(ctx, w.clock, latency); serr != nil {
+			return nil, wf, fmt.Errorf("websim: %s latency interrupted: %w", host, serr)
+		}
+	}
 	switch {
 	case hang:
 		w.metrics().Counter("websim.faults").Inc()
 		<-ctx.Done()
-		return nil, fmt.Errorf("websim: %s hung: %w", host, ctx.Err())
+		return nil, wf, fmt.Errorf("websim: %s hung: %w", host, ctx.Err())
 	case down:
 		w.metrics().Counter("websim.faults").Inc()
-		return nil, ErrHostDown
+		return nil, wf, ErrHostDown
 	case timeout:
 		w.metrics().Counter("websim.faults").Inc()
-		return nil, ErrTimeout
+		return nil, wf, ErrTimeout
+	case inject5xx != nil:
+		w.metrics().Counter("websim.faults").Inc()
+		w.metrics().Counter("websim.faults.injected5xx").Inc()
+		return inject5xx, wf, nil
 	case page == nil:
-		return &webclient.Response{Status: 404}, nil
+		return &webclient.Response{Status: 404}, wf, nil
 	}
-	return page.respond(req, w.clock.Now()), nil
+	return page.respond(req, w.clock.Now()), wf, nil
 }
 
 // splitHTTPURL splits an http:// URL into host and path.
@@ -449,7 +616,7 @@ func (w *Web) Handler() http.Handler {
 			req.Body = string(body)
 			req.ContentType = r.Header.Get("Content-Type")
 		}
-		resp, err := w.RoundTrip(r.Context(), req)
+		resp, wf, err := w.roundTrip(r.Context(), req)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadGateway)
 			return
@@ -465,10 +632,55 @@ func (w *Web) Handler() http.Handler {
 			}
 			rw.Header().Set("Location", loc)
 		}
-		rw.WriteHeader(resp.Status)
-		if r.Method != "HEAD" {
-			fmt.Fprint(rw, resp.Body)
+		if resp.RetryAfter > 0 {
+			secs := int(resp.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			rw.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
+		body := resp.Body
+		if r.Method == "HEAD" {
+			body = ""
+		}
+		if wf.truncate > 0 && len(body) > wf.truncate {
+			// Promise the full body but deliver less: the client's body
+			// read sees an unexpected EOF, exercising its read-error path
+			// the way a dropped connection mid-transfer would.
+			rw.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			rw.WriteHeader(resp.Status)
+			io.WriteString(rw, body[:wf.truncate])
+			return
+		}
+		rw.WriteHeader(resp.Status)
+		if body == "" {
+			return
+		}
+		if wf.dribbleChunk > 0 && wf.dribbleDelay > 0 {
+			// Dribble the body out in small flushed chunks with real wall
+			// pauses, so slow-reader handling is exercised over a socket.
+			flusher, _ := rw.(http.Flusher)
+			for len(body) > 0 {
+				n := wf.dribbleChunk
+				if n > len(body) {
+					n = len(body)
+				}
+				io.WriteString(rw, body[:n])
+				body = body[n:]
+				if flusher != nil {
+					flusher.Flush()
+				}
+				if len(body) > 0 {
+					select {
+					case <-r.Context().Done():
+						return
+					case <-time.After(wf.dribbleDelay):
+					}
+				}
+			}
+			return
+		}
+		fmt.Fprint(rw, body)
 	})
 }
 
