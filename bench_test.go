@@ -169,6 +169,34 @@ func BenchmarkArchiveGrowth(b *testing.B) {
 	}
 }
 
+// BenchmarkArchiveDeepCheckout measures retrieving the oldest revision of
+// a deep archive — the §2.2 "time travel" cost. With plain reverse deltas
+// this is O(revisions) ed-script applications from the head; forward
+// checkpoints inside the archive bound it by the checkpoint interval.
+func BenchmarkArchiveDeepCheckout(b *testing.B) {
+	gen := websim.SizedChangeGenerator(950, 60, 1)
+	dir := b.TempDir()
+	clock := simclock.New(time.Time{})
+	arch := rcs.Open(dir+"/page,v", clock)
+	for i := 0; i < 80; i++ {
+		clock.Advance(24 * time.Hour)
+		if _, _, err := arch.Checkin(gen(i), "bench", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text, err := arch.Checkout("1.1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(text) == 0 {
+			b.Fatal("empty checkout")
+		}
+	}
+}
+
 // BenchmarkStorageFullCopyBaseline is the ablation: the same 30 versions
 // stored as full copies (what a naive per-user client-side cache does).
 func BenchmarkStorageFullCopyBaseline(b *testing.B) {

@@ -20,7 +20,7 @@ import (
 // expLCS measures HtmlDiff's cost against document size and compares the
 // two LCS engines — the quadratic-space dynamic program and Hirschberg's
 // linear-space algorithm the paper cites — in time and allocated bytes.
-func expLCS(_ context.Context, _ string) {
+func expLCS(_ context.Context, _ string) error {
 	fmt.Println("    HtmlDiff wall time vs document size (5% of sentences edited):")
 	for _, kb := range []int{1, 4, 16, 64} {
 		oldDoc := syntheticDoc(kb * 1024)
@@ -47,6 +47,7 @@ func expLCS(_ context.Context, _ string) {
 			n, dpT.Round(10*time.Microsecond), kib(dpB), hbT.Round(10*time.Microsecond), kib(hbB))
 	}
 	fmt.Println("    (the paper's choice: same optimum, memory linear in the input)")
+	return nil
 }
 
 type eqW struct{ a, b []string }
@@ -117,10 +118,10 @@ func editFraction(doc string, frac float64) string {
 // expRCS demonstrates the archive properties the snapshot facility
 // relies on (§4): unchanged check-ins are free, storage is head + small
 // reverse deltas, and any date maps to the version current then.
-func expRCS(_ context.Context, _ string) {
+func expRCS(_ context.Context, _ string) error {
 	dir, err := os.MkdirTemp("", "aide-rcs-*")
 	if err != nil {
-		panic(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	clock := simclock.New(time.Time{})
@@ -132,7 +133,7 @@ func expRCS(_ context.Context, _ string) {
 		clock.Advance(24 * time.Hour)
 		body := gen(step)
 		if _, changed, err := arch.Checkin(body, "bench", ""); err != nil {
-			panic(err)
+			return err
 		} else if changed {
 			fullCopies += int64(len(body))
 		}
@@ -140,7 +141,7 @@ func expRCS(_ context.Context, _ string) {
 	size1 := arch.Size()
 	// A duplicate check-in must not grow the archive.
 	if _, changed, err := arch.Checkin(gen(19), "bench", ""); err != nil || changed {
-		panic(fmt.Sprintf("duplicate checkin: changed=%v err=%v", changed, err))
+		return fmt.Errorf("duplicate checkin: changed=%v err=%v", changed, err)
 	}
 	fmt.Printf("    20 versions of a ~10 KB page, ~50 words changed each time:\n")
 	fmt.Printf("      archive size:        %6.1f KB\n", float64(arch.Size())/1024)
@@ -153,8 +154,9 @@ func expRCS(_ context.Context, _ string) {
 	midDate := log[len(log)/2].Date
 	_, rev, err := arch.CheckoutAtDate(midDate.Add(time.Minute))
 	if err != nil {
-		panic(err)
+		return err
 	}
 	fmt.Printf("      head %s; checkout at %s resolves to revision %s\n",
 		head, midDate.Add(time.Minute).Format("2006-01-02 15:04"), rev)
+	return nil
 }

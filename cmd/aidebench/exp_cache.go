@@ -17,10 +17,10 @@ import (
 // many users who have seen versions N and N+1 of a page could retrieve
 // HtmlDiff(pageN, pageN+1) with a single invocation", and the archive
 // prune limit.
-func expCache(ctx context.Context, _ string) {
+func expCache(ctx context.Context, _ string) error {
 	dir, err := os.MkdirTemp("", "aide-cache-*")
 	if err != nil {
-		panic(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	clock := simclock.New(time.Time{})
@@ -29,7 +29,7 @@ func expCache(ctx context.Context, _ string) {
 	page.Set(websim.USENIXSept)
 	fac, err := snapshot.New(dir, webclient.New(web), clock)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	fac.Remember(ctx, "u@h", "http://h/p")
 	clock.Advance(time.Hour)
@@ -40,7 +40,7 @@ func expCache(ctx context.Context, _ string) {
 	start := time.Now()
 	for i := 0; i < users; i++ {
 		if _, err := fac.DiffRevs("http://h/p", "1.1", "1.2"); err != nil {
-			panic(err)
+			return err
 		}
 	}
 	elapsed := time.Since(start)
@@ -65,7 +65,7 @@ func expCache(ctx context.Context, _ string) {
 	}
 	results, err := fac.Prune(10)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	stats, _ = fac.Storage()
 	var after int64
@@ -80,4 +80,5 @@ func expCache(ctx context.Context, _ string) {
 	}
 	fmt.Printf("    prune to 10 revisions: dropped %d revisions, churn archive %.0f KB -> %.0f KB\n",
 		dropped, float64(before)/1024, float64(after)/1024)
+	return nil
 }

@@ -25,7 +25,7 @@ import (
 // default) finds more changes sooner at the price of more traffic to the
 // flaky hosts; errors-as-checked backs off to the normal cadence. The
 // skip-host policy caps how hard one sick host is hammered within a run.
-func expErrors(ctx context.Context, _ string) {
+func expErrors(ctx context.Context, _ string) error {
 	type cond struct {
 		name             string
 		errorsAsChecked  bool
@@ -44,6 +44,7 @@ func expErrors(ctx context.Context, _ string) {
 		reqs, errs, changed, sick := runErrorCondition(ctx, c.errorsAsChecked, c.skipHostAfterErr)
 		fmt.Printf("    %-36s %9d %9d %9d %9d\n", c.name, reqs, errs, changed, sick)
 	}
+	return nil
 }
 
 func runErrorCondition(ctx context.Context, errorsAsChecked, skipHost bool) (requests, errors, changed, sickHostReqs int) {

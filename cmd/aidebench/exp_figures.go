@@ -17,10 +17,10 @@ import (
 
 // expTable1 parses the paper's literal Table 1 and shows the threshold
 // each sample URL resolves to, demonstrating first-match-wins semantics.
-func expTable1(_ context.Context, _ string) {
+func expTable1(_ context.Context, _ string) error {
 	cfg, err := w3config.ParseString(w3config.Table1)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	fmt.Println("    rules parsed from the paper's Table 1:")
 	fmt.Printf("      %-60s %s\n", "Default", cfg.Default)
@@ -40,12 +40,13 @@ func expTable1(_ context.Context, _ string) {
 	for _, u := range samples {
 		fmt.Printf("      %-60s -> %-7s (rule %s)\n", u, cfg.ThresholdFor(u), cfg.MatchingRule(u))
 	}
+	return nil
 }
 
 // expFig1 builds a hotlist whose URLs land in every state the Figure 1
 // report shows — changed, seen, not-checked, robot-excluded, erroring —
 // runs w3newer once, and writes the report.
-func expFig1(ctx context.Context, outDir string) {
+func expFig1(ctx context.Context, outDir string) error {
 	clock := simclock.New(time.Time{})
 	web := websim.New(clock)
 	client := webclient.New(web)
@@ -97,7 +98,7 @@ func expFig1(ctx context.Context, outDir string) {
 
 	cfg, err := w3config.ParseString(w3config.Table1)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	tr := tracker.New(client, cfg, hist, clock)
 	tr.Robots = robots.NewCache(func(ctx context.Context, url string) (int, string, error) {
@@ -119,12 +120,12 @@ func expFig1(ctx context.Context, outDir string) {
 		Now:          clock.Now(),
 		Prioritize:   true,
 	})
-	writeArtifact(outDir, "fig1_report.html", report)
+	return writeArtifact(outDir, "fig1_report.html", report)
 }
 
 // expFig2 runs HtmlDiff over the two versions and writes the merged
 // page, reporting the same structural elements the paper's figure shows.
-func expFig2(_ context.Context, outDir string) {
+func expFig2(_ context.Context, outDir string) error {
 	r := htmldiff.Diff(websim.USENIXSept, websim.USENIXNov, htmldiff.Options{
 		Title: "http://www.usenix.org/ (9/29/95 vs 11/3/95)",
 	})
@@ -133,13 +134,17 @@ func expFig2(_ context.Context, outDir string) {
 		s.OldTokens, s.NewTokens, s.Common, s.Modified, s.Deleted, s.Inserted)
 	fmt.Printf("    difference regions (arrow anchors): %d; change fraction %.2f\n",
 		s.Differences, s.ChangeFraction)
-	writeArtifact(outDir, "fig2_htmldiff.html", r.HTML)
+	if err := writeArtifact(outDir, "fig2_htmldiff.html", r.HTML); err != nil {
+		return err
+	}
 
 	// The reverse and only-new presentations of §5.2, for completeness.
 	rev := htmldiff.Diff(websim.USENIXSept, websim.USENIXNov, htmldiff.Options{Reverse: true,
 		Title: "reverse sense: old markups intact"})
-	writeArtifact(outDir, "fig2_reverse.html", rev.HTML)
+	if err := writeArtifact(outDir, "fig2_reverse.html", rev.HTML); err != nil {
+		return err
+	}
 	onlyNew := htmldiff.Diff(websim.USENIXSept, websim.USENIXNov, htmldiff.Options{Mode: htmldiff.OnlyNew,
 		Title: "Draconian option: old material left out"})
-	writeArtifact(outDir, "fig2_onlynew.html", onlyNew.HTML)
+	return writeArtifact(outDir, "fig2_onlynew.html", onlyNew.HTML)
 }

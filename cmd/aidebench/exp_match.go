@@ -18,7 +18,7 @@ import (
 // each of 40 sentences; a matcher that still pairs the edited sentences
 // reports them as in-place modifications (good: word-level highlighting),
 // while one that rejects the pair reports a delete+insert (coarser).
-func expMatch(_ context.Context, _ string) {
+func expMatch(_ context.Context, _ string) error {
 	fmt.Println("    40 sentences, 30% of words rewritten in each; how the §5.1 thresholds")
 	fmt.Println("    classify the edits (modified = word-level highlighting survives):")
 	fmt.Printf("    %-12s %-12s %10s %10s %10s\n",
@@ -37,6 +37,7 @@ func expMatch(_ context.Context, _ string) {
 		fmt.Printf("    %-12.1f %-12.1f %10d %10d %10d\n",
 			mr, 0.5, s.Modified, s.Deleted+s.Inserted, s.Differences)
 	}
+	return nil
 }
 
 // runMatchTrial builds the corpus and compares under the given knobs.

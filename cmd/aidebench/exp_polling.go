@@ -128,7 +128,7 @@ func runCondition(ctx context.Context, name string, useThresholds, persistent, u
 // Section 2.1 poll every URL with the same frequency. We modified w3new
 // to make it more scalable"), plus two comparators: the URL-minder
 // service of §2.1 and the Harvest-style push notification of §3.1.
-func expPolling(ctx context.Context, _ string) {
+func expPolling(ctx context.Context, _ string) error {
 	fmt.Println("    250-URL hotlist, 30 simulated days of daily runs; user visits changed pages.")
 	fmt.Printf("    %-46s %10s %10s %9s\n", "condition", "requests", "req/run", "changed")
 	type cond struct {
@@ -159,6 +159,7 @@ func expPolling(ctx context.Context, _ string) {
 	pushReqs, pushNotifs := runPushNotify(ctx)
 	fmt.Printf("    %-46s %10d %10.1f %9d   (providers push; w3newer consumes the relay)\n",
 		"Harvest-style notification (§3.1)", pushReqs, float64(pushReqs)/30, pushNotifs)
+	return nil
 }
 
 // runURLMinder measures the §2.1 URL-minder comparator on the same
@@ -236,7 +237,7 @@ func runPushNotify(ctx context.Context) (requests, reported int) {
 // expServerSide reproduces the §8.3 economy of scale: per-user polling
 // costs grow linearly with the user population, while a centralised AIDE
 // server checks each distinct page once per sweep.
-func expServerSide(ctx context.Context, _ string) {
+func expServerSide(ctx context.Context, _ string) error {
 	fmt.Println("    100-URL pool (quarter changes daily); each user tracks 80; one daily cycle.")
 	fmt.Println("    server-side also archives each changed page (its GETs are included).")
 	fmt.Printf("    %-8s %22s %22s %10s\n", "users", "client-side requests", "server-side requests", "ratio")
@@ -246,6 +247,7 @@ func expServerSide(ctx context.Context, _ string) {
 		fmt.Printf("    %-8d %22d %22d %9.1fx\n",
 			users, clientReqs, serverReqs, float64(clientReqs)/float64(serverReqs))
 	}
+	return nil
 }
 
 // userEntries deterministically samples 80 of the 100 pool URLs for a

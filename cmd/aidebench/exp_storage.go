@@ -25,7 +25,7 @@ import (
 // single-digit-MB range for ~500 URLs, (b) per-URL mean in the ~10-20 KB
 // range, (c) the three churners dominating total storage, and (d) delta
 // storage far below the full-copy baseline.
-func expStorage(ctx context.Context, _ string) {
+func expStorage(ctx context.Context, _ string) error {
 	const (
 		days       = 180
 		normalURLs = 497
@@ -33,14 +33,14 @@ func expStorage(ctx context.Context, _ string) {
 	)
 	dir, err := os.MkdirTemp("", "aide-storage-*")
 	if err != nil {
-		panic(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 
 	clock := simclock.New(time.Time{})
 	fac, err := snapshot.New(dir, nil, clock)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(1996))
 
@@ -49,14 +49,14 @@ func expStorage(ctx context.Context, _ string) {
 
 	// archiveHistory simulates automatic archival of one URL: body(step)
 	// is checked in at each change day.
-	archiveHistory := func(url string, gen func(step int) string, intervalDays, jitter int) {
+	archiveHistory := func(url string, gen func(step int) string, intervalDays, jitter int) error {
 		step := 0
 		for day := 0; day <= days; {
 			body := gen(step)
 			clock.Set(simclock.Epoch.Add(time.Duration(day) * 24 * time.Hour))
 			res, err := fac.RememberContent(ctx, "", url, body)
 			if err != nil {
-				panic(err)
+				return err
 			}
 			checkins++
 			if res.Changed {
@@ -73,12 +73,15 @@ func expStorage(ctx context.Context, _ string) {
 			}
 			day += d
 		}
+		return nil
 	}
 
 	// The three 1-3 day churners: full replacement every time.
 	for i := 0; i < hotURLs; i++ {
 		url := fmt.Sprintf("http://whatsnew%d.example.com/", i)
-		archiveHistory(url, websim.ReplaceGenerator("What's New", 900, int64(i)), 1, 2)
+		if err := archiveHistory(url, websim.ReplaceGenerator("What's New", 900, int64(i)), 1, 2); err != nil {
+			return err
+		}
 	}
 	// The ordinary population: ~8 KB pages; 40% never change again
 	// after the first save, the rest get small in-place edits every
@@ -88,15 +91,18 @@ func expStorage(ctx context.Context, _ string) {
 		gen := websim.SizedChangeGenerator(950, 60, int64(1000+i))
 		if rng.Float64() < 0.4 {
 			static := gen(0)
-			archiveHistory(url, func(int) string { return static }, 200, 0)
+			err = archiveHistory(url, func(int) string { return static }, 200, 0)
 		} else {
-			archiveHistory(url, gen, 15, 60)
+			err = archiveHistory(url, gen, 15, 60)
+		}
+		if err != nil {
+			return err
 		}
 	}
 
 	stats, err := fac.Storage()
 	if err != nil {
-		panic(err)
+		return err
 	}
 	var top3 int64
 	for i := 0; i < 3 && i < len(stats.PerURL); i++ {
@@ -113,6 +119,7 @@ func expStorage(ctx context.Context, _ string) {
 	}
 	fmt.Printf("    full-copy baseline:   %.2f MB -> reverse deltas save %.1fx\n",
 		mb(fullCopyBytes), float64(fullCopyBytes)/float64(stats.TotalBytes))
+	return nil
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -25,7 +25,7 @@ import (
 var experiments = []struct {
 	name string
 	desc string
-	run  func(ctx context.Context, outDir string)
+	run  func(ctx context.Context, outDir string) error
 }{
 	{"table1", "Table 1: w3newer threshold configuration semantics", expTable1},
 	{"fig1", "Figure 1: w3newer report over a mixed-state hotlist", expFig1},
@@ -41,13 +41,19 @@ var experiments = []struct {
 }
 
 func main() {
+	// All cleanup is via defer; keep os.Exit out of the work path so the
+	// experiments' temp directories are removed even on failure.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	out := flag.String("out", "bench-out", "directory for HTML artifacts")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "aidebench:", err)
-		os.Exit(1)
+		return 1
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -58,25 +64,29 @@ func main() {
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "aidebench: interrupted")
-			os.Exit(1)
+			return 1
 		}
 		ran = true
 		fmt.Printf("==> %s — %s\n", e.name, e.desc)
-		e.run(ctx, *out)
+		if err := e.run(ctx, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %s: %v\n", e.name, err)
+			return 1
+		}
 		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "aidebench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // writeArtifact saves a regenerated figure and reports where.
-func writeArtifact(outDir, name, content string) {
+func writeArtifact(outDir, name, content string) error {
 	path := filepath.Join(outDir, name)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "aidebench:", err)
-		os.Exit(1)
+		return fmt.Errorf("writing artifact: %w", err)
 	}
 	fmt.Printf("    wrote %s (%d bytes)\n", path, len(content))
+	return nil
 }

@@ -1,0 +1,218 @@
+// Command benchgate parses `go test -bench` output and gates benchmark
+// regressions against a committed JSON baseline.
+//
+// Gate mode (the CI default) compares the run against -baseline and exits
+// nonzero when the geometric-mean slowdown across the baseline's
+// benchmarks exceeds -max-ratio, or when a baseline benchmark is missing
+// from the run:
+//
+//	go test -bench ... | benchgate -baseline BENCH_baseline.json
+//
+// Emit mode writes a new baseline from the run instead of gating:
+//
+//	go test -bench ... | benchgate -emit BENCH_baseline.json
+//
+// When -emit is combined with -baseline, the emitted file also records
+// each benchmark's baseline time and the speedup relative to it, which is
+// how before/after comparison artifacts are produced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the JSON schema shared by baselines and comparison
+// artifacts.
+type Baseline struct {
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry holds one benchmark's timing. The Before/Speedup fields are
+// populated only in comparison artifacts (emit mode with a baseline).
+type Entry struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	BeforeNsPerOp float64 `json:"before_ns_per_op,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to gate against (or compare against with -emit)")
+		inputPath    = flag.String("input", "", "benchmark output to read (default stdin)")
+		emitPath     = flag.String("emit", "", "write a baseline JSON from the run instead of gating")
+		maxRatio     = flag.Float64("max-ratio", 1.25, "maximum allowed geomean slowdown (new/old)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inputPath != "" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	var base *Baseline
+	if *baselinePath != "" {
+		base, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *emitPath != "" {
+		out := Baseline{Benchmarks: map[string]Entry{}}
+		for name, ns := range current {
+			e := Entry{NsPerOp: ns}
+			if base != nil {
+				if b, ok := base.Benchmarks[name]; ok && ns > 0 {
+					e.BeforeNsPerOp = b.NsPerOp
+					e.Speedup = round3(b.NsPerOp / ns)
+				}
+			}
+			out.Benchmarks[name] = e
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*emitPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *emitPath, len(out.Benchmarks))
+		return
+	}
+
+	if base == nil {
+		fatal(fmt.Errorf("gate mode needs -baseline (or use -emit)"))
+	}
+	report, err := gate(base, current, *maxRatio)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+// parseBench extracts ns/op per benchmark from `go test -bench` output,
+// keeping the minimum over repeated runs (-count) as the least-noisy
+// estimate. Benchmark names are normalised by stripping the "Benchmark"
+// prefix and the "-N" GOMAXPROCS suffix.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		ns := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// gate compares current timings against the baseline. It returns a
+// human-readable report and an error when a baseline benchmark is missing
+// from the run or the geometric-mean ratio (new/old) exceeds maxRatio.
+func gate(base *Baseline, current map[string]float64, maxRatio float64) (string, error) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	var missing []string
+	logSum := 0.0
+	compared := 0
+	for _, name := range names {
+		ns, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		baseNs := base.Benchmarks[name].NsPerOp
+		ratio := ns / baseNs
+		logSum += math.Log(ratio)
+		compared++
+		fmt.Fprintf(&sb, "%-32s %12.0f -> %12.0f ns/op  (x%.3f)\n", name, baseNs, ns, ratio)
+	}
+	if len(missing) > 0 {
+		return sb.String(), fmt.Errorf("baseline benchmarks missing from run: %s", strings.Join(missing, ", "))
+	}
+	if compared == 0 {
+		return sb.String(), fmt.Errorf("nothing to compare")
+	}
+	geomean := math.Exp(logSum / float64(compared))
+	fmt.Fprintf(&sb, "geomean ratio: x%.3f (limit x%.3f)\n", geomean, maxRatio)
+	if geomean > maxRatio {
+		return sb.String(), fmt.Errorf("geomean slowdown x%.3f exceeds limit x%.3f", geomean, maxRatio)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: aide
+cpu: whatever
+BenchmarkFig2HtmlDiff   	    2392	    100872 ns/op	  17.80 MB/s	  112341 B/op	     430 allocs/op
+BenchmarkFig2HtmlDiff   	    2306	    113933 ns/op	  15.76 MB/s	  112342 B/op	     430 allocs/op
+BenchmarkHtmlDiffBySize/1KB-8     	    2270	     93950 ns/op	  13.16 MB/s
+BenchmarkArchiveDeepCheckout 	   11270	     29303 ns/op	   45264 B/op	      56 allocs/op
+PASS
+ok  	aide	3.536s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"Fig2HtmlDiff":        100872, // min of the two runs
+		"HtmlDiffBySize/1KB":  93950,  // -8 GOMAXPROCS suffix stripped
+		"ArchiveDeepCheckout": 29303,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func baseline(ns map[string]float64) *Baseline {
+	b := &Baseline{Benchmarks: map[string]Entry{}}
+	for name, v := range ns {
+		b.Benchmarks[name] = Entry{NsPerOp: v}
+	}
+	return b
+}
+
+func TestGatePassesWithinLimit(t *testing.T) {
+	base := baseline(map[string]float64{"A": 100, "B": 200})
+	current := map[string]float64{"A": 110, "B": 230} // x1.10, x1.15
+	report, err := gate(base, current, 1.25)
+	if err != nil {
+		t.Fatalf("gate failed within limit: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "geomean ratio") {
+		t.Errorf("report missing geomean line:\n%s", report)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance check for the CI
+// gate: a 2x across-the-board slowdown must fail at the 1.25 limit.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	base := baseline(map[string]float64{"A": 100, "B": 200, "C": 50000})
+	current := map[string]float64{"A": 200, "B": 400, "C": 100000}
+	report, err := gate(base, current, 1.25)
+	if err == nil {
+		t.Fatalf("gate passed a 2x slowdown:\n%s", report)
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("unexpected gate error: %v", err)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := baseline(map[string]float64{"A": 100, "Gone": 100})
+	current := map[string]float64{"A": 100}
+	if _, err := gate(base, current, 1.25); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gate did not flag missing benchmark, err = %v", err)
+	}
+}
+
+func TestGateGeomeanToleratesOneOutlier(t *testing.T) {
+	// One noisy x1.6 among four steady x1.0 runs: geomean ~1.125, under
+	// the 1.25 limit — the gate keys on the aggregate, not the max.
+	base := baseline(map[string]float64{"A": 100, "B": 100, "C": 100, "D": 100})
+	current := map[string]float64{"A": 100, "B": 100, "C": 100, "D": 160}
+	report, err := gate(base, current, 1.25)
+	if err != nil {
+		t.Fatalf("gate failed on a single outlier: %v\n%s", err, report)
+	}
+	geo := math.Exp(math.Log(1.6) / 4)
+	if want := "x1.125"; math.Abs(geo-1.1247) > 0.001 || !strings.Contains(report, want) {
+		t.Errorf("report should show geomean %s:\n%s", want, report)
+	}
+}

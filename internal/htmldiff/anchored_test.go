@@ -1,0 +1,117 @@
+package htmldiff
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aide/internal/htmldoc"
+	"aide/internal/lcs"
+	"aide/internal/obs"
+)
+
+// editInPlace derives a new document with edit-style changes only (word
+// replacements, sentence insertions, fragment deletions — no moves), the
+// change class real pages exhibit between polls and the one for which the
+// anchored fast path must score exactly what the DP oracle scores.
+func editInPlace(r *rand.Rand, doc string) string {
+	parts := strings.SplitAfter(doc, ">")
+	if len(parts) < 4 {
+		return doc + "<P>added tail sentence here.</P>"
+	}
+	for edits := 0; edits < 1+r.Intn(3); edits++ {
+		i := 1 + r.Intn(len(parts)-2)
+		switch r.Intn(3) {
+		case 0:
+			parts[i] = "" // delete a fragment
+		case 1:
+			parts[i] += fmt.Sprintf("<P>inserted sentence number %d right here. </P>", edits)
+		default:
+			// Replace a word inside the fragment.
+			words := strings.Fields(parts[i])
+			if len(words) > 0 && !strings.HasPrefix(words[0], "<") {
+				words[0] = fmt.Sprintf("edited%d", edits)
+				parts[i] = strings.Join(words, " ")
+			}
+		}
+	}
+	return strings.Join(parts, "")
+}
+
+// TestPropertyAnchoredAlignmentMatchesOracle asserts the tentpole
+// equivalence: on edit-style changes the anchored fast path's alignment
+// has exactly the total match weight of the quadratic DP oracle.
+func TestPropertyAnchoredAlignmentMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		oldDoc := genDoc(r)
+		newDoc := editInPlace(r, oldDoc)
+		w := newTokenWeights(htmldoc.Tokenize(oldDoc), htmldoc.Tokenize(newDoc), 0.5, 0.5)
+		anchored, _ := lcs.AnchoredStats(w)
+		oracle := lcs.DP(w)
+		aw, dw := lcs.TotalWeight(anchored), lcs.TotalWeight(oracle)
+		if aw != dw {
+			t.Fatalf("trial %d: anchored weight %v != oracle %v\nold: %s\nnew: %s",
+				trial, aw, dw, oldDoc, newDoc)
+		}
+	}
+}
+
+// TestPropertyAnchoredNeverBeatsOracle covers arbitrary mutations
+// including paragraph swaps: moved content may legitimately produce a
+// lower-weight (still valid) alignment, but never a higher one, and the
+// result must remain a valid increasing match sequence.
+func TestPropertyAnchoredNeverBeatsOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 150; trial++ {
+		oldDoc := genDoc(r)
+		newDoc := mutate(r, mutate(r, oldDoc))
+		w := newTokenWeights(htmldoc.Tokenize(oldDoc), htmldoc.Tokenize(newDoc), 0.5, 0.5)
+		anchored, _ := lcs.AnchoredStats(w)
+		dw := lcs.TotalWeight(lcs.DP(w))
+		if aw := lcs.TotalWeight(anchored); aw > dw {
+			t.Fatalf("trial %d: anchored weight %v exceeds oracle %v", trial, aw, dw)
+		}
+		lastA, lastB := -1, -1
+		for _, p := range anchored {
+			if p.AIdx <= lastA || p.BIdx <= lastB {
+				t.Fatalf("trial %d: pairs not increasing: %v", trial, anchored)
+			}
+			if got := w.Weight(p.AIdx, p.BIdx); got != p.Weight || got <= 0 {
+				t.Fatalf("trial %d: pair %v weight mismatch (got %v)", trial, p, got)
+			}
+			lastA, lastB = p.AIdx, p.BIdx
+		}
+	}
+}
+
+// TestInterningIdentity: interned ids agree with NormKey equality across
+// both token streams, including the kind distinction.
+func TestInterningIdentity(t *testing.T) {
+	oldDoc := "<P>alpha beta. <HR> gamma delta.</P>"
+	newDoc := "<P>alpha beta. <HR> gamma DELTA.</P>"
+	a, b := htmldoc.Tokenize(oldDoc), htmldoc.Tokenize(newDoc)
+	w := newTokenWeights(a, b, 0.5, 0.5)
+	for i := range a {
+		for j := range b {
+			gotEq := w.idA[i] == w.idB[j]
+			wantEq := a[i].Kind == b[j].Kind && a[i].NormKey() == b[j].NormKey()
+			if gotEq != wantEq {
+				t.Errorf("intern mismatch at (%d,%d): ids equal=%v, norm keys equal=%v",
+					i, j, gotEq, wantEq)
+			}
+		}
+	}
+}
+
+func TestAnchorMetricsRecorded(t *testing.T) {
+	// A diff with shared structure must record anchor/trim activity.
+	old := "<P>first stable sentence here. unique anchor sentence alpha. tail words.</P>"
+	new := "<P>first stable sentence here. unique anchor sentence alpha. tail words changed.</P>"
+	before := obs.Default.Counter("lcs.anchor.trimmed").Value()
+	Diff(old, new, Options{})
+	if after := obs.Default.Counter("lcs.anchor.trimmed").Value(); after <= before {
+		t.Errorf("lcs.anchor.trimmed did not advance: %d -> %d", before, after)
+	}
+}

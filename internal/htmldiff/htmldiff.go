@@ -196,6 +196,21 @@ func recordDiffMetrics(oldToks, newToks []htmldoc.Token) {
 	m.Counter("htmldiff.sentences").Add(sentences)
 }
 
+// recordAnchorMetrics exposes the anchored fast path's behaviour on the
+// process registry: how often unique sentences pinned the alignment, how
+// often crossing anchors forced the full Hirschberg fallback, and how
+// many DP cells the anchoring saved versus the quadratic bound.
+func recordAnchorMetrics(ast lcs.AnchorStats) {
+	m := obs.Default
+	m.Counter("lcs.anchor_hits").Add(int64(ast.Anchors))
+	m.Counter("lcs.anchor.trimmed").Add(int64(ast.Trimmed))
+	if ast.Fallback {
+		m.Counter("lcs.anchor.fallbacks").Inc()
+	}
+	m.Counter("lcs.cells.evaluated").Add(ast.Cells)
+	m.Counter("lcs.cells.saved").Add(ast.FullCells - ast.Cells)
+}
+
 // Compare runs only the alignment and returns the statistics; it is the
 // cheap path for "has this page really changed?" noise filtering.
 func Compare(oldHTML, newHTML string, opt Options) Stats {
@@ -232,7 +247,8 @@ type segment struct {
 // align computes the token alignment and folds it into segments.
 func align(oldToks, newToks []htmldoc.Token, opt *Options) ([]segment, Stats) {
 	w := newTokenWeights(oldToks, newToks, opt.lengthRatio(), opt.matchRatio())
-	pairs := lcs.Hirschberg(w)
+	pairs, ast := lcs.AnchoredStats(w)
+	recordAnchorMetrics(ast)
 
 	var segs []segment
 	stats := Stats{OldTokens: len(oldToks), NewTokens: len(newToks)}
@@ -251,7 +267,7 @@ func align(oldToks, newToks []htmldoc.Token, opt *Options) ([]segment, Stats) {
 	for _, p := range pairs {
 		emitGap(p.AIdx, p.BIdx)
 		ot, nt := oldToks[p.AIdx], newToks[p.BIdx]
-		if ot.NormKey() == nt.NormKey() {
+		if w.idA[p.AIdx] == w.idB[p.BIdx] {
 			// Identical token: extend or start a common segment.
 			if n := len(segs); n > 0 && segs[n-1].kind == segCommon {
 				segs[n-1].old = append(segs[n-1].old, ot)
@@ -285,18 +301,20 @@ func align(oldToks, newToks []htmldoc.Token, opt *Options) ([]segment, Stats) {
 	return segs, stats
 }
 
-// tokenWeights implements lcs.Weights over two token streams with the
-// paper's two-step sentence matching, plus two speed optimisations: a
-// memo table (Hirschberg evaluates weights repeatedly) and O(1) rejects
-// via kind/length checks and key hashes.
+// tokenWeights implements lcs.AnchorWeights over two token streams with
+// the paper's two-step sentence matching, plus three speed optimisations:
+// token interning (each distinct (kind, NormKey) pair becomes one int32
+// id, so identity checks and the anchored fast path's hashes are integer
+// compares), O(1) rejects via kind/length checks, and a lazily allocated
+// memo of the expensive inner-LCS weights (Hirschberg evaluates each cell
+// several times across its recursion levels).
 type tokenWeights struct {
 	a, b        []htmldoc.Token
-	keyA, keyB  []string
+	idA, idB    []int32 // interned (kind, NormKey); equal id == identical token
 	lenA, lenB  []int
-	itemsA      [][]string // per-token item norm keys (sentences only)
-	itemsB      [][]string
-	memo        []float32
-	useMemo     bool
+	itemsA      [][]int32 // per-token interned item keys (sentences only)
+	itemsB      [][]int32
+	memo        [][]float32 // fuzzy inner-LCS results; rows allocated on demand
 	lengthRatio float64
 	matchRatio  float64
 }
@@ -306,25 +324,77 @@ const memoLimit = 1 << 24 // cells; beyond this, recompute on demand
 func newTokenWeights(a, b []htmldoc.Token, lengthRatio, matchRatio float64) *tokenWeights {
 	w := &tokenWeights{
 		a: a, b: b,
-		keyA: make([]string, len(a)), keyB: make([]string, len(b)),
+		idA: make([]int32, len(a)), idB: make([]int32, len(b)),
 		lenA: make([]int, len(a)), lenB: make([]int, len(b)),
-		itemsA: make([][]string, len(a)), itemsB: make([][]string, len(b)),
+		itemsA: make([][]int32, len(a)), itemsB: make([][]int32, len(b)),
 		lengthRatio: lengthRatio, matchRatio: matchRatio,
 	}
+	in := &interner{
+		tokTab:  make(map[string]int32, len(a)+len(b)),
+		itemTab: make(map[string]int32),
+	}
 	for i, t := range a {
-		w.keyA[i], w.lenA[i], w.itemsA[i] = t.NormKey(), t.ContentLength(), itemKeys(t)
+		w.idA[i] = in.token(t)
+		w.lenA[i] = t.ContentLength()
+		w.itemsA[i] = in.items(t)
 	}
 	for j, t := range b {
-		w.keyB[j], w.lenB[j], w.itemsB[j] = t.NormKey(), t.ContentLength(), itemKeys(t)
+		w.idB[j] = in.token(t)
+		w.lenB[j] = t.ContentLength()
+		w.itemsB[j] = in.items(t)
 	}
 	if n := len(a) * len(b); n > 0 && n <= memoLimit {
-		w.memo = make([]float32, n)
-		for i := range w.memo {
-			w.memo[i] = -1
-		}
-		w.useMemo = true
+		w.memo = make([][]float32, len(a))
 	}
 	return w
+}
+
+// interner assigns stable small ids to token and item norm keys. Keys are
+// built in a reused scratch buffer; the map lookup on []byte-to-string
+// conversion does not allocate, so a string is materialised only the
+// first time a distinct key is seen.
+type interner struct {
+	tokTab  map[string]int32
+	itemTab map[string]int32
+	buf     []byte
+}
+
+// token maps a token's (kind, NormKey) to a stable small id; two tokens
+// get the same id iff they are identical under the paper's
+// whitespace/case/attribute-order normalisation.
+func (in *interner) token(t htmldoc.Token) int32 {
+	kind := byte('S')
+	if t.Kind == htmldoc.Breaking {
+		kind = 'B'
+	}
+	key := append(in.buf[:0], kind)
+	key = t.AppendNormKey(key)
+	in.buf = key
+	if id, ok := in.tokTab[string(key)]; ok {
+		return id
+	}
+	id := int32(len(in.tokTab))
+	in.tokTab[string(key)] = id
+	return id
+}
+
+// items interns a sentence's item norm keys for the inner LCS.
+func (in *interner) items(t htmldoc.Token) []int32 {
+	if t.Kind != htmldoc.Sentence {
+		return nil
+	}
+	ids := make([]int32, len(t.Items))
+	for i, it := range t.Items {
+		key := it.AppendNormKey(in.buf[:0])
+		in.buf = key
+		id, ok := in.itemTab[string(key)]
+		if !ok {
+			id = int32(len(in.itemTab))
+			in.itemTab[string(key)] = id
+		}
+		ids[i] = id
+	}
+	return ids
 }
 
 func itemKeys(t htmldoc.Token) []string {
@@ -341,26 +411,20 @@ func itemKeys(t htmldoc.Token) []string {
 func (w *tokenWeights) LenA() int { return len(w.a) }
 func (w *tokenWeights) LenB() int { return len(w.b) }
 
-func (w *tokenWeights) Weight(i, j int) float64 {
-	if w.useMemo {
-		if v := w.memo[i*len(w.b)+j]; v >= 0 {
-			return float64(v)
-		}
-	}
-	v := w.weight(i, j)
-	if w.useMemo {
-		w.memo[i*len(w.b)+j] = float32(v)
-	}
-	return v
-}
+// HashA and HashB expose the interned ids as the anchored fast path's
+// content hashes: ids are collision-free by construction, so equal hashes
+// mean identical tokens.
+func (w *tokenWeights) HashA(i int) uint64 { return uint64(w.idA[i]) }
+func (w *tokenWeights) HashB(j int) uint64 { return uint64(w.idB[j]) }
 
-func (w *tokenWeights) weight(i, j int) float64 {
+func (w *tokenWeights) Weight(i, j int) float64 {
 	ta, tb := w.a[i], w.b[j]
 	if ta.Kind != tb.Kind {
 		return 0 // sentences match only sentences, markups only markups
 	}
+	identical := w.idA[i] == w.idB[j]
 	if ta.Kind == htmldoc.Breaking {
-		if w.keyA[i] == w.keyB[j] {
+		if identical {
 			return 1
 		}
 		return 0
@@ -368,7 +432,7 @@ func (w *tokenWeights) weight(i, j int) float64 {
 	la, lb := w.lenA[i], w.lenB[j]
 	if la == 0 && lb == 0 {
 		// Formatting-only sentences: match iff identical.
-		if w.keyA[i] == w.keyB[j] {
+		if identical {
 			return 0.5
 		}
 		return 0
@@ -381,11 +445,35 @@ func (w *tokenWeights) weight(i, j int) float64 {
 	if hi > 0 && float64(lo)/float64(hi) < w.lengthRatio {
 		return 0
 	}
-	if w.keyA[i] == w.keyB[j] {
+	if identical {
 		return float64(la) // identical sentence: W is its full length
 	}
-	// Step 2: the inner LCS over words and markups.
-	pairs := lcs.Strings(w.itemsA[i], w.itemsB[j])
+	// Step 2: the inner LCS over words and markups. Only this step is
+	// worth memoising; everything above is O(1).
+	if w.memo != nil {
+		if row := w.memo[i]; row != nil && row[j] >= 0 {
+			return float64(row[j])
+		}
+	}
+	v := w.innerWeight(i, j)
+	if w.memo != nil {
+		row := w.memo[i]
+		if row == nil {
+			row = make([]float32, len(w.b))
+			for k := range row {
+				row[k] = -1
+			}
+			w.memo[i] = row
+		}
+		row[j] = float32(v)
+	}
+	return v
+}
+
+// innerWeight runs the per-sentence-pair LCS over interned items and
+// applies the 2W/L match threshold.
+func (w *tokenWeights) innerWeight(i, j int) float64 {
+	pairs := lcs.IDs(w.itemsA[i], w.itemsB[j])
 	W := 0
 	for _, p := range pairs {
 		it := w.a[i].Items[p.AIdx]
@@ -393,7 +481,7 @@ func (w *tokenWeights) weight(i, j int) float64 {
 			W++
 		}
 	}
-	L := la + lb
+	L := w.lenA[i] + w.lenB[j]
 	if L == 0 || 2*float64(W)/float64(L) < w.matchRatio {
 		return 0
 	}

@@ -19,6 +19,8 @@ package htmldoc
 import (
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // ItemKind distinguishes the constituents of a sentence.
@@ -72,17 +74,25 @@ func (it Item) NormKey() string {
 	if it.Kind == Word {
 		return DecodeEntities(it.Raw)
 	}
-	var sb strings.Builder
-	sb.WriteByte('<')
-	sb.WriteString(it.Name)
-	for _, a := range it.Attrs {
-		sb.WriteByte(' ')
-		sb.WriteString(a.Name)
-		sb.WriteByte('=')
-		sb.WriteString(strings.ToLower(a.Value))
+	return string(it.AppendNormKey(nil))
+}
+
+// AppendNormKey appends the item's NormKey to buf and returns the
+// extended slice. Callers that intern many keys reuse one scratch buffer
+// and avoid a string allocation per item.
+func (it Item) AppendNormKey(buf []byte) []byte {
+	if it.Kind == Word {
+		return append(buf, DecodeEntities(it.Raw)...)
 	}
-	sb.WriteByte('>')
-	return sb.String()
+	buf = append(buf, '<')
+	buf = append(buf, it.Name...)
+	for _, a := range it.Attrs {
+		buf = append(buf, ' ')
+		buf = append(buf, a.Name...)
+		buf = append(buf, '=')
+		buf = append(buf, strings.ToLower(a.Value)...)
+	}
+	return append(buf, '>')
 }
 
 // TokenKind distinguishes the two top-level token types.
@@ -122,14 +132,19 @@ func (t Token) ContentLength() int {
 // NormKey returns a whitespace/case-insensitive key for the whole token,
 // used for the exact matching of breaking markups and for hashing.
 func (t Token) NormKey() string {
-	var sb strings.Builder
+	return string(t.AppendNormKey(nil))
+}
+
+// AppendNormKey appends the token's NormKey to buf and returns the
+// extended slice, for allocation-free interning.
+func (t Token) AppendNormKey(buf []byte) []byte {
 	for i, it := range t.Items {
 		if i > 0 {
-			sb.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
-		sb.WriteString(it.NormKey())
+		buf = it.AppendNormKey(buf)
 	}
-	return sb.String()
+	return buf
 }
 
 // Text renders the token back to HTML source. Sentences rejoin their
@@ -223,7 +238,7 @@ func (lx *lexer) run() []lexItem {
 			it, ok := lx.lexMarkup()
 			if !ok {
 				// Treat a stray '<' as text.
-				items = append(items, lx.lexTextRun()...)
+				items = lx.lexTextRun(items)
 				continue
 			}
 			switch strings.TrimPrefix(it.Name, "/") {
@@ -248,7 +263,7 @@ func (lx *lexer) run() []lexItem {
 		case isSpace(c):
 			lx.pos++
 		default:
-			items = append(items, lx.lexTextRun()...)
+			items = lx.lexTextRun(items)
 		}
 	}
 	return items
@@ -327,9 +342,10 @@ func (lx *lexer) findTagEnd() int {
 	return -1
 }
 
-// lexTextRun consumes text up to the next markup, producing word items.
-// Inside <PRE>, each source line becomes one spacing-preserving item.
-func (lx *lexer) lexTextRun() []lexItem {
+// lexTextRun consumes text up to the next markup, appending word items to
+// items. Inside <PRE>, each source line becomes one spacing-preserving
+// item.
+func (lx *lexer) lexTextRun(items []lexItem) []lexItem {
 	start := lx.pos
 	for lx.pos < len(lx.src) {
 		if lx.src[lx.pos] == '<' && lx.looksLikeMarkup() {
@@ -339,16 +355,45 @@ func (lx *lexer) lexTextRun() []lexItem {
 	}
 	text := lx.src[start:lx.pos]
 	if lx.pre > 0 {
-		return preLines(text)
+		return preLines(text, items)
 	}
-	var items []lexItem
-	for _, w := range strings.Fields(text) {
-		items = append(items, lexItem{
-			Item:        Item{Kind: Word, Raw: w},
-			sentenceEnd: endsSentence(w),
-		})
+	// Split on whitespace in place (a manual strings.Fields, minus its
+	// intermediate slice). Byte-at-a-time for ASCII; rune decoding only
+	// for high bytes, so Unicode spaces still delimit words.
+	i := 0
+	for i < len(text) {
+		i = skipSpace(text, i, true)
+		j := skipSpace(text, i, false)
+		if j > i {
+			w := text[i:j]
+			items = append(items, lexItem{
+				Item:        Item{Kind: Word, Raw: w},
+				sentenceEnd: endsSentence(w),
+			})
+		}
+		i = j
 	}
 	return items
+}
+
+// skipSpace advances from i past whitespace (want=true) or past
+// non-whitespace (want=false), with strings.Fields' notion of space.
+func skipSpace(text string, i int, want bool) int {
+	for i < len(text) {
+		if c := text[i]; c < utf8.RuneSelf {
+			if isSpace(c) != want {
+				return i
+			}
+			i++
+		} else {
+			r, size := utf8.DecodeRuneInString(text[i:])
+			if unicode.IsSpace(r) != want {
+				return i
+			}
+			i += size
+		}
+	}
+	return i
 }
 
 // lexOpaqueText consumes the body of a <SCRIPT> or <STYLE> element up to
@@ -379,10 +424,16 @@ func (lx *lexer) lexOpaqueText() (it *lexItem, moved bool) {
 }
 
 // preLines splits <PRE> text into one item per line, keeping interior
-// spacing. Blank lines are dropped (they carry no content).
-func preLines(text string) []lexItem {
-	var items []lexItem
-	for _, line := range strings.Split(text, "\n") {
+// spacing, appending to items. Blank lines are dropped (they carry no
+// content).
+func preLines(text string, items []lexItem) []lexItem {
+	for len(text) > 0 {
+		line := text
+		if nl := strings.IndexByte(text, '\n'); nl >= 0 {
+			line, text = text[:nl], text[nl+1:]
+		} else {
+			text = ""
+		}
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -484,29 +535,41 @@ func parseAttrs(s string) []Attr {
 	return attrs
 }
 
-// segment groups the item stream into sentence and breaking-markup tokens.
+// segment groups the item stream into sentence and breaking-markup
+// tokens. Every Item is copied exactly once into a single arena sized up
+// front, and each token's Items field is a (capacity-limited) contiguous
+// range of it — one allocation for the whole stream instead of one per
+// token.
 func segment(items []lexItem) []Token {
-	var tokens []Token
-	var cur []Item
-	var curPre bool
+	if len(items) == 0 {
+		return nil
+	}
+	arena := make([]Item, 0, len(items))
+	tokens := make([]Token, 0, len(items)/4+1)
+	start := 0 // arena index where the open sentence begins
+	take := func() []Item {
+		s := arena[start:len(arena):len(arena)]
+		start = len(arena)
+		return s
+	}
 	flush := func() {
-		if len(cur) > 0 {
-			tokens = append(tokens, Token{Kind: Sentence, Items: cur, Pre: curPre})
-			cur = nil
-			curPre = false
+		if len(arena) > start {
+			tokens = append(tokens, Token{Kind: Sentence, Items: take()})
 		}
 	}
 	for _, it := range items {
 		switch {
 		case it.Kind == Markup && breaking[strings.TrimPrefix(it.Name, "/")]:
 			flush()
-			tokens = append(tokens, Token{Kind: Breaking, Items: []Item{it.Item}})
+			arena = append(arena, it.Item)
+			tokens = append(tokens, Token{Kind: Breaking, Items: take()})
 		case it.preLine:
 			// Each <PRE> line is its own sentence.
 			flush()
-			tokens = append(tokens, Token{Kind: Sentence, Items: []Item{it.Item}, Pre: true})
+			arena = append(arena, it.Item)
+			tokens = append(tokens, Token{Kind: Sentence, Items: take(), Pre: true})
 		default:
-			cur = append(cur, it.Item)
+			arena = append(arena, it.Item)
 			if it.sentenceEnd {
 				flush()
 			}
@@ -533,7 +596,7 @@ func Render(tokens []Token) string {
 
 func isSpace(c byte) bool {
 	switch c {
-	case ' ', '\t', '\n', '\r', '\f':
+	case ' ', '\t', '\n', '\r', '\f', '\v':
 		return true
 	}
 	return false

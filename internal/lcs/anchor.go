@@ -1,0 +1,169 @@
+package lcs
+
+// AnchorWeights extends Weights with a content hash per element, enabling
+// the Hunt–McIlroy-style anchored fast path: elements whose hash occurs
+// exactly once in each sequence pin the alignment, and the O(n·m)
+// Hirschberg recurrence runs only on the (typically tiny) gaps between
+// anchors.
+//
+// The hash contract: HashA(i) == HashB(j) must imply that A[i] and B[j]
+// have identical content, and that Weight(i, j) is at least as large as
+// any weight either element could earn in a different pairing (exact
+// matches dominate fuzzy ones). HtmlDiff's sentence weights satisfy this:
+// an identical sentence scores its full content length, while a fuzzy
+// match scores only the common words. Anchored guards every pinned pair
+// with a Weight check, so a hash collision can cost speed but never
+// produce an invalid match.
+type AnchorWeights interface {
+	Weights
+	// HashA returns the content hash of A[i].
+	HashA(i int) uint64
+	// HashB returns the content hash of B[j].
+	HashB(j int) uint64
+}
+
+// AnchorStats reports how the anchored fast path handled one alignment.
+type AnchorStats struct {
+	// Trimmed counts pairs matched during common prefix/suffix trimming.
+	Trimmed int
+	// Anchors counts unique-hash pairs that pinned the alignment.
+	Anchors int
+	// Fallback is true when crossing anchors (content moved past unique
+	// material) made anchoring ambiguous and the full Hirschberg
+	// recurrence ran on the untrimmed middle instead.
+	Fallback bool
+	// Cells is the number of DP cells actually evaluated — the summed
+	// area of the gap subproblems (or the whole middle on fallback).
+	Cells int64
+	// FullCells is n·m, the cost an unanchored run would have paid.
+	FullCells int64
+}
+
+// Anchored computes a maximum-weight common subsequence like Hirschberg,
+// using content hashes to trim the common prefix and suffix and to pin
+// the alignment at sentences whose hash is unique in both sequences.
+// Hirschberg's recurrence runs only on the gaps between anchors; when the
+// unique hashes appear in different orders on the two sides (anchoring is
+// ambiguous) the whole middle falls back to the full recurrence.
+func Anchored(w AnchorWeights) []Pair {
+	pairs, _ := AnchoredStats(w)
+	return pairs
+}
+
+// AnchoredStats is Anchored plus instrumentation about the run.
+func AnchoredStats(w AnchorWeights) ([]Pair, AnchorStats) {
+	n, m := w.LenA(), w.LenB()
+	st := AnchorStats{FullCells: int64(n) * int64(m)}
+	if n == 0 || m == 0 {
+		return nil, st
+	}
+	out := make([]Pair, 0, min(n, m))
+
+	// Trim the common prefix: identical-content pairs are provably part
+	// of some optimal alignment when exact matches dominate (see the
+	// AnchorWeights contract).
+	alo, ahi, blo, bhi := 0, n, 0, m
+	for alo < ahi && blo < bhi && w.HashA(alo) == w.HashB(blo) {
+		wt := w.Weight(alo, blo)
+		if wt <= 0 {
+			break // hash collision or unmatchable pair: stop trimming
+		}
+		out = append(out, Pair{AIdx: alo, BIdx: blo, Weight: wt})
+		alo++
+		blo++
+		st.Trimmed++
+	}
+	// Trim the common suffix, collected innermost-first and appended in
+	// index order at the end.
+	var suffix []Pair
+	for ahi > alo && bhi > blo && w.HashA(ahi-1) == w.HashB(bhi-1) {
+		wt := w.Weight(ahi-1, bhi-1)
+		if wt <= 0 {
+			break
+		}
+		suffix = append(suffix, Pair{AIdx: ahi - 1, BIdx: bhi - 1, Weight: wt})
+		ahi--
+		bhi--
+		st.Trimmed++
+	}
+
+	if ahi > alo && bhi > blo {
+		anchors, ok := findAnchors(w, alo, ahi, blo, bhi)
+		if !ok {
+			// Crossing unique hashes: content moved. Pinning would force
+			// a possibly suboptimal alignment, so run the full recurrence
+			// on the middle.
+			st.Fallback = true
+			st.Cells += int64(ahi-alo) * int64(bhi-blo)
+			hirschberg(w, alo, ahi, blo, bhi, &out)
+		} else {
+			st.Anchors = len(anchors)
+			prevA, prevB := alo, blo
+			for _, anc := range anchors {
+				st.Cells += int64(anc.AIdx-prevA) * int64(anc.BIdx-prevB)
+				hirschberg(w, prevA, anc.AIdx, prevB, anc.BIdx, &out)
+				out = append(out, anc)
+				prevA, prevB = anc.AIdx+1, anc.BIdx+1
+			}
+			st.Cells += int64(ahi-prevA) * int64(bhi-prevB)
+			hirschberg(w, prevA, ahi, prevB, bhi, &out)
+		}
+	}
+
+	for i := len(suffix) - 1; i >= 0; i-- {
+		out = append(out, suffix[i])
+	}
+	return out, st
+}
+
+// hashOcc tracks how often a hash occurs in one sequence and where its
+// single occurrence is (pos is meaningful only while count == 1).
+type hashOcc struct {
+	count int
+	pos   int
+}
+
+// findAnchors returns the unique-hash anchor pairs of the middle ranges
+// in increasing order on both sides. ok is false when the unique hashes
+// cross (their B positions are not increasing), which means content moved
+// past unique material and anchoring is ambiguous.
+func findAnchors(w AnchorWeights, alo, ahi, blo, bhi int) (anchors []Pair, ok bool) {
+	occA := make(map[uint64]hashOcc, ahi-alo)
+	for i := alo; i < ahi; i++ {
+		h := w.HashA(i)
+		o := occA[h]
+		o.count++
+		o.pos = i
+		occA[h] = o
+	}
+	occB := make(map[uint64]hashOcc, bhi-blo)
+	for j := blo; j < bhi; j++ {
+		h := w.HashB(j)
+		o := occB[h]
+		o.count++
+		o.pos = j
+		occB[h] = o
+	}
+	// Walk A in order so that anchors come out ascending in AIdx.
+	lastB := -1
+	for i := alo; i < ahi; i++ {
+		h := w.HashA(i)
+		if occA[h].count != 1 {
+			continue
+		}
+		ob, present := occB[h]
+		if !present || ob.count != 1 {
+			continue
+		}
+		wt := w.Weight(i, ob.pos)
+		if wt <= 0 {
+			continue // hash collision across unequal content: not an anchor
+		}
+		if ob.pos <= lastB {
+			return nil, false // crossing uniques: ambiguous
+		}
+		lastB = ob.pos
+		anchors = append(anchors, Pair{AIdx: i, BIdx: ob.pos, Weight: wt})
+	}
+	return anchors, true
+}

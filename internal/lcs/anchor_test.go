@@ -1,0 +1,241 @@
+package lcs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// hashedEq wraps eqWeights with FNV-1a content hashes, the simplest
+// AnchorWeights implementation: weight 1 on string equality.
+type hashedEq struct {
+	eqWeights
+	ha, hb []uint64
+}
+
+func newHashedEq(a, b []string) hashedEq {
+	w := hashedEq{eqWeights: eqWeights{a, b}, ha: make([]uint64, len(a)), hb: make([]uint64, len(b))}
+	for i, s := range a {
+		w.ha[i] = hashString(s)
+	}
+	for j, s := range b {
+		w.hb[j] = hashString(s)
+	}
+	return w
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func (w hashedEq) HashA(i int) uint64 { return w.ha[i] }
+func (w hashedEq) HashB(j int) uint64 { return w.hb[j] }
+
+func TestAnchoredSimple(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"a", ""},
+		{"a", "a"},
+		{"a b c d e", "a c e"},
+		{"h1 h2 u1 x y u2 t1 t2", "h1 h2 u1 p q u2 t1 t2"},
+		{"the quick brown fox jumps", "the quick red fox leaps"},
+		{"a a b b c c", "c c b b a a"},
+		{"u1 u2 u3", "u3 u2 u1"},
+	}
+	for _, c := range cases {
+		w := newHashedEq(split(c[0]), split(c[1]))
+		an := Anchored(w)
+		validPairs(t, w, an)
+		if got, want := TotalWeight(an), TotalWeight(DP(w)); got != want {
+			t.Errorf("Anchored(%q,%q) weight = %v, want %v (pairs %v)", c[0], c[1], got, want, an)
+		}
+	}
+}
+
+// TestAnchoredStatsPaths pins down which path each input shape takes:
+// trimming, anchoring, and the crossing-uniques fallback.
+func TestAnchoredStatsPaths(t *testing.T) {
+	// Shared prefix/suffix, one unique anchor in the middle, edits around it.
+	w := newHashedEq(
+		split("h1 h2 x y ANCHOR p q t1 t2"),
+		split("h1 h2 x z ANCHOR r q t1 t2"))
+	pairs, st := AnchoredStats(w)
+	validPairs(t, w, pairs)
+	if st.Trimmed != 6 {
+		t.Errorf("Trimmed = %d, want 6 (h1 h2 x | q t1 t2)", st.Trimmed)
+	}
+	if st.Anchors != 1 { // ANCHOR pins the middle; y/z and p/r differ
+		t.Errorf("Anchors = %d, want 1", st.Anchors)
+	}
+	if st.Fallback {
+		t.Error("unexpected fallback")
+	}
+	if st.Cells >= st.FullCells {
+		t.Errorf("Cells = %d, want < FullCells %d", st.Cells, st.FullCells)
+	}
+
+	// Unique sentences in reversed order: ambiguous, must fall back.
+	w = newHashedEq(split("u1 u2 u3 u4"), split("u4 u3 u2 u1"))
+	pairs, st = AnchoredStats(w)
+	validPairs(t, w, pairs)
+	if !st.Fallback {
+		t.Error("crossing uniques did not trigger fallback")
+	}
+	if got, want := TotalWeight(pairs), TotalWeight(DP(w)); got != want {
+		t.Errorf("fallback weight = %v, want %v", got, want)
+	}
+}
+
+// mutate derives b from a with order-preserving edits: keep, delete,
+// replace-with-fresh, insert-fresh. This is the change class HtmlDiff
+// sees on real pages (edits in place, no content moved across unique
+// sentences), for which the anchored path is weight-equal to the oracle.
+func mutate(r *rand.Rand, a []string) []string {
+	b := make([]string, 0, len(a)+8)
+	fresh := 0
+	for _, s := range a {
+		switch r.Intn(10) {
+		case 0: // delete
+		case 1: // replace with fresh content
+			b = append(b, fmt.Sprintf("fresh%d", fresh))
+			fresh++
+		case 2: // insert fresh content before
+			b = append(b, fmt.Sprintf("fresh%d", fresh), s)
+			fresh++
+		default: // keep
+			b = append(b, s)
+		}
+	}
+	return b
+}
+
+// baseCorpus builds a sequence mixing unique sentences (anchors) with
+// repeated boilerplate (ambiguous material).
+func baseCorpus(r *rand.Rand, n int) []string {
+	a := make([]string, n)
+	for i := range a {
+		if r.Intn(3) == 0 {
+			a[i] = fmt.Sprintf("boiler%d", r.Intn(4)) // repeats
+		} else {
+			a[i] = fmt.Sprintf("unique%d", i)
+		}
+	}
+	return a
+}
+
+func TestPropertyAnchoredEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		a := baseCorpus(r, r.Intn(120))
+		b := mutate(r, a)
+		w := newHashedEq(a, b)
+		an := Anchored(w)
+		validPairs(t, w, an)
+		if got, want := TotalWeight(an), TotalWeight(DP(w)); got != want {
+			t.Fatalf("trial %d: Anchored=%v DP=%v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+	}
+}
+
+// hashedFuzzy exercises the weighted path: exact matches score 2 and
+// dominate the 0.5-weight fuzzy prefix matches, as the AnchorWeights
+// contract requires.
+type hashedFuzzy struct {
+	fuzzyWeights
+	ha, hb []uint64
+}
+
+func newHashedFuzzy(a, b []string) hashedFuzzy {
+	w := hashedFuzzy{fuzzyWeights: fuzzyWeights{a, b}, ha: make([]uint64, len(a)), hb: make([]uint64, len(b))}
+	for i, s := range a {
+		w.ha[i] = hashString(s)
+	}
+	for j, s := range b {
+		w.hb[j] = hashString(s)
+	}
+	return w
+}
+
+func (w hashedFuzzy) HashA(i int) uint64 { return w.ha[i] }
+func (w hashedFuzzy) HashB(j int) uint64 { return w.hb[j] }
+
+func TestPropertyAnchoredWeightedEqualsDP(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		a := baseCorpus(r, r.Intn(80))
+		b := mutate(r, a)
+		w := newHashedFuzzy(a, b)
+		an := Anchored(w)
+		validPairs(t, w, an)
+		if got, want := TotalWeight(an), TotalWeight(DP(w)); got != want {
+			t.Fatalf("trial %d: Anchored=%v DP=%v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+	}
+}
+
+// FuzzAnchoredEquivalence drives the mutation class from fuzz data: the
+// first half of the input selects base tokens, the second half an edit
+// script. The anchored alignment must always be valid and must score
+// exactly what the DP oracle scores.
+func FuzzAnchoredEquivalence(f *testing.F) {
+	f.Add([]byte("abcabcabc"), []byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte("aaaa"), []byte{9, 9, 9, 9})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, base, ops []byte) {
+		if len(base) > 96 {
+			base = base[:96]
+		}
+		a := make([]string, len(base))
+		for i, c := range base {
+			// Small alphabet so repeats (non-anchor material) are common.
+			a[i] = string(rune('a' + int(c)%5))
+		}
+		b := make([]string, 0, len(a)+len(ops))
+		fresh := 0
+		for i, s := range a {
+			op := byte(3)
+			if i < len(ops) {
+				op = ops[i] % 10
+			}
+			switch op {
+			case 0:
+			case 1:
+				b = append(b, fmt.Sprintf("fresh%d", fresh))
+				fresh++
+			case 2:
+				b = append(b, fmt.Sprintf("fresh%d", fresh), s)
+				fresh++
+			default:
+				b = append(b, s)
+			}
+		}
+		w := newHashedEq(a, b)
+		an := Anchored(w)
+		validPairs(t, w, an)
+		if got, want := TotalWeight(an), TotalWeight(DP(w)); got != want {
+			t.Fatalf("Anchored=%v DP=%v\na=%v\nb=%v", got, want, a, b)
+		}
+	})
+}
+
+func BenchmarkAnchoredVsHirschberg(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	a := baseCorpus(r, 800)
+	bq := mutate(r, a)
+	w := newHashedEq(a, bq)
+	b.Run("anchored", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Anchored(w)
+		}
+	})
+	b.Run("hirschberg", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Hirschberg(w)
+		}
+	})
+}

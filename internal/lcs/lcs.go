@@ -188,6 +188,19 @@ func nwScore(w Weights, alo, ahi, blo, bhi int, rev bool) []float64 {
 // (each match has weight 1), using the match-point/longest-increasing-
 // subsequence formulation of Hunt and McIlroy's diff algorithm.
 func Strings(a, b []string) []Pair {
+	return exactLCS(a, b)
+}
+
+// IDs is Strings over interned integer tokens. HtmlDiff interns sentence
+// items once per document and runs its inner word-level LCS on the ids,
+// replacing string hashing and comparison with integer operations.
+func IDs(a, b []int32) []Pair {
+	return exactLCS(a, b)
+}
+
+// exactLCS is the shared Hunt–McIlroy implementation behind Strings and
+// IDs: exact equality, weight 1 per match.
+func exactLCS[T comparable](a, b []T) []Pair {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return nil
@@ -214,25 +227,28 @@ func Strings(a, b []string) []Pair {
 }
 
 // lisNode is a candidate chain node in the increasing-subsequence search.
+// Nodes live in one growable arena and link by index (prev < 0 means
+// none), avoiding a heap allocation per match point.
 type lisNode struct {
 	ai, bj int
-	prev   *lisNode
+	prev   int32
 }
 
 // appendMiddleLCS computes the LCS of the trimmed middle sections and
 // appends the resulting pairs (offset back into original coordinates).
-func appendMiddleLCS(a, b []string, off int, pairs []Pair) []Pair {
+func appendMiddleLCS[T comparable](a, b []T, off int, pairs []Pair) []Pair {
 	if len(a) == 0 || len(b) == 0 {
 		return pairs
 	}
 	// Positions of each line value in b, ascending.
-	occ := make(map[string][]int, len(b))
+	occ := make(map[T][]int, len(b))
 	for j, s := range b {
 		occ[s] = append(occ[s], j)
 	}
 	// tails[k] is the candidate ending the best known common subsequence
 	// of length k+1 with the smallest final b index.
-	var tails []*lisNode
+	nodes := make([]lisNode, 0, min(len(a), len(b)))
+	var tails []int32
 	for i, s := range a {
 		js := occ[s]
 		// Visit b positions in descending order so that multiple matches
@@ -240,28 +256,30 @@ func appendMiddleLCS(a, b []string, off int, pairs []Pair) []Pair {
 		for x := len(js) - 1; x >= 0; x-- {
 			j := js[x]
 			// Find the first tail whose bj >= j; we will replace it.
-			k := sort.Search(len(tails), func(k int) bool { return tails[k].bj >= j })
-			node := &lisNode{ai: i, bj: j}
+			k := sort.Search(len(tails), func(k int) bool { return nodes[tails[k]].bj >= j })
+			prev := int32(-1)
 			if k > 0 {
-				node.prev = tails[k-1]
+				prev = tails[k-1]
 			}
+			nodes = append(nodes, lisNode{ai: i, bj: j, prev: prev})
+			idx := int32(len(nodes) - 1)
 			if k == len(tails) {
-				tails = append(tails, node)
+				tails = append(tails, idx)
 			} else {
-				tails[k] = node
+				tails[k] = idx
 			}
 		}
 	}
 	if len(tails) == 0 {
 		return pairs
 	}
-	// Walk the best chain back to the start, then reverse into pairs.
-	chain := make([]*lisNode, 0, len(tails))
-	for n := tails[len(tails)-1]; n != nil; n = n.prev {
+	// Walk the best chain back to the start, then emit in forward order.
+	chain := make([]int32, 0, len(tails))
+	for n := tails[len(tails)-1]; n >= 0; n = nodes[n].prev {
 		chain = append(chain, n)
 	}
 	for x := len(chain) - 1; x >= 0; x-- {
-		n := chain[x]
+		n := nodes[chain[x]]
 		pairs = append(pairs, Pair{AIdx: n.ai + off, BIdx: n.bj + off, Weight: 1})
 	}
 	return pairs

@@ -1,0 +1,270 @@
+package rcs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/obs"
+	"aide/internal/simclock"
+)
+
+// pageText fabricates a revision body that changes a little each step,
+// like a real page across polls.
+func pageText(i int) string {
+	var sb strings.Builder
+	for l := 0; l < 40; l++ {
+		if l == i%40 {
+			fmt.Fprintf(&sb, "line %d changed at revision %d\n", l, i)
+			continue
+		}
+		fmt.Fprintf(&sb, "stable line %d of the page\n", l)
+	}
+	return sb.String()
+}
+
+// TestCheckpointSpacing checks the structural invariant: at most
+// CheckpointEvery-1 deltas separate consecutive full-text revisions.
+func TestCheckpointSpacing(t *testing.T) {
+	a, clock := newTestArchive(t)
+	a.CheckpointEvery = 3
+	for i := 0; i < 12; i++ {
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(pageText(i), "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := a.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoints := 0
+	run := 0 // deltas since the last full-text revision
+	for i, r := range f.revs {
+		full := i == 0 || r.checkpoint
+		if full {
+			if r.checkpoint {
+				checkpoints++
+			}
+			run = 0
+			continue
+		}
+		run++
+		if run > a.CheckpointEvery-1 {
+			t.Fatalf("revision %s: %d consecutive deltas, spacing %d violated",
+				r.Num, run, a.CheckpointEvery)
+		}
+	}
+	if checkpoints == 0 {
+		t.Fatal("12 revisions at spacing 3 produced no checkpoints")
+	}
+	// Every revision must still reconstruct exactly.
+	for i := 0; i < 12; i++ {
+		rev := fmt.Sprintf("1.%d", i+1)
+		got, err := a.Checkout(rev)
+		if err != nil {
+			t.Fatalf("Checkout(%s): %v", rev, err)
+		}
+		if got != pageText(i) {
+			t.Errorf("Checkout(%s) differs from checked-in text", rev)
+		}
+	}
+}
+
+// TestCheckpointedMatchesPlainCheckout runs the same history through a
+// densely checkpointed archive and an effectively checkpoint-free one and
+// requires identical checkouts for every revision.
+func TestCheckpointedMatchesPlainCheckout(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	dir := t.TempDir()
+	cp := Open(dir+"/cp,v", clock)
+	cp.CheckpointEvery = 2
+	plain := Open(dir+"/plain,v", clock)
+	plain.CheckpointEvery = 1 << 30
+	const n = 15
+	for i := 0; i < n; i++ {
+		clock.Advance(time.Hour)
+		text := pageText(i)
+		if i%4 == 3 {
+			text = strings.TrimSuffix(text, "\n") // exercise noeol interplay
+		}
+		if _, _, err := cp.Checkin(text, "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := plain.Checkin(text, "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		rev := fmt.Sprintf("1.%d", i)
+		a, err1 := cp.Checkout(rev)
+		b, err2 := plain.Checkout(rev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Checkout(%s): %v / %v", rev, err1, err2)
+		}
+		if a != b {
+			t.Errorf("Checkout(%s): checkpointed and plain archives disagree", rev)
+		}
+	}
+}
+
+// TestCheckpointRoundTripByteIdentical: a checkpointed archive must
+// survive parse -> serialize unchanged, byte for byte.
+func TestCheckpointRoundTripByteIdentical(t *testing.T) {
+	a, clock := newTestArchive(t)
+	a.CheckpointEvery = 2
+	for i := 0; i < 9; i++ {
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(pageText(i), "u", "log @ with at-sign"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(a.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\tcheckpoint;") {
+		t.Fatal("spacing 2 over 9 revisions wrote no checkpoint keyword")
+	}
+	f, err := parseArchive(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeArchive(f); got != string(raw) {
+		t.Errorf("serialize(parse(archive)) differs from archive on disk")
+	}
+}
+
+// TestPreCheckpointArchiveReadable: archives written before the
+// checkpoint keyword existed (no `checkpoint;` anywhere) must still parse
+// and check out every revision.
+func TestPreCheckpointArchiveReadable(t *testing.T) {
+	a, clock := newTestArchive(t)
+	a.CheckpointEvery = 1 << 30 // emit the historical, checkpoint-free format
+	texts := make([]string, 6)
+	for i := range texts {
+		clock.Advance(time.Hour)
+		texts[i] = pageText(i)
+		if _, _, err := a.Checkin(texts[i], "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(a.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "checkpoint") {
+		t.Fatal("expected a checkpoint-free archive")
+	}
+	f, err := parseArchive(string(raw))
+	if err != nil {
+		t.Fatalf("parse of pre-checkpoint archive: %v", err)
+	}
+	for i, want := range texts {
+		got, err := f.checkout(fmt.Sprintf("1.%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("revision 1.%d differs after pre-checkpoint parse", i+1)
+		}
+	}
+}
+
+// TestCheckpointHitsMetric: checking out a pre-checkpoint revision of a
+// deep archive must record a checkpoint hit.
+func TestCheckpointHitsMetric(t *testing.T) {
+	a, clock := newTestArchive(t)
+	a.CheckpointEvery = 2
+	for i := 0; i < 8; i++ {
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(pageText(i), "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := obs.Default.Counter("rcs.checkpoint_hits").Value()
+	if _, err := a.Checkout("1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if after := obs.Default.Counter("rcs.checkpoint_hits").Value(); after <= before {
+		t.Errorf("rcs.checkpoint_hits did not advance: %d -> %d", before, after)
+	}
+}
+
+// TestArchiveCacheHitAndInvalidation: repeated operations on one path hit
+// the parsed-archive cache; replacing the file on disk (different
+// size/mtime) must invalidate it.
+func TestArchiveCacheHitAndInvalidation(t *testing.T) {
+	clock := simclock.New(time.Time{})
+	dir := t.TempDir()
+	a := Open(dir+"/a,v", clock)
+	if _, _, err := a.Checkin("original text\n", "u", "one"); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := obs.Default.Counter("rcs.cache.hits").Value()
+	for i := 0; i < 3; i++ {
+		if got, err := a.Checkout(""); err != nil || got != "original text\n" {
+			t.Fatalf("Checkout = (%q, %v)", got, err)
+		}
+	}
+	if hits := obs.Default.Counter("rcs.cache.hits").Value(); hits < hitsBefore+3 {
+		t.Errorf("cache hits %d -> %d, want +3", hitsBefore, hits)
+	}
+
+	// A fresh handle on the same path must share the cache.
+	b := Open(dir+"/a,v", clock)
+	hitsBefore = obs.Default.Counter("rcs.cache.hits").Value()
+	if got, err := b.Checkout(""); err != nil || got != "original text\n" {
+		t.Fatalf("Checkout = (%q, %v)", got, err)
+	}
+	if hits := obs.Default.Counter("rcs.cache.hits").Value(); hits <= hitsBefore {
+		t.Error("fresh handle on same path did not hit the cache")
+	}
+
+	// Replace the archive behind the cache's back.
+	other := Open(dir+"/other,v", clock)
+	if _, _, err := other.Checkin("replacement text\n", "u", "one"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(other.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a different mtime in case the filesystem clock is coarse.
+	stamp := time.Now().Add(time.Hour)
+	if err := os.Chtimes(a.Path(), stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Checkout(""); err != nil || got != "replacement text\n" {
+		t.Fatalf("Checkout after external replace = (%q, %v), cache served stale data", got, err)
+	}
+}
+
+// TestCacheCloneIsolation: a cached parse must not be corrupted by the
+// mutations Checkin performs on its working copy.
+func TestCacheCloneIsolation(t *testing.T) {
+	a, clock := newTestArchive(t)
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Hour)
+		if _, _, err := a.Checkin(pageText(i), "u", "rev"); err != nil {
+			t.Fatal(err)
+		}
+		// Re-read every revision so any aliasing between the cache's
+		// entry and Checkin's mutated copy would surface as corruption.
+		for j := 0; j <= i; j++ {
+			rev := fmt.Sprintf("1.%d", j+1)
+			got, err := a.Checkout(rev)
+			if err != nil {
+				t.Fatalf("Checkout(%s): %v", rev, err)
+			}
+			if got != pageText(j) {
+				t.Fatalf("Checkout(%s) corrupted after later checkin", rev)
+			}
+		}
+	}
+}

@@ -13,9 +13,19 @@
 // The on-disk format is a simplified trunk-only `,v` dialect: @-quoted
 // strings with `@` doubled, head-first revision order, and a `noeol` flag
 // so that texts without a final newline round-trip exactly.
+//
+// Two departures from classic RCS keep deep archives fast. Every
+// CheckpointEvery-th revision is kept as full text (marked `checkpoint;`
+// in its metadata, a keyword older parsers of this dialect never emitted
+// but new parsers accept alongside `noeol;`), so a checkout applies a
+// bounded number of ed scripts instead of one per intervening revision.
+// And parsed archives are cached in a package-level LRU validated by file
+// size and mtime, so the common poll cycle (stat, checkout head, check
+// in) parses each archive once rather than once per operation.
 package rcs
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"os"
@@ -26,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/obs"
 	"aide/internal/simclock"
 	"aide/internal/textdiff"
 )
@@ -56,8 +67,13 @@ type Revision struct {
 type revEntry struct {
 	Revision
 	noEOL bool
-	// text is the full document for the head revision and a reverse
-	// ed script (new -> old) for every other revision.
+	// checkpoint marks a non-head revision stored as full text (a
+	// forward checkpoint) rather than as a delta, bounding how many ed
+	// scripts a checkout must apply.
+	checkpoint bool
+	// text is the full document for the head revision and for
+	// checkpoints, and a reverse ed script (new -> old) for every other
+	// revision.
 	text string
 }
 
@@ -65,12 +81,24 @@ type revEntry struct {
 // revision lock.
 var ErrLocked = errors.New("rcs: revision is locked")
 
+// defaultCheckpointEvery is the default spacing of forward checkpoints:
+// at most defaultCheckpointEvery-1 deltas separate consecutive full-text
+// revisions, so a checkout applies at most that many ed scripts no matter
+// how deep the archive grows.
+const defaultCheckpointEvery = 8
+
 // Archive is a single versioned document. An Archive value serialises its
 // own operations; cross-process exclusion is the caller's responsibility
 // (the snapshot facility holds per-URL locks around archive operations).
 type Archive struct {
 	path  string
 	clock simclock.Clock
+
+	// CheckpointEvery bounds the delta-chain length between full-text
+	// revisions: every CheckpointEvery-th revision is kept as a forward
+	// checkpoint. Zero selects the default; set before the first Checkin
+	// to override (tests use small values to force dense checkpoints).
+	CheckpointEvery int
 
 	mu sync.Mutex
 }
@@ -141,11 +169,22 @@ func (a *Archive) Checkin(text, author, log string) (rev string, changed bool, e
 			}
 			return f.revs[0].Num, false, nil
 		}
-		// Replace the old head's full text with a reverse delta that
-		// rebuilds it from the new text.
-		oldLines := textdiff.Lines(headText)
-		newLines := textdiff.Lines(text)
-		f.revs[0].text = textdiff.EdScript(newLines, oldLines)
+		// Count the deltas between the old head and the next full-text
+		// revision below it. If converting the old head to a delta would
+		// stretch that chain past the checkpoint spacing, keep its full
+		// text as a forward checkpoint instead; otherwise replace it with
+		// a reverse delta that rebuilds it from the new text.
+		deltas := 0
+		for i := 1; i < len(f.revs) && !f.revs[i].checkpoint; i++ {
+			deltas++
+		}
+		if k := a.checkpointEvery(); deltas >= k-1 {
+			f.revs[0].checkpoint = true
+		} else {
+			oldLines := textdiff.Lines(headText)
+			newLines := textdiff.Lines(text)
+			f.revs[0].text = textdiff.EdScript(newLines, oldLines)
+		}
 	}
 
 	num := "1.1"
@@ -359,8 +398,10 @@ type archiveFile struct {
 	locks map[string]string
 }
 
-// checkout rebuilds the text of rev from the head by applying reverse
-// deltas down the trunk.
+// checkout rebuilds the text of rev by applying reverse deltas down the
+// trunk, starting from the nearest full-text revision (the head or a
+// forward checkpoint) at or above rev. Checkpoint spacing bounds the
+// number of ed scripts applied regardless of archive depth.
 func (f *archiveFile) checkout(rev string) (string, error) {
 	if len(f.revs) == 0 {
 		return "", ErrNoArchive
@@ -378,8 +419,18 @@ func (f *archiveFile) checkout(rev string) (string, error) {
 	if idx < 0 {
 		return "", fmt.Errorf("%w: %s", ErrNoRevision, rev)
 	}
-	lines := textdiff.Lines(f.revs[0].text)
-	for i := 1; i <= idx; i++ {
+	start := 0
+	for i := idx; i >= 1; i-- {
+		if f.revs[i].checkpoint {
+			start = i
+			break
+		}
+	}
+	if start > 0 {
+		obs.Default.Counter("rcs.checkpoint_hits").Inc()
+	}
+	lines := textdiff.Lines(f.revs[start].text)
+	for i := start + 1; i <= idx; i++ {
 		var err error
 		lines, err = textdiff.ApplyEd(lines, f.revs[i].text)
 		if err != nil {
@@ -393,8 +444,100 @@ func (f *archiveFile) checkout(rev string) (string, error) {
 	return text, nil
 }
 
-// load parses the archive file.
+// checkpointEvery returns the effective checkpoint spacing.
+func (a *Archive) checkpointEvery() int {
+	if a.CheckpointEvery >= 1 {
+		return a.CheckpointEvery
+	}
+	return defaultCheckpointEvery
+}
+
+// clone returns a deep-enough copy of f that callers may mutate without
+// affecting f: the revs slice and locks map are copied; the strings they
+// hold are immutable.
+func (f *archiveFile) clone() *archiveFile {
+	c := &archiveFile{revs: append([]revEntry(nil), f.revs...)}
+	if f.locks != nil {
+		c.locks = make(map[string]string, len(f.locks))
+		for u, r := range f.locks {
+			c.locks[u] = r
+		}
+	}
+	return c
+}
+
+// --- parsed-archive cache -------------------------------------------------
+
+// archCache is a package-level LRU of parsed archives keyed by path,
+// validated against the file's size and mtime on every use. Snapshot
+// facilities open a fresh Archive handle per operation, so the cache must
+// outlive individual handles to be useful. Entries are canonical and
+// never mutated; load returns clones.
+var archCache = struct {
+	sync.Mutex
+	m    map[string]*archCacheEntry
+	tick int64 // LRU clock
+}{m: make(map[string]*archCacheEntry)}
+
+// archCacheLimit bounds the number of cached parsed archives.
+const archCacheLimit = 64
+
+type archCacheEntry struct {
+	f     *archiveFile
+	size  int64
+	mtime time.Time
+	used  int64
+}
+
+// cacheGet returns the canonical parsed archive for path if the cached
+// entry still matches the file's size and mtime.
+func cacheGet(path string, fi os.FileInfo) *archiveFile {
+	archCache.Lock()
+	defer archCache.Unlock()
+	e, ok := archCache.m[path]
+	if !ok || e.size != fi.Size() || !e.mtime.Equal(fi.ModTime()) {
+		return nil
+	}
+	archCache.tick++
+	e.used = archCache.tick
+	return e.f
+}
+
+// cachePut stores the canonical parsed archive for path, evicting the
+// least recently used entry when the cache is full.
+func cachePut(path string, f *archiveFile, fi os.FileInfo) {
+	archCache.Lock()
+	defer archCache.Unlock()
+	archCache.tick++
+	archCache.m[path] = &archCacheEntry{f: f, size: fi.Size(), mtime: fi.ModTime(), used: archCache.tick}
+	if len(archCache.m) <= archCacheLimit {
+		return
+	}
+	var oldest string
+	var oldestUsed int64
+	for p, e := range archCache.m {
+		if oldest == "" || e.used < oldestUsed {
+			oldest, oldestUsed = p, e.used
+		}
+	}
+	delete(archCache.m, oldest)
+}
+
+// load parses the archive file, consulting the parsed-archive cache. The
+// returned value is a private clone the caller may mutate.
 func (a *Archive) load() (*archiveFile, error) {
+	fi, err := os.Stat(a.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoArchive
+		}
+		return nil, err
+	}
+	if f := cacheGet(a.path, fi); f != nil {
+		obs.Default.Counter("rcs.cache.hits").Inc()
+		return f.clone(), nil
+	}
+	obs.Default.Counter("rcs.cache.misses").Inc()
 	data, err := os.ReadFile(a.path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -402,10 +545,20 @@ func (a *Archive) load() (*archiveFile, error) {
 		}
 		return nil, err
 	}
-	return parseArchive(string(data))
+	f, err := parseArchive(string(data))
+	if err != nil {
+		return nil, err
+	}
+	// Cache only if the file is unchanged since the pre-read stat, so a
+	// concurrent replace between stat and read cannot pin stale data to
+	// the new size/mtime.
+	if fi2, err2 := os.Stat(a.path); err2 == nil && fi2.Size() == fi.Size() && fi2.ModTime().Equal(fi.ModTime()) {
+		cachePut(a.path, f.clone(), fi)
+	}
+	return f, nil
 }
 
-// store atomically rewrites the archive file.
+// store atomically rewrites the archive file and refreshes the cache.
 func (a *Archive) store(f *archiveFile) error {
 	if err := os.MkdirAll(filepath.Dir(a.path), 0o755); err != nil {
 		return err
@@ -415,7 +568,9 @@ func (a *Archive) store(f *archiveFile) error {
 		return err
 	}
 	tmpName := tmp.Name()
-	_, werr := tmp.WriteString(serializeArchive(f))
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	writeArchive(bw, f)
+	werr := bw.Flush()
 	if werr == nil {
 		// Make the archive durable before the rename flips the name to
 		// it: a crash just after the rename must not leave the archive
@@ -430,51 +585,88 @@ func (a *Archive) store(f *archiveFile) error {
 		}
 		return cerr
 	}
-	return os.Rename(tmpName, a.path)
+	if err := os.Rename(tmpName, a.path); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(a.path); err == nil {
+		cachePut(a.path, f.clone(), fi)
+	}
+	return nil
 }
 
 // --- on-disk format -------------------------------------------------------
 
 // serializeArchive renders the archive in the simplified `,v` dialect.
+// Kept as the string-returning form for tests; store streams through
+// writeArchive directly.
 func serializeArchive(f *archiveFile) string {
 	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	writeArchive(bw, f)
+	bw.Flush()
+	return sb.String()
+}
+
+// writeArchive streams the archive in the simplified `,v` dialect. Errors
+// are sticky in the bufio.Writer and surface at Flush, so the body can
+// write unconditionally.
+func writeArchive(bw *bufio.Writer, f *archiveFile) {
 	head := ""
 	if len(f.revs) > 0 {
 		head = f.revs[0].Num
 	}
-	fmt.Fprintf(&sb, "head\t%s;\n", head)
-	sb.WriteString("access;\nsymbols;\nlocks")
+	fmt.Fprintf(bw, "head\t%s;\n", head)
+	bw.WriteString("access;\nsymbols;\nlocks")
 	users := make([]string, 0, len(f.locks))
 	for u := range f.locks {
 		users = append(users, u)
 	}
 	sort.Strings(users)
 	for _, u := range users {
-		fmt.Fprintf(&sb, "\n\t%s:%s", quoteWord(u), f.locks[u])
+		fmt.Fprintf(bw, "\n\t%s:%s", quoteWord(u), f.locks[u])
 	}
-	sb.WriteString("; strict;\n")
-	sb.WriteString("comment\t@# @;\n\n")
+	bw.WriteString("; strict;\n")
+	bw.WriteString("comment\t@# @;\n\n")
 	for i, r := range f.revs {
 		next := ""
 		if i+1 < len(f.revs) {
 			next = f.revs[i+1].Num
 		}
-		fmt.Fprintf(&sb, "%s\n", r.Num)
-		fmt.Fprintf(&sb, "date\t%s;\tauthor %s;\tstate Exp;", r.Date.UTC().Format(dateFormat), quoteWord(r.Author))
+		fmt.Fprintf(bw, "%s\n", r.Num)
+		fmt.Fprintf(bw, "date\t%s;\tauthor %s;\tstate Exp;", r.Date.UTC().Format(dateFormat), quoteWord(r.Author))
 		if r.noEOL {
-			sb.WriteString("\tnoeol;")
+			bw.WriteString("\tnoeol;")
 		}
-		sb.WriteString("\n")
-		fmt.Fprintf(&sb, "next\t%s;\n\n", next)
+		if r.checkpoint {
+			bw.WriteString("\tcheckpoint;")
+		}
+		bw.WriteString("\n")
+		fmt.Fprintf(bw, "next\t%s;\n\n", next)
 	}
-	sb.WriteString("\ndesc\n@@\n\n")
+	bw.WriteString("\ndesc\n@@\n\n")
 	for _, r := range f.revs {
-		fmt.Fprintf(&sb, "\n%s\nlog\n@%s@\ntext\n@%s@\n", r.Num, escapeAt(r.Log), escapeAt(r.text))
+		fmt.Fprintf(bw, "\n%s\nlog\n@", r.Num)
+		writeEscapedAt(bw, r.Log)
+		bw.WriteString("@\ntext\n@")
+		writeEscapedAt(bw, r.text)
+		bw.WriteString("@\n")
 	}
-	return sb.String()
 }
 
-func escapeAt(s string) string { return strings.ReplaceAll(s, "@", "@@") }
+// writeEscapedAt writes s with every '@' doubled, without building an
+// intermediate escaped copy of (potentially large) revision texts.
+func writeEscapedAt(bw *bufio.Writer, s string) {
+	for {
+		i := strings.IndexByte(s, '@')
+		if i < 0 {
+			bw.WriteString(s)
+			return
+		}
+		bw.WriteString(s[:i+1])
+		bw.WriteByte('@')
+		s = s[i+1:]
+	}
+}
 
 // quoteWord makes an author safe to embed unquoted (RCS authors are simple
 // words; ours are email-ish identifiers).
@@ -571,6 +763,10 @@ func parseArchive(src string) (*archiveFile, error) {
 					p.takeWord()
 					p.wordUntilSemi()
 					e.noEOL = true
+				} else if kw == "checkpoint" {
+					p.takeWord()
+					p.wordUntilSemi()
+					e.checkpoint = true
 				} else if kw == "next" {
 					p.takeWord()
 					p.wordUntilSemi() // chain is implied by order; value unused

@@ -218,6 +218,7 @@ func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) 
 		f.metrics().Counter("snapshot.diffcache.hits").Inc()
 		return DiffResult{HTML: html, OldRev: oldRev, NewRev: newRev, Cached: true}, nil
 	}
+	f.metrics().Counter("snapshot.diffcache.misses").Inc()
 	arch := f.archive(pageURL)
 	oldText, err := arch.Checkout(oldRev)
 	if err != nil {
