@@ -20,8 +20,10 @@ import (
 	"aide/internal/htmldiff"
 	"aide/internal/lcs"
 	"aide/internal/notify"
+	"aide/internal/obs"
 	"aide/internal/proxycache"
 	"aide/internal/rcs"
+	"aide/internal/sched"
 	"aide/internal/simclock"
 	"aide/internal/snapshot"
 	"aide/internal/textdiff"
@@ -613,6 +615,48 @@ func BenchmarkEntitySnapshot(b *testing.B) {
 		body := page.String() + fmt.Sprintf("<!-- v%d -->", i)
 		if _, err := fac.RememberContent(context.Background(), "", "http://h/gallery", body); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Scheduler: adaptive polling hot path -----------------------------------
+
+// BenchmarkSchedulerTick measures one scheduler step at a 10k-URL
+// schedule: advance the clock to the next due time, pop the due item,
+// poll it, fold the outcome into its EWMA estimator, and push it back
+// — the per-poll cost of the continuous scheduler's control loop.
+func BenchmarkSchedulerTick(b *testing.B) {
+	clock := simclock.New(time.Time{})
+	sc := sched.New(sched.Config{
+		MinInterval: time.Minute,
+		MaxInterval: time.Hour,
+		HostRPS:     1 << 20, // politeness never defers: isolate heap + estimator
+		Workers:     1,
+	})
+	sc.Clock = clock
+	sc.Metrics = obs.NewRegistry()
+	var n int
+	sc.Poll = func(ctx context.Context, url string) sched.Outcome {
+		n++
+		if n%2 == 0 {
+			return sched.Changed
+		}
+		return sched.Unchanged
+	}
+	for i := 0; i < 10000; i++ {
+		sc.Add(fmt.Sprintf("http://host%d.example/p%d", i%100, i))
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, ok := sc.NextDue()
+		if !ok {
+			b.Fatal("empty schedule")
+		}
+		clock.Set(next)
+		if st := sc.Tick(ctx); st.Polled == 0 {
+			b.Fatal("tick polled nothing at its own due time")
 		}
 	}
 }

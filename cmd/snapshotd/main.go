@@ -8,10 +8,20 @@
 // Usage:
 //
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
-//	          [-sweep 1h] [-sweep-workers 4] [-fixed fixed-urls.txt]
-//	          [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
+//	          [-sweep 1h] [-sweep-workers 4] [-sweep-jitter 0] [-fixed fixed-urls.txt]
+//	          [-sched] [-sched-min 15m] [-sched-max 168h] [-host-rps 1]
+//	          [-jitter-seed 0] [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
 //	          [-max-inflight 64] [-breaker-threshold 5] [-breaker-cooldown 5m]
 //	          [-debug-addr :6060] [-log-level info]
+//
+// -sched replaces the lockstep sweep loop with the continuous adaptive
+// scheduler (internal/sched): every tracked URL carries its own
+// next-due time, adapted between -sched-min and -sched-max by its
+// observed change rate, with -host-rps bounding the request rate per
+// host. Scheduler state (change-rate estimates and due times) persists
+// in sched-state.json under -data, and the main listener gains
+// /debug/sched. Without -sched, -sweep-jitter desynchronises the batch
+// sweep's host groups by a deterministic per-host phase offset.
 //
 // The main listener always exposes /debug/metrics, /debug/traces
 // (JSON snapshots of the obs registry and recent trace spans), and
@@ -55,6 +65,7 @@ import (
 	"aide/internal/formreg"
 	"aide/internal/obs"
 	"aide/internal/robots"
+	"aide/internal/sched"
 	"aide/internal/snapshot"
 	"aide/internal/w3config"
 	"aide/internal/webclient"
@@ -71,6 +82,12 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-fetch timeout (each retry attempt; 0 = none)")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "deadline for the work behind one incoming HTTP request (0 = none)")
 	sweepWorkers := flag.Int("sweep-workers", 4, "hosts polled in parallel per sweep (<=1 = serial)")
+	sweepJitter := flag.Duration("sweep-jitter", 0, "max deterministic per-host phase offset at the start of each concurrent sweep (0 disables)")
+	schedMode := flag.Bool("sched", false, "replace the sweep loop with the continuous adaptive scheduler")
+	schedMin := flag.Duration("sched-min", 15*time.Minute, "scheduler: shortest polling interval for fast-changing pages")
+	schedMax := flag.Duration("sched-max", 7*24*time.Hour, "scheduler: longest polling interval for stagnant pages")
+	hostRPS := flag.Float64("host-rps", 1.0, "scheduler: max requests per second against any one host")
+	jitterSeed := flag.Int64("jitter-seed", 0, "seed for deterministic jitter (scheduler phase spread and -sweep-jitter)")
 	maxInflight := flag.Int("max-inflight", 64, "max simultaneous incoming HTTP requests before shedding with 503 (0 = unlimited)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive host failures before the circuit breaker opens (0 disables breakers)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Minute, "how long an open breaker rejects a host before probing again")
@@ -113,6 +130,8 @@ func main() {
 	srv.RequestTimeout = *reqTimeout
 	srv.Concurrency = *sweepWorkers
 	srv.MaxSimultaneous = *maxInflight
+	srv.PhaseJitter = *sweepJitter
+	srv.JitterSeed = *jitterSeed
 	// robots.txt failures fail open, so one attempt is enough; retrying
 	// with backoff would stall every sweep on hosts that are down.
 	robotsClient := webclient.New(&webclient.HTTPTransport{})
@@ -146,7 +165,45 @@ func main() {
 		log.Printf("snapshotd: %d fixed pages loaded", n)
 	}
 
-	if *sweep > 0 {
+	if *schedMode {
+		schedStatePath := filepath.Join(*dataDir, "sched-state.json")
+		sc, err := srv.StartSchedulerFromState(sched.Config{
+			MinInterval:  *schedMin,
+			MaxInterval:  *schedMax,
+			HostRPS:      *hostRPS,
+			Workers:      *sweepWorkers,
+			Seed:         *jitterSeed,
+			BreakerDefer: *breakerCooldown,
+		}, schedStatePath)
+		if err != nil {
+			log.Printf("snapshotd: scheduler state: %v (starting fresh)", err)
+		}
+		sc.OnTick = func(st sched.TickStats) {
+			if st.Polled == 0 && st.DeferredBreaker+st.DeferredPoliteness == 0 {
+				return
+			}
+			log.Printf("snapshotd: sched tick: due=%d polled=%d changed=%d failed=%d deferred=%d queue=%d",
+				st.Due, st.Polled, st.Changed, st.Failed,
+				st.DeferredBreaker+st.DeferredPoliteness, st.Queue)
+			if err := srv.SaveState(statePath); err != nil {
+				log.Printf("snapshotd: saving state: %v", err)
+			}
+			if err := sc.SaveState(schedStatePath); err != nil {
+				log.Printf("snapshotd: saving scheduler state: %v", err)
+			}
+		}
+		go func() {
+			if err := sc.Run(ctx); err != nil && err != context.Canceled {
+				log.Printf("snapshotd: scheduler: %v", err)
+			}
+			if err := sc.SaveState(schedStatePath); err != nil {
+				log.Printf("snapshotd: saving scheduler state: %v", err)
+			}
+			log.Print("snapshotd: scheduler stopped")
+		}()
+		log.Printf("snapshotd: continuous scheduler on %d URLs (intervals %v..%v, %g req/s per host)",
+			sc.Len(), *schedMin, *schedMax, *hostRPS)
+	} else if *sweep > 0 {
 		go func() {
 			for {
 				stats := srv.TrackAll(ctx)

@@ -29,6 +29,18 @@
 // (SIGINT/SIGTERM) cancels the run's context: in-flight checks stop,
 // the remaining entries are reported as canceled, state is saved, and
 // the pass's partial report is still written.
+//
+// With -daemon, w3newer abandons lockstep passes entirely: a continuous
+// scheduler (internal/sched) gives every hotlist URL its own next-due
+// time, adapted to its observed change rate between -sched-min and
+// -sched-max (Table 1 thresholds stay as floors), polls hosts politely
+// at -host-rps, and defers hosts whose circuit breaker is open. The
+// report is regenerated and state saved after every tick that polled
+// something; -passes bounds the number of such ticks. Scheduler state
+// (rate estimates, next-due times) persists in <state>.sched, and the
+// per-tick metrics line includes the sched.* queue and deferral
+// counters. -phase-jitter spreads host starts of batch passes (-every
+// mode) by a deterministic per-host offset.
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -46,6 +59,7 @@ import (
 	"aide/internal/hotlist"
 	"aide/internal/obs"
 	"aide/internal/robots"
+	"aide/internal/sched"
 	"aide/internal/tracker"
 	"aide/internal/w3config"
 	"aide/internal/webclient"
@@ -75,7 +89,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	errorsAsChecked := fs.Bool("errors-as-checked", false, "count failed checks against the polling threshold")
 	skipBadHosts := fs.Bool("skip-bad-hosts", true, "skip a host's remaining URLs after a transport error")
 	every := fs.Duration("every", 0, "repeat the pass on this interval (0 = single pass)")
-	passes := fs.Int("passes", 0, "with -every, stop after this many passes (0 = forever)")
+	passes := fs.Int("passes", 0, "with -every or -daemon, stop after this many passes (0 = forever)")
+	daemon := fs.Bool("daemon", false, "run the continuous adaptive scheduler instead of lockstep passes")
+	schedMin := fs.Duration("sched-min", 15*time.Minute, "with -daemon, shortest adapted poll interval")
+	schedMax := fs.Duration("sched-max", 7*24*time.Hour, "with -daemon, longest adapted poll interval")
+	hostRPS := fs.Float64("host-rps", 1.0, "with -daemon, per-host politeness limit in requests/second")
+	phaseJitter := fs.Duration("phase-jitter", 0, "spread each host's first request in a concurrent pass by a deterministic offset in [0, this)")
+	jitterSeed := fs.Int64("jitter-seed", 0, "seed for deterministic jitter (phase offsets and scheduler spread)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (each retry attempt; 0 = none)")
 	retries := fs.Int("retries", 3, "attempts per request for transient failures")
 	workers := fs.Int("workers", 1, "hosts checked in parallel per pass (<=1 = serial; one host's URLs stay serial)")
@@ -104,9 +124,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	// The mux reference is kept so daemon mode can mount /debug/sched
+	// once the scheduler exists (ServeMux registration is safe after
+	// the listener starts).
+	var debugMux *http.ServeMux
 	if *debugAddr != "" {
+		debugMux = obs.DebugMux()
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
 				fmt.Fprintln(stderr, "w3newer: debug listener:", err)
 			}
 		}()
@@ -140,6 +165,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	tr.Opt.SkipHostAfterError = *skipBadHosts
 	tr.Opt.IgnoreRobots = *ignoreRobots
 	tr.Opt.Concurrency = *workers
+	tr.Opt.PhaseJitter = *phaseJitter
+	tr.Opt.JitterSeed = *jitterSeed
 	// robots.txt failures fail open, so one attempt is enough; retrying
 	// with backoff would stall every pass on hosts that are down.
 	robotsClient := webclient.New(&webclient.HTTPTransport{})
@@ -172,6 +199,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		opts.Prioritize = true
 		opts.Score = prio.Score
+	}
+
+	if *daemon {
+		return runDaemon(ctx, daemonParams{
+			tr: tr, hist: hist, entries: entries, cfg: cfg, client: client,
+			opts: opts, statePath: *statePath, out: *out, passes: *passes,
+			min: *schedMin, max: *schedMax, rps: *hostRPS, workers: *workers,
+			seed: *jitterSeed, breakerCooldown: *breakerCooldown,
+			debugMux: debugMux, stdout: stdout, stderr: stderr,
+		})
 	}
 
 	// onePass runs a check cycle and emits the report.
@@ -227,6 +264,137 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 	}
+}
+
+// daemonParams carries run()'s wiring into the scheduler daemon.
+type daemonParams struct {
+	tr              *tracker.Tracker
+	hist            *hotlist.History
+	entries         []hotlist.Entry
+	cfg             *w3config.Config
+	client          *webclient.Client
+	opts            tracker.ReportOptions
+	statePath, out  string
+	passes          int
+	min, max        time.Duration
+	rps             float64
+	workers         int
+	seed            int64
+	breakerCooldown time.Duration
+	debugMux        *http.ServeMux
+	stdout, stderr  io.Writer
+}
+
+// runDaemon drives the hotlist through the continuous scheduler until
+// ctx ends or -passes productive ticks have run. Each productive tick
+// (one that polled at least one URL) regenerates the report, saves
+// tracker and scheduler state, and prints the metrics summary —
+// the moral equivalent of one batch pass, at adaptive cadence.
+func runDaemon(ctx context.Context, p daemonParams) int {
+	sc := sched.New(sched.Config{
+		MinInterval: p.min, MaxInterval: p.max, HostRPS: p.rps,
+		Workers: p.workers, Seed: p.seed, BreakerDefer: p.breakerCooldown,
+	})
+	sc.Breakers = p.client.Breakers
+	sc.Floor = func(u string) (time.Duration, bool) {
+		th := p.cfg.ThresholdFor(u)
+		return th.Every, th.Never
+	}
+	entryByURL := make(map[string]hotlist.Entry, len(p.entries))
+	results := make(map[string]tracker.Result, len(p.entries))
+	var resultsMu sync.Mutex
+	sc.Poll = func(ctx context.Context, url string) sched.Outcome {
+		e, ok := entryByURL[url]
+		if !ok {
+			e = hotlist.Entry{URL: url, Title: url}
+		}
+		r := p.tr.CheckEntry(ctx, e)
+		resultsMu.Lock()
+		results[url] = r
+		resultsMu.Unlock()
+		switch r.Status {
+		case tracker.Changed:
+			// Mark the page seen: the estimator measures changes per
+			// interval, so the next poll must ask "changed again?"
+			// rather than "still newer than the user's last visit?".
+			p.hist.Visit(url, time.Now())
+			return sched.Changed
+		case tracker.Unchanged:
+			return sched.Unchanged
+		case tracker.Failed:
+			return sched.Failed
+		default: // NotChecked, Excluded
+			return sched.Skipped
+		}
+	}
+
+	schedStatePath := ""
+	if p.statePath != "" {
+		schedStatePath = p.statePath + ".sched"
+		if err := sc.LoadState(schedStatePath); err != nil {
+			fmt.Fprintln(p.stderr, "w3newer: warning:", err)
+		}
+	}
+	for _, e := range p.entries {
+		if _, dup := entryByURL[e.URL]; dup {
+			continue
+		}
+		entryByURL[e.URL] = e
+		sc.Add(e.URL)
+	}
+	if p.debugMux != nil {
+		p.debugMux.Handle("/debug/sched", sc.DebugHandler())
+	}
+	fmt.Fprintf(p.stderr, "w3newer: daemon: scheduling %d URLs (min %v, max %v, %.3g req/s per host)\n",
+		sc.Len(), p.min, p.max, p.rps)
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	productive := 0
+	sc.OnTick = func(st sched.TickStats) {
+		if st.Polled == 0 && st.DeferredBreaker == 0 && st.DeferredPoliteness == 0 {
+			return
+		}
+		productive++
+		resultsMu.Lock()
+		rs := make([]tracker.Result, 0, len(results))
+		for _, e := range p.entries {
+			if r, ok := results[e.URL]; ok {
+				r.Entry = e
+				rs = append(rs, r)
+			}
+		}
+		resultsMu.Unlock()
+		p.opts.Now = time.Now()
+		report := tracker.Report(rs, p.opts)
+		if p.out == "" {
+			fmt.Fprint(p.stdout, report)
+		} else if err := os.WriteFile(p.out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(p.stderr, "w3newer: warning: writing report:", err)
+		}
+		if p.statePath != "" {
+			if err := p.tr.SaveState(p.statePath); err != nil {
+				fmt.Fprintln(p.stderr, "w3newer: warning: saving state:", err)
+			}
+			if err := sc.SaveState(schedStatePath); err != nil {
+				fmt.Fprintln(p.stderr, "w3newer: warning: saving scheduler state:", err)
+			}
+		}
+		fmt.Fprintf(p.stderr, "w3newer: tick %d: due=%d polled=%d changed=%d deferred=%d queue=%d\n",
+			productive, st.Due, st.Polled, st.Changed,
+			st.DeferredBreaker+st.DeferredPoliteness, st.Queue)
+		fmt.Fprintf(p.stderr, "w3newer: metrics: %s\n",
+			obs.Default.SummaryLine("sched.", "tracker.", "webclient.", "breaker.", "robots.", "proxycache."))
+		if p.passes > 0 && productive >= p.passes {
+			cancel()
+		}
+	}
+	if err := sc.Run(dctx); err != nil && err != context.Canceled {
+		fmt.Fprintln(p.stderr, "w3newer:", err)
+		return 1
+	}
+	fmt.Fprintln(p.stderr, "w3newer: scheduler stopped")
+	return 0
 }
 
 func loadHotlist(path string) ([]hotlist.Entry, error) {

@@ -215,3 +215,49 @@ func TestCLIDaemonModePasses(t *testing.T) {
 		t.Errorf("metrics line missing tracker.sweeps:\n%s", errb.String())
 	}
 }
+
+func TestCLIContinuousSchedulerDaemon(t *testing.T) {
+	r := newCLIRig(t)
+	r.web.Site("s.example").Page("/p").Set("<P>content.</P>")
+	r.writeHotlist(t, map[string]string{r.urlFor("s.example", "/p"): "Page"})
+	if err := os.WriteFile(r.config, []byte("Default 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(r.dir, "report.html")
+
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-hotlist", r.hotlist, "-config", r.config, "-o", outPath,
+		"-state", r.statePth,
+		"-daemon", "-sched-min", "30ms", "-sched-max", "200ms",
+		"-host-rps", "1000", "-passes", "3",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	stderrS := errb.String()
+	// One tick line per productive tick, each carrying queue depth and
+	// deferred counts; metrics lines include the sched.* registry.
+	if got := strings.Count(stderrS, "w3newer: tick "); got != 3 {
+		t.Errorf("tick lines = %d, want 3:\n%s", got, stderrS)
+	}
+	if !strings.Contains(stderrS, "queue=") || !strings.Contains(stderrS, "deferred=") {
+		t.Errorf("tick line missing queue/deferred counts:\n%s", stderrS)
+	}
+	if !strings.Contains(stderrS, "sched.queue_len=") {
+		t.Errorf("metrics line missing sched.* entries:\n%s", stderrS)
+	}
+	if !strings.Contains(stderrS, "scheduler stopped") {
+		t.Errorf("missing shutdown line:\n%s", stderrS)
+	}
+	// Report and both state files were written.
+	if data, err := os.ReadFile(outPath); err != nil || !strings.Contains(string(data), "Page") {
+		t.Errorf("report file: err=%v content=%q", err, data)
+	}
+	if _, err := os.Stat(r.statePth); err != nil {
+		t.Errorf("tracker state not written: %v", err)
+	}
+	if _, err := os.Stat(r.statePth + ".sched"); err != nil {
+		t.Errorf("scheduler state not written: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"aide/internal/htmldoc"
 	"aide/internal/obs"
 	"aide/internal/robots"
+	"aide/internal/sched"
 	"aide/internal/simclock"
 	"aide/internal/snapshot"
 	"aide/internal/w3config"
@@ -131,10 +132,21 @@ type Server struct {
 	// the server's handler: excess requests are shed with 503 and a
 	// Retry-After hint instead of queueing without bound.
 	MaxSimultaneous int
+	// PhaseJitter, when positive, delays each host group's first check
+	// in a concurrent sweep by a deterministic per-host offset in
+	// [0, PhaseJitter), so sweep starts do not hammer every host at the
+	// same instant. Serial sweeps ignore it.
+	PhaseJitter time.Duration
+	// JitterSeed keys the PhaseJitter offsets.
+	JitterSeed int64
 
 	mu    sync.Mutex
 	users map[string][]Registration
 	urls  map[string]*urlState
+
+	// schedSt holds the attached continuous scheduler, if any; see
+	// sched.go.
+	schedSt schedState
 }
 
 // metrics returns the server's registry (obs.Default when unset).
@@ -164,7 +176,6 @@ func NewServer(fac *snapshot.Facility, client *webclient.Client, cfg *w3config.C
 // again updates the title and recursive flag.
 func (s *Server) Register(user string, reg Registration) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	regs := s.users[user]
 	found := false
 	for i := range regs {
@@ -182,18 +193,21 @@ func (s *Server) Register(user string, reg Registration) {
 		st.title = reg.Title
 	}
 	st.recursive = st.recursive || reg.Recursive
+	s.mu.Unlock()
+	s.schedAdd(reg.URL)
 }
 
 // AddFixed adds a URL to the community fixed-page set: it is archived
 // automatically as soon as a change is detected (§8.2).
 func (s *Server) AddFixed(url, title string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stateLocked(url)
 	st.fixed = true
 	if title != "" {
 		st.title = title
 	}
+	s.mu.Unlock()
+	s.schedAdd(url)
 }
 
 // Registrations returns a copy of a user's registrations, sorted by URL.
@@ -260,21 +274,25 @@ func (s *Server) TrackAll(ctx context.Context) SweepStats {
 // group accumulates its own stats and merges them at the end — no
 // shared counters on the hot path.
 func (s *Server) trackAllConcurrent(ctx context.Context, urls []string) SweepStats {
-	var groupList [][]string
+	type group struct {
+		host string
+		urls []string
+	}
+	var groupList []*group
 	hostGroup := make(map[string]int)
 	for _, u := range urls {
 		h := hostOfURL(u)
 		if h == "" {
-			groupList = append(groupList, []string{u})
+			groupList = append(groupList, &group{urls: []string{u}})
 			continue
 		}
 		gi, ok := hostGroup[h]
 		if !ok {
 			gi = len(groupList)
 			hostGroup[h] = gi
-			groupList = append(groupList, nil)
+			groupList = append(groupList, &group{host: h})
 		}
-		groupList[gi] = append(groupList[gi], u)
+		groupList[gi].urls = append(groupList[gi].urls, u)
 	}
 	sem := make(chan struct{}, s.Concurrency)
 	var wg sync.WaitGroup
@@ -285,18 +303,30 @@ func (s *Server) trackAllConcurrent(ctx context.Context, urls []string) SweepSta
 		case sem <- struct{}{}:
 		case <-ctx.Done():
 			mu.Lock()
-			total.Canceled += len(g)
+			total.Canceled += len(g.urls)
 			mu.Unlock()
 			continue
 		}
 		wg.Add(1)
-		go func(g []string) {
+		go func(g *group) {
 			defer func() {
 				<-sem
 				wg.Done()
 			}()
 			var local SweepStats
-			for _, u := range g {
+			// De-synchronise host starts with a deterministic per-host
+			// phase offset (same helper as the continuous scheduler).
+			if s.PhaseJitter > 0 && g.host != "" {
+				d := sched.Jitter(g.host, s.JitterSeed, s.PhaseJitter)
+				if err := simclock.Sleep(ctx, s.Clock, d); err != nil {
+					local.Canceled += len(g.urls)
+					mu.Lock()
+					total.merge(local)
+					mu.Unlock()
+					return
+				}
+			}
+			for _, u := range g.urls {
 				if ctx.Err() != nil {
 					local.Canceled++
 					continue
@@ -450,7 +480,7 @@ func (s *Server) trackOne(ctx context.Context, url string, stats *SweepStats) {
 // discoverLinks adds a recursive root's same-host links to the tracked
 // set (one hop: discovered pages are not themselves recursive).
 func (s *Server) discoverLinks(rootURL, body string) int {
-	added := 0
+	var newLinks []string
 	seen := map[string]bool{}
 	for _, href := range htmldoc.Links(body) {
 		link := htmldoc.ResolveLink(rootURL, href)
@@ -463,11 +493,15 @@ func (s *Server) discoverLinks(rootURL, body string) int {
 			st := s.stateLocked(link)
 			st.derivedFrom = rootURL
 			st.title = "(via " + rootURL + ")"
-			added++
+			newLinks = append(newLinks, link)
 		}
 		s.mu.Unlock()
 	}
-	return added
+	// Hand discoveries to the scheduler outside s.mu.
+	for _, link := range newLinks {
+		s.schedAdd(link)
+	}
+	return len(newLinks)
 }
 
 // UserRow is one line of a user's server-side report.

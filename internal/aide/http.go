@@ -57,6 +57,14 @@ func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 		}
 		snapshot.ServeHealth(w, set, gate)
 	})
+	mux.HandleFunc("/debug/sched", func(w http.ResponseWriter, r *http.Request) {
+		sc := s.Scheduler()
+		if sc == nil {
+			http.Error(w, "no scheduler attached (batch-sweep mode)", http.StatusNotFound)
+			return
+		}
+		sc.DebugHandler().ServeHTTP(w, r)
+	})
 	if snap != nil {
 		mux.Handle("/", snap.Handler())
 	}

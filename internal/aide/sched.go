@@ -1,0 +1,102 @@
+package aide
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"aide/internal/sched"
+)
+
+// This file hooks the AIDE server up to the continuous polling
+// scheduler (internal/sched). A scheduled server stops doing lockstep
+// TrackAll sweeps: every tracked URL carries its own next-due time,
+// adapted to its observed change rate, and the scheduler drains due
+// URLs through the same trackOne path a sweep would use. TrackAll
+// remains available as a one-shot ("check everything now") operation.
+
+// schedState is the server's scheduler attachment, guarded separately
+// from s.mu so registration paths can hand new URLs to the scheduler
+// after releasing the server lock (lock order: s.mu before schedMu,
+// never both held across a scheduler call that polls).
+type schedState struct {
+	mu sync.Mutex
+	sc *sched.Scheduler
+}
+
+func (ss *schedState) get() *sched.Scheduler {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.sc
+}
+
+// StartScheduler builds a continuous scheduler over the server's
+// tracked URL set and attaches it: every currently tracked URL is
+// scheduled, and URLs added later (Register, AddFixed, recursive
+// discovery) join the schedule as they appear. The caller owns the
+// returned scheduler's lifecycle — typically `go sc.Run(ctx)`.
+// Calling StartScheduler again replaces the attachment.
+func (s *Server) StartScheduler(cfg sched.Config) *sched.Scheduler {
+	sc, _ := s.StartSchedulerFromState(cfg, "")
+	return sc
+}
+
+// StartSchedulerFromState is StartScheduler with persistence: saved
+// estimator state at statePath (if any) is loaded before the tracked
+// URLs are scheduled, so change rates and due times survive restarts.
+// The scheduler is attached even when loading fails; the error only
+// reports why history was discarded.
+func (s *Server) StartSchedulerFromState(cfg sched.Config, statePath string) (*sched.Scheduler, error) {
+	sc := sched.New(cfg)
+	sc.Clock = s.Clock
+	sc.Metrics = s.metrics()
+	if s.Client != nil {
+		sc.Breakers = s.Client.Breakers
+	}
+	sc.Poll = s.pollOne
+	sc.Floor = func(url string) (time.Duration, bool) {
+		th := s.Config.ThresholdFor(url)
+		return th.Every, th.Never
+	}
+	var loadErr error
+	if statePath != "" {
+		loadErr = sc.LoadState(statePath)
+	}
+	s.schedSt.mu.Lock()
+	s.schedSt.sc = sc
+	s.schedSt.mu.Unlock()
+	for _, u := range s.trackedURLs() {
+		sc.Add(u)
+	}
+	return sc, loadErr
+}
+
+// Scheduler returns the attached scheduler, or nil when the server
+// runs in batch-sweep mode.
+func (s *Server) Scheduler() *sched.Scheduler { return s.schedSt.get() }
+
+// schedAdd hands a newly tracked URL to the scheduler, if one is
+// attached. Callers must not hold s.mu (the scheduler takes its own
+// lock and may consult the threshold config).
+func (s *Server) schedAdd(url string) {
+	if sc := s.schedSt.get(); sc != nil {
+		sc.Add(url)
+	}
+}
+
+// pollOne is the scheduler's per-URL poll: the same decision procedure
+// as one sweep iteration, classified for the change-rate estimator.
+func (s *Server) pollOne(ctx context.Context, url string) sched.Outcome {
+	var stats SweepStats
+	s.trackOne(ctx, url, &stats)
+	switch {
+	case stats.NewVersions > 0:
+		return sched.Changed
+	case stats.Errors > 0:
+		return sched.Failed
+	case stats.Skipped > 0 || stats.Canceled > 0:
+		return sched.Skipped
+	default:
+		return sched.Unchanged
+	}
+}

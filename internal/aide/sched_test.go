@@ -1,0 +1,99 @@
+package aide
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aide/internal/sched"
+	"aide/internal/websim"
+)
+
+// schedDrive advances the sim web (so Evolve generators fire) and ticks
+// the scheduler, step by step.
+func schedDrive(r *rig, sc *sched.Scheduler, steps int, dt time.Duration) {
+	for i := 0; i < steps; i++ {
+		r.web.Advance(dt)
+		sc.Tick(context.Background())
+	}
+}
+
+func TestServerSchedulerPollsAndArchives(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	fast := r.web.Site("h").Page("/fast")
+	fast.Set("v0\n")
+	// The page grows a line every 10 simulated minutes.
+	r.web.Evolve(fast, 10*time.Minute, websim.AppendGenerator("line", 1))
+	still := r.web.Site("h").Page("/still")
+	still.Set("static\n")
+
+	r.srv.Register(userA, Registration{URL: "http://h/fast", Title: "Fast"})
+	r.srv.Register(userA, Registration{URL: "http://h/still", Title: "Still"})
+
+	cfg := sched.Config{MinInterval: 10 * time.Minute, MaxInterval: 6 * time.Hour,
+		HostRPS: 100, Seed: 4}
+	sc := r.srv.StartScheduler(cfg)
+	if r.srv.Scheduler() != sc {
+		t.Fatal("Scheduler() does not return the attached scheduler")
+	}
+	if sc.Len() != 2 {
+		t.Fatalf("scheduler has %d URLs after start, want 2", sc.Len())
+	}
+
+	schedDrive(r, sc, 24*6, 10*time.Minute) // one simulated day
+
+	// The fast page was archived repeatedly; the static one wasn't.
+	revs, _, err := r.fac.History(userA, "http://h/fast")
+	if err != nil {
+		t.Fatalf("history: %v", err)
+	}
+	if len(revs) < 5 {
+		t.Errorf("fast page archived %d times over a day of 10m changes, want >= 5", len(revs))
+	}
+	snap := sc.SnapshotState()
+	var fastIv, stillIv float64
+	for _, u := range snap.URLs {
+		switch u.URL {
+		case "http://h/fast":
+			fastIv = u.IntervalSeconds
+		case "http://h/still":
+			stillIv = u.IntervalSeconds
+		}
+	}
+	if fastIv == 0 || stillIv == 0 {
+		t.Fatalf("snapshot missing URLs: %+v", snap.URLs)
+	}
+	if fastIv*3 > stillIv {
+		t.Errorf("fast interval %vs vs still %vs: expected clear divergence", fastIv, stillIv)
+	}
+}
+
+func TestRegistrationJoinsRunningScheduler(t *testing.T) {
+	r := newRig(t, "http://h/nope never\nDefault 0\n")
+	r.web.Site("h").Page("/a").Set("a\n")
+	r.web.Site("h").Page("/b").Set("b\n")
+	r.web.Site("h").Page("/root").Set(`<a href="/linked">x</a>` + "\n")
+	r.web.Site("h").Page("/linked").Set("leaf\n")
+
+	sc := r.srv.StartScheduler(sched.Config{MinInterval: time.Minute, MaxInterval: time.Hour, HostRPS: 100})
+	if sc.Len() != 0 {
+		t.Fatalf("fresh scheduler has %d URLs", sc.Len())
+	}
+	// Late registrations and fixed pages join the schedule.
+	r.srv.Register(userA, Registration{URL: "http://h/a"})
+	r.srv.AddFixed("http://h/b", "B")
+	if sc.Len() != 2 {
+		t.Fatalf("scheduler has %d URLs after register+fixed, want 2", sc.Len())
+	}
+	// `never` URLs stay out even via registration.
+	r.srv.Register(userA, Registration{URL: "http://h/nope"})
+	if sc.Len() != 2 {
+		t.Errorf("never URL joined the schedule")
+	}
+	// Recursive discovery feeds the scheduler too.
+	r.srv.Register(userA, Registration{URL: "http://h/root", Recursive: true})
+	schedDrive(r, sc, 5, time.Minute)
+	if sc.Len() != 4 {
+		t.Errorf("scheduler has %d URLs after recursive discovery, want 4 (root+linked)", sc.Len())
+	}
+}

@@ -206,6 +206,26 @@ func (b *Breaker) transitionLocked(to State) {
 	obs.Logger().Info("breaker transition", "host", b.host, "from", from.String(), "to", to.String())
 }
 
+// Ready reports whether a call admitted right now would be allowed,
+// without the side effects of Allow: no state transition, no probe
+// slot consumed, no short-circuit counted. An open breaker past its
+// cooldown reads ready (a probe would be admitted), which is what
+// schedulers need — polling State alone would defer such a host
+// forever, since State stays Open until an Allow promotes it.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		return b.clock.Now().Sub(b.openedAt) >= b.cfg.cooldown()
+	case HalfOpen:
+		return b.probes < b.cfg.probes()
+	}
+	return true
+}
+
 // State returns the breaker's current state without side effects: an
 // open breaker past its cooldown still reads Open until a call's Allow
 // promotes it to half-open.

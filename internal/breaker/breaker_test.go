@@ -184,3 +184,40 @@ func TestBreakerConcurrentUse(t *testing.T) {
 	// No assertion beyond the race detector and internal invariants.
 	s.Snapshot()
 }
+
+func TestReadyHasNoSideEffects(t *testing.T) {
+	s, clock, reg := newTestSet(Config{FailureThreshold: 1, Cooldown: time.Minute, HalfOpenProbes: 1})
+	b := s.For("sched.example")
+	if !b.Ready() {
+		t.Fatal("Ready() = false while closed")
+	}
+	b.Allow()
+	b.Record(false) // trip
+	if b.Ready() {
+		t.Error("Ready() = true while open within cooldown")
+	}
+	// Unlike Allow, Ready does not count short-circuits.
+	if got := reg.Counter("breaker.short_circuits").Value(); got != 0 {
+		t.Errorf("Ready() counted %d short-circuits, want 0", got)
+	}
+	clock.Advance(time.Minute)
+	// Past cooldown: a probe would be admitted, so Ready is true — but
+	// the state must still read Open (no transition happened).
+	if !b.Ready() {
+		t.Error("Ready() = false past cooldown")
+	}
+	if b.State() != Open {
+		t.Errorf("State() = %v after Ready(), want Open (no side effects)", b.State())
+	}
+	// One in-flight probe exhausts the half-open budget.
+	if !b.Allow() {
+		t.Fatal("Allow() = false past cooldown")
+	}
+	if b.Ready() {
+		t.Error("Ready() = true with probe budget exhausted")
+	}
+	b.Record(true)
+	if !b.Ready() || b.State() != Closed {
+		t.Errorf("Ready()=%v State()=%v after recovery, want true/Closed", b.Ready(), b.State())
+	}
+}

@@ -1,0 +1,96 @@
+// Per-host politeness and deterministic jitter for the scheduler.
+//
+// Politeness is a GCRA (generic cell rate algorithm) token bucket: one
+// per host, tracking a theoretical arrival time (TAT). A poll conforms
+// if it arrives no earlier than TAT minus the burst tolerance; each
+// admitted poll pushes TAT one emission interval further out. GCRA
+// needs a single timestamp of state per host and, unlike a counting
+// bucket, gives the exact earliest conforming time for non-conforming
+// arrivals — which is where the scheduler reschedules them.
+//
+// Jitter is derived from an FNV-1a hash of (seed, key) rather than a
+// shared RNG: any goroutine can compute it without coordination, and a
+// given URL always draws the same offset for a given poll number, so
+// simulated runs are reproducible.
+package sched
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"strconv"
+	"time"
+)
+
+// bucket is a GCRA rate limiter for one host. Not safe for concurrent
+// use on its own; the scheduler serialises access under its mutex.
+type bucket struct {
+	emission time.Duration // T: one emission interval (1/rps)
+	tau      time.Duration // burst tolerance: (burst-1)*T
+	tat      time.Time     // theoretical arrival time of the next poll
+
+	// deferrals counts non-conforming polls within the current tick so
+	// each is staggered one emission interval after the previous.
+	deferrals int
+}
+
+// newBucket returns a bucket admitting rps polls per second with the
+// given burst.
+func newBucket(rps float64, burst int) *bucket {
+	T := time.Duration(float64(time.Second) / rps)
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{emission: T, tau: time.Duration(burst-1) * T}
+}
+
+// take asks to admit one poll at time now. If it conforms, take charges
+// the bucket and returns (0, true). Otherwise nothing is charged and
+// take returns (wait, false), where wait is how long until the poll
+// would conform.
+func (b *bucket) take(now time.Time) (time.Duration, bool) {
+	if b.tat.IsZero() {
+		b.tat = now
+	}
+	if earliest := b.tat.Add(-b.tau); now.Before(earliest) {
+		return earliest.Sub(now), false
+	}
+	if b.tat.Before(now) {
+		b.tat = now
+	}
+	b.tat = b.tat.Add(b.emission)
+	return 0, true
+}
+
+// nextReady reports when the bucket would next admit a poll (now, if
+// already conforming).
+func (b *bucket) nextReady(now time.Time) time.Time {
+	if b.tat.IsZero() {
+		return now
+	}
+	if earliest := b.tat.Add(-b.tau); earliest.After(now) {
+		return earliest
+	}
+	return now
+}
+
+// Jitter returns a deterministic pseudo-random duration in [0, max),
+// keyed by (seed, key). It is the scheduler's only randomness source
+// and is exported so batch sweeps can reuse it for per-host phase
+// offsets (see tracker.Options.PhaseJitter).
+func Jitter(key string, seed int64, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(seed))
+	h.Write(sb[:])
+	h.Write([]byte(key))
+	return time.Duration(h.Sum64() % uint64(max))
+}
+
+// jitterKey varies the jitter draw per poll so a URL's offsets do not
+// repeat from one reschedule to the next.
+func jitterKey(url string, n int) string {
+	return url + "#" + strconv.Itoa(n)
+}

@@ -1,0 +1,105 @@
+// /debug/sched: a JSON window into the live schedule — per-URL rate
+// estimates, intervals, and next-due times, plus per-host politeness
+// state — mirroring how /debug/health exposes the breaker set.
+package sched
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// URLState is one scheduled URL as served by /debug/sched.
+type URLState struct {
+	// URL is the tracked URL.
+	URL string `json:"url"`
+	// Host is its politeness/breaker grouping key.
+	Host string `json:"host"`
+	// Rate is the EWMA change rate in [0, 1].
+	Rate float64 `json:"rate"`
+	// Samples is how many informative polls fed the rate.
+	Samples int `json:"samples"`
+	// IntervalSeconds is the current adapted poll interval.
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// FloorSeconds is the Table 1 threshold floor (0 = none).
+	FloorSeconds float64 `json:"floor_seconds,omitempty"`
+	// NextDue is when the URL next comes due.
+	NextDue time.Time `json:"next_due"`
+	// LastPolled/LastOutcome describe the most recent poll (omitted
+	// until the first one).
+	LastPolled  time.Time `json:"last_polled,omitzero"`
+	LastOutcome string    `json:"last_outcome,omitempty"`
+}
+
+// HostState is one host's politeness state as served by /debug/sched.
+type HostState struct {
+	// Host is the bucket's key.
+	Host string `json:"host"`
+	// NextReady is when the host's bucket next admits a poll.
+	NextReady time.Time `json:"next_ready"`
+}
+
+// Snapshot is the full scheduler state at one instant.
+type Snapshot struct {
+	// Now is the scheduler clock's reading.
+	Now time.Time `json:"now"`
+	// Queue is the number of scheduled URLs.
+	Queue int `json:"queue"`
+	// NextDue is the earliest due time (omitted when the queue is
+	// empty).
+	NextDue time.Time `json:"next_due,omitzero"`
+	// URLs lists every scheduled URL, soonest due first.
+	URLs []URLState `json:"urls"`
+	// Hosts lists per-host politeness state, sorted by host.
+	Hosts []HostState `json:"hosts"`
+}
+
+// SnapshotState captures the schedule for /debug/sched.
+func (s *Scheduler) SnapshotState() Snapshot {
+	s.init(Config{})
+	now := s.clock().Now()
+	s.mu.Lock()
+	snap := Snapshot{Now: now, Queue: len(s.items)}
+	if s.heap.Len() > 0 {
+		snap.NextDue = s.heap[0].due
+	}
+	for _, it := range s.items {
+		us := URLState{
+			URL:             it.url,
+			Host:            it.host,
+			Rate:            it.rate,
+			Samples:         it.samples,
+			IntervalSeconds: it.interval.Seconds(),
+			FloorSeconds:    it.floor.Seconds(),
+			NextDue:         it.due,
+		}
+		if it.polled {
+			us.LastPolled = it.lastPolled
+			us.LastOutcome = it.lastOutcome.String()
+		}
+		snap.URLs = append(snap.URLs, us)
+	}
+	for host, b := range s.buckets {
+		snap.Hosts = append(snap.Hosts, HostState{Host: host, NextReady: b.nextReady(now)})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.URLs, func(i, j int) bool {
+		if !snap.URLs[i].NextDue.Equal(snap.URLs[j].NextDue) {
+			return snap.URLs[i].NextDue.Before(snap.URLs[j].NextDue)
+		}
+		return snap.URLs[i].URL < snap.URLs[j].URL
+	})
+	sort.Slice(snap.Hosts, func(i, j int) bool { return snap.Hosts[i].Host < snap.Hosts[j].Host })
+	return snap
+}
+
+// DebugHandler serves the snapshot as indented JSON.
+func (s *Scheduler) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.SnapshotState())
+	})
+}

@@ -1,0 +1,133 @@
+// Change-rate estimation and state persistence for the scheduler.
+//
+// Each URL carries an exponentially weighted moving average of its
+// observed poll outcomes (changed = 1, unchanged = 0). The EWMA is the
+// simplest of the per-page update-rate models the change-detection
+// literature recommends over fixed intervals: it needs one float of
+// state, adapts in a handful of samples, and never stops adapting —
+// a page that goes quiet decays back toward long intervals.
+//
+// The rate maps to a poll interval on a log scale between the
+// configured bounds, with saturation at both ends: rates >= 0.9 pin to
+// exactly the minimum interval and rates <= 0.1 to the maximum, so a
+// page that changes every poll actually realises MinInterval instead of
+// asymptotically approaching it.
+package sched
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"time"
+
+	"aide/internal/fsatomic"
+)
+
+// ewmaAlpha is the steady-state smoothing factor: each new observation
+// carries 30% of the estimate, so ~7 polls rewrite history.
+const ewmaAlpha = 0.3
+
+// observe folds one changed/unchanged observation into the rate. Early
+// samples use a running mean (alpha = 1/(n+1)) so a new URL converges
+// in a few polls instead of dragging the initial guess around.
+func observe(rate float64, samples int, changed bool) float64 {
+	v := 0.0
+	if changed {
+		v = 1.0
+	}
+	if samples == 0 {
+		return v
+	}
+	a := ewmaAlpha
+	if warm := 1.0 / float64(samples+1); warm > a {
+		a = warm
+	}
+	return a*v + (1-a)*rate
+}
+
+// intervalFor maps a change rate to a poll interval between lo and hi
+// on a log scale, saturating outside [0.1, 0.9] so the extremes realise
+// the exact bounds.
+func intervalFor(rate float64, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	r := (rate - 0.1) / 0.8
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	iv := float64(hi) * math.Pow(float64(lo)/float64(hi), r)
+	return clampDur(time.Duration(iv), lo, hi)
+}
+
+// persistEntry is one URL's saved scheduler state.
+type persistEntry struct {
+	// Rate is the EWMA change rate in [0, 1].
+	Rate float64 `json:"rate"`
+	// Samples is how many informative polls fed the rate.
+	Samples int `json:"samples"`
+	// IntervalSeconds is the adapted poll interval.
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// NextDue is when the URL was next scheduled (honoured on reload if
+	// still in the future).
+	NextDue time.Time `json:"next_due,omitzero"`
+}
+
+// persistState is the on-disk schema: url -> entry.
+type persistState struct {
+	URLs map[string]persistEntry `json:"urls"`
+}
+
+// SaveState writes every URL's estimator state atomically
+// (write-temp + fsync + rename), so a crash mid-save never truncates
+// the previous state.
+func (s *Scheduler) SaveState(path string) error {
+	s.init(Config{})
+	s.mu.Lock()
+	out := persistState{URLs: make(map[string]persistEntry, len(s.items))}
+	for u, it := range s.items {
+		out.URLs[u] = persistEntry{
+			Rate:            it.rate,
+			Samples:         it.samples,
+			IntervalSeconds: it.interval.Seconds(),
+			NextDue:         it.due,
+		}
+	}
+	s.mu.Unlock()
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadState reads state written by SaveState. It does not schedule
+// anything by itself: entries are applied when the matching URL is
+// Added, so a shrunken hotlist simply drops stale state. A missing file
+// is not an error (first run).
+func (s *Scheduler) LoadState(path string) error {
+	s.init(Config{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var in persistState
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.loaded == nil {
+		s.loaded = make(map[string]persistEntry, len(in.URLs))
+	}
+	for u, e := range in.URLs {
+		s.loaded[u] = e
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aide/internal/hotlist"
+	"aide/internal/w3config"
 )
 
 const prioritySample = `# my interests
@@ -86,5 +87,89 @@ func TestPriorityFirstMatchWins(t *testing.T) {
 	}
 	if got := p.WeightFor("http://h/other"); got != 1 {
 		t.Errorf("general = %v", got)
+	}
+}
+
+// TestPriorityMatchingTable pins down the pattern-matching semantics the
+// scheduler's interval floors also rely on (priority and threshold files
+// share the same first-match-wins, fully anchored rule format): file
+// order beats specificity, overlapping patterns resolve to the earliest
+// line, anchoring rejects substring matches, and Default position in the
+// file is irrelevant.
+func TestPriorityMatchingTable(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		url  string
+		want float64
+	}{
+		{"first match wins over later broader", "http://h/a/.* 3\nhttp://h/.* 1\n", "http://h/a/x", 3},
+		{"first match wins even when broader comes first",
+			"http://h/.* 1\nhttp://h/a/.* 3\n", "http://h/a/x", 1},
+		{"overlapping patterns: earliest of three",
+			"http://h/a/b/.* 7\nhttp://h/a/.* 5\nhttp://h/.* 1\n", "http://h/a/b/c", 7},
+		{"overlap skips non-matching earlier line",
+			"http://other/.* 9\nhttp://h/a/.* 5\nhttp://h/.* 1\n", "http://h/a/x", 5},
+		{"patterns are fully anchored: no substring match",
+			"http://h/a 5\nDefault 1\n", "http://h/a/trailing", 1},
+		{"patterns are fully anchored: no suffix match",
+			".*h/a 5\nDefault 1\n", "http://h/a/x", 1},
+		{"Default only when nothing matches", "http://h/.* 5\nDefault 2\n", "http://other/", 2},
+		{"Default line position is irrelevant",
+			"Default 2\nhttp://h/.* 5\n", "http://h/x", 5},
+		{"identical patterns: first weight wins",
+			"http://h/.* 4\nhttp://h/.* 8\n", "http://h/x", 4},
+		{"regex alternation matches either branch",
+			"http://(a|b)/.* 6\nDefault 0\n", "http://b/x", 6},
+		{"empty rule set falls to zero default", "", "http://anything/", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := ParsePrioritiesString(c.file)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := p.WeightFor(c.url); got != c.want {
+				t.Errorf("WeightFor(%s) = %v, want %v", c.url, got, c.want)
+			}
+		})
+	}
+}
+
+// TestThresholdFloorMatchingTable exercises the Table 1 threshold
+// matching that the scheduler consumes through its Floor hook: `never`
+// entries, overlapping patterns, and first-match-wins ordering decide
+// which URLs are schedulable at all and what their minimum intervals
+// are.
+func TestThresholdFloorMatchingTable(t *testing.T) {
+	const file = `Default 2d
+http://fast\.example/.* 0
+http://slow\.example/daily/.* 1d
+http://slow\.example/.* 7d
+http://noisy\.example/counter\.html never
+http://noisy\.example/.* 12h
+`
+	cfg, err := w3config.ParseString(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		url   string
+		every time.Duration
+		never bool
+	}{
+		{"http://fast.example/any", 0, false},
+		{"http://slow.example/daily/news", 24 * time.Hour, false}, // specific line listed first wins
+		{"http://slow.example/archive", 7 * 24 * time.Hour, false},
+		{"http://noisy.example/counter.html", 0, true}, // never beats the later 12h line
+		{"http://noisy.example/stable.html", 12 * time.Hour, false},
+		{"http://unmatched.example/", 2 * 24 * time.Hour, false}, // Default
+	}
+	for _, c := range cases {
+		th := cfg.ThresholdFor(c.url)
+		if th.Never != c.never || th.Every != c.every {
+			t.Errorf("ThresholdFor(%s) = {Never:%v Every:%v}, want {Never:%v Every:%v}",
+				c.url, th.Never, th.Every, c.never, c.every)
+		}
 	}
 }

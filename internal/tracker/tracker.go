@@ -41,6 +41,7 @@ import (
 	"aide/internal/htmldoc"
 	"aide/internal/obs"
 	"aide/internal/robots"
+	"aide/internal/sched"
 	"aide/internal/simclock"
 	"aide/internal/w3config"
 	"aide/internal/webclient"
@@ -156,6 +157,16 @@ type Options struct {
 	// SkipHostAfterError becomes best-effort: checks already in flight
 	// when a host fails are not recalled.
 	Concurrency int
+	// PhaseJitter, when positive, delays each host group's first check
+	// in a concurrent run by a deterministic per-host offset in
+	// [0, PhaseJitter), so a sweep does not fire every host's first
+	// request at the same instant. The offset is sched.Jitter(host,
+	// JitterSeed, PhaseJitter), the same helper the continuous
+	// scheduler uses. Serial runs ignore it (they are host-serial by
+	// construction).
+	PhaseJitter time.Duration
+	// JitterSeed keys PhaseJitter's deterministic offsets.
+	JitterSeed int64
 }
 
 // Tracker is a w3newer instance bound to one user's inputs.
@@ -435,6 +446,19 @@ launch:
 				<-sem
 				wg.Done()
 			}()
+			// De-synchronise host starts: each host group waits out its
+			// own deterministic phase offset before its first request.
+			if t.Opt.PhaseJitter > 0 {
+				if h := hostOf(entries[idxs[0]].URL); h != "" {
+					d := sched.Jitter(h, t.Opt.JitterSeed, t.Opt.PhaseJitter)
+					if err := simclock.Sleep(ctx, t.Clock, d); err != nil {
+						for _, idx := range idxs {
+							results[idx] = canceledResult(entries[idx])
+						}
+						return
+					}
+				}
+			}
 			for _, idx := range idxs {
 				if ctx.Err() != nil {
 					results[idx] = canceledResult(entries[idx])
@@ -461,6 +485,16 @@ launch:
 		}
 	}
 	return results
+}
+
+// CheckEntry applies the §3 decision procedure to a single hotlist
+// entry, outside any sweep. It is the continuous scheduler's per-URL
+// poll path: same state cache, thresholds, robots handling, and proxy
+// oracle as a sweep, but no host-error memory is carried across calls —
+// host-level isolation is the caller's job (the scheduler consults the
+// circuit breakers instead).
+func (t *Tracker) CheckEntry(ctx context.Context, e hotlist.Entry) Result {
+	return t.checkOne(ctx, e, newHostErrs())
 }
 
 // checkOne applies the §3 decision procedure to one URL under ctx,

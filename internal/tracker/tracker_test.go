@@ -11,6 +11,7 @@ import (
 	"aide/internal/hotlist"
 	"aide/internal/proxycache"
 	"aide/internal/robots"
+	"aide/internal/sched"
 	"aide/internal/simclock"
 	"aide/internal/w3config"
 	"aide/internal/webclient"
@@ -633,5 +634,72 @@ func TestBulletinSurfacesInReport(t *testing.T) {
 	html := Report([]Result{res}, ReportOptions{})
 	if !strings.Contains(html, "Bulletin: 2 talks added to the program") {
 		t.Errorf("report missing bulletin:\n%s", html)
+	}
+}
+
+func TestCheckEntryMatchesSweepSemantics(t *testing.T) {
+	r := newRig(t, "http://h/dilbert/.* never\nDefault 1d\n")
+	r.web.Site("h").Page("/p").Set("v1")
+
+	// Never-visited page: changed, same as a sweep would report.
+	res := r.tr.CheckEntry(context.Background(), entry("http://h/p"))
+	if res.Status != Changed || res.Via != "HEAD" {
+		t.Fatalf("CheckEntry on fresh page: %+v", res)
+	}
+	// State persists across single checks: within the threshold the
+	// verdict is answered from the cache, no second HEAD.
+	res = r.tr.CheckEntry(context.Background(), entry("http://h/p"))
+	if res.Status != Changed || res.Via != "state-cache" {
+		t.Fatalf("CheckEntry second call: %+v", res)
+	}
+	if h, g := r.web.TotalRequests(); h+g != 1 {
+		t.Errorf("two CheckEntry calls made %d requests, want 1", h+g)
+	}
+	// Never rules still apply outside sweeps.
+	res = r.tr.CheckEntry(context.Background(), entry("http://h/dilbert/today"))
+	if res.Status != NotChecked || res.Via != "never" {
+		t.Fatalf("CheckEntry on never URL: %+v", res)
+	}
+}
+
+func TestPhaseJitterDesynchronisesHosts(t *testing.T) {
+	r := newRig(t, "Default 0\n")
+	r.web.Site("h1.example").Page("/p").Set("a")
+	r.web.Site("h2.example").Page("/p").Set("b")
+	// Concurrent path (serial sweeps are host-serial by construction and
+	// skip the jitter). Sim-clock sleeps are additive, so even with both
+	// host groups in flight the total advance is exactly j1+j2.
+	r.tr.Opt.Concurrency = 2
+	r.tr.Opt.PhaseJitter = time.Hour
+	r.tr.Opt.JitterSeed = 11
+
+	j1 := sched.Jitter("h1.example", 11, time.Hour)
+	j2 := sched.Jitter("h2.example", 11, time.Hour)
+	if j1 == j2 {
+		t.Fatalf("test hosts drew identical jitter %v; pick another seed", j1)
+	}
+
+	start := r.clock.Now()
+	rs := r.tr.Run(context.Background(),
+		[]hotlist.Entry{entry("http://h1.example/p"), entry("http://h2.example/p")})
+	for _, res := range rs {
+		if res.Status != Changed {
+			t.Fatalf("jittered sweep result: %+v", res)
+		}
+	}
+	// Each host group slept out its own offset before its first request;
+	// the additive sim-clock sleeps sum to exactly j1+j2.
+	if got, want := r.clock.Now().Sub(start), j1+j2; got != want {
+		t.Errorf("sweep advanced clock by %v, want %v (j1=%v j2=%v)", got, want, j1, j2)
+	}
+
+	// Serial sweeps (Concurrency <= 1) ignore PhaseJitter.
+	r2 := newRig(t, "Default 0\n")
+	r2.web.Site("h1.example").Page("/p").Set("a")
+	r2.tr.Opt.PhaseJitter = time.Hour
+	start = r2.clock.Now()
+	r2.tr.Run(context.Background(), []hotlist.Entry{entry("http://h1.example/p")})
+	if got := r2.clock.Now().Sub(start); got != 0 {
+		t.Errorf("serial sweep advanced clock by %v, want 0", got)
 	}
 }
