@@ -619,6 +619,52 @@ func BenchmarkEntitySnapshot(b *testing.B) {
 	}
 }
 
+// --- Sharded store: bulk check-in fan-out -------------------------------------
+
+// BenchmarkShardedCheckin measures a bulk check-in of 64 pages through
+// CheckinBatch against the flat store and an 8-shard store. Sharding
+// partitions the batch into per-shard worker pools, so the RCS diff and
+// file work of parallel check-ins stops serialising on one directory.
+func BenchmarkShardedCheckin(b *testing.B) {
+	const pages = 64
+	filler := strings.Repeat("<P>steady paragraph of page body text that pads the document.</P>\n", 60)
+	for _, shards := range []int{1, 8} {
+		name := "flat"
+		if shards > 1 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			clock := simclock.New(time.Time{})
+			fac, err := snapshot.NewSharded(b.TempDir(), shards, nil, clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]snapshot.BatchItem, pages)
+			for i := range items {
+				items[i].URL = fmt.Sprintf("http://h%d.example/p%d", i%16, i)
+			}
+			b.SetBytes(int64(pages * len(filler)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clock.Advance(24 * time.Hour)
+				for j := range items {
+					items[j].Body = fmt.Sprintf("<P>version %d of page %d.</P>\n%s", i, j, filler)
+				}
+				results, errs := fac.CheckinBatch(context.Background(), "", items)
+				for j := range errs {
+					if errs[j] != nil {
+						b.Fatal(errs[j])
+					}
+					if !results[j].Changed {
+						b.Fatal("unchanged check-in")
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Scheduler: adaptive polling hot path -----------------------------------
 
 // BenchmarkSchedulerTick measures one scheduler step at a 10k-URL

@@ -8,11 +8,23 @@
 // Usage:
 //
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
+//	          [-shards 1] [-replicas addr,addr] [-replica-sync 1m]
+//	          [-diffcache-max 128]
 //	          [-sweep 1h] [-sweep-workers 4] [-sweep-jitter 0] [-fixed fixed-urls.txt]
 //	          [-sched] [-sched-min 15m] [-sched-max 168h] [-host-rps 1]
 //	          [-jitter-seed 0] [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
 //	          [-max-inflight 64] [-breaker-threshold 5] [-breaker-cooldown 5m]
 //	          [-debug-addr :6060] [-log-level info]
+//
+// -shards N partitions the archive store across N shard directories by
+// consistent hashing of the URL (1 = the flat layout, format-compatible
+// with repositories from earlier versions). Opening an existing
+// repository with a new shard count triggers a rebalance pass before
+// serving. -replicas lists replica snapshotd base URLs the leader
+// pushes per-shard deltas to, every -replica-sync, with a seeded
+// anti-entropy sample each round (-jitter-seed drives the shard
+// choice); /debug/shards reports per-shard population and replica lag.
+// -diffcache-max bounds the rendered-diff cache entries.
 //
 // -sched replaces the lockstep sweep loop with the continuous adaptive
 // scheduler (internal/sched): every tracked URL carries its own
@@ -75,6 +87,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "./aide-data", "data directory for archives and control files")
 	configPath := flag.String("config", "", "polling-threshold configuration (Table 1 format)")
+	shards := flag.Int("shards", 1, "shard directories partitioning the archive store (1 = flat layout)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs for per-shard fan-out")
+	replicaSync := flag.Duration("replica-sync", time.Minute, "interval between replica delta syncs")
+	diffCacheMax := flag.Int("diffcache-max", snapshot.DefaultDiffCacheMax, "max cached rendered diffs")
 	sweep := flag.Duration("sweep", time.Hour, "server-side tracking sweep interval (0 disables)")
 	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
 	enableForms := flag.Bool("forms", false, "enable saved-form (POST service) tracking")
@@ -121,9 +137,19 @@ func main() {
 			Cooldown:         *breakerCooldown,
 		})
 	}
-	fac, err := snapshot.New(*dataDir, client, nil)
+	fac, err := snapshot.NewSharded(*dataDir, *shards, client, nil)
 	if err != nil {
 		log.Fatal("snapshotd: ", err)
+	}
+	fac.SetDiffCacheMax(*diffCacheMax)
+	if *shards > 1 {
+		moved, err := fac.Rebalance()
+		if err != nil {
+			log.Fatal("snapshotd: rebalance: ", err)
+		}
+		if moved > 0 {
+			log.Printf("snapshotd: rebalanced %d files across %d shards", moved, *shards)
+		}
 	}
 	cfg := loadConfig(*configPath)
 	srv := aide.NewServer(fac, client, cfg, nil)
@@ -224,6 +250,13 @@ func main() {
 
 	snapSrv := snapshot.NewServer(fac)
 	snapSrv.RequestTimeout = *reqTimeout
+	if *replicas != "" {
+		repl := snapshot.NewReplicator(fac, client, strings.Split(*replicas, ","), *jitterSeed)
+		snapSrv.Replicator = repl
+		go repl.Run(ctx, *replicaSync)
+		log.Printf("snapshotd: replicating %d shards to %d replicas every %v",
+			fac.Shards(), len(repl.Replicas), *replicaSync)
+	}
 	if *enableAuth {
 		accounts, err := snapshot.OpenAccounts(*dataDir)
 		if err != nil {

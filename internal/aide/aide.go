@@ -260,6 +260,8 @@ func (s *Server) TrackAll(ctx context.Context) SweepStats {
 			}
 			s.trackOne(ctx, url, &stats)
 		}
+	} else if s.Facility != nil && s.Facility.Shards() > 1 {
+		stats = s.trackAllSharded(ctx, urls)
 	} else {
 		stats = s.trackAllConcurrent(ctx, urls)
 	}
@@ -339,6 +341,42 @@ func (s *Server) trackAllConcurrent(ctx context.Context, urls []string) SweepSta
 		}(g)
 	}
 	wg.Wait()
+	return total
+}
+
+// trackAllSharded sweeps each shard of the facility's store in
+// parallel: URLs partition by the shard that owns their archive, and
+// each shard runs its own host-grouped pool (trackAllConcurrent), so
+// sweep throughput scales with the store's partitioning and no shard's
+// check-ins contend on another's directory. URLs of one host stay
+// serial within a shard; a host whose URLs hash to different shards can
+// see one in-flight request per shard — the per-host breakers and
+// politeness jitter still bound that.
+func (s *Server) trackAllSharded(ctx context.Context, urls []string) SweepStats {
+	shards := s.Facility.Shards()
+	parts := make([][]string, shards)
+	for _, u := range urls {
+		k := s.Facility.ShardOf(u)
+		parts[k] = append(parts[k], u)
+	}
+	var wg sync.WaitGroup
+	results := make([]SweepStats, shards)
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []string) {
+			defer wg.Done()
+			results[i] = s.trackAllConcurrent(ctx, part)
+			s.metrics().Counter(fmt.Sprintf("shard.%03d.swept", i)).Add(int64(results[i].Checked))
+		}(i, part)
+	}
+	wg.Wait()
+	var total SweepStats
+	for i := range results {
+		total.merge(results[i])
+	}
 	return total
 }
 

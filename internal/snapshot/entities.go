@@ -4,9 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net/url"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"aide/internal/fsatomic"
@@ -108,7 +106,7 @@ func (f *Facility) snapshotEntities(ctx context.Context, pageURL, body, rev stri
 
 // entityFile is the sidecar path for a page's entity snapshots.
 func (f *Facility) entityFile(pageURL string) string {
-	return filepath.Join(f.root, "repo", url.QueryEscape(pageURL)+",entities.json")
+	return f.store.EntityPath(pageURL)
 }
 
 // loadEntitySnapshots reads all recorded snapshots for a page.

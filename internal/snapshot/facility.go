@@ -19,11 +19,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -43,7 +42,7 @@ var ErrNeverSaved = errors.New("snapshot: page never saved by this user")
 
 // Facility is the snapshot service instance.
 type Facility struct {
-	root   string
+	store  Store
 	client *webclient.Client
 	clock  simclock.Clock
 	locks  *lockmgr.Manager
@@ -80,33 +79,87 @@ func (f *Facility) diff(oldText, newText string, opt htmldiff.Options) htmldiff.
 	return r
 }
 
-// New creates (or reopens) a facility rooted at dir. If clock is nil the
-// wall clock is used.
+// New creates (or reopens) a facility rooted at dir with the default
+// flat store. If clock is nil the wall clock is used. When the
+// SNAPSHOT_TEST_SHARDS environment variable is set to N > 1, New builds
+// an N-shard store instead — the hook the CI matrix uses to run every
+// suite against the sharded layout.
 func New(dir string, client *webclient.Client, clock simclock.Clock) (*Facility, error) {
+	shards := 1
+	if s := os.Getenv("SNAPSHOT_TEST_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			shards = n
+		}
+	}
+	return NewSharded(dir, shards, client, clock)
+}
+
+// NewSharded creates (or reopens) a facility over an N-shard store
+// (shards <= 1 means the flat layout).
+func NewSharded(dir string, shards int, client *webclient.Client, clock simclock.Clock) (*Facility, error) {
+	var st Store
+	var err error
+	if shards <= 1 {
+		st, err = NewFlatStore(dir)
+	} else {
+		st, err = NewShardedStore(dir, shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(st, client, clock)
+}
+
+// NewWithStore wires a facility over an already-constructed store.
+func NewWithStore(st Store, client *webclient.Client, clock simclock.Clock) (*Facility, error) {
 	if clock == nil {
 		clock = simclock.Wall{}
 	}
-	for _, sub := range []string{"repo", "users", "locks"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, err
-		}
-	}
 	return &Facility{
-		root:      dir,
+		store:     st,
 		client:    client,
 		clock:     clock,
-		locks:     lockmgr.New(filepath.Join(dir, "locks")),
-		diffCache: diffCache{max: 128, entries: map[string]string{}},
+		locks:     lockmgr.New(filepath.Join(st.Root(), "locks")),
+		diffCache: diffCache{max: DefaultDiffCacheMax, entries: map[string]string{}},
 	}, nil
 }
 
 // Root returns the facility's data directory.
-func (f *Facility) Root() string { return f.root }
+func (f *Facility) Root() string { return f.store.Root() }
+
+// Store returns the facility's storage layer.
+func (f *Facility) Store() Store { return f.store }
+
+// Shards reports how many shards partition the facility's store.
+func (f *Facility) Shards() int { return f.store.Shards() }
+
+// ShardOf maps a URL to the shard holding its archive.
+func (f *Facility) ShardOf(pageURL string) int { return f.store.ShardOf(pageURL) }
+
+// Rebalance migrates files the store's ring no longer places where they
+// sit (after a shard-count change, or adopting a flat repository). It
+// holds a store-wide lock against concurrent rebalances; run it before
+// serving traffic.
+func (f *Facility) Rebalance() (moved int, err error) {
+	unlock, err := f.locks.Lock("store:rebalance")
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	moved, err = f.store.Rebalance()
+	f.metrics().Counter("shard.rebalance.moved").Add(int64(moved))
+	return moved, err
+}
 
 // archive returns the RCS archive handle for a URL.
 func (f *Facility) archive(pageURL string) *rcs.Archive {
-	name := url.QueryEscape(pageURL) + ",v"
-	return rcs.Open(filepath.Join(f.root, "repo", name), f.clock)
+	return rcs.Open(f.store.ArchivePath(pageURL), f.clock)
+}
+
+// archiveAt returns the RCS handle for an archive file path — used by
+// manifest building, which enumerates files rather than URLs.
+func (f *Facility) archiveAt(path string) *rcs.Archive {
+	return rcs.Open(path, f.clock)
 }
 
 // RememberResult reports a Remember operation.
@@ -125,7 +178,7 @@ type RememberResult struct {
 // Holding the per-URL lock across fetch+check-in serialises
 // simultaneous users (§4.2).
 func (f *Facility) Remember(ctx context.Context, user, pageURL string) (RememberResult, error) {
-	unlock, err := f.locks.Lock("url:" + pageURL)
+	unlock, err := f.locks.Lock(f.store.LockKey(pageURL))
 	if err != nil {
 		return RememberResult{}, err
 	}
@@ -148,11 +201,21 @@ func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body stri
 	defer span.End()
 	m := f.metrics()
 	m.Counter("snapshot.checkins").Inc()
+	if n := f.store.Shards(); n > 1 {
+		m.Counter(fmt.Sprintf("shard.%03d.checkins", f.store.ShardOf(pageURL))).Inc()
+	}
 	arch := f.archive(pageURL)
 	first := !arch.Exists()
 	rev, changed, err := arch.Checkin(body, user, "checked in via AIDE snapshot")
 	if err != nil {
 		return RememberResult{}, err
+	}
+	if first {
+		// Persist the name→URL reverse map for overflow-hashed archive
+		// names (no-op for names that decode on their own).
+		if err := f.store.NoteURL(pageURL); err != nil {
+			return RememberResult{}, err
+		}
 	}
 	if changed {
 		m.Counter("snapshot.checkins.changed").Inc()
@@ -231,7 +294,8 @@ func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) 
 	opt := f.DiffOptions
 	opt.Title = fmt.Sprintf("%s (%s vs %s)", pageURL, oldRev, newRev)
 	r := f.diff(oldText, newText, opt)
-	f.diffCache.put(key, r.HTML)
+	size := f.diffCache.put(key, r.HTML)
+	f.metrics().Gauge("snapshot.diffcache.size").Set(int64(size))
 	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: newRev, Stats: r.Stats}, nil
 }
 
@@ -262,24 +326,7 @@ func (f *Facility) CheckoutAtDate(pageURL string, t time.Time) (string, string, 
 
 // ArchivedURLs lists every URL with an archive, sorted.
 func (f *Facility) ArchivedURLs() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(f.root, "repo"))
-	if err != nil {
-		return nil, err
-	}
-	var urls []string
-	for _, e := range entries {
-		name := strings.TrimSuffix(e.Name(), ",v")
-		if name == e.Name() {
-			continue
-		}
-		u, err := url.QueryUnescape(name)
-		if err != nil {
-			continue
-		}
-		urls = append(urls, u)
-	}
-	sort.Strings(urls)
-	return urls, nil
+	return f.store.ArchivedURLs()
 }
 
 // StorageStats reports archive disk usage, the §7 measurements.
@@ -314,27 +361,59 @@ type PruneResult struct {
 
 // Prune limits every archive to at most keep revisions, dropping the
 // oldest — the §4.2 resource-utilization control. Per-URL locks are
-// held across each rewrite.
+// held across each rewrite. On a sharded store the shards are pruned in
+// parallel, one worker each; results come back sorted by URL.
 func (f *Facility) Prune(keep int) ([]PruneResult, error) {
-	urls, err := f.ArchivedURLs()
-	if err != nil {
-		return nil, err
+	pruneShard := func(urls []string) ([]PruneResult, error) {
+		var out []PruneResult
+		for _, u := range urls {
+			unlock, err := f.locks.Lock(f.store.LockKey(u))
+			if err != nil {
+				return out, err
+			}
+			dropped, err := f.archive(u).Prune(keep)
+			unlock()
+			if err != nil {
+				return out, err
+			}
+			if dropped > 0 {
+				out = append(out, PruneResult{URL: u, Dropped: dropped})
+			}
+		}
+		return out, nil
 	}
+
+	shards := f.store.Shards()
+	if shards <= 1 {
+		urls, err := f.ArchivedURLs()
+		if err != nil {
+			return nil, err
+		}
+		return pruneShard(urls)
+	}
+	var wg sync.WaitGroup
+	outs := make([][]PruneResult, shards)
+	errs := make([]error, shards)
+	for i := 0; i < shards; i++ {
+		urls, err := f.store.ShardURLs(i)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, urls []string) {
+			defer wg.Done()
+			outs[i], errs[i] = pruneShard(urls)
+		}(i, urls)
+	}
+	wg.Wait()
 	var out []PruneResult
-	for _, u := range urls {
-		unlock, err := f.locks.Lock("url:" + u)
-		if err != nil {
-			return out, err
-		}
-		dropped, err := f.archive(u).Prune(keep)
-		unlock()
-		if err != nil {
-			return out, err
-		}
-		if dropped > 0 {
-			out = append(out, PruneResult{URL: u, Dropped: dropped})
+	for i := 0; i < shards; i++ {
+		out = append(out, outs[i]...)
+		if errs[i] != nil {
+			return out, errs[i]
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out, nil
 }
 
@@ -384,7 +463,7 @@ type userControl struct {
 }
 
 func (f *Facility) userFile(user string) string {
-	return filepath.Join(f.root, "users", url.QueryEscape(user)+".json")
+	return f.store.UserPath(user)
 }
 
 // loadUser reads a user's control file ({} when absent).
@@ -452,7 +531,91 @@ func (f *Facility) UserURLs(user string) []string {
 	return urls
 }
 
+// --- bulk check-ins ------------------------------------------------------------
+
+// BatchItem is one page of a bulk check-in.
+type BatchItem struct {
+	// URL is the page's location.
+	URL string
+	// Body is the content to check in.
+	Body string
+}
+
+// CheckinBatch checks in a set of pages shard-parallel: items are
+// partitioned by the shard that owns them and one worker per shard
+// drains its partition serially (per-URL locks still held per item), so
+// bulk archival scales with the shard count instead of serialising on
+// one directory. Results and errors are indexed like items.
+func (f *Facility) CheckinBatch(ctx context.Context, user string, items []BatchItem) ([]RememberResult, []error) {
+	results := make([]RememberResult, len(items))
+	errs := make([]error, len(items))
+	byShard := make(map[int][]int)
+	for i, it := range items {
+		s := f.store.ShardOf(it.URL)
+		byShard[s] = append(byShard[s], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range byShard {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				it := items[i]
+				unlock, err := f.locks.Lock(f.store.LockKey(it.URL))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = f.RememberContent(ctx, user, it.URL, it.Body)
+				unlock()
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// ShardStat is one shard's archive population, the /debug/shards row.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Archives is the number of archived URLs in the shard.
+	Archives int `json:"archives"`
+	// Bytes is the summed size of the shard's archive files.
+	Bytes int64 `json:"bytes"`
+}
+
+// ShardStats reports per-shard archive counts and sizes (one row for a
+// flat store), and keeps the shard.*.archives/bytes gauges current.
+func (f *Facility) ShardStats() ([]ShardStat, error) {
+	out := make([]ShardStat, f.store.Shards())
+	for i := range out {
+		out[i].Shard = i
+		urls, err := f.store.ShardURLs(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Archives = len(urls)
+		for _, u := range urls {
+			out[i].Bytes += f.archive(u).Size()
+		}
+		if f.store.Shards() > 1 {
+			f.metrics().Gauge(fmt.Sprintf("shard.%03d.archives", i)).Set(int64(out[i].Archives))
+			f.metrics().Gauge(fmt.Sprintf("shard.%03d.bytes", i)).Set(out[i].Bytes)
+		}
+	}
+	return out, nil
+}
+
 // --- HtmlDiff output cache ------------------------------------------------------
+
+// DefaultDiffCacheMax is the rendered-diff cache's entry bound when the
+// caller does not configure one (snapshotd's -diffcache-max flag).
+const DefaultDiffCacheMax = 128
 
 // diffCache is a bounded map of rendered HtmlDiff outputs. Simple random
 // eviction suffices: entries are small and regeneration is cheap relative
@@ -474,7 +637,7 @@ func (c *diffCache) get(key string) (string, bool) {
 	return v, ok
 }
 
-func (c *diffCache) put(key, html string) {
+func (c *diffCache) put(key, html string) (size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.entries) >= c.max {
@@ -484,6 +647,7 @@ func (c *diffCache) put(key, html string) {
 		}
 	}
 	c.entries[key] = html
+	return len(c.entries)
 }
 
 // DiffCacheHits reports how many diff requests were served from cache.
@@ -491,4 +655,15 @@ func (f *Facility) DiffCacheHits() int {
 	f.diffCache.mu.Lock()
 	defer f.diffCache.mu.Unlock()
 	return f.diffCache.hits
+}
+
+// SetDiffCacheMax resizes the rendered-diff cache's entry bound
+// (n <= 0 restores the default). Existing entries stay until eviction.
+func (f *Facility) SetDiffCacheMax(n int) {
+	if n <= 0 {
+		n = DefaultDiffCacheMax
+	}
+	f.diffCache.mu.Lock()
+	f.diffCache.max = n
+	f.diffCache.mu.Unlock()
 }

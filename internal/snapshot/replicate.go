@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -128,52 +127,74 @@ func (g *Gate) Capacity() int {
 	return cap(g.slots)
 }
 
-// dumpFile is one repository file in an export.
+// dumpFile is one repository file in an export or shard-delta stream.
 type dumpFile struct {
-	// Kind is "archive", "user", or "entities".
+	// Kind is "archive", "entities", "url", or "user".
 	Kind string `json:"kind"`
-	// Name is the file's base name (already URL-escaped on disk).
+	// Name is the file's base name on disk.
 	Name string `json:"name"`
-	// Data is the raw file content.
-	Data string `json:"data"`
+	// Data is the raw file content (empty for deletes).
+	Data string `json:"data,omitempty"`
+	// Delete marks an anti-entropy removal: the named file exists on the
+	// receiver but not on the leader, and must go.
+	Delete bool `json:"delete,omitempty"`
 }
 
-// Export writes the whole repository as a JSON stream of files. The
-// snapshot is not atomic across files; replicate from a quiesced leader
-// or tolerate a torn tail (each file itself is written atomically).
+// Export writes the whole repository as a JSON stream of files, in an
+// order independent of the store layout (a sharded store exports
+// byte-identically to the flat equivalent). The snapshot is not atomic
+// across files; replicate from a quiesced leader or tolerate a torn
+// tail (each file itself is written atomically).
 func (f *Facility) Export(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	emit := func(kind, dir string) error {
-		entries, err := os.ReadDir(filepath.Join(f.root, dir))
-		if err != nil {
-			return err
-		}
-		for _, e := range entries {
-			if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
-				continue
-			}
-			data, err := os.ReadFile(filepath.Join(f.root, dir, e.Name()))
-			if err != nil {
-				return err
-			}
-			k := kind
-			if kind == "archive" && strings.HasSuffix(e.Name(), ",entities.json") {
-				k = "entities"
-			}
-			if err := enc.Encode(dumpFile{Kind: k, Name: e.Name(), Data: string(data)}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := emit("archive", "repo"); err != nil {
+	files, err := f.store.Files()
+	if err != nil {
 		return err
 	}
-	return emit("user", "users")
+	return exportFiles(w, files)
 }
 
-// Import installs an Export stream into this facility, overwriting any
-// files with the same names. Unknown kinds are rejected.
+// ExportShard writes one shard's files as a dump stream. A non-nil
+// names set restricts the dump to those base names — the delta form the
+// replicator pushes after a manifest comparison.
+func (f *Facility) ExportShard(w io.Writer, shard int, names map[string]bool) error {
+	files, err := f.store.ShardFiles(shard)
+	if err != nil {
+		return err
+	}
+	if names != nil {
+		kept := files[:0]
+		for _, sf := range files {
+			if names[sf.Name] {
+				kept = append(kept, sf)
+			}
+		}
+		files = kept
+	}
+	return exportFiles(w, files)
+}
+
+func exportFiles(w io.Writer, files []StoredFile) error {
+	enc := json.NewEncoder(w)
+	for _, sf := range files {
+		data, err := os.ReadFile(sf.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // deleted between listing and read
+			}
+			return err
+		}
+		if err := enc.Encode(dumpFile{Kind: sf.Kind, Name: sf.Name, Data: string(data)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Import installs an Export (or shard-delta) stream into this facility,
+// overwriting files with the same names and honouring delete entries.
+// The store decides where each file lands, so a dump taken from a flat
+// leader imports correctly into a sharded replica and vice versa.
+// Unknown kinds and unsafe names are rejected.
 func (f *Facility) Import(r io.Reader) (files int, err error) {
 	dec := json.NewDecoder(r)
 	for {
@@ -183,19 +204,17 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 		} else if err != nil {
 			return files, fmt.Errorf("snapshot: corrupt export stream: %v", err)
 		}
-		var dir string
-		switch df.Kind {
-		case "archive", "entities":
-			dir = "repo"
-		case "user":
-			dir = "users"
-		default:
-			return files, fmt.Errorf("snapshot: unknown export kind %q", df.Kind)
+		if df.Delete {
+			if err := f.store.Remove(df.Kind, df.Name); err != nil {
+				return files, err
+			}
+			files++
+			continue
 		}
-		if df.Name == "" || strings.ContainsAny(df.Name, "/\\") {
-			return files, fmt.Errorf("snapshot: unsafe export name %q", df.Name)
+		path, err := f.store.Place(df.Kind, df.Name)
+		if err != nil {
+			return files, err
 		}
-		path := filepath.Join(f.root, dir, df.Name)
 		if err := fsatomic.WriteFile(path, []byte(df.Data), 0o644); err != nil {
 			return files, err
 		}
@@ -220,9 +239,111 @@ func (f *Facility) ReplicateFrom(ctx context.Context, leaderBase string, transpo
 
 // handleExport streams the repository dump (§4.2 replication).
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/x-aide-export")
+	w.Header().Set("Content-Type", exportContentType)
 	if err := s.Facility.Export(w); err != nil {
 		// Headers are out; report in-band.
 		fmt.Fprintf(w, "\nEXPORT ERROR: %s\n", err)
 	}
+}
+
+// shardParam parses the shard query parameter and bounds-checks it.
+func (s *Server) shardParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return 0, fmt.Errorf("missing shard parameter")
+	}
+	shard, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad shard parameter %q", v)
+	}
+	if shard < 0 || shard >= s.Facility.Shards() {
+		return 0, fmt.Errorf("no shard %d (store has %d)", shard, s.Facility.Shards())
+	}
+	return shard, nil
+}
+
+// handleShardManifest serves one shard's manifest for replica
+// comparison (the anti-entropy protocol's cheap first round trip).
+func (s *Server) handleShardManifest(w http.ResponseWriter, r *http.Request) {
+	shard, err := s.shardParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := s.Facility.ShardManifest(shard)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m)
+}
+
+// handleShardExport streams one shard's dump; a names parameter
+// (comma-separated base names) restricts it to a delta.
+func (s *Server) handleShardExport(w http.ResponseWriter, r *http.Request) {
+	shard, err := s.shardParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var names map[string]bool
+	if v := r.URL.Query().Get("names"); v != "" {
+		names = make(map[string]bool)
+		for _, n := range strings.Split(v, ",") {
+			names[n] = true
+		}
+	}
+	w.Header().Set("Content-Type", exportContentType)
+	if err := s.Facility.ExportShard(w, shard, names); err != nil {
+		fmt.Fprintf(w, "\nEXPORT ERROR: %s\n", err)
+	}
+}
+
+// handleShardImport installs a pushed delta stream — the replica side
+// of the leader's fan-out.
+func (s *Server) handleShardImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := s.Facility.Import(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Facility.metrics().Counter("replica.import.files").Add(int64(n))
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"files\": %d}\n", n)
+}
+
+// ShardsStatus is the /debug/shards payload: the store's partitioning
+// and each replica's replication health.
+type ShardsStatus struct {
+	// Shards is the store's shard count (1 = flat).
+	Shards int `json:"shards"`
+	// PerShard lists each shard's archive population.
+	PerShard []ShardStat `json:"per_shard"`
+	// Replicas reports replication health when a replicator is wired.
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
+}
+
+// handleDebugShards reports per-shard archive counts/bytes and replica
+// lag.
+func (s *Server) handleDebugShards(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.Facility.ShardStats()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	st := ShardsStatus{Shards: s.Facility.Shards(), PerShard: stats}
+	if s.Replicator != nil {
+		st.Replicas = s.Replicator.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
 }

@@ -72,6 +72,147 @@ func TestReplicateOverHTTP(t *testing.T) {
 	}
 }
 
+// TestExportImportCarriesEntitySidecars checks the dump includes the
+// §5.3 entity-checksum sidecars, so a replica can answer EntityChanges.
+func TestExportImportCarriesEntitySidecars(t *testing.T) {
+	leader := newRig(t)
+	leader.fac.SetEntityTracking(EntityTrackingOptions{Enabled: true})
+	site := leader.web.Site("h")
+	site.Page("/i.gif").Set("image v1")
+	site.Page("/p").Set(`<P>doc v1</P><IMG SRC="i.gif">`)
+	if _, err := leader.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	leader.web.Advance(time.Hour)
+	site.Page("/i.gif").Set("image v2")
+	site.Page("/p").Set(`<P>doc v2</P><IMG SRC="i.gif">`)
+	if _, err := leader.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := leader.fac.EntityChanges("http://h/p", "1.1", "1.2")
+	if err != nil || len(want) != 1 || want[0].Kind != "modified" {
+		t.Fatalf("leader entity changes = %+v, err %v", want, err)
+	}
+
+	var dump bytes.Buffer
+	if err := leader.fac.Export(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), `"kind":"entities"`) {
+		t.Fatal("dump carries no entity sidecars")
+	}
+	follower := newRig(t)
+	if _, err := follower.fac.Import(bytes.NewReader(dump.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.fac.EntityChanges("http://h/p", "1.1", "1.2")
+	if err != nil || len(got) != 1 || got[0].URL != want[0].URL || got[0].Kind != "modified" {
+		t.Fatalf("replica entity changes = %+v, err %v", got, err)
+	}
+	// User control files rode along too.
+	if urls := follower.fac.UserURLs(userA); len(urls) != 1 || urls[0] != "http://h/p" {
+		t.Fatalf("replica user urls = %v", urls)
+	}
+}
+
+// TestImportIntoNonEmptyRepo checks an import merges with existing
+// archives: same-name files take the dump's content, others survive.
+func TestImportIntoNonEmptyRepo(t *testing.T) {
+	leader := newRig(t)
+	leader.web.Site("h").Page("/shared").Set("leader's shared content\n")
+	leader.fac.Remember(context.Background(), userA, "http://h/shared")
+	var dump bytes.Buffer
+	if err := leader.fac.Export(&dump); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newRig(t)
+	follower.web.Site("h").Page("/shared").Set("follower's shared content\n")
+	follower.fac.Remember(context.Background(), userB, "http://h/shared")
+	follower.web.Site("h").Page("/own").Set("follower-only page\n")
+	follower.fac.Remember(context.Background(), userB, "http://h/own")
+
+	if _, err := follower.fac.Import(bytes.NewReader(dump.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The shared archive now holds the leader's history...
+	text, err := follower.fac.Checkout("http://h/shared", "")
+	if err != nil || text != "leader's shared content\n" {
+		t.Fatalf("shared head after import = (%q,%v)", text, err)
+	}
+	// ...while the follower-only archive is untouched.
+	text, err = follower.fac.Checkout("http://h/own", "")
+	if err != nil || text != "follower-only page\n" {
+		t.Fatalf("own head after import = (%q,%v)", text, err)
+	}
+	urls, _ := follower.fac.ArchivedURLs()
+	if len(urls) != 2 {
+		t.Fatalf("urls after merge import = %v", urls)
+	}
+}
+
+// TestImportTruncatedStream checks a dump cut off mid-record reports a
+// corrupt-stream error and the count of files installed before it.
+func TestImportTruncatedStream(t *testing.T) {
+	leader := newRig(t)
+	leader.web.Site("h").Page("/p1").Set("first page body\n")
+	leader.fac.Remember(context.Background(), userA, "http://h/p1")
+	leader.web.Site("h").Page("/p2").Set("second page body\n")
+	leader.fac.Remember(context.Background(), userA, "http://h/p2")
+	var dump bytes.Buffer
+	if err := leader.fac.Export(&dump); err != nil {
+		t.Fatal(err)
+	}
+	full := dump.String()
+	firstEnd := strings.Index(full, "\n") + 1
+	if firstEnd <= 0 || firstEnd >= len(full) {
+		t.Fatalf("unexpected dump shape:\n%s", full)
+	}
+	// Keep the first record whole and tear the second in half.
+	torn := full[:firstEnd+(len(full)-firstEnd)/2]
+
+	follower := newRig(t)
+	files, err := follower.fac.Import(strings.NewReader(torn))
+	if err == nil {
+		t.Fatal("truncated import succeeded")
+	}
+	if !strings.Contains(err.Error(), "corrupt export stream") {
+		t.Fatalf("truncated import error = %v", err)
+	}
+	if files != 1 {
+		t.Fatalf("files before tear = %d, want 1", files)
+	}
+	// Truncating inside the very first record installs nothing.
+	files, err = follower.fac.Import(strings.NewReader(full[:firstEnd/2]))
+	if err == nil || files != 0 {
+		t.Fatalf("tear in first record = (%d,%v)", files, err)
+	}
+}
+
+// TestImportDeleteEntries checks the anti-entropy delete form removes
+// the named files (and tolerates already-absent ones).
+func TestImportDeleteEntries(t *testing.T) {
+	r := newRig(t)
+	r.web.Site("h").Page("/p").Set("to be deleted\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+	name := archiveBase("http://h/p") + archiveSuffix
+	del := `{"kind":"archive","name":"` + name + `","delete":true}` + "\n"
+	if _, err := r.fac.Import(strings.NewReader(del)); err != nil {
+		t.Fatal(err)
+	}
+	if urls, _ := r.fac.ArchivedURLs(); len(urls) != 0 {
+		t.Fatalf("urls after delete = %v", urls)
+	}
+	// Deleting again is not an error (convergent repair).
+	if _, err := r.fac.Import(strings.NewReader(del)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsafe delete names are still rejected.
+	if _, err := r.fac.Import(strings.NewReader(`{"kind":"archive","name":"../x,v","delete":true}`)); err == nil {
+		t.Fatal("unsafe delete name accepted")
+	}
+}
+
 func TestImportRejectsUnsafeDumps(t *testing.T) {
 	follower := newRig(t)
 	cases := []string{

@@ -1,0 +1,407 @@
+package snapshot
+
+// Per-shard replica fan-out, the full form of §4.2's "replicate itself
+// among multiple computers". The leader compares per-shard manifests
+// (file name → head revision + content hash) with each replica, pushes
+// only the divergent files as a delta stream, and propagates deletions.
+// A seeded anti-entropy pass re-checks randomly chosen shards so silent
+// divergence (a replica losing a file, a torn import) is repaired even
+// when no new check-ins arrive.
+//
+// Wire protocol (all under the replica's snapshot server):
+//
+//	GET  /shard/manifest?shard=K  → ShardManifest JSON
+//	GET  /shard/export?shard=K    → dump stream of one shard
+//	POST /shard/import            → install a dump/delta stream
+//
+// Replicas run the ordinary snapshot server over their imported store,
+// so every read endpoint (/co, /diff, /history ...) is served from the
+// replica's copy; PickReplica spreads read traffic across them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aide/internal/obs"
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// exportContentType tags dump/delta streams on the wire.
+const exportContentType = "application/x-aide-export"
+
+// FileState is one file's identity in a shard manifest.
+type FileState struct {
+	// Kind is the file's KindArchive/KindEntities/KindURL/KindUser tag.
+	Kind string `json:"kind"`
+	// Size is the file length in bytes.
+	Size int64 `json:"size"`
+	// Hash is the fnv64a of the file content, hex.
+	Hash string `json:"hash"`
+	// HeadRev is the archive's head revision (archives only).
+	HeadRev string `json:"head_rev,omitempty"`
+}
+
+// ShardManifest summarises one shard's files for replica comparison.
+type ShardManifest struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Files maps file base name → state.
+	Files map[string]FileState `json:"files"`
+}
+
+// ShardManifest builds the manifest of one shard from disk.
+func (f *Facility) ShardManifest(shard int) (ShardManifest, error) {
+	files, err := f.store.ShardFiles(shard)
+	if err != nil {
+		return ShardManifest{}, err
+	}
+	m := ShardManifest{Shard: shard, Files: make(map[string]FileState, len(files))}
+	for _, sf := range files {
+		data, err := os.ReadFile(sf.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // deleted between listing and read
+			}
+			return ShardManifest{}, err
+		}
+		st := FileState{Kind: sf.Kind, Size: int64(len(data)), Hash: fmt.Sprintf("%016x", fnv64(string(data)))}
+		if sf.Kind == KindArchive {
+			if head, err := f.archiveAt(sf.Path).Head(); err == nil {
+				st.HeadRev = head
+			}
+		}
+		m.Files[sf.Name] = st
+	}
+	return m, nil
+}
+
+// Hash condenses the manifest to one comparable value: equal hashes mean
+// the shards hold identical file sets with identical content.
+func (m ShardManifest) Hash() string {
+	names := make([]string, 0, len(m.Files))
+	for n := range m.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		st := m.Files[n]
+		fmt.Fprintf(&sb, "%s\x00%s\x00%s\n", n, st.Hash, st.HeadRev)
+	}
+	return fmt.Sprintf("%016x", fnv64(sb.String()))
+}
+
+// Diff compares a leader manifest against a replica's: push lists files
+// the replica is missing or holds with different content, drop lists
+// files the replica holds that the leader no longer does.
+func (m ShardManifest) Diff(replica ShardManifest) (push, drop []string) {
+	for name, st := range m.Files {
+		if rst, ok := replica.Files[name]; !ok || rst.Hash != st.Hash {
+			push = append(push, name)
+		}
+	}
+	for name := range replica.Files {
+		if _, ok := m.Files[name]; !ok {
+			drop = append(drop, name)
+		}
+	}
+	sort.Strings(push)
+	sort.Strings(drop)
+	return push, drop
+}
+
+// ReplicaStatus is one replica's replication health, the /debug/shards
+// "replicas" row.
+type ReplicaStatus struct {
+	// Replica is the replica's base URL.
+	Replica string `json:"replica"`
+	// LastSync is when the last successful full sync finished.
+	LastSync time.Time `json:"last_sync,omitempty"`
+	// LastErr is the most recent sync error ("" when healthy).
+	LastErr string `json:"last_err,omitempty"`
+	// Pushed and Deleted count files transferred / removed over the
+	// replica's lifetime with this leader.
+	Pushed  int64 `json:"pushed"`
+	Deleted int64 `json:"deleted"`
+	// LagFiles is the divergence observed at the start of the last sync
+	// (files pushed + dropped); 0 means the replica was already current.
+	LagFiles int `json:"lag_files"`
+}
+
+// Replicator pushes a leader facility's shards to a set of replicas.
+type Replicator struct {
+	// Facility is the leader's store.
+	Facility *Facility
+	// Client performs the HTTP transfers; required.
+	Client *webclient.Client
+	// Replicas are the replica servers' base URLs.
+	Replicas []string
+	// Metrics receives the replica.* counters; the facility's registry
+	// when nil.
+	Metrics *obs.Registry
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	status map[string]*ReplicaStatus
+}
+
+// NewReplicator wires a replicator for the given replicas. seed drives
+// the anti-entropy shard choice, making repair order reproducible.
+func NewReplicator(f *Facility, client *webclient.Client, replicas []string, seed int64) *Replicator {
+	r := &Replicator{
+		Facility: f,
+		Client:   client,
+		rng:      rand.New(rand.NewSource(seed)),
+		status:   make(map[string]*ReplicaStatus),
+	}
+	if f != nil {
+		r.Metrics = f.Metrics
+	}
+	for _, addr := range replicas {
+		addr = strings.TrimSuffix(strings.TrimSpace(addr), "/")
+		if addr == "" {
+			continue
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		r.Replicas = append(r.Replicas, addr)
+		r.status[addr] = &ReplicaStatus{Replica: addr}
+	}
+	return r
+}
+
+// metrics returns the replicator's registry (facility's, else obs.Default).
+func (r *Replicator) metrics() *obs.Registry {
+	if r.Metrics != nil {
+		return r.Metrics
+	}
+	if r.Facility != nil {
+		return r.Facility.metrics()
+	}
+	return obs.Default
+}
+
+// Status reports per-replica replication health, sorted by address.
+func (r *Replicator) Status() []ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(r.status))
+	for _, st := range r.status {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// PickReplica chooses the replica to serve a read for a URL ("" when
+// none are configured): reads fan out across replicas by URL hash, so
+// the leader's disks see only check-ins and repair traffic.
+func (r *Replicator) PickReplica(pageURL string) string {
+	if len(r.Replicas) == 0 {
+		return ""
+	}
+	return r.Replicas[int(fnv64(pageURL)%uint64(len(r.Replicas)))]
+}
+
+// SyncAll pushes every shard's delta to every replica (replicas in
+// parallel, shards serially within each) and returns the totals. The
+// first error per replica stops that replica's pass; the last error
+// seen is returned after all replicas finish.
+func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err error) {
+	shards := r.Facility.Shards()
+	var wg sync.WaitGroup
+	pushes := make([]int, len(r.Replicas))
+	deletes := make([]int, len(r.Replicas))
+	errs := make([]error, len(r.Replicas))
+	for ri, addr := range r.Replicas {
+		wg.Add(1)
+		go func(ri int, addr string) {
+			defer wg.Done()
+			lag := 0
+			for shard := 0; shard < shards; shard++ {
+				p, d, lerr := r.syncShard(ctx, addr, shard)
+				pushes[ri] += p
+				deletes[ri] += d
+				lag += p + d
+				if lerr != nil {
+					errs[ri] = lerr
+					break
+				}
+			}
+			r.note(addr, pushes[ri], deletes[ri], lag, errs[ri])
+		}(ri, addr)
+	}
+	wg.Wait()
+	for ri := range r.Replicas {
+		pushed += pushes[ri]
+		deleted += deletes[ri]
+		if errs[ri] != nil {
+			err = errs[ri]
+		}
+	}
+	return pushed, deleted, err
+}
+
+// AntiEntropy repairs up to maxShards randomly chosen shards (seeded
+// order; maxShards <= 0 checks every shard) on every replica. The
+// manifest hash decides cheaply whether a shard needs work, so a
+// converged system pays one manifest round trip per shard. repaired
+// counts files pushed or dropped.
+func (r *Replicator) AntiEntropy(ctx context.Context, maxShards int) (repaired int, err error) {
+	shards := r.Facility.Shards()
+	order := make([]int, shards)
+	for i := range order {
+		order[i] = i
+	}
+	r.mu.Lock()
+	r.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	r.mu.Unlock()
+	if maxShards > 0 && maxShards < len(order) {
+		order = order[:maxShards]
+	}
+	m := r.metrics()
+	m.Counter("replica.antientropy.passes").Inc()
+	for _, shard := range order {
+		local, lerr := r.Facility.ShardManifest(shard)
+		if lerr != nil {
+			return repaired, lerr
+		}
+		for _, addr := range r.Replicas {
+			remote, rerr := r.fetchManifest(ctx, addr, shard)
+			if rerr != nil {
+				err = rerr
+				r.note(addr, 0, 0, 0, rerr)
+				continue
+			}
+			if remote.Hash() == local.Hash() {
+				continue
+			}
+			p, d, serr := r.syncShard(ctx, addr, shard)
+			repaired += p + d
+			if serr != nil {
+				err = serr
+			}
+			r.note(addr, p, d, p+d, serr)
+		}
+	}
+	if repaired > 0 {
+		m.Counter("replica.antientropy.repaired").Add(int64(repaired))
+	}
+	return repaired, err
+}
+
+// Run keeps the replicas converged until ctx ends: a full delta sync
+// every interval, with an anti-entropy sample each round. Errors are
+// recorded in Status and retried next round.
+func (r *Replicator) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	for {
+		if _, _, err := r.SyncAll(ctx); err != nil {
+			obs.Logger().Warn("replica sync", "err", err)
+		}
+		if _, err := r.AntiEntropy(ctx, 1); err != nil {
+			obs.Logger().Warn("replica anti-entropy", "err", err)
+		}
+		if err := simclock.Sleep(ctx, r.Facility.clock, interval); err != nil {
+			return
+		}
+	}
+}
+
+// syncShard pushes one shard's delta to one replica: manifest exchange,
+// then a single POST carrying changed files plus delete entries.
+func (r *Replicator) syncShard(ctx context.Context, addr string, shard int) (pushed, deleted int, err error) {
+	m := r.metrics()
+	local, err := r.Facility.ShardManifest(shard)
+	if err != nil {
+		return 0, 0, err
+	}
+	remote, err := r.fetchManifest(ctx, addr, shard)
+	if err != nil {
+		m.Counter("replica.sync.errors").Inc()
+		return 0, 0, err
+	}
+	push, drop := local.Diff(remote)
+	if len(push) == 0 && len(drop) == 0 {
+		return 0, 0, nil
+	}
+	var buf bytes.Buffer
+	if len(push) > 0 {
+		names := make(map[string]bool, len(push))
+		for _, n := range push {
+			names[n] = true
+		}
+		if err := r.Facility.ExportShard(&buf, shard, names); err != nil {
+			return 0, 0, err
+		}
+	}
+	enc := json.NewEncoder(&buf)
+	for _, n := range drop {
+		if err := enc.Encode(dumpFile{Kind: remote.Files[n].Kind, Name: n, Delete: true}); err != nil {
+			return 0, 0, err
+		}
+	}
+	info, err := r.Client.PostBody(ctx, addr+"/shard/import", exportContentType, buf.String())
+	if err != nil {
+		m.Counter("replica.sync.errors").Inc()
+		return 0, 0, fmt.Errorf("snapshot: pushing shard %d to %s: %w", shard, addr, err)
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		m.Counter("replica.sync.errors").Inc()
+		return 0, 0, fmt.Errorf("snapshot: pushing shard %d to %s: HTTP %d", shard, addr, info.Status)
+	}
+	m.Counter("replica.push.files").Add(int64(len(push)))
+	m.Counter("replica.push.deletes").Add(int64(len(drop)))
+	return len(push), len(drop), nil
+}
+
+// fetchManifest retrieves a replica's manifest for one shard.
+func (r *Replicator) fetchManifest(ctx context.Context, addr string, shard int) (ShardManifest, error) {
+	info, err := r.Client.Get(ctx, fmt.Sprintf("%s/shard/manifest?shard=%d", addr, shard))
+	if err != nil {
+		return ShardManifest{}, fmt.Errorf("snapshot: manifest of shard %d from %s: %w", shard, addr, err)
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		return ShardManifest{}, fmt.Errorf("snapshot: manifest of shard %d from %s: HTTP %d", shard, addr, info.Status)
+	}
+	var m ShardManifest
+	if err := json.Unmarshal([]byte(info.Body), &m); err != nil {
+		return ShardManifest{}, fmt.Errorf("snapshot: corrupt manifest from %s: %v", addr, err)
+	}
+	if m.Files == nil {
+		m.Files = map[string]FileState{}
+	}
+	return m, nil
+}
+
+// note updates a replica's status row after a sync attempt.
+func (r *Replicator) note(addr string, pushed, deleted, lag int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.status[addr]
+	if st == nil {
+		st = &ReplicaStatus{Replica: addr}
+		r.status[addr] = st
+	}
+	st.Pushed += int64(pushed)
+	st.Deleted += int64(deleted)
+	st.LagFiles = lag
+	if err != nil {
+		st.LastErr = err.Error()
+		return
+	}
+	st.LastErr = ""
+	st.LastSync = r.Facility.clock.Now()
+}

@@ -1,0 +1,256 @@
+package snapshot
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/simclock"
+	"aide/internal/webclient"
+)
+
+// replicaPair is a sharded leader with one sharded replica behind a
+// real HTTP server, plus the replicator wired between them.
+type replicaPair struct {
+	leader  *rig
+	replica *Facility
+	repl    *Replicator
+	ts      *httptest.Server
+}
+
+func newReplicaPair(t *testing.T, shards int) *replicaPair {
+	t.Helper()
+	leader := shardedRig(t, shards)
+	replica, err := NewSharded(t.TempDir(), shards, nil, simclock.New(time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv := NewServer(replica)
+	rsrv.KeepaliveInterval = 0
+	ts := httptest.NewServer(rsrv.Handler())
+	t.Cleanup(ts.Close)
+	repl := NewReplicator(leader.fac, webclient.New(&webclient.HTTPTransport{}), []string{ts.URL}, 42)
+	return &replicaPair{leader: leader, replica: replica, repl: repl, ts: ts}
+}
+
+// assertConverged fails unless every shard's manifest hash matches
+// between leader and replica.
+func (p *replicaPair) assertConverged(t *testing.T) {
+	t.Helper()
+	for shard := 0; shard < p.leader.fac.Shards(); shard++ {
+		lm, err := p.leader.fac.ShardManifest(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := p.replica.ShardManifest(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lm.Hash() != rm.Hash() {
+			t.Fatalf("shard %d diverged: leader %s (%d files) vs replica %s (%d files)",
+				shard, lm.Hash(), len(lm.Files), rm.Hash(), len(rm.Files))
+		}
+	}
+}
+
+func TestManifestDiff(t *testing.T) {
+	leader := ShardManifest{Shard: 0, Files: map[string]FileState{
+		"a,v": {Kind: KindArchive, Hash: "1111"},
+		"b,v": {Kind: KindArchive, Hash: "2222"},
+	}}
+	replica := ShardManifest{Shard: 0, Files: map[string]FileState{
+		"b,v": {Kind: KindArchive, Hash: "dead"}, // stale content
+		"c,v": {Kind: KindArchive, Hash: "3333"}, // leader deleted it
+	}}
+	push, drop := leader.Diff(replica)
+	if strings.Join(push, " ") != "a,v b,v" || strings.Join(drop, " ") != "c,v" {
+		t.Fatalf("diff = push %v, drop %v", push, drop)
+	}
+	if leader.Hash() == replica.Hash() {
+		t.Fatal("divergent manifests share a hash")
+	}
+}
+
+func TestReplicaSyncPushesShardDeltas(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	for i := 0; i < 16; i++ {
+		u := fmt.Sprintf("http://h/repl-%d", i)
+		if _, err := p.leader.fac.RememberContent(context.Background(), userA, u, fmt.Sprintf("repl body %d\n", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pushed, deleted, err := p.repl.SyncAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed == 0 || deleted != 0 {
+		t.Fatalf("sync = pushed %d, deleted %d", pushed, deleted)
+	}
+	p.assertConverged(t)
+	// Reads serve from the replica's copy.
+	text, err := p.replica.Checkout("http://h/repl-3", "")
+	if err != nil || text != "repl body 3\n" {
+		t.Fatalf("replica checkout = (%q,%v)", text, err)
+	}
+	// A second sync is a no-op: every shard already matches.
+	pushed, deleted, err = p.repl.SyncAll(context.Background())
+	if err != nil || pushed != 0 || deleted != 0 {
+		t.Fatalf("converged sync = (%d,%d,%v)", pushed, deleted, err)
+	}
+	st := p.repl.Status()
+	if len(st) != 1 || st[0].Pushed == 0 || st[0].LastErr != "" || st[0].LagFiles != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestAntiEntropyRepairsLostReplicaFile(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	const victim = "http://h/victim"
+	urls := []string{victim, "http://h/other-1", "http://h/other-2"}
+	for _, u := range urls {
+		if _, err := p.leader.fac.RememberContent(context.Background(), userA, u, "guarded content of "+u+"\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.assertConverged(t)
+
+	// The replica silently loses an archive.
+	name := archiveBase(victim) + archiveSuffix
+	if err := p.replica.Store().Remove(KindArchive, name); err != nil {
+		t.Fatal(err)
+	}
+	shard := p.leader.fac.ShardOf(victim)
+	lm, _ := p.leader.fac.ShardManifest(shard)
+	rm, _ := p.replica.ShardManifest(shard)
+	if lm.Hash() == rm.Hash() {
+		t.Fatal("deleting the archive did not change the replica's manifest hash")
+	}
+
+	// A full anti-entropy pass finds and repairs the divergence.
+	repaired, err := p.repl.AntiEntropy(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Fatal("anti-entropy repaired nothing")
+	}
+	p.assertConverged(t)
+	if text, err := p.replica.Checkout(victim, ""); err != nil || !strings.HasPrefix(text, "guarded content") {
+		t.Fatalf("repaired checkout = (%q,%v)", text, err)
+	}
+}
+
+func TestSyncPropagatesLeaderDeletes(t *testing.T) {
+	p := newReplicaPair(t, 2)
+	const doomed = "http://h/doomed"
+	for _, u := range []string{doomed, "http://h/kept"} {
+		if _, err := p.leader.fac.RememberContent(context.Background(), "", u, "delete test\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.leader.fac.Store().Remove(KindArchive, archiveBase(doomed)+archiveSuffix); err != nil {
+		t.Fatal(err)
+	}
+	_, deleted, err := p.repl.SyncAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 {
+		t.Fatalf("deleted = %d, want 1", deleted)
+	}
+	p.assertConverged(t)
+	urls, _ := p.replica.ArchivedURLs()
+	if len(urls) != 1 || urls[0] != "http://h/kept" {
+		t.Fatalf("replica urls after delete = %v", urls)
+	}
+}
+
+func TestPickReplicaSpreadsReads(t *testing.T) {
+	r := NewReplicator(nil, nil, []string{"http://r1", "http://r2"}, 1)
+	hits := map[string]int{}
+	for i := 0; i < 50; i++ {
+		hits[r.PickReplica(fmt.Sprintf("http://h/p%d", i))]++
+	}
+	if len(hits) != 2 {
+		t.Fatalf("reads went to %v", hits)
+	}
+	// Stable per URL.
+	if r.PickReplica("http://h/p1") != r.PickReplica("http://h/p1") {
+		t.Fatal("replica choice not stable")
+	}
+	none := NewReplicator(nil, nil, nil, 1)
+	if none.PickReplica("http://h/p") != "" {
+		t.Fatal("no replicas should yield empty pick")
+	}
+}
+
+func TestNewReplicatorNormalizesAddrs(t *testing.T) {
+	r := NewReplicator(nil, nil, []string{"127.0.0.1:8290", " http://r2/ ", "", "https://r3"}, 1)
+	want := []string{"http://127.0.0.1:8290", "http://r2", "https://r3"}
+	if len(r.Replicas) != len(want) {
+		t.Fatalf("replicas = %v, want %v", r.Replicas, want)
+	}
+	for i, w := range want {
+		if r.Replicas[i] != w {
+			t.Errorf("replica %d = %q, want %q", i, r.Replicas[i], w)
+		}
+	}
+}
+
+func TestDebugShardsEndpoint(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	for i := 0; i < 8; i++ {
+		u := fmt.Sprintf("http://h/dbg-%d", i)
+		if _, err := p.leader.fac.RememberContent(context.Background(), "", u, "dbg\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p.leader.fac)
+	srv.KeepaliveInterval = 0
+	srv.Replicator = p.repl
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/debug/shards")
+	if code != 200 {
+		t.Fatalf("/debug/shards = %d\n%s", code, body)
+	}
+	var st ShardsStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad /debug/shards JSON: %v\n%s", err, body)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 || len(st.Replicas) != 1 {
+		t.Fatalf("shards status = %+v", st)
+	}
+	total := 0
+	for _, row := range st.PerShard {
+		total += row.Archives
+	}
+	if total != 8 {
+		t.Fatalf("per-shard archives sum = %d", total)
+	}
+	// The shard protocol endpoints answer on the leader too.
+	code, body = get(t, fmt.Sprintf("%s/shard/manifest?shard=%d", ts.URL, 0))
+	if code != 200 || !strings.Contains(body, `"files"`) {
+		t.Fatalf("/shard/manifest = %d\n%s", code, body)
+	}
+	if code, _ = get(t, ts.URL+"/shard/manifest?shard=99"); code != 400 {
+		t.Fatalf("out-of-range shard = %d, want 400", code)
+	}
+	code, body = get(t, fmt.Sprintf("%s/shard/export?shard=%d", ts.URL, 0))
+	if code != 200 {
+		t.Fatalf("/shard/export = %d\n%s", code, body)
+	}
+}

@@ -42,6 +42,9 @@ type Server struct {
 	// adds this deadline, so a hung upstream fetch cannot pin a handler
 	// (and its Gate slot) forever.
 	RequestTimeout time.Duration
+	// Replicator, when non-nil, is this server's replica fan-out; its
+	// per-replica status shows up in /debug/shards.
+	Replicator *Replicator
 }
 
 // reqCtx derives the working context for one request: the request's own
@@ -72,6 +75,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/rcsdiff", s.handleRcsdiff)
 	mux.HandleFunc("/account/new", s.handleAccountNew)
 	mux.HandleFunc("/export", s.handleExport)
+	mux.HandleFunc("/shard/manifest", s.handleShardManifest)
+	mux.HandleFunc("/shard/export", s.handleShardExport)
+	mux.HandleFunc("/shard/import", s.handleShardImport)
+	mux.HandleFunc("/debug/shards", s.handleDebugShards)
 	debug := obs.Handler(s.Facility.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
 	mux.Handle("/debug/traces", debug)

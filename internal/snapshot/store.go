@@ -1,0 +1,682 @@
+package snapshot
+
+// This file is the facility's storage layer, made pluggable so the
+// archive space can be partitioned. The paper's §4.2 anticipates the
+// need: a saturated facility "could ... replicate itself among multiple
+// computers, as many W3 services do". A Store maps page URLs and user
+// names to the files that hold their archives, entity sidecars, and
+// control files, and enumerates them for sweeps and replication.
+//
+// Two implementations:
+//
+//   - FlatStore is the original layout — one repo/ and one users/
+//     directory under the root. Repositories created by earlier
+//     versions open unchanged.
+//
+//   - ShardedStore partitions the same files across N shard
+//     directories by consistent hashing (a hash ring with virtual
+//     nodes), so shards can be added later and only ~1/N of the keys
+//     move; Rebalance migrates the misplaced remainder.
+//
+// The ring is keyed on file *base names*, not raw URLs. A base name is
+// a pure function of its URL (see archiveBase), so this is consistent
+// hashing of the URL — but it lets Import, Rebalance, and replication
+// place any repository file knowing only its name, which matters for
+// overflow-hashed names whose URL is not recoverable from the name.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"aide/internal/fsatomic"
+)
+
+// File-kind tags shared by export dumps, manifests, and Place.
+const (
+	KindArchive  = "archive"
+	KindEntities = "entities"
+	KindURL      = "url"
+	KindUser     = "user"
+)
+
+// Suffixes that turn a base name into a concrete repository file.
+const (
+	archiveSuffix  = ",v"
+	entitiesSuffix = ",entities.json"
+	urlSuffix      = ",url"
+	userSuffix     = ".json"
+)
+
+// maxNameLen is the portable NAME_MAX: a file base name longer than
+// this fails to create on most filesystems.
+const maxNameLen = 255
+
+// StoredFile is one repository file as a store enumerates it.
+type StoredFile struct {
+	// Kind is one of KindArchive, KindEntities, KindURL, KindUser.
+	Kind string
+	// Name is the file's base name on disk.
+	Name string
+	// Path is the file's full path.
+	Path string
+	// Shard is the shard holding the file (0 in a flat store).
+	Shard int
+}
+
+// Store is the snapshot facility's pluggable storage layer: it decides
+// where archives, entity sidecars, and user control files live, and
+// enumerates them for listings, export, and replication.
+type Store interface {
+	// Root returns the store's top-level data directory.
+	Root() string
+	// Shards reports how many shards partition the store (1 = flat).
+	Shards() int
+	// ShardOf maps a page URL to the shard holding its archive.
+	ShardOf(pageURL string) int
+	// ArchivePath returns the RCS archive path for a page URL.
+	ArchivePath(pageURL string) string
+	// EntityPath returns the entity-snapshot sidecar path for a page URL.
+	EntityPath(pageURL string) string
+	// UserPath returns the control-file path for a user.
+	UserPath(user string) string
+	// NoteURL persists the name→URL reverse mapping for pages whose
+	// archive name had to be hashed (a ",url" sidecar); it is a no-op
+	// for names that already decode back to their URL.
+	NoteURL(pageURL string) error
+	// ArchivedURLs lists every URL with an archive, sorted.
+	ArchivedURLs() ([]string, error)
+	// ShardURLs lists the archived URLs of one shard, sorted.
+	ShardURLs(shard int) ([]string, error)
+	// Files enumerates every repository file: repo files (archives,
+	// entity and url sidecars) sorted by name, then user control files
+	// sorted by name — the export order.
+	Files() ([]StoredFile, error)
+	// ShardFiles enumerates one shard's files in the same order.
+	ShardFiles(shard int) ([]StoredFile, error)
+	// Place returns the path where a file of the given kind and base
+	// name belongs, so imported and replicated files land in the right
+	// shard without the store needing the original URL.
+	Place(kind, name string) (string, error)
+	// Remove deletes the file of the given kind and name (nil if absent).
+	Remove(kind, name string) error
+	// LockKey returns the per-URL mutual-exclusion key for a page,
+	// scoped to the shard that owns it.
+	LockKey(pageURL string) string
+	// Rebalance moves files that do not live in the shard the ring now
+	// assigns them — after adding shards, or when adopting a repository
+	// laid out flat — and reports how many moved.
+	Rebalance() (moved int, err error)
+}
+
+// --- naming -------------------------------------------------------------------
+
+// archiveBase returns the file base name for a page URL: its URL-escaped
+// form when every derived file name (base plus the longest suffix) fits
+// in NAME_MAX, else a truncated prefix joined to an fnv64 hash of the
+// full URL. Hashed names are not invertible; NoteURL records their URL
+// in a ",url" sidecar so listings can still recover it.
+func archiveBase(pageURL string) string {
+	esc := url.QueryEscape(pageURL)
+	if len(esc)+len(entitiesSuffix) <= maxNameLen {
+		return esc
+	}
+	h := fnv.New64a()
+	h.Write([]byte(pageURL))
+	sum := fmt.Sprintf("%016x", h.Sum64())
+	keep := maxNameLen - len(entitiesSuffix) - len(sum) - 1
+	return esc[:keep] + "-" + sum
+}
+
+// userBase returns the control-file base name (sans ".json") for a
+// user, with the same overflow fallback as archiveBase.
+func userBase(user string) string {
+	esc := url.QueryEscape(user)
+	if len(esc)+len(userSuffix) <= maxNameLen {
+		return esc
+	}
+	h := fnv.New64a()
+	h.Write([]byte(user))
+	sum := fmt.Sprintf("%016x", h.Sum64())
+	keep := maxNameLen - len(userSuffix) - len(sum) - 1
+	return esc[:keep] + "-" + sum
+}
+
+// baseOf strips a repository file name back to its ring key. ok is
+// false for names that carry none of the known suffixes.
+func baseOf(kind, name string) (base string, ok bool) {
+	switch kind {
+	case KindArchive:
+		base = strings.TrimSuffix(name, archiveSuffix)
+	case KindEntities:
+		base = strings.TrimSuffix(name, entitiesSuffix)
+	case KindURL:
+		base = strings.TrimSuffix(name, urlSuffix)
+	case KindUser:
+		base = strings.TrimSuffix(name, userSuffix)
+	default:
+		return "", false
+	}
+	return base, base != name
+}
+
+// kindOfRepoFile classifies a repo-directory file by suffix.
+func kindOfRepoFile(name string) (string, bool) {
+	switch {
+	case strings.HasSuffix(name, entitiesSuffix):
+		return KindEntities, true
+	case strings.HasSuffix(name, urlSuffix):
+		return KindURL, true
+	case strings.HasSuffix(name, archiveSuffix):
+		return KindArchive, true
+	}
+	return "", false
+}
+
+// legacyArchivePath returns the pre-overflow-fix path for a URL whose
+// base name is hashed today but whose plain ",v" name still fit in
+// NAME_MAX — repositories written before the fix hold such archives
+// under the full escaped name, and those stay readable.
+func legacyArchivePath(repoDir, pageURL string) (string, bool) {
+	esc := url.QueryEscape(pageURL)
+	if len(esc)+len(entitiesSuffix) <= maxNameLen || len(esc)+len(archiveSuffix) > maxNameLen {
+		return "", false
+	}
+	p := filepath.Join(repoDir, esc+archiveSuffix)
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
+}
+
+// urlsInRepoDir resolves the archived URLs found in one repo directory:
+// names decode via QueryUnescape unless a ",url" sidecar records the
+// original (overflow-hashed names).
+func urlsInRepoDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	sidecars := make(map[string]bool)
+	var bases []string
+	for _, e := range entries {
+		name := e.Name()
+		if base, ok := baseOf(KindURL, name); ok {
+			sidecars[base] = true
+			continue
+		}
+		if kind, ok := kindOfRepoFile(name); ok && kind == KindArchive {
+			bases = append(bases, strings.TrimSuffix(name, archiveSuffix))
+		}
+	}
+	var urls []string
+	for _, base := range bases {
+		if sidecars[base] {
+			data, err := os.ReadFile(filepath.Join(dir, base+urlSuffix))
+			if err != nil {
+				return nil, err
+			}
+			urls = append(urls, strings.TrimSpace(string(data)))
+			continue
+		}
+		u, err := url.QueryUnescape(base)
+		if err != nil {
+			continue // not one of ours
+		}
+		urls = append(urls, u)
+	}
+	return urls, nil
+}
+
+// filesInDir enumerates one directory's repository files as StoredFiles.
+// Repo directories classify by suffix; user directories tag everything
+// KindUser. Temp files are skipped.
+func filesInDir(dir string, userDir bool, shard int) ([]StoredFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []StoredFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		kind := KindUser
+		if !userDir {
+			var ok bool
+			kind, ok = kindOfRepoFile(name)
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, StoredFile{Kind: kind, Name: name, Path: filepath.Join(dir, name), Shard: shard})
+	}
+	return out, nil
+}
+
+// noteURLAt writes the ",url" reverse-map sidecar beside an archive
+// whose base name is hashed; a no-op when the name decodes on its own.
+func noteURLAt(repoDir, pageURL string) error {
+	base := archiveBase(pageURL)
+	if base == url.QueryEscape(pageURL) {
+		return nil
+	}
+	return fsatomic.WriteFile(filepath.Join(repoDir, base+urlSuffix), []byte(pageURL+"\n"), 0o644)
+}
+
+// --- consistent-hash ring ------------------------------------------------------
+
+// ringVnodes is how many virtual nodes each shard contributes to the
+// ring; more vnodes smooth the key distribution across shards.
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hashRing assigns keys to shards by consistent hashing: each shard
+// owns the arc before each of its virtual points, so adding a shard
+// moves only the keys falling on the new points' arcs (~1/N of them).
+type hashRing struct {
+	points []ringPoint
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func newRing(shards int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, shards*ringVnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{fnv64(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// locate returns the shard owning key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *hashRing) locate(key string) int {
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// --- FlatStore -----------------------------------------------------------------
+
+// FlatStore is the original single-directory layout: everything under
+// root/repo and root/users. It is what repositories created before
+// sharding look like, and remains the default.
+type FlatStore struct {
+	root string
+}
+
+// NewFlatStore creates (or reopens) the flat layout under dir.
+func NewFlatStore(dir string) (*FlatStore, error) {
+	for _, sub := range []string{"repo", "users", "locks"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &FlatStore{root: dir}, nil
+}
+
+func (s *FlatStore) Root() string               { return s.root }
+func (s *FlatStore) Shards() int                { return 1 }
+func (s *FlatStore) ShardOf(pageURL string) int { return 0 }
+
+func (s *FlatStore) repoDir() string { return filepath.Join(s.root, "repo") }
+
+func (s *FlatStore) ArchivePath(pageURL string) string {
+	if p, ok := legacyArchivePath(s.repoDir(), pageURL); ok {
+		return p
+	}
+	return filepath.Join(s.repoDir(), archiveBase(pageURL)+archiveSuffix)
+}
+
+func (s *FlatStore) EntityPath(pageURL string) string {
+	return filepath.Join(s.repoDir(), archiveBase(pageURL)+entitiesSuffix)
+}
+
+func (s *FlatStore) UserPath(user string) string {
+	return filepath.Join(s.root, "users", userBase(user)+userSuffix)
+}
+
+func (s *FlatStore) NoteURL(pageURL string) error {
+	return noteURLAt(s.repoDir(), pageURL)
+}
+
+func (s *FlatStore) ArchivedURLs() ([]string, error) {
+	urls, err := urlsInRepoDir(s.repoDir())
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(urls)
+	return urls, nil
+}
+
+func (s *FlatStore) ShardURLs(shard int) ([]string, error) {
+	if shard != 0 {
+		return nil, fmt.Errorf("snapshot: flat store has no shard %d", shard)
+	}
+	return s.ArchivedURLs()
+}
+
+func (s *FlatStore) Files() ([]StoredFile, error) {
+	return s.ShardFiles(0)
+}
+
+func (s *FlatStore) ShardFiles(shard int) ([]StoredFile, error) {
+	if shard != 0 {
+		return nil, fmt.Errorf("snapshot: flat store has no shard %d", shard)
+	}
+	repo, err := filesInDir(s.repoDir(), false, 0)
+	if err != nil {
+		return nil, err
+	}
+	users, err := filesInDir(filepath.Join(s.root, "users"), true, 0)
+	if err != nil {
+		return nil, err
+	}
+	sortFiles(repo)
+	sortFiles(users)
+	return append(repo, users...), nil
+}
+
+func (s *FlatStore) Place(kind, name string) (string, error) {
+	if err := checkPlaceName(kind, name); err != nil {
+		return "", err
+	}
+	if kind == KindUser {
+		return filepath.Join(s.root, "users", name), nil
+	}
+	return filepath.Join(s.repoDir(), name), nil
+}
+
+func (s *FlatStore) Remove(kind, name string) error {
+	p, err := s.Place(kind, name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+func (s *FlatStore) LockKey(pageURL string) string { return "url:" + pageURL }
+
+// Rebalance is a no-op for the flat store: there is only one place for
+// anything to live.
+func (s *FlatStore) Rebalance() (int, error) { return 0, nil }
+
+// --- ShardedStore --------------------------------------------------------------
+
+// ShardedStore partitions the repository across N shard directories
+// (root/shard-000 ... shard-N-1, each with its own repo/ and users/)
+// by consistent hashing of file base names. Lock files stay shared at
+// root/locks — lock keys are already shard-scoped.
+type ShardedStore struct {
+	root   string
+	shards int
+	ring   *hashRing
+}
+
+// NewShardedStore creates (or reopens) an N-shard layout under dir.
+// Opening a directory that holds a flat repository (or one laid out
+// with a different shard count) succeeds; run Rebalance to migrate the
+// misplaced files before serving.
+func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("snapshot: sharded store needs >= 2 shards, got %d", shards)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "locks"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &ShardedStore{root: dir, shards: shards, ring: newRing(shards)}
+	for i := 0; i < shards; i++ {
+		for _, sub := range []string{"repo", "users"} {
+			if err := os.MkdirAll(filepath.Join(s.shardDir(i), sub), 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *ShardedStore) Root() string { return s.root }
+func (s *ShardedStore) Shards() int  { return s.shards }
+
+func (s *ShardedStore) shardDir(i int) string {
+	return filepath.Join(s.root, fmt.Sprintf("shard-%03d", i))
+}
+
+func (s *ShardedStore) repoDir(i int) string { return filepath.Join(s.shardDir(i), "repo") }
+
+// ShardOf hashes the page's archive base name onto the ring, so the
+// shard assignment survives name overflow and matches Place.
+func (s *ShardedStore) ShardOf(pageURL string) int {
+	return s.ring.locate(archiveBase(pageURL))
+}
+
+func (s *ShardedStore) ArchivePath(pageURL string) string {
+	base := archiveBase(pageURL)
+	if base != url.QueryEscape(pageURL) {
+		// Overflow names: a pre-fix repository may hold this URL under
+		// its full escaped name, which the ring places by that name.
+		esc := url.QueryEscape(pageURL)
+		if len(esc)+len(archiveSuffix) <= maxNameLen {
+			if p, ok := legacyArchivePath(s.repoDir(s.ring.locate(esc)), pageURL); ok {
+				return p
+			}
+		}
+	}
+	return filepath.Join(s.repoDir(s.ring.locate(base)), base+archiveSuffix)
+}
+
+func (s *ShardedStore) EntityPath(pageURL string) string {
+	base := archiveBase(pageURL)
+	return filepath.Join(s.repoDir(s.ring.locate(base)), base+entitiesSuffix)
+}
+
+func (s *ShardedStore) UserPath(user string) string {
+	base := userBase(user)
+	return filepath.Join(s.shardDir(s.ring.locate(base)), "users", base+userSuffix)
+}
+
+func (s *ShardedStore) NoteURL(pageURL string) error {
+	return noteURLAt(s.repoDir(s.ShardOf(pageURL)), pageURL)
+}
+
+func (s *ShardedStore) ArchivedURLs() ([]string, error) {
+	var urls []string
+	for i := 0; i < s.shards; i++ {
+		us, err := urlsInRepoDir(s.repoDir(i))
+		if err != nil {
+			return nil, err
+		}
+		urls = append(urls, us...)
+	}
+	sort.Strings(urls)
+	return urls, nil
+}
+
+func (s *ShardedStore) ShardURLs(shard int) ([]string, error) {
+	if shard < 0 || shard >= s.shards {
+		return nil, fmt.Errorf("snapshot: no shard %d (store has %d)", shard, s.shards)
+	}
+	urls, err := urlsInRepoDir(s.repoDir(shard))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(urls)
+	return urls, nil
+}
+
+// Files lists all shards' files merged into the flat store's order —
+// repo files sorted by name, then user files sorted by name — so an
+// export of a sharded store is byte-identical to the flat equivalent.
+func (s *ShardedStore) Files() ([]StoredFile, error) {
+	var repo, users []StoredFile
+	for i := 0; i < s.shards; i++ {
+		r, err := filesInDir(s.repoDir(i), false, i)
+		if err != nil {
+			return nil, err
+		}
+		repo = append(repo, r...)
+		u, err := filesInDir(filepath.Join(s.shardDir(i), "users"), true, i)
+		if err != nil {
+			return nil, err
+		}
+		users = append(users, u...)
+	}
+	sortFiles(repo)
+	sortFiles(users)
+	return append(repo, users...), nil
+}
+
+func (s *ShardedStore) ShardFiles(shard int) ([]StoredFile, error) {
+	if shard < 0 || shard >= s.shards {
+		return nil, fmt.Errorf("snapshot: no shard %d (store has %d)", shard, s.shards)
+	}
+	repo, err := filesInDir(s.repoDir(shard), false, shard)
+	if err != nil {
+		return nil, err
+	}
+	users, err := filesInDir(filepath.Join(s.shardDir(shard), "users"), true, shard)
+	if err != nil {
+		return nil, err
+	}
+	sortFiles(repo)
+	sortFiles(users)
+	return append(repo, users...), nil
+}
+
+func (s *ShardedStore) Place(kind, name string) (string, error) {
+	if err := checkPlaceName(kind, name); err != nil {
+		return "", err
+	}
+	base, ok := baseOf(kind, name)
+	if !ok {
+		return "", fmt.Errorf("snapshot: %s file %q lacks its suffix", kind, name)
+	}
+	shard := s.ring.locate(base)
+	if kind == KindUser {
+		return filepath.Join(s.shardDir(shard), "users", name), nil
+	}
+	return filepath.Join(s.repoDir(shard), name), nil
+}
+
+func (s *ShardedStore) Remove(kind, name string) error {
+	p, err := s.Place(kind, name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+func (s *ShardedStore) LockKey(pageURL string) string {
+	return fmt.Sprintf("shard:%03d:url:%s", s.ShardOf(pageURL), pageURL)
+}
+
+// Rebalance walks every shard directory present on disk — including a
+// legacy flat repo/ and users/ at the root, and shard dirs beyond the
+// current count — and moves each file to the location the ring assigns
+// its name. Adding a shard therefore migrates only the ~1/N of keys
+// whose arcs the new shard took over. Run it before serving; it does
+// not coordinate with concurrent check-ins.
+func (s *ShardedStore) Rebalance() (moved int, err error) {
+	type dirpair struct {
+		dir     string
+		userDir bool
+	}
+	var dirs []dirpair
+	// Legacy flat layout at the root.
+	dirs = append(dirs,
+		dirpair{filepath.Join(s.root, "repo"), false},
+		dirpair{filepath.Join(s.root, "users"), true})
+	// Every shard directory on disk, current count or not.
+	globbed, err := filepath.Glob(filepath.Join(s.root, "shard-*"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(globbed)
+	for _, d := range globbed {
+		dirs = append(dirs,
+			dirpair{filepath.Join(d, "repo"), false},
+			dirpair{filepath.Join(d, "users"), true})
+	}
+	for _, dp := range dirs {
+		files, err := filesInDir(dp.dir, dp.userDir, -1)
+		if err != nil {
+			return moved, err
+		}
+		for _, f := range files {
+			want, err := s.Place(f.Kind, f.Name)
+			if err != nil {
+				continue // unrecognised name: leave it where it is
+			}
+			if want == f.Path {
+				continue
+			}
+			if err := os.Rename(f.Path, want); err != nil {
+				return moved, fmt.Errorf("snapshot: rebalance %s: %w", f.Name, err)
+			}
+			moved++
+		}
+	}
+	// A fully migrated legacy layout leaves empty flat dirs behind;
+	// drop them so the root reads as sharded (ignore non-empty).
+	os.Remove(filepath.Join(s.root, "repo"))
+	os.Remove(filepath.Join(s.root, "users"))
+	return moved, nil
+}
+
+// --- shared helpers -----------------------------------------------------------
+
+// sortFiles orders files by base name, matching ReadDir's order within
+// a single directory so flat and sharded enumerations agree.
+func sortFiles(files []StoredFile) {
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+}
+
+// checkPlaceName rejects names that could escape the store's
+// directories (shared by Place on both stores and Import).
+func checkPlaceName(kind, name string) error {
+	switch kind {
+	case KindArchive, KindEntities, KindURL, KindUser:
+	default:
+		return fmt.Errorf("snapshot: unknown file kind %q", kind)
+	}
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("snapshot: unsafe file name %q", name)
+	}
+	return nil
+}

@@ -288,6 +288,24 @@ func (c *Client) Post(ctx context.Context, url, form string) (PageInfo, error) {
 	return info, nil
 }
 
+// PostBody submits an arbitrary request entity with an explicit content
+// type and returns the response — the transfer path the snapshot
+// replicator uses to push shard deltas.
+func (c *Client) PostBody(ctx context.Context, url, contentType, body string) (PageInfo, error) {
+	info, err := c.do(ctx, Request{
+		Method:      "POST",
+		URL:         url,
+		Body:        body,
+		ContentType: contentType,
+	})
+	if err != nil {
+		return info, err
+	}
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, nil
+}
+
 // Check implements w3new's strategy: request the Last-Modified date if
 // available; otherwise retrieve and checksum the whole page (§2.1).
 func (c *Client) Check(ctx context.Context, url string) (PageInfo, error) {
