@@ -1,0 +1,433 @@
+// Command loadgen is a closed-loop latency/SLO harness for the serving
+// path: N workers issue a weighted mix of /diff, /history, and /co
+// requests for a fixed duration and the run reports per-endpoint
+// p50/p95/p99 latency and throughput as JSON.
+//
+// Against a running server:
+//
+//	loadgen -target http://localhost:8080 -c 16 -d 30s
+//
+// With no -target, loadgen self-hosts a websim-backed snapshotd: a
+// simulated web of -urls pages with -revs archived revisions each,
+// sharded -shards ways, served on a loopback listener. Self-hosting
+// keeps the harness reproducible (seeded workload, no network) and is
+// what CI runs.
+//
+// Baseline workflow, mirroring benchgate:
+//
+//	loadgen -emit BENCH_serving.json            # write a new baseline
+//	loadgen -baseline BENCH_serving.json        # gate: exit 1 when the
+//	                                            # geomean p99 slowdown
+//	                                            # exceeds -max-ratio
+//
+// SLO assertions for CI smoke runs:
+//
+//	-require-histograms     fail unless the target's /metrics shows a
+//	                        nonzero request-duration histogram for every
+//	                        endpoint in the mix
+//	-require-trace-hops N   (self-host) run a leader → replica sync over
+//	                        HTTP and fail unless the resulting trace
+//	                        chains at least N parent hops from the
+//	                        replica's server span back to the client root
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "", "base URL of a running snapshotd (empty = self-host a websim-backed instance)")
+		conc      = flag.Int("c", 8, "concurrent closed-loop workers")
+		dur       = flag.Duration("d", 10*time.Second, "load duration")
+		mixSpec   = flag.String("mix", "diff=4,history=3,co=3", "endpoint weights, e.g. diff=4,history=3,co=3")
+		urls      = flag.Int("urls", 32, "self-host: distinct simulated pages")
+		revs      = flag.Int("revs", 3, "self-host: archived revisions per page")
+		shards    = flag.Int("shards", 2, "self-host: shard count for the snapshot store")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		outPath   = flag.String("out", "", "write the JSON report here (default stdout)")
+		emitPath  = flag.String("emit", "", "write the report as a serving baseline instead of gating")
+		basePath  = flag.String("baseline", "", "baseline JSON to gate per-endpoint p99s against")
+		maxRatio  = flag.Float64("max-ratio", 1.5, "max allowed geomean p99 slowdown (new/old) in gate mode")
+		traceHops = flag.Int("require-trace-hops", 0, "self-host: fail unless a replica sync traces at least this many cross-process parent hops")
+		reqHist   = flag.Bool("require-histograms", false, "fail unless /metrics shows nonzero duration histograms for every mix endpoint")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *target
+	var h *harness
+	if base == "" {
+		h, err = selfHost(*urls, *revs, *shards, *seed, *traceHops > 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		base = h.BaseURL
+	} else if *traceHops > 0 {
+		fatal(fmt.Errorf("-require-trace-hops needs the self-hosted replica (drop -target)"))
+	}
+
+	pages, err := discoverPages(base, h)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pages) == 0 {
+		fatal(fmt.Errorf("no archived pages to load against at %s", base))
+	}
+
+	report := runLoad(base, pages, mix, *conc, *dur, *seed)
+	failures := 0
+
+	if *traceHops > 0 {
+		hops, err := traceCheck(h, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		report.TraceHops = hops
+		if hops < *traceHops {
+			fmt.Fprintf(os.Stderr, "loadgen: trace chained %d hops, want >= %d\n", hops, *traceHops)
+			failures++
+		}
+	}
+	if *reqHist {
+		if err := checkHistograms(base, mix); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			failures++
+		}
+	}
+
+	if *basePath != "" && *emitPath == "" {
+		msg, err := gateReport(report, *basePath, *maxRatio)
+		fmt.Fprint(os.Stderr, msg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			failures++
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *emitPath != "" {
+		if err := os.WriteFile(*emitPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote baseline %s\n", *emitPath)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}
+
+// Report is the run summary and doubles as the BENCH_serving.json
+// baseline schema: gate mode compares each endpoint's p99 against the
+// committed baseline's.
+type Report struct {
+	Concurrency int                      `json:"concurrency"`
+	DurationSec float64                  `json:"duration_sec"`
+	Requests    int                      `json:"requests"`
+	Errors      int                      `json:"errors"`
+	RPS         float64                  `json:"rps"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	TraceHops   int                      `json:"trace_hops,omitempty"`
+}
+
+// EndpointStats summarises one endpoint's latency distribution.
+type EndpointStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	RPS      float64 `json:"rps"`
+}
+
+// weighted is one entry of the workload mix.
+type weighted struct {
+	name   string
+	weight int
+}
+
+var knownEndpoints = map[string]bool{"diff": true, "history": true, "co": true}
+
+// parseMix parses "diff=4,history=3,co=3" into a weighted endpoint list.
+func parseMix(spec string) ([]weighted, error) {
+	var mix []weighted
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad mix weight in %q", part)
+		}
+		if !knownEndpoints[name] {
+			return nil, fmt.Errorf("unknown mix endpoint %q (have diff, history, co)", name)
+		}
+		if n > 0 {
+			mix = append(mix, weighted{name, n})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty workload mix %q", spec)
+	}
+	return mix, nil
+}
+
+// pickEndpoint draws an endpoint from the mix by weight.
+func pickEndpoint(mix []weighted, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.name
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// page is one archived URL and its revision numbers, the raw material a
+// workload request is built from.
+type page struct {
+	URL  string
+	Revs []string
+}
+
+// requestURL renders one workload request against base.
+func requestURL(base, endpoint string, p page, rng *rand.Rand) string {
+	esc := url.QueryEscape(p.URL)
+	switch endpoint {
+	case "history":
+		return base + "/history?url=" + esc
+	case "co":
+		rev := p.Revs[rng.Intn(len(p.Revs))]
+		return base + "/co?url=" + esc + "&rev=" + rev
+	default: // diff between the oldest and newest archived revisions
+		return base + "/diff?url=" + esc + "&r1=" + p.Revs[0] + "&r2=" + p.Revs[len(p.Revs)-1]
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint  string
+	latencyMs float64
+	err       bool
+}
+
+// runLoad drives the closed loop: conc workers, each with its own seeded
+// RNG, issuing requests back-to-back until the deadline.
+func runLoad(base string, pages []page, mix []weighted, conc int, dur time.Duration, seed int64) Report {
+	if conc < 1 {
+		conc = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	var mu sync.Mutex
+	var samples []sample
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			var local []sample
+			for time.Now().Before(deadline) {
+				endpoint := pickEndpoint(mix, rng)
+				u := requestURL(base, endpoint, pages[rng.Intn(len(pages))], rng)
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				bad := err != nil
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					bad = bad || resp.StatusCode >= 400
+				}
+				local = append(local, sample{endpoint, ms, bad})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	report := Report{
+		Concurrency: conc,
+		DurationSec: round3(elapsed),
+		Endpoints:   map[string]EndpointStats{},
+	}
+	byEndpoint := map[string][]float64{}
+	errs := map[string]int{}
+	for _, s := range samples {
+		report.Requests++
+		if s.err {
+			report.Errors++
+			errs[s.endpoint]++
+		}
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latencyMs)
+	}
+	if elapsed > 0 {
+		report.RPS = round3(float64(report.Requests) / elapsed)
+	}
+	for name, lat := range byEndpoint {
+		sort.Float64s(lat)
+		st := EndpointStats{
+			Requests: len(lat),
+			Errors:   errs[name],
+			P50Ms:    round3(percentile(lat, 0.50)),
+			P95Ms:    round3(percentile(lat, 0.95)),
+			P99Ms:    round3(percentile(lat, 0.99)),
+		}
+		if elapsed > 0 {
+			st.RPS = round3(float64(len(lat)) / elapsed)
+		}
+		report.Endpoints[name] = st
+	}
+	return report
+}
+
+// percentile is the exact sample percentile over a sorted slice, with
+// linear interpolation between adjacent order statistics (the ApacheBench
+// convention). q in (0,1].
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(n-1)
+	lo := int(math.Floor(rank))
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+// gateReport compares each baseline endpoint's p99 against the run and
+// fails on a geomean slowdown beyond maxRatio, mirroring benchgate.
+func gateReport(cur Report, baselinePath string, maxRatio float64) (string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return "", err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return "", fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	if len(base.Endpoints) == 0 {
+		return "", fmt.Errorf("%s: no endpoints", baselinePath)
+	}
+	names := make([]string, 0, len(base.Endpoints))
+	for name := range base.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	logSum, compared := 0.0, 0
+	for _, name := range names {
+		b := base.Endpoints[name]
+		c, ok := cur.Endpoints[name]
+		if !ok || c.Requests == 0 {
+			return sb.String(), fmt.Errorf("baseline endpoint %q missing from run", name)
+		}
+		if b.P99Ms <= 0 || c.P99Ms <= 0 {
+			continue
+		}
+		ratio := c.P99Ms / b.P99Ms
+		logSum += math.Log(ratio)
+		compared++
+		fmt.Fprintf(&sb, "%-10s p99 %10.3fms -> %10.3fms  (x%.3f)\n", name, b.P99Ms, c.P99Ms, ratio)
+	}
+	if compared == 0 {
+		return sb.String(), fmt.Errorf("nothing to compare")
+	}
+	geomean := math.Exp(logSum / float64(compared))
+	fmt.Fprintf(&sb, "geomean p99 ratio: x%.3f (limit x%.3f)\n", geomean, maxRatio)
+	if geomean > maxRatio {
+		return sb.String(), fmt.Errorf("geomean p99 slowdown x%.3f exceeds limit x%.3f", geomean, maxRatio)
+	}
+	return sb.String(), nil
+}
+
+// checkHistograms fetches /metrics and verifies every mix endpoint has a
+// nonzero request-duration histogram — proof the RED middleware observed
+// the run.
+func checkHistograms(base string, mix []weighted) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	counts := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "http_request_duration_count{") {
+			continue
+		}
+		brace := strings.Index(line, "} ")
+		if brace < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[brace+2:], 64)
+		if err != nil {
+			continue
+		}
+		counts[line[len("http_request_duration_count"):brace+1]] = v
+	}
+	for _, m := range mix {
+		series := fmt.Sprintf(`{endpoint="/%s"}`, m.name)
+		if counts[series] <= 0 {
+			return fmt.Errorf("/metrics has no duration histogram for %s (found %v)", series, counts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestPercentileKnownDistribution checks the estimator against
+// distributions whose order statistics are known exactly.
+func TestPercentileKnownDistribution(t *testing.T) {
+	// 1..100: rank interpolation gives p50 = 50.5, p95 = 95.05, p99 = 99.01.
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = float64(i + 1)
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0.50, 50.5},
+		{0.95, 95.05},
+		{0.99, 99.01},
+		{1.00, 100},
+	} {
+		if got := percentile(uniform, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("percentile(1..100, %g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single sample p99 = %g, want 7", got)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) || !math.IsNaN(percentile(uniform, 0)) {
+		t.Error("empty input and q=0 should be NaN")
+	}
+}
+
+// TestPercentileMatchesSortedRank cross-checks against a brute-force
+// definition on a shuffled heavy-tailed sample.
+func TestPercentileMatchesSortedRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64()) // log-normal tail
+	}
+	sort.Float64s(samples)
+	// p99 must sit between the order statistics bracketing rank 0.99*(n-1).
+	p99 := percentile(samples, 0.99)
+	if p99 < samples[989] || p99 > samples[990] {
+		t.Errorf("p99 = %g outside [%g, %g]", p99, samples[989], samples[990])
+	}
+	if p50 := percentile(samples, 0.5); p50 < samples[499] || p50 > samples[500] {
+		t.Errorf("p50 = %g outside the middle order statistics", p50)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("diff=4, history=3,co=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].name != "diff" || mix[0].weight != 4 || mix[1].name != "history" {
+		t.Errorf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "diff", "diff=x", "bogus=1", "diff=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Weighted draw covers every entry.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[pickEndpoint(mix, rng)] = true
+	}
+	if !seen["diff"] || !seen["history"] {
+		t.Errorf("draws missed an endpoint: %v", seen)
+	}
+}
+
+// TestGateReport checks the p99 geomean gate passes a flat run and
+// rejects a regressed one.
+func TestGateReport(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(basePath, []byte(`{
+		"endpoints": {
+			"diff":    {"requests": 10, "p99_ms": 2.0},
+			"history": {"requests": 10, "p99_ms": 4.0}
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flat := Report{Endpoints: map[string]EndpointStats{
+		"diff":    {Requests: 10, P99Ms: 2.2},
+		"history": {Requests: 10, P99Ms: 3.8},
+	}}
+	if _, err := gateReport(flat, basePath, 1.5); err != nil {
+		t.Errorf("flat run gated: %v", err)
+	}
+	slow := Report{Endpoints: map[string]EndpointStats{
+		"diff":    {Requests: 10, P99Ms: 9.0},
+		"history": {Requests: 10, P99Ms: 20.0},
+	}}
+	if _, err := gateReport(slow, basePath, 1.5); err == nil {
+		t.Error("4x regression passed the gate")
+	}
+	missing := Report{Endpoints: map[string]EndpointStats{
+		"diff": {Requests: 10, P99Ms: 2.0},
+	}}
+	if _, err := gateReport(missing, basePath, 1.5); err == nil {
+		t.Error("run missing a baseline endpoint passed the gate")
+	}
+}
+
+// TestSelfHostSmoke runs the whole harness briefly: seeded pages served
+// over loopback, a load burst, nonzero histograms, and a >=3-hop
+// cross-process trace through the replica.
+func TestSelfHostSmoke(t *testing.T) {
+	h, err := selfHost(4, 2, 2, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if len(h.Pages) != 4 || len(h.Pages[0].Revs) != 2 {
+		t.Fatalf("pages = %+v", h.Pages)
+	}
+	mix, _ := parseMix("diff=1,history=1,co=1")
+	report := runLoad(h.BaseURL, h.Pages, mix, 2, 300*time.Millisecond, 7)
+	if report.Requests == 0 || report.Errors != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, name := range []string{"diff", "history", "co"} {
+		st, ok := report.Endpoints[name]
+		if !ok || st.Requests == 0 || math.IsNaN(st.P99Ms) {
+			t.Errorf("endpoint %s stats = %+v (ok=%v)", name, st, ok)
+		}
+	}
+	if err := checkHistograms(h.BaseURL, mix); err != nil {
+		t.Errorf("histograms: %v", err)
+	}
+	hops, err := traceCheck(h, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops < 3 {
+		t.Errorf("trace hops = %d, want >= 3", hops)
+	}
+}

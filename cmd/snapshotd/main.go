@@ -35,8 +35,11 @@
 // /debug/sched. Without -sched, -sweep-jitter desynchronises the batch
 // sweep's host groups by a deterministic per-host phase offset.
 //
-// The main listener always exposes /debug/metrics, /debug/traces
-// (JSON snapshots of the obs registry and recent trace spans), and
+// The main listener always exposes /debug/metrics (JSON registry
+// snapshot), /metrics (the same registry as Prometheus text, including
+// the per-endpoint RED series the middleware records for every route),
+// /debug/traces (recent spans; ?trace=<id> filters to one trace,
+// spanning processes joined via the traceparent header), and
 // /debug/health (per-host circuit-breaker state and load-shedding gate
 // occupancy). -debug-addr starts a second listener adding
 // net/http/pprof; -log-level enables structured logs on stderr
@@ -116,6 +119,9 @@ func main() {
 			log.Fatal("snapshotd: ", err)
 		}
 	}
+	// Per-process span-id seed: a replica fan-out trace merges leader and
+	// replica spans by trace id, so their span ids must not collide.
+	obs.DefaultTracer.Seed = obs.SeedFromPID()
 	if *debugAddr != "" {
 		go func() {
 			log.Printf("snapshotd: debug endpoints on %s", *debugAddr)

@@ -124,6 +124,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	// Per-process span-id seed, so traces that cross into another daemon
+	// (traceparent propagation) merge without id collisions.
+	obs.DefaultTracer.Seed = obs.SeedFromPID()
 	// The mux reference is kept so daemon mode can mount /debug/sched
 	// once the scheduler exists (ServeMux registration is safe after
 	// the listener starts).

@@ -34,7 +34,11 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return context.WithCancel(ctx)
 }
 
-// Handler returns the combined AIDE HTTP mux.
+// Handler returns the combined AIDE HTTP mux: aide's own routes plus
+// the snapshot facility's mounted at "/", behind one load-shedding gate
+// and one RED middleware — requests that fall through to the snapshot
+// routes are labeled with the snapshot mux's pattern (endpoint="/diff",
+// not the catch-all "/"), and recorded exactly once.
 func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
@@ -48,6 +52,7 @@ func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 	mux.HandleFunc("/status", s.handleStatus)
 	debug := obs.Handler(s.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
+	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/traces", debug)
 	var gate *snapshot.Gate
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
@@ -65,15 +70,33 @@ func (s *Server) Handler(snap *snapshot.Server) http.Handler {
 		}
 		sc.DebugHandler().ServeHTTP(w, r)
 	})
+	var snapRoute func(*http.Request) string
+	var snapShard func(*http.Request) string
 	if snap != nil {
-		mux.Handle("/", snap.Handler())
+		inner, route := snap.Embedded()
+		mux.Handle("/", inner)
+		snapRoute = route
+		snapShard = snap.ShardLabel
 	}
+	aideRoute := obs.RouteFromMux(mux)
+	var h http.Handler = mux
 	if s.MaxSimultaneous > 0 {
 		gate = snapshot.NewGate(mux, s.MaxSimultaneous)
 		gate.Metrics = s.metrics()
-		return gate
+		h = gate
 	}
-	return mux
+	return obs.HTTPMiddleware(h, obs.MiddlewareConfig{
+		Registry: s.metrics(),
+		Service:  "aide",
+		Route: func(r *http.Request) string {
+			route := aideRoute(r)
+			if route == "/" && snapRoute != nil {
+				return snapRoute(r)
+			}
+			return route
+		},
+		Shard: snapShard,
+	})
 }
 
 // handleFormSave stores a filled-out form so that a POST service can be

@@ -1,19 +1,23 @@
 package obs
 
 // HTTP exposure: /debug/metrics serves a registry snapshot as JSON,
-// /debug/traces the tracer's ring buffer. Handler produces a handler
-// bound to specific instances (the AIDE server mounts one for its
-// registry); DebugMux additionally wires net/http/pprof for the
-// -debug-addr sidecar server on snapshotd and w3newer.
+// /metrics the same registry in Prometheus text-exposition format, and
+// /debug/traces the tracer's ring buffer (filterable to one trace with
+// ?trace=<32-hex id>, the cross-process view of a propagated request).
+// Handler produces a handler bound to specific instances (the AIDE
+// server mounts one for its registry); DebugMux additionally wires
+// net/http/pprof for the -debug-addr sidecar server on snapshotd and
+// w3newer.
 
 import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves /debug/metrics and /debug/traces for the given
-// registry and tracer (Default/DefaultTracer when nil).
+// Handler serves /debug/metrics, /metrics, and /debug/traces for the
+// given registry and tracer (Default/DefaultTracer when nil).
 func Handler(reg *Registry, tr *Tracer) http.Handler {
 	if reg == nil {
 		reg = Default
@@ -26,21 +30,45 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
 	})
+	mux.Handle("/metrics", PrometheusHandler(reg))
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(tr.Spans())
+		ServeTraces(w, r, tr)
 	})
 	return mux
 }
 
+// ServeTraces writes the tracer's retained spans as JSON. With a
+// ?trace=<32-hex id> query only that trace's spans are returned, oldest
+// first — the single-request view spanning every process whose spans
+// landed in this tracer.
+func ServeTraces(w http.ResponseWriter, r *http.Request, tr *Tracer) {
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	spans := tr.Spans()
+	if want := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("trace"))); want != "" {
+		filtered := spans[:0:0]
+		for _, s := range spans {
+			if s.Trace == want {
+				filtered = append(filtered, s)
+			}
+		}
+		spans = filtered
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(spans)
+}
+
 // DebugMux is the full diagnostics mux for a -debug-addr server:
-// /debug/metrics, /debug/traces, and the pprof endpoints.
+// /debug/metrics, /metrics, /debug/traces, and the pprof endpoints.
 func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/debug/metrics", Handler(nil, nil))
-	mux.Handle("/debug/traces", Handler(nil, nil))
+	h := Handler(nil, nil)
+	mux.Handle("/debug/metrics", h)
+	mux.Handle("/metrics", h)
+	mux.Handle("/debug/traces", h)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,212 @@
+package obs
+
+// HTTPMiddleware wraps a server mux with RED instrumentation: request
+// Rate, Error count, and Duration histogram, each labeled by route
+// pattern and status class, plus an in-flight gauge and a server-side
+// trace span that joins the remote caller's trace via the traceparent
+// header. Routes come from the mux's registered patterns (RouteFromMux),
+// so the label set stays bounded no matter what paths clients probe.
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+
+	"aide/internal/simclock"
+)
+
+// MiddlewareConfig configures HTTPMiddleware. The zero value records to
+// the Default registry and tracer with raw-path routes (fine for muxes
+// with fixed patterns only; prefer RouteFromMux).
+type MiddlewareConfig struct {
+	// Registry receives the http.* metrics; Default when nil.
+	Registry *Registry
+	// Tracer receives the server spans; DefaultTracer when nil.
+	Tracer *Tracer
+	// Service annotates server spans (e.g. "snapshotd", "aide").
+	Service string
+	// Route maps a request to its endpoint label; r.URL.Path when nil.
+	// Must return values from a bounded set — label cardinality is paid
+	// for the registry's lifetime.
+	Route func(*http.Request) string
+	// Shard, when non-nil, maps a request to a shard label for the
+	// http.requests.by_shard counter; return "" to skip the request.
+	Shard func(*http.Request) string
+	// Clock measures durations; wall clock when nil.
+	Clock simclock.Clock
+}
+
+// RouteFromMux derives the endpoint label from the mux's registered
+// pattern for the request — "/diff", "/shard/import", "/" for the
+// catch-all — with "unmatched" for requests no pattern accepts.
+func RouteFromMux(mux *http.ServeMux) func(*http.Request) string {
+	return func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			return "unmatched"
+		}
+		return pattern
+	}
+}
+
+// statusClass buckets a status code for the code label: "2xx".."5xx",
+// with "other" for anything outside 100..599.
+func statusClass(status int) string {
+	if status >= 100 && status < 600 {
+		return strconv.Itoa(status/100) + "xx"
+	}
+	return "other"
+}
+
+// HTTPMiddleware returns next wrapped with RED metrics, in-flight
+// accounting, and server-span tracing.
+func HTTPMiddleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = Default
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	requests := reg.CounterVec("http.requests", "endpoint", "code")
+	errorsVec := reg.CounterVec("http.errors", "endpoint", "code")
+	byShard := reg.CounterVec("http.requests.by_shard", "endpoint", "shard")
+	duration := reg.HistogramVec("http.request.duration", nil, "endpoint")
+	inflight := reg.GaugeVec("http.inflight", "endpoint")
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if cfg.Route != nil {
+			route = cfg.Route(r)
+		}
+		ctx := r.Context()
+		if tp := r.Header.Get(TraceParentHeader); tp != "" {
+			if sc, ok := Extract(tp); ok {
+				ctx = WithRemote(ctx, sc)
+			}
+		}
+		ctx = WithTracer(ctx, tr)
+		ctx, span := StartSpan(ctx, "http.server")
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		if cfg.Service != "" {
+			span.SetAttr("service", cfg.Service)
+		}
+		if r.Host != "" {
+			span.SetAttr("host", r.Host)
+		}
+		shard := ""
+		if cfg.Shard != nil {
+			if shard = cfg.Shard(r); shard != "" {
+				span.SetAttr("shard", shard)
+			}
+		}
+
+		sw := &statusWriter{ResponseWriter: w}
+		g := inflight.With(route)
+		g.Add(1)
+		start := clock.Now()
+		defer func() {
+			g.Add(-1)
+			status := sw.Status()
+			class := statusClass(status)
+			if sw.hijacked {
+				// The connection left HTTP's control (websocket-style
+				// upgrade); latency and status no longer describe an HTTP
+				// exchange, so record only the switch itself.
+				class = "hijacked"
+			} else {
+				duration.With(route).ObserveDuration(clock.Now().Sub(start))
+			}
+			requests.With(route, class).Inc()
+			if status >= 500 {
+				errorsVec.With(route, class).Inc()
+			}
+			if shard != "" {
+				byShard.With(route, shard).Inc()
+			}
+			span.SetAttr("status", strconv.Itoa(status))
+			span.End()
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// statusWriter captures the response status without disturbing the
+// optional ResponseWriter interfaces: a handler that never calls
+// WriteHeader is recorded as the implicit 200, Flush passes through to a
+// flushing underlying writer (and is a no-op otherwise, matching what
+// callers that probe with a type assertion expect), and Hijack delegates
+// when the underlying connection supports it. Unwrap exposes the inner
+// writer for http.ResponseController, which finds any interface the
+// wrapper doesn't re-declare.
+type statusWriter struct {
+	http.ResponseWriter
+	status   int
+	hijacked bool
+}
+
+// Status returns the recorded status: the explicit WriteHeader code, the
+// implicit 200 once the body was written (or the handler returned
+// without writing anything — net/http sends 200 there too), and 101 for
+// hijacked connections.
+func (w *statusWriter) Status() int {
+	if w.hijacked {
+		return http.StatusSwitchingProtocols
+	}
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// WriteHeader records the first explicit status.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write records the implicit 200 of a body written before any
+// WriteHeader call.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it can flush — the
+// keepalive trickle and dribbled bodies depend on this reaching the
+// socket.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack hands the connection over when the underlying writer supports
+// it; the middleware then stops accounting the exchange as HTTP.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("obs: underlying ResponseWriter does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err == nil {
+		w.hijacked = true
+	}
+	return conn, rw, err
+}
+
+// Unwrap lets http.ResponseController reach interfaces the wrapper does
+// not re-declare.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

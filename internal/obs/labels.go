@@ -1,0 +1,233 @@
+package obs
+
+// Labeled metric families. A *Vec is a named family of child metrics
+// keyed by an ordered list of label values — the RED middleware records
+// http.requests{endpoint="/diff",code="2xx"} style series here, and the
+// Prometheus exposition renders each child as one sample line.
+//
+// Cardinality discipline: label values must come from small closed sets
+// (route patterns, status classes, shard indices), never from raw URLs,
+// user names, or other unbounded input. Each distinct value combination
+// allocates a child that lives for the life of the registry.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// labelKey renders a label set into the canonical child key / series
+// name suffix: {k1="v1",k2="v2"} in declared label order. Values are
+// escaped so that a quote or backslash in a value cannot forge a key.
+func labelKey(names, values []string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// Prometheus text format; the same form keys the child maps.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (in the
+// declared label order), creating it on first use. Missing values are
+// treated as ""; extra values are ignored.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms keyed by label values. All
+// children share the family's bucket bounds.
+type HistogramVec struct {
+	name   string
+	labels []string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, counts: make([]int64, len(v.bounds)+1)}
+		v.children[key] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter family with the given label
+// names, creating it on first use. Later calls return the existing
+// family regardless of label names.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{
+			name:     name,
+			labels:   append([]string(nil), labels...),
+			children: make(map[string]*Counter),
+		}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{
+			name:     name,
+			labels:   append([]string(nil), labels...),
+			children: make(map[string]*Gauge),
+		}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given bucket
+// upper bounds (nil means LatencyBuckets), creating it on first use.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		v = &HistogramVec{
+			name:     name,
+			labels:   append([]string(nil), labels...),
+			bounds:   b,
+			children: make(map[string]*Histogram),
+		}
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// counterChildren snapshots one family's children as rendered-name →
+// counter pairs. Caller holds the registry lock only; the vec lock is
+// taken here.
+func (v *CounterVec) each(fn func(series string, c *Counter)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Counter, len(keys))
+	for i, k := range keys {
+		kids[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fn(v.name+k, kids[i])
+	}
+}
+
+func (v *GaugeVec) each(fn func(series string, g *Gauge)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		kids[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fn(v.name+k, kids[i])
+	}
+}
+
+func (v *HistogramVec) each(fn func(series string, h *Histogram)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		kids[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fn(v.name+k, kids[i])
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLabeledSeriesInSnapshot checks labeled children fold into the
+// registry snapshot under rendered series names.
+func TestLabeledSeriesInSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("http.requests", "endpoint", "code").With("/diff", "2xx").Add(3)
+	reg.CounterVec("http.requests", "endpoint", "code").With("/diff", "5xx").Inc()
+	reg.GaugeVec("http.inflight", "endpoint").With("/co").Set(2)
+	reg.HistogramVec("http.request.duration", nil, "endpoint").With("/diff").Observe(0.05)
+
+	s := reg.Snapshot()
+	if got := s.Counters[`http.requests{endpoint="/diff",code="2xx"}`]; got != 3 {
+		t.Errorf("2xx series = %d, want 3", got)
+	}
+	if got := s.Counters[`http.requests{endpoint="/diff",code="5xx"}`]; got != 1 {
+		t.Errorf("5xx series = %d, want 1", got)
+	}
+	if got := s.Gauges[`http.inflight{endpoint="/co"}`]; got != 2 {
+		t.Errorf("inflight series = %d, want 2", got)
+	}
+	h, ok := s.Histograms[`http.request.duration{endpoint="/diff"}`]
+	if !ok || h.Count != 1 {
+		t.Errorf("duration series = %+v (ok=%v), want count 1", h, ok)
+	}
+}
+
+// TestVecIdentity checks With returns the same child for the same
+// values and distinct children otherwise.
+func TestVecIdentity(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("c", "a")
+	if v.With("x") != v.With("x") {
+		t.Error("same labels returned different children")
+	}
+	if v.With("x") == v.With("y") {
+		t.Error("different labels returned the same child")
+	}
+	if reg.CounterVec("c", "a") != v {
+		t.Error("re-lookup returned a different family")
+	}
+}
+
+// TestVecArity checks missing values pad with "" and extras are ignored
+// rather than panicking.
+func TestVecArity(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("c", "a", "b")
+	v.With("x").Inc()                 // missing b
+	v.With("x", "y", "ignored").Inc() // extra value
+	s := reg.Snapshot()
+	if got := s.Counters[`c{a="x",b=""}`]; got != 1 {
+		t.Errorf("padded series = %d, want 1", got)
+	}
+	if got := s.Counters[`c{a="x",b="y"}`]; got != 1 {
+		t.Errorf("truncated series = %d, want 1", got)
+	}
+}
+
+// TestLabelValueEscaping checks quotes/backslashes/newlines in values
+// cannot forge series names.
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("c", "a").With("x\"}\ny\\").Inc()
+	s := reg.Snapshot()
+	want := `c{a="x\"}\ny\\"}`
+	if got := s.Counters[want]; got != 1 {
+		t.Errorf("escaped series missing; counters = %v", s.Counters)
+	}
+}
+
+// TestVecConcurrent hammers one family from many goroutines — run under
+// -race this is the labeled-metric thread-safety check.
+func TestVecConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("c", "worker")
+	hv := reg.HistogramVec("h", []float64{1, 10}, "worker")
+	gv := reg.GaugeVec("g", "worker")
+	labels := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l := labels[(w+i)%len(labels)]
+				cv.With(l).Inc()
+				hv.With(l).Observe(float64(i % 12))
+				gv.With(l).Add(1)
+				if i%7 == 0 {
+					reg.Snapshot() // concurrent reader
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	var total int64
+	for series, v := range s.Counters {
+		if len(series) > 1 && series[0] == 'c' {
+			total += v
+		}
+	}
+	if total != 8*500 {
+		t.Errorf("counter total = %d, want %d", total, 8*500)
+	}
+	var hcount int64
+	for series, h := range s.Histograms {
+		if len(series) > 1 && series[0] == 'h' {
+			hcount += h.Count
+		}
+	}
+	if hcount != 8*500 {
+		t.Errorf("histogram total = %d, want %d", hcount, 8*500)
+	}
+}
+
+// TestObserveGuards checks NaN observations are dropped and negative
+// ones clamped to zero.
+func TestObserveGuards(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 10})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("NaN counted: count = %d", h.Count())
+	}
+	h.Observe(-5)
+	s := reg.Snapshot().Histograms["h"]
+	if s.Count != 1 || s.Sum != 0 {
+		t.Errorf("negative observation: count=%d sum=%g, want 1/0", s.Count, s.Sum)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Errorf("negative observation landed in bucket %+v", s.Buckets)
+	}
+}
+
+// TestHistogramOverflowBucket checks values beyond the top bound land in
+// the +Inf bucket and quantiles stay computable.
+func TestHistogramOverflowBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 10})
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6) // way past the top bound
+	}
+	s := reg.Snapshot().Histograms["h"]
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 10 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+	// p99 of an all-overflow histogram reports the top finite bound
+	// rather than NaN or infinity.
+	if got := s.Quantile(0.99); got != 10 {
+		t.Errorf("p99 = %g, want 10 (top finite bound)", got)
+	}
+}
+
+// TestQuantileInterpolation checks the quantile estimate against a known
+// uniform distribution.
+func TestQuantileInterpolation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := reg.Snapshot().Histograms["h"]
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 5},
+		{0.95, 95, 5},
+		{0.99, 99, 5},
+		{1.0, 100, 0.001},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if !math.IsNaN(s.Quantile(0)) || !math.IsNaN(s.Quantile(1.5)) {
+		t.Error("out-of-range quantiles should be NaN")
+	}
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}

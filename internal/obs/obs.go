@@ -72,8 +72,18 @@ type Histogram struct {
 	sum    float64
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped (a NaN would
+// poison the sum and land in the +Inf bucket, skewing every quantile)
+// and negative values — clock skew, subtraction bugs — are clamped to
+// zero so the observation still counts without corrupting the sum.
+// Values above the top bound land in the +Inf overflow bucket.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
 	h.counts[i]++
@@ -115,10 +125,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // usable; construct with NewRegistry. Metric accessors get-or-create,
 // so instrumented code neither pre-registers nor error-checks.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // Default is the process-wide registry: instrumented packages record
@@ -129,9 +142,12 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -225,7 +241,47 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
-// Snapshot is a registry's full state at one instant. Maps marshal with
+// Quantile estimates the q-th quantile (0 < q <= 1) from the cumulative
+// bucket counts, interpolating linearly within the containing bucket the
+// way Prometheus histogram_quantile does. When the quantile falls in the
+// +Inf overflow bucket the highest finite bound is returned (there is no
+// upper edge to interpolate toward), so p99 stays computable even when
+// observations exceed the top bound. An empty histogram yields NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 || q > 1 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b.Count
+		if float64(cum) < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			// Overflow bucket: report the last finite bound.
+			if i == 0 {
+				return math.NaN()
+			}
+			return s.Buckets[i-1].UpperBound
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Buckets[i-1].UpperBound
+		}
+		inBucket := float64(b.Count)
+		if inBucket == 0 {
+			return b.UpperBound
+		}
+		below := float64(cum) - inBucket
+		return lower + (b.UpperBound-lower)*((rank-below)/inBucket)
+	}
+	return math.NaN()
+}
+
+// Snapshot is a registry's full state at one instant. Labeled families
+// appear in the same maps as plain metrics, one entry per child under
+// its rendered series name (`name{k="v",...}`). Maps marshal with
 // sorted keys, so identical metric states yield identical JSON.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
@@ -233,7 +289,8 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value, labeled children
+// included.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -250,6 +307,15 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()
+	}
+	for _, v := range r.counterVecs {
+		v.each(func(series string, c *Counter) { s.Counters[series] = c.Value() })
+	}
+	for _, v := range r.gaugeVecs {
+		v.each(func(series string, g *Gauge) { s.Gauges[series] = g.Value() })
+	}
+	for _, v := range r.histVecs {
+		v.each(func(series string, h *Histogram) { s.Histograms[series] = h.snapshot() })
 	}
 	return s
 }

@@ -1,0 +1,156 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) for the registry,
+// served at /metrics alongside the JSON /debug/metrics. Metric names are
+// sanitised (dots become underscores), counters gain the conventional
+// _total suffix, and histograms are rendered with cumulative _bucket
+// series, _sum, and _count — so a stock Prometheus scrape of snapshotd
+// yields per-endpoint RED series without any bridge process.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promContentType is the text-exposition content type Prometheus
+// scrapers negotiate.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitises a registry metric name into the Prometheus name
+// charset [a-zA-Z0-9_:], mapping the registry's dotted names onto the
+// conventional underscore form (webclient.attempts → webclient_attempts).
+func promName(name string) string {
+	var sb strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// splitSeries separates a snapshot series name into its family name and
+// label block ("" when unlabeled): `a.b{k="v"}` → `a.b`, `{k="v"}`.
+func splitSeries(series string) (name, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], series[i:]
+	}
+	return series, ""
+}
+
+// promFloat renders a sample value; Prometheus spells infinities +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels appends an extra label to a rendered label block:
+// (`{a="b"}`, `le="1"`) → `{a="b",le="1"}`; ("", `le="1"`) → `{le="1"}`.
+func mergeLabels(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format. Series are grouped per family under one
+// # TYPE line and emitted in sorted order, so identical metric states
+// yield byte-identical output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	type series struct{ labels, value string }
+	families := make(map[string][]series) // sanitised family name → samples
+	types := make(map[string]string)      // sanitised family name → TYPE
+
+	add := func(family, typ, labels, value string) {
+		families[family] = append(families[family], series{labels, value})
+		types[family] = typ
+	}
+
+	for s, v := range snap.Counters {
+		name, labels := splitSeries(s)
+		add(promName(name)+"_total", "counter", labels, strconv.FormatInt(v, 10))
+	}
+	for s, v := range snap.Gauges {
+		name, labels := splitSeries(s)
+		add(promName(name), "gauge", labels, strconv.FormatInt(v, 10))
+	}
+	for s, h := range snap.Histograms {
+		name, labels := splitSeries(s)
+		fam := promName(name)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := mergeLabels(labels, `le="`+promFloat(b.UpperBound)+`"`)
+			families[fam+"_bucket"] = append(families[fam+"_bucket"],
+				series{le, strconv.FormatInt(cum, 10)})
+		}
+		types[fam+"_bucket"] = "" // buckets ride under the family TYPE line
+		add(fam+"_sum", "", labels, promFloat(h.Sum))
+		add(fam+"_count", "", labels, strconv.FormatInt(h.Count, 10))
+		types[fam] = "histogram"
+	}
+
+	names := make([]string, 0, len(families))
+	for f := range families {
+		names = append(names, f)
+	}
+	// Histogram families have no samples under the bare family name, only
+	// a TYPE line; include them so the header is emitted.
+	for f, t := range types {
+		if t == "histogram" {
+			if _, ok := families[f]; !ok {
+				names = append(names, f)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	for _, fam := range names {
+		if t := types[fam]; t != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, t); err != nil {
+				return err
+			}
+		}
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the registry (Default when nil) in the
+// Prometheus text exposition format — the /metrics endpoint.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			reg = Default
+		}
+		w.Header().Set("Content-Type", promContentType)
+		reg.WritePrometheus(w)
+	})
+}

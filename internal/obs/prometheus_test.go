@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus checks name sanitisation, the counter _total
+// convention, labeled series, and cumulative histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("webclient.attempts").Add(7)
+	reg.Gauge("sched.queue").Set(42)
+	reg.CounterVec("http.requests", "endpoint", "code").With("/diff", "2xx").Add(3)
+	h := reg.HistogramVec("http.request.duration", []float64{0.1, 1}, "endpoint").With("/diff")
+	// Exactly representable values, so the _sum sample renders exactly.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5) // +Inf bucket
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE webclient_attempts_total counter\n",
+		"webclient_attempts_total 7\n",
+		"# TYPE sched_queue gauge\n",
+		"sched_queue 42\n",
+		`http_requests_total{endpoint="/diff",code="2xx"} 3` + "\n",
+		"# TYPE http_request_duration histogram\n",
+		`http_request_duration_bucket{endpoint="/diff",le="0.1"} 1` + "\n",
+		`http_request_duration_bucket{endpoint="/diff",le="1"} 2` + "\n",
+		`http_request_duration_bucket{endpoint="/diff",le="+Inf"} 3` + "\n",
+		`http_request_duration_count{endpoint="/diff"} 3` + "\n",
+		`http_request_duration_sum{endpoint="/diff"} 5.5625` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "webclient.attempts") {
+		t.Error("unsanitised dotted name leaked into exposition")
+	}
+}
+
+// TestWritePrometheusDeterministic checks identical states render
+// byte-identically (sorted families and series).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.CounterVec("c", "l").With("b").Inc()
+		reg.CounterVec("c", "l").With("a").Add(2)
+		reg.Counter("z.last").Inc()
+		reg.Histogram("h", []float64{1}).Observe(0.5)
+		return reg
+	}
+	var a, b strings.Builder
+	build().WritePrometheus(&a)
+	build().WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Errorf("nondeterministic exposition:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestPrometheusHandler drives the /metrics endpoint over HTTP.
+func TestPrometheusHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	srv := httptest.NewServer(PrometheusHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Errorf("body = %q", string(buf[:n]))
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+// Cross-process trace propagation in the W3C Trace Context header form:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The client side calls Inject to render its current span into the
+// header it sends (webclient does this on every round trip); the server
+// side calls Extract + WithRemote so the handler's first span becomes a
+// child of the remote caller's span under the same trace id. A sweep on
+// the leader that fans a shard delta out to a replica therefore shows up
+// as one trace: the replicator's span, the webclient fetch span, and the
+// replica's /shard/import server span all share the trace id and link
+// parent-to-child across the socket.
+
+import (
+	"context"
+	"os"
+	"strings"
+)
+
+// TraceParentHeader is the propagation header name.
+const TraceParentHeader = "traceparent"
+
+// SpanContext is the cross-process identity of a span: just enough to
+// parent a remote child. The zero value is "no context".
+type SpanContext struct {
+	// Trace is the 32-hex-digit trace id.
+	Trace string
+	// SpanID is the caller's span id (the parent-id field on the wire).
+	SpanID uint64
+}
+
+// Valid reports whether the context can parent a child span.
+func (sc SpanContext) Valid() bool {
+	return len(sc.Trace) == 32 && sc.Trace != strings.Repeat("0", 32) && sc.SpanID != 0
+}
+
+// WithRemote returns a context under which the next StartSpan joins the
+// remote caller's trace as a child of its span. An invalid SpanContext
+// leaves ctx unchanged.
+func WithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// Inject renders the context's current span as a traceparent header
+// value, or "" when no span is in flight.
+func Inject(ctx context.Context) string {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	trace, id := s.rec.Trace, s.rec.ID
+	s.mu.Unlock()
+	if len(trace) != 32 || id == 0 {
+		return ""
+	}
+	return fmtTraceParent(trace, id)
+}
+
+func fmtTraceParent(trace string, spanID uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(trace)
+	b.WriteString("-")
+	for shift := 60; shift >= 0; shift -= 4 {
+		b.WriteByte(hexdigits[(spanID>>uint(shift))&0xf])
+	}
+	b.WriteString("-01")
+	return b.String()
+}
+
+// Extract parses a traceparent header value. ok is false for malformed
+// values, unknown lengths, or the all-zero ids the spec reserves.
+func Extract(header string) (sc SpanContext, ok bool) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	if parts[0] == "ff" { // forbidden version
+		return SpanContext{}, false
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	var spanID uint64
+	for i := 0; i < 16; i++ {
+		spanID = spanID<<4 | uint64(hexVal(parts[2][i]))
+	}
+	sc = SpanContext{Trace: strings.ToLower(parts[1]), SpanID: spanID}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// SeedFromPID derives a per-process tracer seed from the process id —
+// enough to keep span ids from two daemons distinct when their traces
+// are merged, without obs itself touching the wall clock. Daemon mains
+// call this once at startup:
+//
+//	obs.DefaultTracer.Seed = obs.SeedFromPID()
+func SeedFromPID() uint64 {
+	return mix64(uint64(os.Getpid())*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
+}

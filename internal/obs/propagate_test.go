@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestInjectExtractRoundTrip checks a span injected on one side parents
+// a span started on the other under the same trace id.
+func TestInjectExtractRoundTrip(t *testing.T) {
+	client := NewTracer(8)
+	client.Seed = 11
+	server := NewTracer(8)
+	server.Seed = 22
+
+	ctx, cs := StartSpan(WithTracer(context.Background(), client), "client.fetch")
+	header := Inject(ctx)
+	if header == "" {
+		t.Fatal("Inject returned empty header for live span")
+	}
+	if !strings.HasPrefix(header, "00-") || len(header) != 55 {
+		t.Fatalf("header = %q, want 00-<32hex>-<16hex>-01", header)
+	}
+
+	sc, ok := Extract(header)
+	if !ok {
+		t.Fatalf("Extract(%q) failed", header)
+	}
+	sctx := WithRemote(WithTracer(context.Background(), server), sc)
+	_, ss := StartSpan(sctx, "server.handle")
+	ss.End()
+	cs.End()
+
+	crec := client.Spans()[0]
+	srec := server.Spans()[0]
+	if crec.Trace != srec.Trace {
+		t.Errorf("trace ids differ: client %s server %s", crec.Trace, srec.Trace)
+	}
+	if srec.Parent != crec.ID {
+		t.Errorf("server parent = %x, want client span id %x", srec.Parent, crec.ID)
+	}
+	if srec.ID == crec.ID {
+		t.Error("span ids collided across differently-seeded tracers")
+	}
+}
+
+// TestExtractRejectsMalformed checks malformed traceparent values are
+// rejected rather than producing garbage contexts.
+func TestExtractRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not-a-traceparent",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // non-hex
+	} {
+		if _, ok := Extract(bad); ok {
+			t.Errorf("Extract(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestExtractCaseAndWhitespace checks tolerant parsing of valid inputs.
+func TestExtractCaseAndWhitespace(t *testing.T) {
+	sc, ok := Extract("  00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01  ")
+	if !ok {
+		t.Fatal("Extract rejected upper-case hex")
+	}
+	if sc.Trace != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace = %q, want lower-cased", sc.Trace)
+	}
+	if sc.SpanID != 0x00f067aa0ba902b7 {
+		t.Errorf("span id = %x", sc.SpanID)
+	}
+}
+
+// TestInjectNoSpan checks Inject is a no-op outside any span.
+func TestInjectNoSpan(t *testing.T) {
+	if h := Inject(context.Background()); h != "" {
+		t.Errorf("Inject with no span = %q, want empty", h)
+	}
+}
+
+// TestChildSpansInheritTrace checks in-process children keep the trace
+// id their root minted.
+func TestChildSpansInheritTrace(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if spans[0].Trace == "" || spans[0].Trace != spans[1].Trace {
+		t.Errorf("trace ids: %q vs %q", spans[0].Trace, spans[1].Trace)
+	}
+	if len(spans[0].Trace) != 32 {
+		t.Errorf("trace id length = %d, want 32", len(spans[0].Trace))
+	}
+}
+
+// TestDistinctRootsDistinctTraces checks two unrelated roots get
+// different trace ids.
+func TestDistinctRootsDistinctTraces(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	_, a := StartSpan(ctx, "a")
+	a.End()
+	_, b := StartSpan(ctx, "b")
+	b.End()
+	spans := tr.Spans()
+	if spans[0].Trace == spans[1].Trace {
+		t.Errorf("unrelated roots share trace id %s", spans[0].Trace)
+	}
+}

@@ -10,6 +10,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,9 +20,20 @@ import (
 
 // SpanRecord is one finished span as exported to the ring buffer.
 type SpanRecord struct {
-	// ID identifies the span within its tracer; IDs start at 1.
+	// Trace is the 32-hex-digit W3C trace id shared by every span of one
+	// logical request, across processes: a span started under a remote
+	// parent (extracted from a traceparent header) carries the remote's
+	// trace id, so a sweep → check → replica fan-out → import chain is
+	// one trace even though its spans live in different tracers.
+	Trace string `json:"trace,omitempty"`
+	// ID identifies the span within its trace. With a zero tracer Seed
+	// IDs are the bare counter values 1, 2, ...; a nonzero Seed mixes the
+	// counter so spans from different processes don't collide when their
+	// records are merged by trace id.
 	ID uint64 `json:"id"`
-	// Parent is the enclosing span's ID (0 for a root span).
+	// Parent is the enclosing span's ID (0 for a root span). For the
+	// first local span under an extracted remote context, Parent is the
+	// remote caller's span ID.
 	Parent uint64 `json:"parent,omitempty"`
 	// Name is the operation, e.g. "webclient.fetch".
 	Name string `json:"name"`
@@ -38,12 +50,54 @@ type Tracer struct {
 	// Clock timestamps spans; wall clock when nil. Inject a
 	// simclock.Sim for deterministic traces.
 	Clock simclock.Clock
+	// Seed, when nonzero, is mixed into span and trace ids so that two
+	// processes sharing one trace produce non-colliding span ids. The
+	// tracer itself never reads the wall clock or a global RNG — daemons
+	// set a per-process seed at startup (see SeedFromPID), tests set an
+	// explicit one (or none: seed 0 keeps ids as bare counters, which the
+	// existing single-process tests depend on).
+	Seed uint64
 
 	ids  atomic.Uint64
 	mu   sync.Mutex
 	ring []SpanRecord
 	next int
 	full bool
+}
+
+// mix64 is the splitmix64 finaliser: a cheap bijective scrambler that
+// spreads (seed, counter) pairs across the id space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// spanIDFor maps counter value c to a span id: the bare counter under
+// seed 0, a seed-mixed (never-zero) value otherwise.
+func (t *Tracer) spanIDFor(c uint64) uint64 {
+	if t.Seed == 0 {
+		return c
+	}
+	id := mix64(t.Seed ^ mix64(c))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// newTraceID mints a 32-hex trace id for a new root span, derived
+// deterministically from the tracer's seed and counter.
+func (t *Tracer) newTraceID(counter uint64) string {
+	hi := mix64(t.Seed ^ mix64(counter) ^ 0x9e3779b97f4a7c15)
+	lo := mix64(t.Seed + counter*0x9e3779b97f4a7c15)
+	if hi == 0 && lo == 0 {
+		lo = 1 // all-zero trace ids are invalid in W3C trace context
+	}
+	return fmt.Sprintf("%016x%016x", hi, lo)
 }
 
 // DefaultTracer receives spans started without an explicit tracer in
@@ -113,6 +167,7 @@ type ctxKey int
 const (
 	spanKey ctxKey = iota
 	tracerKey
+	remoteKey
 )
 
 // WithTracer returns a context whose spans report to tr — how a test or
@@ -140,21 +195,32 @@ func tracerFrom(ctx context.Context) *Tracer {
 }
 
 // StartSpan begins a span named name, child of the context's current
-// span if any, and returns the context carrying it. End the span with
-// Span.End; an unended span is simply never exported.
+// span if any — or of a remote caller's span when the context carries an
+// extracted SpanContext (see WithRemote) — and returns the context
+// carrying it. End the span with Span.End; an unended span is simply
+// never exported.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	tr := tracerFrom(ctx)
+	c := tr.ids.Add(1)
 	var parent uint64
+	var trace string
 	if p := SpanFromContext(ctx); p != nil {
 		parent = p.rec.ID
+		trace = p.rec.Trace
+	} else if rc, ok := ctx.Value(remoteKey).(SpanContext); ok && rc.Trace != "" {
+		parent = rc.SpanID
+		trace = rc.Trace
+	}
+	if trace == "" {
+		trace = tr.newTraceID(c)
 	}
 	s := &Span{
 		tracer: tr,
 		start:  tr.clock().Now(),
-		rec:    SpanRecord{ID: tr.ids.Add(1), Parent: parent, Name: name},
+		rec:    SpanRecord{Trace: trace, ID: tr.spanIDFor(c), Parent: parent, Name: name},
 	}
 	s.rec.Start = s.start
 	return context.WithValue(ctx, spanKey, s), s

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -218,6 +219,12 @@ func (r *Replicator) PickReplica(pageURL string) string {
 // first error per replica stops that replica's pass; the last error
 // seen is returned after all replicas finish.
 func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err error) {
+	ctx, span := obs.StartSpan(ctx, "replica.sync")
+	defer func() {
+		span.SetAttr("pushed", strconv.Itoa(pushed))
+		span.SetAttr("deleted", strconv.Itoa(deleted))
+		span.End()
+	}()
 	shards := r.Facility.Shards()
 	var wg sync.WaitGroup
 	pushes := make([]int, len(r.Replicas))
@@ -258,6 +265,11 @@ func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err erro
 // converged system pays one manifest round trip per shard. repaired
 // counts files pushed or dropped.
 func (r *Replicator) AntiEntropy(ctx context.Context, maxShards int) (repaired int, err error) {
+	ctx, span := obs.StartSpan(ctx, "replica.antientropy")
+	defer func() {
+		span.SetAttr("repaired", strconv.Itoa(repaired))
+		span.End()
+	}()
 	shards := r.Facility.Shards()
 	order := make([]int, shards)
 	for i := range order {
@@ -323,6 +335,17 @@ func (r *Replicator) Run(ctx context.Context, interval time.Duration) {
 // syncShard pushes one shard's delta to one replica: manifest exchange,
 // then a single POST carrying changed files plus delete entries.
 func (r *Replicator) syncShard(ctx context.Context, addr string, shard int) (pushed, deleted int, err error) {
+	ctx, span := obs.StartSpan(ctx, "replica.syncshard")
+	span.SetAttr("shard", strconv.Itoa(shard))
+	span.SetAttr("replica", addr)
+	defer func() {
+		span.SetAttr("pushed", strconv.Itoa(pushed))
+		span.SetAttr("deleted", strconv.Itoa(deleted))
+		if err != nil {
+			span.SetAttr("err", err.Error())
+		}
+		span.End()
+	}()
 	m := r.metrics()
 	local, err := r.Facility.ShardManifest(shard)
 	if err != nil {

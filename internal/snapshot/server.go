@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,8 +64,59 @@ func NewServer(f *Facility) *Server {
 	return &Server{Facility: f, KeepaliveInterval: 5 * time.Second}
 }
 
-// Handler returns the facility's HTTP mux.
+// Handler returns the facility's HTTP face: the routes behind the
+// optional load-shedding gate, the whole stack wrapped in the RED
+// middleware so every route (gate rejections included) lands in the
+// labeled http.* metrics and joins propagated traces.
 func (s *Server) Handler() http.Handler {
+	mux, setGate := s.routes()
+	var h http.Handler = mux
+	if s.MaxSimultaneous > 0 {
+		gate := NewGate(mux, s.MaxSimultaneous)
+		gate.Metrics = s.Facility.metrics()
+		setGate(gate)
+		h = gate
+	}
+	return obs.HTTPMiddleware(h, obs.MiddlewareConfig{
+		Registry: s.Facility.metrics(),
+		Service:  "snapshotd",
+		Route:    obs.RouteFromMux(mux),
+		Shard:    s.ShardLabel,
+	})
+}
+
+// Embedded returns the routes without the server's own gate or RED
+// middleware — for mounting under the aide mux, which applies its own
+// gate and a single middleware over the combined routes — plus the
+// route-pattern resolver the outer middleware labels these routes with.
+func (s *Server) Embedded() (http.Handler, func(r *http.Request) string) {
+	mux, _ := s.routes()
+	return mux, obs.RouteFromMux(mux)
+}
+
+// ShardLabel maps a request to the shard its page lives on ("" for
+// unsharded stores and shard-free requests) — the bounded shard label on
+// http.requests.by_shard.
+func (s *Server) ShardLabel(r *http.Request) string {
+	if s.Facility == nil || s.Facility.Shards() <= 1 {
+		return ""
+	}
+	q := r.URL.Query()
+	if v := q.Get("shard"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < s.Facility.Shards() {
+			return v
+		}
+		return ""
+	}
+	if u := q.Get("url"); u != "" {
+		return strconv.Itoa(s.Facility.ShardOf(u))
+	}
+	return ""
+}
+
+// routes builds the facility mux. The returned setter installs the gate
+// the /debug/health closure reports on once the caller has built it.
+func (s *Server) routes() (*http.ServeMux, func(*Gate)) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/remember", s.handleRemember)
@@ -81,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/shards", s.handleDebugShards)
 	debug := obs.Handler(s.Facility.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
+	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/traces", debug)
 	var gate *Gate
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
@@ -90,12 +143,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		ServeHealth(w, set, gate)
 	})
-	if s.MaxSimultaneous > 0 {
-		gate = NewGate(mux, s.MaxSimultaneous)
-		gate.Metrics = s.Facility.metrics()
-		return gate
-	}
-	return mux
+	return mux, func(g *Gate) { gate = g }
 }
 
 // HealthStatus is the /debug/health payload: the failure-isolation

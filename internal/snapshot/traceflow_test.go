@@ -1,0 +1,90 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"aide/internal/obs"
+)
+
+// TestReplicaSyncCrossProcessTrace drives a real leader → replica sync
+// over HTTP and checks the whole exchange is one trace: the replicator's
+// spans on the client tracer, the replica server's http.server spans on
+// its own tracer, stitched by the traceparent header the webclient sent
+// over the socket — not by any shared in-process context.
+func TestReplicaSyncCrossProcessTrace(t *testing.T) {
+	// The replica's middleware records to DefaultTracer; start clean so
+	// the ring cannot have rotated this test's spans out.
+	obs.DefaultTracer.Reset()
+	p := newReplicaPair(t, 2)
+	for i := 0; i < 4; i++ {
+		u := fmt.Sprintf("http://h/trace-%d", i)
+		if _, err := p.leader.fac.RememberContent(context.Background(), userA, u, "traced\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A distinctly-seeded client tracer, as a separate process would use.
+	client := obs.NewTracer(64)
+	client.Seed = 7
+	ctx := obs.WithTracer(context.Background(), client)
+	pushed, _, err := p.repl.SyncAll(ctx)
+	if err != nil || pushed == 0 {
+		t.Fatalf("sync = (%d,%v)", pushed, err)
+	}
+
+	// Client side: replica.sync roots the trace, replica.syncshard and
+	// webclient.fetch nest under it.
+	byID := map[uint64]obs.SpanRecord{}
+	var trace string
+	for _, sp := range client.Spans() {
+		byID[sp.ID] = sp
+		if sp.Name == "replica.sync" {
+			if sp.Parent != 0 {
+				t.Errorf("replica.sync is not a root span: parent %x", sp.Parent)
+			}
+			trace = sp.Trace
+		}
+	}
+	if trace == "" {
+		t.Fatal("no replica.sync span recorded on the client tracer")
+	}
+	for _, sp := range client.Spans() {
+		if sp.Trace != trace {
+			t.Errorf("client span %s left the trace: %s vs %s", sp.Name, sp.Trace, trace)
+		}
+	}
+
+	// Server side: every http.server span for this trace parents under a
+	// client webclient.fetch span, and walking parent links from it
+	// reaches the root in ≥3 hops — the cross-process chain
+	// http.server → webclient.fetch → replica.syncshard → replica.sync.
+	serverSpans := 0
+	for _, sp := range obs.DefaultTracer.Spans() {
+		if sp.Name != "http.server" || sp.Trace != trace {
+			continue
+		}
+		serverSpans++
+		hops := 0
+		cur, ok := byID[sp.Parent]
+		if !ok || cur.Name != "webclient.fetch" {
+			t.Fatalf("server span parent %x is not a client webclient.fetch span", sp.Parent)
+		}
+		for ok {
+			hops++
+			cur, ok = byID[cur.Parent]
+		}
+		if hops < 3 {
+			t.Errorf("trace chain only %d hops deep from server span (route %s)", hops, sp.Attrs["route"])
+		}
+		if sp.Attrs["service"] != "snapshotd" {
+			t.Errorf("server span service = %q", sp.Attrs["service"])
+		}
+	}
+	if serverSpans < 2 {
+		// At least a /shard/manifest fetch and a /shard/import per
+		// touched shard crossed the wire.
+		t.Fatalf("server spans in trace = %d, want >= 2", serverSpans)
+	}
+}

@@ -1,0 +1,91 @@
+package webclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aide/internal/obs"
+)
+
+// TestTraceParentSentOnWire checks a Get issued inside a span carries a
+// traceparent header that parses back to the client's own fetch span —
+// the propagation half the servers' middleware relies on.
+func TestTraceParentSentOnWire(t *testing.T) {
+	var headers []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers = append(headers, r.Header.Get(obs.TraceParentHeader))
+		if r.URL.Path == "/moved" {
+			http.Redirect(w, r, "/final", http.StatusFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := obs.NewTracer(8)
+	tr.Seed = 99
+	ctx := obs.WithTracer(context.Background(), tr)
+	c := New(&HTTPTransport{})
+	if _, err := c.Get(ctx, srv.URL+"/moved"); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(headers) != 2 {
+		t.Fatalf("server saw %d requests, want 2 (redirect hop)", len(headers))
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "webclient.fetch" {
+		t.Fatalf("client spans = %+v", spans)
+	}
+	for i, h := range headers {
+		sc, ok := obs.Extract(h)
+		if !ok {
+			t.Fatalf("hop %d header %q does not parse", i, h)
+		}
+		if sc.Trace != spans[0].Trace {
+			t.Errorf("hop %d trace = %s, want %s", i, sc.Trace, spans[0].Trace)
+		}
+		if sc.SpanID != spans[0].ID {
+			t.Errorf("hop %d span id = %x, want the fetch span %x", i, sc.SpanID, spans[0].ID)
+		}
+	}
+}
+
+// TestTraceParentNestsUnderCaller checks the wire header names the fetch
+// span, and the fetch span in turn parents under the caller's span — so a
+// server joining via the header lands in the caller's trace.
+func TestTraceParentNestsUnderCaller(t *testing.T) {
+	var seen string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get(obs.TraceParentHeader)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := obs.NewTracer(8)
+	tr.Seed = 3
+	ctx, outer := obs.StartSpan(obs.WithTracer(context.Background(), tr), "sweep.check")
+	c := New(&HTTPTransport{})
+	if _, err := c.Get(ctx, srv.URL+"/x"); err != nil {
+		t.Fatal(err)
+	}
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	fetch, root := spans[0], spans[1] // fetch ends first
+	if fetch.Name != "webclient.fetch" || root.Name != "sweep.check" {
+		t.Fatalf("span order = %s, %s", fetch.Name, root.Name)
+	}
+	if fetch.Parent != root.ID || fetch.Trace != root.Trace {
+		t.Errorf("fetch span not nested under caller: %+v vs %+v", fetch, root)
+	}
+	sc, ok := obs.Extract(seen)
+	if !ok || sc.Trace != root.Trace || sc.SpanID != fetch.ID {
+		t.Errorf("wire header %q = %+v, want trace %s span %x", seen, sc, root.Trace, fetch.ID)
+	}
+}

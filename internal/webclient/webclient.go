@@ -47,6 +47,11 @@ type Request struct {
 	// ContentType describes Body; defaults to
 	// application/x-www-form-urlencoded for POSTs with a body.
 	ContentType string
+	// TraceParent is the W3C trace-context header value propagating the
+	// caller's trace across the process boundary. Client.do fills it from
+	// the request context's span; transports that cross a real socket
+	// (HTTPTransport) send it as the traceparent header.
+	TraceParent string
 }
 
 // Response carries the pieces of an HTTP response AIDE consumes.
@@ -345,9 +350,13 @@ func (c *Client) do(ctx context.Context, req Request) (PageInfo, error) {
 	if max <= 0 {
 		max = 5
 	}
+	// The fetch span is the parent the far side links under; rendered
+	// once here, reused for every redirect hop and retry attempt.
+	traceParent := obs.Inject(ctx)
 	for hop := 0; ; hop++ {
 		hopReq := req
 		hopReq.URL = info.URL
+		hopReq.TraceParent = traceParent
 		resp, tries, slept, err := c.roundTrip(ctx, &hopReq)
 		info.Attempts += tries
 		info.BackoffTotal += slept
@@ -486,6 +495,9 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 		ua = "w3newer/2.0 (AIDE)"
 	}
 	hreq.Header.Set("User-Agent", ua)
+	if req.TraceParent != "" {
+		hreq.Header.Set(obs.TraceParentHeader, req.TraceParent)
+	}
 	if !req.IfModifiedSince.IsZero() {
 		hreq.Header.Set("If-Modified-Since", req.IfModifiedSince.UTC().Format(http.TimeFormat))
 	}

@@ -616,7 +616,16 @@ func (w *Web) Handler() http.Handler {
 			req.Body = string(body)
 			req.ContentType = r.Header.Get("Content-Type")
 		}
-		resp, wf, err := w.roundTrip(r.Context(), req)
+		ctx := r.Context()
+		if tp := r.Header.Get(obs.TraceParentHeader); tp != "" {
+			// Keep the socket transparent to tracing: a fetch through the
+			// socket-backed sim joins the caller's trace like any server.
+			if sc, ok := obs.Extract(tp); ok {
+				ctx = obs.WithRemote(ctx, sc)
+			}
+			req.TraceParent = tp
+		}
+		resp, wf, err := w.roundTrip(ctx, req)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadGateway)
 			return
