@@ -9,6 +9,8 @@
 //
 //	snapshotd [-addr :8080] [-data ./aide-data] [-config w3newer.cfg]
 //	          [-shards 1] [-replicas addr,addr] [-replica-sync 1m]
+//	          [-replica-repair-shards 1] [-replica-fail-threshold 3]
+//	          [-replica-cooldown 1m] [-scrub-interval 0] [-scrub-rate 200]
 //	          [-diffcache-max 128]
 //	          [-sweep 1h] [-sweep-workers 4] [-sweep-jitter 0] [-fixed fixed-urls.txt]
 //	          [-sched] [-sched-min 15m] [-sched-max 168h] [-host-rps 1]
@@ -22,9 +24,21 @@
 // repository with a new shard count triggers a rebalance pass before
 // serving. -replicas lists replica snapshotd base URLs the leader
 // pushes per-shard deltas to, every -replica-sync, with a seeded
-// anti-entropy sample each round (-jitter-seed drives the shard
-// choice); /debug/shards reports per-shard population and replica lag.
+// anti-entropy sample of -replica-repair-shards shards each round
+// (-jitter-seed drives the shard choice); /debug/shards reports
+// per-shard population, replica lag, and each replica's health.
 // -diffcache-max bounds the rendered-diff cache entries.
+//
+// Self-healing: each replica carries a health state machine — after
+// -replica-fail-threshold consecutive failed syncs it is marked down
+// and costs one probe per -replica-cooldown instead of a full
+// per-shard sync. Reads that hit a missing or corrupt archive are
+// served by fetching the file from a healthy replica and repairing
+// the local copy in place. -scrub-interval starts the background
+// checksum scrubber, which re-reads one shard per pass (paced at
+// -scrub-rate files per second), detects silent corruption against
+// the checksums recorded at write time, quarantines damaged files,
+// and restores them from replicas.
 //
 // -sched replaces the lockstep sweep loop with the continuous adaptive
 // scheduler (internal/sched): every tracked URL carries its own
@@ -93,6 +107,11 @@ func main() {
 	shards := flag.Int("shards", 1, "shard directories partitioning the archive store (1 = flat layout)")
 	replicas := flag.String("replicas", "", "comma-separated replica base URLs for per-shard fan-out")
 	replicaSync := flag.Duration("replica-sync", time.Minute, "interval between replica delta syncs")
+	replicaRepair := flag.Int("replica-repair-shards", 1, "shards re-verified per sync cycle by the anti-entropy sample")
+	replicaFailThreshold := flag.Int("replica-fail-threshold", 3, "consecutive failed syncs before a replica is marked down")
+	replicaCooldown := flag.Duration("replica-cooldown", time.Minute, "how long a down replica rests before a single probe")
+	scrubInterval := flag.Duration("scrub-interval", 0, "pause between checksum-scrub passes, one shard per pass (0 disables scrubbing)")
+	scrubRate := flag.Int("scrub-rate", 200, "scrub pacing in files per second (0 = unpaced)")
 	diffCacheMax := flag.Int("diffcache-max", snapshot.DefaultDiffCacheMax, "max cached rendered diffs")
 	sweep := flag.Duration("sweep", time.Hour, "server-side tracking sweep interval (0 disables)")
 	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
@@ -258,10 +277,24 @@ func main() {
 	snapSrv.RequestTimeout = *reqTimeout
 	if *replicas != "" {
 		repl := snapshot.NewReplicator(fac, client, strings.Split(*replicas, ","), *jitterSeed)
+		repl.RepairShards = *replicaRepair
+		repl.HealthConfig = breaker.Config{
+			FailureThreshold: *replicaFailThreshold,
+			Cooldown:         *replicaCooldown,
+		}
 		snapSrv.Replicator = repl
+		// Reads that hit a missing or corrupt local file repair it from
+		// a healthy replica; the scrubber uses the same source.
+		fac.Failover = repl
 		go repl.Run(ctx, *replicaSync)
 		log.Printf("snapshotd: replicating %d shards to %d replicas every %v",
 			fac.Shards(), len(repl.Replicas), *replicaSync)
+	}
+	if *scrubInterval > 0 {
+		scrubber := &snapshot.Scrubber{Facility: fac, Interval: *scrubInterval, RatePerSec: *scrubRate}
+		snapSrv.Scrubber = scrubber
+		go scrubber.Run(ctx)
+		log.Printf("snapshotd: checksum scrub every %v (%d files/s)", *scrubInterval, *scrubRate)
 	}
 	if *enableAuth {
 		accounts, err := snapshot.OpenAccounts(*dataDir)

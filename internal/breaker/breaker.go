@@ -251,6 +251,13 @@ type HostState struct {
 	OpenedAt time.Time `json:"opened_at,omitzero"`
 }
 
+// Snapshot captures one breaker's state for health reporting — the
+// single-breaker form of Set.Snapshot, for callers (the snapshot
+// replicator's per-replica health) that track breakers individually.
+func (b *Breaker) Snapshot() HostState {
+	return b.snapshot()
+}
+
 // snapshot captures the breaker's state for health reporting.
 func (b *Breaker) snapshot() HostState {
 	b.mu.Lock()

@@ -1,0 +1,212 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestNilInjectorPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	var in *Injector
+	if err := in.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatalf("nil WriteFile: %v", err)
+	}
+	data, err := in.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("nil ReadFile = %q, %v", data, err)
+	}
+	if n := in.Injected(); n != 0 {
+		t.Fatalf("nil Injected = %d", n)
+	}
+}
+
+func TestFaultReadEIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Profile{Seed: 1, ReadErrProb: 1})
+	_, err := in.ReadFile(path)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if in.Injected() == 0 {
+		t.Fatal("Injected not counted")
+	}
+}
+
+func TestFaultWriteENOSPCLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Profile{Seed: 1, WriteErrProb: 1})
+	err := in.WriteFile(path, []byte("replacement"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "original" {
+		t.Fatalf("original clobbered: %q", data)
+	}
+}
+
+func TestFaultTornWriteKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	full := []byte("0123456789abcdef")
+	in := New(Profile{Seed: 7, TornWriteProb: 1})
+	if err := in.WriteFile(path, full, 0o644); err != nil {
+		t.Fatalf("torn write should not error: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(full) || len(got) < 1 {
+		t.Fatalf("torn write kept %d of %d bytes", len(got), len(full))
+	}
+	if !bytes.HasPrefix(full, got) {
+		t.Fatalf("torn result %q is not a prefix of %q", got, full)
+	}
+}
+
+func TestFaultBitFlipPreservesLength(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Profile{Seed: 3, BitFlipProb: 1})
+	got, err := in.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d != %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^orig[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", diff)
+	}
+	// The on-disk file is untouched.
+	disk, _ := os.ReadFile(path)
+	if !bytes.Equal(disk, orig) {
+		t.Fatal("bit flip leaked to disk")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("deterministic content here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []string {
+		in := New(Profile{Seed: 42, ReadErrProb: 0.3, BitFlipProb: 0.3})
+		var outcomes []string
+		for i := 0; i < 50; i++ {
+			data, err := in.ReadFile(path)
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "eio")
+			case string(data) != "deterministic content here":
+				outcomes = append(outcomes, "flip")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at op %d: %s != %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPathSubstrFilter(t *testing.T) {
+	dir := t.TempDir()
+	hot := filepath.Join(dir, "shard-000", "f")
+	cold := filepath.Join(dir, "users", "f")
+	for _, p := range []string{hot, cold} {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := New(Profile{Seed: 1, ReadErrProb: 1, PathSubstr: "shard-000"})
+	if _, err := in.ReadFile(cold); err != nil {
+		t.Fatalf("filtered path should pass: %v", err)
+	}
+	if _, err := in.ReadFile(hot); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching path should fault, got %v", err)
+	}
+}
+
+func TestFlipBitPreservesSizeAndMtime(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	orig := []byte("some archive content that will rot")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 99); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("size changed: %d != %d", after.Size(), before.Size())
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatalf("mtime changed: %v != %v", after.ModTime(), before.ModTime())
+	}
+	got, _ := os.ReadFile(path)
+	if bytes.Equal(got, orig) {
+		t.Fatal("content unchanged after FlipBit")
+	}
+}
+
+func TestTruncatePreservesMtime(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+	if err := Truncate(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() != 4 {
+		t.Fatalf("size = %d, want 4", after.Size())
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("mtime changed")
+	}
+}

@@ -48,6 +48,13 @@ var ErrNoRevision = errors.New("rcs: no such revision")
 // had a check-in.
 var ErrNoArchive = errors.New("rcs: archive does not exist")
 
+// ErrCorrupt is returned when an archive file exists but cannot be
+// parsed, or a stored delta no longer applies — the on-disk bytes are
+// damaged (bit rot, torn write). Callers with a replica to fall back on
+// (the snapshot facility's failover layer) match this with errors.Is to
+// trigger repair instead of failing the read.
+var ErrCorrupt = errors.New("rcs: archive corrupt")
+
 // dateFormat is the RCS datestamp layout (UTC).
 const dateFormat = "2006.01.02.15.04.05"
 
@@ -434,7 +441,7 @@ func (f *archiveFile) checkout(rev string) (string, error) {
 		var err error
 		lines, err = textdiff.ApplyEd(lines, f.revs[i].text)
 		if err != nil {
-			return "", fmt.Errorf("rcs: corrupt delta for %s: %v", f.revs[i].Num, err)
+			return "", fmt.Errorf("%w: delta for %s: %v", ErrCorrupt, f.revs[i].Num, err)
 		}
 	}
 	text := textdiff.Join(lines)
@@ -547,7 +554,7 @@ func (a *Archive) load() (*archiveFile, error) {
 	}
 	f, err := parseArchive(string(data))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	// Cache only if the file is unchanged since the pre-read stat, so a
 	// concurrent replace between stat and read cannot pin stale data to

@@ -1,0 +1,369 @@
+package snapshot
+
+// Chaos tests for the self-healing replicated store: replicas that die
+// and come back mid-traffic, silent bit rot across many archives, and
+// the interaction of health tracking, scrubbing, and failover under
+// concurrency (run in CI with -race).
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aide/internal/breaker"
+	"aide/internal/faultfs"
+	"aide/internal/obs"
+	"aide/internal/webclient"
+)
+
+// checkGoroutineLeaks fails the test if it leaves goroutines behind
+// (allowing scheduler noise and a settling window).
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+2 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if after > before+2 {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:runtime.Stack(buf, true)])
+		}
+	})
+}
+
+// flakyReplica fronts one replica server with a kill switch: while
+// down, every request gets a 500 without reaching the facility — the
+// observable behaviour of a crashed or partitioned replica, on a
+// stable address it can come back to.
+type flakyReplica struct {
+	h        http.Handler
+	down     atomic.Bool
+	downHits atomic.Int64
+}
+
+func (fr *flakyReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if fr.down.Load() {
+		fr.downHits.Add(1)
+		http.Error(w, "replica down", http.StatusInternalServerError)
+		return
+	}
+	fr.h.ServeHTTP(w, r)
+}
+
+// chaosCluster is a sharded leader replicating to n replicas, each
+// behind a flakyReplica switch.
+type chaosCluster struct {
+	leader   *rig
+	reg      *obs.Registry
+	replicas []*Facility
+	flaky    []*flakyReplica
+	repl     *Replicator
+}
+
+func newChaosCluster(t *testing.T, shards, n int) *chaosCluster {
+	t.Helper()
+	c := &chaosCluster{leader: shardedRig(t, shards), reg: obs.NewRegistry()}
+	c.leader.fac.Metrics = c.reg
+	var addrs []string
+	for i := 0; i < n; i++ {
+		fac, err := NewSharded(t.TempDir(), shards, nil, c.leader.clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(fac)
+		srv.KeepaliveInterval = 0
+		fr := &flakyReplica{h: srv.Handler()}
+		ts := httptest.NewServer(fr)
+		t.Cleanup(ts.Close)
+		c.replicas = append(c.replicas, fac)
+		c.flaky = append(c.flaky, fr)
+		addrs = append(addrs, ts.URL)
+	}
+	c.repl = NewReplicator(c.leader.fac, webclient.New(&webclient.HTTPTransport{}), addrs, 42)
+	c.repl.HealthConfig = breaker.Config{FailureThreshold: 2, Cooldown: time.Minute}
+	return c
+}
+
+// health returns the current health word for replica i.
+func (c *chaosCluster) health(i int) string {
+	for _, st := range c.repl.Status() {
+		if st.Replica == c.repl.Replicas[i] {
+			return st.Health
+		}
+	}
+	return "?"
+}
+
+// assertReplicaConverged fails unless replica i matches the leader on
+// every shard.
+func (c *chaosCluster) assertReplicaConverged(t *testing.T, i int) {
+	t.Helper()
+	for shard := 0; shard < c.leader.fac.Shards(); shard++ {
+		lm, err := c.leader.fac.ShardManifest(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := c.replicas[i].ShardManifest(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lm.Hash() != rm.Hash() {
+			t.Fatalf("replica %d shard %d diverged", i, shard)
+		}
+	}
+}
+
+func TestChaosReplicaFlapConvergence(t *testing.T) {
+	checkGoroutineLeaks(t)
+	c := newChaosCluster(t, 4, 2)
+	ctx := context.Background()
+	checkinN(t, c.leader.fac, 12, "flap")
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.assertReplicaConverged(t, 0)
+	c.assertReplicaConverged(t, 1)
+
+	// Replica 1 dies. Each sync cycle fails its first shard push and
+	// counts one strike; at FailureThreshold the breaker marks it down.
+	// Replica 0 keeps receiving deltas throughout.
+	c.flaky[1].down.Store(true)
+	checkinN(t, c.leader.fac, 4, "flap-down")
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.repl.SyncAll(ctx); err == nil {
+			t.Fatal("sync against a dead replica reported no error")
+		}
+	}
+	if h := c.health(1); h != "down" {
+		t.Fatalf("replica 1 health = %q, want down", h)
+	}
+	if h := c.health(0); h != "healthy" {
+		t.Fatalf("replica 0 health = %q, want healthy", h)
+	}
+	c.assertReplicaConverged(t, 0)
+
+	// While down and inside the cooldown, a cycle costs zero requests
+	// to the dead replica — not 4 shards of manifest+POST — and the
+	// healthy replica still syncs (the skip itself is not an error).
+	c.flaky[1].downHits.Store(0)
+	checkinN(t, c.leader.fac, 4, "flap-skip")
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatalf("sync with one skipped replica: %v", err)
+	}
+	if hits := c.flaky[1].downHits.Load(); hits != 0 {
+		t.Fatalf("down replica saw %d requests during cooldown, want 0", hits)
+	}
+	if got := c.reg.Counter("replica.health.skipped").Value(); got == 0 {
+		t.Fatal("no cycles were skipped for the down replica")
+	}
+	c.assertReplicaConverged(t, 0)
+
+	// Past the cooldown the replica is probed — one request, still down.
+	c.leader.clock.Advance(2 * time.Minute)
+	if _, _, err := c.repl.SyncAll(ctx); err == nil {
+		t.Fatal("want an error from the failed probe")
+	}
+	if hits := c.flaky[1].downHits.Load(); hits != 1 {
+		t.Fatalf("down replica saw %d requests at probe time, want exactly 1", hits)
+	}
+
+	// The replica comes back: the probe succeeds, the full sync resumes,
+	// and the replica catches up on everything it missed — no manual
+	// repair, no stall.
+	c.flaky[1].down.Store(false)
+	c.leader.clock.Advance(2 * time.Minute)
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatalf("sync after recovery: %v", err)
+	}
+	if h := c.health(1); h != "healthy" {
+		t.Fatalf("recovered replica health = %q", h)
+	}
+	c.assertReplicaConverged(t, 0)
+	c.assertReplicaConverged(t, 1)
+	if got := c.reg.Counter("replica.health.probes").Value(); got == 0 {
+		t.Fatal("recovery happened without a probe")
+	}
+}
+
+// TestChaosSelfHealingSoak is the acceptance scenario: kill a replica,
+// flip bits across the leader's archives, and require that every read
+// still answers, the scrubber repairs all injected damage from the
+// surviving replica, and the dead replica costs one probe per cycle.
+func TestChaosSelfHealingSoak(t *testing.T) {
+	checkGoroutineLeaks(t)
+	c := newChaosCluster(t, 4, 2)
+	ctx := context.Background()
+	urls := checkinN(t, c.leader.fac, 24, "soak")
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.leader.fac.Failover = c.repl
+
+	// Kill replica 1 and trip its breaker.
+	c.flaky[1].down.Store(true)
+	c.repl.SyncAll(ctx)
+	c.repl.SyncAll(ctx)
+	if h := c.health(1); h != "down" {
+		t.Fatalf("replica 1 health = %q", h)
+	}
+
+	// Silent bit rot across a quarter of the archives (size and mtime
+	// preserved), plus one outright lost file.
+	damaged := 0
+	for i, u := range urls {
+		if i%4 != 0 {
+			continue
+		}
+		if err := faultfs.FlipBit(c.leader.fac.Store().ArchivePath(u), int64(97+i)); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	lostName := filepath.Base(c.leader.fac.Store().ArchivePath(urls[1]))
+	if err := c.leader.fac.Store().Remove(KindArchive, lostName); err != nil {
+		t.Fatal(err)
+	}
+
+	// One full scrub rotation heals everything, fetching only from the
+	// healthy replica.
+	s := &Scrubber{Facility: c.leader.fac}
+	probesBefore := c.flaky[1].downHits.Load()
+	var totals ScrubReport
+	for i := 0; i < 4; i++ {
+		rep, err := s.ScrubNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals.add(rep)
+	}
+	if totals.Corrupt != damaged || totals.Repaired != damaged+1 || totals.Missing != 1 || totals.Unrepaired != 0 {
+		t.Fatalf("soak scrub totals = %+v (want %d corrupt, %d repaired)", totals, damaged, damaged+1)
+	}
+	if got := c.reg.Counter("scrub.repaired").Value(); got != int64(damaged+1) {
+		t.Fatalf("scrub.repaired = %d", got)
+	}
+	// The dead replica was never asked for repair bytes.
+	if hits := c.flaky[1].downHits.Load(); hits != probesBefore {
+		t.Fatalf("dead replica saw %d repair requests", hits-probesBefore)
+	}
+
+	// Every read answers with the original content.
+	for i, u := range urls {
+		text, err := c.leader.fac.Checkout(u, "")
+		if err != nil {
+			t.Fatalf("read %d after healing: %v", i, err)
+		}
+		if want := fmt.Sprintf("soak body %d\n", i); text != want {
+			t.Fatalf("read %d = %q, want %q", i, text, want)
+		}
+	}
+
+	// The replica returns; one cycle after the cooldown it has
+	// converged on the healed state.
+	c.flaky[1].down.Store(false)
+	c.leader.clock.Advance(2 * time.Minute)
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatalf("sync after recovery: %v", err)
+	}
+	c.assertReplicaConverged(t, 0)
+	c.assertReplicaConverged(t, 1)
+}
+
+// TestChaosRotNeverPropagatesToReplicas covers the dangerous ordering
+// the soak test cannot: bits rot on the leader while the replica is
+// healthy and syncing every cycle. The manifest hashes content, so the
+// rotted file diffs as "changed" — a naive push would overwrite the
+// replica's good copy (the only repair source) within one sync cycle,
+// and the scrubber's three-way judgment would then see disk == replica
+// and adopt the corruption. The export guard must withhold the suspect
+// file instead, so the scrubber can still repair from the replica.
+func TestChaosRotNeverPropagatesToReplicas(t *testing.T) {
+	checkGoroutineLeaks(t)
+	c := newChaosCluster(t, 4, 1)
+	ctx := context.Background()
+	urls := checkinN(t, c.leader.fac, 8, "rot")
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.assertReplicaConverged(t, 0)
+	c.leader.fac.Failover = c.repl
+
+	// Silent rot on the leader, then several sync cycles before any
+	// scrub runs — the window where corruption would spread.
+	victim := urls[3]
+	if err := faultfs.FlipBit(c.leader.fac.Store().ArchivePath(victim), 90); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.repl.SyncAll(ctx); err != nil {
+			t.Fatalf("sync %d with a suspect file: %v", i, err)
+		}
+	}
+	if got := c.reg.Counter("replica.push.suspect").Value(); got == 0 {
+		t.Fatal("rotted file was never flagged suspect during sync")
+	}
+	if text, err := c.replicas[0].Checkout(victim, ""); err != nil || text != "rot body 3\n" {
+		t.Fatalf("replica copy was overwritten by rot: %q, %v", text, err)
+	}
+
+	// The scrubber repairs the leader from the intact replica copy, and
+	// the next sync converges on the healed content.
+	s := &Scrubber{Facility: c.leader.fac}
+	var totals ScrubReport
+	for i := 0; i < 4; i++ {
+		rep, err := s.ScrubNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals.add(rep)
+	}
+	if totals.Corrupt != 1 || totals.Repaired != 1 || totals.Adopted != 0 {
+		t.Fatalf("scrub totals = %+v, want exactly the one rotted file repaired", totals)
+	}
+	if text, err := c.leader.fac.Checkout(victim, ""); err != nil || text != "rot body 3\n" {
+		t.Fatalf("leader read after repair = %q, %v", text, err)
+	}
+	if _, _, err := c.repl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.assertReplicaConverged(t, 0)
+}
+
+// TestChaosImportSurvivesWriteFaults drives the replica import path
+// through an ENOSPC/torn-write storm: imports fail loudly (never
+// silently truncate), and once the storm clears the same stream
+// applies cleanly.
+func TestChaosImportSurvivesWriteFaults(t *testing.T) {
+	p := newReplicaPair(t, 2)
+	checkinN(t, p.leader.fac, 6, "enospc")
+	p.replica.Faults = faultfs.New(faultfs.Profile{Seed: 11, WriteErrProb: 0.5, TornWriteProb: 0.3})
+	var failures int
+	for i := 0; i < 4; i++ {
+		if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 && p.replica.Faults.Injected() > 0 {
+		t.Fatal("write faults were injected but every sync reported success")
+	}
+	// Storm over: the next sync converges. Torn writes left partial
+	// content behind, which the manifest diff detects and re-pushes.
+	p.replica.Faults = nil
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.assertConverged(t)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"aide/internal/fsatomic"
@@ -145,7 +146,12 @@ func (f *Facility) writeEntitySnapshot(pageURL string, snap EntitySnapshot) erro
 	if err != nil {
 		return err
 	}
-	return fsatomic.WriteFile(f.entityFile(pageURL), data, 0o644)
+	path := f.entityFile(pageURL)
+	if err := fsatomic.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	f.recordChecksum(KindEntities, filepath.Base(path), data)
+	return nil
 }
 
 // EntityChanges compares the entity snapshots of two revisions and

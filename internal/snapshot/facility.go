@@ -23,9 +23,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"aide/internal/faultfs"
 	"aide/internal/formreg"
 	"aide/internal/fsatomic"
 	"aide/internal/htmldiff"
@@ -56,9 +58,20 @@ type Facility struct {
 	// Metrics receives the check-in/delta/diff-latency metrics;
 	// obs.Default when nil.
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects disk faults into scrub reads and
+	// import/repair writes (chaos tests); nil reads/writes normally.
+	Faults *faultfs.Injector
+	// Failover, when non-nil, fetches missing or corrupt files from a
+	// healthy replica — the repair source for scrub and failover reads.
+	// On a replicated leader this is the facility's Replicator.
+	Failover FileFetcher
 
 	diffCache diffCache
 	entityOpt EntityTrackingOptions
+	ledger    *checksumLedger
+
+	repairMu    sync.Mutex
+	repairSlots chan struct{}
 }
 
 // metrics returns the facility's registry (obs.Default when unset).
@@ -121,6 +134,7 @@ func NewWithStore(st Store, client *webclient.Client, clock simclock.Clock) (*Fa
 		clock:     clock,
 		locks:     lockmgr.New(filepath.Join(st.Root(), "locks")),
 		diffCache: diffCache{max: DefaultDiffCacheMax, entries: map[string]string{}},
+		ledger:    newChecksumLedger(filepath.Join(st.Root(), "scrub")),
 	}, nil
 }
 
@@ -216,6 +230,15 @@ func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body stri
 		if err := f.store.NoteURL(pageURL); err != nil {
 			return RememberResult{}, err
 		}
+		base := strings.TrimSuffix(filepath.Base(f.store.ArchivePath(pageURL)), archiveSuffix)
+		if p, err := f.store.Place(KindURL, base+urlSuffix); err == nil {
+			f.recordChecksumPath(KindURL, p)
+		}
+	}
+	if changed || first {
+		// Record the rewritten archive's checksum for the scrubber,
+		// under the per-URL lock our callers hold.
+		f.recordChecksumPath(KindArchive, f.store.ArchivePath(pageURL))
 	}
 	if changed {
 		m.Counter("snapshot.checkins.changed").Inc()
@@ -258,7 +281,12 @@ func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (Di
 		return DiffResult{}, ErrNeverSaved
 	}
 	oldRev := seen[len(seen)-1]
-	oldText, err := f.archive(pageURL).Checkout(oldRev)
+	var oldText string
+	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var cerr error
+		oldText, cerr = a.Checkout(oldRev)
+		return cerr
+	})
 	if err != nil {
 		return DiffResult{}, err
 	}
@@ -282,12 +310,15 @@ func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) 
 		return DiffResult{HTML: html, OldRev: oldRev, NewRev: newRev, Cached: true}, nil
 	}
 	f.metrics().Counter("snapshot.diffcache.misses").Inc()
-	arch := f.archive(pageURL)
-	oldText, err := arch.Checkout(oldRev)
-	if err != nil {
-		return DiffResult{}, err
-	}
-	newText, err := arch.Checkout(newRev)
+	var oldText, newText string
+	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var cerr error
+		if oldText, cerr = a.Checkout(oldRev); cerr != nil {
+			return cerr
+		}
+		newText, cerr = a.Checkout(newRev)
+		return cerr
+	})
 	if err != nil {
 		return DiffResult{}, err
 	}
@@ -302,7 +333,11 @@ func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) 
 // History returns the page's revision log (newest first) and the set of
 // revisions this user has seen.
 func (f *Facility) History(user, pageURL string) (revs []rcs.Revision, seen map[string]bool, err error) {
-	revs, err = f.archive(pageURL).Log()
+	err = f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var lerr error
+		revs, lerr = a.Log()
+		return lerr
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -315,13 +350,25 @@ func (f *Facility) History(user, pageURL string) (revs []rcs.Revision, seen map[
 
 // Checkout returns the archived text of a revision ("" = head).
 func (f *Facility) Checkout(pageURL, rev string) (string, error) {
-	return f.archive(pageURL).Checkout(rev)
+	var text string
+	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var cerr error
+		text, cerr = a.Checkout(rev)
+		return cerr
+	})
+	return text, err
 }
 
 // CheckoutAtDate returns the archived text as of an instant, the CGI
 // "time travel" interface of §2.2.
 func (f *Facility) CheckoutAtDate(pageURL string, t time.Time) (string, string, error) {
-	return f.archive(pageURL).CheckoutAtDate(t)
+	var text, rev string
+	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var cerr error
+		text, rev, cerr = a.CheckoutAtDate(t)
+		return cerr
+	})
+	return text, rev, err
 }
 
 // ArchivedURLs lists every URL with an archive, sorted.
@@ -372,6 +419,11 @@ func (f *Facility) Prune(keep int) ([]PruneResult, error) {
 				return out, err
 			}
 			dropped, err := f.archive(u).Prune(keep)
+			if err == nil && dropped > 0 {
+				// The archive was rewritten: refresh its checksum
+				// while the lock still protects it.
+				f.recordChecksumPath(KindArchive, f.store.ArchivePath(u))
+			}
 			unlock()
 			if err != nil {
 				return out, err
@@ -505,7 +557,11 @@ func (f *Facility) markSeen(user, pageURL, rev string) error {
 	if err != nil {
 		return err
 	}
-	return fsatomic.WriteFile(f.userFile(user), data, 0o644)
+	if err := fsatomic.WriteFile(f.userFile(user), data, 0o644); err != nil {
+		return err
+	}
+	f.recordChecksum(KindUser, filepath.Base(f.userFile(user)), data)
+	return nil
 }
 
 // seenVersions returns the user's version list for url (oldest first).

@@ -1,0 +1,127 @@
+package snapshot
+
+// Failover reads: when a leader's own copy of an archive is missing or
+// corrupt, a read (checkout, history, diff) does not have to fail —
+// the replica fan-out means an intact copy usually exists one HTTP
+// round trip away. Every archive read path funnels through
+// readArchive, which detects rcs.ErrNoArchive/rcs.ErrCorrupt, pulls
+// the file from a healthy replica via the facility's FileFetcher,
+// repairs the local copy (atomic replace, damaged original
+// quarantined), and retries the read once. The scrubber would find
+// the same damage eventually; failover fixes it at the moment a user
+// is waiting on it.
+//
+// Repairs are serialised per file (the same lock the write paths
+// hold, so a repair never clobbers a concurrent check-in) and bounded
+// globally (maxConcurrentRepairs) so a burst of reads against one
+// damaged shard cannot stampede the replicas.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aide/internal/rcs"
+)
+
+// maxConcurrentRepairs bounds how many failover repairs may run at
+// once across the facility.
+const maxConcurrentRepairs = 4
+
+// repairSem returns the facility's repair semaphore, created lazily.
+func (f *Facility) repairSem() chan struct{} {
+	f.repairMu.Lock()
+	defer f.repairMu.Unlock()
+	if f.repairSlots == nil {
+		f.repairSlots = make(chan struct{}, maxConcurrentRepairs)
+	}
+	return f.repairSlots
+}
+
+// readArchive runs op against a page's archive; on a missing or
+// corrupt archive it repairs the file from a replica and retries op
+// once. Reads that fail for any other reason (ErrNoRevision, say)
+// pass through untouched, as does everything when no failover source
+// is wired.
+func (f *Facility) readArchive(pageURL string, op func(*rcs.Archive) error) error {
+	err := op(f.archive(pageURL))
+	if err == nil || f.Failover == nil {
+		return err
+	}
+	if !errors.Is(err, rcs.ErrNoArchive) && !errors.Is(err, rcs.ErrCorrupt) {
+		return err
+	}
+	name := filepath.Base(f.store.ArchivePath(pageURL))
+	// A missing archive is only worth a replica round trip when the
+	// ledger says the file once existed here; otherwise every history
+	// request for a never-remembered page would poll the replicas.
+	if errors.Is(err, rcs.ErrNoArchive) {
+		shard, serr := f.store.ShardOfFile(KindArchive, name)
+		if serr != nil {
+			return err
+		}
+		if _, ok := f.ledger.get(shard, KindArchive, name); !ok {
+			return err
+		}
+	}
+	m := f.metrics()
+	m.Counter("failover.reads").Inc()
+	if rerr := f.repairFile(context.Background(), KindArchive, name); rerr != nil {
+		m.Counter("failover.misses").Inc()
+		return err // the original, more useful error
+	}
+	return op(f.archive(pageURL))
+}
+
+// repairFile replaces a local file with a healthy replica's copy. It
+// holds the file's write lock (single-flight: concurrent readers of
+// the same damaged file queue here and find it already fixed) and a
+// global semaphore slot. The damaged original, if present, is
+// quarantined rather than deleted.
+func (f *Facility) repairFile(ctx context.Context, kind, name string) error {
+	sem := f.repairSem()
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	unlock, err := f.locks.Lock(f.scrubLockKey(kind, name))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	path, err := f.store.Place(kind, name)
+	if err != nil {
+		return err
+	}
+	shard, err := f.store.ShardOfFile(kind, name)
+	if err != nil {
+		return err
+	}
+	// Someone may have repaired (or legitimately rewritten) the file
+	// while we waited for the lock: if the disk matches the ledger
+	// again, the read's retry will succeed without touching a replica.
+	if entry, ok := f.ledger.get(shard, kind, name); ok {
+		if data, rerr := os.ReadFile(path); rerr == nil && contentHash(data) == entry.Hash {
+			return nil
+		}
+	}
+	good, err := f.Failover.FetchFile(ctx, kind, name, shard)
+	if err != nil {
+		return fmt.Errorf("snapshot: failover fetch of %s: %w", name, err)
+	}
+	if _, serr := os.Stat(path); serr == nil {
+		if qerr := f.quarantine(path); qerr != nil {
+			return qerr
+		}
+	}
+	if err := f.writeStored(path, good); err != nil {
+		return err
+	}
+	f.recordChecksum(kind, name, good)
+	f.metrics().Counter("failover.repaired").Inc()
+	return nil
+}

@@ -1,0 +1,137 @@
+package snapshot
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"aide/internal/obs"
+	"aide/internal/rcs"
+)
+
+func TestFailoverReadRepairsCorruptArchive(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	reg := obs.NewRegistry()
+	p.leader.fac.Metrics = reg
+	urls := checkinN(t, p.leader.fac, 4, "fo")
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.leader.fac.Failover = p.repl
+
+	// Trash the local archive beyond parsing: a read must detect the
+	// corruption, pull the replica's copy, and answer anyway.
+	victim := urls[1]
+	path := p.leader.fac.Store().ArchivePath(victim)
+	if err := os.WriteFile(path, []byte("not an rcs archive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	text, err := p.leader.fac.Checkout(victim, "")
+	if err != nil || text != "fo body 1\n" {
+		t.Fatalf("failover checkout = (%q,%v)", text, err)
+	}
+	if got := reg.Counter("failover.repaired").Value(); got != 1 {
+		t.Fatalf("failover.repaired = %d", got)
+	}
+	// The damaged bytes were quarantined, and the local copy is whole
+	// again: the next read never touches the replica.
+	if q, err := os.ReadDir(filepath.Join(p.leader.fac.Root(), "quarantine")); err != nil || len(q) != 1 {
+		t.Fatalf("quarantine = %v, %v", q, err)
+	}
+	if _, err := p.leader.fac.Checkout(victim, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("failover.reads").Value(); got != 1 {
+		t.Fatalf("failover.reads = %d (second read should be local)", got)
+	}
+}
+
+func TestFailoverReadRestoresMissingArchive(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	urls := checkinN(t, p.leader.fac, 4, "fom")
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.leader.fac.Failover = p.repl
+	victim := urls[2]
+	name := filepath.Base(p.leader.fac.Store().ArchivePath(victim))
+	if err := p.leader.fac.Store().Remove(KindArchive, name); err != nil {
+		t.Fatal(err)
+	}
+	// History exercises the same failover path as checkout.
+	revs, _, err := p.leader.fac.History(userA, victim)
+	if err != nil || len(revs) != 1 {
+		t.Fatalf("failover history = (%d revs, %v)", len(revs), err)
+	}
+}
+
+func TestFailoverIgnoresNeverArchivedPages(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	reg := obs.NewRegistry()
+	p.leader.fac.Metrics = reg
+	p.leader.fac.Failover = p.repl
+	// No ledger entry for this page: the miss must not cost a replica
+	// round trip per read.
+	if _, err := p.leader.fac.Checkout("http://h/never-saved", ""); !errors.Is(err, rcs.ErrNoArchive) {
+		t.Fatalf("err = %v, want ErrNoArchive", err)
+	}
+	if got := reg.Counter("failover.reads").Value(); got != 0 {
+		t.Fatalf("failover.reads = %d for a never-archived page", got)
+	}
+}
+
+func TestFailoverMissWhenReplicaHasNoCopy(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	reg := obs.NewRegistry()
+	p.leader.fac.Metrics = reg
+	urls := checkinN(t, p.leader.fac, 2, "fox")
+	// Deliberately no sync: the replica is empty.
+	p.leader.fac.Failover = p.repl
+	path := p.leader.fac.Store().ArchivePath(urls[0])
+	if err := os.WriteFile(path, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.leader.fac.Checkout(urls[0], ""); !errors.Is(err, rcs.ErrCorrupt) {
+		t.Fatalf("err = %v, want the original ErrCorrupt", err)
+	}
+	if got := reg.Counter("failover.misses").Value(); got != 1 {
+		t.Fatalf("failover.misses = %d", got)
+	}
+}
+
+func TestFailoverConcurrentReadsSingleRepair(t *testing.T) {
+	p := newReplicaPair(t, 4)
+	reg := obs.NewRegistry()
+	p.leader.fac.Metrics = reg
+	urls := checkinN(t, p.leader.fac, 1, "foc")
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.leader.fac.Failover = p.repl
+	path := p.leader.fac.Store().ArchivePath(urls[0])
+	if err := os.WriteFile(path, []byte("broken beyond parsing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.leader.fac.Checkout(urls[0], "")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent read %d: %v", i, err)
+		}
+	}
+	// Single-flight: the stampede performed one repair, not eight.
+	if got := reg.Counter("failover.repaired").Value(); got != 1 {
+		t.Fatalf("failover.repaired = %d under a read stampede", got)
+	}
+}

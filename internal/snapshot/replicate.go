@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"aide/internal/fsatomic"
 	"aide/internal/obs"
 	"aide/internal/webclient"
 )
@@ -150,7 +149,7 @@ func (f *Facility) Export(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return exportFiles(w, files)
+	return f.exportFiles(w, files)
 }
 
 // ExportShard writes one shard's files as a dump stream. A non-nil
@@ -170,10 +169,10 @@ func (f *Facility) ExportShard(w io.Writer, shard int, names map[string]bool) er
 		}
 		files = kept
 	}
-	return exportFiles(w, files)
+	return f.exportFiles(w, files)
 }
 
-func exportFiles(w io.Writer, files []StoredFile) error {
+func (f *Facility) exportFiles(w io.Writer, files []StoredFile) error {
 	enc := json.NewEncoder(w)
 	for _, sf := range files {
 		data, err := os.ReadFile(sf.Path)
@@ -183,11 +182,53 @@ func exportFiles(w io.Writer, files []StoredFile) error {
 			}
 			return err
 		}
+		if f.suspectContent(sf, data) {
+			f.metrics().Counter("replica.push.suspect").Inc()
+			continue
+		}
 		if err := enc.Encode(dumpFile{Kind: sf.Kind, Name: sf.Name, Data: string(data)}); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// suspectContent reports whether a file's bytes contradict its checksum
+// ledger entry — the signature of bit rot the scrubber has not repaired
+// yet. Suspect files are withheld from every export stream: the leader's
+// manifest diff would otherwise push rotted bytes over the replicas'
+// good copies within one sync cycle (the manifest hashes content, so rot
+// looks like a legitimate update), destroying the very copies the
+// scrubber repairs from. Withholding is cheap to be wrong about: a racing
+// legitimate write just lags one sync cycle, and the file keeps showing
+// in lag_files until the scrubber settles it.
+func (f *Facility) suspectContent(sf StoredFile, data []byte) bool {
+	if f.ledger == nil {
+		return false
+	}
+	e, ok := f.ledger.get(sf.Shard, sf.Kind, sf.Name)
+	if !ok {
+		return false
+	}
+	return e.Hash != contentHash(data)
+}
+
+// suspectMissing reports whether a file absent from the leader's disk
+// is missing by accident rather than deleted on purpose: every
+// legitimate removal path tombstones the ledger, so a surviving live
+// entry means the file was lost. Such names are withheld from the drop
+// half of the sync delta — the replica's copy is the scrubber's repair
+// source, not garbage to propagate the loss to.
+func (f *Facility) suspectMissing(kind, name string) bool {
+	if f.ledger == nil {
+		return false
+	}
+	shard, err := f.store.ShardOfFile(kind, name)
+	if err != nil {
+		return false
+	}
+	_, ok := f.ledger.get(shard, kind, name)
+	return ok
 }
 
 // Import installs an Export (or shard-delta) stream into this facility,
@@ -208,6 +249,7 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 			if err := f.store.Remove(df.Kind, df.Name); err != nil {
 				return files, err
 			}
+			f.dropChecksum(df.Kind, df.Name)
 			files++
 			continue
 		}
@@ -215,9 +257,10 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 		if err != nil {
 			return files, err
 		}
-		if err := fsatomic.WriteFile(path, []byte(df.Data), 0o644); err != nil {
+		if err := f.writeStored(path, []byte(df.Data)); err != nil {
 			return files, err
 		}
+		f.recordChecksum(df.Kind, df.Name, []byte(df.Data))
 		files++
 	}
 }
@@ -281,8 +324,10 @@ func (s *Server) handleShardManifest(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(m)
 }
 
-// handleShardExport streams one shard's dump; a names parameter
-// (comma-separated base names) restricts it to a delta.
+// handleShardExport streams one shard's dump. Repeated name parameters
+// restrict it to exactly those base names — the form failover repair
+// uses, safe for names containing commas (every archive does: "x,v").
+// The legacy names parameter (comma-separated) is still honoured.
 func (s *Server) handleShardExport(w http.ResponseWriter, r *http.Request) {
 	shard, err := s.shardParam(r)
 	if err != nil {
@@ -290,8 +335,16 @@ func (s *Server) handleShardExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var names map[string]bool
-	if v := r.URL.Query().Get("names"); v != "" {
+	if vs := r.URL.Query()["name"]; len(vs) > 0 {
 		names = make(map[string]bool)
+		for _, n := range vs {
+			names[n] = true
+		}
+	}
+	if v := r.URL.Query().Get("names"); v != "" {
+		if names == nil {
+			names = make(map[string]bool)
+		}
 		for _, n := range strings.Split(v, ",") {
 			names[n] = true
 		}
@@ -328,6 +381,8 @@ type ShardsStatus struct {
 	PerShard []ShardStat `json:"per_shard"`
 	// Replicas reports replication health when a replicator is wired.
 	Replicas []ReplicaStatus `json:"replicas,omitempty"`
+	// Scrub reports checksum-scrub progress when a scrubber is wired.
+	Scrub *ScrubStatus `json:"scrub,omitempty"`
 }
 
 // handleDebugShards reports per-shard archive counts/bytes and replica
@@ -341,6 +396,10 @@ func (s *Server) handleDebugShards(w http.ResponseWriter, r *http.Request) {
 	st := ShardsStatus{Shards: s.Facility.Shards(), PerShard: stats}
 	if s.Replicator != nil {
 		st.Replicas = s.Replicator.Status()
+	}
+	if s.Scrubber != nil {
+		ss := s.Scrubber.Status()
+		st.Scrub = &ss
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -19,11 +19,12 @@ package snapshot
 // replica's copy; PickReplica spreads read traffic across them.
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/breaker"
 	"aide/internal/obs"
 	"aide/internal/simclock"
 	"aide/internal/webclient"
@@ -136,9 +138,24 @@ type ReplicaStatus struct {
 	// LagFiles is the divergence observed at the start of the last sync
 	// (files pushed + dropped); 0 means the replica was already current.
 	LagFiles int `json:"lag_files"`
+	// Health is the replica's position in the health state machine:
+	// "healthy" (syncs flow), "probation" (a probe is deciding whether
+	// the replica is back), or "down" (skipped until the cooldown ends).
+	Health string `json:"health"`
+	// ConsecutiveFailures is the current run of failed wire calls; the
+	// replica goes down when it reaches the failure threshold.
+	ConsecutiveFailures int `json:"consecutive_failures"`
 }
 
 // Replicator pushes a leader facility's shards to a set of replicas.
+//
+// Each replica carries a health breaker (healthy → probation → down,
+// the closed/half-open/open machine from internal/breaker): a run of
+// failed wire calls marks the replica down, and a down replica costs
+// the sync loop nothing until its cooldown ends — then exactly one
+// probe request per cycle decides whether it is back, instead of
+// N shards × (manifest + POST) hammering a dead host. PickReplica and
+// anti-entropy route around non-healthy replicas.
 type Replicator struct {
 	// Facility is the leader's store.
 	Facility *Facility
@@ -149,10 +166,19 @@ type Replicator struct {
 	// Metrics receives the replica.* counters; the facility's registry
 	// when nil.
 	Metrics *obs.Registry
+	// HealthConfig tunes the per-replica health breakers; read when the
+	// first breaker is created. Zero fields get defaults (threshold 3,
+	// cooldown 1 minute, 1 probe).
+	HealthConfig breaker.Config
+	// RepairShards is how many shards each Run round's anti-entropy
+	// pass re-checks (0 = 1 shard; negative = every shard).
+	RepairShards int
 
 	mu     sync.Mutex
 	rng    *rand.Rand
 	status map[string]*ReplicaStatus
+	health *breaker.Set
+	probe  *webclient.Client // retry-free client for down-replica probes
 }
 
 // NewReplicator wires a replicator for the given replicas. seed drives
@@ -178,7 +204,82 @@ func NewReplicator(f *Facility, client *webclient.Client, replicas []string, see
 		r.Replicas = append(r.Replicas, addr)
 		r.status[addr] = &ReplicaStatus{Replica: addr}
 	}
+	if client != nil {
+		// The probe client shares the transport but carries no retry
+		// policy: a probe to a dead replica is one wire attempt, full
+		// stop. (A fresh struct rather than a copy — Client embeds a
+		// mutex-bearing retrier.)
+		r.probe = &webclient.Client{
+			Transport:    client.Transport,
+			MaxRedirects: client.MaxRedirects,
+			Timeout:      client.Timeout,
+			Clock:        client.Clock,
+			Metrics:      client.Metrics,
+			Breakers:     client.Breakers,
+			Stat:         client.Stat,
+			ReadFile:     client.ReadFile,
+		}
+	}
 	return r
+}
+
+// healthFor returns (creating on first use) addr's health breaker. The
+// breaker set is created lazily so HealthConfig assigned after
+// NewReplicator still applies.
+func (r *Replicator) healthFor(addr string) *breaker.Breaker {
+	r.mu.Lock()
+	if r.health == nil {
+		cfg := r.HealthConfig
+		if cfg.FailureThreshold == 0 {
+			cfg.FailureThreshold = 3
+		}
+		var clk simclock.Clock
+		if r.Facility != nil {
+			clk = r.Facility.clock
+		}
+		r.health = &breaker.Set{Config: cfg, Clock: clk, Metrics: r.metrics()}
+	}
+	h := r.health
+	r.mu.Unlock()
+	return h.For(addr)
+}
+
+// healthName maps a breaker state onto the replica health vocabulary.
+func healthName(s breaker.State) string {
+	switch s {
+	case breaker.Closed:
+		return "healthy"
+	case breaker.HalfOpen:
+		return "probation"
+	default:
+		return "down"
+	}
+}
+
+// healthyReplicas lists the replicas currently safe to contact.
+func (r *Replicator) healthyReplicas() []string {
+	healthy := make([]string, 0, len(r.Replicas))
+	for _, addr := range r.Replicas {
+		if r.healthFor(addr).State() == breaker.Closed {
+			healthy = append(healthy, addr)
+		}
+	}
+	return healthy
+}
+
+// wire runs one wire call against addr under its health breaker,
+// maintaining the Allow/Record pairing. Any response below 500 counts
+// as the replica being alive; transport errors and 5xx count against
+// it. A down replica fails fast without touching the network.
+func (r *Replicator) wire(addr string, fn func() (webclient.PageInfo, error)) (webclient.PageInfo, error) {
+	hb := r.healthFor(addr)
+	if !hb.Allow() {
+		r.metrics().Counter("replica.health.skipped").Inc()
+		return webclient.PageInfo{}, fmt.Errorf("snapshot: replica %s is down", addr)
+	}
+	info, err := fn()
+	hb.Record(err == nil && info.Status < 500)
+	return info, err
 }
 
 // metrics returns the replicator's registry (facility's, else obs.Default).
@@ -195,23 +296,32 @@ func (r *Replicator) metrics() *obs.Registry {
 // Status reports per-replica replication health, sorted by address.
 func (r *Replicator) Status() []ReplicaStatus {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]ReplicaStatus, 0, len(r.status))
 	for _, st := range r.status {
 		out = append(out, *st)
+	}
+	r.mu.Unlock()
+	for i := range out {
+		hb := r.healthFor(out[i].Replica)
+		hs := hb.Snapshot()
+		out[i].Health = healthName(hb.State())
+		out[i].ConsecutiveFailures = hs.ConsecutiveFailures
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
 	return out
 }
 
 // PickReplica chooses the replica to serve a read for a URL ("" when
-// none are configured): reads fan out across replicas by URL hash, so
-// the leader's disks see only check-ins and repair traffic.
+// none are configured or none are healthy): reads fan out across the
+// healthy replicas by URL hash, so the leader's disks see only
+// check-ins and repair traffic, and a down replica never receives
+// read traffic.
 func (r *Replicator) PickReplica(pageURL string) string {
-	if len(r.Replicas) == 0 {
+	healthy := r.healthyReplicas()
+	if len(healthy) == 0 {
 		return ""
 	}
-	return r.Replicas[int(fnv64(pageURL)%uint64(len(r.Replicas)))]
+	return healthy[int(fnv64(pageURL)%uint64(len(healthy)))]
 }
 
 // SyncAll pushes every shard's delta to every replica (replicas in
@@ -226,6 +336,7 @@ func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err erro
 		span.End()
 	}()
 	shards := r.Facility.Shards()
+	m := r.metrics()
 	var wg sync.WaitGroup
 	pushes := make([]int, len(r.Replicas))
 	deletes := make([]int, len(r.Replicas))
@@ -234,6 +345,27 @@ func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err erro
 		wg.Add(1)
 		go func(ri int, addr string) {
 			defer wg.Done()
+			hb := r.healthFor(addr)
+			if hb.State() != breaker.Closed {
+				if !hb.Ready() {
+					// Down within its cooldown: free skip — no wire
+					// traffic, no manifest builds, no disk reads. The
+					// status row keeps the error that tripped it.
+					m.Counter("replica.health.skipped").Inc()
+					return
+				}
+				// Cooldown over: spend exactly one probe request (no
+				// retries) to decide whether the replica is back. A
+				// failed probe re-opens the breaker for a fresh
+				// cooldown; a successful one closes it and the full
+				// sync below runs.
+				m.Counter("replica.health.probes").Inc()
+				if perr := r.probeReplica(ctx, addr); perr != nil {
+					errs[ri] = perr
+					r.note(addr, 0, 0, 0, perr)
+					return
+				}
+			}
 			lag := 0
 			for shard := 0; shard < shards; shard++ {
 				p, d, lerr := r.syncShard(ctx, addr, shard)
@@ -249,6 +381,7 @@ func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err erro
 		}(ri, addr)
 	}
 	wg.Wait()
+	r.updateHealthGauges()
 	for ri := range r.Replicas {
 		pushed += pushes[ri]
 		deleted += deletes[ri]
@@ -257,6 +390,45 @@ func (r *Replicator) SyncAll(ctx context.Context) (pushed, deleted int, err erro
 		}
 	}
 	return pushed, deleted, err
+}
+
+// probeReplica issues the single recovery probe for a replica past its
+// cooldown: one manifest GET through the retry-free probe client,
+// under the health breaker's half-open admission.
+func (r *Replicator) probeReplica(ctx context.Context, addr string) error {
+	c := r.probe
+	if c == nil {
+		c = r.Client
+	}
+	info, err := r.wire(addr, func() (webclient.PageInfo, error) {
+		return c.Get(ctx, addr+"/shard/manifest?shard=0")
+	})
+	if err != nil {
+		return fmt.Errorf("snapshot: probing replica %s: %w", addr, err)
+	}
+	if kind := webclient.Classify(info.Status, nil); kind != webclient.OK {
+		return fmt.Errorf("snapshot: probing replica %s: HTTP %d", addr, info.Status)
+	}
+	return nil
+}
+
+// updateHealthGauges publishes the replica population per health state.
+func (r *Replicator) updateHealthGauges() {
+	m := r.metrics()
+	var healthy, probation, down int64
+	for _, addr := range r.Replicas {
+		switch r.healthFor(addr).State() {
+		case breaker.Closed:
+			healthy++
+		case breaker.HalfOpen:
+			probation++
+		default:
+			down++
+		}
+	}
+	m.Gauge("replica.health.healthy").Set(healthy)
+	m.Gauge("replica.health.probation").Set(probation)
+	m.Gauge("replica.health.down").Set(down)
 }
 
 // AntiEntropy repairs up to maxShards randomly chosen shards (seeded
@@ -289,6 +461,11 @@ func (r *Replicator) AntiEntropy(ctx context.Context, maxShards int) (repaired i
 			return repaired, lerr
 		}
 		for _, addr := range r.Replicas {
+			if r.healthFor(addr).State() != breaker.Closed {
+				// Not healthy: SyncAll's probe decides when it is back;
+				// anti-entropy never pays wire calls for it.
+				continue
+			}
 			remote, rerr := r.fetchManifest(ctx, addr, shard)
 			if rerr != nil {
 				err = rerr
@@ -313,17 +490,21 @@ func (r *Replicator) AntiEntropy(ctx context.Context, maxShards int) (repaired i
 }
 
 // Run keeps the replicas converged until ctx ends: a full delta sync
-// every interval, with an anti-entropy sample each round. Errors are
-// recorded in Status and retried next round.
+// every interval, with an anti-entropy sample of RepairShards shards
+// each round. Errors are recorded in Status and retried next round.
 func (r *Replicator) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Minute
+	}
+	repair := r.RepairShards
+	if repair == 0 {
+		repair = 1
 	}
 	for {
 		if _, _, err := r.SyncAll(ctx); err != nil {
 			obs.Logger().Warn("replica sync", "err", err)
 		}
-		if _, err := r.AntiEntropy(ctx, 1); err != nil {
+		if _, err := r.AntiEntropy(ctx, repair); err != nil {
 			obs.Logger().Warn("replica anti-entropy", "err", err)
 		}
 		if err := simclock.Sleep(ctx, r.Facility.clock, interval); err != nil {
@@ -357,26 +538,52 @@ func (r *Replicator) syncShard(ctx context.Context, addr string, shard int) (pus
 		return 0, 0, err
 	}
 	push, drop := local.Diff(remote)
+	// Withhold drops for files the ledger still records as live: the
+	// leader lost them (no deletion path ran, or it would have
+	// tombstoned the entry), and the replica holds the repair source.
+	kept := drop[:0]
+	for _, n := range drop {
+		if r.Facility.suspectMissing(remote.Files[n].Kind, n) {
+			m.Counter("replica.push.suspect").Inc()
+			continue
+		}
+		kept = append(kept, n)
+	}
+	drop = kept
 	if len(push) == 0 && len(drop) == 0 {
 		return 0, 0, nil
 	}
-	var buf bytes.Buffer
-	if len(push) > 0 {
-		names := make(map[string]bool, len(push))
-		for _, n := range push {
-			names[n] = true
-		}
-		if err := r.Facility.ExportShard(&buf, shard, names); err != nil {
-			return 0, 0, err
-		}
+	names := make(map[string]bool, len(push))
+	for _, n := range push {
+		names[n] = true
 	}
-	enc := json.NewEncoder(&buf)
-	for _, n := range drop {
-		if err := enc.Encode(dumpFile{Kind: remote.Files[n].Kind, Name: n, Delete: true}); err != nil {
-			return 0, 0, err
-		}
+	// Stream the delta straight from disk to the socket: each wire
+	// attempt gets a fresh pipe whose write side runs the export, so a
+	// multi-megabyte shard push never materializes in memory and
+	// retries replay the body from the start. The transport closes the
+	// pipe's read end on failure, which unblocks and ends the exporter.
+	getBody := func() (io.Reader, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			var werr error
+			if len(push) > 0 {
+				werr = r.Facility.ExportShard(pw, shard, names)
+			}
+			if werr == nil {
+				enc := json.NewEncoder(pw)
+				for _, n := range drop {
+					if werr = enc.Encode(dumpFile{Kind: remote.Files[n].Kind, Name: n, Delete: true}); werr != nil {
+						break
+					}
+				}
+			}
+			pw.CloseWithError(werr)
+		}()
+		return pr, nil
 	}
-	info, err := r.Client.PostBody(ctx, addr+"/shard/import", exportContentType, buf.String())
+	info, err := r.wire(addr, func() (webclient.PageInfo, error) {
+		return r.Client.PostReader(ctx, addr+"/shard/import", exportContentType, getBody)
+	})
 	if err != nil {
 		m.Counter("replica.sync.errors").Inc()
 		return 0, 0, fmt.Errorf("snapshot: pushing shard %d to %s: %w", shard, addr, err)
@@ -392,7 +599,9 @@ func (r *Replicator) syncShard(ctx context.Context, addr string, shard int) (pus
 
 // fetchManifest retrieves a replica's manifest for one shard.
 func (r *Replicator) fetchManifest(ctx context.Context, addr string, shard int) (ShardManifest, error) {
-	info, err := r.Client.Get(ctx, fmt.Sprintf("%s/shard/manifest?shard=%d", addr, shard))
+	info, err := r.wire(addr, func() (webclient.PageInfo, error) {
+		return r.Client.Get(ctx, fmt.Sprintf("%s/shard/manifest?shard=%d", addr, shard))
+	})
 	if err != nil {
 		return ShardManifest{}, fmt.Errorf("snapshot: manifest of shard %d from %s: %w", shard, addr, err)
 	}
@@ -407,6 +616,57 @@ func (r *Replicator) fetchManifest(ctx context.Context, addr string, shard int) 
 		m.Files = map[string]FileState{}
 	}
 	return m, nil
+}
+
+// FetchFile retrieves one file's raw content from a healthy replica —
+// the repair source for failover reads and the checksum scrubber. The
+// starting replica is chosen by name hash (spreading repair load), and
+// the remaining healthy replicas are tried in turn; a replica that
+// answers but does not hold the file is an error for that replica, not
+// a success.
+func (r *Replicator) FetchFile(ctx context.Context, kind, name string, shard int) ([]byte, error) {
+	healthy := r.healthyReplicas()
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("snapshot: no healthy replica to fetch %s from", name)
+	}
+	start := int(fnv64(name) % uint64(len(healthy)))
+	var lastErr error
+	for i := 0; i < len(healthy); i++ {
+		addr := healthy[(start+i)%len(healthy)]
+		data, err := r.fetchFileFrom(ctx, addr, kind, name, shard)
+		if err == nil {
+			r.metrics().Counter("replica.fetch.files").Inc()
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// fetchFileFrom pulls one named file out of a replica's shard export.
+func (r *Replicator) fetchFileFrom(ctx context.Context, addr, kind, name string, shard int) ([]byte, error) {
+	info, err := r.wire(addr, func() (webclient.PageInfo, error) {
+		return r.Client.Get(ctx, fmt.Sprintf("%s/shard/export?shard=%d&name=%s", addr, shard, url.QueryEscape(name)))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: fetching %s from %s: %w", name, addr, err)
+	}
+	if kindOf := webclient.Classify(info.Status, nil); kindOf != webclient.OK {
+		return nil, fmt.Errorf("snapshot: fetching %s from %s: HTTP %d", name, addr, info.Status)
+	}
+	dec := json.NewDecoder(strings.NewReader(info.Body))
+	for {
+		var df dumpFile
+		if derr := dec.Decode(&df); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("snapshot: corrupt export from %s: %v", addr, derr)
+		}
+		if df.Name == name && df.Kind == kind && !df.Delete {
+			return []byte(df.Data), nil
+		}
+	}
+	return nil, fmt.Errorf("snapshot: replica %s does not hold %s %s", addr, kind, name)
 }
 
 // note updates a replica's status row after a sync attempt.

@@ -158,9 +158,14 @@ func TestSyncPropagatesLeaderDeletes(t *testing.T) {
 	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.leader.fac.Store().Remove(KindArchive, archiveBase(doomed)+archiveSuffix); err != nil {
+	// A deliberate deletion removes the file AND tombstones its ledger
+	// entry; without the tombstone the sync treats the file as lost and
+	// withholds the drop (see TestSyncWithholdsDropsForLostFiles).
+	name := archiveBase(doomed) + archiveSuffix
+	if err := p.leader.fac.Store().Remove(KindArchive, name); err != nil {
 		t.Fatal(err)
 	}
+	p.leader.fac.dropChecksum(KindArchive, name)
 	_, deleted, err := p.repl.SyncAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +178,48 @@ func TestSyncPropagatesLeaderDeletes(t *testing.T) {
 	if len(urls) != 1 || urls[0] != "http://h/kept" {
 		t.Fatalf("replica urls after delete = %v", urls)
 	}
+}
+
+// TestSyncWithholdsDropsForLostFiles: a file that vanishes from the
+// leader's disk with its ledger entry still live was lost, not deleted
+// — the sync must NOT propagate the disappearance to the replica, whose
+// copy is what the scrubber will restore the leader from.
+func TestSyncWithholdsDropsForLostFiles(t *testing.T) {
+	p := newReplicaPair(t, 2)
+	const lost = "http://h/lost"
+	if _, err := p.leader.fac.RememberContent(context.Background(), "", lost, "precious\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.repl.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	name := archiveBase(lost) + archiveSuffix
+	if err := p.leader.fac.Store().Remove(KindArchive, name); err != nil {
+		t.Fatal(err)
+	}
+	if _, deleted, err := p.repl.SyncAll(context.Background()); err != nil || deleted != 0 {
+		t.Fatalf("sync after loss: deleted=%d err=%v, want the drop withheld", deleted, err)
+	}
+	if text, err := p.replica.Checkout(lost, ""); err != nil || text != "precious\n" {
+		t.Fatalf("replica copy after leader loss = (%q, %v)", text, err)
+	}
+	// The scrubber then restores the leader from that surviving copy.
+	p.leader.fac.Failover = p.repl
+	var totals ScrubReport
+	for shard := 0; shard < p.leader.fac.Shards(); shard++ {
+		rep, err := p.leader.fac.ScrubShard(context.Background(), shard, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals.add(rep)
+	}
+	if totals.Missing != 1 || totals.Repaired != 1 {
+		t.Fatalf("scrub totals = %+v, want the lost file restored", totals)
+	}
+	if text, err := p.leader.fac.Checkout(lost, ""); err != nil || text != "precious\n" {
+		t.Fatalf("leader read after restore = (%q, %v)", text, err)
+	}
+	p.assertConverged(t)
 }
 
 func TestPickReplicaSpreadsReads(t *testing.T) {

@@ -46,6 +46,9 @@ type Server struct {
 	// Replicator, when non-nil, is this server's replica fan-out; its
 	// per-replica status shows up in /debug/shards.
 	Replicator *Replicator
+	// Scrubber, when non-nil, is the background checksum scrubber; its
+	// pass totals show up in /debug/shards.
+	Scrubber *Scrubber
 }
 
 // reqCtx derives the working context for one request: the request's own

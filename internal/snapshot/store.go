@@ -102,6 +102,10 @@ type Store interface {
 	// name belongs, so imported and replicated files land in the right
 	// shard without the store needing the original URL.
 	Place(kind, name string) (string, error)
+	// ShardOfFile maps a file (by kind and base name) to the shard that
+	// owns it — the name-keyed counterpart of ShardOf, for repair paths
+	// that know a damaged file's name but not its URL.
+	ShardOfFile(kind, name string) (int, error)
 	// Remove deletes the file of the given kind and name (nil if absent).
 	Remove(kind, name string) error
 	// LockKey returns the per-URL mutual-exclusion key for a page,
@@ -417,6 +421,13 @@ func (s *FlatStore) Place(kind, name string) (string, error) {
 	return filepath.Join(s.repoDir(), name), nil
 }
 
+func (s *FlatStore) ShardOfFile(kind, name string) (int, error) {
+	if err := checkPlaceName(kind, name); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
 func (s *FlatStore) Remove(kind, name string) error {
 	p, err := s.Place(kind, name)
 	if err != nil {
@@ -589,6 +600,17 @@ func (s *ShardedStore) Place(kind, name string) (string, error) {
 		return filepath.Join(s.shardDir(shard), "users", name), nil
 	}
 	return filepath.Join(s.repoDir(shard), name), nil
+}
+
+func (s *ShardedStore) ShardOfFile(kind, name string) (int, error) {
+	if err := checkPlaceName(kind, name); err != nil {
+		return 0, err
+	}
+	base, ok := baseOf(kind, name)
+	if !ok {
+		return 0, fmt.Errorf("snapshot: %s file %q lacks its suffix", kind, name)
+	}
+	return s.ring.locate(base), nil
 }
 
 func (s *ShardedStore) Remove(kind, name string) error {

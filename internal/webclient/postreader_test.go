@@ -1,0 +1,83 @@
+package webclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// bodyTransport consumes the streaming body like a real wire transport
+// and answers from a script, recording what each attempt saw.
+type bodyTransport struct {
+	script []func() (*Response, error)
+	bodies []string
+}
+
+func (b *bodyTransport) RoundTrip(_ context.Context, req *Request) (*Response, error) {
+	body := req.Body
+	if req.GetBody != nil {
+		r, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		body = string(data)
+	}
+	b.bodies = append(b.bodies, body)
+	i := len(b.bodies) - 1
+	if i >= len(b.script) {
+		i = len(b.script) - 1
+	}
+	return b.script[i]()
+}
+
+func TestPostReaderReplaysBodyAcrossRetries(t *testing.T) {
+	bt := &bodyTransport{script: []func() (*Response, error){serverErr, ok}}
+	c, _, _ := retryClient()
+	c.Transport = bt
+	payload := "shard export payload"
+	getBody := func() (io.Reader, error) { return strings.NewReader(payload), nil }
+	info, err := c.PostReader(context.Background(), "http://h/import", "application/x-ndjson", getBody)
+	if err != nil || info.Status != 200 {
+		t.Fatalf("info = %+v, err = %v", info, err)
+	}
+	if len(bt.bodies) != 2 {
+		t.Fatalf("attempts = %d, want 2 (503 then 200)", len(bt.bodies))
+	}
+	for i, b := range bt.bodies {
+		if b != payload {
+			t.Errorf("attempt %d saw body %q, want full replay %q", i, b, payload)
+		}
+	}
+}
+
+func TestPostReaderStreamsOverHTTPTransport(t *testing.T) {
+	var got string
+	var contentType string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		got = string(data)
+		contentType = r.Header.Get("Content-Type")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	c := New(&HTTPTransport{})
+	payload := strings.Repeat("0123456789abcdef", 4096) // 64 KiB, no string buffering required
+	info, err := c.PostReader(context.Background(), srv.URL+"/shard/import", "application/x-ndjson",
+		func() (io.Reader, error) { return strings.NewReader(payload), nil })
+	if err != nil || info.Status != 200 {
+		t.Fatalf("info = %+v, err = %v", info, err)
+	}
+	if got != payload {
+		t.Errorf("server received %d bytes, want %d intact", len(got), len(payload))
+	}
+	if contentType != "application/x-ndjson" {
+		t.Errorf("content type = %q", contentType)
+	}
+}

@@ -44,6 +44,14 @@ type Request struct {
 	IfModifiedSince time.Time
 	// Body is the request entity for POST (a URL-encoded form).
 	Body string
+	// GetBody, when non-nil, supplies the request entity as a fresh
+	// reader per wire attempt instead of Body — the streaming path for
+	// large uploads (shard exports) that must not be buffered into a
+	// string. It is called once per attempt, so retries and redirect
+	// hops replay the body from the start; implementations must return
+	// an independent reader each call. Body is ignored when GetBody is
+	// set.
+	GetBody func() (io.Reader, error)
 	// ContentType describes Body; defaults to
 	// application/x-www-form-urlencoded for POSTs with a body.
 	ContentType string
@@ -311,6 +319,27 @@ func (c *Client) PostBody(ctx context.Context, url, contentType, body string) (P
 	return info, nil
 }
 
+// PostReader submits a request entity streamed from a reader. getBody
+// is invoked once per wire attempt (retries and redirect hops replay
+// the body), so it must return a fresh reader positioned at the start
+// each time. Unlike PostBody the entity is never buffered into a
+// string by this layer — multi-megabyte shard pushes flow straight
+// from the producer to the socket.
+func (c *Client) PostReader(ctx context.Context, url, contentType string, getBody func() (io.Reader, error)) (PageInfo, error) {
+	info, err := c.do(ctx, Request{
+		Method:      "POST",
+		URL:         url,
+		GetBody:     getBody,
+		ContentType: contentType,
+	})
+	if err != nil {
+		return info, err
+	}
+	info.HasBody = true
+	info.Checksum = ChecksumBody(info.Body)
+	return info, nil
+}
+
 // Check implements w3new's strategy: request the Last-Modified date if
 // available; otherwise retrieve and checksum the whole page (§2.1).
 func (c *Client) Check(ctx context.Context, url string) (PageInfo, error) {
@@ -483,7 +512,13 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 		}
 	}
 	var bodyReader io.Reader
-	if req.Body != "" {
+	if req.GetBody != nil {
+		var gerr error
+		bodyReader, gerr = req.GetBody()
+		if gerr != nil {
+			return nil, gerr
+		}
+	} else if req.Body != "" {
 		bodyReader = strings.NewReader(req.Body)
 	}
 	hreq, err := http.NewRequestWithContext(ctx, req.Method, req.URL, bodyReader)
@@ -501,7 +536,7 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 	if !req.IfModifiedSince.IsZero() {
 		hreq.Header.Set("If-Modified-Since", req.IfModifiedSince.UTC().Format(http.TimeFormat))
 	}
-	if req.Body != "" {
+	if req.Body != "" || req.GetBody != nil {
 		ct := req.ContentType
 		if ct == "" {
 			ct = "application/x-www-form-urlencoded"

@@ -473,6 +473,23 @@ type wireFaults struct {
 // arrives short (forcing a checksum change or parse error) and a
 // dribbled body spends the chunked delays on the web's clock.
 func (w *Web) RoundTrip(ctx context.Context, req *webclient.Request) (*webclient.Response, error) {
+	if req.GetBody != nil {
+		// Materialize streaming bodies into a private copy of the
+		// request — the simulation consumes Body as a string, and the
+		// caller's request must stay replayable for retries.
+		r, gerr := req.GetBody()
+		if gerr != nil {
+			return nil, gerr
+		}
+		data, gerr := io.ReadAll(r)
+		if gerr != nil {
+			return nil, gerr
+		}
+		matReq := *req
+		matReq.Body = string(data)
+		matReq.GetBody = nil
+		req = &matReq
+	}
 	resp, wf, err := w.roundTrip(ctx, req)
 	if err != nil {
 		return nil, err
