@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestURLDiffPairs(t *testing.T) {
+	p := page{URL: "http://h/p", Revs: []string{"1.1", "1.2", "1.3"}}
+	rng := rand.New(rand.NewSource(1))
+	// span: the whole history, oldest vs newest.
+	u := requestURL("http://t", "diff", "span", p, rng)
+	if !strings.Contains(u, "r1=1.1") || !strings.Contains(u, "r2=1.3") {
+		t.Errorf("span pair = %s", u)
+	}
+	// latest: the adjacent pair the server pre-warms on check-in.
+	u = requestURL("http://t", "diff", "latest", p, rng)
+	if !strings.Contains(u, "r1=1.2") || !strings.Contains(u, "r2=1.3") {
+		t.Errorf("latest pair = %s", u)
+	}
+	// A single-revision page degrades to comparing the revision with
+	// itself rather than indexing out of bounds.
+	one := page{URL: "http://h/q", Revs: []string{"1.1"}}
+	u = requestURL("http://t", "diff", "latest", one, rng)
+	if !strings.Contains(u, "r1=1.1") || !strings.Contains(u, "r2=1.1") {
+		t.Errorf("single-rev latest pair = %s", u)
+	}
+	// co picks an existing revision.
+	u = requestURL("http://t", "co", "span", p, rng)
+	if !strings.Contains(u, "/co?url=") || !strings.Contains(u, "&rev=1.") {
+		t.Errorf("co url = %s", u)
+	}
+}
+
+// TestDiscoverPagesFromCorpus checks -target discovery against a fake
+// /debug/corpus, including skipping pages with no revisions and the
+// error for servers that predate the endpoint.
+func TestDiscoverPagesFromCorpus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/corpus" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `{"pages":[
+			{"url":"http://h/a","revs":["1.1","1.2"]},
+			{"url":"http://h/empty","revs":[]},
+			{"url":"http://h/b","revs":["1.1"]}
+		]}`)
+	}))
+	defer ts.Close()
+
+	pages, err := discoverPages(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 || pages[0].URL != "http://h/a" || pages[1].URL != "http://h/b" {
+		t.Fatalf("pages = %+v", pages)
+	}
+	if len(pages[0].Revs) != 2 || pages[0].Revs[1] != "1.2" {
+		t.Errorf("revs = %+v", pages[0].Revs)
+	}
+
+	old := httptest.NewServer(http.NotFoundHandler())
+	defer old.Close()
+	if _, err := discoverPages(old.URL, nil); err == nil || !strings.Contains(err.Error(), "predates") {
+		t.Errorf("pre-corpus server error = %v", err)
+	}
+}
+
+// TestScrapeDiffCache checks the /metrics parse against the exact line
+// format the obs registry emits (counters gain a _total suffix, dots
+// become underscores).
+func TestScrapeDiffCache(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `# TYPE snapshot_diffcache_hits_total counter
+snapshot_diffcache_hits_total 42
+snapshot_diffcache_misses_total 7
+diffcache_prewarm_computed_total 13
+unrelated_metric 99
+`)
+	}))
+	defer ts.Close()
+
+	c, err := scrapeDiffCache(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits != 42 || c.Misses != 7 || c.PrewarmComputed != 13 {
+		t.Errorf("counters = %+v", c)
+	}
+}

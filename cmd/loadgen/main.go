@@ -29,6 +29,17 @@
 //	                        HTTP and fail unless the resulting trace
 //	                        chains at least N parent hops from the
 //	                        replica's server span back to the client root
+//	-min-hit-rate R         fail unless the diff-cache hit rate over the
+//	                        measured window (scraped from /metrics before
+//	                        and after) reaches R — the warm-pass guard
+//	-require-prewarm        fail unless the server pre-warmed at least one
+//	                        diff during the run
+//
+// -warmup D drives the same mix for D before the measured window, so a
+// warm pass measures the cache steady state rather than cold misses.
+// -diff-pair picks which revisions /diff compares: "latest" (previous vs
+// newest — the pair the server pre-warms on check-in) or "span" (oldest
+// vs newest, the historical default).
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,8 +76,16 @@ func main() {
 		maxRatio  = flag.Float64("max-ratio", 1.5, "max allowed geomean p99 slowdown (new/old) in gate mode")
 		traceHops = flag.Int("require-trace-hops", 0, "self-host: fail unless a replica sync traces at least this many cross-process parent hops")
 		reqHist   = flag.Bool("require-histograms", false, "fail unless /metrics shows nonzero duration histograms for every mix endpoint")
+		warmup    = flag.Duration("warmup", 0, "drive the mix for this long before the measured window (cache warm-up)")
+		diffPair  = flag.String("diff-pair", "span", "revisions /diff compares: latest (previous vs newest, the pre-warmed pair) or span (oldest vs newest)")
+		minHit    = flag.Float64("min-hit-rate", -1, "fail unless the measured window's diff-cache hit rate reaches this fraction (-1 disables)")
+		reqWarm   = flag.Bool("require-prewarm", false, "fail unless the server pre-warmed at least one diff")
+		profPath  = flag.String("cpuprofile", "", "write a CPU profile of the measured window here")
 	)
 	flag.Parse()
+	if *diffPair != "latest" && *diffPair != "span" {
+		fatal(fmt.Errorf("bad -diff-pair %q (want latest or span)", *diffPair))
+	}
 
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -93,8 +113,64 @@ func main() {
 		fatal(fmt.Errorf("no archived pages to load against at %s", base))
 	}
 
-	report := runLoad(base, pages, mix, *conc, *dur, *seed)
+	if *warmup > 0 {
+		// Same mix, different seed stream, samples discarded: the point
+		// is to leave the cache and the connection pool warm.
+		runLoad(base, pages, mix, *diffPair, *conc, *warmup, *seed+1_000_003)
+	}
+
+	before, scrapeErr := scrapeDiffCache(base)
+	if *profPath != "" {
+		pf, err := os.Create(*profPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+	}
+	report := runLoad(base, pages, mix, *diffPair, *conc, *dur, *seed)
+	if *profPath != "" {
+		pprof.StopCPUProfile()
+	}
+	report.DiffPair = *diffPair
 	failures := 0
+
+	if scrapeErr == nil {
+		var after diffCacheCounters
+		after, scrapeErr = scrapeDiffCache(base)
+		if scrapeErr == nil {
+			hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+			if hits+misses > 0 {
+				rate := hits / (hits + misses)
+				report.DiffCacheHitRate = &rate
+			}
+			report.PrewarmComputed = int64(after.PrewarmComputed)
+		}
+	}
+	if *minHit >= 0 {
+		switch {
+		case scrapeErr != nil:
+			fmt.Fprintf(os.Stderr, "loadgen: -min-hit-rate: scraping /metrics: %v\n", scrapeErr)
+			failures++
+		case report.DiffCacheHitRate == nil:
+			fmt.Fprintln(os.Stderr, "loadgen: -min-hit-rate: no diff-cache traffic in the measured window")
+			failures++
+		case *report.DiffCacheHitRate < *minHit:
+			fmt.Fprintf(os.Stderr, "loadgen: diff-cache hit rate %.3f below required %.3f\n",
+				*report.DiffCacheHitRate, *minHit)
+			failures++
+		}
+	}
+	if *reqWarm {
+		if scrapeErr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: -require-prewarm: scraping /metrics: %v\n", scrapeErr)
+			failures++
+		} else if report.PrewarmComputed == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: server pre-warmed no diffs (diffcache_prewarm_computed_total is 0)")
+			failures++
+		}
+	}
 
 	if *traceHops > 0 {
 		hops, err := traceCheck(h, *seed)
@@ -162,6 +238,16 @@ type Report struct {
 	RPS         float64                  `json:"rps"`
 	Endpoints   map[string]EndpointStats `json:"endpoints"`
 	TraceHops   int                      `json:"trace_hops,omitempty"`
+	// DiffPair records which revisions the /diff requests compared
+	// ("latest" or "span") so a baseline is only compared like-for-like.
+	DiffPair string `json:"diff_pair,omitempty"`
+	// DiffCacheHitRate is hits/(hits+misses) on the server's rendered-diff
+	// cache over the measured window, scraped from /metrics (absent when
+	// the window saw no diff traffic or the scrape failed).
+	DiffCacheHitRate *float64 `json:"diff_cache_hit_rate,omitempty"`
+	// PrewarmComputed is the server's lifetime count of pre-warmed diffs
+	// at the end of the run.
+	PrewarmComputed int64 `json:"prewarm_computed,omitempty"`
 }
 
 // EndpointStats summarises one endpoint's latency distribution.
@@ -234,8 +320,10 @@ type page struct {
 	Revs []string
 }
 
-// requestURL renders one workload request against base.
-func requestURL(base, endpoint string, p page, rng *rand.Rand) string {
+// requestURL renders one workload request against base. diffPair picks
+// the /diff revisions: "latest" compares the newest pair — the one the
+// server pre-warms after a check-in — "span" the oldest vs the newest.
+func requestURL(base, endpoint, diffPair string, p page, rng *rand.Rand) string {
 	esc := url.QueryEscape(p.URL)
 	switch endpoint {
 	case "history":
@@ -243,8 +331,12 @@ func requestURL(base, endpoint string, p page, rng *rand.Rand) string {
 	case "co":
 		rev := p.Revs[rng.Intn(len(p.Revs))]
 		return base + "/co?url=" + esc + "&rev=" + rev
-	default: // diff between the oldest and newest archived revisions
-		return base + "/diff?url=" + esc + "&r1=" + p.Revs[0] + "&r2=" + p.Revs[len(p.Revs)-1]
+	default:
+		r1 := p.Revs[0]
+		if diffPair == "latest" && len(p.Revs) > 1 {
+			r1 = p.Revs[len(p.Revs)-2]
+		}
+		return base + "/diff?url=" + esc + "&r1=" + r1 + "&r2=" + p.Revs[len(p.Revs)-1]
 	}
 }
 
@@ -257,11 +349,15 @@ type sample struct {
 
 // runLoad drives the closed loop: conc workers, each with its own seeded
 // RNG, issuing requests back-to-back until the deadline.
-func runLoad(base string, pages []page, mix []weighted, conc int, dur time.Duration, seed int64) Report {
+func runLoad(base string, pages []page, mix []weighted, diffPair string, conc int, dur time.Duration, seed int64) Report {
 	if conc < 1 {
 		conc = 1
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	transport := &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc * 2,
+	}
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
 	var mu sync.Mutex
 	var samples []sample
 	start := time.Now()
@@ -275,7 +371,7 @@ func runLoad(base string, pages []page, mix []weighted, conc int, dur time.Durat
 			var local []sample
 			for time.Now().Before(deadline) {
 				endpoint := pickEndpoint(mix, rng)
-				u := requestURL(base, endpoint, pages[rng.Intn(len(pages))], rng)
+				u := requestURL(base, endpoint, diffPair, pages[rng.Intn(len(pages))], rng)
 				t0 := time.Now()
 				resp, err := client.Get(u)
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
@@ -393,6 +489,47 @@ func gateReport(cur Report, baselinePath string, maxRatio float64) (string, erro
 		return sb.String(), fmt.Errorf("geomean p99 slowdown x%.3f exceeds limit x%.3f", geomean, maxRatio)
 	}
 	return sb.String(), nil
+}
+
+// diffCacheCounters is the /metrics view of the server's rendered-diff
+// cache, scraped before and after the measured window so the reported
+// hit rate covers only this run's traffic.
+type diffCacheCounters struct {
+	Hits, Misses    float64
+	PrewarmComputed float64
+}
+
+// scrapeDiffCache reads the diff-cache counters from /metrics.
+func scrapeDiffCache(base string) (diffCacheCounters, error) {
+	var c diffCacheCounters
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, perr := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if perr != nil {
+			continue
+		}
+		switch name {
+		case "snapshot_diffcache_hits_total":
+			c.Hits = v
+		case "snapshot_diffcache_misses_total":
+			c.Misses = v
+		case "diffcache_prewarm_computed_total":
+			c.PrewarmComputed = v
+		}
+	}
+	return c, nil
 }
 
 // checkHistograms fetches /metrics and verifies every mix endpoint has a

@@ -129,7 +129,7 @@ func TestSelfHostSmoke(t *testing.T) {
 		t.Fatalf("pages = %+v", h.Pages)
 	}
 	mix, _ := parseMix("diff=1,history=1,co=1")
-	report := runLoad(h.BaseURL, h.Pages, mix, 2, 300*time.Millisecond, 7)
+	report := runLoad(h.BaseURL, h.Pages, mix, "latest", 2, 300*time.Millisecond, 7)
 	if report.Requests == 0 || report.Errors != 0 {
 		t.Fatalf("report = %+v", report)
 	}

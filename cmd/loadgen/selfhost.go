@@ -83,6 +83,7 @@ func selfHost(urls, revs, shards int, seed int64, withReplica bool) (*harness, e
 		return nil, err
 	}
 	h.fac = fac
+	fac.EnablePrewarm(snapshot.DefaultPrewarmWorkers)
 
 	// Archive revs versions of every page. Each revision body is seeded
 	// filler, distinct per (page, revision), so diffs have real work.
@@ -117,6 +118,10 @@ func selfHost(urls, revs, shards int, seed int64, withReplica bool) (*harness, e
 		h.Pages = append(h.Pages, p)
 	}
 
+	// Seeding scheduled a pre-warm per check-in; settle before the
+	// measured window so a warm run starts with the hot pairs cached.
+	fac.WaitPrewarm()
+
 	srv := snapshot.NewServer(fac)
 	srv.KeepaliveInterval = 0
 	if h.BaseURL, err = h.serve(srv.Handler()); err != nil {
@@ -145,25 +150,38 @@ func selfHost(urls, revs, shards int, seed int64, withReplica bool) (*harness, e
 }
 
 // discoverPages returns the workload's page set: the harness's seeded
-// pages when self-hosting, otherwise the target's archived URLs with
-// their revision logs scraped via /rlog-free endpoints (kept simple: the
-// external-target path requires the operator to have archives already —
-// loadgen reads /debug/metrics only to fail early when the target is
-// unreachable).
+// pages when self-hosting, otherwise the live target's corpus from its
+// /debug/corpus listing (every archived URL with its revision numbers,
+// oldest first — exactly the material requestURL needs).
 func discoverPages(base string, h *harness) ([]page, error) {
 	if h != nil {
 		return h.Pages, nil
 	}
-	resp, err := http.Get(base + "/debug/metrics")
+	resp, err := http.Get(base + "/debug/corpus")
 	if err != nil {
 		return nil, fmt.Errorf("target unreachable: %v", err)
 	}
-	resp.Body.Close()
-	// External targets: drive the history-discoverable pages the caller
-	// archived. Without a listing endpoint we load the index page set via
-	// /debug/shards population and fall back to an error telling the
-	// operator to self-host.
-	return nil, fmt.Errorf("external -target mode needs archived pages; run without -target to self-host a seeded instance")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/debug/corpus: HTTP %d (server predates the corpus listing?)", base, resp.StatusCode)
+	}
+	var listing struct {
+		Pages []struct {
+			URL  string   `json:"url"`
+			Revs []string `json:"revs"`
+		} `json:"pages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return nil, fmt.Errorf("parsing /debug/corpus: %v", err)
+	}
+	var pages []page
+	for _, p := range listing.Pages {
+		if len(p.Revs) == 0 {
+			continue
+		}
+		pages = append(pages, page{URL: p.URL, Revs: p.Revs})
+	}
+	return pages, nil
 }
 
 // traceCheck runs one leader → replica sync under a distinctly-seeded

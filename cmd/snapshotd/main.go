@@ -11,7 +11,7 @@
 //	          [-shards 1] [-replicas addr,addr] [-replica-sync 1m]
 //	          [-replica-repair-shards 1] [-replica-fail-threshold 3]
 //	          [-replica-cooldown 1m] [-scrub-interval 0] [-scrub-rate 200]
-//	          [-diffcache-max 128]
+//	          [-diffcache-max 33554432] [-prewarm 2]
 //	          [-sweep 1h] [-sweep-workers 4] [-sweep-jitter 0] [-fixed fixed-urls.txt]
 //	          [-sched] [-sched-min 15m] [-sched-max 168h] [-host-rps 1]
 //	          [-jitter-seed 0] [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
@@ -27,7 +27,10 @@
 // anti-entropy sample of -replica-repair-shards shards each round
 // (-jitter-seed drives the shard choice); /debug/shards reports
 // per-shard population, replica lag, and each replica's health.
-// -diffcache-max bounds the rendered-diff cache entries.
+// -diffcache-max is the rendered-diff cache's byte budget (LRU-evicted,
+// invalidated per URL on check-in); -prewarm sizes the worker pool that
+// re-renders each page's hot revision pairs after a changed check-in so
+// the first viewer hits the cache (0 disables pre-warming).
 //
 // Self-healing: each replica carries a health state machine — after
 // -replica-fail-threshold consecutive failed syncs it is marked down
@@ -112,7 +115,8 @@ func main() {
 	replicaCooldown := flag.Duration("replica-cooldown", time.Minute, "how long a down replica rests before a single probe")
 	scrubInterval := flag.Duration("scrub-interval", 0, "pause between checksum-scrub passes, one shard per pass (0 disables scrubbing)")
 	scrubRate := flag.Int("scrub-rate", 200, "scrub pacing in files per second (0 = unpaced)")
-	diffCacheMax := flag.Int("diffcache-max", snapshot.DefaultDiffCacheMax, "max cached rendered diffs")
+	diffCacheMax := flag.Int64("diffcache-max", snapshot.DefaultDiffCacheMax, "rendered-diff cache budget in bytes (LRU-evicted)")
+	prewarm := flag.Int("prewarm", snapshot.DefaultPrewarmWorkers, "diff pre-warm workers rendering hot rev-pairs after each check-in (0 disables)")
 	sweep := flag.Duration("sweep", time.Hour, "server-side tracking sweep interval (0 disables)")
 	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
 	enableForms := flag.Bool("forms", false, "enable saved-form (POST service) tracking")
@@ -167,6 +171,7 @@ func main() {
 		log.Fatal("snapshotd: ", err)
 	}
 	fac.SetDiffCacheMax(*diffCacheMax)
+	fac.EnablePrewarm(*prewarm)
 	if *shards > 1 {
 		moved, err := fac.Rebalance()
 		if err != nil {

@@ -1,0 +1,131 @@
+// Package flushwriter adapts an http.ResponseWriter (or any io.Writer)
+// for streamed responses: output is forwarded immediately, an
+// http.Flusher-backed writer is flushed every Threshold bytes so the
+// first chunk of a multi-MB page reaches the client while the rest is
+// still being rendered, and the first write error sticks — a client
+// that hung up turns every later write into a cheap no-op, so handlers
+// streaming large pages stop paying for output nobody will read.
+//
+// The writer also counts bytes delivered, which the RED middleware's
+// latency numbers do not capture: a partially-written response and a
+// complete one both record a status, but only Written tells them apart.
+package flushwriter
+
+import (
+	"io"
+	"net/http"
+)
+
+// DefaultThreshold is the flush cadence when the caller passes 0: small
+// enough for prompt first-byte delivery, large enough not to defeat
+// net/http's own buffering.
+const DefaultThreshold = 8 << 10
+
+// Writer streams to dst, flushing every Threshold bytes when dst can
+// flush. Not safe for concurrent use.
+type Writer struct {
+	dst        io.Writer
+	flusher    http.Flusher
+	sw         io.StringWriter // dst's string fast path, when it has one
+	threshold  int
+	sinceFlush int
+	written    int64
+	err        error
+}
+
+// New wraps dst. Flushing engages only when dst implements
+// http.Flusher; threshold <= 0 selects DefaultThreshold.
+func New(dst io.Writer, threshold int) *Writer {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	w := &Writer{dst: dst, threshold: threshold}
+	if f, ok := dst.(http.Flusher); ok {
+		w.flusher = f
+	}
+	if sw, ok := dst.(io.StringWriter); ok {
+		w.sw = sw
+	}
+	return w
+}
+
+// Write forwards p to the destination and flushes when the threshold of
+// unflushed bytes is reached. After the first error every call returns
+// that error without touching the destination.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.dst.Write(p)
+	w.account(n, err)
+	return n, w.err
+}
+
+// WriteString is Write's copy-free string form when the destination
+// supports one (http.ResponseWriter does).
+func (w *Writer) WriteString(s string) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	var n int
+	var err error
+	if w.sw != nil {
+		n, err = w.sw.WriteString(s)
+	} else {
+		n, err = w.dst.Write([]byte(s))
+	}
+	w.account(n, err)
+	return n, w.err
+}
+
+func (w *Writer) account(n int, err error) {
+	w.written += int64(n)
+	w.sinceFlush += n
+	if err != nil {
+		w.err = err
+		return
+	}
+	if w.flusher != nil && w.sinceFlush >= w.threshold {
+		w.flusher.Flush()
+		w.sinceFlush = 0
+	}
+}
+
+// Flush pushes any bytes the destination has buffered to the client.
+// No-op for destinations that cannot flush. Handlers should NOT call
+// this when the response is complete — net/http flushes on handler
+// return, and an explicit flush first forces chunked encoding and an
+// extra write syscall on every small response; Flush exists for
+// mid-stream progress points the byte threshold hasn't reached.
+func (w *Writer) Flush() {
+	if w.err == nil && w.flusher != nil && w.sinceFlush > 0 {
+		w.flusher.Flush()
+		w.sinceFlush = 0
+	}
+}
+
+// Written reports the bytes the destination accepted so far.
+func (w *Writer) Written() int64 { return w.written }
+
+// Err reports the sticky error, nil while the destination is healthy.
+func (w *Writer) Err() error { return w.err }
+
+// ChunkSize bounds one WriteStringChunks write: cached multi-MB pages
+// stream through the same bounded-write discipline as fresh renders.
+const ChunkSize = 32 << 10
+
+// WriteStringChunks streams s in ChunkSize pieces, so a large
+// already-rendered string (a cache hit) flushes progressively instead
+// of landing as one write. Returns the sticky error.
+func (w *Writer) WriteStringChunks(s string) error {
+	for off := 0; off < len(s); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(s) {
+			end = len(s)
+		}
+		if _, err := w.WriteString(s[off:end]); err != nil {
+			return err
+		}
+	}
+	return w.err
+}

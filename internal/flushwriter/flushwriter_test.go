@@ -1,0 +1,128 @@
+package flushwriter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sink is a writer with optional flush support and a programmable
+// failure point.
+type sink struct {
+	buf     strings.Builder
+	flushes int
+	failAt  int // fail writes once total bytes reach this (0 = never)
+}
+
+func (s *sink) Write(p []byte) (int, error) {
+	if s.failAt > 0 && s.buf.Len()+len(p) > s.failAt {
+		return 0, errors.New("client hung up")
+	}
+	return s.buf.Write(p)
+}
+
+// flushSink adds http.Flusher.
+type flushSink struct{ sink }
+
+func (f *flushSink) Flush() { f.flushes++ }
+
+func TestWriteForwardsAndCounts(t *testing.T) {
+	var s sink
+	w := New(&s, 0)
+	w.Write([]byte("hello "))
+	w.WriteString("world")
+	if s.buf.String() != "hello world" {
+		t.Errorf("dst = %q", s.buf.String())
+	}
+	if w.Written() != 11 {
+		t.Errorf("Written = %d, want 11", w.Written())
+	}
+	if w.Err() != nil {
+		t.Errorf("Err = %v", w.Err())
+	}
+}
+
+func TestThresholdFlush(t *testing.T) {
+	var f flushSink
+	w := New(&f, 10)
+	w.WriteString("123456") // below threshold: no flush
+	if f.flushes != 0 {
+		t.Fatalf("flushed before threshold: %d", f.flushes)
+	}
+	w.WriteString("789012") // crosses 10 bytes
+	if f.flushes != 1 {
+		t.Errorf("flushes = %d, want 1", f.flushes)
+	}
+	// The counter reset: another small write stays buffered.
+	w.WriteString("ab")
+	if f.flushes != 1 {
+		t.Errorf("flushes after reset = %d, want 1", f.flushes)
+	}
+	// Explicit mid-stream Flush pushes the pending bytes once.
+	w.Flush()
+	w.Flush() // nothing pending: no second flush
+	if f.flushes != 2 {
+		t.Errorf("flushes after explicit Flush = %d, want 2", f.flushes)
+	}
+}
+
+func TestNoFlusherIsNoop(t *testing.T) {
+	var s sink
+	w := New(&s, 1)
+	w.WriteString("plenty of bytes, nothing to flush to")
+	w.Flush() // must not panic or error
+	if w.Err() != nil {
+		t.Errorf("Err = %v", w.Err())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	s := sink{failAt: 5}
+	w := New(&s, 0)
+	if _, err := w.WriteString("1234"); err != nil {
+		t.Fatalf("write under the failure point errored: %v", err)
+	}
+	if _, err := w.WriteString("5678"); err == nil {
+		t.Fatal("write past the failure point succeeded")
+	}
+	// Every later write is a cheap no-op returning the same error.
+	before := s.buf.String()
+	if _, err := w.WriteString("more"); err == nil {
+		t.Error("sticky error cleared")
+	}
+	if s.buf.String() != before {
+		t.Error("write after sticky error reached the destination")
+	}
+	if w.Written() != 4 {
+		t.Errorf("Written = %d, want the 4 delivered bytes", w.Written())
+	}
+	if w.Err() == nil {
+		t.Error("Err lost the sticky error")
+	}
+}
+
+func TestWriteStringChunks(t *testing.T) {
+	var f flushSink
+	w := New(&f, DefaultThreshold)
+	big := strings.Repeat("x", ChunkSize*2+100)
+	if err := w.WriteStringChunks(big); err != nil {
+		t.Fatal(err)
+	}
+	if f.buf.String() != big {
+		t.Errorf("chunked write delivered %d bytes, want %d", f.buf.Len(), len(big))
+	}
+	// Crossing the threshold repeatedly must have produced interim
+	// flushes — the point of chunking a cached page.
+	if f.flushes == 0 {
+		t.Error("no interim flush during a multi-chunk write")
+	}
+	// An aborted client stops the loop with the sticky error.
+	a := &flushSink{sink: sink{failAt: ChunkSize + 10}}
+	wa := New(a, 0)
+	if err := wa.WriteStringChunks(big); err == nil {
+		t.Error("chunked write to an aborted client returned nil")
+	}
+	if wa.Written() > int64(ChunkSize) {
+		t.Errorf("kept writing after the abort: %d bytes", wa.Written())
+	}
+}

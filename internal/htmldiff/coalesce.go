@@ -1,8 +1,6 @@
 package htmldiff
 
 import (
-	"strings"
-
 	"aide/internal/htmldoc"
 )
 
@@ -90,19 +88,19 @@ func buildBlock(cluster []segment) segment {
 
 // renderBlock writes a coalesced block: the old passage struck out in
 // full, then the new passage with its insertions emphasised.
-func renderBlock(sb *strings.Builder, s segment) {
+func renderBlock(sb *docWriter, s segment) {
 	renderOldTokens(sb, s.old)
 	for _, p := range s.parts {
 		if p.tok.Kind == htmldoc.Breaking {
 			sb.WriteString(p.tok.Text())
-			sb.WriteByte('\n')
+			sb.writeByte('\n')
 			continue
 		}
 		if p.inserted {
 			renderEmphasizedSentence(sb, p.tok, nil)
 		} else {
 			sb.WriteString(p.tok.Text())
-			sb.WriteByte('\n')
+			sb.writeByte('\n')
 		}
 	}
 }

@@ -22,8 +22,6 @@
 package htmldiff
 
 import (
-	"fmt"
-	"html"
 	"strings"
 
 	"aide/internal/htmldoc"
@@ -137,39 +135,15 @@ type Result struct {
 	Suppressed bool
 }
 
-// Diff compares two HTML pages and renders the differences.
+// Diff compares two HTML pages and renders the differences into one
+// string. It is Prepare + RenderTo over a strings.Builder; callers that
+// can stream (the snapshot server's diff handlers) use those two halves
+// directly and never materialise the page.
 func Diff(oldHTML, newHTML string, opt Options) Result {
-	if opt.Reverse {
-		oldHTML, newHTML = newHTML, oldHTML
-	}
-	oldToks := htmldoc.Tokenize(oldHTML)
-	newToks := htmldoc.Tokenize(newHTML)
-	recordDiffMetrics(oldToks, newToks)
-	segs, stats := align(oldToks, newToks, &opt)
-	if opt.CoalesceWithin > 0 {
-		segs = coalesce(segs, opt.CoalesceWithin)
-		stats.Differences = 0
-		for _, s := range segs {
-			if s.kind != segCommon {
-				stats.Differences++
-			}
-		}
-	}
-	r := Result{Stats: stats}
-	if opt.MaxChangeFraction > 0 && stats.ChangeFraction > opt.MaxChangeFraction && stats.Changed() {
-		r.Suppressed = true
-		r.HTML = renderSuppressed(newToks, stats, &opt)
-		return r
-	}
-	switch opt.Mode {
-	case OnlyDifferences:
-		r.HTML = renderOnlyDifferences(segs, stats, &opt)
-	case OnlyNew:
-		r.HTML = renderOnlyNew(segs, stats, &opt)
-	default:
-		r.HTML = renderMerged(segs, stats, &opt)
-	}
-	return r
+	p := Prepare(oldHTML, newHTML, opt)
+	var sb strings.Builder
+	p.RenderTo(&sb) // a Builder never fails
+	return Result{HTML: sb.String(), Stats: p.stats, Suppressed: p.suppressed}
 }
 
 // recordDiffMetrics counts a comparison's inputs in the process
@@ -486,315 +460,4 @@ func (w *tokenWeights) innerWeight(i, j int) float64 {
 		return 0
 	}
 	return float64(W)
-}
-
-// --- rendering -------------------------------------------------------------
-
-// anchorName returns the NAME of the n-th difference anchor.
-func anchorName(n int) string { return fmt.Sprintf("AIDE-diff-%d", n) }
-
-// arrow emits the n-th difference marker: an internal hypertext reference
-// chained to the following difference (the last chains back to the top).
-func arrow(n, total int, glyph string) string {
-	next := "#AIDE-top"
-	if n < total {
-		next = "#" + anchorName(n+1)
-	}
-	return fmt.Sprintf(`<A NAME="%s" HREF="%s">%s</A>`, anchorName(n), next, glyph)
-}
-
-// banner renders the header inserted at the front of the output (§5.2:
-// "A banner at the front of the document contains a link to the first
-// difference").
-func banner(stats Stats, opt *Options, note string) string {
-	var sb strings.Builder
-	sb.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD>`)
-	sb.WriteString(`<B>AIDE HtmlDiff</B>`)
-	if opt.Title != "" {
-		sb.WriteString(": " + html.EscapeString(opt.Title))
-	}
-	sb.WriteString("<BR>\n")
-	if !stats.Changed() {
-		sb.WriteString("No differences found.")
-	} else {
-		fmt.Fprintf(&sb, "%d difference region(s): %d deleted, %d inserted, %d modified token(s). ",
-			stats.Differences, stats.Deleted, stats.Inserted, stats.Modified)
-		fmt.Fprintf(&sb, `<A HREF="#%s">First difference</A>. `, anchorName(1))
-		sb.WriteString(`Deleted text is <STRIKE>struck out</STRIKE>; new text is <STRONG><I>emphasized</I></STRONG>.`)
-	}
-	if note != "" {
-		sb.WriteString("<BR>\n" + note)
-	}
-	sb.WriteString("</TD></TR></TABLE>\n<HR>\n")
-	return sb.String()
-}
-
-// renderMerged produces the paper's preferred merged-page presentation.
-func renderMerged(segs []segment, stats Stats, opt *Options) string {
-	var sb strings.Builder
-	sb.WriteString(banner(stats, opt, ""))
-	n := 0
-	for _, s := range segs {
-		switch s.kind {
-		case segCommon:
-			for _, t := range s.new {
-				sb.WriteString(t.Text())
-				sb.WriteByte('\n')
-			}
-		case segOld:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
-			sb.WriteByte('\n')
-			renderOldTokens(&sb, s.old)
-		case segNew:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderNewTokens(&sb, s.new)
-		case segModified:
-			n++
-			glyph := opt.newArrow()
-			sb.WriteString(arrow(n, stats.Differences, glyph))
-			sb.WriteByte('\n')
-			renderModifiedSentence(&sb, s.old[0], s.new[0])
-		case segBlock:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderBlock(&sb, s)
-		}
-	}
-	return sb.String()
-}
-
-// renderOnlyDifferences elides common material (§5.2's second option).
-func renderOnlyDifferences(segs []segment, stats Stats, opt *Options) string {
-	var sb strings.Builder
-	sb.WriteString(banner(stats, opt,
-		"Common text has been elided; only changed material is shown."))
-	n := 0
-	for _, s := range segs {
-		switch s.kind {
-		case segCommon:
-			continue
-		case segOld:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
-			sb.WriteByte('\n')
-			renderOldTokens(&sb, s.old)
-		case segNew:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderNewTokens(&sb, s.new)
-		case segModified:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderModifiedSentence(&sb, s.old[0], s.new[0])
-		case segBlock:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderBlock(&sb, s)
-		}
-		sb.WriteString("<HR>\n")
-	}
-	return sb.String()
-}
-
-// renderOnlyNew is the "Draconian" option: the most recent page plus
-// markers pointing at new material; nothing old is shown, so the result
-// has no syntactic risk at all.
-func renderOnlyNew(segs []segment, stats Stats, opt *Options) string {
-	var sb strings.Builder
-	sb.WriteString(banner(stats, opt, "Deleted material is not shown."))
-	n := 0
-	for _, s := range segs {
-		switch s.kind {
-		case segCommon:
-			for _, t := range s.new {
-				sb.WriteString(t.Text())
-				sb.WriteByte('\n')
-			}
-		case segOld:
-			n++ // anchor chain still counts the region, but shows nothing
-			sb.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
-			sb.WriteByte('\n')
-		case segNew:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			renderNewTokens(&sb, s.new)
-		case segModified:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			sb.WriteString(s.new[0].Text())
-			sb.WriteByte('\n')
-		case segBlock:
-			n++
-			sb.WriteString(arrow(n, stats.Differences, opt.newArrow()))
-			sb.WriteByte('\n')
-			for _, p := range s.parts {
-				sb.WriteString(p.tok.Text())
-				sb.WriteByte('\n')
-			}
-		}
-	}
-	return sb.String()
-}
-
-// renderSuppressed is the §5.3 fallback when changes are too pervasive.
-func renderSuppressed(newToks []htmldoc.Token, stats Stats, opt *Options) string {
-	var sb strings.Builder
-	note := fmt.Sprintf("Changes are too pervasive to display meaningfully "+
-		"(%.0f%% of the page changed); showing the new version unannotated.",
-		stats.ChangeFraction*100)
-	// Build a bannerless stats copy so the banner doesn't link to
-	// difference anchors that don't exist in this presentation.
-	plain := stats
-	plain.Differences = 0
-	sb.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD><B>AIDE HtmlDiff</B>`)
-	if opt.Title != "" {
-		sb.WriteString(": " + html.EscapeString(opt.Title))
-	}
-	sb.WriteString("<BR>\n" + note + "</TD></TR></TABLE>\n<HR>\n")
-	for _, t := range newToks {
-		sb.WriteString(t.Text())
-		sb.WriteByte('\n')
-	}
-	return sb.String()
-}
-
-// renderOldTokens emits deleted material: words struck out, markups
-// eliminated (old hypertext references and images do not appear in the
-// merged page — §5.2).
-func renderOldTokens(sb *strings.Builder, toks []htmldoc.Token) {
-	for _, t := range toks {
-		if t.Kind == htmldoc.Breaking {
-			continue // old structural markup is dropped entirely
-		}
-		words := make([]string, 0, len(t.Items))
-		for _, it := range t.Items {
-			if it.Kind == htmldoc.Word {
-				words = append(words, it.Raw)
-			}
-		}
-		if len(words) == 0 {
-			continue
-		}
-		sep := " "
-		if t.Pre {
-			sep = "\n"
-		}
-		sb.WriteString("<STRIKE>")
-		sb.WriteString(strings.Join(words, sep))
-		sb.WriteString("</STRIKE>\n")
-	}
-}
-
-// renderNewTokens emits inserted material: breaking markups as-is, and
-// sentence words wrapped in the new-text font with their markups intact.
-func renderNewTokens(sb *strings.Builder, toks []htmldoc.Token) {
-	for _, t := range toks {
-		if t.Kind == htmldoc.Breaking {
-			sb.WriteString(t.Text())
-			sb.WriteByte('\n')
-			continue
-		}
-		renderEmphasizedSentence(sb, t, nil)
-	}
-}
-
-// renderEmphasizedSentence writes a sentence with word runs wrapped in
-// <STRONG><I>. If emphasize is non-nil, only items whose index is present
-// are emphasised; otherwise all words are.
-func renderEmphasizedSentence(sb *strings.Builder, t htmldoc.Token, emphasize map[int]bool) {
-	sep := " "
-	if t.Pre {
-		sep = "\n"
-	}
-	inEmph := false
-	for idx, it := range t.Items {
-		if idx > 0 {
-			sb.WriteString(sep)
-		}
-		want := it.Kind == htmldoc.Word && (emphasize == nil || emphasize[idx])
-		if want && !inEmph {
-			sb.WriteString("<STRONG><I>")
-			inEmph = true
-		}
-		if !want && inEmph {
-			sb.WriteString("</I></STRONG>")
-			inEmph = false
-		}
-		sb.WriteString(it.Raw)
-	}
-	if inEmph {
-		sb.WriteString("</I></STRONG>")
-	}
-	sb.WriteByte('\n')
-}
-
-// renderModifiedSentence merges a matched-but-edited sentence pair:
-// common words in the original font, deleted words struck out, inserted
-// words emphasised, old markups eliminated, new markups kept. A changed
-// content-defining markup (e.g. an anchor whose URL changed) is pointed
-// at by the arrow, but its text stays in the original font (§5.2).
-func renderModifiedSentence(sb *strings.Builder, old, new htmldoc.Token) {
-	oldKeys := itemKeys(old)
-	newKeys := itemKeys(new)
-	pairs := lcs.Strings(oldKeys, newKeys)
-	matchedNew := make(map[int]bool, len(pairs))
-	matchedOld := make(map[int]bool, len(pairs))
-	for _, p := range pairs {
-		matchedOld[p.AIdx] = true
-		matchedNew[p.BIdx] = true
-	}
-	sep := " "
-	if new.Pre {
-		sep = "\n"
-	}
-
-	// Walk the new sentence, interleaving deleted old words at the
-	// positions where they disappeared.
-	oi := 0
-	first := true
-	writeSep := func() {
-		if !first {
-			sb.WriteString(sep)
-		}
-		first = false
-	}
-	flushOldUpTo := func(limit int) {
-		for ; oi < limit; oi++ {
-			it := old.Items[oi]
-			if matchedOld[oi] || it.Kind != htmldoc.Word {
-				continue // matched items render via new; old markups drop
-			}
-			writeSep()
-			sb.WriteString("<STRIKE>" + it.Raw + "</STRIKE>")
-		}
-	}
-	pi := 0
-	for ni, it := range new.Items {
-		// Emit any old deletions that precede this new item's match.
-		if pi < len(pairs) && pairs[pi].BIdx == ni {
-			flushOldUpTo(pairs[pi].AIdx)
-			oi = pairs[pi].AIdx + 1
-			pi++
-			writeSep()
-			sb.WriteString(it.Raw)
-			continue
-		}
-		writeSep()
-		if it.Kind == htmldoc.Word {
-			sb.WriteString("<STRONG><I>" + it.Raw + "</I></STRONG>")
-		} else {
-			sb.WriteString(it.Raw) // new markup kept, unhighlighted
-		}
-	}
-	flushOldUpTo(len(old.Items))
-	sb.WriteByte('\n')
 }

@@ -1,0 +1,476 @@
+package htmldiff
+
+// Rendering: the presentation half of §5. A comparison is computed once
+// (Prepare) and rendered by streaming the marked-up page through a
+// docWriter — a small buffered adapter over any io.Writer with a sticky
+// error — so a multi-MB merged page never has to exist as one string.
+// Diff keeps the historical buffered interface by rendering into a
+// strings.Builder.
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"aide/internal/htmldoc"
+	"aide/internal/lcs"
+)
+
+// Prepared is a computed comparison whose presentation has not been
+// rendered yet: the alignment segments, the statistics, and the
+// suppression verdict. RenderTo streams the presentation; it may be
+// called more than once (each call re-renders from the segments).
+type Prepared struct {
+	segs       []segment
+	stats      Stats
+	suppressed bool
+	newToks    []htmldoc.Token
+	opt        Options
+}
+
+// Prepare tokenizes and aligns the two pages — the expensive half of a
+// comparison — without rendering anything.
+func Prepare(oldHTML, newHTML string, opt Options) *Prepared {
+	if opt.Reverse {
+		oldHTML, newHTML = newHTML, oldHTML
+	}
+	oldToks := htmldoc.Tokenize(oldHTML)
+	newToks := htmldoc.Tokenize(newHTML)
+	recordDiffMetrics(oldToks, newToks)
+	segs, stats := align(oldToks, newToks, &opt)
+	if opt.CoalesceWithin > 0 {
+		segs = coalesce(segs, opt.CoalesceWithin)
+		stats.Differences = 0
+		for _, s := range segs {
+			if s.kind != segCommon {
+				stats.Differences++
+			}
+		}
+	}
+	p := &Prepared{segs: segs, stats: stats, newToks: newToks, opt: opt}
+	if opt.MaxChangeFraction > 0 && stats.ChangeFraction > opt.MaxChangeFraction && stats.Changed() {
+		p.suppressed = true
+	}
+	return p
+}
+
+// Stats returns the comparison's statistics.
+func (p *Prepared) Stats() Stats { return p.stats }
+
+// Suppressed reports whether MaxChangeFraction cut off the merged view.
+func (p *Prepared) Suppressed() bool { return p.suppressed }
+
+// RenderTo streams the presentation into w and returns the first write
+// error (nil when w accepted everything). Output is written in bounded
+// chunks, so w sees steady progress on arbitrarily large pages.
+func (p *Prepared) RenderTo(w io.Writer) error {
+	d := newDocWriter(w)
+	if p.suppressed {
+		renderSuppressed(d, p.newToks, p.stats, &p.opt)
+		return d.close()
+	}
+	switch p.opt.Mode {
+	case OnlyDifferences:
+		renderOnlyDifferences(d, p.segs, p.stats, &p.opt)
+	case OnlyNew:
+		renderOnlyNew(d, p.segs, p.stats, &p.opt)
+	default:
+		renderMerged(d, p.segs, p.stats, &p.opt)
+	}
+	return d.close()
+}
+
+// --- docWriter -------------------------------------------------------------
+
+// docWriterChunk is the docWriter buffer size: each underlying Write is
+// at most this large, which bounds per-request buffering and gives
+// flush-aware writers regular flush points.
+const docWriterChunk = 8 << 10
+
+// docWriter adapts the renderers to a plain io.Writer: writes are
+// buffered into chunks of at most docWriterChunk bytes, and the first
+// underlying write error sticks, turning every later write into a no-op
+// so rendering to an aborted client stops paying for output it cannot
+// deliver.
+type docWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func newDocWriter(w io.Writer) *docWriter {
+	return &docWriter{w: w, buf: make([]byte, 0, docWriterChunk)}
+}
+
+// flush hands the buffered bytes to the underlying writer.
+func (d *docWriter) flush() {
+	if len(d.buf) == 0 {
+		return
+	}
+	if d.err == nil {
+		_, d.err = d.w.Write(d.buf)
+	}
+	d.buf = d.buf[:0]
+}
+
+// close flushes the tail and reports the sticky error.
+func (d *docWriter) close() error {
+	d.flush()
+	return d.err
+}
+
+// Write implements io.Writer so fmt.Fprintf can target the docWriter.
+func (d *docWriter) Write(p []byte) (int, error) {
+	if d.err != nil {
+		return len(p), nil // sticky error: swallow, renderers bail cheaply
+	}
+	if len(d.buf)+len(p) > cap(d.buf) {
+		d.flush()
+	}
+	if len(p) >= cap(d.buf) {
+		if d.err == nil {
+			_, d.err = d.w.Write(p)
+		}
+		return len(p), nil
+	}
+	d.buf = append(d.buf, p...)
+	return len(p), nil
+}
+
+// WriteString mirrors strings.Builder's method so the renderers are
+// source-compatible with their buffered history.
+func (d *docWriter) WriteString(s string) {
+	if d.err != nil {
+		return
+	}
+	if len(d.buf)+len(s) > cap(d.buf) {
+		d.flush()
+	}
+	if len(s) >= cap(d.buf) {
+		if d.err == nil {
+			_, d.err = io.WriteString(d.w, s)
+		}
+		return
+	}
+	d.buf = append(d.buf, s...)
+}
+
+// writeByte is strings.Builder's WriteByte without the error return
+// (the sticky error carries write failures to close); lower-cased so
+// vet's stdmethods check does not demand the standard signature.
+func (d *docWriter) writeByte(b byte) {
+	if d.err != nil {
+		return
+	}
+	if len(d.buf) >= cap(d.buf) {
+		d.flush()
+	}
+	d.buf = append(d.buf, b)
+}
+
+// --- rendering -------------------------------------------------------------
+
+// anchorName returns the NAME of the n-th difference anchor.
+func anchorName(n int) string { return fmt.Sprintf("AIDE-diff-%d", n) }
+
+// arrow emits the n-th difference marker: an internal hypertext reference
+// chained to the following difference (the last chains back to the top).
+func arrow(n, total int, glyph string) string {
+	next := "#AIDE-top"
+	if n < total {
+		next = "#" + anchorName(n+1)
+	}
+	return fmt.Sprintf(`<A NAME="%s" HREF="%s">%s</A>`, anchorName(n), next, glyph)
+}
+
+// banner renders the header inserted at the front of the output (§5.2:
+// "A banner at the front of the document contains a link to the first
+// difference").
+func banner(d *docWriter, stats Stats, opt *Options, note string) {
+	d.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD>`)
+	d.WriteString(`<B>AIDE HtmlDiff</B>`)
+	if opt.Title != "" {
+		d.WriteString(": " + html.EscapeString(opt.Title))
+	}
+	d.WriteString("<BR>\n")
+	if !stats.Changed() {
+		d.WriteString("No differences found.")
+	} else {
+		fmt.Fprintf(d, "%d difference region(s): %d deleted, %d inserted, %d modified token(s). ",
+			stats.Differences, stats.Deleted, stats.Inserted, stats.Modified)
+		fmt.Fprintf(d, `<A HREF="#%s">First difference</A>. `, anchorName(1))
+		d.WriteString(`Deleted text is <STRIKE>struck out</STRIKE>; new text is <STRONG><I>emphasized</I></STRONG>.`)
+	}
+	if note != "" {
+		d.WriteString("<BR>\n" + note)
+	}
+	d.WriteString("</TD></TR></TABLE>\n<HR>\n")
+}
+
+// renderMerged produces the paper's preferred merged-page presentation.
+func renderMerged(d *docWriter, segs []segment, stats Stats, opt *Options) {
+	banner(d, stats, opt, "")
+	n := 0
+	for _, s := range segs {
+		if d.err != nil {
+			return
+		}
+		switch s.kind {
+		case segCommon:
+			for _, t := range s.new {
+				d.WriteString(t.Text())
+				d.writeByte('\n')
+			}
+		case segOld:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			d.writeByte('\n')
+			renderOldTokens(d, s.old)
+		case segNew:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderNewTokens(d, s.new)
+		case segModified:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderModifiedSentence(d, s.old[0], s.new[0])
+		case segBlock:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderBlock(d, s)
+		}
+	}
+}
+
+// renderOnlyDifferences elides common material (§5.2's second option).
+func renderOnlyDifferences(d *docWriter, segs []segment, stats Stats, opt *Options) {
+	banner(d, stats, opt,
+		"Common text has been elided; only changed material is shown.")
+	n := 0
+	for _, s := range segs {
+		if d.err != nil {
+			return
+		}
+		switch s.kind {
+		case segCommon:
+			continue
+		case segOld:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			d.writeByte('\n')
+			renderOldTokens(d, s.old)
+		case segNew:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderNewTokens(d, s.new)
+		case segModified:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderModifiedSentence(d, s.old[0], s.new[0])
+		case segBlock:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderBlock(d, s)
+		}
+		d.WriteString("<HR>\n")
+	}
+}
+
+// renderOnlyNew is the "Draconian" option: the most recent page plus
+// markers pointing at new material; nothing old is shown, so the result
+// has no syntactic risk at all.
+func renderOnlyNew(d *docWriter, segs []segment, stats Stats, opt *Options) {
+	banner(d, stats, opt, "Deleted material is not shown.")
+	n := 0
+	for _, s := range segs {
+		if d.err != nil {
+			return
+		}
+		switch s.kind {
+		case segCommon:
+			for _, t := range s.new {
+				d.WriteString(t.Text())
+				d.writeByte('\n')
+			}
+		case segOld:
+			n++ // anchor chain still counts the region, but shows nothing
+			d.WriteString(arrow(n, stats.Differences, opt.oldArrow()))
+			d.writeByte('\n')
+		case segNew:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			renderNewTokens(d, s.new)
+		case segModified:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			d.WriteString(s.new[0].Text())
+			d.writeByte('\n')
+		case segBlock:
+			n++
+			d.WriteString(arrow(n, stats.Differences, opt.newArrow()))
+			d.writeByte('\n')
+			for _, p := range s.parts {
+				d.WriteString(p.tok.Text())
+				d.writeByte('\n')
+			}
+		}
+	}
+}
+
+// renderSuppressed is the §5.3 fallback when changes are too pervasive.
+func renderSuppressed(d *docWriter, newToks []htmldoc.Token, stats Stats, opt *Options) {
+	d.WriteString(`<A NAME="AIDE-top"></A><TABLE BORDER=1 WIDTH="100%"><TR><TD><B>AIDE HtmlDiff</B>`)
+	if opt.Title != "" {
+		d.WriteString(": " + html.EscapeString(opt.Title))
+	}
+	fmt.Fprintf(d, "<BR>\nChanges are too pervasive to display meaningfully "+
+		"(%.0f%% of the page changed); showing the new version unannotated.",
+		stats.ChangeFraction*100)
+	d.WriteString("</TD></TR></TABLE>\n<HR>\n")
+	for _, t := range newToks {
+		if d.err != nil {
+			return
+		}
+		d.WriteString(t.Text())
+		d.writeByte('\n')
+	}
+}
+
+// renderOldTokens emits deleted material: words struck out, markups
+// eliminated (old hypertext references and images do not appear in the
+// merged page — §5.2).
+func renderOldTokens(d *docWriter, toks []htmldoc.Token) {
+	for _, t := range toks {
+		if t.Kind == htmldoc.Breaking {
+			continue // old structural markup is dropped entirely
+		}
+		words := make([]string, 0, len(t.Items))
+		for _, it := range t.Items {
+			if it.Kind == htmldoc.Word {
+				words = append(words, it.Raw)
+			}
+		}
+		if len(words) == 0 {
+			continue
+		}
+		sep := " "
+		if t.Pre {
+			sep = "\n"
+		}
+		d.WriteString("<STRIKE>")
+		d.WriteString(strings.Join(words, sep))
+		d.WriteString("</STRIKE>\n")
+	}
+}
+
+// renderNewTokens emits inserted material: breaking markups as-is, and
+// sentence words wrapped in the new-text font with their markups intact.
+func renderNewTokens(d *docWriter, toks []htmldoc.Token) {
+	for _, t := range toks {
+		if t.Kind == htmldoc.Breaking {
+			d.WriteString(t.Text())
+			d.writeByte('\n')
+			continue
+		}
+		renderEmphasizedSentence(d, t, nil)
+	}
+}
+
+// renderEmphasizedSentence writes a sentence with word runs wrapped in
+// <STRONG><I>. If emphasize is non-nil, only items whose index is present
+// are emphasised; otherwise all words are.
+func renderEmphasizedSentence(d *docWriter, t htmldoc.Token, emphasize map[int]bool) {
+	sep := " "
+	if t.Pre {
+		sep = "\n"
+	}
+	inEmph := false
+	for idx, it := range t.Items {
+		if idx > 0 {
+			d.WriteString(sep)
+		}
+		want := it.Kind == htmldoc.Word && (emphasize == nil || emphasize[idx])
+		if want && !inEmph {
+			d.WriteString("<STRONG><I>")
+			inEmph = true
+		}
+		if !want && inEmph {
+			d.WriteString("</I></STRONG>")
+			inEmph = false
+		}
+		d.WriteString(it.Raw)
+	}
+	if inEmph {
+		d.WriteString("</I></STRONG>")
+	}
+	d.writeByte('\n')
+}
+
+// renderModifiedSentence merges a matched-but-edited sentence pair:
+// common words in the original font, deleted words struck out, inserted
+// words emphasised, old markups eliminated, new markups kept. A changed
+// content-defining markup (e.g. an anchor whose URL changed) is pointed
+// at by the arrow, but its text stays in the original font (§5.2).
+func renderModifiedSentence(d *docWriter, old, new htmldoc.Token) {
+	oldKeys := itemKeys(old)
+	newKeys := itemKeys(new)
+	pairs := lcs.Strings(oldKeys, newKeys)
+	matchedOld := make(map[int]bool, len(pairs))
+	for _, p := range pairs {
+		matchedOld[p.AIdx] = true
+	}
+	sep := " "
+	if new.Pre {
+		sep = "\n"
+	}
+
+	// Walk the new sentence, interleaving deleted old words at the
+	// positions where they disappeared.
+	oi := 0
+	first := true
+	writeSep := func() {
+		if !first {
+			d.WriteString(sep)
+		}
+		first = false
+	}
+	flushOldUpTo := func(limit int) {
+		for ; oi < limit; oi++ {
+			it := old.Items[oi]
+			if matchedOld[oi] || it.Kind != htmldoc.Word {
+				continue // matched items render via new; old markups drop
+			}
+			writeSep()
+			d.WriteString("<STRIKE>" + it.Raw + "</STRIKE>")
+		}
+	}
+	pi := 0
+	for ni, it := range new.Items {
+		// Emit any old deletions that precede this new item's match.
+		if pi < len(pairs) && pairs[pi].BIdx == ni {
+			flushOldUpTo(pairs[pi].AIdx)
+			oi = pairs[pi].AIdx + 1
+			pi++
+			writeSep()
+			d.WriteString(it.Raw)
+			continue
+		}
+		writeSep()
+		if it.Kind == htmldoc.Word {
+			d.WriteString("<STRONG><I>" + it.Raw + "</I></STRONG>")
+		} else {
+			d.WriteString(it.Raw) // new markup kept, unhighlighted
+		}
+	}
+	flushOldUpTo(len(old.Items))
+	d.writeByte('\n')
+}

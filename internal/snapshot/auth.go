@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sync"
@@ -163,12 +164,12 @@ func hashPassword(saltHex, password string) string {
 
 // --- server enforcement --------------------------------------------------------
 
-// authUser extracts and verifies the acting user for a request. Without
+// authUser extracts and verifies the acting user from already-parsed
+// query parameters (handlers parse once and share the values). Without
 // an Accounts store the facility runs in the paper's original open mode
 // (any identifier accepted); with one, user must be a valid account ID
 // and password must verify.
-func (s *Server) authUser(r *http.Request) (string, error) {
-	q := r.URL.Query()
+func (s *Server) authUser(q url.Values) (string, error) {
 	user := q.Get("user")
 	if s.Accounts == nil {
 		return user, nil

@@ -1,0 +1,264 @@
+package snapshot
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func dk(url, r1, r2 string) diffKey { return diffKey{url: url, oldRev: r1, newRev: r2} }
+
+// put inserts under the key's current stamp — the no-race fast path the
+// unit tests below use.
+func (c *diffCache) put(key diffKey, html string) (bool, int) {
+	return c.putIfCurrent(key, html, c.gen(key.url))
+}
+
+func TestDiffCacheLRUEviction(t *testing.T) {
+	// Budget fits exactly four of these entries (the per-entry cap allows
+	// at most a quarter of the budget); inserting a fifth must evict the
+	// least recently used.
+	body := strings.Repeat("x", 1000)
+	c := newDiffCache(4 * entrySize(dk("a", "1.1", "1.2"), body))
+	for _, u := range []string{"a", "b", "c", "d"} {
+		if stored, _ := c.put(dk(u, "1.1", "1.2"), body); !stored {
+			t.Fatalf("entry %s not stored", u)
+		}
+	}
+	// Touch a so b is the eviction candidate.
+	if _, ok := c.get(dk("a", "1.1", "1.2")); !ok {
+		t.Fatal("a not cached")
+	}
+	if _, evicted := c.put(dk("e", "1.1", "1.2"), body); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	if c.contains(dk("b", "1.1", "1.2")) {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, u := range []string{"a", "c", "d", "e"} {
+		if !c.contains(dk(u, "1.1", "1.2")) {
+			t.Errorf("recently-used entry %s evicted", u)
+		}
+	}
+	if entries, bytes := c.stats(); entries != 4 || bytes > c.maxBytes {
+		t.Errorf("stats = (%d entries, %d bytes), want 4 entries within %d", entries, bytes, c.maxBytes)
+	}
+}
+
+func TestDiffCacheOversizeEntryNotStored(t *testing.T) {
+	// An entry above a quarter of the budget must not displace the
+	// working set — it is simply not cached.
+	c := newDiffCache(4000)
+	small := strings.Repeat("s", 100)
+	c.put(dk("small", "1.1", "1.2"), small)
+	if stored, _ := c.put(dk("big", "1.1", "1.2"), strings.Repeat("b", 2000)); stored {
+		t.Error("oversize entry was stored")
+	}
+	if !c.contains(dk("small", "1.1", "1.2")) {
+		t.Error("small entry displaced by rejected oversize entry")
+	}
+}
+
+func TestDiffCacheSetMaxEvictsDown(t *testing.T) {
+	body := strings.Repeat("x", 1000)
+	c := newDiffCache(1 << 20)
+	for _, u := range []string{"a", "b", "c", "d"} {
+		c.put(dk(u, "1.1", "1.2"), body)
+	}
+	if evicted := c.setMax(2 * entrySize(dk("u", "1.1", "1.2"), body)); evicted != 2 {
+		t.Errorf("setMax evicted %d, want 2", evicted)
+	}
+	if entries, bytes := c.stats(); entries != 2 || bytes > c.maxBytes {
+		t.Errorf("after setMax: %d entries, %d bytes (max %d)", entries, bytes, c.maxBytes)
+	}
+}
+
+func TestDiffCacheInvalidateURLScoped(t *testing.T) {
+	c := newDiffCache(1 << 20)
+	c.put(dk("a", "1.1", "1.2"), "one")
+	c.put(dk("a", "1.2", "1.3"), "two")
+	c.put(dk("b", "1.1", "1.2"), "other")
+	removed, _ := c.invalidateURL("a")
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	if c.contains(dk("a", "1.1", "1.2")) || c.contains(dk("a", "1.2", "1.3")) {
+		t.Error("invalidated URL still cached")
+	}
+	if !c.contains(dk("b", "1.1", "1.2")) {
+		t.Error("unrelated URL swept by per-URL invalidation")
+	}
+}
+
+func TestDiffCacheStaleInsertDropped(t *testing.T) {
+	c := newDiffCache(1 << 20)
+	// Per-URL generation: a stamp captured before invalidateURL must not
+	// land its insert.
+	g := c.gen("a")
+	c.invalidateURL("a")
+	if stored, _ := c.putIfCurrent(dk("a", "1.1", "1.2"), "stale", g); stored {
+		t.Error("insert with pre-invalidation stamp was stored")
+	}
+	// Global epoch: invalidateAll kills stamps for every URL.
+	g = c.gen("b")
+	c.invalidateAll()
+	if stored, _ := c.putIfCurrent(dk("b", "1.1", "1.2"), "stale", g); stored {
+		t.Error("insert with pre-epoch stamp was stored")
+	}
+	// A fresh stamp after both still works.
+	if stored, _ := c.put(dk("b", "1.1", "1.2"), "fresh"); !stored {
+		t.Error("insert with current stamp rejected")
+	}
+}
+
+// TestPrewarmCachesHotPair checks the tentpole end to end: a changed
+// check-in schedules an async render of (previous, latest), and the
+// first viewer of that pair gets the cached bytes.
+func TestPrewarmCachesHotPair(t *testing.T) {
+	r := newRig(t)
+	r.fac.EnablePrewarm(2)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Version one of the page.</P>\n")
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	r.web.Advance(time.Hour)
+	p.Set("<P>Version two of the page.</P>\n")
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	r.fac.WaitPrewarm()
+
+	if !r.fac.diffCache.contains(dk("http://h/p", "1.1", "1.2")) {
+		t.Fatal("hot pair (1.1, 1.2) not pre-warmed")
+	}
+	ds, err := r.fac.DiffRevsStream("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Cached {
+		t.Error("DiffRevsStream after pre-warm was not a cache hit")
+	}
+	var sb strings.Builder
+	if err := ds.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "two") {
+		t.Errorf("cached rendering missing new text: %q", sb.String())
+	}
+	if got := r.fac.metrics().Counter("diffcache.prewarm.computed").Value(); got == 0 {
+		t.Error("prewarm.computed not incremented")
+	}
+	if r.fac.DiffCacheHits() == 0 {
+		t.Error("cache hit not counted")
+	}
+}
+
+// TestPrewarmInvalidationRace drives a rewrite through the prewarmHook
+// seam: the invalidation lands after the pre-warm task has rendered but
+// before it inserts. The generation guard must drop the insert — a
+// check-in arriving mid-prewarm never leaves a stale entry behind.
+func TestPrewarmInvalidationRace(t *testing.T) {
+	r := newRig(t)
+	r.fac.EnablePrewarm(1)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Version one of the page.</P>\n")
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+
+	var once sync.Once
+	r.fac.prewarmHook = func() {
+		// The rewrite racing the pre-warm: it invalidates the page after
+		// the task captured its stamp and rendered.
+		once.Do(func() { r.fac.invalidateDiffCache("http://h/p") })
+	}
+	r.web.Advance(time.Hour)
+	p.Set("<P>Version two of the page.</P>\n")
+	if _, err := r.fac.Remember(context.Background(), userA, "http://h/p"); err != nil {
+		t.Fatal(err)
+	}
+	r.fac.WaitPrewarm()
+
+	if r.fac.diffCache.contains(dk("http://h/p", "1.1", "1.2")) {
+		t.Fatal("stale pre-warm entry survived a mid-render invalidation")
+	}
+	if got := r.fac.metrics().Counter("diffcache.prewarm.stale").Value(); got == 0 {
+		t.Error("prewarm.stale not incremented for the dropped insert")
+	}
+	// The next on-demand request repopulates under the current stamp.
+	if _, err := r.fac.DiffRevsStream("http://h/p", "1.1", "1.2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnDemandMissPopulatesCache checks the serving path's side of the
+// cache: a miss streams a fresh rendering and inserts it, so the second
+// request for the same pair hits.
+func TestOnDemandMissPopulatesCache(t *testing.T) {
+	r := newRig(t) // no EnablePrewarm: misses are the only writers
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Version one of the page.</P>\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+	r.web.Advance(time.Hour)
+	p.Set("<P>Version two of the page.</P>\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+
+	ds, err := r.fac.DiffRevsStream("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Cached {
+		t.Fatal("first request hit a cache nothing populated")
+	}
+	var first strings.Builder
+	if err := ds.Render(&first); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := r.fac.DiffRevsStream("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Cached {
+		t.Fatal("second request missed: render did not populate the cache")
+	}
+	var second strings.Builder
+	if err := ds2.Render(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("cached bytes differ from the fresh rendering")
+	}
+}
+
+// TestCheckinInvalidatesCachedDiff: a new revision rewrites the archive,
+// so every cached pair for the page must vanish (the span diff 1.1..HEAD
+// a viewer bookmarked now has different endpoints).
+func TestCheckinInvalidatesCachedDiff(t *testing.T) {
+	r := newRig(t)
+	p := r.web.Site("h").Page("/p")
+	p.Set("<P>Version one of the page.</P>\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+	r.web.Advance(time.Hour)
+	p.Set("<P>Version two of the page.</P>\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+
+	ds, err := r.fac.DiffRevsStream("http://h/p", "1.1", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	ds.Render(&sb) // populates the cache
+	if !r.fac.diffCache.contains(dk("http://h/p", "1.1", "1.2")) {
+		t.Fatal("render did not populate the cache")
+	}
+
+	r.web.Advance(time.Hour)
+	p.Set("<P>Version three of the page.</P>\n")
+	r.fac.Remember(context.Background(), userA, "http://h/p")
+	if r.fac.diffCache.contains(dk("http://h/p", "1.1", "1.2")) {
+		t.Error("check-in left a cached pair for the rewritten page")
+	}
+}

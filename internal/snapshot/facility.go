@@ -66,9 +66,14 @@ type Facility struct {
 	// On a replicated leader this is the facility's Replicator.
 	Failover FileFetcher
 
-	diffCache diffCache
+	diffCache *diffCache
 	entityOpt EntityTrackingOptions
 	ledger    *checksumLedger
+
+	prewarmMu   sync.Mutex
+	prewarmSem  chan struct{}
+	prewarmWG   sync.WaitGroup
+	prewarmHook func() // test seam: runs between a pre-warm render and its insert
 
 	repairMu    sync.Mutex
 	repairSlots chan struct{}
@@ -80,16 +85,6 @@ func (f *Facility) metrics() *obs.Registry {
 		return f.Metrics
 	}
 	return obs.Default
-}
-
-// diff runs HtmlDiff and records its latency (on the facility's clock,
-// so simulated runs are deterministic) — the §4.2 cost the paper's
-// evaluation cares about.
-func (f *Facility) diff(oldText, newText string, opt htmldiff.Options) htmldiff.Result {
-	start := f.clock.Now()
-	r := htmldiff.Diff(oldText, newText, opt)
-	f.metrics().Histogram("snapshot.diff.duration", nil).ObserveDuration(f.clock.Now().Sub(start))
-	return r
 }
 
 // New creates (or reopens) a facility rooted at dir with the default
@@ -133,7 +128,7 @@ func NewWithStore(st Store, client *webclient.Client, clock simclock.Clock) (*Fa
 		client:    client,
 		clock:     clock,
 		locks:     lockmgr.New(filepath.Join(st.Root(), "locks")),
-		diffCache: diffCache{max: DefaultDiffCacheMax, entries: map[string]string{}},
+		diffCache: newDiffCache(DefaultDiffCacheMax),
 		ledger:    newChecksumLedger(filepath.Join(st.Root(), "scrub")),
 	}, nil
 }
@@ -220,6 +215,19 @@ func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body stri
 	}
 	arch := f.archive(pageURL)
 	first := !arch.Exists()
+	// The pre-warmer's hot pairs: the head this check-in supersedes, and
+	// the revision this user last viewed — both read before the archive
+	// and control file move on.
+	var prevRev string
+	if !first {
+		prevRev, _ = arch.Head()
+	}
+	var baselineRev string
+	if user != "" {
+		if seen := f.seenVersions(user, pageURL); len(seen) > 0 {
+			baselineRev = seen[len(seen)-1]
+		}
+	}
 	rev, changed, err := arch.Checkin(body, user, "checked in via AIDE snapshot")
 	if err != nil {
 		return RememberResult{}, err
@@ -244,6 +252,12 @@ func (f *Facility) RememberContent(ctx context.Context, user, pageURL, body stri
 		m.Counter("snapshot.checkins.changed").Inc()
 		m.Counter("snapshot.delta.bytes").Add(int64(len(body)))
 		obs.Logger().Debug("snapshot check-in", "url", pageURL, "rev", rev, "bytes", len(body), "first", first)
+		// A new revision rewrites the archive: cached renderings for the
+		// page are stale. Invalidate first, then pre-warm the hot pairs
+		// under the post-invalidation generation so a later rewrite can
+		// still cancel the inserts.
+		g := f.invalidateDiffCache(pageURL)
+		f.schedulePrewarm(pageURL, rev, prevRev, baselineRev, g)
 	}
 	if user != "" {
 		if err := f.markSeen(user, pageURL, rev); err != nil {
@@ -276,9 +290,21 @@ type DiffResult struct {
 // page since it was last saved away by the user", §6). ctx bounds the
 // live fetch.
 func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (DiffResult, error) {
+	ds, err := f.DiffSinceSavedStream(ctx, user, pageURL)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	return materialize(ds), nil
+}
+
+// DiffSinceSavedStream is DiffSinceSaved without the buffering: the
+// comparison is prepared up front, the rendering streams to the
+// handler's writer. Live comparisons are never cached — the right-hand
+// side has no revision identity.
+func (f *Facility) DiffSinceSavedStream(ctx context.Context, user, pageURL string) (*DiffStream, error) {
 	seen := f.seenVersions(user, pageURL)
 	if len(seen) == 0 {
-		return DiffResult{}, ErrNeverSaved
+		return nil, ErrNeverSaved
 	}
 	oldRev := seen[len(seen)-1]
 	var oldText string
@@ -288,46 +314,42 @@ func (f *Facility) DiffSinceSaved(ctx context.Context, user, pageURL string) (Di
 		return cerr
 	})
 	if err != nil {
-		return DiffResult{}, err
+		return nil, err
 	}
 	info, err := f.fetchLive(ctx, pageURL)
 	if err != nil {
-		return DiffResult{}, err
+		return nil, err
 	}
 	opt := f.DiffOptions
 	opt.Title = pageURL
-	r := f.diff(oldText, info.Body, opt)
-	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: "live", Stats: r.Stats}, nil
+	start := f.clock.Now()
+	prep := htmldiff.Prepare(oldText, info.Body, opt)
+	f.metrics().Histogram("snapshot.diff.duration", nil).ObserveDuration(f.clock.Now().Sub(start))
+	return &DiffStream{
+		DiffResult: DiffResult{OldRev: oldRev, NewRev: "live", Stats: prep.Stats()},
+		Render:     prep.RenderTo,
+	}, nil
 }
 
 // DiffRevs compares two archived revisions, caching the rendered output:
 // "many users who have seen versions N and N+1 of a page could retrieve
-// HtmlDiff(pageN, pageN+1) with a single invocation" (§4.2).
+// HtmlDiff(pageN, pageN+1) with a single invocation" (§4.2). Buffered
+// wrapper over DiffRevsStream for callers that want the whole page.
 func (f *Facility) DiffRevs(pageURL, oldRev, newRev string) (DiffResult, error) {
-	key := pageURL + "\x00" + oldRev + "\x00" + newRev
-	if html, ok := f.diffCache.get(key); ok {
-		f.metrics().Counter("snapshot.diffcache.hits").Inc()
-		return DiffResult{HTML: html, OldRev: oldRev, NewRev: newRev, Cached: true}, nil
-	}
-	f.metrics().Counter("snapshot.diffcache.misses").Inc()
-	var oldText, newText string
-	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
-		var cerr error
-		if oldText, cerr = a.Checkout(oldRev); cerr != nil {
-			return cerr
-		}
-		newText, cerr = a.Checkout(newRev)
-		return cerr
-	})
+	ds, err := f.DiffRevsStream(pageURL, oldRev, newRev)
 	if err != nil {
 		return DiffResult{}, err
 	}
-	opt := f.DiffOptions
-	opt.Title = fmt.Sprintf("%s (%s vs %s)", pageURL, oldRev, newRev)
-	r := f.diff(oldText, newText, opt)
-	size := f.diffCache.put(key, r.HTML)
-	f.metrics().Gauge("snapshot.diffcache.size").Set(int64(size))
-	return DiffResult{HTML: r.HTML, OldRev: oldRev, NewRev: newRev, Stats: r.Stats}, nil
+	return materialize(ds), nil
+}
+
+// materialize renders a stream into its DiffResult.
+func materialize(ds *DiffStream) DiffResult {
+	var sb strings.Builder
+	ds.Render(&sb) // a Builder never fails
+	r := ds.DiffResult
+	r.HTML = sb.String()
+	return r
 }
 
 // History returns the page's revision log (newest first) and the set of
@@ -421,8 +443,10 @@ func (f *Facility) Prune(keep int) ([]PruneResult, error) {
 			dropped, err := f.archive(u).Prune(keep)
 			if err == nil && dropped > 0 {
 				// The archive was rewritten: refresh its checksum
-				// while the lock still protects it.
+				// while the lock still protects it, and drop cached
+				// diffs that referenced the pruned revisions.
 				f.recordChecksumPath(KindArchive, f.store.ArchivePath(u))
+				f.invalidateDiffCache(u)
 			}
 			unlock()
 			if err != nil {
@@ -518,9 +542,14 @@ func (f *Facility) userFile(user string) string {
 	return f.store.UserPath(user)
 }
 
-// loadUser reads a user's control file ({} when absent).
+// loadUser reads a user's control file ({} when absent). The empty
+// user never has one — markSeen only writes for named users — so the
+// anonymous read path skips the file probe entirely.
 func (f *Facility) loadUser(user string) (userControl, error) {
 	uc := userControl{Versions: map[string][]string{}}
+	if user == "" {
+		return uc, nil
+	}
 	data, err := os.ReadFile(f.userFile(user))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -669,57 +698,7 @@ func (f *Facility) ShardStats() ([]ShardStat, error) {
 
 // --- HtmlDiff output cache ------------------------------------------------------
 
-// DefaultDiffCacheMax is the rendered-diff cache's entry bound when the
-// caller does not configure one (snapshotd's -diffcache-max flag).
-const DefaultDiffCacheMax = 128
-
-// diffCache is a bounded map of rendered HtmlDiff outputs. Simple random
-// eviction suffices: entries are small and regeneration is cheap relative
-// to correctness concerns.
-type diffCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]string
-	hits    int
-}
-
-func (c *diffCache) get(key string) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.entries[key]
-	if ok {
-		c.hits++
-	}
-	return v, ok
-}
-
-func (c *diffCache) put(key, html string) (size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.entries) >= c.max {
-		for k := range c.entries {
-			delete(c.entries, k)
-			break
-		}
-	}
-	c.entries[key] = html
-	return len(c.entries)
-}
-
-// DiffCacheHits reports how many diff requests were served from cache.
-func (f *Facility) DiffCacheHits() int {
-	f.diffCache.mu.Lock()
-	defer f.diffCache.mu.Unlock()
-	return f.diffCache.hits
-}
-
-// SetDiffCacheMax resizes the rendered-diff cache's entry bound
-// (n <= 0 restores the default). Existing entries stay until eviction.
-func (f *Facility) SetDiffCacheMax(n int) {
-	if n <= 0 {
-		n = DefaultDiffCacheMax
-	}
-	f.diffCache.mu.Lock()
-	f.diffCache.max = n
-	f.diffCache.mu.Unlock()
-}
+// DefaultDiffCacheMax is the rendered-diff cache's byte bound when the
+// caller does not configure one (snapshotd's -diffcache-max flag). The
+// LRU itself lives in diffcache.go.
+const DefaultDiffCacheMax = 32 << 20

@@ -122,6 +122,12 @@ func (f *Facility) repairFile(ctx context.Context, kind, name string) error {
 		return err
 	}
 	f.recordChecksum(kind, name, good)
+	if kind == KindArchive {
+		// The replica's copy may carry revisions the damaged local one
+		// rendered from; cached diffs are file-scoped rewrites we can't
+		// map back to a URL here, so drop everything. Repairs are rare.
+		f.invalidateDiffCacheAll()
+	}
 	f.metrics().Counter("failover.repaired").Inc()
 	return nil
 }

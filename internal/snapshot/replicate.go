@@ -237,6 +237,15 @@ func (f *Facility) suspectMissing(kind, name string) bool {
 // leader imports correctly into a sharded replica and vice versa.
 // Unknown kinds and unsafe names are rejected.
 func (f *Facility) Import(r io.Reader) (files int, err error) {
+	archives := false
+	defer func() {
+		if archives {
+			// Imported archives may differ from whatever local copies the
+			// cached diffs rendered from; the stream names files, not
+			// URLs, so drop the whole cache.
+			f.invalidateDiffCacheAll()
+		}
+	}()
 	dec := json.NewDecoder(r)
 	for {
 		var df dumpFile
@@ -244,6 +253,9 @@ func (f *Facility) Import(r io.Reader) (files int, err error) {
 			return files, nil
 		} else if err != nil {
 			return files, fmt.Errorf("snapshot: corrupt export stream: %v", err)
+		}
+		if df.Kind == KindArchive {
+			archives = true
 		}
 		if df.Delete {
 			if err := f.store.Remove(df.Kind, df.Name); err != nil {

@@ -459,6 +459,9 @@ func (f *Facility) confirmAndRepair(ctx context.Context, shard int, sf StoredFil
 			return
 		}
 		f.recordChecksum(sf.Kind, sf.Name, good)
+		if sf.Kind == KindArchive {
+			f.invalidateDiffCacheAll() // rewritten archive: cached renderings are suspect
+		}
 		rep.Repaired++
 	case contentHash(data):
 		// Replica agrees with the disk against the ledger: the ledger
@@ -491,6 +494,9 @@ func (f *Facility) scrubMissing(ctx context.Context, shard int, e ledgerEntry, r
 				if _, serr := os.Stat(path); os.IsNotExist(serr) {
 					if werr := f.writeStored(path, good); werr == nil {
 						f.recordChecksum(e.Kind, e.Name, good)
+						if e.Kind == KindArchive {
+							f.invalidateDiffCacheAll()
+						}
 						rep.Repaired++
 						unlock()
 						return

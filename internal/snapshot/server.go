@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"html"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"aide/internal/breaker"
+	"aide/internal/flushwriter"
 	"aide/internal/obs"
 	"aide/internal/rcs"
 )
@@ -53,14 +55,17 @@ type Server struct {
 
 // reqCtx derives the working context for one request: the request's own
 // context (canceled when the client goes away) plus the server's
-// per-request deadline.
+// per-request deadline. With no deadline configured the request context
+// is used as-is — no derived context, no cancel bookkeeping per request.
 func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	ctx := r.Context()
 	if s.RequestTimeout > 0 {
 		return context.WithTimeout(ctx, s.RequestTimeout)
 	}
-	return context.WithCancel(ctx)
+	return ctx, noopCancel
 }
+
+func noopCancel() {}
 
 // NewServer returns a Server with the paper-style keepalive enabled.
 func NewServer(f *Facility) *Server {
@@ -134,6 +139,7 @@ func (s *Server) routes() (*http.ServeMux, func(*Gate)) {
 	mux.HandleFunc("/shard/export", s.handleShardExport)
 	mux.HandleFunc("/shard/import", s.handleShardImport)
 	mux.HandleFunc("/debug/shards", s.handleDebugShards)
+	mux.HandleFunc("/debug/corpus", s.handleDebugCorpus)
 	debug := obs.Handler(s.Facility.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
 	mux.Handle("/metrics", debug)
@@ -239,12 +245,13 @@ func userURL(r *http.Request) (user, pageURL string) {
 
 // handleRemember implements the report's Remember link (§6).
 func (s *Server) handleRemember(w http.ResponseWriter, r *http.Request) {
-	user, err := s.authUser(r)
+	q := r.URL.Query()
+	user, err := s.authUser(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 		return
 	}
-	pageURL := r.URL.Query().Get("url")
+	pageURL := q.Get("url")
 	if pageURL == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
@@ -271,45 +278,46 @@ func (s *Server) handleRemember(w http.ResponseWriter, r *http.Request) {
 // two archived revisions; otherwise it compares the user's last-saved
 // version against the live page.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	user, err := s.authUser(r)
+	q := r.URL.Query()
+	user, err := s.authUser(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 		return
 	}
-	pageURL := r.URL.Query().Get("url")
+	pageURL := q.Get("url")
 	if pageURL == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
 	}
-	q := r.URL.Query()
 	r1, r2 := q.Get("r1"), q.Get("r2")
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/html")
-	s.withKeepalive(w, func() (string, error) {
-		var res DiffResult
+	s.streamKeepalive(w, func() (func(io.Writer) error, error) {
+		var ds *DiffStream
 		var err error
 		if r1 != "" && r2 != "" {
-			res, err = s.Facility.DiffRevs(pageURL, r1, r2)
+			ds, err = s.Facility.DiffRevsStream(pageURL, r1, r2)
 		} else {
-			res, err = s.Facility.DiffSinceSaved(ctx, user, pageURL)
+			ds, err = s.Facility.DiffSinceSavedStream(ctx, user, pageURL)
 		}
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return res.HTML, nil
+		return ds.Render, nil
 	})
 }
 
 // handleHistory implements the report's History link: the full version
 // log with links to view any revision or diff any adjacent pair (§6).
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	user, err := s.authUser(r)
+	q := r.URL.Query()
+	user, err := s.authUser(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 		return
 	}
-	pageURL := r.URL.Query().Get("url")
+	pageURL := q.Get("url")
 	if pageURL == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
@@ -320,26 +328,30 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html")
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "<HTML><HEAD><TITLE>History of %s</TITLE></HEAD><BODY>\n", html.EscapeString(pageURL))
-	fmt.Fprintf(&sb, "<H1>Version history</H1>\n<P><A HREF=\"%s\">%s</A></P>\n<UL>\n",
+	// Rows stream straight to the client: a long history never
+	// materialises, and a hung-up client stops the loop at the next row.
+	fw := flushwriter.New(w, 0)
+	fmt.Fprintf(fw, "<HTML><HEAD><TITLE>History of %s</TITLE></HEAD><BODY>\n", html.EscapeString(pageURL))
+	fmt.Fprintf(fw, "<H1>Version history</H1>\n<P><A HREF=\"%s\">%s</A></P>\n<UL>\n",
 		html.EscapeString(pageURL), html.EscapeString(pageURL))
 	esc := escapeQuery(pageURL)
 	for i, rev := range revs {
+		if fw.Err() != nil {
+			return
+		}
 		seenMark := ""
 		if seen[rev.Num] {
 			seenMark = " <B>(seen by you)</B>"
 		}
-		fmt.Fprintf(&sb, `<LI>%s &mdash; %s by %s%s [<A HREF="/co?url=%s&rev=%s">view</A>]`,
+		fmt.Fprintf(fw, `<LI>%s &mdash; %s by %s%s [<A HREF="/co?url=%s&rev=%s">view</A>]`,
 			rev.Num, rev.Date.UTC().Format(time.ANSIC), html.EscapeString(rev.Author), seenMark, esc, rev.Num)
 		if i+1 < len(revs) {
-			fmt.Fprintf(&sb, ` [<A HREF="/diff?url=%s&r1=%s&r2=%s">diff to %s</A>]`,
+			fmt.Fprintf(fw, ` [<A HREF="/diff?url=%s&r1=%s&r2=%s">diff to %s</A>]`,
 				esc, revs[i+1].Num, rev.Num, revs[i+1].Num)
 		}
-		sb.WriteString("\n")
+		fw.WriteString("\n")
 	}
-	sb.WriteString("</UL>\n</BODY></HTML>\n")
-	fmt.Fprint(w, sb.String())
+	fw.WriteString("</UL>\n</BODY></HTML>\n")
 }
 
 // handleCheckout serves an archived revision (/cgi-bin/co of §8.1),
@@ -370,7 +382,8 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html")
-	fmt.Fprint(w, InjectBase(text, pageURL))
+	fw := flushwriter.New(w, 0)
+	writeWithBase(fw, text, pageURL)
 }
 
 // handleRlog renders the plain revision log (/cgi-bin/rlog of §8.1).
@@ -386,15 +399,17 @@ func (s *Server) handleRlog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html")
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "<HTML><BODY><H1>rlog %s</H1>\n<PRE>\n", html.EscapeString(pageURL))
+	fw := flushwriter.New(w, 0)
+	fmt.Fprintf(fw, "<HTML><BODY><H1>rlog %s</H1>\n<PRE>\n", html.EscapeString(pageURL))
 	for _, rev := range revs {
-		fmt.Fprintf(&sb, "revision %s\ndate: %s;  author: %s\n%s\n----------------------------\n",
+		if fw.Err() != nil {
+			return
+		}
+		fmt.Fprintf(fw, "revision %s\ndate: %s;  author: %s\n%s\n----------------------------\n",
 			rev.Num, rev.Date.UTC().Format("2006/01/02 15:04:05"), html.EscapeString(rev.Author),
 			html.EscapeString(rev.Log))
 	}
-	sb.WriteString("</PRE></BODY></HTML>\n")
-	fmt.Fprint(w, sb.String())
+	fw.WriteString("</PRE></BODY></HTML>\n")
 }
 
 // handleRcsdiff shows differences between two revisions: HtmlDiff for
@@ -418,12 +433,13 @@ func (s *Server) handleRcsdiff(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "<HTML><BODY><PRE>%s</PRE></BODY></HTML>\n", html.EscapeString(d))
 		return
 	}
-	res, err := s.Facility.DiffRevs(pageURL, r1, r2)
+	ds, err := s.Facility.DiffRevsStream(pageURL, r1, r2)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	fmt.Fprint(w, res.HTML)
+	fw := flushwriter.New(w, 0)
+	ds.Render(fw)
 }
 
 // withKeepalive runs work while trickling ignorable bytes to the client,
@@ -474,6 +490,152 @@ func (s *Server) withKeepalive(w http.ResponseWriter, work func() (string, error
 	}
 }
 
+// streamKeepalive is withKeepalive for streamed responses: prepare does
+// the slow work (fetch, checkout, alignment) while the §4.2 trickle
+// keeps the connection alive, and the returned render function then
+// streams the page through a Flusher-aware writer — first bytes reach
+// the client while the tail is still being rendered, and a client that
+// hung up turns the rest of the render into no-ops via the writer's
+// sticky error.
+func (s *Server) streamKeepalive(w http.ResponseWriter, prepare func() (func(io.Writer) error, error)) {
+	stream := func(render func(io.Writer) error) {
+		fw := flushwriter.New(w, 0)
+		render(fw) // write errors are sticky in fw; nothing to add here
+	}
+	if s.KeepaliveInterval <= 0 {
+		render, err := prepare()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		stream(render)
+		return
+	}
+	type outcome struct {
+		render func(io.Writer) error
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		render, err := prepare()
+		done <- outcome{render, err}
+	}()
+	ticker := time.NewTicker(s.KeepaliveInterval)
+	defer ticker.Stop()
+	flusher, _ := w.(http.Flusher)
+	for {
+		select {
+		case <-ticker.C:
+			// One space, ignored by the browser, keeps httpd happy.
+			fmt.Fprint(w, " ")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case o := <-done:
+			if o.err != nil {
+				// Headers may already be out; deliver the error in-band.
+				fmt.Fprintf(w, "<HTML><BODY><B>Error:</B> %s</BODY></HTML>\n",
+					html.EscapeString(o.err.Error()))
+				return
+			}
+			stream(o.render)
+			return
+		}
+	}
+}
+
+// CorpusPage is one archived page in the /debug/corpus listing: the URL
+// and its revision numbers, oldest first — what a load generator needs
+// to construct valid /diff, /history, and /co requests against a live
+// server.
+type CorpusPage struct {
+	URL  string   `json:"url"`
+	Revs []string `json:"revs"`
+}
+
+// handleDebugCorpus lists the archived corpus as JSON for external
+// benchmarking (cmd/loadgen -target). ?limit=N bounds the listing.
+func (s *Server) handleDebugCorpus(w http.ResponseWriter, r *http.Request) {
+	urls, err := s.Facility.ArchivedURLs()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, perr := strconv.Atoi(v); perr == nil && n >= 0 && n < len(urls) {
+			urls = urls[:n]
+		}
+	}
+	pages := make([]CorpusPage, 0, len(urls))
+	for _, u := range urls {
+		revs, _, herr := s.Facility.History("", u)
+		if herr != nil {
+			continue // mid-scrub or just-deleted archive: skip, don't fail the listing
+		}
+		p := CorpusPage{URL: u, Revs: make([]string, 0, len(revs))}
+		for i := len(revs) - 1; i >= 0; i-- { // History is newest-first
+			p.Revs = append(p.Revs, revs[i].Num)
+		}
+		pages = append(pages, p)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Pages []CorpusPage `json:"pages"`
+	}{pages})
+}
+
+// writeWithBase streams doc with the §4.1 BASE directive injected. It
+// scans case-insensitively in place — InjectBase's strings.ToUpper
+// would copy a multi-MB page just to find two tags.
+func writeWithBase(fw *flushwriter.Writer, doc, baseURL string) error {
+	if indexFold(doc, "<BASE") >= 0 {
+		return fw.WriteStringChunks(doc) // author already set one
+	}
+	at := 0
+	if i := indexFold(doc, "<HEAD>"); i >= 0 {
+		at = i + len("<HEAD>")
+	}
+	if err := fw.WriteStringChunks(doc[:at]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(fw, "<BASE HREF=\"%s\">", baseURL); err != nil {
+		return err
+	}
+	return fw.WriteStringChunks(doc[at:])
+}
+
+// indexFold is an allocation-free case-insensitive strings.Index for an
+// already-uppercase ASCII needle.
+func indexFold(s, upperNeedle string) int {
+	n := len(upperNeedle)
+	if n == 0 || n > len(s) {
+		return -1
+	}
+	first := upperNeedle[0]
+	for i := 0; i+n <= len(s); i++ {
+		if upperASCII(s[i]) != first {
+			continue
+		}
+		j := 1
+		for ; j < n; j++ {
+			if upperASCII(s[i+j]) != upperNeedle[j] {
+				break
+			}
+		}
+		if j == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func upperASCII(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - ('a' - 'A')
+	}
+	return c
+}
+
 // InjectBase inserts a <BASE HREF=...> directive so that relative links
 // in an archived copy resolve against the page's original home (§4.1).
 // The directive goes just after <HEAD> when present, else at the front.
@@ -490,9 +652,13 @@ func InjectBase(doc, baseURL string) string {
 	return tag + doc
 }
 
+// queryEscaper is built once: a strings.Replacer compiles its search
+// structure on first use, which showed up in serving profiles when it
+// was rebuilt per request.
+var queryEscaper = strings.NewReplacer("%", "%25", "&", "%26", "+", "%2B", " ", "%20", "#", "%23", "?", "%3F", "=", "%3D", "/", "%2F", ":", "%3A")
+
 func escapeQuery(s string) string {
-	r := strings.NewReplacer("%", "%25", "&", "%26", "+", "%2B", " ", "%20", "#", "%23", "?", "%3F", "=", "%3D", "/", "%2F", ":", "%3A")
-	return r.Replace(s)
+	return queryEscaper.Replace(s)
 }
 
 // httpError maps facility errors to HTTP statuses.
