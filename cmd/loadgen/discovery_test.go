@@ -7,32 +7,92 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"aide/internal/httpdate"
 )
 
 func TestRequestURLDiffPairs(t *testing.T) {
 	p := page{URL: "http://h/p", Revs: []string{"1.1", "1.2", "1.3"}}
 	rng := rand.New(rand.NewSource(1))
 	// span: the whole history, oldest vs newest.
-	u := requestURL("http://t", "diff", "span", p, rng)
+	u, _ := requestURL("http://t", "diff", "span", p, rng)
 	if !strings.Contains(u, "r1=1.1") || !strings.Contains(u, "r2=1.3") {
 		t.Errorf("span pair = %s", u)
 	}
 	// latest: the adjacent pair the server pre-warms on check-in.
-	u = requestURL("http://t", "diff", "latest", p, rng)
+	u, _ = requestURL("http://t", "diff", "latest", p, rng)
 	if !strings.Contains(u, "r1=1.2") || !strings.Contains(u, "r2=1.3") {
 		t.Errorf("latest pair = %s", u)
 	}
 	// A single-revision page degrades to comparing the revision with
 	// itself rather than indexing out of bounds.
 	one := page{URL: "http://h/q", Revs: []string{"1.1"}}
-	u = requestURL("http://t", "diff", "latest", one, rng)
+	u, _ = requestURL("http://t", "diff", "latest", one, rng)
 	if !strings.Contains(u, "r1=1.1") || !strings.Contains(u, "r2=1.1") {
 		t.Errorf("single-rev latest pair = %s", u)
 	}
 	// co picks an existing revision.
-	u = requestURL("http://t", "co", "span", p, rng)
+	u, _ = requestURL("http://t", "co", "span", p, rng)
 	if !strings.Contains(u, "/co?url=") || !strings.Contains(u, "&rev=1.") {
 		t.Errorf("co url = %s", u)
+	}
+}
+
+// TestRequestURLTimeTravel checks the RFC 7089 endpoints: timegate draws
+// an in-range Accept-Datetime, memdiff draws an ordered 14-digit pair,
+// and pages without datetimes degrade to clamped requests.
+func TestRequestURLTimeTravel(t *testing.T) {
+	p := page{
+		URL: "http://h/p", Revs: []string{"1.1", "1.2"},
+		First: time.Date(1996, 6, 1, 12, 0, 0, 0, time.UTC),
+		Last:  time.Date(1996, 6, 5, 12, 0, 0, 0, time.UTC),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		u, adt := requestURL("http://t", "timegate", "span", p, rng)
+		if !strings.HasPrefix(u, "http://t/timegate?url=") {
+			t.Fatalf("timegate url = %s", u)
+		}
+		when, err := httpdate.Parse(adt)
+		if err != nil {
+			t.Fatalf("Accept-Datetime %q: %v", adt, err)
+		}
+		if when.Before(p.First) || when.After(p.Last) {
+			t.Fatalf("Accept-Datetime %s outside [%s, %s]", when, p.First, p.Last)
+		}
+	}
+	u, adt := requestURL("http://t", "timemap", "span", p, rng)
+	if !strings.HasPrefix(u, "http://t/timemap/link?url=") || adt != "" {
+		t.Errorf("timemap request = %s (adt %q)", u, adt)
+	}
+	for i := 0; i < 50; i++ {
+		u, adt = requestURL("http://t", "memdiff", "span", p, rng)
+		if adt != "" || !strings.HasPrefix(u, "http://t/memento/diff?url=") {
+			t.Fatalf("memdiff request = %s (adt %q)", u, adt)
+		}
+		var from, to string
+		for _, kv := range strings.Split(strings.SplitN(u, "?", 2)[1], "&") {
+			if v, ok := strings.CutPrefix(kv, "from="); ok {
+				from = v
+			}
+			if v, ok := strings.CutPrefix(kv, "to="); ok {
+				to = v
+			}
+		}
+		if len(from) != 14 || len(to) != 14 || from > to {
+			t.Fatalf("memdiff bounds from=%q to=%q in %s", from, to, u)
+		}
+	}
+	// No known datetime range: timegate sends no header (negotiates to
+	// the latest) and memdiff clamps from the epoch.
+	bare := page{URL: "http://h/q", Revs: []string{"1.1"}}
+	if _, adt := requestURL("http://t", "timegate", "span", bare, rng); adt != "" {
+		t.Errorf("bare timegate Accept-Datetime = %q", adt)
+	}
+	u, _ = requestURL("http://t", "memdiff", "span", bare, rng)
+	if !strings.Contains(u, "from=19700101000000") || strings.Contains(u, "to=") {
+		t.Errorf("bare memdiff url = %s", u)
 	}
 }
 
@@ -46,7 +106,7 @@ func TestDiscoverPagesFromCorpus(t *testing.T) {
 			return
 		}
 		fmt.Fprint(w, `{"pages":[
-			{"url":"http://h/a","revs":["1.1","1.2"]},
+			{"url":"http://h/a","revs":["1.1","1.2"],"first":"1996-06-01T12:00:00Z","last":"1996-06-02T12:00:00Z"},
 			{"url":"http://h/empty","revs":[]},
 			{"url":"http://h/b","revs":["1.1"]}
 		]}`)
@@ -62,6 +122,14 @@ func TestDiscoverPagesFromCorpus(t *testing.T) {
 	}
 	if len(pages[0].Revs) != 2 || pages[0].Revs[1] != "1.2" {
 		t.Errorf("revs = %+v", pages[0].Revs)
+	}
+	if pages[0].First != time.Date(1996, 6, 1, 12, 0, 0, 0, time.UTC) ||
+		pages[0].Last != time.Date(1996, 6, 2, 12, 0, 0, 0, time.UTC) {
+		t.Errorf("datetime range = [%s, %s]", pages[0].First, pages[0].Last)
+	}
+	// Pre-datetime servers leave the range zero.
+	if !pages[1].First.IsZero() || !pages[1].Last.IsZero() {
+		t.Errorf("missing datetimes parsed as [%s, %s]", pages[1].First, pages[1].Last)
 	}
 
 	old := httptest.NewServer(http.NotFoundHandler())

@@ -3,6 +3,14 @@
 // requests for a fixed duration and the run reports per-endpoint
 // p50/p95/p99 latency and throughput as JSON.
 //
+// The mix also accepts the RFC 7089 time-travel endpoints: "timegate"
+// issues /timegate with a random Accept-Datetime drawn from the page's
+// archived range and follows the 302 to the memento, "timemap" fetches
+// the page's /timemap/link listing, and "memdiff" requests
+// /memento/diff between two random datetimes. Page datetime ranges
+// come from the harness's own seeding when self-hosting and from the
+// target's /debug/corpus first/last fields otherwise.
+//
 // Against a running server:
 //
 //	loadgen -target http://localhost:8080 -c 16 -d 30s
@@ -58,6 +66,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"aide/internal/httpdate"
+	"aide/internal/memento"
 )
 
 func main() {
@@ -65,7 +76,7 @@ func main() {
 		target    = flag.String("target", "", "base URL of a running snapshotd (empty = self-host a websim-backed instance)")
 		conc      = flag.Int("c", 8, "concurrent closed-loop workers")
 		dur       = flag.Duration("d", 10*time.Second, "load duration")
-		mixSpec   = flag.String("mix", "diff=4,history=3,co=3", "endpoint weights, e.g. diff=4,history=3,co=3")
+		mixSpec   = flag.String("mix", "diff=4,history=3,co=3", "endpoint weights over diff, history, co, timegate, timemap, memdiff")
 		urls      = flag.Int("urls", 32, "self-host: distinct simulated pages")
 		revs      = flag.Int("revs", 3, "self-host: archived revisions per page")
 		shards    = flag.Int("shards", 2, "self-host: shard count for the snapshot store")
@@ -266,7 +277,22 @@ type weighted struct {
 	weight int
 }
 
-var knownEndpoints = map[string]bool{"diff": true, "history": true, "co": true}
+var knownEndpoints = map[string]bool{
+	"diff": true, "history": true, "co": true,
+	"timegate": true, "timemap": true, "memdiff": true,
+}
+
+// endpointLabels maps a mix name to the mux pattern the RED middleware
+// labels its requests with — what -require-histograms greps /metrics
+// for.
+var endpointLabels = map[string]string{
+	"diff":     "/diff",
+	"history":  "/history",
+	"co":       "/co",
+	"timegate": "/timegate",
+	"timemap":  "/timemap/link",
+	"memdiff":  "/memento/diff",
+}
 
 // parseMix parses "diff=4,history=3,co=3" into a weighted endpoint list.
 func parseMix(spec string) ([]weighted, error) {
@@ -285,7 +311,7 @@ func parseMix(spec string) ([]weighted, error) {
 			return nil, fmt.Errorf("bad mix weight in %q", part)
 		}
 		if !knownEndpoints[name] {
-			return nil, fmt.Errorf("unknown mix endpoint %q (have diff, history, co)", name)
+			return nil, fmt.Errorf("unknown mix endpoint %q (have diff, history, co, timegate, timemap, memdiff)", name)
 		}
 		if n > 0 {
 			mix = append(mix, weighted{name, n})
@@ -314,29 +340,66 @@ func pickEndpoint(mix []weighted, rng *rand.Rand) string {
 }
 
 // page is one archived URL and its revision numbers, the raw material a
-// workload request is built from.
+// workload request is built from. First and Last bound the page's
+// archived datetime range; zero values degrade the time-travel
+// endpoints to boundary-clamped requests.
 type page struct {
-	URL  string
-	Revs []string
+	URL   string
+	Revs  []string
+	First time.Time
+	Last  time.Time
 }
 
-// requestURL renders one workload request against base. diffPair picks
-// the /diff revisions: "latest" compares the newest pair — the one the
-// server pre-warms after a check-in — "span" the oldest vs the newest.
-func requestURL(base, endpoint, diffPair string, p page, rng *rand.Rand) string {
+// randInstant draws a uniform instant from the page's archived range.
+func (p page) randInstant(rng *rand.Rand) time.Time {
+	if p.First.IsZero() || !p.Last.After(p.First) {
+		return p.First
+	}
+	return p.First.Add(time.Duration(rng.Int63n(int64(p.Last.Sub(p.First)) + 1)))
+}
+
+// requestURL renders one workload request against base, returning the
+// URL and the Accept-Datetime header value ("" for none). diffPair
+// picks the /diff revisions: "latest" compares the newest pair — the
+// one the server pre-warms after a check-in — "span" the oldest vs the
+// newest.
+func requestURL(base, endpoint, diffPair string, p page, rng *rand.Rand) (reqURL, acceptDatetime string) {
 	esc := url.QueryEscape(p.URL)
 	switch endpoint {
 	case "history":
-		return base + "/history?url=" + esc
+		return base + "/history?url=" + esc, ""
 	case "co":
 		rev := p.Revs[rng.Intn(len(p.Revs))]
-		return base + "/co?url=" + esc + "&rev=" + rev
+		return base + "/co?url=" + esc + "&rev=" + rev, ""
+	case "timegate":
+		// Negotiate to a random instant in the archived range; with no
+		// range known, no header — the gate sends the latest memento.
+		if p.First.IsZero() {
+			return base + "/timegate?url=" + esc, ""
+		}
+		return base + "/timegate?url=" + esc, httpdate.Format(p.randInstant(rng))
+	case "timemap":
+		return base + "/timemap/link?url=" + esc, ""
+	case "memdiff":
+		// Two random instants, ordered; the server negotiates each to
+		// its nearest memento. With no range known, clamp from the epoch
+		// to the latest.
+		if p.First.IsZero() {
+			return base + "/memento/diff?url=" + esc + "&from=19700101000000", ""
+		}
+		t1, t2 := p.randInstant(rng), p.randInstant(rng)
+		if t2.Before(t1) {
+			t1, t2 = t2, t1
+		}
+		return base + "/memento/diff?url=" + esc +
+			"&from=" + memento.FormatTimestamp(t1) +
+			"&to=" + memento.FormatTimestamp(t2), ""
 	default:
 		r1 := p.Revs[0]
 		if diffPair == "latest" && len(p.Revs) > 1 {
 			r1 = p.Revs[len(p.Revs)-2]
 		}
-		return base + "/diff?url=" + esc + "&r1=" + r1 + "&r2=" + p.Revs[len(p.Revs)-1]
+		return base + "/diff?url=" + esc + "&r1=" + r1 + "&r2=" + p.Revs[len(p.Revs)-1], ""
 	}
 }
 
@@ -371,9 +434,17 @@ func runLoad(base string, pages []page, mix []weighted, diffPair string, conc in
 			var local []sample
 			for time.Now().Before(deadline) {
 				endpoint := pickEndpoint(mix, rng)
-				u := requestURL(base, endpoint, diffPair, pages[rng.Intn(len(pages))], rng)
+				u, adt := requestURL(base, endpoint, diffPair, pages[rng.Intn(len(pages))], rng)
+				req, rerr := http.NewRequest("GET", u, nil)
+				if rerr != nil {
+					local = append(local, sample{endpoint, 0, true})
+					continue
+				}
+				if adt != "" {
+					req.Header.Set("Accept-Datetime", adt)
+				}
 				t0 := time.Now()
-				resp, err := client.Get(u)
+				resp, err := client.Do(req)
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
 				bad := err != nil
 				if resp != nil {
@@ -561,7 +632,11 @@ func checkHistograms(base string, mix []weighted) error {
 		counts[line[len("http_request_duration_count"):brace+1]] = v
 	}
 	for _, m := range mix {
-		series := fmt.Sprintf(`{endpoint="/%s"}`, m.name)
+		label := endpointLabels[m.name]
+		if label == "" {
+			label = "/" + m.name
+		}
+		series := fmt.Sprintf(`{endpoint=%q}`, label)
 		if counts[series] <= 0 {
 			return fmt.Errorf("/metrics has no duration histogram for %s (found %v)", series, counts)
 		}

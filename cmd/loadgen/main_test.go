@@ -128,12 +128,15 @@ func TestSelfHostSmoke(t *testing.T) {
 	if len(h.Pages) != 4 || len(h.Pages[0].Revs) != 2 {
 		t.Fatalf("pages = %+v", h.Pages)
 	}
-	mix, _ := parseMix("diff=1,history=1,co=1")
+	if h.Pages[0].First.IsZero() || !h.Pages[0].Last.After(h.Pages[0].First) {
+		t.Fatalf("page datetime range = [%s, %s]", h.Pages[0].First, h.Pages[0].Last)
+	}
+	mix, _ := parseMix("diff=1,history=1,co=1,timegate=1,timemap=1,memdiff=1")
 	report := runLoad(h.BaseURL, h.Pages, mix, "latest", 2, 300*time.Millisecond, 7)
 	if report.Requests == 0 || report.Errors != 0 {
 		t.Fatalf("report = %+v", report)
 	}
-	for _, name := range []string{"diff", "history", "co"} {
+	for _, name := range []string{"diff", "history", "co", "timegate", "timemap", "memdiff"} {
 		st, ok := report.Endpoints[name]
 		if !ok || st.Requests == 0 || math.IsNaN(st.P99Ms) {
 			t.Errorf("endpoint %s stats = %+v (ok=%v)", name, st, ok)

@@ -115,6 +115,9 @@ func selfHost(urls, revs, shards int, seed int64, withReplica bool) (*harness, e
 		if len(p.Revs) == 0 {
 			return nil, fmt.Errorf("no revisions archived for %s", u)
 		}
+		// History lists newest-first; the time-travel endpoints draw
+		// Accept-Datetime instants from [First, Last].
+		p.First, p.Last = rl[len(rl)-1].Date, rl[0].Date
 		h.Pages = append(h.Pages, p)
 	}
 
@@ -167,8 +170,10 @@ func discoverPages(base string, h *harness) ([]page, error) {
 	}
 	var listing struct {
 		Pages []struct {
-			URL  string   `json:"url"`
-			Revs []string `json:"revs"`
+			URL   string   `json:"url"`
+			Revs  []string `json:"revs"`
+			First string   `json:"first"`
+			Last  string   `json:"last"`
 		} `json:"pages"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
@@ -179,7 +184,16 @@ func discoverPages(base string, h *harness) ([]page, error) {
 		if len(p.Revs) == 0 {
 			continue
 		}
-		pages = append(pages, page{URL: p.URL, Revs: p.Revs})
+		pg := page{URL: p.URL, Revs: p.Revs}
+		// Older servers omit the datetimes; the time-travel endpoints
+		// then fall back to clamped requests.
+		if t, err := time.Parse(time.RFC3339, p.First); err == nil {
+			pg.First = t
+		}
+		if t, err := time.Parse(time.RFC3339, p.Last); err == nil {
+			pg.Last = t
+		}
+		pages = append(pages, pg)
 	}
 	return pages, nil
 }

@@ -11,7 +11,7 @@
 //	          [-shards 1] [-replicas addr,addr] [-replica-sync 1m]
 //	          [-replica-repair-shards 1] [-replica-fail-threshold 3]
 //	          [-replica-cooldown 1m] [-scrub-interval 0] [-scrub-rate 200]
-//	          [-diffcache-max 33554432] [-prewarm 2]
+//	          [-diffcache-max 33554432] [-prewarm 2] [-timemap-page 500]
 //	          [-sweep 1h] [-sweep-workers 4] [-sweep-jitter 0] [-fixed fixed-urls.txt]
 //	          [-sched] [-sched-min 15m] [-sched-max 168h] [-host-rps 1]
 //	          [-jitter-seed 0] [-forms] [-auth] [-timeout 30s] [-req-timeout 2m]
@@ -31,6 +31,14 @@
 // invalidated per URL on check-in); -prewarm sizes the worker pool that
 // re-renders each page's hot revision pairs after a changed check-in so
 // the first viewer hits the cache (0 disables pre-warming).
+//
+// Every archived URL is also served through the RFC 7089 Memento
+// endpoints: /timegate (Accept-Datetime negotiation, 302 to the
+// closest archived state), /timemap/link (application/link-format
+// listing of all mementos, paged every -timemap-page entries), and
+// /memento/<YYYYMMDDhhmmss>/<url> (the archived state itself, with
+// Memento-Datetime and Link headers); /memento/diff?url=&from=&to=
+// renders the HtmlDiff between the states nearest two datetimes.
 //
 // Self-healing: each replica carries a health state machine — after
 // -replica-fail-threshold consecutive failed syncs it is marked down
@@ -95,6 +103,7 @@ import (
 	"aide/internal/aide"
 	"aide/internal/breaker"
 	"aide/internal/formreg"
+	"aide/internal/memento"
 	"aide/internal/obs"
 	"aide/internal/robots"
 	"aide/internal/sched"
@@ -116,6 +125,7 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 0, "pause between checksum-scrub passes, one shard per pass (0 disables scrubbing)")
 	scrubRate := flag.Int("scrub-rate", 200, "scrub pacing in files per second (0 = unpaced)")
 	diffCacheMax := flag.Int64("diffcache-max", snapshot.DefaultDiffCacheMax, "rendered-diff cache budget in bytes (LRU-evicted)")
+	timemapPage := flag.Int("timemap-page", memento.DefaultPageSize, "mementos per TimeMap page on the RFC 7089 endpoints")
 	prewarm := flag.Int("prewarm", snapshot.DefaultPrewarmWorkers, "diff pre-warm workers rendering hot rev-pairs after each check-in (0 disables)")
 	sweep := flag.Duration("sweep", time.Hour, "server-side tracking sweep interval (0 disables)")
 	fixedPath := flag.String("fixed", "", "file of fixed-page URLs (one 'url title...' per line) archived on every change")
@@ -280,6 +290,7 @@ func main() {
 
 	snapSrv := snapshot.NewServer(fac)
 	snapSrv.RequestTimeout = *reqTimeout
+	snapSrv.TimeMapPage = *timemapPage
 	if *replicas != "" {
 		repl := snapshot.NewReplicator(fac, client, strings.Split(*replicas, ","), *jitterSeed)
 		repl.RepairShards = *replicaRepair

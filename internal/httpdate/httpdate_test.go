@@ -1,0 +1,133 @@
+package httpdate
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// ref is the instant RFC 9110 uses in its own examples.
+var ref = time.Date(1994, time.November, 6, 8, 49, 37, 0, time.UTC)
+
+func TestParseCanonicalForms(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     time.Time
+	}{
+		{"imf-fixdate", "Sun, 06 Nov 1994 08:49:37 GMT", ref},
+		{"rfc850", "Sunday, 06-Nov-94 08:49:37 GMT", ref},
+		{"asctime", "Sun Nov  6 08:49:37 1994", ref},
+		{"asctime single space", "Sun Nov 6 08:49:37 1994", ref},
+		{"rfc1123z zero offset", "Sun, 06 Nov 1994 08:49:37 +0000", ref},
+		{"rfc1123z offset", "Sun, 06 Nov 1994 10:49:37 +0200", ref},
+		{"single-digit day", "Sun, 6 Nov 1994 08:49:37 GMT", ref},
+		{"rfc850 four-digit year", "Sun, 06-Nov-1994 08:49:37 GMT", ref},
+		{"no weekday", "06 Nov 1994 08:49:37 GMT", ref},
+		{"ut zone", "Sun, 06 Nov 1994 08:49:37 UT", ref},
+		{"utc zone", "Sun, 06 Nov 1994 08:49:37 UTC", ref},
+		{"lowercase zone", "Sun, 06 Nov 1994 08:49:37 gmt", ref},
+		{"surrounding space", "  Sun, 06 Nov 1994 08:49:37 GMT  ", ref},
+		{"rfc3339", "1994-11-06T08:49:37Z", ref},
+		{"rfc3339 offset", "1994-11-06T10:49:37+02:00", ref},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("%s: Parse(%q): %v", c.name, c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: Parse(%q) = %v, want %v", c.name, c.in, got, c.want)
+		}
+		if got.Location() != time.UTC {
+			t.Errorf("%s: Parse(%q) location = %v, want UTC", c.name, c.in, got.Location())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"   ",
+		"not a date",
+		"Sun, 06 Nov 1994",              // no time
+		"08:49:37 GMT",                  // no date
+		"Sun, 32 Nov 1994 08:49:37 GMT", // day out of range
+		"Sun, 06 Xyz 1994 08:49:37 GMT", // bad month
+		"1700000000",                    // bare epoch seconds are not an HTTP-date
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", in)
+		} else if !errors.Is(err, ErrBadDate) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadDate", in, err)
+		}
+	}
+}
+
+// TestRFC850TwoDigitYearWindow pins the century mapping for the
+// obsolete two-digit form: Go's time package maps 69–99 to 19xx and
+// 00–68 to 20xx.
+func TestRFC850TwoDigitYearWindow(t *testing.T) {
+	got, err := Parse("Thursday, 01-Jan-04 00:00:00 GMT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Year() != 2004 {
+		t.Errorf("two-digit year 04 parsed as %d, want 2004", got.Year())
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	times := []time.Time{
+		ref,
+		time.Date(1996, time.June, 3, 0, 0, 0, 0, time.UTC),
+		time.Date(2026, time.August, 7, 23, 59, 59, 0, time.UTC),
+		time.Date(2000, time.February, 29, 12, 0, 0, 0, time.UTC), // leap day
+	}
+	for _, want := range times {
+		s := Format(want)
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(Format(%v)) = %v", want, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip %v -> %q -> %v", want, s, got)
+		}
+	}
+	if s := Format(ref); s != "Sun, 06 Nov 1994 08:49:37 GMT" {
+		t.Errorf("Format(ref) = %q", s)
+	}
+	// Format normalises any zone to GMT.
+	est := time.FixedZone("EST", -5*3600)
+	if s := Format(time.Date(1994, 11, 6, 3, 49, 37, 0, est)); s != "Sun, 06 Nov 1994 08:49:37 GMT" {
+		t.Errorf("Format(EST instant) = %q", s)
+	}
+}
+
+// FuzzParse asserts two properties over arbitrary inputs: Parse never
+// panics, and anything it accepts re-parses to the same instant after
+// canonical formatting (Format is a fixpoint under Parse).
+func FuzzParse(f *testing.F) {
+	f.Add("Sun, 06 Nov 1994 08:49:37 GMT")
+	f.Add("Sunday, 06-Nov-94 08:49:37 GMT")
+	f.Add("Sun Nov  6 08:49:37 1994")
+	f.Add("1994-11-06T08:49:37Z")
+	f.Add("Sun, 06 Nov 1994 08:49:37 utc")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(got))
+		if err != nil {
+			t.Fatalf("Format(%v) = %q does not re-parse: %v", got, Format(got), err)
+		}
+		// HTTP-dates carry second precision; accepted RFC 3339 values
+		// may carry more, which Format truncates.
+		if back.Unix() != got.Unix() {
+			t.Fatalf("round trip drift: %q -> %v -> %v", s, got, back)
+		}
+	})
+}

@@ -1,0 +1,542 @@
+package memento
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"aide/internal/httpdate"
+)
+
+// fakeSource is a synthetic archive: an in-memory index plus canned
+// checkout/diff bodies, so handler tests exercise the protocol layer
+// against histories of any size without touching disk.
+type fakeSource struct {
+	pages map[string][]Memento
+	diffs []string
+}
+
+func (f *fakeSource) Index(u string) ([]Memento, error) {
+	ms, ok := f.pages[u]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotArchived, u)
+	}
+	return ms, nil
+}
+
+func (f *fakeSource) Checkout(u, rev string) (string, error) {
+	return "doc " + u + " " + rev, nil
+}
+
+func (f *fakeSource) DiffStream(u, oldRev, newRev string) (func(io.Writer) error, error) {
+	f.diffs = append(f.diffs, oldRev+"->"+newRev)
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, "diff "+oldRev+" "+newRev)
+		return err
+	}, nil
+}
+
+// genIndex builds n mementos an hour apart starting 1996-01-01 00:00.
+func genIndex(n int) []Memento {
+	base := time.Date(1996, 1, 1, 0, 0, 0, 0, time.UTC)
+	ms := make([]Memento, n)
+	for i := range ms {
+		ms[i] = Memento{Rev: fmt.Sprintf("1.%d", i+1), Time: base.Add(time.Duration(i) * time.Hour)}
+	}
+	return ms
+}
+
+const testURL = "http://example.com/a"
+
+func newTestServer(t *testing.T, src *fakeSource, pageSize int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	(&Handlers{Source: src, PageSize: pageSize}).Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// noRedirect returns a client that surfaces 3xx responses instead of
+// following them.
+func noRedirect() *http.Client {
+	return &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+}
+
+// link is one parsed application/link-format entry.
+type link struct {
+	uri   string
+	attrs map[string]string
+}
+
+// parseLinks parses link-format text (TimeMap bodies and Link header
+// values share the grammar). Commas inside quoted strings — HTTP-dates
+// carry one — do not split entries.
+func parseLinks(t *testing.T, s string) []link {
+	t.Helper()
+	var out []link
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		entry := strings.TrimSpace(cur.String())
+		cur.Reset()
+		if entry == "" {
+			return
+		}
+		if entry[0] != '<' {
+			t.Fatalf("link entry %q does not start with <uri>", entry)
+		}
+		end := strings.IndexByte(entry, '>')
+		if end < 0 {
+			t.Fatalf("link entry %q has unterminated uri", entry)
+		}
+		l := link{uri: entry[1:end], attrs: map[string]string{}}
+		for _, part := range strings.Split(entry[end+1:], ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(part, "=")
+			if !ok {
+				t.Fatalf("link attr %q in %q is not key=value", part, entry)
+			}
+			l.attrs[k] = strings.Trim(v, `"`)
+		}
+		out = append(out, l)
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// rels indexes parsed links by their rel value.
+func rels(ls []link) map[string][]link {
+	m := map[string][]link{}
+	for _, l := range ls {
+		m[l.attrs["rel"]] = append(m[l.attrs["rel"]], l)
+	}
+	return m
+}
+
+func TestTimeGateNegotiation(t *testing.T) {
+	ms := genIndex(5)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, 0)
+	client := noRedirect()
+
+	get := func(acceptDatetime string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("GET", ts.URL+"/timegate?url="+testURL, nil)
+		if acceptDatetime != "" {
+			req.Header.Set("Accept-Datetime", acceptDatetime)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// No Accept-Datetime: latest memento.
+	resp := get("")
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d, want 302", resp.StatusCode)
+	}
+	if v := resp.Header.Get("Vary"); !strings.EqualFold(v, "accept-datetime") {
+		t.Errorf("Vary = %q, want accept-datetime", v)
+	}
+	wantLoc := "/memento/" + FormatTimestamp(ms[4].Time) + "/" + testURL
+	if loc := resp.Header.Get("Location"); !strings.HasSuffix(loc, wantLoc) {
+		t.Errorf("Location = %q, want suffix %q", loc, wantLoc)
+	}
+	lr := rels(parseLinks(t, resp.Header.Get("Link")))
+	if len(lr["original"]) != 1 || lr["original"][0].uri != testURL {
+		t.Errorf("Link original = %+v", lr["original"])
+	}
+	if len(lr["timemap"]) != 1 || lr["timemap"][0].attrs["type"] != ContentType {
+		t.Errorf("Link timemap = %+v", lr["timemap"])
+	}
+	for _, rel := range []string{"first memento", "last memento"} {
+		if len(lr[rel]) != 1 {
+			t.Errorf("Link %q missing: %+v", rel, lr)
+			continue
+		}
+		if _, err := httpdate.Parse(lr[rel][0].attrs["datetime"]); err != nil {
+			t.Errorf("Link %q datetime %q: %v", rel, lr[rel][0].attrs["datetime"], err)
+		}
+	}
+
+	// Accept-Datetime negotiates to the closest memento.
+	resp = get(httpdate.Format(ms[2].Time.Add(10 * time.Minute)))
+	wantLoc = "/memento/" + FormatTimestamp(ms[2].Time) + "/" + testURL
+	if loc := resp.Header.Get("Location"); !strings.HasSuffix(loc, wantLoc) {
+		t.Errorf("negotiated Location = %q, want suffix %q", loc, wantLoc)
+	}
+
+	// Before the first capture clamps to the first memento.
+	resp = get("Mon, 01 Jan 1990 00:00:00 GMT")
+	wantLoc = "/memento/" + FormatTimestamp(ms[0].Time) + "/" + testURL
+	if loc := resp.Header.Get("Location"); !strings.HasSuffix(loc, wantLoc) {
+		t.Errorf("clamped Location = %q, want suffix %q", loc, wantLoc)
+	}
+
+	// Unparseable Accept-Datetime is the client's error.
+	if resp = get("not a date"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad Accept-Datetime status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTimeGatePathFormFollowsThrough(t *testing.T) {
+	ms := genIndex(3)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, 0)
+
+	// The path-embedded form rides through ServeMux path cleaning (301)
+	// and the TimeGate 302 to land on the memento itself.
+	req, _ := http.NewRequest("GET", ts.URL+"/timegate/"+testURL, nil)
+	req.Header.Set("Accept-Datetime", httpdate.Format(ms[1].Time))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %q", resp.StatusCode, body)
+	}
+	if want := "doc " + testURL + " 1.2"; string(body) != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+	if resp.Header.Get("Memento-Datetime") != httpdate.Format(ms[1].Time) {
+		t.Errorf("Memento-Datetime = %q", resp.Header.Get("Memento-Datetime"))
+	}
+}
+
+func TestTimeGateNotArchived(t *testing.T) {
+	ts := newTestServer(t, &fakeSource{pages: map[string][]Memento{}}, 0)
+	resp, err := noRedirect().Get(ts.URL + "/timegate?url=http://nowhere.invalid/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMementoHeaders(t *testing.T) {
+	ms := genIndex(3)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, 0)
+
+	resp, err := http.Get(ts.URL + "/memento/" + FormatTimestamp(ms[1].Time) + "/" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if want := "doc " + testURL + " 1.2"; string(body) != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+	if got := resp.Header.Get("Memento-Datetime"); got != httpdate.Format(ms[1].Time) {
+		t.Errorf("Memento-Datetime = %q, want %q", got, httpdate.Format(ms[1].Time))
+	}
+	if resp.Header.Get("Content-Location") != "" {
+		t.Errorf("canonical URI-M should not carry Content-Location")
+	}
+	lr := rels(parseLinks(t, resp.Header.Get("Link")))
+	for _, rel := range []string{"original", "timegate", "timemap", "prev memento", "next memento", "memento"} {
+		if len(lr[rel]) != 1 {
+			t.Errorf("Link %q count = %d, want 1 (%+v)", rel, len(lr[rel]), lr)
+		}
+	}
+	if u := lr["prev memento"][0].uri; !strings.Contains(u, FormatTimestamp(ms[0].Time)) {
+		t.Errorf("prev memento uri = %q", u)
+	}
+	if u := lr["next memento"][0].uri; !strings.Contains(u, FormatTimestamp(ms[2].Time)) {
+		t.Errorf("next memento uri = %q", u)
+	}
+
+	// A timestamp between captures serves the negotiated memento and
+	// names its canonical URI-M.
+	resp, err = http.Get(ts.URL + "/memento/" + FormatTimestamp(ms[1].Time.Add(time.Minute)) + "/" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Memento-Datetime"); got != httpdate.Format(ms[1].Time) {
+		t.Errorf("negotiated Memento-Datetime = %q", got)
+	}
+	if cl := resp.Header.Get("Content-Location"); !strings.Contains(cl, FormatTimestamp(ms[1].Time)) {
+		t.Errorf("Content-Location = %q, want canonical URI-M", cl)
+	}
+
+	// Partial timestamps resolve too.
+	resp, err = http.Get(ts.URL + "/memento/1996/" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("partial timestamp status = %d", resp.StatusCode)
+	}
+}
+
+func TestMementoPreservesTargetQuery(t *testing.T) {
+	queryURL := "http://example.com/a?x=1"
+	src := &fakeSource{pages: map[string][]Memento{queryURL: genIndex(2)}}
+	ts := newTestServer(t, src, 0)
+	resp, err := http.Get(ts.URL + "/memento/19960101000000/" + queryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %q", resp.StatusCode, body)
+	}
+	if want := "doc " + queryURL + " 1.1"; string(body) != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+}
+
+func TestTimeMapSmall(t *testing.T) {
+	ms := genIndex(4)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, 0)
+
+	resp, err := http.Get(ts.URL + "/timemap/link?url=" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	lr := rels(parseLinks(t, string(body)))
+	if len(lr["original"]) != 1 || lr["original"][0].uri != testURL {
+		t.Errorf("original link = %+v", lr["original"])
+	}
+	if len(lr["timegate"]) != 1 {
+		t.Errorf("timegate link missing")
+	}
+	self := lr["self"]
+	if len(self) != 1 {
+		t.Fatalf("self link count = %d", len(self))
+	}
+	if self[0].attrs["from"] != httpdate.Format(ms[0].Time) || self[0].attrs["until"] != httpdate.Format(ms[3].Time) {
+		t.Errorf("self from/until = %q/%q", self[0].attrs["from"], self[0].attrs["until"])
+	}
+	if len(lr["prev"]) != 0 || len(lr["next"]) != 0 {
+		t.Errorf("single-page TimeMap has prev/next: %+v", lr)
+	}
+	if len(lr["first memento"]) != 1 || len(lr["last memento"]) != 1 || len(lr["memento"]) != 2 {
+		t.Errorf("memento link counts: first=%d last=%d plain=%d",
+			len(lr["first memento"]), len(lr["last memento"]), len(lr["memento"]))
+	}
+}
+
+func TestTimeMapSingleMemento(t *testing.T) {
+	src := &fakeSource{pages: map[string][]Memento{testURL: genIndex(1)}}
+	ts := newTestServer(t, src, 0)
+	resp, err := http.Get(ts.URL + "/timemap/link?url=" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lr := rels(parseLinks(t, string(body)))
+	if len(lr["first last memento"]) != 1 {
+		t.Errorf(`single-memento TimeMap wants rel="first last memento": %+v`, lr)
+	}
+}
+
+// TestTimeMapPagingRoundTrip generates a 10,500-revision history and
+// walks the paged TimeMap like a Memento client: fetch page 1, follow
+// rel="next" until it disappears, and check the union reconstructs the
+// full index exactly.
+func TestTimeMapPagingRoundTrip(t *testing.T) {
+	const n, pageSize = 10500, 500
+	ms := genIndex(n)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, pageSize)
+
+	wantPages := PageCount(n, pageSize)
+	if wantPages != 21 {
+		t.Fatalf("PageCount = %d, want 21", wantPages)
+	}
+
+	type entry struct {
+		uri string
+		ts  time.Time
+	}
+	seen := map[string]entry{}
+	next := ts.URL + "/timemap/link?url=" + testURL
+	pages := 0
+	for next != "" {
+		resp, err := http.Get(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d status = %d", pages+1, resp.StatusCode)
+		}
+		pages++
+		lr := rels(parseLinks(t, string(body)))
+		if len(lr["self"]) != 1 {
+			t.Fatalf("page %d: self link count = %d", pages, len(lr["self"]))
+		}
+		if pages > 1 && len(lr["prev"]) != 1 {
+			t.Errorf("page %d: missing prev link", pages)
+		}
+		for _, rel := range []string{"memento", "first memento", "last memento", "first last memento"} {
+			for _, l := range lr[rel] {
+				dt, err := httpdate.Parse(l.attrs["datetime"])
+				if err != nil {
+					t.Fatalf("memento link %q datetime: %v", l.uri, err)
+				}
+				seen[l.uri] = entry{uri: l.uri, ts: dt}
+			}
+		}
+		next = ""
+		if nl := lr["next"]; len(nl) == 1 {
+			if nl[0].attrs["from"] == "" || nl[0].attrs["until"] == "" {
+				t.Errorf("page %d: next link lacks from/until", pages)
+			}
+			next = nl[0].uri
+		}
+	}
+	if pages != wantPages {
+		t.Errorf("walked %d pages, want %d", pages, wantPages)
+	}
+	if len(seen) != n {
+		t.Fatalf("reconstructed %d mementos, want %d", len(seen), n)
+	}
+	got := make([]entry, 0, n)
+	for _, e := range seen {
+		got = append(got, e)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].ts.Before(got[j].ts) })
+	for i, e := range got {
+		if !e.ts.Equal(ms[i].Time) {
+			t.Fatalf("memento %d time = %v, want %v", i, e.ts, ms[i].Time)
+		}
+		if want := FormatTimestamp(ms[i].Time); !strings.Contains(e.uri, "/memento/"+want+"/") {
+			t.Fatalf("memento %d uri = %q, want timestamp %s", i, e.uri, want)
+		}
+	}
+}
+
+func TestTimeMapPathFormWithPage(t *testing.T) {
+	const n, pageSize = 1200, 500
+	src := &fakeSource{pages: map[string][]Memento{testURL: genIndex(n)}}
+	ts := newTestServer(t, src, pageSize)
+
+	resp, err := http.Get(ts.URL + "/timemap/link/3/" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %q", resp.StatusCode, body)
+	}
+	lr := rels(parseLinks(t, string(body)))
+	// Page 3 of 3 holds mementos 1001..1200: 199 plain + the global last.
+	if len(lr["memento"]) != 199 || len(lr["last memento"]) != 1 {
+		t.Errorf("page 3 counts: memento=%d last=%d", len(lr["memento"]), len(lr["last memento"]))
+	}
+	if len(lr["next"]) != 0 {
+		t.Errorf("final page has next link")
+	}
+
+	// Pages outside the map 404.
+	resp, err = http.Get(ts.URL + "/timemap/link/4/" + testURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("overflow page status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDiffHandler(t *testing.T) {
+	ms := genIndex(5)
+	src := &fakeSource{pages: map[string][]Memento{testURL: ms}}
+	ts := newTestServer(t, src, 0)
+
+	get := func(query string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/memento/diff?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// from/to as 14-digit timestamps; to defaults to latest.
+	resp, body := get("url=" + testURL + "&from=" + FormatTimestamp(ms[1].Time))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %q", resp.StatusCode, body)
+	}
+	if body != "diff 1.2 1.5" {
+		t.Errorf("body = %q, want diff 1.2 1.5", body)
+	}
+	if got := resp.Header.Get("Memento-Datetime"); got != httpdate.Format(ms[4].Time) {
+		t.Errorf("Memento-Datetime = %q", got)
+	}
+	lr := rels(parseLinks(t, resp.Header.Get("Link")))
+	if len(lr["memento"]) != 2 {
+		t.Errorf("diff Link mementos = %d, want 2", len(lr["memento"]))
+	}
+
+	// HTTP-date forms negotiate too, and reversed bounds are reordered.
+	_, body = get("url=" + testURL +
+		"&from=" + strings.ReplaceAll(httpdate.Format(ms[3].Time), " ", "%20") +
+		"&to=" + strings.ReplaceAll(httpdate.Format(ms[0].Time), " ", "%20"))
+	if body != "diff 1.1 1.4" {
+		t.Errorf("reversed bounds body = %q, want diff 1.1 1.4", body)
+	}
+
+	// Missing from is the client's error.
+	if resp, _ = get("url=" + testURL); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing from status = %d, want 400", resp.StatusCode)
+	}
+	// Unknown URL 404s before datetime validation.
+	if resp, _ = get("url=http://nowhere.invalid/&from=1996"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown url status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,154 @@
+// Package memento implements the Memento framework (RFC 7089,
+// "HTTP Framework for Time-Based Access to Resource States" — Van de
+// Sompel et al.) over an archive that can list and retrieve dated
+// revisions of a URL. The snapshot facility stores every revision of
+// every tracked page with its check-in instant; this package is the
+// standard read face for that history:
+//
+//   - a TimeGate per Original Resource, negotiating in the datetime
+//     dimension via the Accept-Datetime header (302 to the closest
+//     memento, Vary: accept-datetime),
+//   - TimeMaps in application/link-format enumerating every memento,
+//     paged with self/prev/next links carrying from/until attributes so
+//     a URL with millions of revisions never renders one unbounded
+//     response, and
+//   - Memento-Datetime and Link headers on the mementos themselves,
+//     plus an HtmlDiff between any two negotiated mementos.
+//
+// The package is protocol-pure: it depends on a Source interface for
+// the revision index, checkouts, and diff rendering, and on nothing
+// from the snapshot layer, so the negotiation state machine, paging
+// model, and header grammar are testable against a synthetic archive.
+package memento
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrNotArchived is the Source error for a URL with no archived
+// revisions; handlers map it to 404.
+var ErrNotArchived = errors.New("memento: URL not archived")
+
+// Memento is one archived state of an Original Resource: the archive's
+// revision identifier and the instant the state was captured
+// (Memento-Datetime).
+type Memento struct {
+	// Rev is the underlying archive's revision number (e.g. "1.3").
+	Rev string
+	// Time is the capture instant (UTC).
+	Time time.Time
+}
+
+// Source is the archive the protocol layer negotiates against.
+// Implementations must resolve URLs through their own storage layout
+// (flat or sharded) — this package never sees file paths.
+type Source interface {
+	// Index lists a URL's mementos oldest-first. A URL with no archive
+	// returns ErrNotArchived (possibly wrapped).
+	Index(pageURL string) ([]Memento, error)
+	// Checkout returns the archived text of one revision, ready to
+	// serve (base-href injection and similar rewriting are the
+	// implementation's business).
+	Checkout(pageURL, rev string) (string, error)
+	// DiffStream prepares an HtmlDiff of two revisions and returns the
+	// function that renders it to a writer — the streaming, cache-backed
+	// read path.
+	DiffStream(pageURL, oldRev, newRev string) (func(w io.Writer) error, error)
+}
+
+// Negotiate picks the memento closest in time to t from ms, which must
+// be sorted oldest-first. The rules, in order:
+//
+//   - an exact Time match wins;
+//   - t before the first memento clamps to the first, t after the last
+//     clamps to the last (RFC 7089 §4.5.3 leaves boundary handling to
+//     the server; clamping means every datetime resolves);
+//   - otherwise the memento with the smallest |Time−t| wins, with an
+//     exact midpoint tie broken toward the earlier memento — the
+//     revision that was actually current at t, matching RCS `co -d`
+//     semantics.
+//
+// It returns the index into ms, or -1 when ms is empty.
+func Negotiate(ms []Memento, t time.Time) int {
+	if len(ms) == 0 {
+		return -1
+	}
+	// First memento strictly after t: ms[i-1].Time <= t < ms[i].Time.
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].Time.After(t) })
+	if i == 0 {
+		return 0 // before the first capture
+	}
+	if i == len(ms) {
+		return len(ms) - 1 // after the last capture
+	}
+	before := t.Sub(ms[i-1].Time)
+	after := ms[i].Time.Sub(t)
+	if after < before {
+		return i
+	}
+	return i - 1 // exact matches (before==0) and midpoint ties go earlier
+}
+
+// timestampLayout is the URI-M datetime form: the 14-digit
+// YYYYMMDDhhmmss convention web archives embed in memento URIs.
+const timestampLayout = "20060102150405"
+
+// FormatTimestamp renders t as the 14-digit URI-M timestamp.
+func FormatTimestamp(t time.Time) string {
+	return t.UTC().Format(timestampLayout)
+}
+
+// ParseTimestamp parses a URI-M timestamp: 4 to 14 digits, partial
+// values padded to the period's start ("1996" means 1996-01-01
+// 00:00:00, "199606031200" means 1996-06-03 12:00:00).
+func ParseTimestamp(s string) (time.Time, error) {
+	if len(s) < 4 || len(s) > 14 || len(s)%2 != 0 {
+		return time.Time{}, fmt.Errorf("memento: bad timestamp %q (want 4-14 digits)", s)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return time.Time{}, fmt.Errorf("memento: bad timestamp %q (want digits)", s)
+		}
+	}
+	const pad = "00010101000000" // zero-value layout tail: month/day default to 01
+	full := s + pad[len(s):]
+	t, err := time.Parse(timestampLayout, full)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("memento: bad timestamp %q: %v", s, err)
+	}
+	return t, nil
+}
+
+// isTimestamp reports whether a path segment looks like a URI-M
+// timestamp (all digits) rather than the leading segment of an
+// embedded URL.
+func isTimestamp(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// fixScheme undoes net/http path cleaning on an embedded URL:
+// ServeMux's canonicalisation collapses the "//" after the scheme
+// ("/timegate/http://h/p" redirects to "/timegate/http:/h/p"), so a
+// client that followed the 301 arrives with a single slash.
+func fixScheme(u string) string {
+	for _, scheme := range [...]string{"http", "https"} {
+		p := scheme + ":/"
+		if strings.HasPrefix(u, p) && !strings.HasPrefix(u, p+"/") {
+			return p + "/" + u[len(p):]
+		}
+	}
+	return u
+}

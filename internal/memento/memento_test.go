@@ -1,0 +1,123 @@
+package memento
+
+import (
+	"testing"
+	"time"
+)
+
+func at(day, hour int) time.Time {
+	return time.Date(1996, time.June, day, hour, 0, 0, 0, time.UTC)
+}
+
+// index5 is a generated five-memento history, one capture a day.
+func index5() []Memento {
+	ms := make([]Memento, 5)
+	for i := range ms {
+		ms[i] = Memento{Rev: "1." + string(rune('1'+i)), Time: at(i+1, 12)}
+	}
+	return ms
+}
+
+func TestNegotiate(t *testing.T) {
+	ms := index5()
+	cases := []struct {
+		name string
+		t    time.Time
+		want int
+	}{
+		{"exact first", at(1, 12), 0},
+		{"exact middle", at(3, 12), 2},
+		{"exact last", at(5, 12), 4},
+		{"before first clamps", at(1, 0), 0},
+		{"way before first clamps", time.Date(1990, 1, 1, 0, 0, 0, 0, time.UTC), 0},
+		{"after last clamps", at(5, 23), 4},
+		{"way after last clamps", time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), 4},
+		{"nearer earlier", at(2, 13), 1},
+		{"nearer later", at(3, 2), 2},
+		{"midpoint ties earlier", at(2, 0), 0}, // exactly between day1 12:00 and day2 12:00
+		{"one second past midpoint", at(2, 0).Add(time.Second), 1},
+		{"one second before midpoint", at(2, 0).Add(-time.Second), 0},
+	}
+	for _, c := range cases {
+		if got := Negotiate(ms, c.t); got != c.want {
+			t.Errorf("%s: Negotiate(%v) = %d, want %d", c.name, c.t, got, c.want)
+		}
+	}
+}
+
+func TestNegotiateSingleRevision(t *testing.T) {
+	ms := []Memento{{Rev: "1.1", Time: at(3, 12)}}
+	for _, q := range []time.Time{at(1, 0), at(3, 12), at(9, 0)} {
+		if got := Negotiate(ms, q); got != 0 {
+			t.Errorf("Negotiate(single, %v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestNegotiateEmpty(t *testing.T) {
+	if got := Negotiate(nil, at(1, 0)); got != -1 {
+		t.Errorf("Negotiate(nil) = %d, want -1", got)
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	want := time.Date(1996, time.June, 3, 14, 30, 59, 0, time.UTC)
+	s := FormatTimestamp(want)
+	if s != "19960603143059" {
+		t.Fatalf("FormatTimestamp = %q", s)
+	}
+	got, err := ParseTimestamp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("round trip %v -> %v", want, got)
+	}
+}
+
+func TestParseTimestampPartial(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Time
+	}{
+		{"1996", time.Date(1996, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{"199606", time.Date(1996, 6, 1, 0, 0, 0, 0, time.UTC)},
+		{"19960603", time.Date(1996, 6, 3, 0, 0, 0, 0, time.UTC)},
+		{"1996060314", time.Date(1996, 6, 3, 14, 0, 0, 0, time.UTC)},
+		{"199606031430", time.Date(1996, 6, 3, 14, 30, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		got, err := ParseTimestamp(c.in)
+		if err != nil {
+			t.Errorf("ParseTimestamp(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseTimestamp(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTimestampRejects(t *testing.T) {
+	for _, in := range []string{"", "96", "199", "19960", "1996060314305", "19961301000000", "199606031430599", "1996x6", "hello"} {
+		if _, err := ParseTimestamp(in); err == nil {
+			t.Errorf("ParseTimestamp(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestFixScheme(t *testing.T) {
+	cases := map[string]string{
+		"http:/example.com/a":    "http://example.com/a",
+		"http://example.com/a":   "http://example.com/a",
+		"https:/example.com":     "https://example.com",
+		"https://example.com":    "https://example.com",
+		"ftp:/example.com":       "ftp:/example.com", // only web schemes are repaired
+		"example.com/http:/deep": "example.com/http:/deep",
+	}
+	for in, want := range cases {
+		if got := fixScheme(in); got != want {
+			t.Errorf("fixScheme(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package memento
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aide/internal/httpdate"
+)
+
+// ContentType is the media type of a TimeMap body (RFC 6690
+// application/link-format, as profiled by RFC 7089 §5).
+const ContentType = "application/link-format"
+
+// DefaultPageSize is the memento count per TimeMap page when the
+// operator does not configure one.
+const DefaultPageSize = 500
+
+// Resolver mints the URIs this archive uses for the Memento roles of a
+// page. Base is the external scheme://host prefix; empty produces
+// host-relative URIs, which is what handlers fall back to when a
+// request carries no Host.
+type Resolver struct {
+	Base string
+}
+
+// TimeGate returns the URI-G for a page (query form, safe under
+// ServeMux path cleaning).
+func (r Resolver) TimeGate(pageURL string) string {
+	return r.Base + "/timegate?url=" + escapeQuery(pageURL)
+}
+
+// TimeMap returns the URI-T of one TimeMap page (1-based).
+func (r Resolver) TimeMap(pageURL string, page int) string {
+	u := r.Base + "/timemap/link?url=" + escapeQuery(pageURL)
+	if page > 1 {
+		u += fmt.Sprintf("&page=%d", page)
+	}
+	return u
+}
+
+// Memento returns the URI-M of the state captured at t: the 14-digit
+// timestamp path form, so the capture instant is readable in the URI
+// itself.
+func (r Resolver) Memento(pageURL string, t Memento) string {
+	return r.Base + "/memento/" + FormatTimestamp(t.Time) + "/" + pageURL
+}
+
+// escapeQuery percent-escapes the characters that would corrupt a URL
+// embedded in a query string (matches the snapshot server's own form
+// rendering; kept minimal so archived URLs stay human-readable).
+func escapeQuery(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "&", "%26")
+	s = strings.ReplaceAll(s, "+", "%2B")
+	s = strings.ReplaceAll(s, "#", "%23")
+	s = strings.ReplaceAll(s, " ", "%20")
+	return s
+}
+
+// linkSet accumulates RFC 6690 links; sep distinguishes the TimeMap
+// body form (",\n" — one link per line) from the Link header form
+// (", ").
+type linkSet struct {
+	b   strings.Builder
+	sep string
+}
+
+// add appends one link. attrs are flat key/value pairs; values are
+// emitted as quoted-strings.
+func (l *linkSet) add(uri, rel string, attrs ...string) {
+	if l.b.Len() > 0 {
+		l.b.WriteString(l.sep)
+	}
+	fmt.Fprintf(&l.b, "<%s>;rel=%q", uri, rel)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&l.b, ";%s=%q", attrs[i], attrs[i+1])
+	}
+}
+
+func (l *linkSet) String() string { return l.b.String() }
+
+// PageCount returns how many TimeMap pages n mementos occupy at the
+// given page size (at least 1 — an archived URL always has one page).
+func PageCount(n, pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	pages := (n + pageSize - 1) / pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// ErrNoPage is returned by WriteTimeMap for a page number outside
+// [1, PageCount]; handlers map it to 404.
+var ErrNoPage = fmt.Errorf("memento: no such TimeMap page")
+
+// WriteTimeMap renders one page of a URL's TimeMap in
+// application/link-format. ms must be oldest-first. Every page carries
+// the original/timegate relations, a self link with the page's
+// from/until datetime range, prev/next links to neighbouring pages
+// (with their ranges, so clients can seek without fetching), the
+// archive-wide first and last mementos, and a memento link per entry
+// in the page's window.
+func WriteTimeMap(w io.Writer, res Resolver, pageURL string, ms []Memento, page, pageSize int) error {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	pages := PageCount(len(ms), pageSize)
+	if page < 1 || page > pages {
+		return fmt.Errorf("%w: page %d of %d", ErrNoPage, page, pages)
+	}
+	lo := (page - 1) * pageSize
+	hi := lo + pageSize
+	if hi > len(ms) {
+		hi = len(ms)
+	}
+	window := ms[lo:hi]
+
+	ls := linkSet{sep: ",\n"}
+	ls.add(pageURL, "original")
+	ls.add(res.TimeGate(pageURL), "timegate")
+	self := []string{"type", ContentType}
+	if len(window) > 0 {
+		self = append(self,
+			"from", httpdate.Format(window[0].Time),
+			"until", httpdate.Format(window[len(window)-1].Time))
+	}
+	ls.add(res.TimeMap(pageURL, page), "self", self...)
+	if page > 1 {
+		plo := (page - 2) * pageSize
+		prev := ms[plo : plo+pageSize]
+		ls.add(res.TimeMap(pageURL, page-1), "prev",
+			"type", ContentType,
+			"from", httpdate.Format(prev[0].Time),
+			"until", httpdate.Format(prev[len(prev)-1].Time))
+	}
+	if page < pages {
+		next := ms[hi:min(hi+pageSize, len(ms))]
+		ls.add(res.TimeMap(pageURL, page+1), "next",
+			"type", ContentType,
+			"from", httpdate.Format(next[0].Time),
+			"until", httpdate.Format(next[len(next)-1].Time))
+	}
+	for i, m := range window {
+		rel := "memento"
+		switch g := lo + i; {
+		case len(ms) == 1:
+			rel = "first last memento"
+		case g == 0:
+			rel = "first memento"
+		case g == len(ms)-1:
+			rel = "last memento"
+		}
+		ls.add(res.Memento(pageURL, m), rel, "datetime", httpdate.Format(m.Time))
+	}
+	// Pages that do not contain the archive boundaries still link them,
+	// so any single page identifies the URL's full temporal extent.
+	if len(ms) > 1 {
+		if lo > 0 {
+			ls.add(res.Memento(pageURL, ms[0]), "first memento",
+				"datetime", httpdate.Format(ms[0].Time))
+		}
+		if hi < len(ms) {
+			ls.add(res.Memento(pageURL, ms[len(ms)-1]), "last memento",
+				"datetime", httpdate.Format(ms[len(ms)-1].Time))
+		}
+	}
+	_, err := io.WriteString(w, ls.String()+"\n")
+	return err
+}

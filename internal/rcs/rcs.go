@@ -251,6 +251,36 @@ func (a *Archive) CheckoutAtDate(t time.Time) (text, rev string, err error) {
 	return "", "", fmt.Errorf("%w: none at or before %s", ErrNoRevision, t.UTC().Format(dateFormat))
 }
 
+// RevTime pairs a revision number with its check-in instant — the
+// lightweight row of the revision index that datetime negotiation
+// (Memento TimeGates) queries, deliberately without author/log strings
+// or any revision text.
+type RevTime struct {
+	// Num is the trunk revision number, e.g. "1.3".
+	Num string
+	// Date is the check-in time (UTC).
+	Date time.Time
+}
+
+// Dates returns every revision's number and check-in time, newest
+// first, without checking out any text. It reads through the
+// parsed-archive cache on the non-cloning path — the clone load()
+// makes for mutating callers would cost a revs-slice copy per index
+// query, and a TimeGate negotiation needs only these two columns.
+func (a *Archive) Dates() ([]RevTime, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := a.loadReadOnly()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RevTime, len(f.revs))
+	for i, r := range f.revs {
+		out[i] = RevTime{Num: r.Num, Date: r.Date}
+	}
+	return out, nil
+}
+
 // Log returns all revisions, newest first, like rlog.
 func (a *Archive) Log() ([]Revision, error) {
 	a.mu.Lock()
@@ -533,28 +563,51 @@ func cachePut(path string, f *archiveFile, fi os.FileInfo) {
 // load parses the archive file, consulting the parsed-archive cache. The
 // returned value is a private clone the caller may mutate.
 func (a *Archive) load() (*archiveFile, error) {
+	f, cached, err := a.loadShared()
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		return f.clone(), nil
+	}
+	return f, nil
+}
+
+// loadReadOnly returns the parsed archive without cloning. The result
+// may be the canonical cached value: callers must treat it as
+// immutable. This is the index-query fast path — a revision-datetime
+// listing per TimeGate negotiation must not copy the whole revs slice.
+func (a *Archive) loadReadOnly() (*archiveFile, error) {
+	f, _, err := a.loadShared()
+	return f, err
+}
+
+// loadShared stats, consults the cache, and parses on a miss. cached
+// reports whether the returned value is the canonical cache entry
+// (shared, immutable) rather than a fresh private parse.
+func (a *Archive) loadShared() (f *archiveFile, cached bool, err error) {
 	fi, err := os.Stat(a.path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, ErrNoArchive
+			return nil, false, ErrNoArchive
 		}
-		return nil, err
+		return nil, false, err
 	}
 	if f := cacheGet(a.path, fi); f != nil {
 		obs.Default.Counter("rcs.cache.hits").Inc()
-		return f.clone(), nil
+		return f, true, nil
 	}
 	obs.Default.Counter("rcs.cache.misses").Inc()
 	data, err := os.ReadFile(a.path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, ErrNoArchive
+			return nil, false, ErrNoArchive
 		}
-		return nil, err
+		return nil, false, err
 	}
-	f, err := parseArchive(string(data))
+	f, err = parseArchive(string(data))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	// Cache only if the file is unchanged since the pre-read stat, so a
 	// concurrent replace between stat and read cannot pin stale data to
@@ -562,7 +615,7 @@ func (a *Archive) load() (*archiveFile, error) {
 	if fi2, err2 := os.Stat(a.path); err2 == nil && fi2.Size() == fi.Size() && fi2.ModTime().Equal(fi.ModTime()) {
 		cachePut(a.path, f.clone(), fi)
 	}
-	return f, nil
+	return f, false, nil
 }
 
 // store atomically rewrites the archive file and refreshes the cache.

@@ -573,3 +573,64 @@ func TestPropertySerializeParseRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDatesIndex exercises the read-only revision index: numbers and
+// datetimes newest-first, matching Log, with no text checked out and no
+// clone of the cached parse mutated by a subsequent check-in.
+func TestDatesIndex(t *testing.T) {
+	a, clock := newTestArchive(t)
+	clock.Set(time.Date(1996, 6, 1, 12, 0, 0, 0, time.UTC))
+	for i := 0; i < 5; i++ {
+		if _, _, err := a.Checkin(fmt.Sprintf("v%d\n", i), "u", "l"); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(24 * time.Hour)
+	}
+
+	idx, err := a.Dates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRevs, err := a.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(logRevs) {
+		t.Fatalf("Dates len %d, Log len %d", len(idx), len(logRevs))
+	}
+	for i := range idx {
+		if idx[i].Num != logRevs[i].Num || !idx[i].Date.Equal(logRevs[i].Date) {
+			t.Errorf("row %d: Dates %v / Log %v", i, idx[i], logRevs[i])
+		}
+	}
+	if idx[0].Num != "1.5" || idx[len(idx)-1].Num != "1.1" {
+		t.Errorf("order wrong: head %s tail %s", idx[0].Num, idx[len(idx)-1].Num)
+	}
+
+	// The index must not alias mutable state: a check-in after Dates
+	// must not disturb the slice already returned.
+	before := append([]RevTime(nil), idx...)
+	if _, _, err := a.Checkin("v5\n", "u", "l"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != idx[i] {
+			t.Fatalf("returned index mutated by later check-in at row %d", i)
+		}
+	}
+	idx2, err := a.Dates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx2) != 6 || idx2[0].Num != "1.6" {
+		t.Errorf("post-checkin index: %v", idx2[:1])
+	}
+}
+
+// TestDatesMissingArchive pins the error for never-archived documents.
+func TestDatesMissingArchive(t *testing.T) {
+	a, _ := newTestArchive(t)
+	if _, err := a.Dates(); !errors.Is(err, ErrNoArchive) {
+		t.Fatalf("Dates on missing archive: %v, want ErrNoArchive", err)
+	}
+}

@@ -1,0 +1,125 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"aide/internal/httpdate"
+	"aide/internal/memento"
+	"aide/internal/rcs"
+)
+
+// This file binds the RFC 7089 protocol layer (internal/memento) to
+// the facility: the revision index read path, the Source adapter the
+// memento handlers negotiate against, and the Memento headers the
+// facility's native checkout/diff endpoints carry so that any response
+// built from archived states advertises its place on the timeline.
+
+// RevisionIndex lists a page's archived states oldest-first as
+// mementos: revision number plus capture instant. It reads through the
+// parsed-archive cache (no delta application, no text materialised)
+// and the replica failover funnel, so a negotiation against a page
+// whose primary shard lost its archive still resolves.
+func (f *Facility) RevisionIndex(pageURL string) ([]memento.Memento, error) {
+	var rts []rcs.RevTime
+	err := f.readArchive(pageURL, func(a *rcs.Archive) error {
+		var derr error
+		rts, derr = a.Dates()
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	// rcs lists newest-first (trunk head outward); mementos go
+	// oldest-first.
+	ms := make([]memento.Memento, len(rts))
+	for i, rt := range rts {
+		ms[len(rts)-1-i] = memento.Memento{Rev: rt.Num, Time: rt.Date.UTC()}
+	}
+	return ms, nil
+}
+
+// mementoSource adapts the facility to memento.Source: index reads
+// resolve through shard placement and replica failover, checkouts get
+// the §4.1 BASE directive so archived copies render with working
+// relative links, and diffs ride the streaming diff cache.
+type mementoSource struct {
+	f *Facility
+}
+
+func (s mementoSource) Index(pageURL string) ([]memento.Memento, error) {
+	ms, err := s.f.RevisionIndex(pageURL)
+	if errors.Is(err, rcs.ErrNoArchive) || errors.Is(err, ErrNeverSaved) {
+		return nil, fmt.Errorf("%w: %s", memento.ErrNotArchived, pageURL)
+	}
+	return ms, err
+}
+
+func (s mementoSource) Checkout(pageURL, rev string) (string, error) {
+	text, err := s.f.Checkout(pageURL, rev)
+	if err != nil {
+		return "", err
+	}
+	return InjectBase(text, pageURL), nil
+}
+
+func (s mementoSource) DiffStream(pageURL, oldRev, newRev string) (func(io.Writer) error, error) {
+	ds, err := s.f.DiffRevsStream(pageURL, oldRev, newRev)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Render, nil
+}
+
+// revIndex locates rev in an oldest-first memento list; empty rev
+// means the head (newest) revision. Returns -1 when absent.
+func revIndex(ms []memento.Memento, rev string) int {
+	if rev == "" {
+		return len(ms) - 1
+	}
+	for i := range ms {
+		if ms[i].Rev == rev {
+			return i
+		}
+	}
+	return -1
+}
+
+// setMementoHeaders stamps Memento-Datetime and the RFC 7089 Link set
+// on a response serving revision rev of pageURL. Lookup failures leave
+// the response unstamped — the headers are advisory and the body path
+// reports real errors.
+func (s *Server) setMementoHeaders(w http.ResponseWriter, r *http.Request, pageURL, rev string) {
+	ms, err := s.Facility.RevisionIndex(pageURL)
+	if err != nil || len(ms) == 0 {
+		return
+	}
+	i := revIndex(ms, rev)
+	if i < 0 {
+		return
+	}
+	hdr := w.Header()
+	hdr.Set("Memento-Datetime", httpdate.Format(ms[i].Time))
+	hdr.Set("Link", memento.MementoLinks(memento.ResolverFor(r), pageURL, ms, i))
+}
+
+// setDiffMementoHeaders stamps Memento-Datetime (the newer side) and
+// the two-memento Link set on a response diffing r1 against r2.
+func (s *Server) setDiffMementoHeaders(w http.ResponseWriter, r *http.Request, pageURL, r1, r2 string) {
+	ms, err := s.Facility.RevisionIndex(pageURL)
+	if err != nil || len(ms) == 0 {
+		return
+	}
+	fi, ti := revIndex(ms, r1), revIndex(ms, r2)
+	if fi < 0 || ti < 0 {
+		return
+	}
+	if fi > ti {
+		fi, ti = ti, fi
+	}
+	hdr := w.Header()
+	hdr.Set("Memento-Datetime", httpdate.Format(ms[ti].Time))
+	hdr.Set("Link", memento.DiffLinks(memento.ResolverFor(r), pageURL, ms, fi, ti))
+}

@@ -14,6 +14,7 @@ import (
 
 	"aide/internal/breaker"
 	"aide/internal/flushwriter"
+	"aide/internal/memento"
 	"aide/internal/obs"
 	"aide/internal/rcs"
 )
@@ -51,6 +52,9 @@ type Server struct {
 	// Scrubber, when non-nil, is the background checksum scrubber; its
 	// pass totals show up in /debug/shards.
 	Scrubber *Scrubber
+	// TimeMapPage is the memento count per TimeMap page on the RFC 7089
+	// endpoints; zero means memento.DefaultPageSize.
+	TimeMapPage int
 }
 
 // reqCtx derives the working context for one request: the request's own
@@ -140,6 +144,12 @@ func (s *Server) routes() (*http.ServeMux, func(*Gate)) {
 	mux.HandleFunc("/shard/import", s.handleShardImport)
 	mux.HandleFunc("/debug/shards", s.handleDebugShards)
 	mux.HandleFunc("/debug/corpus", s.handleDebugCorpus)
+	// RFC 7089 time travel: TimeGate negotiation, TimeMaps, URI-Ms, and
+	// datetime-addressed diffs, all resolving through the facility's
+	// revision index. Mounted on the same mux, so the patterns land in
+	// the RED middleware's bounded endpoint labels via RouteFromMux.
+	mh := &memento.Handlers{Source: mementoSource{f: s.Facility}, PageSize: s.TimeMapPage}
+	mh.Mount(mux)
 	debug := obs.Handler(s.Facility.metrics(), nil)
 	mux.Handle("/debug/metrics", debug)
 	mux.Handle("/metrics", debug)
@@ -292,6 +302,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	r1, r2 := q.Get("r1"), q.Get("r2")
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
+	if r1 != "" && r2 != "" {
+		// Archived-pair comparison: the response derives from two
+		// mementos, so stamp their timeline position before any byte
+		// (keepalive trickle included) flushes the headers.
+		s.setDiffMementoHeaders(w, r, pageURL, r1, r2)
+	}
 	w.Header().Set("Content-Type", "text/html")
 	s.streamKeepalive(w, func() (func(io.Writer) error, error) {
 		var ds *DiffStream
@@ -364,7 +380,7 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
 	}
-	var text string
+	var text, rev string
 	var err error
 	if dateStr := q.Get("date"); dateStr != "" {
 		var t time.Time
@@ -373,14 +389,16 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad date (want RFC 3339): "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		text, _, err = s.Facility.CheckoutAtDate(pageURL, t)
+		text, rev, err = s.Facility.CheckoutAtDate(pageURL, t)
 	} else {
-		text, err = s.Facility.Checkout(pageURL, q.Get("rev"))
+		rev = q.Get("rev")
+		text, err = s.Facility.Checkout(pageURL, rev)
 	}
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	s.setMementoHeaders(w, r, pageURL, rev)
 	w.Header().Set("Content-Type", "text/html")
 	fw := flushwriter.New(w, 0)
 	writeWithBase(fw, text, pageURL)
@@ -423,6 +441,7 @@ func (s *Server) handleRcsdiff(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need url, r1, r2 parameters", http.StatusBadRequest)
 		return
 	}
+	s.setDiffMementoHeaders(w, r, pageURL, r1, r2)
 	w.Header().Set("Content-Type", "text/html")
 	if q.Get("mode") == "text" {
 		d, err := s.Facility.archive(pageURL).DiffRevs(r1, r2)
@@ -551,6 +570,11 @@ func (s *Server) streamKeepalive(w http.ResponseWriter, prepare func() (func(io.
 type CorpusPage struct {
 	URL  string   `json:"url"`
 	Revs []string `json:"revs"`
+	// First and Last are the capture instants (RFC 3339) of the oldest
+	// and newest revisions — the datetime range a load generator can
+	// draw Accept-Datetime values and TimeMap expectations from.
+	First string `json:"first,omitempty"`
+	Last  string `json:"last,omitempty"`
 }
 
 // handleDebugCorpus lists the archived corpus as JSON for external
@@ -575,6 +599,10 @@ func (s *Server) handleDebugCorpus(w http.ResponseWriter, r *http.Request) {
 		p := CorpusPage{URL: u, Revs: make([]string, 0, len(revs))}
 		for i := len(revs) - 1; i >= 0; i-- { // History is newest-first
 			p.Revs = append(p.Revs, revs[i].Num)
+		}
+		if len(revs) > 0 {
+			p.First = revs[len(revs)-1].Date.UTC().Format(time.RFC3339)
+			p.Last = revs[0].Date.UTC().Format(time.RFC3339)
 		}
 		pages = append(pages, p)
 	}

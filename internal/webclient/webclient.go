@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"aide/internal/breaker"
+	"aide/internal/httpdate"
 	"aide/internal/obs"
 	"aide/internal/simclock"
 )
@@ -534,7 +535,7 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 		hreq.Header.Set(obs.TraceParentHeader, req.TraceParent)
 	}
 	if !req.IfModifiedSince.IsZero() {
-		hreq.Header.Set("If-Modified-Since", req.IfModifiedSince.UTC().Format(http.TimeFormat))
+		hreq.Header.Set("If-Modified-Since", httpdate.Format(req.IfModifiedSince))
 	}
 	if req.Body != "" || req.GetBody != nil {
 		ct := req.ContentType
@@ -550,8 +551,11 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, req *Request) (*Response,
 	defer hresp.Body.Close()
 	resp := &Response{Status: hresp.StatusCode, Location: hresp.Header.Get("Location")}
 	if lm := hresp.Header.Get("Last-Modified"); lm != "" {
-		if ts, perr := http.ParseTime(lm); perr == nil {
-			resp.LastModified = ts.UTC()
+		// The shared robust parser accepts the obsolete RFC 850 and
+		// asctime forms old servers still emit (http.ParseTime does too,
+		// but not the malformed variants in the wild).
+		if ts, perr := httpdate.Parse(lm); perr == nil {
+			resp.LastModified = ts
 		}
 	}
 	if ra := hresp.Header.Get("Retry-After"); ra != "" {
@@ -578,7 +582,7 @@ func parseRetryAfter(v string) time.Duration {
 		}
 		return time.Duration(secs) * time.Second
 	}
-	if t, err := http.ParseTime(v); err == nil {
+	if t, err := httpdate.Parse(v); err == nil {
 		if d := time.Until(t); d > 0 {
 			return d
 		}

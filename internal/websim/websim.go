@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"aide/internal/httpdate"
 	"aide/internal/obs"
 	"aide/internal/simclock"
 	"aide/internal/webclient"
@@ -620,7 +621,9 @@ func (w *Web) Handler() http.Handler {
 			URL:    "http://" + host + "/" + path,
 		}
 		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
-			if t, perr := http.ParseTime(ims); perr == nil {
+			// Robust HTTP-date parsing: real clients may send any of the
+			// three RFC 9110 forms.
+			if t, perr := httpdate.Parse(ims); perr == nil {
 				req.IfModifiedSince = t
 			}
 		}
